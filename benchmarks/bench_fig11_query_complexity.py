@@ -1,0 +1,116 @@
+"""Figure 11 — runtime vs query complexity on Student-Syn.
+
+(a) What-if: adding Pre conditions to the ``For`` operator grows the feature
+    set of the conditional-probability regressor, so runtime increases with the
+    number of For attributes.
+(b) How-to: the number of IP variables grows linearly with the number of
+    attributes in ``HowToUpdate`` and so does HypeR's runtime, while the
+    Opt-HowTo baseline enumerates every combination and blows up combinatorially.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import FAST_CONFIG, fmt, print_table
+from repro import HowToQuery, LimitConstraint, WhatIfQuery
+from repro.core import AttributeUpdate, HowToEngine, SetTo, WhatIfEngine
+from repro.relational import TRUE, pre, post
+from repro.relational.expressions import BooleanExpr
+
+FOR_ATTRIBUTES = ["Age", "Gender", "Country", "Discussion", "Announcement", "HandRaised"]
+HOWTO_ATTRIBUTES = ["Discussion", "Announcement", "HandRaised", "Assignment"]
+
+
+def _for_clause(n_attributes: int):
+    atoms = [post("Grade") > 40.0]
+    for attribute in FOR_ATTRIBUTES[:n_attributes]:
+        atoms.append(pre(attribute) >= 0)
+    return BooleanExpr("and", atoms) if len(atoms) > 1 else atoms[0]
+
+
+def test_fig11a_whatif_runtime_vs_for_attributes(student, benchmark):
+    engine = WhatIfEngine(student.database, student.causal_dag, FAST_CONFIG)
+    rows = []
+    timings = []
+    for n_attributes in (0, 2, 4, 6):
+        query = WhatIfQuery(
+            use=student.default_use,
+            updates=[AttributeUpdate("Attendance", SetTo(90.0))],
+            output_attribute="Grade",
+            output_aggregate="count",
+            for_clause=_for_clause(n_attributes),
+        )
+        started = time.perf_counter()
+        engine.evaluate(query)
+        elapsed = time.perf_counter() - started
+        timings.append(elapsed)
+        rows.append([n_attributes, fmt(elapsed)])
+    print_table(
+        "Figure 11a (scaled) — what-if runtime vs #attributes in For (Student-Syn)",
+        ["#For attributes", "seconds"],
+        rows,
+    )
+    # runtime does not shrink as conditions (and thus features) are added
+    assert timings[-1] >= timings[0] * 0.5
+
+    query = WhatIfQuery(
+        use=student.default_use,
+        updates=[AttributeUpdate("Attendance", SetTo(90.0))],
+        output_attribute="Grade",
+        output_aggregate="count",
+        for_clause=_for_clause(4),
+    )
+    benchmark.pedantic(lambda: engine.evaluate(query), rounds=1, iterations=1)
+
+
+def test_fig11b_howto_runtime_vs_update_attributes(student, benchmark):
+    engine = HowToEngine(student.database, student.causal_dag, FAST_CONFIG)
+    rows = []
+    hyper_times = []
+    exhaustive_times = []
+    for n_attributes in (1, 2, 3, 4):
+        attributes = HOWTO_ATTRIBUTES[:n_attributes]
+        query = HowToQuery(
+            use=student.default_use,
+            update_attributes=attributes,
+            objective_attribute="Grade",
+            objective_aggregate="avg",
+            limits=[LimitConstraint(a, lower=0.0, upper=100.0) for a in attributes],
+            candidate_buckets=3,
+            candidate_multipliers=(),
+        )
+        started = time.perf_counter()
+        ip_result = engine.evaluate(query)
+        hyper_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        engine.evaluate_exhaustive(query)
+        exhaustive_seconds = time.perf_counter() - started
+        hyper_times.append(hyper_seconds)
+        exhaustive_times.append(exhaustive_seconds)
+        rows.append(
+            [n_attributes, ip_result.n_ip_variables, fmt(hyper_seconds), fmt(exhaustive_seconds)]
+        )
+    print_table(
+        "Figure 11b (scaled) — how-to runtime vs #attributes in HowToUpdate (Student-Syn)",
+        ["#HowToUpdate attributes", "IP variables", "HypeR s", "Opt-HowTo s"],
+        rows,
+    )
+    # The exhaustive baseline degrades much faster than the IP formulation.
+    assert exhaustive_times[-1] / max(exhaustive_times[0], 1e-9) >= (
+        hyper_times[-1] / max(hyper_times[0], 1e-9)
+    )
+    assert exhaustive_times[-1] > hyper_times[-1]
+
+    query = HowToQuery(
+        use=student.default_use,
+        update_attributes=HOWTO_ATTRIBUTES[:2],
+        objective_attribute="Grade",
+        objective_aggregate="avg",
+        limits=[LimitConstraint(a, lower=0.0, upper=100.0) for a in HOWTO_ATTRIBUTES[:2]],
+        candidate_buckets=3,
+        candidate_multipliers=(),
+    )
+    benchmark.pedantic(lambda: engine.evaluate(query), rounds=1, iterations=1)

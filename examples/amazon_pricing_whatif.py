@@ -1,0 +1,109 @@
+"""Amazon pricing analysis: what-if queries over a product/review database.
+
+Mirrors the Section 5.3 Amazon use case on the synthetic Amazon-Syn dataset:
+how does changing laptop prices affect ratings, which brands benefit most from
+price cuts, and what does the provenance-style Indep baseline miss?
+
+Run with::
+
+    python examples/amazon_pricing_whatif.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EngineConfig, HypeR, WhatIfQuery
+from repro.core import AttributeUpdate, MultiplyBy
+from repro.datasets import make_amazon_syn
+from repro.relational import post, pre
+
+
+def share_highly_rated(session: HypeR, dataset, factor: float, brand: str | None = None) -> float:
+    """Share of laptops with post-update average rating above 4."""
+    when = pre("Category") == "Laptop"
+    if brand is not None:
+        when = when & (pre("Brand") == brand)
+    for_clause = (pre("Category") == "Laptop") & (post("Rtng") > 4.0)
+    if brand is not None:
+        for_clause = for_clause & (pre("Brand") == brand)
+    query = WhatIfQuery(
+        use=dataset.default_use,
+        updates=[AttributeUpdate("Price", MultiplyBy(factor))],
+        output_attribute="Rtng",
+        output_aggregate="count",
+        when=when,
+        for_clause=for_clause,
+    )
+    result = session.what_if(query)
+    return result.value / max(result.expected_qualifying_count, result.n_view_tuples or 1)
+
+
+def main() -> None:
+    dataset = make_amazon_syn(n_products=500, seed=1)
+    session = HypeR(dataset.database, dataset.causal_dag, EngineConfig(regressor="forest"))
+    view = dataset.default_use.build(dataset.database)
+    laptops = [row for row in view.rows() if row["Category"] == "Laptop"]
+    n_laptops = len(laptops)
+    print(f"{len(view)} products, {n_laptops} laptops, "
+          f"{len(dataset.database['Review'])} reviews\n")
+
+    print("Effect of laptop price changes on the number of laptops rated above 4:")
+    for factor in (0.6, 0.8, 1.0, 1.2, 1.4):
+        query = WhatIfQuery(
+            use=dataset.default_use,
+            updates=[AttributeUpdate("Price", MultiplyBy(factor))],
+            output_attribute="Rtng",
+            output_aggregate="count",
+            when=(pre("Category") == "Laptop"),
+            for_clause=(pre("Category") == "Laptop") & (post("Rtng") > 4.0),
+        )
+        value = session.what_if(query).value
+        print(f"  price x{factor:>3}: {value:6.1f} of {n_laptops} laptops rated > 4")
+
+    print("\nAverage laptop rating after a 30% price cut, per brand:")
+    brands = sorted({row["Brand"] for row in laptops})
+    gains = {}
+    for brand in brands:
+        base_query = WhatIfQuery(
+            use=dataset.default_use,
+            updates=[AttributeUpdate("Price", MultiplyBy(1.0))],
+            output_attribute="Rtng",
+            output_aggregate="avg",
+            when=(pre("Brand") == brand) & (pre("Category") == "Laptop"),
+            for_clause=(pre("Brand") == brand) & (pre("Category") == "Laptop"),
+        )
+        cut_query = WhatIfQuery(
+            use=dataset.default_use,
+            updates=[AttributeUpdate("Price", MultiplyBy(0.7))],
+            output_attribute="Rtng",
+            output_aggregate="avg",
+            when=(pre("Brand") == brand) & (pre("Category") == "Laptop"),
+            for_clause=(pre("Brand") == brand) & (pre("Category") == "Laptop"),
+        )
+        before = session.what_if(base_query).value
+        after = session.what_if(cut_query).value
+        gains[brand] = after - before
+        print(f"  {brand:<14} {before:5.2f} -> {after:5.2f}  (gain {after - before:+.2f})")
+    best = max(gains, key=gains.get)
+    print(f"\nBrand gaining the most from a price cut: {best}")
+
+    print("\nComparison with the Indep baseline (ignores causal propagation):")
+    indep = session.independent_baseline()
+    query = WhatIfQuery(
+        use=dataset.default_use,
+        updates=[AttributeUpdate("Price", MultiplyBy(0.6))],
+        output_attribute="Rtng",
+        output_aggregate="avg",
+        when=(pre("Category") == "Laptop"),
+        for_clause=(pre("Category") == "Laptop"),
+    )
+    print(f"  HypeR : average laptop rating after a 40% cut = {session.what_if(query).value:.3f}")
+    print(f"  Indep : average laptop rating after a 40% cut = {indep.what_if(query).value:.3f}")
+    observed = float(np.mean([row["Rtng"] for row in laptops if row["Rtng"] is not None]))
+    print(f"  (observed average laptop rating today: {observed:.3f} — "
+          "Indep never moves away from it)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,154 @@
+"""Quickstart: the paper's running example end to end.
+
+Builds the tiny Amazon product/review database of Figure 1, declares the causal
+graph of Figure 2, and runs the what-if query of Figure 4 ("raise Asus prices
+by 10%, what happens to average ratings of Asus laptops?") plus a small how-to
+query, all through the public :class:`repro.HypeR` API.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import CausalDAG, CausalEdge, Database, EngineConfig, ForeignKey, HypeR, Relation
+from repro.relational import (
+    AttributeSpec,
+    CategoricalDomain,
+    IntegerDomain,
+    NumericDomain,
+    RelationSchema,
+)
+
+
+def build_figure1_database() -> Database:
+    """The five products and six reviews of Figure 1."""
+    product_schema = RelationSchema(
+        "Product",
+        [
+            AttributeSpec("PID", IntegerDomain(1, 10), mutable=False),
+            AttributeSpec(
+                "Category",
+                CategoricalDomain(["Laptop", "DSLR Camera", "Sci Fi eBooks"]),
+                mutable=False,
+            ),
+            AttributeSpec("Price", NumericDomain(0.0, 500_000.0)),
+            AttributeSpec(
+                "Brand",
+                CategoricalDomain(["Vaio", "Asus", "HP", "Canon", "Fantasy Press"]),
+                mutable=False,
+            ),
+            AttributeSpec("Color", CategoricalDomain(["Silver", "Black", "Blue"])),
+            AttributeSpec("Quality", NumericDomain(0.0, 1.0)),
+        ],
+        key=("PID",),
+    )
+    product = Relation.from_rows(
+        product_schema,
+        [
+            {"PID": 1, "Category": "Laptop", "Price": 999.0, "Brand": "Vaio", "Color": "Silver", "Quality": 0.7},
+            {"PID": 2, "Category": "Laptop", "Price": 529.0, "Brand": "Asus", "Color": "Black", "Quality": 0.65},
+            {"PID": 3, "Category": "Laptop", "Price": 599.0, "Brand": "HP", "Color": "Silver", "Quality": 0.5},
+            {"PID": 4, "Category": "DSLR Camera", "Price": 549.0, "Brand": "Canon", "Color": "Black", "Quality": 0.75},
+            {"PID": 5, "Category": "Sci Fi eBooks", "Price": 15.99, "Brand": "Fantasy Press", "Color": "Blue", "Quality": 0.4},
+        ],
+    )
+    review_schema = RelationSchema(
+        "Review",
+        [
+            AttributeSpec("PID", IntegerDomain(1, 10), mutable=False),
+            AttributeSpec("ReviewID", IntegerDomain(1, 10), mutable=False),
+            AttributeSpec("Sentiment", NumericDomain(-1.0, 1.0)),
+            AttributeSpec("Rating", IntegerDomain(1, 5)),
+        ],
+        key=("PID", "ReviewID"),
+    )
+    review = Relation.from_rows(
+        review_schema,
+        [
+            {"PID": 1, "ReviewID": 1, "Sentiment": -0.95, "Rating": 2},
+            {"PID": 2, "ReviewID": 2, "Sentiment": 0.7, "Rating": 4},
+            {"PID": 2, "ReviewID": 3, "Sentiment": -0.2, "Rating": 1},
+            {"PID": 3, "ReviewID": 3, "Sentiment": 0.23, "Rating": 3},
+            {"PID": 3, "ReviewID": 5, "Sentiment": 0.95, "Rating": 5},
+            {"PID": 4, "ReviewID": 5, "Sentiment": 0.7, "Rating": 4},
+        ],
+    )
+    return Database(
+        [product, review],
+        foreign_keys=[ForeignKey("Review", ("PID",), "Product", ("PID",))],
+    )
+
+
+def build_figure2_dag() -> CausalDAG:
+    """Category/Brand drive Quality and Price; Quality and Price drive ratings/sentiment."""
+    dag = CausalDAG(
+        nodes=[
+            "Category",
+            "Brand",
+            "Color",
+            "Quality",
+            "Price",
+            "Review.Sentiment",
+            "Review.Rating",
+        ]
+    )
+    for edge in [
+        CausalEdge("Category", "Quality"),
+        CausalEdge("Brand", "Quality"),
+        CausalEdge("Category", "Price"),
+        CausalEdge("Brand", "Price"),
+        CausalEdge("Quality", "Price"),
+        CausalEdge("Quality", "Review.Rating"),
+        CausalEdge("Quality", "Review.Sentiment"),
+        CausalEdge("Color", "Review.Sentiment"),
+        CausalEdge("Price", "Review.Rating", cross_tuple=True, within="Category"),
+        CausalEdge("Price", "Review.Sentiment"),
+    ]:
+        dag.add_edge(edge)
+    return dag
+
+
+def main() -> None:
+    database = build_figure1_database()
+    dag = build_figure2_dag()
+    print("Database:")
+    print(database.describe())
+    print()
+
+    # A tiny instance cannot support a forest; the linear estimator is exact enough here.
+    session = HypeR(database, dag, EngineConfig(regressor="linear"))
+
+    whatif = session.execute(
+        """
+        USE Product (PID, Category, Price, Brand)
+            WITH AVG(Review.Sentiment) AS Senti, AVG(Review.Rating) AS Rtng
+        WHEN Brand = 'Asus'
+        UPDATE(Price) = 1.1 * PRE(Price)
+        OUTPUT AVG(POST(Rtng))
+        FOR PRE(Category) = 'Laptop'
+        """
+    )
+    print("Figure 4 what-if query (raise Asus prices by 10%):")
+    print(" ", whatif.summary())
+    print()
+
+    howto = session.execute(
+        """
+        USE Product (PID, Category, Price, Brand)
+            WITH AVG(Review.Rating) AS Rtng
+        WHEN Brand = 'Asus' AND Category = 'Laptop'
+        HOWTOUPDATE Price
+        LIMIT 500 <= POST(Price) <= 800 AND L1(PRE(Price), POST(Price)) <= 400
+        TOMAXIMIZE AVG(POST(Rtng))
+        FOR PRE(Category) = 'Laptop'
+        """
+    )
+    print("Figure 5 how-to query (how should Asus laptop prices change?):")
+    print(" ", howto.summary())
+    print("  recommended plan:", howto.plan())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""HypeR reproduction: hypothetical reasoning with what-if and how-to queries.
+
+A from-scratch implementation of the system described in
+
+    Galhotra, Gilad, Roy, Salimi.
+    "HypeR: Hypothetical Reasoning With What-If and How-To Queries Using a
+    Probabilistic Causal Approach", SIGMOD 2022.
+
+The public API is re-exported here; the most common entry point is
+:class:`repro.HypeR`::
+
+    from repro import HypeR
+    from repro.datasets import make_amazon_syn
+
+    dataset = make_amazon_syn()
+    session = HypeR(dataset.database, dataset.causal_dag)
+    result = session.execute(
+        "USE Product WITH AVG(Review.Rating) AS Rtng "
+        "WHEN Brand = 'Asus' "
+        "UPDATE(Price) = 1.1 * PRE(Price) "
+        "OUTPUT AVG(POST(Rtng)) "
+        "FOR PRE(Category) = 'Laptop'"
+    )
+    print(result.summary())
+"""
+
+from .core import (
+    AddConstant,
+    AttributeUpdate,
+    EngineConfig,
+    GroundTruthOracle,
+    HowToEngine,
+    HowToQuery,
+    HowToResult,
+    HypeR,
+    HypotheticalUpdate,
+    LimitConstraint,
+    MultiplyBy,
+    SetTo,
+    Variant,
+    WhatIfEngine,
+    WhatIfQuery,
+    WhatIfResult,
+)
+from .relational import (
+    AggregatedAttribute,
+    Database,
+    ForeignKey,
+    Relation,
+    RelationSchema,
+    UseSpec,
+    col,
+    lit,
+    post,
+    pre,
+)
+from .causal import CausalDAG, CausalEdge, StructuralCausalModel
+from .workloads import WorkloadGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddConstant",
+    "AggregatedAttribute",
+    "AttributeUpdate",
+    "CausalDAG",
+    "CausalEdge",
+    "Database",
+    "EngineConfig",
+    "ForeignKey",
+    "GroundTruthOracle",
+    "HowToEngine",
+    "HowToQuery",
+    "HowToResult",
+    "HypeR",
+    "HypotheticalUpdate",
+    "LimitConstraint",
+    "MultiplyBy",
+    "Relation",
+    "RelationSchema",
+    "SetTo",
+    "StructuralCausalModel",
+    "UseSpec",
+    "Variant",
+    "WhatIfEngine",
+    "WhatIfQuery",
+    "WhatIfResult",
+    "WorkloadGenerator",
+    "col",
+    "lit",
+    "post",
+    "pre",
+    "__version__",
+]

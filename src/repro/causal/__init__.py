@@ -1,0 +1,64 @@
+"""Causal substrate: DAGs, structural models, grounding, backdoor adjustment.
+
+Implements the probabilistic relational causal model (PRCM) machinery the paper
+builds on: attribute-level causal DAGs with cross-tuple edges, structural
+equations for data generation and ground truth, grounding over database
+instances, d-separation, the backdoor criterion, summary functions and the
+augmented graph used for multi-relation queries.
+"""
+
+from .augmented import AggregatedNode, augment_causal_dag
+from .backdoor import (
+    eligible_adjustment_attributes,
+    find_backdoor_set,
+    minimal_backdoor_set,
+    satisfies_backdoor,
+)
+from .dag import CausalDAG, CausalEdge
+from .dseparation import all_backdoor_paths, d_separated, path_is_blocked
+from .ground_graph import GroundCausalGraph, GroundVariable
+from .scm import StructuralCausalModel
+from .structural import (
+    DiscreteCPD,
+    ExogenousDistribution,
+    FunctionalEquation,
+    GaussianNoise,
+    LinearEquation,
+    LogisticEquation,
+    NoNoise,
+    NoiseModel,
+    StructuralEquation,
+    UniformNoise,
+)
+from .summary import AggregateSummary, IdentitySummary, SummaryFunction, make_summary
+
+__all__ = [
+    "AggregateSummary",
+    "AggregatedNode",
+    "CausalDAG",
+    "CausalEdge",
+    "DiscreteCPD",
+    "ExogenousDistribution",
+    "FunctionalEquation",
+    "GaussianNoise",
+    "GroundCausalGraph",
+    "GroundVariable",
+    "IdentitySummary",
+    "LinearEquation",
+    "LogisticEquation",
+    "NoNoise",
+    "NoiseModel",
+    "StructuralCausalModel",
+    "StructuralEquation",
+    "SummaryFunction",
+    "UniformNoise",
+    "all_backdoor_paths",
+    "augment_causal_dag",
+    "d_separated",
+    "eligible_adjustment_attributes",
+    "find_backdoor_set",
+    "make_summary",
+    "minimal_backdoor_set",
+    "path_is_blocked",
+    "satisfies_backdoor",
+]

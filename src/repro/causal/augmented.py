@@ -1,0 +1,99 @@
+"""Augmented causal graph for multi-relation queries (Section A.3.2).
+
+When the output (or filter) attribute of a query lives in a different relation
+than the update attribute, the relevant view aggregates it per base tuple.  The
+paper constructs an *augmented causal graph* ``G'`` that contains, for every
+such aggregated attribute, a new node placed between the original attribute and
+its children: the aggregated node becomes a child of the attributes it
+summarises and the parent of their former children, and the original edges to
+those children are removed.
+
+The backdoor criterion is then applied to ``G'`` — the engine treats the
+aggregated view column exactly like an ordinary attribute afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..exceptions import CausalModelError
+from .dag import CausalDAG, CausalEdge
+
+__all__ = ["AggregatedNode", "augment_causal_dag"]
+
+
+@dataclass(frozen=True)
+class AggregatedNode:
+    """Declaration of an aggregated attribute added to the augmented graph.
+
+    ``name`` is the view column name (e.g. ``Rtng``), ``source`` the original
+    attribute node it aggregates (e.g. ``Rating``), and ``how`` the aggregate.
+    """
+
+    name: str
+    source: str
+    how: str = "avg"
+
+
+def augment_causal_dag(
+    dag: CausalDAG,
+    aggregated: Iterable[AggregatedNode],
+    rename: Mapping[str, str] | None = None,
+) -> CausalDAG:
+    """Return the augmented DAG ``G'`` with one node per aggregated attribute.
+
+    Following the construction of Section A.3.2:
+
+    * the aggregated node ``A'`` is added as a child of the source attribute;
+    * ``A'`` becomes the parent of every former child of the source attribute;
+    * the original edges from the source attribute to those children are removed.
+
+    ``rename`` optionally renames surviving nodes (used to map relation-qualified
+    attribute names onto view column names).
+    """
+    aggregated = list(aggregated)
+    rename = dict(rename or {})
+    by_source: dict[str, AggregatedNode] = {}
+    for node in aggregated:
+        if node.source not in dag:
+            raise CausalModelError(
+                f"aggregated node {node.name!r} references unknown attribute {node.source!r}"
+            )
+        if node.source in by_source:
+            raise CausalModelError(
+                f"attribute {node.source!r} is aggregated twice "
+                f"({by_source[node.source].name!r} and {node.name!r})"
+            )
+        if node.name in dag or node.name in rename.values():
+            raise CausalModelError(f"aggregated node name {node.name!r} collides with an existing node")
+        by_source[node.source] = node
+
+    def final_name(original: str) -> str:
+        return rename.get(original, original)
+
+    augmented = CausalDAG()
+    for node in dag.nodes:
+        augmented.add_node(final_name(node))
+    for agg in aggregated:
+        augmented.add_node(agg.name)
+
+    for edge in dag.edges:
+        source, target = edge.source, edge.target
+        if source in by_source:
+            # The child now depends on the aggregated version of the source.
+            augmented.add_edge(
+                CausalEdge(by_source[source].name, final_name(target), cross_tuple=False)
+            )
+        else:
+            augmented.add_edge(
+                CausalEdge(
+                    final_name(source),
+                    final_name(target),
+                    cross_tuple=False,
+                )
+            )
+    # Aggregated node hangs off its source attribute.
+    for agg in aggregated:
+        augmented.add_edge(CausalEdge(final_name(agg.source), agg.name))
+    return augmented

@@ -1,0 +1,107 @@
+"""Backdoor criterion: validity checks and (minimal) adjustment-set search.
+
+Section 3.3 of the paper reduces post-update probabilities to observational
+conditional probabilities via the backdoor criterion (Equation 1): a set ``C``
+is a valid backdoor adjustment set w.r.t. treatment ``B`` and outcome ``Y``
+when no member of ``C`` is a descendant of ``B`` or ``Y`` and ``C`` blocks every
+backdoor path from ``B`` to ``Y``.
+
+The search mirrors the paper's greedy procedure: start from all eligible
+non-descendants and drop attributes one at a time while the set remains valid,
+yielding a minimal (not necessarily minimum) adjustment set.  When no causal
+graph is available, the engine falls back to using *all* other attributes
+(the HypeR-NB variant), which the paper argues is always a superset of the true
+backdoor set under its canonical model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..exceptions import IdentificationError
+from .dag import CausalDAG
+from .dseparation import all_backdoor_paths, path_is_blocked
+
+__all__ = [
+    "eligible_adjustment_attributes",
+    "satisfies_backdoor",
+    "find_backdoor_set",
+    "minimal_backdoor_set",
+]
+
+
+def eligible_adjustment_attributes(
+    dag: CausalDAG, treatment: str, outcome: str
+) -> set[str]:
+    """Attributes allowed in a backdoor set: non-descendants of treatment/outcome."""
+    forbidden = (
+        dag.descendants(treatment)
+        | dag.descendants(outcome)
+        | {treatment, outcome}
+    )
+    return {node for node in dag.nodes if node not in forbidden}
+
+
+def satisfies_backdoor(
+    dag: CausalDAG,
+    treatment: str,
+    outcome: str,
+    adjustment: Iterable[str],
+) -> bool:
+    """Whether ``adjustment`` satisfies the backdoor criterion for (treatment, outcome)."""
+    adjustment = set(adjustment)
+    eligible = eligible_adjustment_attributes(dag, treatment, outcome)
+    if not adjustment <= eligible:
+        return False
+    for path in all_backdoor_paths(dag, treatment, outcome):
+        if not path_is_blocked(dag, path, adjustment):
+            return False
+    return True
+
+
+def find_backdoor_set(
+    dag: CausalDAG,
+    treatment: str,
+    outcome: str,
+) -> set[str]:
+    """Return a valid backdoor adjustment set, or raise :class:`IdentificationError`.
+
+    The full set of eligible non-descendants is tried first (this is the
+    paper's starting point); if even that does not block all backdoor paths the
+    effect is not identifiable by backdoor adjustment in this graph.
+    """
+    if treatment not in dag or outcome not in dag:
+        missing = [a for a in (treatment, outcome) if a not in dag]
+        raise IdentificationError(f"attributes {missing} are not in the causal DAG")
+    candidate = eligible_adjustment_attributes(dag, treatment, outcome)
+    if satisfies_backdoor(dag, treatment, outcome, candidate):
+        return candidate
+    raise IdentificationError(
+        f"no backdoor adjustment set exists for {treatment!r} -> {outcome!r}"
+    )
+
+
+def minimal_backdoor_set(
+    dag: CausalDAG,
+    treatment: str,
+    outcome: str,
+    *,
+    prefer: Sequence[str] = (),
+) -> set[str]:
+    """Greedy minimal backdoor set (Section A.2, "Computation of blocking set C").
+
+    Starts from all eligible non-descendants and removes one attribute at a
+    time while the backdoor criterion continues to hold.  ``prefer`` lists
+    attributes to try to *keep* (they are considered for removal last), which
+    the engine uses to retain attributes that already appear in the query's
+    ``For`` clause — conditioning on those is free.
+    """
+    current = find_backdoor_set(dag, treatment, outcome)
+    prefer_set = set(prefer)
+    # Remove non-preferred attributes first, preferred ones last.
+    removal_order = sorted(current - prefer_set) + sorted(current & prefer_set)
+    for attribute in removal_order:
+        reduced = current - {attribute}
+        if satisfies_backdoor(dag, treatment, outcome, reduced):
+            current = reduced
+    return current

@@ -1,0 +1,64 @@
+"""d-separation on attribute-level causal DAGs.
+
+The backdoor machinery needs to decide whether a set of attributes blocks every
+backdoor path between the update attribute and the outcome.  This module
+implements the classic path-blocking definition: a path is blocked by a
+conditioning set ``Z`` when it contains a non-collider in ``Z`` or a collider
+whose descendants (including itself) are all outside ``Z``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .dag import CausalDAG
+
+__all__ = ["path_is_blocked", "d_separated", "all_backdoor_paths"]
+
+
+def path_is_blocked(dag: CausalDAG, path: Sequence[str], conditioning: Iterable[str]) -> bool:
+    """Whether ``path`` (a node sequence) is blocked given ``conditioning``."""
+    z = set(conditioning)
+    if len(path) < 3:
+        # A direct edge cannot be blocked by conditioning.
+        return False
+    for i in range(1, len(path) - 1):
+        node = path[i]
+        if dag.is_collider(list(path), i):
+            descendants = dag.descendants(node) | {node}
+            if not (descendants & z):
+                return True
+        else:
+            if node in z:
+                return True
+    return False
+
+
+def all_backdoor_paths(dag: CausalDAG, treatment: str, outcome: str) -> list[list[str]]:
+    """All undirected simple paths from ``treatment`` to ``outcome`` that start
+    with an edge *into* the treatment (the backdoor paths of Pearl)."""
+    paths = []
+    for path in dag.undirected_paths(treatment, outcome):
+        if len(path) < 2:
+            continue
+        first_hop = path[1]
+        if dag.has_edge(first_hop, treatment):
+            paths.append(list(path))
+    return paths
+
+
+def d_separated(
+    dag: CausalDAG,
+    x: str,
+    y: str,
+    conditioning: Iterable[str] = (),
+) -> bool:
+    """Whether every undirected path between ``x`` and ``y`` is blocked."""
+    z = set(conditioning)
+    for path in dag.undirected_paths(x, y):
+        if len(path) == 2:
+            # direct edge: never blocked
+            return False
+        if not path_is_blocked(dag, path, z):
+            return False
+    return True

@@ -1,0 +1,255 @@
+"""Grounding an attribute-level causal DAG over a database instance.
+
+The PRCM of the paper has one endogenous variable per attribute *per tuple*
+(``A[t]``).  The ground causal graph materialises those variables and the
+edges induced by the attribute-level DAG:
+
+* within-tuple edges — an attribute edge ``A -> B`` where both attributes live
+  in the same relation grounds to ``A[t] -> B[t]`` for every tuple ``t``;
+* cross-relation edges — an edge ``R.A -> R'.B`` grounds along the foreign-key
+  links between ``R`` and ``R'``;
+* cross-tuple edges — edges flagged ``cross_tuple`` ground between *different*
+  tuples, optionally restricted to tuples sharing the value of a grouping
+  attribute (``within``), e.g. laptops of the same Category.
+
+Explicit grounding is quadratic in the worst case, so it is intended for
+moderate instance sizes (tests, visualisation, exact possible-world baselines).
+The scalable block decomposition in :mod:`repro.probdb.blocks` derives the same
+connectivity information with a union–find, without materialising the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable
+
+import networkx as nx
+
+from ..exceptions import CausalModelError
+from ..relational.database import Database
+from .dag import CausalDAG, CausalEdge
+
+__all__ = ["GroundVariable", "GroundCausalGraph"]
+
+
+@dataclass(frozen=True, order=True)
+class GroundVariable:
+    """A ground endogenous variable ``A[t]``: (relation, tuple key, attribute)."""
+
+    relation: str
+    key: tuple[Hashable, ...]
+    attribute: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        key = self.key[0] if len(self.key) == 1 else self.key
+        return f"{self.attribute}[{self.relation}:{key}]"
+
+
+class GroundCausalGraph:
+    """Explicitly grounded causal graph over the tuples of a database."""
+
+    def __init__(self, database: Database, dag: CausalDAG, *, max_nodes: int = 200_000) -> None:
+        self.database = database
+        self.dag = dag
+        self.graph = nx.DiGraph()
+        self._attribute_owner: dict[str, str] = {}
+        self._resolve_attribute_owners()
+        n_nodes = sum(
+            len(self.database[rel]) * len(self._relation_attributes(rel))
+            for rel in self._relations_in_dag()
+        )
+        if n_nodes > max_nodes:
+            raise CausalModelError(
+                f"explicit grounding would create {n_nodes} nodes (> {max_nodes}); "
+                "use the block decomposition instead"
+            )
+        self._add_nodes()
+        self._add_edges()
+
+    # -- attribute resolution -------------------------------------------------------
+
+    def _resolve_attribute_owners(self) -> None:
+        for node in self.dag.nodes:
+            relation, attribute = self.database.resolve_attribute(node)
+            self._attribute_owner[node] = relation
+
+    def _relations_in_dag(self) -> set[str]:
+        return set(self._attribute_owner.values())
+
+    def _relation_attributes(self, relation: str) -> list[str]:
+        return [
+            node
+            for node, owner in self._attribute_owner.items()
+            if owner == relation
+        ]
+
+    def owner_of(self, dag_node: str) -> tuple[str, str]:
+        """Return ``(relation, attribute)`` for a DAG node name."""
+        relation = self._attribute_owner[dag_node]
+        _, attribute = self.database.resolve_attribute(dag_node)
+        return relation, attribute
+
+    # -- node / edge construction -----------------------------------------------------
+
+    def _add_nodes(self) -> None:
+        for dag_node in self.dag.nodes:
+            relation, attribute = self.owner_of(dag_node)
+            rel = self.database[relation]
+            for i in range(len(rel)):
+                self.graph.add_node(GroundVariable(relation, rel.key_of(i), attribute))
+
+    def _add_edges(self) -> None:
+        for edge in self.dag.edges:
+            if edge.cross_tuple:
+                self._add_cross_tuple_edges(edge)
+            else:
+                self._add_within_edges(edge)
+
+    def _add_within_edges(self, edge: CausalEdge) -> None:
+        src_rel, src_attr = self.owner_of(edge.source)
+        dst_rel, dst_attr = self.owner_of(edge.target)
+        if src_rel == dst_rel:
+            rel = self.database[src_rel]
+            for i in range(len(rel)):
+                key = rel.key_of(i)
+                self.graph.add_edge(
+                    GroundVariable(src_rel, key, src_attr),
+                    GroundVariable(dst_rel, key, dst_attr),
+                )
+            return
+        # Cross-relation edge: ground along the foreign-key link.
+        pairs = self._linked_tuple_pairs(src_rel, dst_rel)
+        for src_key, dst_key in pairs:
+            self.graph.add_edge(
+                GroundVariable(src_rel, src_key, src_attr),
+                GroundVariable(dst_rel, dst_key, dst_attr),
+            )
+
+    def _linked_tuple_pairs(
+        self, relation_a: str, relation_b: str
+    ) -> Iterable[tuple[tuple[Any, ...], tuple[Any, ...]]]:
+        links = self.database.schema.links_between(relation_a, relation_b)
+        if not links:
+            raise CausalModelError(
+                f"cross-relation causal edge between {relation_a!r} and {relation_b!r} "
+                "requires a foreign key linking them"
+            )
+        fk = links[0]
+        parent = self.database[fk.parent]
+        child = self.database[fk.child]
+        parent_index: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
+        for i in range(len(parent)):
+            link_value = tuple(parent.column_view(a)[i] for a in fk.parent_attributes)
+            parent_index.setdefault(link_value, []).append(parent.key_of(i))
+        for j in range(len(child)):
+            link_value = tuple(child.column_view(a)[j] for a in fk.child_attributes)
+            for parent_key in parent_index.get(link_value, []):
+                if relation_a == fk.parent:
+                    yield parent_key, child.key_of(j)
+                else:
+                    yield child.key_of(j), parent_key
+
+    def _add_cross_tuple_edges(self, edge: CausalEdge) -> None:
+        src_rel, src_attr = self.owner_of(edge.source)
+        dst_rel, dst_attr = self.owner_of(edge.target)
+        src = self.database[src_rel]
+        dst = self.database[dst_rel]
+        group_of_src = self._group_values(src_rel, edge.within)
+        group_of_dst = self._group_values(dst_rel, edge.within)
+        for i in range(len(src)):
+            for j in range(len(dst)):
+                if src_rel == dst_rel and src.key_of(i) == dst.key_of(j):
+                    continue  # cross-tuple edges never point back into the same tuple
+                if group_of_src[i] != group_of_dst[j]:
+                    continue
+                self.graph.add_edge(
+                    GroundVariable(src_rel, src.key_of(i), src_attr),
+                    GroundVariable(dst_rel, dst.key_of(j), dst_attr),
+                )
+
+    def _group_values(self, relation: str, within: str | None) -> list[Any]:
+        rel = self.database[relation]
+        if within is None:
+            return [0] * len(rel)  # a single global group
+        if within in rel.schema:
+            return list(rel.column_view(within))
+        # The grouping attribute may live in a linked relation (e.g. reviews grouped
+        # by their product's Category); resolve it through the foreign key.
+        owner, attribute = self.database.resolve_attribute(within)
+        links = self.database.schema.links_between(relation, owner)
+        if not links:
+            raise CausalModelError(
+                f"grouping attribute {within!r} is not in {relation!r} and no foreign key "
+                f"links {relation!r} to {owner!r}"
+            )
+        fk = links[0]
+        other = self.database[owner]
+        other_index: dict[tuple[Any, ...], Any] = {}
+        if fk.parent == owner:
+            for i in range(len(other)):
+                link_value = tuple(other.column_view(a)[i] for a in fk.parent_attributes)
+                other_index[link_value] = other.column_view(attribute)[i]
+            return [
+                other_index.get(
+                    tuple(rel.column_view(a)[j] for a in fk.child_attributes)
+                )
+                for j in range(len(rel))
+            ]
+        for i in range(len(other)):
+            link_value = tuple(other.column_view(a)[i] for a in fk.child_attributes)
+            other_index[link_value] = other.column_view(attribute)[i]
+        return [
+            other_index.get(
+                tuple(rel.column_view(a)[j] for a in fk.parent_attributes)
+            )
+            for j in range(len(rel))
+        ]
+
+    # -- queries -------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[GroundVariable]:
+        return list(self.graph.nodes)
+
+    @property
+    def edges(self) -> list[tuple[GroundVariable, GroundVariable]]:
+        return list(self.graph.edges)
+
+    def tuples_are_independent(
+        self,
+        relation_a: str,
+        key_a: tuple[Any, ...],
+        relation_b: str,
+        key_b: tuple[Any, ...],
+    ) -> bool:
+        """Whether no ground path (in either direction) connects the two tuples."""
+        undirected = self.graph.to_undirected(as_view=True)
+        nodes_a = [n for n in self.graph.nodes if n.relation == relation_a and n.key == key_a]
+        nodes_b = {n for n in self.graph.nodes if n.relation == relation_b and n.key == key_b}
+        for start in nodes_a:
+            reachable = nx.node_connected_component(undirected, start)
+            if reachable & nodes_b:
+                return False
+        return True
+
+    def tuple_components(self) -> list[set[tuple[str, tuple[Any, ...]]]]:
+        """Connected components projected down to (relation, key) tuple identities."""
+        undirected = self.graph.to_undirected(as_view=True)
+        merged: dict[tuple[str, tuple[Any, ...]], int] = {}
+        components: list[set[tuple[str, tuple[Any, ...]]]] = []
+        for component in nx.connected_components(undirected):
+            tuple_ids = {(n.relation, n.key) for n in component}
+            overlapping = {merged[t] for t in tuple_ids if t in merged}
+            if overlapping:
+                target = min(overlapping)
+                for idx in sorted(overlapping - {target}, reverse=True):
+                    tuple_ids |= components[idx]
+                    components[idx] = set()
+                components[target] |= tuple_ids
+                for t in components[target]:
+                    merged[t] = target
+            else:
+                components.append(set(tuple_ids))
+                for t in tuple_ids:
+                    merged[t] = len(components) - 1
+        return [c for c in components if c]

@@ -1,0 +1,155 @@
+"""Command-line interface for HypeR.
+
+Lets a user run what-if / how-to queries written in the SQL extension against
+either one of the bundled synthetic datasets or a directory of CSV files, and
+inspect the available datasets, without writing any Python::
+
+    python -m repro datasets
+    python -m repro describe --dataset german-syn
+    python -m repro query --dataset german-syn \
+        "USE Credit UPDATE(Status) = 4 OUTPUT COUNT(POST(Credit)) FOR POST(Credit) = 1"
+    python -m repro query --csv-dir data/ --base-relation Orders --key OrderID "..."
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .core.config import EngineConfig, Variant
+from .core.engine import HypeR
+from .core.results import HowToResult, WhatIfResult
+from .datasets import available_datasets, make_dataset
+from .exceptions import HypeRError
+from .relational.csvio import read_csv
+from .relational.database import Database
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HypeR: probabilistic causal what-if and how-to queries",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the bundled synthetic datasets")
+
+    describe = sub.add_parser("describe", help="describe a dataset (relations, causal graph)")
+    describe.add_argument("--dataset", required=True, choices=available_datasets())
+    describe.add_argument("--rows", type=int, default=1_000, help="rows to generate")
+    describe.add_argument("--seed", type=int, default=0)
+
+    query = sub.add_parser("query", help="run a what-if or how-to query")
+    query.add_argument("text", help="the query in the HypeR SQL extension")
+    source = query.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", choices=available_datasets(), help="bundled dataset")
+    source.add_argument("--csv", help="path to a single CSV file to query")
+    query.add_argument("--rows", type=int, default=1_000, help="rows to generate (datasets)")
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--key", nargs="+", help="key attribute(s) of the CSV relation")
+    query.add_argument("--relation-name", default=None, help="relation name for the CSV data")
+    query.add_argument(
+        "--variant",
+        default=Variant.HYPER,
+        choices=list(Variant.ALL),
+        help="engine variant (hyper, hyper-nb, hyper-sampled, indep)",
+    )
+    query.add_argument("--sample-size", type=int, default=None)
+    query.add_argument("--regressor", default="forest", choices=["forest", "linear", "ridge"])
+    query.add_argument("--exhaustive", action="store_true", help="use Opt-HowTo for how-to queries")
+    query.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    return parser
+
+
+def _load_session(args: argparse.Namespace) -> HypeR:
+    config = EngineConfig(
+        variant=args.variant,
+        regressor=args.regressor,
+        sample_size=args.sample_size,
+    )
+    if args.dataset:
+        dataset = make_dataset(args.dataset, **_generator_kwargs(args))
+        return HypeR(dataset.database, dataset.causal_dag, config)
+    if not args.key:
+        raise HypeRError("--key is required when querying a CSV file")
+    name = args.relation_name or "Data"
+    relation = read_csv(args.csv, name, key=tuple(args.key))
+    return HypeR(Database([relation]), None, config)
+
+
+def _generator_kwargs(args: argparse.Namespace) -> dict:
+    if args.dataset == "student-syn":
+        return {"n_students": args.rows, "seed": args.seed}
+    if args.dataset == "amazon-syn":
+        return {"n_products": args.rows, "seed": args.seed}
+    return {"n_rows": args.rows, "seed": args.seed}
+
+
+def _result_payload(result: WhatIfResult | HowToResult) -> dict:
+    if isinstance(result, WhatIfResult):
+        return {
+            "kind": "what-if",
+            "value": result.value,
+            "aggregate": result.aggregate,
+            "output_attribute": result.output_attribute,
+            "variant": result.variant,
+            "n_scope_tuples": result.n_scope_tuples,
+            "n_blocks": result.n_blocks,
+            "backdoor_set": list(result.backdoor_set),
+            "runtime_seconds": result.runtime_seconds,
+        }
+    return {
+        "kind": "how-to",
+        "objective_value": result.objective_value,
+        "baseline_value": result.baseline_value,
+        "plan": result.plan(),
+        "solver_status": result.solver_status,
+        "runtime_seconds": result.runtime_seconds,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "datasets":
+            for name in available_datasets():
+                print(name)
+            return 0
+        if args.command == "describe":
+            dataset = make_dataset(args.dataset, **_generator_kwargs(args))
+            print(dataset.summary())
+            print(dataset.description)
+            print()
+            print(dataset.database.describe())
+            print()
+            print("Causal edges:")
+            for edge in dataset.causal_dag.edges:
+                marker = " (cross-tuple)" if edge.cross_tuple else ""
+                print(f"  {edge.source} -> {edge.target}{marker}")
+            return 0
+        # query
+        session = _load_session(args)
+        parsed = session.parse(args.text)
+        from .core.queries import HowToQuery
+
+        if isinstance(parsed, HowToQuery) and args.exhaustive:
+            result = session.how_to(parsed, exhaustive=True)
+        else:
+            result = session.execute(args.text)
+        if args.json:
+            print(json.dumps(_result_payload(result), indent=2, default=str))
+        else:
+            print(result.summary())
+        return 0
+    except HypeRError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

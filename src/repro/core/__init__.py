@@ -1,0 +1,50 @@
+"""HypeR core: hypothetical updates, what-if and how-to query engines.
+
+This package is the paper's primary contribution: probabilistic what-if queries
+answered by backdoor-adjusted counterfactual regression over a block-decomposed
+relevant view, and how-to queries answered by a 0/1 integer program over the
+candidate update space.
+"""
+
+from .baselines import GroundTruthOracle, make_indep_engine, naive_possible_world_value
+from .config import EngineConfig, Variant
+from .engine import HypeR
+from .estimator import PostUpdateEstimator, build_view_dag
+from .howto import CandidateUpdate, HowToEngine
+from .queries import HowToQuery, LimitConstraint, WhatIfQuery
+from .results import BlockContribution, HowToResult, WhatIfResult
+from .updates import (
+    AddConstant,
+    AttributeUpdate,
+    HypotheticalUpdate,
+    MultiplyBy,
+    SetTo,
+    UpdateFunction,
+)
+from .whatif import WhatIfEngine
+
+__all__ = [
+    "AddConstant",
+    "AttributeUpdate",
+    "BlockContribution",
+    "CandidateUpdate",
+    "EngineConfig",
+    "GroundTruthOracle",
+    "HowToEngine",
+    "HowToQuery",
+    "HowToResult",
+    "HypeR",
+    "HypotheticalUpdate",
+    "LimitConstraint",
+    "MultiplyBy",
+    "PostUpdateEstimator",
+    "SetTo",
+    "UpdateFunction",
+    "Variant",
+    "WhatIfEngine",
+    "WhatIfQuery",
+    "WhatIfResult",
+    "build_view_dag",
+    "make_indep_engine",
+    "naive_possible_world_value",
+]

@@ -1,0 +1,134 @@
+"""Baselines and oracles used in the experimental comparison.
+
+* ``Indep`` — the provenance-style baseline that ignores causal propagation;
+  implemented inside :class:`~repro.core.whatif.WhatIfEngine` (variant
+  ``indep``) and exposed here through a convenience constructor.
+* :class:`GroundTruthOracle` — evaluates a what-if query by re-running the
+  *true* structural equations of the synthetic data generator under the
+  intervention (this is the "Ground Truth" series of Figure 10 and the
+  Opt-HowTo reference of Section 5.4).
+* :func:`naive_possible_world_value` — literal Definition 5: enumerate possible
+  worlds of a tiny view and average; used as a correctness oracle in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..causal.scm import StructuralCausalModel
+from ..exceptions import QuerySemanticsError
+from ..probdb.distribution import DiscreteWorldDistribution
+from ..probdb.possible_worlds import PossibleWorld
+from ..relational.aggregates import get_aggregate
+from ..relational.database import Database
+from ..relational.expressions import EvaluationContext
+from ..relational.predicates import evaluate_mask
+from ..relational.relation import Relation
+from .config import EngineConfig, Variant
+from .queries import WhatIfQuery
+from .whatif import WhatIfEngine
+
+__all__ = [
+    "make_indep_engine",
+    "GroundTruthOracle",
+    "naive_possible_world_value",
+]
+
+
+def make_indep_engine(database: Database, config: EngineConfig | None = None) -> WhatIfEngine:
+    """Engine configured as the Indep baseline (no causal graph, no propagation)."""
+    config = (config or EngineConfig()).with_variant(Variant.INDEP)
+    return WhatIfEngine(database=database, causal_dag=None, config=config)
+
+
+@dataclass
+class GroundTruthOracle:
+    """Ground-truth what-if answers from the data-generating structural model.
+
+    ``scm`` must be the structural causal model over the *view columns* that
+    generated the data (the synthetic dataset objects in :mod:`repro.datasets`
+    expose exactly this).  The oracle applies the update to the scope tuples,
+    re-simulates every descendant attribute with fresh exogenous noise,
+    re-evaluates the ``For`` predicate and the output aggregate, and averages
+    over ``n_repeats`` simulations.
+    """
+
+    scm: StructuralCausalModel
+    n_repeats: int = 20
+    random_state: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_repeats <= 0:
+            raise QuerySemanticsError("n_repeats must be positive")
+        self._rng = np.random.default_rng(self.random_state)
+
+    def evaluate(self, query: WhatIfQuery, database: Database) -> float:
+        view = query.use.build(database)
+        scope_mask = evaluate_mask(query.when, view)
+        update = query.hypothetical_update
+        interventions: dict[str, np.ndarray] = {}
+        for attribute in query.update_attributes:
+            post = update.updated_values(
+                attribute, list(view.column_view(attribute)), scope_mask
+            )
+            interventions[attribute] = np.asarray(post, dtype=object)
+        columns = {
+            name: list(view.column_view(name))
+            for name in view.attribute_names
+            if name in self.scm.dag.nodes
+        }
+        aggregate = get_aggregate(query.output_aggregate)
+        totals = []
+        for _ in range(self.n_repeats):
+            post_columns = self.scm.intervene(columns, interventions, self._rng)
+            post_view = view
+            for name, values in post_columns.items():
+                if name in view.schema:
+                    post_view = post_view.with_column(name, list(values))
+            qualify = evaluate_mask(query.for_clause, view, post_view)
+            output = [
+                0.0 if v is None else float(v)
+                for v in post_view.column_view(query.output_attribute)
+            ]
+            qualifying = [output[i] for i in np.flatnonzero(qualify)]
+            totals.append(aggregate.evaluate(qualifying))
+        return float(np.mean(totals))
+
+
+def naive_possible_world_value(
+    query: WhatIfQuery,
+    database: Database,
+    worlds: Sequence[PossibleWorld] | None = None,
+    world_probability: Callable[[Relation], float] | None = None,
+    *,
+    world_relations: Mapping[str, Relation] | None = None,
+) -> float:
+    """Literal Definition 5: expectation of the per-world answer over given worlds.
+
+    ``worlds`` enumerates possible post-update versions of the *base relation*
+    of the query's ``Use`` clause (with probabilities).  This is exponential and
+    exists purely as a semantic reference point for tests on tiny databases.
+    """
+    if worlds is None:
+        raise QuerySemanticsError("naive evaluation needs an explicit set of possible worlds")
+    distribution = DiscreteWorldDistribution(list(worlds))
+    aggregate = get_aggregate(query.output_aggregate)
+    pre_view = query.use.build(database)
+
+    def per_world(world_relation: Relation) -> float:
+        world_db = database.with_relation(world_relation)
+        post_view = query.use.build(world_db)
+        values = []
+        for pre_row, post_row in zip(pre_view.rows(), post_view.rows()):
+            context = EvaluationContext(pre_row, post_row)
+            if bool(query.for_clause.evaluate(context)):
+                value = post_row[query.output_attribute]
+                values.append(0.0 if value is None else float(value))
+        return aggregate.evaluate(values)
+
+    _ = world_probability, world_relations  # reserved for multi-relation extensions
+    return distribution.expectation(per_world)

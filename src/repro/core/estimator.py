@@ -1,0 +1,253 @@
+"""Post-update conditional estimation via backdoor adjustment.
+
+This module implements the statistical core of Section 3.3 / Appendix A: the
+reduction of post-update conditional expectations to observational regressions.
+
+Given the relevant view, the causal DAG projected onto its columns, and a
+hypothetical update, the :class:`PostUpdateEstimator`:
+
+1. chooses the adjustment set ``C`` — a minimal backdoor set when a causal
+   graph is available (the HypeR variant), or all remaining view attributes
+   when it is not (the HypeR-NB variant, Section 2.2 "Background knowledge");
+2. fits a regression of the per-tuple target (an indicator for ``Count``, the
+   output value times an indicator for ``Sum``/``Avg``) on the update
+   attributes plus ``C`` — the paper uses a random forest regressor and so do
+   we;
+3. evaluates that regression at the *counterfactual* input where every update
+   attribute is replaced by its post-update value ``f(Pre(B))`` (Equation 1).
+
+The training rows can be a uniform sample of the view (the HypeR-sampled
+variant of Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..causal.backdoor import minimal_backdoor_set
+from ..causal.dag import CausalDAG
+from ..exceptions import IdentificationError, QuerySemanticsError
+from ..ml.density import ConditionalMeanRegressor
+from ..relational.database import Database
+from ..relational.relation import Relation
+from ..relational.view import UseSpec
+from .config import EngineConfig
+
+__all__ = ["build_view_dag", "PostUpdateEstimator"]
+
+
+def build_view_dag(
+    dag: CausalDAG | None, use: UseSpec, database: Database
+) -> CausalDAG | None:
+    """Project the database-level causal DAG onto the columns of the relevant view.
+
+    Attributes of the base relation keep their (unqualified) names; attributes
+    of other relations that the ``Use`` clause aggregates are renamed to their
+    view column (this is the practical counterpart of the augmented-graph
+    construction in Section A.3.2 — the aggregated column inherits the causal
+    role of the attribute it summarises).  Nodes that do not appear in the view
+    are dropped, as are cross-tuple markers: the view has one row per base
+    tuple, so view-level adjustment reasons within a tuple.
+    """
+    if dag is None:
+        return None
+    view_columns = set(use.view_attribute_names(database))
+    aggregated_by_source: dict[tuple[str, str], str] = {}
+    for agg in use.aggregated:
+        owner, attribute = database.resolve_attribute(
+            agg.attribute if "." in agg.attribute else f"{agg.relation}.{agg.attribute}"
+        )
+        aggregated_by_source[(owner, attribute)] = agg.name
+
+    def map_node(node: str) -> str | None:
+        owner, attribute = database.resolve_attribute(node)
+        if (owner, attribute) in aggregated_by_source:
+            return aggregated_by_source[(owner, attribute)]
+        if owner == use.base_relation and attribute in view_columns:
+            return attribute
+        if attribute in view_columns and owner != use.base_relation:
+            # Unaggregated foreign attribute selected verbatim (rare); keep its name.
+            return attribute
+        return None
+
+    mapping = {node: map_node(node) for node in dag.nodes}
+    view_dag = CausalDAG(sorted({name for name in mapping.values() if name is not None}))
+    for edge in dag.edges:
+        source = mapping.get(edge.source)
+        target = mapping.get(edge.target)
+        if source is None or target is None or source == target:
+            continue
+        if not view_dag.has_edge(source, target):
+            view_dag.add_edge((source, target))
+    return view_dag
+
+
+@dataclass
+class PostUpdateEstimator:
+    """Backdoor-adjusted counterfactual regression over the relevant view.
+
+    Parameters
+    ----------
+    view:
+        The pre-update relevant view (one row per base tuple).
+    view_dag:
+        Causal DAG over view columns, or ``None`` when no background knowledge
+        is available.
+    update_attributes:
+        The attributes being hypothetically updated (treatments ``B``).
+    outcome_attributes:
+        The attributes whose post-update values the query needs (the output
+        attribute plus any attribute referenced with ``Post(...)`` in the
+        ``For`` clause).
+    config:
+        Engine configuration (variant, regressor, sampling).
+    """
+
+    view: Relation
+    view_dag: CausalDAG | None
+    update_attributes: Sequence[str]
+    outcome_attributes: Sequence[str]
+    config: EngineConfig = field(default_factory=EngineConfig)
+    rng: np.random.Generator | None = None
+    _backdoor: tuple[str, ...] = ()
+    _train_indices: np.ndarray | None = field(default=None, repr=False)
+    _regressor_cache: dict[str, ConditionalMeanRegressor] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rng is None:
+            self.rng = np.random.default_rng(self.config.random_state)
+        missing = [a for a in self.update_attributes if a not in self.view.schema]
+        if missing:
+            raise QuerySemanticsError(
+                f"update attributes {missing} are not columns of the relevant view"
+            )
+        missing = [a for a in self.outcome_attributes if a not in self.view.schema]
+        if missing:
+            raise QuerySemanticsError(
+                f"outcome attributes {missing} are not columns of the relevant view"
+            )
+        self._backdoor = tuple(self._choose_backdoor_set())
+        self._train_indices = self._choose_training_rows()
+
+    # -- adjustment-set selection -----------------------------------------------------
+
+    def _choose_backdoor_set(self) -> list[str]:
+        key_attrs = set(self.view.schema.key)
+        updates = set(self.update_attributes)
+        outcomes = set(self.outcome_attributes)
+        if self.config.adjusts_for_all_attributes or self.view_dag is None:
+            # HypeR-NB / no causal graph: adjust for every other attribute.
+            return sorted(
+                a
+                for a in self.view.attribute_names
+                if a not in updates | outcomes | key_attrs
+            )
+        adjustment: set[str] = set()
+        for treatment in self.update_attributes:
+            for outcome in self.outcome_attributes:
+                if treatment not in self.view_dag or outcome not in self.view_dag:
+                    continue
+                if outcome in (self.view_dag.ancestors(treatment) | {treatment}):
+                    continue  # the outcome is upstream: no backdoor needed
+                try:
+                    adjustment |= minimal_backdoor_set(self.view_dag, treatment, outcome)
+                except IdentificationError:
+                    # Fall back to every eligible attribute for this pair.
+                    adjustment |= {
+                        a
+                        for a in self.view.attribute_names
+                        if a not in updates | outcomes | key_attrs
+                    }
+        adjustment -= key_attrs | updates | outcomes
+        return sorted(a for a in adjustment if a in self.view.schema)
+
+    @property
+    def backdoor_set(self) -> tuple[str, ...]:
+        return self._backdoor
+
+    @property
+    def feature_attributes(self) -> tuple[str, ...]:
+        return tuple(self.update_attributes) + self._backdoor
+
+    # -- training-sample selection ------------------------------------------------------
+
+    def _choose_training_rows(self) -> np.ndarray:
+        n = len(self.view)
+        sample_size = self.config.sample_size
+        if self.config.is_sampled and sample_size is None:
+            sample_size = min(n, 100_000)
+        if sample_size is None or sample_size >= n:
+            return np.arange(n)
+        assert self.rng is not None
+        return np.sort(self.rng.choice(n, size=sample_size, replace=False))
+
+    @property
+    def n_training_rows(self) -> int:
+        assert self._train_indices is not None
+        return int(len(self._train_indices))
+
+    # -- counterfactual prediction --------------------------------------------------------
+
+    def counterfactual_mean(
+        self,
+        target: Sequence[float],
+        predict_mask: Sequence[bool],
+        post_values: Mapping[str, Sequence[Any]],
+        *,
+        cache_key: str | None = None,
+    ) -> np.ndarray:
+        """Predict ``E[target | B = post values, C = observed]`` for masked rows.
+
+        ``target`` is the per-row training target computed on the observed
+        (pre-update) view; ``post_values`` maps each update attribute to its
+        full post-update column.  The returned array has one entry per view row
+        and is only meaningful where ``predict_mask`` is true.
+        """
+        target = np.asarray(list(target), dtype=float)
+        predict_mask = np.asarray(list(predict_mask), dtype=bool)
+        if len(target) != len(self.view) or len(predict_mask) != len(self.view):
+            raise QuerySemanticsError("target and mask must align with the view rows")
+        missing = [a for a in self.update_attributes if a not in post_values]
+        if missing:
+            raise QuerySemanticsError(f"post_values is missing update attributes {missing}")
+
+        regressor = self._fit_regressor(target, cache_key)
+        out = np.zeros(len(self.view))
+        if not predict_mask.any():
+            return out
+        columns: dict[str, list[Any]] = {}
+        idx = np.flatnonzero(predict_mask)
+        for attribute in self.update_attributes:
+            post_column = list(post_values[attribute])
+            columns[attribute] = [post_column[i] for i in idx]
+        for attribute in self._backdoor:
+            pre_column = self.view.column_view(attribute)
+            columns[attribute] = [pre_column[i] for i in idx]
+        predictions = regressor.predict_columns(columns)
+        out[idx] = predictions
+        return out
+
+    def _fit_regressor(
+        self, target: np.ndarray, cache_key: str | None
+    ) -> ConditionalMeanRegressor:
+        if cache_key is not None and cache_key in self._regressor_cache:
+            return self._regressor_cache[cache_key]
+        assert self._train_indices is not None
+        train_idx = self._train_indices
+        columns = {
+            attribute: [self.view.column_view(attribute)[i] for i in train_idx]
+            for attribute in self.feature_attributes
+        }
+        regressor = ConditionalMeanRegressor(
+            feature_attributes=self.feature_attributes,
+            regressor_kind=self.config.regressor,
+            random_state=self.config.random_state,
+            regressor_params=self.config.regressor_params(),
+        )
+        regressor.fit(columns, target[train_idx])
+        if cache_key is not None:
+            self._regressor_cache[cache_key] = regressor
+        return regressor

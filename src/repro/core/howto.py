@@ -1,0 +1,522 @@
+"""How-to query evaluation (Section 4).
+
+A how-to query optimises over the space of *candidate what-if queries*
+(Definition 7): each candidate picks, for every attribute listed in
+``HowToUpdate``, either "no change" or one admissible update value, subject to
+the ``Limit`` constraints.  HypeR solves this search as a 0/1 integer program
+(Section 4.3):
+
+* one indicator variable per (attribute, candidate update value);
+* an at-most-one constraint per attribute, plus an optional global budget;
+* a linearised objective whose coefficient for an indicator is the estimated
+  effect of applying that single update, obtained from the same
+  backdoor-adjusted regression the what-if engine uses — the regression is
+  trained **once** and re-evaluated per candidate, which is what makes the IP
+  formulation orders of magnitude faster than enumerating candidates
+  (Figure 11b / 12b).
+
+The exhaustive Opt-HowTo baseline (evaluate every candidate combination) is
+implemented here as well so the benchmarks can compare against it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..causal.dag import CausalDAG
+from ..exceptions import OptimizationError, QuerySemanticsError
+from ..ml.discretize import Discretizer
+from ..relational.types import IntegerDomain
+from ..optim.model import IntegerProgram, LinearExpression
+from ..optim.solution import SolveStatus
+from ..optim.solver import BranchAndBoundSolver
+from ..relational.aggregates import get_aggregate
+from ..relational.database import Database
+from ..relational.expressions import Expr
+from ..relational.predicates import evaluate_mask, split_pre_post, to_dnf
+from ..relational.relation import Relation
+from .config import EngineConfig
+from .estimator import PostUpdateEstimator, build_view_dag
+from .queries import HowToQuery
+from .results import HowToResult
+from .updates import AttributeUpdate, MultiplyBy, SetTo, UpdateFunction
+from .whatif import _MAX_DISJUNCTS
+
+__all__ = ["CandidateUpdate", "HowToEngine"]
+
+
+@dataclass(frozen=True)
+class CandidateUpdate:
+    """One admissible update of one attribute, as entered into the IP."""
+
+    attribute: str
+    function: UpdateFunction
+    label: str
+
+    def as_attribute_update(self) -> AttributeUpdate:
+        return AttributeUpdate(self.attribute, self.function)
+
+
+@dataclass
+class _SharedEvaluation:
+    """State reused across all candidate evaluations of one how-to query."""
+
+    view: Relation
+    view_dag: CausalDAG | None
+    scope_mask: np.ndarray
+    estimator: PostUpdateEstimator
+    pre_masks: list[np.ndarray]
+    post_masks: list[np.ndarray]
+    output_values: np.ndarray
+    aggregate_name: str
+
+
+@dataclass
+class HowToEngine:
+    """Evaluates :class:`HowToQuery` objects."""
+
+    database: Database
+    causal_dag: CausalDAG | None = None
+    config: EngineConfig = field(default_factory=EngineConfig)
+
+    # -- public API ---------------------------------------------------------------------
+
+    def evaluate(self, query: HowToQuery) -> HowToResult:
+        """Solve ``query`` with the IP formulation and return the recommended plan."""
+        started = time.perf_counter()
+        shared = self._prepare(query)
+        candidates = self.enumerate_candidates(query, shared.view, shared.scope_mask)
+        baseline = self._candidate_value(query, shared, {})
+        coefficients = self._candidate_coefficients(query, shared, candidates, baseline)
+        program, variable_of = self._build_program(query, candidates, coefficients, baseline)
+        solution = BranchAndBoundSolver().solve(program)
+        if not solution.is_feasible:
+            raise OptimizationError("the how-to integer program is infeasible")
+
+        chosen = [
+            candidate
+            for candidate, variable in variable_of.items()
+            if solution.assignment.get(variable, 0.0) > 0.5
+        ]
+        recommended = [c.as_attribute_update() for c in chosen]
+        verified = None
+        if self.config.verify_howto_with_whatif and recommended:
+            post_values = self._post_values_for(query, shared, recommended)
+            verified = self._candidate_value(query, shared, post_values)
+        per_attribute = {attribute: "no change" for attribute in query.update_attributes}
+        for candidate in chosen:
+            per_attribute[candidate.attribute] = candidate.label
+        result = HowToResult(
+            recommended_updates=recommended,
+            objective_value=float(solution.objective),
+            baseline_value=baseline,
+            maximize=query.maximize,
+            verified_value=verified,
+            per_attribute_choices=per_attribute,
+            n_candidates=len(candidates),
+            n_ip_variables=program.n_variables,
+            n_ip_constraints=program.n_constraints,
+            solver_status=solution.status.value,
+            runtime_seconds=time.perf_counter() - started,
+            metadata={
+                "backdoor_set": list(shared.estimator.backdoor_set),
+                "n_nodes_explored": solution.n_nodes_explored,
+            },
+        )
+        return result
+
+    def evaluate_exhaustive(self, query: HowToQuery, *, max_combinations: int = 200_000) -> HowToResult:
+        """Opt-HowTo baseline: enumerate every candidate combination (Definition 8)."""
+        started = time.perf_counter()
+        shared = self._prepare(query)
+        candidates = self.enumerate_candidates(query, shared.view, shared.scope_mask)
+        baseline = self._candidate_value(query, shared, {})
+        per_attribute: dict[str, list[CandidateUpdate | None]] = {
+            attribute: [None] for attribute in query.update_attributes
+        }
+        for candidate in candidates:
+            per_attribute[candidate.attribute].append(candidate)
+        total = int(np.prod([len(v) for v in per_attribute.values()]))
+        if total > max_combinations:
+            raise OptimizationError(
+                f"exhaustive how-to search needs {total} combinations (> {max_combinations})"
+            )
+        best_value = -np.inf if query.maximize else np.inf
+        best_choice: tuple[CandidateUpdate | None, ...] = tuple([None] * len(per_attribute))
+        n_evaluated = 0
+        for combo in itertools.product(*per_attribute.values()):
+            chosen = [c for c in combo if c is not None]
+            if query.max_updates is not None and len(chosen) > query.max_updates:
+                continue
+            updates = [c.as_attribute_update() for c in chosen]
+            post_values = self._post_values_for(query, shared, updates)
+            value = self._candidate_value(query, shared, post_values)
+            n_evaluated += 1
+            better = value > best_value if query.maximize else value < best_value
+            if better:
+                best_value = value
+                best_choice = combo
+        chosen = [c for c in best_choice if c is not None]
+        recommended = [c.as_attribute_update() for c in chosen]
+        per_attr_labels = {attribute: "no change" for attribute in query.update_attributes}
+        for candidate in chosen:
+            per_attr_labels[candidate.attribute] = candidate.label
+        return HowToResult(
+            recommended_updates=recommended,
+            objective_value=float(best_value),
+            baseline_value=baseline,
+            maximize=query.maximize,
+            verified_value=float(best_value),
+            per_attribute_choices=per_attr_labels,
+            n_candidates=len(candidates),
+            n_ip_variables=0,
+            n_ip_constraints=0,
+            solver_status=SolveStatus.OPTIMAL.value,
+            runtime_seconds=time.perf_counter() - started,
+            metadata={"n_combinations_evaluated": n_evaluated, "method": "opt-howto"},
+        )
+
+    def evaluate_preferential(self, queries: Sequence[HowToQuery]) -> list[HowToResult]:
+        """Lexicographic multi-objective optimisation (Section 4.3 extension).
+
+        ``queries`` share the same ``Use`` / ``When`` / ``HowToUpdate`` / ``Limit``
+        structure and differ only in their objective; earlier entries are more
+        important.  Each stage fixes the previously attained objective values as
+        equality constraints before optimising the next one.
+        """
+        if not queries:
+            raise QuerySemanticsError("evaluate_preferential needs at least one query")
+        primary = queries[0]
+        shared = self._prepare(primary)
+        candidates = self.enumerate_candidates(primary, shared.view, shared.scope_mask)
+        results: list[HowToResult] = []
+        locked: list[tuple[dict[CandidateUpdate, float], float, float]] = []
+        for stage, query in enumerate(queries):
+            started = time.perf_counter()
+            stage_shared = shared if stage == 0 else self._prepare(query)
+            baseline = self._candidate_value(query, stage_shared, {})
+            coefficients = self._candidate_coefficients(query, stage_shared, candidates, baseline)
+            program, variable_of = self._build_program(query, candidates, coefficients, baseline)
+            for prior_coefficients, prior_baseline, prior_value in locked:
+                expression = LinearExpression(
+                    {
+                        variable_of[c]: coeff
+                        for c, coeff in prior_coefficients.items()
+                        if c in variable_of
+                    },
+                    prior_baseline,
+                )
+                program.add_constraint(expression, "==", prior_value, name=f"lock-{len(locked)}")
+            solution = BranchAndBoundSolver().solve(program)
+            if not solution.is_feasible:
+                raise OptimizationError(
+                    f"preferential stage {stage} is infeasible given earlier objectives"
+                )
+            chosen = [
+                candidate
+                for candidate, variable in variable_of.items()
+                if solution.assignment.get(variable, 0.0) > 0.5
+            ]
+            per_attribute = {a: "no change" for a in query.update_attributes}
+            for candidate in chosen:
+                per_attribute[candidate.attribute] = candidate.label
+            results.append(
+                HowToResult(
+                    recommended_updates=[c.as_attribute_update() for c in chosen],
+                    objective_value=float(solution.objective),
+                    baseline_value=baseline,
+                    maximize=query.maximize,
+                    per_attribute_choices=per_attribute,
+                    n_candidates=len(candidates),
+                    n_ip_variables=program.n_variables,
+                    n_ip_constraints=program.n_constraints,
+                    solver_status=solution.status.value,
+                    runtime_seconds=time.perf_counter() - started,
+                    metadata={"stage": stage},
+                )
+            )
+            locked.append((coefficients, baseline, float(solution.objective)))
+        return results
+
+    # -- preparation -----------------------------------------------------------------------
+
+    def _prepare(self, query: HowToQuery) -> _SharedEvaluation:
+        view = query.use.build(self.database)
+        referenced = set(query.update_attributes) | {query.objective_attribute}
+        referenced |= query.when.attribute_names() | query.for_clause.attribute_names()
+        missing = sorted(a for a in referenced if a not in view.schema)
+        if missing:
+            raise QuerySemanticsError(
+                f"attributes {missing} are not columns of the relevant view"
+            )
+        view_dag = build_view_dag(self.causal_dag, query.use, self.database)
+        # Updated attributes must be causally unrelated when they can be chosen
+        # together (Section 4.1); a budget of one update means no two attributes
+        # are ever updated simultaneously, so the restriction does not apply.
+        if view_dag is not None and query.max_updates != 1:
+            for a, b in itertools.combinations(query.update_attributes, 2):
+                if a in view_dag and b in view_dag and (
+                    b in view_dag.descendants(a) or a in view_dag.descendants(b)
+                ):
+                    raise QuerySemanticsError(
+                        f"HowToUpdate attributes {a!r} and {b!r} are causally connected"
+                    )
+        scope_mask = evaluate_mask(query.when, view)
+        disjuncts = [split_pre_post(atoms) for atoms in to_dnf(query.for_clause)]
+        if len(disjuncts) > _MAX_DISJUNCTS:
+            raise QuerySemanticsError("the For clause expands into too many disjuncts")
+        for disjunct in disjuncts:
+            if not disjunct.is_separable:
+                raise QuerySemanticsError(
+                    "For conditions mixing Pre and Post in one comparison are not supported"
+                )
+        post_attrs = sorted(
+            {query.objective_attribute} | {a for d in disjuncts for a in d.post_attributes}
+        )
+        estimator = PostUpdateEstimator(
+            view=view,
+            view_dag=view_dag,
+            update_attributes=query.update_attributes,
+            outcome_attributes=post_attrs,
+            config=self.config,
+            rng=np.random.default_rng(self.config.random_state),
+        )
+        pre_masks = [evaluate_mask(d.pre, view) for d in disjuncts]
+        post_masks = [evaluate_mask(d.post, view) for d in disjuncts]
+        output_values = np.array(
+            [0.0 if v is None else float(v) for v in view.column_view(query.objective_attribute)]
+        )
+        return _SharedEvaluation(
+            view=view,
+            view_dag=view_dag,
+            scope_mask=scope_mask,
+            estimator=estimator,
+            pre_masks=pre_masks,
+            post_masks=post_masks,
+            output_values=output_values,
+            aggregate_name=get_aggregate(query.objective_aggregate).name,
+        )
+
+    # -- candidate enumeration ---------------------------------------------------------------
+
+    def enumerate_candidates(
+        self, query: HowToQuery, view: Relation, scope_mask: np.ndarray
+    ) -> list[CandidateUpdate]:
+        """Admissible candidate updates per attribute (the sets ``S_{B_i}`` of Sec. 4.3)."""
+        candidates: list[CandidateUpdate] = []
+        scope_rows = np.flatnonzero(np.asarray(scope_mask, dtype=bool))
+        for attribute in query.update_attributes:
+            pre_values = [view.column_view(attribute)[i] for i in scope_rows]
+            domain = view.schema.domain(attribute)
+            values: list[Any] = []
+            limits = query.limits_for(attribute)
+            allowed = None
+            lower = upper = None
+            for limit in limits:
+                if limit.allowed_values is not None:
+                    allowed = list(limit.allowed_values)
+                if limit.lower is not None:
+                    lower = limit.lower if lower is None else max(lower, limit.lower)
+                if limit.upper is not None:
+                    upper = limit.upper if upper is None else min(upper, limit.upper)
+            if allowed is not None:
+                values = list(allowed)
+            elif domain.is_numeric:
+                observed = [float(v) for v in view.column_view(attribute) if v is not None]
+                low = lower if lower is not None else (min(observed) if observed else 0.0)
+                high = upper if upper is not None else (max(observed) if observed else 1.0)
+                if high <= low:
+                    high = low + 1.0
+                discretizer = Discretizer(n_buckets=max(1, query.candidate_buckets)).fit(
+                    [low, high]
+                )
+                values = list(discretizer.bucket_centers())
+                if isinstance(domain, IntegerDomain):
+                    values = sorted({int(round(v)) for v in values})
+            else:
+                values = list(domain.values()) if domain.is_finite else sorted(
+                    {v for v in view.column_view(attribute) if v is not None}
+                )
+
+            for value in values:
+                if not domain.contains(value):
+                    continue  # e.g. a Limit "In" list mentioning a value outside the domain
+                function: UpdateFunction = SetTo(value)
+                if self._admissible(query, attribute, pre_values, function):
+                    candidates.append(
+                        CandidateUpdate(attribute, function, f"= {self._fmt(value)}")
+                    )
+            if domain.is_numeric:
+                for factor in query.candidate_multipliers:
+                    function = MultiplyBy(factor)
+                    if self._admissible(query, attribute, pre_values, function):
+                        candidates.append(
+                            CandidateUpdate(attribute, function, f"{factor}x Pre({attribute})")
+                        )
+        if not candidates:
+            raise OptimizationError(
+                "no admissible candidate updates; relax the Limit constraints"
+            )
+        return candidates
+
+    def _admissible(
+        self,
+        query: HowToQuery,
+        attribute: str,
+        pre_values: Sequence[Any],
+        function: UpdateFunction,
+    ) -> bool:
+        if not pre_values:
+            return True
+        for pre in pre_values:
+            if pre is None:
+                continue
+            if not query.admits(attribute, pre, function.apply(pre)):
+                return False
+        return True
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    # -- candidate evaluation -------------------------------------------------------------------
+
+    def _post_values_for(
+        self,
+        query: HowToQuery,
+        shared: _SharedEvaluation,
+        updates: Sequence[AttributeUpdate],
+    ) -> dict[str, list[Any]]:
+        post_values: dict[str, list[Any]] = {}
+        by_attribute = {u.attribute: u.function for u in updates}
+        for attribute in query.update_attributes:
+            pre = list(shared.view.column_view(attribute))
+            if attribute in by_attribute:
+                function = by_attribute[attribute]
+                post = [
+                    function.apply(v) if (flag and v is not None) else v
+                    for v, flag in zip(pre, shared.scope_mask)
+                ]
+            else:
+                post = pre
+            post_values[attribute] = post
+        return post_values
+
+    def _candidate_value(
+        self,
+        query: HowToQuery,
+        shared: _SharedEvaluation,
+        post_values: dict[str, list[Any]],
+    ) -> float:
+        """Estimated objective value for a concrete (possibly empty) update choice."""
+        view = shared.view
+        n = len(view)
+        scope = np.asarray(shared.scope_mask, dtype=bool)
+        if not post_values:
+            post_values = self._post_values_for(query, shared, [])
+        count_contrib = np.zeros(n)
+        sum_contrib = np.zeros(n)
+
+        qualifies_pre = np.zeros(n, dtype=bool)
+        for pre_mask, post_mask in zip(shared.pre_masks, shared.post_masks):
+            qualifies_pre |= pre_mask & post_mask
+        unaffected = ~scope
+        count_contrib[unaffected] = qualifies_pre[unaffected].astype(float)
+        sum_contrib[unaffected] = np.where(
+            qualifies_pre[unaffected], shared.output_values[unaffected], 0.0
+        )
+        if scope.any():
+            n_disjuncts = len(shared.pre_masks)
+            subsets = []
+            for size in range(1, n_disjuncts + 1):
+                subsets.extend(itertools.combinations(range(n_disjuncts), size))
+            for subset in subsets:
+                sign = 1.0 if len(subset) % 2 == 1 else -1.0
+                joint_post = np.ones(n, dtype=bool)
+                applicable = scope.copy()
+                for k in subset:
+                    joint_post &= shared.post_masks[k]
+                    applicable &= shared.pre_masks[k]
+                if not applicable.any():
+                    continue
+                prob = shared.estimator.counterfactual_mean(
+                    joint_post.astype(float),
+                    applicable,
+                    post_values,
+                    cache_key=f"count:{subset}",
+                )
+                prob = np.clip(prob, 0.0, 1.0)
+                count_contrib[applicable] += sign * prob[applicable]
+                if shared.aggregate_name in ("sum", "avg"):
+                    expected = shared.estimator.counterfactual_mean(
+                        shared.output_values * joint_post.astype(float),
+                        applicable,
+                        post_values,
+                        cache_key=f"sum:{subset}",
+                    )
+                    sum_contrib[applicable] += sign * expected[applicable]
+        expected_count = float(count_contrib.sum())
+        if shared.aggregate_name == "count":
+            return expected_count
+        if shared.aggregate_name == "sum":
+            return float(sum_contrib.sum())
+        if expected_count <= 0:
+            return 0.0
+        return float(sum_contrib.sum()) / expected_count
+
+    def _candidate_coefficients(
+        self,
+        query: HowToQuery,
+        shared: _SharedEvaluation,
+        candidates: Sequence[CandidateUpdate],
+        baseline: float,
+    ) -> dict[CandidateUpdate, float]:
+        coefficients: dict[CandidateUpdate, float] = {}
+        for candidate in candidates:
+            post_values = self._post_values_for(
+                query, shared, [candidate.as_attribute_update()]
+            )
+            value = self._candidate_value(query, shared, post_values)
+            coefficients[candidate] = value - baseline
+        return coefficients
+
+    # -- IP construction ----------------------------------------------------------------------
+
+    def _build_program(
+        self,
+        query: HowToQuery,
+        candidates: Sequence[CandidateUpdate],
+        coefficients: dict[CandidateUpdate, float],
+        baseline: float,
+    ) -> tuple[IntegerProgram, dict[CandidateUpdate, str]]:
+        program = IntegerProgram(name=f"howto:{query.name}")
+        variable_of: dict[CandidateUpdate, str] = {}
+        for index, candidate in enumerate(candidates):
+            name = f"u{index}_{candidate.attribute}"
+            program.add_binary(name)
+            variable_of[candidate] = name
+        for attribute in query.update_attributes:
+            terms = {
+                variable_of[c]: 1.0 for c in candidates if c.attribute == attribute
+            }
+            if terms:
+                program.add_constraint(terms, "<=", 1.0, name=f"at-most-one:{attribute}")
+        if query.max_updates is not None:
+            program.add_constraint(
+                {variable_of[c]: 1.0 for c in candidates},
+                "<=",
+                float(query.max_updates),
+                name="budget",
+            )
+        objective = LinearExpression(
+            {variable_of[c]: coefficients[c] for c in candidates}, baseline
+        )
+        program.set_objective(objective, maximize=query.maximize)
+        return program, variable_of

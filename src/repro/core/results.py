@@ -1,0 +1,95 @@
+"""Result objects returned by the what-if and how-to engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from .updates import AttributeUpdate
+
+__all__ = ["BlockContribution", "WhatIfResult", "HowToResult"]
+
+
+@dataclass(frozen=True)
+class BlockContribution:
+    """Per-block partial answer (the ``f'`` value of Proposition 1)."""
+
+    block_index: int
+    partial_value: float
+    n_tuples: int
+    n_scope_tuples: int
+
+
+@dataclass
+class WhatIfResult:
+    """Answer to a what-if query plus evaluation metadata."""
+
+    value: float
+    aggregate: str
+    output_attribute: str
+    n_view_tuples: int = 0
+    n_scope_tuples: int = 0
+    n_blocks: int = 1
+    block_contributions: list[BlockContribution] = field(default_factory=list)
+    backdoor_set: tuple[str, ...] = ()
+    variant: str = "hyper"
+    runtime_seconds: float = 0.0
+    expected_qualifying_count: float = 0.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def summary(self) -> str:
+        return (
+            f"{self.aggregate}(Post({self.output_attribute})) = {self.value:.4f} "
+            f"[{self.variant}, scope={self.n_scope_tuples}/{self.n_view_tuples} tuples, "
+            f"{self.n_blocks} blocks, backdoor={list(self.backdoor_set)}, "
+            f"{self.runtime_seconds:.3f}s]"
+        )
+
+
+@dataclass
+class HowToResult:
+    """Answer to a how-to query: the recommended update and its predicted effect."""
+
+    recommended_updates: list[AttributeUpdate]
+    objective_value: float
+    baseline_value: float
+    maximize: bool = True
+    verified_value: float | None = None
+    per_attribute_choices: Mapping[str, Any] = field(default_factory=dict)
+    n_candidates: int = 0
+    n_ip_variables: int = 0
+    n_ip_constraints: int = 0
+    solver_status: str = "optimal"
+    runtime_seconds: float = 0.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def improvement(self) -> float:
+        """Objective improvement over leaving the database unchanged."""
+        delta = self.objective_value - self.baseline_value
+        return delta if self.maximize else -delta
+
+    @property
+    def changed_attributes(self) -> list[str]:
+        return [u.attribute for u in self.recommended_updates]
+
+    def plan(self) -> dict[str, str]:
+        """The paper's output form: attribute -> chosen update (or "no change")."""
+        out = {str(k): str(v) for k, v in self.per_attribute_choices.items()}
+        for update in self.recommended_updates:
+            out.setdefault(update.attribute, update.function.describe())
+        return out
+
+    def summary(self) -> str:
+        direction = "maximize" if self.maximize else "minimize"
+        plan = ", ".join(f"{k}: {v}" for k, v in self.plan().items()) or "no change"
+        return (
+            f"{direction} objective = {self.objective_value:.4f} "
+            f"(baseline {self.baseline_value:.4f}) via [{plan}] "
+            f"[{self.n_candidates} candidates, IP {self.n_ip_variables} vars / "
+            f"{self.n_ip_constraints} constraints, {self.solver_status}, "
+            f"{self.runtime_seconds:.3f}s]"
+        )

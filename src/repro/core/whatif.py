@@ -1,0 +1,366 @@
+"""What-if query evaluation (Sections 3.2 / 3.3 and Appendix A).
+
+The :class:`WhatIfEngine` computes the expected value of the output aggregate
+over the post-update distribution without ever enumerating possible worlds:
+
+1. the ``Use`` clause materialises the relevant view (one row per base tuple);
+2. the ``When`` clause selects the update scope ``S``;
+3. the ``For`` clause is normalised into disjoint disjuncts of pre / post
+   conditions; each tuple's probability of qualifying (and expected
+   contribution) after the update is obtained from the
+   :class:`~repro.core.estimator.PostUpdateEstimator`'s backdoor-adjusted
+   regression (Propositions 2 and 5), with inclusion–exclusion across
+   disjuncts (Section A.2.3);
+4. contributions are combined per block of the block-independent decomposition
+   and summed (Proposition 1); AVG is evaluated as the ratio of the expected
+   SUM and the expected qualifying COUNT.
+
+The Indep baseline (provenance-style, no causal propagation) is also
+implemented here because it shares the view / scope machinery.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..causal.dag import CausalDAG
+from ..exceptions import QuerySemanticsError
+from ..probdb.blocks import decompose_into_blocks
+from ..relational.aggregates import get_aggregate
+from ..relational.database import Database
+from ..relational.expressions import Expr
+from ..relational.predicates import (
+    Conjunction,
+    evaluate_mask,
+    split_pre_post,
+    to_dnf,
+)
+from ..relational.relation import Relation
+from .config import EngineConfig, Variant
+from .estimator import PostUpdateEstimator, build_view_dag
+from .queries import WhatIfQuery
+from .results import BlockContribution, WhatIfResult
+
+__all__ = ["WhatIfEngine"]
+
+_MAX_DISJUNCTS = 6
+
+
+@dataclass
+class _PreparedQuery:
+    """Everything derived from the query before estimation starts."""
+
+    view: Relation
+    view_dag: CausalDAG | None
+    scope_mask: np.ndarray
+    post_values: dict[str, list[Any]]
+    disjuncts: list[Conjunction]
+    post_attributes: list[str]
+    block_of_row: np.ndarray
+    n_blocks: int
+
+
+@dataclass
+class WhatIfEngine:
+    """Evaluates :class:`WhatIfQuery` objects over a database and causal model."""
+
+    database: Database
+    causal_dag: CausalDAG | None = None
+    config: EngineConfig = field(default_factory=EngineConfig)
+
+    # -- public API -------------------------------------------------------------------
+
+    def evaluate(self, query: WhatIfQuery) -> WhatIfResult:
+        """Answer ``query`` and return a :class:`WhatIfResult` with metadata."""
+        started = time.perf_counter()
+        prepared = self._prepare(query)
+        if self.config.ignores_dependencies:
+            result = self._evaluate_indep(query, prepared)
+        else:
+            result = self._evaluate_causal(query, prepared)
+        result.runtime_seconds = time.perf_counter() - started
+        return result
+
+    # -- preparation --------------------------------------------------------------------
+
+    def _prepare(self, query: WhatIfQuery) -> _PreparedQuery:
+        view = query.use.build(self.database)
+        self._check_attributes(query, view)
+        view_dag = build_view_dag(self.causal_dag, query.use, self.database)
+        self._check_update_independence(query, view_dag)
+
+        scope_mask = evaluate_mask(query.when, view)
+        update = query.hypothetical_update
+        post_values: dict[str, list[Any]] = {}
+        for attribute in query.update_attributes:
+            post_values[attribute] = update.updated_values(
+                attribute, list(view.column_view(attribute)), scope_mask
+            )
+
+        disjuncts = self._normalise_for_clause(query.for_clause)
+        post_attributes = sorted(
+            {query.output_attribute}
+            | {a for d in disjuncts for a in d.post_attributes}
+        )
+        block_of_row, n_blocks = self._block_assignment(query, view)
+        return _PreparedQuery(
+            view=view,
+            view_dag=view_dag,
+            scope_mask=scope_mask,
+            post_values=post_values,
+            disjuncts=disjuncts,
+            post_attributes=post_attributes,
+            block_of_row=block_of_row,
+            n_blocks=n_blocks,
+        )
+
+    def _check_attributes(self, query: WhatIfQuery, view: Relation) -> None:
+        referenced = set(query.update_attributes) | {query.output_attribute}
+        referenced |= query.when.attribute_names() | query.for_clause.attribute_names()
+        missing = sorted(a for a in referenced if a not in view.schema)
+        if missing:
+            raise QuerySemanticsError(
+                f"attributes {missing} are not columns of the relevant view "
+                f"(columns: {list(view.attribute_names)})"
+            )
+        for attribute in query.update_attributes:
+            if not view.schema.is_mutable(attribute):
+                raise QuerySemanticsError(f"cannot update immutable attribute {attribute!r}")
+
+    def _check_update_independence(
+        self, query: WhatIfQuery, view_dag: CausalDAG | None
+    ) -> None:
+        """Multi-attribute updates require causally unrelated attributes (Sec. 3.1)."""
+        if view_dag is None or len(query.update_attributes) < 2:
+            return
+        for a, b in combinations(query.update_attributes, 2):
+            if a not in view_dag or b not in view_dag:
+                continue
+            if b in view_dag.descendants(a) or a in view_dag.descendants(b):
+                raise QuerySemanticsError(
+                    f"updated attributes {a!r} and {b!r} are causally connected; "
+                    "multi-attribute updates require independent attributes"
+                )
+
+    def _normalise_for_clause(self, for_clause: Expr) -> list[Conjunction]:
+        disjuncts = [split_pre_post(atoms) for atoms in to_dnf(for_clause)]
+        if len(disjuncts) > _MAX_DISJUNCTS:
+            raise QuerySemanticsError(
+                f"the For clause expands to {len(disjuncts)} disjuncts; "
+                f"at most {_MAX_DISJUNCTS} are supported"
+            )
+        for disjunct in disjuncts:
+            if not disjunct.is_separable:
+                raise QuerySemanticsError(
+                    "For conditions mixing Pre and Post values of attributes in a single "
+                    "comparison are not supported by the closed-form estimator; "
+                    "rewrite them as separate Pre / Post conditions"
+                )
+        return disjuncts
+
+    def _block_assignment(self, query: WhatIfQuery, view: Relation) -> tuple[np.ndarray, int]:
+        n = len(view)
+        if not self.config.use_blocks or self.causal_dag is None:
+            return np.zeros(n, dtype=int), 1
+        decomposition = decompose_into_blocks(self.database, self.causal_dag)
+        base = query.use.base_relation
+        block_of_row = np.zeros(n, dtype=int)
+        for block in decomposition:
+            for row in block.rows.get(base, []):
+                if row < n:
+                    block_of_row[row] = block.index
+        n_blocks = len(decomposition)
+        return block_of_row, n_blocks
+
+    # -- causal evaluation (HypeR / HypeR-NB / HypeR-sampled) -----------------------------
+
+    def _evaluate_causal(self, query: WhatIfQuery, prepared: _PreparedQuery) -> WhatIfResult:
+        aggregate = get_aggregate(query.output_aggregate)
+        view = prepared.view
+        n = len(view)
+        scope = prepared.scope_mask
+        output_values = self._numeric_output(view, query.output_attribute)
+
+        estimator = PostUpdateEstimator(
+            view=view,
+            view_dag=prepared.view_dag,
+            update_attributes=query.update_attributes,
+            outcome_attributes=prepared.post_attributes,
+            config=self.config,
+            rng=np.random.default_rng(self.config.random_state),
+        )
+
+        # Pre-part satisfaction per disjunct (deterministic, observed values).
+        pre_masks = [evaluate_mask(d.pre, view) for d in prepared.disjuncts]
+        # Post-part indicators evaluated on the observed data (training targets).
+        post_masks = [evaluate_mask(d.post, view) for d in prepared.disjuncts]
+
+        count_contrib = np.zeros(n)
+        sum_contrib = np.zeros(n)
+
+        # -- unaffected tuples: post values equal pre values, everything deterministic.
+        unaffected = ~scope
+        qualifies_pre = np.zeros(n, dtype=bool)
+        for pre_mask, post_mask in zip(pre_masks, post_masks):
+            qualifies_pre |= pre_mask & post_mask
+        count_contrib[unaffected] = qualifies_pre[unaffected].astype(float)
+        sum_contrib[unaffected] = np.where(
+            qualifies_pre[unaffected], output_values[unaffected], 0.0
+        )
+
+        # -- affected tuples: inclusion–exclusion over disjunct subsets (Sec. A.2.3).
+        if scope.any():
+            subset_signs, subset_post_masks = self._disjunct_subsets(
+                prepared.disjuncts, post_masks
+            )
+            for subset, sign, joint_post in zip(
+                self._subset_indices(len(prepared.disjuncts)), subset_signs, subset_post_masks
+            ):
+                # Rows where every pre-part in the subset holds contribute this term.
+                applicable = scope.copy()
+                for k in subset:
+                    applicable &= pre_masks[k]
+                if not applicable.any():
+                    continue
+                prob = estimator.counterfactual_mean(
+                    joint_post.astype(float),
+                    applicable,
+                    prepared.post_values,
+                    cache_key=f"count:{subset}",
+                )
+                prob = np.clip(prob, 0.0, 1.0)
+                count_contrib[applicable] += sign * prob[applicable]
+                if aggregate.needs_output_value:
+                    value_target = output_values * joint_post.astype(float)
+                    expected_value = estimator.counterfactual_mean(
+                        value_target,
+                        applicable,
+                        prepared.post_values,
+                        cache_key=f"sum:{subset}",
+                    )
+                    sum_contrib[applicable] += sign * expected_value[applicable]
+            # Per-tuple qualification probabilities live in [0, 1]; clip estimator overshoot.
+            count_contrib = np.clip(count_contrib, 0.0, 1.0)
+
+        value, expected_count = self._combine(aggregate.name, count_contrib, sum_contrib)
+        blocks = self._block_contributions(
+            aggregate.name, count_contrib, sum_contrib, prepared, scope
+        )
+        return WhatIfResult(
+            value=value,
+            aggregate=aggregate.name,
+            output_attribute=query.output_attribute,
+            n_view_tuples=n,
+            n_scope_tuples=int(scope.sum()),
+            n_blocks=prepared.n_blocks,
+            block_contributions=blocks,
+            backdoor_set=estimator.backdoor_set,
+            variant=self.config.variant,
+            expected_qualifying_count=expected_count,
+            metadata={
+                "n_training_rows": estimator.n_training_rows,
+                "n_disjuncts": len(prepared.disjuncts),
+                "feature_attributes": list(estimator.feature_attributes),
+            },
+        )
+
+    def _disjunct_subsets(
+        self, disjuncts: list[Conjunction], post_masks: list[np.ndarray]
+    ) -> tuple[list[float], list[np.ndarray]]:
+        signs: list[float] = []
+        joint_masks: list[np.ndarray] = []
+        for subset in self._subset_indices(len(disjuncts)):
+            sign = 1.0 if len(subset) % 2 == 1 else -1.0
+            joint = np.ones(len(post_masks[0]), dtype=bool)
+            for k in subset:
+                joint &= post_masks[k]
+            signs.append(sign)
+            joint_masks.append(joint)
+        return signs, joint_masks
+
+    @staticmethod
+    def _subset_indices(n: int) -> list[tuple[int, ...]]:
+        out: list[tuple[int, ...]] = []
+        for size in range(1, n + 1):
+            out.extend(combinations(range(n), size))
+        return out
+
+    def _numeric_output(self, view: Relation, attribute: str) -> np.ndarray:
+        values = view.column_view(attribute)
+        out = np.zeros(len(view))
+        for i, value in enumerate(values):
+            out[i] = 0.0 if value is None else float(value)
+        return out
+
+    def _combine(
+        self, aggregate: str, count_contrib: np.ndarray, sum_contrib: np.ndarray
+    ) -> tuple[float, float]:
+        expected_count = float(count_contrib.sum())
+        if aggregate == "count":
+            return expected_count, expected_count
+        if aggregate == "sum":
+            return float(sum_contrib.sum()), expected_count
+        # avg: ratio of expected sum to expected qualifying count
+        if expected_count <= 0:
+            return 0.0, expected_count
+        return float(sum_contrib.sum()) / expected_count, expected_count
+
+    def _block_contributions(
+        self,
+        aggregate: str,
+        count_contrib: np.ndarray,
+        sum_contrib: np.ndarray,
+        prepared: _PreparedQuery,
+        scope: np.ndarray,
+    ) -> list[BlockContribution]:
+        contributions = []
+        per_row = count_contrib if aggregate == "count" else sum_contrib
+        for block_index in range(prepared.n_blocks):
+            rows = prepared.block_of_row == block_index
+            if not rows.any():
+                continue
+            contributions.append(
+                BlockContribution(
+                    block_index=block_index,
+                    partial_value=float(per_row[rows].sum()),
+                    n_tuples=int(rows.sum()),
+                    n_scope_tuples=int((rows & scope).sum()),
+                )
+            )
+        return contributions
+
+    # -- Indep baseline ---------------------------------------------------------------------
+
+    def _evaluate_indep(self, query: WhatIfQuery, prepared: _PreparedQuery) -> WhatIfResult:
+        """Provenance-style baseline: the update does not propagate to other attributes."""
+        aggregate = get_aggregate(query.output_aggregate)
+        view = prepared.view
+        post_view = view
+        for attribute, values in prepared.post_values.items():
+            post_view = post_view.with_column(attribute, values)
+        qualify = evaluate_mask(query.for_clause, view, post_view)
+        output_values = self._numeric_output(post_view, query.output_attribute)
+        count_contrib = qualify.astype(float)
+        sum_contrib = np.where(qualify, output_values, 0.0)
+        value, expected_count = self._combine(aggregate.name, count_contrib, sum_contrib)
+        blocks = self._block_contributions(
+            aggregate.name, count_contrib, sum_contrib, prepared, prepared.scope_mask
+        )
+        return WhatIfResult(
+            value=value,
+            aggregate=aggregate.name,
+            output_attribute=query.output_attribute,
+            n_view_tuples=len(view),
+            n_scope_tuples=int(prepared.scope_mask.sum()),
+            n_blocks=prepared.n_blocks,
+            block_contributions=blocks,
+            backdoor_set=(),
+            variant=Variant.INDEP,
+            expected_qualifying_count=expected_count,
+            metadata={"n_disjuncts": len(prepared.disjuncts)},
+        )

@@ -1,0 +1,228 @@
+"""Amazon-Syn: synthetic stand-in for the Amazon product/review database.
+
+The paper (Figures 1 and 2, Section 5.3) uses a two-relation Product/Review
+database where product price and latent quality drive review ratings and
+sentiments, with cross-tuple competition effects between products of the same
+category.  The real crawl is not available offline, so this generator encodes
+the same dependency structure:
+
+* ``Quality`` is driven by ``Brand`` and ``Category``;
+* ``Price`` is driven by ``Category``, ``Brand`` and ``Quality``;
+* review ``Rating`` *decreases* with price and *increases* with quality, so the
+  paper's qualitative finding — lowering laptop prices raises the share of
+  highly rated products, with premium brands benefiting most — holds by
+  construction;
+* ``Sentiment`` follows quality (and weakly colour), matching the "change the
+  camera colour" example;
+* a cross-tuple edge ``Price -> Rating`` within the same ``Category`` captures
+  competition, which is what makes the block decomposition group products by
+  category (Example 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..causal.dag import CausalDAG, CausalEdge
+from ..causal.scm import StructuralCausalModel
+from ..causal.structural import (
+    ExogenousDistribution,
+    GaussianNoise,
+    LinearEquation,
+)
+from ..relational.database import Database
+from ..relational.relation import Relation
+from ..relational.schema import AttributeSpec, ForeignKey, RelationSchema
+from ..relational.types import CategoricalDomain, IntegerDomain, NumericDomain
+from ..relational.view import AggregatedAttribute, UseSpec
+from .base import SyntheticDataset
+
+__all__ = ["make_amazon_syn", "amazon_causal_dag", "amazon_view_scm", "CATEGORIES", "BRANDS"]
+
+CATEGORIES = ("Laptop", "DSLR Camera", "eBook", "Phone")
+BRANDS = ("Apple", "Dell", "Toshiba", "Acer", "Asus", "Canon", "FantasyPress")
+
+
+def amazon_causal_dag() -> CausalDAG:
+    dag = CausalDAG(
+        nodes=[
+            "Category",
+            "Brand",
+            "Color",
+            "Quality",
+            "Price",
+            "Review.Sentiment",
+            "Review.Rating",
+        ]
+    )
+    edges = [
+        CausalEdge("Category", "Quality"),
+        CausalEdge("Brand", "Quality"),
+        CausalEdge("Category", "Price"),
+        CausalEdge("Brand", "Price"),
+        CausalEdge("Quality", "Price"),
+        CausalEdge("Quality", "Review.Rating"),
+        CausalEdge("Quality", "Review.Sentiment"),
+        CausalEdge("Color", "Review.Sentiment"),
+        # Price affects ratings of the product itself and of competing products in
+        # the same category (the dashed cross-tuple edge of Figure 2).
+        CausalEdge("Price", "Review.Rating", cross_tuple=True, within="Category"),
+        CausalEdge("Price", "Review.Sentiment"),
+    ]
+    for edge in edges:
+        dag.add_edge(edge)
+    return dag
+
+
+def amazon_view_scm() -> StructuralCausalModel:
+    """Structural model over the per-product view columns (ground truth oracle).
+
+    ``Rtng`` / ``Senti`` are the per-product average rating / sentiment, i.e. the
+    aggregated view columns the default Use spec creates.
+    """
+    dag = CausalDAG(
+        nodes=["Category", "Brand", "Color", "Quality", "Price", "Rtng", "Senti"]
+    )
+    for source, target in [
+        ("Category", "Quality"),
+        ("Brand", "Quality"),
+        ("Category", "Price"),
+        ("Brand", "Price"),
+        ("Quality", "Price"),
+        ("Quality", "Rtng"),
+        ("Price", "Rtng"),
+        ("Quality", "Senti"),
+        ("Price", "Senti"),
+        ("Color", "Senti"),
+    ]:
+        dag.add_edge(CausalEdge(source, target))
+    equations = {
+        "Quality": LinearEquation(
+            weights={"Category": -0.02, "Brand": -0.08},
+            intercept=0.9,
+            noise=GaussianNoise(0.08),
+            clip=(0.1, 1.0),
+        ),
+        "Price": LinearEquation(
+            weights={"Category": -120.0, "Brand": -40.0, "Quality": 700.0},
+            intercept=300.0,
+            noise=GaussianNoise(80.0),
+            clip=(10.0, 3000.0),
+        ),
+        "Rtng": LinearEquation(
+            weights={"Quality": 3.2, "Price": -0.0012},
+            intercept=1.8,
+            noise=GaussianNoise(0.3),
+            clip=(1.0, 5.0),
+        ),
+        "Senti": LinearEquation(
+            weights={"Quality": 1.6, "Price": -0.0003, "Color": 0.02},
+            intercept=-0.6,
+            noise=GaussianNoise(0.15),
+            clip=(-1.0, 1.0),
+        ),
+    }
+    exogenous = {
+        "Category": ExogenousDistribution(
+            "categorical", {"values": list(range(len(CATEGORIES))), "probabilities": [0.4, 0.25, 0.2, 0.15]}
+        ),
+        "Brand": ExogenousDistribution(
+            "categorical", {"values": list(range(len(BRANDS)))}
+        ),
+        "Color": ExogenousDistribution("categorical", {"values": [0, 1, 2, 3]}),
+    }
+    return StructuralCausalModel(dag=dag, equations=equations, exogenous=exogenous)
+
+
+def default_amazon_use() -> UseSpec:
+    """One row per product with averaged review rating and sentiment."""
+    return UseSpec(
+        base_relation="Product",
+        attributes=None,
+        aggregated=[
+            AggregatedAttribute("Rtng", "Review", "Rating", "avg"),
+            AggregatedAttribute("Senti", "Review", "Sentiment", "avg"),
+        ],
+        name="ProductView",
+    )
+
+
+def make_amazon_syn(
+    n_products: int = 400,
+    seed: int = 0,
+    *,
+    mean_reviews_per_product: float = 4.0,
+) -> SyntheticDataset:
+    """Generate the two-relation Amazon-Syn dataset."""
+    rng = np.random.default_rng(seed)
+    scm = amazon_view_scm()
+    view_columns = scm.sample(n_products, rng)
+
+    categories = [CATEGORIES[int(v)] for v in view_columns["Category"]]
+    brands = [BRANDS[int(v)] for v in view_columns["Brand"]]
+    colors = ["Silver", "Black", "Blue", "Red"]
+    product_data = {
+        "PID": list(range(1, n_products + 1)),
+        "Category": categories,
+        "Brand": brands,
+        "Color": [colors[int(v)] for v in view_columns["Color"]],
+        "Price": [round(float(v), 2) for v in view_columns["Price"]],
+        "Quality": [round(float(v), 3) for v in view_columns["Quality"]],
+    }
+    product_schema = RelationSchema(
+        "Product",
+        [
+            AttributeSpec("PID", IntegerDomain(1, n_products + 1), mutable=False),
+            AttributeSpec("Category", CategoricalDomain(CATEGORIES), mutable=False),
+            AttributeSpec("Brand", CategoricalDomain(BRANDS), mutable=False),
+            AttributeSpec("Color", CategoricalDomain(colors)),
+            AttributeSpec("Price", NumericDomain(0.0, 5000.0)),
+            AttributeSpec("Quality", NumericDomain(0.0, 1.0)),
+        ],
+        key=("PID",),
+    )
+    product = Relation(product_schema, product_data, validate=False)
+
+    review_rows: dict[str, list] = {"PID": [], "ReviewID": [], "Sentiment": [], "Rating": []}
+    review_id = 0
+    for i in range(n_products):
+        n_reviews = 1 + rng.poisson(mean_reviews_per_product - 1)
+        base_rating = float(view_columns["Rtng"][i])
+        base_sentiment = float(view_columns["Senti"][i])
+        for _ in range(int(n_reviews)):
+            review_id += 1
+            review_rows["PID"].append(i + 1)
+            review_rows["ReviewID"].append(review_id)
+            review_rows["Rating"].append(
+                int(np.clip(round(base_rating + rng.normal(0.0, 0.6)), 1, 5))
+            )
+            review_rows["Sentiment"].append(
+                round(float(np.clip(base_sentiment + rng.normal(0.0, 0.2), -1.0, 1.0)), 3)
+            )
+    review_schema = RelationSchema(
+        "Review",
+        [
+            AttributeSpec("PID", IntegerDomain(1, n_products + 1), mutable=False),
+            AttributeSpec("ReviewID", IntegerDomain(1, review_id + 1), mutable=False),
+            AttributeSpec("Sentiment", NumericDomain(-1.0, 1.0)),
+            AttributeSpec("Rating", IntegerDomain(1, 5)),
+        ],
+        key=("PID", "ReviewID"),
+    )
+    review = Relation(review_schema, review_rows, validate=False)
+    database = Database(
+        [product, review],
+        foreign_keys=[ForeignKey("Review", ("PID",), "Product", ("PID",))],
+    )
+    return SyntheticDataset(
+        name="amazon-syn",
+        database=database,
+        causal_dag=amazon_causal_dag(),
+        default_use=default_amazon_use(),
+        view_scm=scm,
+        description=(
+            "Two-relation product/review data: price and latent quality drive ratings "
+            "and sentiments; products of the same category compete."
+        ),
+        metadata={"n_products": n_products, "n_reviews": review_id, "seed": seed},
+    )

@@ -1,0 +1,36 @@
+"""Dataset registry: look up generators by name (used by benchmarks and examples)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..exceptions import HypeRError
+from .adult_syn import make_adult_syn
+from .amazon_syn import make_amazon_syn
+from .base import SyntheticDataset
+from .german_syn import make_german_syn
+from .student_syn import make_student_syn
+
+__all__ = ["DATASET_GENERATORS", "make_dataset", "available_datasets"]
+
+DATASET_GENERATORS: dict[str, Callable[..., SyntheticDataset]] = {
+    "german-syn": make_german_syn,
+    "adult-syn": make_adult_syn,
+    "student-syn": make_student_syn,
+    "amazon-syn": make_amazon_syn,
+}
+
+
+def available_datasets() -> list[str]:
+    """Names accepted by :func:`make_dataset`."""
+    return sorted(DATASET_GENERATORS)
+
+
+def make_dataset(name: str, **kwargs) -> SyntheticDataset:
+    """Generate a dataset by registry name, forwarding generator keyword arguments."""
+    key = name.strip().lower()
+    if key not in DATASET_GENERATORS:
+        raise HypeRError(
+            f"unknown dataset {name!r}; available: {available_datasets()}"
+        )
+    return DATASET_GENERATORS[key](**kwargs)

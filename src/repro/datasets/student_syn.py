@@ -1,0 +1,259 @@
+"""Student-Syn: the paper's two-relation synthetic student dataset.
+
+Section 5.1: a Student relation (age, gender, country of origin, attendance)
+and a Participation relation (per-course discussion points, assignment scores,
+announcements read, hand-raised count, overall grade), five courses per
+student.  Attendance causally drives the participation attributes, and the
+grade depends most strongly on the assignment score and attendance — the
+how-to case study of Section 5.4 finds that improving attendance is the best
+single-attribute update and Figure 10b shows assignment score has the largest
+what-if effect on grades for engaged students.
+
+The generator first samples per-student *view-level* values from the structural
+model (this is also the ground-truth oracle), then expands each student into
+five per-course Participation rows whose values are noisy copies of the
+student-level values, so the per-student averages in the relevant view match
+the structural model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..causal.dag import CausalDAG, CausalEdge
+from ..causal.scm import StructuralCausalModel
+from ..causal.structural import (
+    ExogenousDistribution,
+    GaussianNoise,
+    LinearEquation,
+)
+from ..relational.database import Database
+from ..relational.relation import Relation
+from ..relational.schema import AttributeSpec, ForeignKey, RelationSchema
+from ..relational.types import CategoricalDomain, IntegerDomain, NumericDomain
+from ..relational.view import AggregatedAttribute, UseSpec
+from .base import SyntheticDataset
+
+__all__ = ["make_student_syn", "student_causal_dag", "student_view_scm"]
+
+_COURSES_PER_STUDENT = 5
+
+
+def student_causal_dag() -> CausalDAG:
+    """Attribute-level DAG; participation attributes live in the Participation relation."""
+    dag = CausalDAG(
+        nodes=[
+            "Age",
+            "Gender",
+            "Country",
+            "Attendance",
+            "Participation.Discussion",
+            "Participation.AnnouncementsRead",
+            "Participation.HandRaised",
+            "Participation.AssignmentScore",
+            "Participation.Grade",
+        ]
+    )
+    edges = [
+        ("Age", "Attendance"),
+        ("Gender", "Attendance"),
+        ("Country", "Attendance"),
+        ("Attendance", "Participation.Discussion"),
+        ("Attendance", "Participation.AnnouncementsRead"),
+        ("Attendance", "Participation.HandRaised"),
+        ("Attendance", "Participation.AssignmentScore"),
+        ("Attendance", "Participation.Grade"),
+        ("Participation.Discussion", "Participation.Grade"),
+        ("Participation.AnnouncementsRead", "Participation.Grade"),
+        ("Participation.HandRaised", "Participation.Grade"),
+        ("Participation.AssignmentScore", "Participation.Grade"),
+    ]
+    for source, target in edges:
+        dag.add_edge(CausalEdge(source, target))
+    return dag
+
+
+def student_view_scm() -> StructuralCausalModel:
+    """Structural model over the per-student view columns (ground-truth oracle)."""
+    dag = CausalDAG(
+        nodes=[
+            "Age",
+            "Gender",
+            "Country",
+            "Attendance",
+            "Discussion",
+            "Announcement",
+            "HandRaised",
+            "Assignment",
+            "Grade",
+        ]
+    )
+    for source, target in [
+        ("Age", "Attendance"),
+        ("Gender", "Attendance"),
+        ("Country", "Attendance"),
+        ("Attendance", "Discussion"),
+        ("Attendance", "Announcement"),
+        ("Attendance", "HandRaised"),
+        ("Attendance", "Assignment"),
+        ("Attendance", "Grade"),
+        ("Discussion", "Grade"),
+        ("Announcement", "Grade"),
+        ("HandRaised", "Grade"),
+        ("Assignment", "Grade"),
+    ]:
+        dag.add_edge(CausalEdge(source, target))
+
+    equations = {
+        "Attendance": LinearEquation(
+            weights={"Age": 0.5, "Gender": 2.0, "Country": 1.0},
+            intercept=45.0,
+            noise=GaussianNoise(10.0),
+            clip=(0.0, 100.0),
+        ),
+        "Discussion": LinearEquation(
+            weights={"Attendance": 0.5},
+            intercept=10.0,
+            noise=GaussianNoise(8.0),
+            clip=(0.0, 100.0),
+        ),
+        "Announcement": LinearEquation(
+            weights={"Attendance": 0.4},
+            intercept=5.0,
+            noise=GaussianNoise(8.0),
+            clip=(0.0, 100.0),
+        ),
+        "HandRaised": LinearEquation(
+            weights={"Attendance": 0.3},
+            intercept=2.0,
+            noise=GaussianNoise(6.0),
+            clip=(0.0, 100.0),
+        ),
+        "Assignment": LinearEquation(
+            weights={"Attendance": 0.45},
+            intercept=30.0,
+            noise=GaussianNoise(10.0),
+            clip=(0.0, 100.0),
+        ),
+        # Assignment and attendance dominate the grade (Sec. 5.4 findings).
+        "Grade": LinearEquation(
+            weights={
+                "Assignment": 0.5,
+                "Attendance": 0.3,
+                "Discussion": 0.1,
+                "Announcement": 0.05,
+                "HandRaised": 0.02,
+            },
+            intercept=5.0,
+            noise=GaussianNoise(5.0),
+            clip=(0.0, 100.0),
+        ),
+    }
+    exogenous = {
+        "Age": ExogenousDistribution("uniform", {"low": 18, "high": 30}),
+        "Gender": ExogenousDistribution("categorical", {"values": [0, 1], "probabilities": [0.5, 0.5]}),
+        "Country": ExogenousDistribution(
+            "categorical", {"values": [0, 1, 2, 3], "probabilities": [0.4, 0.3, 0.2, 0.1]}
+        ),
+    }
+    return StructuralCausalModel(dag=dag, equations=equations, exogenous=exogenous)
+
+
+def default_student_use() -> UseSpec:
+    """The relevant view: one row per student with averaged participation attributes."""
+    return UseSpec(
+        base_relation="Student",
+        attributes=None,
+        aggregated=[
+            AggregatedAttribute("Discussion", "Participation", "Discussion", "avg"),
+            AggregatedAttribute("Announcement", "Participation", "AnnouncementsRead", "avg"),
+            AggregatedAttribute("HandRaised", "Participation", "HandRaised", "avg"),
+            AggregatedAttribute("Assignment", "Participation", "AssignmentScore", "avg"),
+            AggregatedAttribute("Grade", "Participation", "Grade", "avg"),
+        ],
+        name="StudentView",
+    )
+
+
+def make_student_syn(n_students: int = 1_000, seed: int = 0) -> SyntheticDataset:
+    """Generate the two-relation Student-Syn dataset."""
+    rng = np.random.default_rng(seed)
+    scm = student_view_scm()
+    view_columns = scm.sample(n_students, rng)
+
+    student_data = {
+        "SID": list(range(1, n_students + 1)),
+        "Age": [int(round(float(v))) for v in view_columns["Age"]],
+        "Gender": [int(v) for v in view_columns["Gender"]],
+        "Country": [int(v) for v in view_columns["Country"]],
+        "Attendance": [round(float(v), 2) for v in view_columns["Attendance"]],
+    }
+    student_schema = RelationSchema(
+        "Student",
+        [
+            AttributeSpec("SID", IntegerDomain(1, n_students + 1), mutable=False),
+            AttributeSpec("Age", IntegerDomain(15, 60), mutable=False),
+            AttributeSpec("Gender", CategoricalDomain([0, 1]), mutable=False),
+            AttributeSpec("Country", CategoricalDomain([0, 1, 2, 3]), mutable=False),
+            AttributeSpec("Attendance", NumericDomain(0.0, 100.0)),
+        ],
+        key=("SID",),
+    )
+    student = Relation(student_schema, student_data, validate=False)
+
+    participation_rows: dict[str, list] = {
+        "SID": [],
+        "CourseID": [],
+        "Discussion": [],
+        "AnnouncementsRead": [],
+        "HandRaised": [],
+        "AssignmentScore": [],
+        "Grade": [],
+    }
+    per_course_noise = 4.0
+    for i in range(n_students):
+        for course in range(1, _COURSES_PER_STUDENT + 1):
+            participation_rows["SID"].append(i + 1)
+            participation_rows["CourseID"].append(course)
+            for column, source in (
+                ("Discussion", "Discussion"),
+                ("AnnouncementsRead", "Announcement"),
+                ("HandRaised", "HandRaised"),
+                ("AssignmentScore", "Assignment"),
+                ("Grade", "Grade"),
+            ):
+                base = float(view_columns[source][i])
+                value = float(np.clip(base + rng.normal(0.0, per_course_noise), 0.0, 100.0))
+                participation_rows[column].append(round(value, 2))
+
+    participation_schema = RelationSchema(
+        "Participation",
+        [
+            AttributeSpec("SID", IntegerDomain(1, n_students + 1), mutable=False),
+            AttributeSpec("CourseID", IntegerDomain(1, _COURSES_PER_STUDENT), mutable=False),
+            AttributeSpec("Discussion", NumericDomain(0.0, 100.0)),
+            AttributeSpec("AnnouncementsRead", NumericDomain(0.0, 100.0)),
+            AttributeSpec("HandRaised", NumericDomain(0.0, 100.0)),
+            AttributeSpec("AssignmentScore", NumericDomain(0.0, 100.0)),
+            AttributeSpec("Grade", NumericDomain(0.0, 100.0)),
+        ],
+        key=("SID", "CourseID"),
+    )
+    participation = Relation(participation_schema, participation_rows, validate=False)
+
+    database = Database(
+        [student, participation],
+        foreign_keys=[ForeignKey("Participation", ("SID",), "Student", ("SID",))],
+    )
+    return SyntheticDataset(
+        name="student-syn",
+        database=database,
+        causal_dag=student_causal_dag(),
+        default_use=default_student_use(),
+        view_scm=scm,
+        description=(
+            "Two-relation student dataset: attendance drives participation attributes; "
+            "grades depend most on assignment scores and attendance."
+        ),
+        metadata={"n_students": n_students, "courses_per_student": _COURSES_PER_STUDENT, "seed": seed},
+    )

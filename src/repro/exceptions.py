@@ -1,0 +1,63 @@
+"""Exception hierarchy shared by every HypeR subsystem.
+
+All errors raised by the library derive from :class:`HypeRError` so callers can
+catch a single base class at the API boundary while still being able to
+distinguish schema problems from query-language problems, causal-model problems,
+or optimization failures.
+"""
+
+from __future__ import annotations
+
+
+class HypeRError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class SchemaError(HypeRError):
+    """A relation or database schema is malformed or violated.
+
+    Raised for duplicate attribute names, missing keys, inserting tuples whose
+    values do not match the declared domains, or referencing attributes that do
+    not exist.
+    """
+
+
+class DomainError(SchemaError):
+    """A value lies outside the declared domain of an attribute."""
+
+
+class ExpressionError(HypeRError):
+    """An expression tree is malformed or cannot be evaluated."""
+
+
+class QuerySyntaxError(HypeRError):
+    """The HypeR SQL extension text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None, line: int | None = None):
+        super().__init__(message)
+        self.position = position
+        self.line = line
+
+
+class QuerySemanticsError(HypeRError):
+    """A parsed query references unknown attributes/relations or is inconsistent."""
+
+
+class CausalModelError(HypeRError):
+    """The causal DAG / PRCM is invalid (cycles, unknown attributes, bad equations)."""
+
+
+class IdentificationError(CausalModelError):
+    """No valid backdoor adjustment set could be found for the requested effect."""
+
+
+class EstimationError(HypeRError):
+    """A statistical estimator could not be fit or evaluated."""
+
+
+class OptimizationError(HypeRError):
+    """The integer program backing a how-to query is infeasible or failed to solve."""
+
+
+class ConvergenceError(OptimizationError):
+    """The branch-and-bound search exceeded its node or time budget."""

@@ -1,0 +1,13 @@
+"""Declarative query language: lexer and parser for the HypeR SQL extension."""
+
+from .lexer import Token, TokenType, tokenize
+from .parser import parse_how_to, parse_query, parse_what_if
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "parse_how_to",
+    "parse_query",
+    "parse_what_if",
+    "tokenize",
+]

@@ -1,0 +1,157 @@
+"""Tokenizer for the HypeR SQL extension.
+
+The declarative surface syntax (Figures 4 and 5 of the paper) extends SQL with
+the operators ``Use``, ``When``, ``Update``, ``Output``, ``For``,
+``HowToUpdate``, ``Limit``, ``ToMaximize`` / ``ToMinimize`` plus the value
+markers ``Pre(...)`` and ``Post(...)``.  The lexer turns query text into a
+stream of typed tokens; keywords are case-insensitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..exceptions import QuerySyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize", "KEYWORDS"]
+
+
+class TokenType(Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DOT = "."
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "use",
+    "when",
+    "update",
+    "output",
+    "for",
+    "howtoupdate",
+    "limit",
+    "tomaximize",
+    "tominimize",
+    "pre",
+    "post",
+    "and",
+    "or",
+    "not",
+    "in",
+    "with",
+    "as",
+    "l1",
+    "avg",
+    "sum",
+    "count",
+    "true",
+    "false",
+    "null",
+}
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "==", "=", "<", ">", "*", "+", "-", "/")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+    line: int
+
+    @property
+    def lowered(self) -> str:
+        return self.value.lower()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`QuerySyntaxError` on illegal characters."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            # SQL-style line comment
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenType.LPAREN, ch, i, line))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenType.RPAREN, ch, i, line))
+            i += 1
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenType.COMMA, ch, i, line))
+            i += 1
+            continue
+        if ch in ("'", '"'):
+            end = text.find(ch, i + 1)
+            if end == -1:
+                raise QuerySyntaxError("unterminated string literal", position=i, line=line)
+            tokens.append(Token(TokenType.STRING, text[i + 1 : end], i, line))
+            i = end + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, text[i:j], i, line))
+            i = j
+            continue
+        matched_operator = None
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                matched_operator = op
+                break
+        if matched_operator is not None:
+            tokens.append(Token(TokenType.OPERATOR, matched_operator, i, line))
+            i += len(matched_operator)
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            token_type = (
+                TokenType.KEYWORD if word.lower() in KEYWORDS else TokenType.IDENTIFIER
+            )
+            tokens.append(Token(token_type, word, i, line))
+            i = j
+            continue
+        if ch == ".":
+            tokens.append(Token(TokenType.DOT, ch, i, line))
+            i += 1
+            continue
+        raise QuerySyntaxError(f"illegal character {ch!r}", position=i, line=line)
+    tokens.append(Token(TokenType.EOF, "", n, line))
+    return tokens

@@ -1,0 +1,34 @@
+"""Estimation substrate: encoders, regressors, discretization, densities.
+
+Replaces the sklearn dependency of the original implementation with
+numpy-only regressors (CART trees, random forests, linear/ridge regression),
+feature encoders, bucketization helpers and frequency-table conditional
+probability estimators with the zero-support index described in the paper.
+"""
+
+from .density import ConditionalMeanRegressor, FrequencyTable, make_regressor
+from .discretize import Discretizer, equal_depth_edges, equal_width_edges
+from .encoding import ColumnEncoder, FeatureEncoder
+from .forest import RandomForestRegressor
+from .linear import LinearRegression, RidgeRegression
+from .metrics import mean_absolute_error, mean_squared_error, r2_score, relative_error
+from .tree import DecisionTreeRegressor
+
+__all__ = [
+    "ColumnEncoder",
+    "ConditionalMeanRegressor",
+    "DecisionTreeRegressor",
+    "Discretizer",
+    "FeatureEncoder",
+    "FrequencyTable",
+    "LinearRegression",
+    "RandomForestRegressor",
+    "RidgeRegression",
+    "equal_depth_edges",
+    "equal_width_edges",
+    "make_regressor",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "r2_score",
+    "relative_error",
+]

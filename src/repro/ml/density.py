@@ -1,0 +1,210 @@
+"""Conditional probability / expectation estimators.
+
+Two estimation routes back the computation in Sections 3.3 and A.4:
+
+* :class:`FrequencyTable` — empirical conditional probabilities over discrete
+  value combinations, with the *zero-support index* the paper describes: only
+  value combinations that actually occur in the data are stored, so iterating
+  "over the domain of the backdoor set" touches at most ``n`` combinations.
+* :class:`ConditionalMeanRegressor` — a regression function (random forest by
+  default, mirroring the paper's implementation) of an outcome on the update
+  attribute and the backdoor attributes, used to evaluate post-update
+  conditional expectations at counterfactual inputs ``B = f(b)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import EstimationError
+from .encoding import FeatureEncoder
+from .forest import RandomForestRegressor
+from .linear import RidgeRegression
+
+__all__ = ["FrequencyTable", "ConditionalMeanRegressor", "make_regressor"]
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value
+
+
+@dataclass
+class FrequencyTable:
+    """Empirical joint distribution over a set of discrete columns.
+
+    Stores counts per observed value combination (the zero-support index) and
+    answers conditional probability queries ``Pr(target = v | conditions)`` and
+    support queries ``observed_values(attribute | conditions)``.
+    """
+
+    attributes: tuple[str, ...] = ()
+    _counts: Counter = field(default_factory=Counter, repr=False)
+    _index: dict = field(default_factory=dict, repr=False)
+    _total: int = 0
+
+    @classmethod
+    def fit(cls, columns: Mapping[str, Sequence[Any]]) -> "FrequencyTable":
+        attributes = tuple(columns)
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) != 1:
+            raise EstimationError("all columns must have the same length")
+        n = lengths.pop()
+        counts: Counter = Counter()
+        index: dict[str, dict[Any, set[int]]] = {a: defaultdict(set) for a in attributes}
+        for i in range(n):
+            combo = tuple(_hashable(columns[a][i]) for a in attributes)
+            counts[combo] += 1
+            for a, v in zip(attributes, combo):
+                index[a][v].add(i)
+        table = cls(attributes=attributes, _counts=counts, _total=n)
+        table._index = {a: dict(index[a]) for a in attributes}
+        return table
+
+    def __len__(self) -> int:
+        return self._total
+
+    @property
+    def n_combinations(self) -> int:
+        """Number of distinct value combinations with non-zero support."""
+        return len(self._counts)
+
+    def _position(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError as exc:
+            raise EstimationError(
+                f"attribute {attribute!r} is not part of this frequency table"
+            ) from exc
+
+    def _matching(self, conditions: Mapping[str, Any]) -> list[tuple]:
+        positions = {self._position(a): _hashable(v) for a, v in conditions.items()}
+        return [
+            combo
+            for combo in self._counts
+            if all(combo[pos] == val for pos, val in positions.items())
+        ]
+
+    def count(self, conditions: Mapping[str, Any]) -> int:
+        return sum(self._counts[c] for c in self._matching(conditions))
+
+    def probability(self, target: Mapping[str, Any], given: Mapping[str, Any] | None = None) -> float:
+        """``Pr(target | given)`` with empirical frequencies; 0 when the given has no support."""
+        given = dict(given or {})
+        overlap = set(target) & set(given)
+        if overlap:
+            raise EstimationError(f"attributes {sorted(overlap)} appear on both sides")
+        denominator = self.count(given) if given else self._total
+        if denominator == 0:
+            return 0.0
+        numerator = self.count({**given, **target})
+        return numerator / denominator
+
+    def observed_values(self, attribute: str, given: Mapping[str, Any] | None = None) -> list[Any]:
+        """Values of ``attribute`` with non-zero support under ``given`` (zero-support index)."""
+        position = self._position(attribute)
+        given = dict(given or {})
+        values = []
+        seen = set()
+        for combo in self._matching(given) if given else list(self._counts):
+            value = combo[position]
+            if value not in seen:
+                seen.add(value)
+                values.append(value)
+        return values
+
+    def conditional_distribution(
+        self, attribute: str, given: Mapping[str, Any] | None = None
+    ) -> dict[Any, float]:
+        """Full conditional distribution of ``attribute`` given the conditions."""
+        given = dict(given or {})
+        denominator = self.count(given) if given else self._total
+        if denominator == 0:
+            return {}
+        position = self._position(attribute)
+        dist: dict[Any, float] = defaultdict(float)
+        for combo in self._matching(given) if given else list(self._counts):
+            dist[combo[position]] += self._counts[combo] / denominator
+        return dict(dist)
+
+
+def make_regressor(kind: str = "forest", random_state: int | None = 0, **kwargs):
+    """Factory for the regression back-end (``forest`` | ``linear`` | ``ridge``)."""
+    kind = kind.lower()
+    if kind == "forest":
+        return RandomForestRegressor(random_state=random_state, **kwargs)
+    if kind == "linear":
+        from .linear import LinearRegression
+
+        return LinearRegression(**kwargs)
+    if kind == "ridge":
+        return RidgeRegression(**kwargs)
+    raise EstimationError(f"unknown regressor kind {kind!r}")
+
+
+@dataclass
+class ConditionalMeanRegressor:
+    """Regression of an outcome on a set of (possibly categorical) attributes.
+
+    ``fit`` consumes raw columns; the encoder handles categorical attributes via
+    one-hot encoding.  ``predict_rows`` evaluates the fitted conditional mean at
+    arbitrary attribute assignments — including counterfactual values of the
+    update attribute that never co-occur with the given covariates in the data,
+    which is exactly what Equation (1) needs.
+    """
+
+    feature_attributes: tuple[str, ...]
+    regressor_kind: str = "forest"
+    random_state: int | None = 0
+    regressor_params: Mapping[str, Any] = field(default_factory=dict)
+    _encoder: FeatureEncoder | None = field(default=None, repr=False)
+    _model: Any = field(default=None, repr=False)
+    _target_mean: float = 0.0
+
+    def fit(
+        self,
+        columns: Mapping[str, Sequence[Any]],
+        target: Sequence[float],
+    ) -> "ConditionalMeanRegressor":
+        missing = [a for a in self.feature_attributes if a not in columns]
+        if missing:
+            raise EstimationError(f"training columns missing attributes {missing}")
+        target = np.asarray(list(target), dtype=float)
+        feature_columns = {a: list(columns[a]) for a in self.feature_attributes}
+        self._target_mean = float(target.mean()) if target.size else 0.0
+        if not self.feature_attributes:
+            self._encoder = None
+            self._model = None
+            return self
+        self._encoder = FeatureEncoder.fit_columns(feature_columns)
+        design = self._encoder.transform_columns(feature_columns)
+        self._model = make_regressor(
+            self.regressor_kind, random_state=self.random_state, **dict(self.regressor_params)
+        )
+        self._model.fit(design, target)
+        return self
+
+    def predict_rows(self, rows: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        if self._encoder is None or self._model is None:
+            return np.full(len(rows), self._target_mean)
+        design = np.vstack([self._encoder.transform_row(row) for row in rows])
+        return self._model.predict(design)
+
+    def predict_row(self, row: Mapping[str, Any]) -> float:
+        return float(self.predict_rows([row])[0])
+
+    def predict_columns(self, columns: Mapping[str, Sequence[Any]]) -> np.ndarray:
+        if self._encoder is None or self._model is None:
+            lengths = {len(v) for v in columns.values()} or {0}
+            return np.full(lengths.pop(), self._target_mean)
+        design = self._encoder.transform_columns(
+            {a: list(columns[a]) for a in self.feature_attributes}
+        )
+        return self._model.predict(design)

@@ -1,0 +1,144 @@
+"""Feature encoding: turning relation columns into numeric design matrices.
+
+The conditional-probability estimators (Section 3.3 / A.4) regress an outcome
+on the update attribute and the backdoor set.  Those attributes may be numeric
+or categorical; this module provides the label/one-hot encoders that build the
+numeric feature matrices consumed by the regressors in :mod:`repro.ml`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import EstimationError
+from ..relational.relation import Relation
+
+__all__ = ["ColumnEncoder", "FeatureEncoder"]
+
+
+def _is_numeric(values: Sequence[Any]) -> bool:
+    return all(
+        isinstance(v, (int, float, np.integer, np.floating)) and not isinstance(v, bool)
+        for v in values
+        if v is not None
+    )
+
+
+@dataclass
+class ColumnEncoder:
+    """Encoder for a single attribute: pass-through for numeric, one-hot otherwise."""
+
+    name: str
+    numeric: bool = True
+    categories: tuple[Any, ...] = ()
+    fill_value: float = 0.0
+
+    @classmethod
+    def fit(cls, name: str, values: Sequence[Any]) -> "ColumnEncoder":
+        values = list(values)
+        if all(v is None for v in values):
+            raise EstimationError(f"column {name!r} has no non-null values to encode")
+        if _is_numeric(values):
+            observed = [float(v) for v in values if v is not None]
+            fill = float(np.mean(observed)) if observed else 0.0
+            return cls(name=name, numeric=True, fill_value=fill)
+        categories = tuple(sorted({str(v) for v in values if v is not None}))
+        if not categories:
+            raise EstimationError(f"column {name!r} has no non-null values to encode")
+        return cls(name=name, numeric=False, categories=categories)
+
+    @property
+    def width(self) -> int:
+        return 1 if self.numeric else len(self.categories)
+
+    @property
+    def feature_names(self) -> list[str]:
+        if self.numeric:
+            return [self.name]
+        return [f"{self.name}={c}" for c in self.categories]
+
+    def transform(self, values: Sequence[Any]) -> np.ndarray:
+        values = list(values)
+        n = len(values)
+        if self.numeric:
+            out = np.empty((n, 1))
+            for i, v in enumerate(values):
+                out[i, 0] = self.fill_value if v is None else float(v)
+            return out
+        out = np.zeros((n, len(self.categories)))
+        index = {c: j for j, c in enumerate(self.categories)}
+        for i, v in enumerate(values):
+            if v is None:
+                continue
+            j = index.get(str(v))
+            if j is not None:
+                out[i, j] = 1.0
+        return out
+
+    def transform_value(self, value: Any) -> np.ndarray:
+        return self.transform([value])[0]
+
+
+@dataclass
+class FeatureEncoder:
+    """Encoder for an ordered set of attributes of a relation."""
+
+    encoders: dict[str, ColumnEncoder] = field(default_factory=dict)
+    attribute_order: tuple[str, ...] = ()
+
+    @classmethod
+    def fit(cls, relation: Relation, attributes: Sequence[str]) -> "FeatureEncoder":
+        encoders = {}
+        for attr in attributes:
+            encoders[attr] = ColumnEncoder.fit(attr, list(relation.column_view(attr)))
+        return cls(encoders=encoders, attribute_order=tuple(attributes))
+
+    @classmethod
+    def fit_columns(cls, columns: Mapping[str, Sequence[Any]]) -> "FeatureEncoder":
+        encoders = {name: ColumnEncoder.fit(name, list(values)) for name, values in columns.items()}
+        return cls(encoders=encoders, attribute_order=tuple(columns))
+
+    @property
+    def feature_names(self) -> list[str]:
+        names: list[str] = []
+        for attr in self.attribute_order:
+            names.extend(self.encoders[attr].feature_names)
+        return names
+
+    @property
+    def width(self) -> int:
+        return sum(self.encoders[a].width for a in self.attribute_order)
+
+    def transform_relation(self, relation: Relation) -> np.ndarray:
+        blocks = [
+            self.encoders[attr].transform(list(relation.column_view(attr)))
+            for attr in self.attribute_order
+        ]
+        if not blocks:
+            return np.zeros((len(relation), 0))
+        return np.hstack(blocks)
+
+    def transform_columns(self, columns: Mapping[str, Sequence[Any]]) -> np.ndarray:
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise EstimationError("all columns must have the same length")
+        blocks = [
+            self.encoders[attr].transform(list(columns[attr]))
+            for attr in self.attribute_order
+        ]
+        if not blocks:
+            n = lengths.pop() if lengths else 0
+            return np.zeros((n, 0))
+        return np.hstack(blocks)
+
+    def transform_row(self, row: Mapping[str, Any]) -> np.ndarray:
+        pieces = [
+            self.encoders[attr].transform_value(row.get(attr))
+            for attr in self.attribute_order
+        ]
+        if not pieces:
+            return np.zeros(0)
+        return np.concatenate(pieces)

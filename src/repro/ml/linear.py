@@ -1,0 +1,98 @@
+"""Linear and ridge regression (closed-form, numpy only).
+
+A light-weight alternative to the random forest for the conditional-expectation
+estimates; also used as the linearised surrogate objective when the how-to IP
+needs a linear expression of the candidate updates (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import EstimationError
+
+__all__ = ["LinearRegression", "RidgeRegression"]
+
+
+@dataclass
+class LinearRegression:
+    """Ordinary least squares with an intercept term."""
+
+    fit_intercept: bool = True
+    coefficients: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    intercept: float = 0.0
+    _fitted: bool = field(default=False, repr=False)
+
+    def _design(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features.reshape(-1, 1)
+        if self.fit_intercept:
+            return np.hstack([np.ones((features.shape[0], 1)), features])
+        return features
+
+    def fit(self, features: np.ndarray, target: np.ndarray) -> "LinearRegression":
+        target = np.asarray(target, dtype=float)
+        design = self._design(features)
+        if design.shape[0] != target.shape[0]:
+            raise EstimationError(
+                f"feature rows ({design.shape[0]}) do not match targets ({target.shape[0]})"
+            )
+        if design.shape[0] == 0:
+            raise EstimationError("cannot fit a regression on zero rows")
+        solution, *_ = np.linalg.lstsq(design, target, rcond=None)
+        if self.fit_intercept:
+            self.intercept = float(solution[0])
+            self.coefficients = solution[1:]
+        else:
+            self.intercept = 0.0
+            self.coefficients = solution
+        self._fitted = True
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise EstimationError("the regression has not been fitted")
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features.reshape(-1, 1)
+        if features.shape[1] != self.coefficients.shape[0]:
+            raise EstimationError(
+                f"expected {self.coefficients.shape[0]} features, got {features.shape[1]}"
+            )
+        return features @ self.coefficients + self.intercept
+
+
+@dataclass
+class RidgeRegression(LinearRegression):
+    """L2-regularised least squares (stabler with one-hot encoded categoricals)."""
+
+    alpha: float = 1.0
+
+    def fit(self, features: np.ndarray, target: np.ndarray) -> "RidgeRegression":
+        if self.alpha < 0:
+            raise EstimationError("ridge penalty must be non-negative")
+        target = np.asarray(target, dtype=float)
+        design = self._design(features)
+        if design.shape[0] != target.shape[0]:
+            raise EstimationError(
+                f"feature rows ({design.shape[0]}) do not match targets ({target.shape[0]})"
+            )
+        if design.shape[0] == 0:
+            raise EstimationError("cannot fit a regression on zero rows")
+        n_features = design.shape[1]
+        penalty = self.alpha * np.eye(n_features)
+        if self.fit_intercept:
+            penalty[0, 0] = 0.0  # do not shrink the intercept
+        gram = design.T @ design + penalty
+        solution = np.linalg.solve(gram, design.T @ target)
+        if self.fit_intercept:
+            self.intercept = float(solution[0])
+            self.coefficients = solution[1:]
+        else:
+            self.intercept = 0.0
+            self.coefficients = solution
+        self._fitted = True
+        return self

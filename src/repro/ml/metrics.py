@@ -1,0 +1,45 @@
+"""Regression / estimation quality metrics used by tests and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import EstimationError
+
+__all__ = ["mean_squared_error", "mean_absolute_error", "r2_score", "relative_error"]
+
+
+def _validate(y_true: Sequence[float], y_pred: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(list(y_true), dtype=float)
+    b = np.asarray(list(y_pred), dtype=float)
+    if a.shape != b.shape:
+        raise EstimationError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise EstimationError("metrics need at least one observation")
+    return a, b
+
+
+def mean_squared_error(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    a, b = _validate(y_true, y_pred)
+    return float(np.mean((a - b) ** 2))
+
+
+def mean_absolute_error(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    a, b = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(a - b)))
+
+
+def r2_score(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    a, b = _validate(y_true, y_pred)
+    ss_res = float(np.sum((a - b) ** 2))
+    ss_tot = float(np.sum((a - a.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def relative_error(estimate: float, truth: float, *, floor: float = 1e-9) -> float:
+    """``|estimate - truth| / max(|truth|, floor)`` — the accuracy measure of Figure 10."""
+    return abs(estimate - truth) / max(abs(truth), floor)

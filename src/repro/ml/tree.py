@@ -1,0 +1,174 @@
+"""CART regression trees (variance-reduction splitting), numpy only.
+
+This is the base learner of the random-forest regressor HypeR uses to estimate
+conditional probabilities / expectations (the paper uses sklearn's
+``RandomForestRegressor``; Section 5 "Implementation and setup").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import EstimationError
+
+__all__ = ["DecisionTreeRegressor"]
+
+
+@dataclass
+class _Node:
+    """Internal tree node; leaves have ``feature is None``."""
+
+    value: float
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+@dataclass
+class DecisionTreeRegressor:
+    """Regression tree minimising within-node variance.
+
+    Parameters mirror the common sklearn knobs: ``max_depth``,
+    ``min_samples_split``, ``min_samples_leaf``, ``max_features`` (number of
+    features considered per split — used by the random forest), and
+    ``n_thresholds`` limiting candidate split points per feature (quantile
+    candidates), which keeps training linear-ish in the sample count.
+    """
+
+    max_depth: int = 8
+    min_samples_split: int = 10
+    min_samples_leaf: int = 5
+    max_features: int | None = None
+    n_thresholds: int = 16
+    random_state: int | None = None
+    _root: _Node | None = field(default=None, repr=False)
+    _n_features: int = field(default=0, repr=False)
+
+    def fit(self, features: np.ndarray, target: np.ndarray) -> "DecisionTreeRegressor":
+        features = np.asarray(features, dtype=float)
+        target = np.asarray(target, dtype=float)
+        if features.ndim == 1:
+            features = features.reshape(-1, 1)
+        if features.shape[0] != target.shape[0]:
+            raise EstimationError("features and target have mismatched lengths")
+        if features.shape[0] == 0:
+            raise EstimationError("cannot fit a tree on zero rows")
+        self._n_features = features.shape[1]
+        rng = np.random.default_rng(self.random_state)
+        self._root = self._build(features, target, depth=0, rng=rng)
+        return self
+
+    # -- tree construction -----------------------------------------------------------
+
+    def _build(
+        self, features: np.ndarray, target: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> _Node:
+        node_value = float(target.mean())
+        n_samples = target.shape[0]
+        if (
+            depth >= self.max_depth
+            or n_samples < self.min_samples_split
+            or np.isclose(target.var(), 0.0)
+        ):
+            return _Node(value=node_value)
+
+        best = self._best_split(features, target, rng)
+        if best is None:
+            return _Node(value=node_value)
+        feature, threshold, left_mask = best
+        right_mask = ~left_mask
+        left = self._build(features[left_mask], target[left_mask], depth + 1, rng)
+        right = self._build(features[right_mask], target[right_mask], depth + 1, rng)
+        return _Node(value=node_value, feature=feature, threshold=threshold, left=left, right=right)
+
+    def _candidate_features(self, rng: np.random.Generator) -> np.ndarray:
+        if self.max_features is None or self.max_features >= self._n_features:
+            return np.arange(self._n_features)
+        k = max(1, int(self.max_features))
+        return rng.choice(self._n_features, size=k, replace=False)
+
+    def _best_split(
+        self, features: np.ndarray, target: np.ndarray, rng: np.random.Generator
+    ) -> tuple[int, float, np.ndarray] | None:
+        n_samples = target.shape[0]
+        total_sum = target.sum()
+        total_sq = float(((target - target.mean()) ** 2).sum())
+        best_gain = 1e-12
+        best: tuple[int, float, np.ndarray] | None = None
+        for feature in self._candidate_features(rng):
+            column = features[:, feature]
+            finite = column[np.isfinite(column)]
+            if finite.size == 0:
+                continue
+            unique = np.unique(finite)
+            if unique.size < 2:
+                continue
+            if unique.size > self.n_thresholds:
+                quantiles = np.linspace(0, 1, self.n_thresholds + 2)[1:-1]
+                thresholds = np.unique(np.quantile(finite, quantiles))
+            else:
+                thresholds = (unique[:-1] + unique[1:]) / 2.0
+            for threshold in thresholds:
+                left_mask = column <= threshold
+                n_left = int(left_mask.sum())
+                n_right = n_samples - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                left_sum = target[left_mask].sum()
+                right_sum = total_sum - left_sum
+                # Variance reduction expressed through sums of squares:
+                gain = (left_sum**2) / n_left + (right_sum**2) / n_right - (total_sum**2) / n_samples
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feature), float(threshold), left_mask.copy())
+        # ``total_sq`` retained for clarity of the objective; gain is monotone in
+        # the variance reduction so comparing gains is sufficient.
+        _ = total_sq
+        return best
+
+    # -- prediction ------------------------------------------------------------------
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise EstimationError("the tree has not been fitted")
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features.reshape(-1, 1)
+        if features.shape[1] != self._n_features:
+            raise EstimationError(
+                f"expected {self._n_features} features, got {features.shape[1]}"
+            )
+        out = np.empty(features.shape[0])
+        for i in range(features.shape[0]):
+            out[i] = self._predict_row(features[i])
+        return out
+
+    def _predict_row(self, row: np.ndarray) -> float:
+        node = self._root
+        assert node is not None
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            if row[node.feature] <= node.threshold:
+                node = node.left
+            else:
+                node = node.right
+        return node.value
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree (useful in tests)."""
+
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise EstimationError("the tree has not been fitted")
+        return walk(self._root)

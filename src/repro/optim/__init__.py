@@ -1,0 +1,23 @@
+"""Optimization substrate: integer-program models and solvers.
+
+Provides the 0/1 integer program representation and solvers backing HypeR's
+how-to queries (Section 4.3): a branch-and-bound over scipy LP relaxations and
+an exhaustive enumerator used as a correctness oracle and as the basis of the
+Opt-HowTo baseline.
+"""
+
+from .model import Constraint, IntegerProgram, LinearExpression, Variable
+from .solution import Solution, SolveStatus
+from .solver import BranchAndBoundSolver, ExhaustiveSolver, solve_integer_program
+
+__all__ = [
+    "BranchAndBoundSolver",
+    "Constraint",
+    "ExhaustiveSolver",
+    "IntegerProgram",
+    "LinearExpression",
+    "Solution",
+    "SolveStatus",
+    "Variable",
+    "solve_integer_program",
+]

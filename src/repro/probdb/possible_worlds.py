@@ -1,0 +1,103 @@
+"""Possible worlds (Definition 1) and exact enumeration for small instances.
+
+A possible world keeps every immutable attribute (including keys) fixed and
+lets every mutable attribute range over its domain.  Exhaustive enumeration is
+exponential and only feasible for tiny instances with finite domains; it is
+used as the *naive baseline* against which the optimised engine is validated in
+the tests, mirroring how the paper's semantics (Definition 5) is stated versus
+how it is computed (Section 3.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..exceptions import HypeRError
+from ..relational.relation import Relation
+
+__all__ = ["PossibleWorld", "count_possible_worlds", "enumerate_possible_worlds"]
+
+
+@dataclass
+class PossibleWorld:
+    """One possible world of a relation plus its probability weight."""
+
+    relation: Relation
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.probability < 0:
+            raise HypeRError("a possible world cannot have negative probability")
+
+
+def _mutable_value_choices(
+    relation: Relation, mutable: Sequence[str]
+) -> list[list[Any]]:
+    """Domain values per mutable attribute (requires finite domains)."""
+    choices = []
+    for attribute in mutable:
+        domain = relation.schema.domain(attribute)
+        if not domain.is_finite:
+            raise HypeRError(
+                f"cannot enumerate possible worlds: domain of {attribute!r} is not finite"
+            )
+        choices.append(domain.values())
+    return choices
+
+
+def count_possible_worlds(relation: Relation, mutable: Sequence[str] | None = None) -> int:
+    """Number of possible worlds of ``relation`` (Definition 1)."""
+    mutable = list(mutable) if mutable is not None else list(relation.schema.mutable_attributes)
+    choices = _mutable_value_choices(relation, mutable)
+    per_tuple = 1
+    for values in choices:
+        per_tuple *= len(values)
+    return per_tuple ** len(relation)
+
+
+def enumerate_possible_worlds(
+    relation: Relation,
+    mutable: Sequence[str] | None = None,
+    *,
+    max_worlds: int = 200_000,
+    weight: Callable[[Relation], float] | None = None,
+) -> Iterator[PossibleWorld]:
+    """Yield every possible world of ``relation``.
+
+    ``mutable`` restricts which attributes vary (default: all mutable attributes
+    of the schema).  ``weight`` optionally assigns an *unnormalised* probability
+    to each world; the caller normalises (see
+    :class:`repro.probdb.distribution.DiscreteWorldDistribution`).
+    """
+    mutable = list(mutable) if mutable is not None else list(relation.schema.mutable_attributes)
+    if not mutable:
+        yield PossibleWorld(relation, 1.0)
+        return
+    total = count_possible_worlds(relation, mutable)
+    if total > max_worlds:
+        raise HypeRError(
+            f"refusing to enumerate {total} possible worlds (> max_worlds={max_worlds})"
+        )
+    choices = _mutable_value_choices(relation, mutable)
+    n_rows = len(relation)
+
+    # Each world assigns, per row, a combination of mutable values.
+    per_row_combos = list(itertools.product(*choices))
+    for assignment in itertools.product(per_row_combos, repeat=n_rows):
+        world = relation
+        for attr_idx, attribute in enumerate(mutable):
+            values = [assignment[row][attr_idx] for row in range(n_rows)]
+            world = world.with_column(attribute, values)
+        w = 1.0 if weight is None else float(weight(world))
+        yield PossibleWorld(world, w)
+
+
+def worlds_from_samples(samples: Iterable[Relation]) -> list[PossibleWorld]:
+    """Wrap Monte-Carlo sampled post-update relations as equally weighted worlds."""
+    samples = list(samples)
+    if not samples:
+        return []
+    p = 1.0 / len(samples)
+    return [PossibleWorld(sample, p) for sample in samples]

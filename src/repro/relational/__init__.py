@@ -1,0 +1,111 @@
+"""Relational substrate: schemas, relations, expressions, operators, views.
+
+This package is the storage and query-processing layer HypeR runs on.  It
+replaces the dataframe library used by the original implementation with a
+self-contained column-store relational engine providing exactly the operations
+the paper's ``Use`` operator and estimators need: typed domains, keys and
+mutability flags, selection/projection/join/group-by, Pre/Post-aware predicate
+expressions, and decomposable aggregates.
+"""
+
+from .aggregates import (
+    AGGREGATES,
+    AggregateFunction,
+    AvgAggregate,
+    CountAggregate,
+    SumAggregate,
+    get_aggregate,
+)
+from .database import Database
+from .expressions import (
+    Arithmetic,
+    Attr,
+    BooleanExpr,
+    Comparison,
+    Const,
+    EvaluationContext,
+    Expr,
+    InSet,
+    Not,
+    Temporal,
+    col,
+    lit,
+    post,
+    pre,
+)
+from .operators import equi_join, group_by, project, select
+from .predicates import (
+    TRUE,
+    Conjunction,
+    evaluate_mask,
+    evaluate_predicate,
+    make_disjoint,
+    split_pre_post,
+    to_dnf,
+)
+from .relation import Relation
+from .schema import AttributeSpec, DatabaseSchema, ForeignKey, RelationSchema
+from .types import (
+    AttributeKind,
+    BooleanDomain,
+    CategoricalDomain,
+    Domain,
+    IntegerDomain,
+    NumericDomain,
+    infer_domain,
+)
+from .view import AggregatedAttribute, UseSpec
+from .csvio import read_csv, read_database, write_csv, write_database
+
+__all__ = [
+    "AGGREGATES",
+    "AggregateFunction",
+    "AggregatedAttribute",
+    "Arithmetic",
+    "Attr",
+    "AttributeKind",
+    "AttributeSpec",
+    "AvgAggregate",
+    "BooleanDomain",
+    "BooleanExpr",
+    "CategoricalDomain",
+    "Comparison",
+    "Conjunction",
+    "Const",
+    "CountAggregate",
+    "Database",
+    "DatabaseSchema",
+    "Domain",
+    "EvaluationContext",
+    "Expr",
+    "ForeignKey",
+    "InSet",
+    "IntegerDomain",
+    "Not",
+    "NumericDomain",
+    "Relation",
+    "RelationSchema",
+    "SumAggregate",
+    "Temporal",
+    "TRUE",
+    "UseSpec",
+    "col",
+    "equi_join",
+    "evaluate_mask",
+    "evaluate_predicate",
+    "get_aggregate",
+    "group_by",
+    "infer_domain",
+    "lit",
+    "make_disjoint",
+    "post",
+    "pre",
+    "project",
+    "read_csv",
+    "read_database",
+    "select",
+    "split_pre_post",
+    "to_dnf",
+    "write_csv",
+    "write_database",
+]

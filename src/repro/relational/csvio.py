@@ -1,0 +1,118 @@
+"""CSV import/export for relations and databases.
+
+Utility layer so examples and downstream users can round-trip datasets to disk
+without any external dataframe dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ..exceptions import SchemaError
+from .database import Database
+from .relation import Relation
+from .schema import RelationSchema
+from .types import Domain
+
+__all__ = ["write_csv", "read_csv", "write_database", "read_database"]
+
+
+def _coerce(value: str) -> Any:
+    """Best-effort conversion of a CSV cell into bool / int / float / str / None."""
+    if value == "":
+        return None
+    lowered = value.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        as_int = int(value)
+    except ValueError:
+        pass
+    else:
+        return as_int
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
+def write_csv(relation: Relation, path: str | Path) -> Path:
+    """Write ``relation`` to ``path`` as a CSV file with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.attribute_names)
+        for row in relation.rows():
+            writer.writerow(
+                ["" if row[a] is None else row[a] for a in relation.attribute_names]
+            )
+    return path
+
+
+def read_csv(
+    path: str | Path,
+    name: str,
+    key: Iterable[str],
+    *,
+    immutable: Iterable[str] = (),
+    domains: Mapping[str, Domain] | None = None,
+    schema: RelationSchema | None = None,
+) -> Relation:
+    """Read a CSV file into a :class:`Relation`.
+
+    When ``schema`` is given it is used verbatim; otherwise the schema is
+    inferred from the data with the supplied key/immutability/domain hints.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration as exc:
+            raise SchemaError(f"CSV file {path} is empty") from exc
+        rows = [[_coerce(cell) for cell in row] for row in reader]
+    columns = {col: [row[i] for row in rows] for i, col in enumerate(header)}
+    if schema is not None:
+        return Relation(schema, columns)
+    return Relation.from_columns(
+        name, columns, key, immutable=immutable, domains=domains
+    )
+
+
+def write_database(database: Database, directory: str | Path) -> dict[str, Path]:
+    """Write every relation of ``database`` to ``directory/<relation>.csv``."""
+    directory = Path(directory)
+    out = {}
+    for relation in database:
+        out[relation.name] = write_csv(relation, directory / f"{relation.name}.csv")
+    return out
+
+
+def read_database(
+    directory: str | Path,
+    specs: Mapping[str, Mapping[str, Any]],
+    foreign_keys=(),
+) -> Database:
+    """Read relations from ``directory`` according to per-relation spec dicts.
+
+    Each spec supports the keys ``key`` (required), ``immutable`` and ``domains``
+    — the same hints accepted by :func:`read_csv`.
+    """
+    directory = Path(directory)
+    relations = []
+    for name, spec in specs.items():
+        relations.append(
+            read_csv(
+                directory / f"{name}.csv",
+                name,
+                spec["key"],
+                immutable=spec.get("immutable", ()),
+                domains=spec.get("domains"),
+            )
+        )
+    return Database(relations, foreign_keys)

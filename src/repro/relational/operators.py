@@ -1,0 +1,164 @@
+"""Relational algebra operators: selection, projection, join, group-by.
+
+These are the building blocks of the ``Use`` operator in HypeR queries: the
+relevant view is "a standard group-by SQL query" joining the relation holding
+the update attribute with the relations holding the output and filter
+attributes, aggregating the latter per key of the former (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..exceptions import SchemaError
+from .aggregates import get_aggregate
+from .expressions import Expr
+from .predicates import evaluate_mask
+from .relation import Relation
+from .schema import AttributeSpec, RelationSchema
+from .types import infer_domain
+
+__all__ = ["select", "project", "equi_join", "group_by", "aggregate_column"]
+
+
+def select(relation: Relation, predicate: Expr) -> Relation:
+    """Selection: rows of ``relation`` where ``predicate`` holds (pre values)."""
+    mask = evaluate_mask(predicate, relation)
+    return relation.filter(mask)
+
+
+def project(relation: Relation, attributes: Sequence[str], name: str | None = None) -> Relation:
+    """Projection onto ``attributes`` (the key must be retained)."""
+    return relation.project(attributes, name=name)
+
+
+def equi_join(
+    left: Relation,
+    right: Relation,
+    on: Sequence[tuple[str, str]],
+    *,
+    name: str | None = None,
+    how: str = "inner",
+) -> Relation:
+    """Hash equi-join of two relations.
+
+    ``on`` is a list of ``(left_attribute, right_attribute)`` pairs.  Attributes
+    of the right relation that collide with left attribute names are prefixed
+    with ``<right_name>_``.  ``how`` may be ``"inner"`` or ``"left"``; a left
+    join pads unmatched right attributes with ``None``.
+    """
+    if how not in ("inner", "left"):
+        raise SchemaError(f"unsupported join type {how!r}")
+    if not on:
+        raise SchemaError("equi_join requires at least one join attribute pair")
+    for l_attr, r_attr in on:
+        if l_attr not in left.schema:
+            raise SchemaError(f"join attribute {l_attr!r} missing from {left.name!r}")
+        if r_attr not in right.schema:
+            raise SchemaError(f"join attribute {r_attr!r} missing from {right.name!r}")
+
+    # Build a hash index over the right relation.
+    right_index: dict[tuple[Any, ...], list[int]] = defaultdict(list)
+    right_join_cols = [right.column_view(r) for _, r in on]
+    for j in range(len(right)):
+        right_index[tuple(col[j] for col in right_join_cols)].append(j)
+
+    join_right_attrs = {r for _, r in on}
+    left_attrs = list(left.attribute_names)
+    right_attrs = [a for a in right.attribute_names if a not in join_right_attrs]
+    renamed = {
+        a: a if a not in left_attrs else f"{right.name}_{a}" for a in right_attrs
+    }
+
+    out_columns: dict[str, list[Any]] = {a: [] for a in left_attrs}
+    out_columns.update({renamed[a]: [] for a in right_attrs})
+
+    left_join_cols = [left.column_view(l) for l, _ in on]
+    for i in range(len(left)):
+        key = tuple(col[i] for col in left_join_cols)
+        matches = right_index.get(key, [])
+        if not matches and how == "left":
+            for a in left_attrs:
+                out_columns[a].append(left.column_view(a)[i])
+            for a in right_attrs:
+                out_columns[renamed[a]].append(None)
+            continue
+        for j in matches:
+            for a in left_attrs:
+                out_columns[a].append(left.column_view(a)[i])
+            for a in right_attrs:
+                out_columns[renamed[a]].append(right.column_view(a)[j])
+
+    # The join result key: left key plus right key (uniqueness of rows).
+    right_key_attrs = [renamed.get(a, a) for a in right.schema.key if a not in join_right_attrs]
+    key = list(left.schema.key) + [a for a in right_key_attrs if a in out_columns]
+    specs = []
+    for a in left_attrs:
+        spec = left.schema[a]
+        specs.append(AttributeSpec(a, spec.domain, mutable=spec.mutable))
+    for a in right_attrs:
+        spec = right.schema[a]
+        specs.append(AttributeSpec(renamed[a], spec.domain, mutable=spec.mutable))
+    schema = RelationSchema(name or f"{left.name}_join_{right.name}", specs, key)
+    return Relation(schema, out_columns, validate=False)
+
+
+def aggregate_column(values: Sequence[Any], how: str) -> float:
+    """Aggregate a list of values with a named aggregate (sum/count/avg)."""
+    return get_aggregate(how).evaluate([v for v in values if v is not None])
+
+
+def group_by(
+    relation: Relation,
+    by: Sequence[str],
+    aggregations: Mapping[str, tuple[str, str]],
+    *,
+    name: str | None = None,
+    key: Iterable[str] | None = None,
+) -> Relation:
+    """Group ``relation`` by ``by`` and compute named aggregations.
+
+    ``aggregations`` maps output column name to ``(source_attribute, aggregate)``
+    where aggregate is ``"sum" | "count" | "avg"``.  The grouping attributes keep
+    their original schema specs; aggregated columns become numeric and mutable.
+    """
+    for attr in by:
+        if attr not in relation.schema:
+            raise SchemaError(f"group-by attribute {attr!r} missing from {relation.name!r}")
+    for out_name, (source, _how) in aggregations.items():
+        if source not in relation.schema:
+            raise SchemaError(f"aggregation source {source!r} missing from {relation.name!r}")
+        if out_name in by:
+            raise SchemaError(f"aggregation output {out_name!r} collides with a group-by attribute")
+
+    groups: dict[tuple[Any, ...], list[int]] = defaultdict(list)
+    by_cols = [relation.column_view(a) for a in by]
+    for i in range(len(relation)):
+        groups[tuple(col[i] for col in by_cols)].append(i)
+
+    out_columns: dict[str, list[Any]] = {a: [] for a in by}
+    for out_name in aggregations:
+        out_columns[out_name] = []
+
+    for group_key, indices in groups.items():
+        for attr, value in zip(by, group_key):
+            out_columns[attr].append(value)
+        for out_name, (source, how) in aggregations.items():
+            values = [relation.column_view(source)[i] for i in indices]
+            out_columns[out_name].append(aggregate_column(values, how))
+
+    specs = [
+        AttributeSpec(a, relation.schema[a].domain, mutable=relation.schema[a].mutable)
+        for a in by
+    ]
+    for out_name in aggregations:
+        specs.append(
+            AttributeSpec(out_name, infer_domain(out_columns[out_name] or [0.0]), mutable=True)
+        )
+    group_key_attrs = tuple(key) if key is not None else tuple(by)
+    missing_key = [k for k in group_key_attrs if k not in by]
+    if missing_key:
+        raise SchemaError(f"group-by key attributes {missing_key} are not grouping columns")
+    schema = RelationSchema(name or f"{relation.name}_grouped", specs, group_key_attrs)
+    return Relation(schema, out_columns, validate=False)

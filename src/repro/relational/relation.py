@@ -1,0 +1,306 @@
+"""Column-oriented relation (table) implementation.
+
+The HypeR algorithms repeatedly slice tables by boolean masks, read whole
+columns for regression features, and update single columns under hypothetical
+interventions.  A small column store over ``numpy`` object/float arrays serves
+those access patterns well without any external dataframe dependency.
+
+A :class:`Relation` is immutable from the caller's perspective: every
+transforming operation (``filter``, ``project``, ``with_column`` …) returns a
+new relation sharing no mutable state with the original, which keeps possible
+worlds and pre/post snapshots trivially safe to hold side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import SchemaError
+from .schema import AttributeSpec, RelationSchema
+from .types import Domain, infer_domain
+
+__all__ = ["Relation"]
+
+
+def _as_column(values: Sequence[Any]) -> np.ndarray:
+    """Store a column as float64 when purely numeric, else as an object array."""
+    values = list(values)
+    is_numeric = all(
+        isinstance(v, (int, float, np.integer, np.floating)) and not isinstance(v, bool)
+        for v in values
+    )
+    if values and is_numeric:
+        return np.asarray(values, dtype=float)
+    return np.asarray(values, dtype=object)
+
+
+class Relation:
+    """A named, schema-typed set of tuples stored column-wise."""
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        columns: Mapping[str, Sequence[Any]] | None = None,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.schema = schema
+        columns = columns or {name: [] for name in schema.attribute_names}
+        missing = [a for a in schema.attribute_names if a not in columns]
+        extra = [c for c in columns if c not in schema.attribute_names]
+        if missing:
+            raise SchemaError(f"relation {schema.name!r} is missing columns {missing}")
+        if extra:
+            raise SchemaError(f"relation {schema.name!r} received unknown columns {extra}")
+        self._columns: dict[str, np.ndarray] = {
+            name: _as_column(columns[name]) for name in schema.attribute_names
+        }
+        lengths = {name: len(col) for name, col in self._columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"columns of {schema.name!r} have unequal lengths: {lengths}")
+        self._length = next(iter(lengths.values())) if lengths else 0
+        if validate:
+            self._validate_domains()
+            self._validate_key()
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: RelationSchema,
+        rows: Iterable[Mapping[str, Any]],
+        *,
+        validate: bool = True,
+    ) -> "Relation":
+        """Build a relation from an iterable of row dictionaries."""
+        rows = list(rows)
+        columns = {
+            name: [row.get(name) for row in rows] for name in schema.attribute_names
+        }
+        return cls(schema, columns, validate=validate)
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        columns: Mapping[str, Sequence[Any]],
+        key: Iterable[str],
+        *,
+        immutable: Iterable[str] = (),
+        domains: Mapping[str, Domain] | None = None,
+    ) -> "Relation":
+        """Build a relation and infer its schema from the column data."""
+        schema = RelationSchema.from_columns(
+            name, columns, key, immutable=immutable, domains=domains
+        )
+        return cls(schema, columns)
+
+    def _validate_domains(self) -> None:
+        for name, column in self._columns.items():
+            domain = self.schema.domain(name)
+            for value in column:
+                if value is None:
+                    continue
+                if not domain.contains(value):
+                    raise SchemaError(
+                        f"value {value!r} of attribute {self.schema.name}.{name} "
+                        f"violates its domain {domain}"
+                    )
+
+    def _validate_key(self) -> None:
+        keys = list(self.iter_keys())
+        if len(set(keys)) != len(keys):
+            raise SchemaError(f"relation {self.schema.name!r} contains duplicate key values")
+
+    # -- basic accessors -----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return self.schema.attribute_names
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._columns
+
+    def column(self, attribute: str) -> np.ndarray:
+        """Return a copy of the named column."""
+        if attribute not in self._columns:
+            raise SchemaError(
+                f"relation {self.name!r} has no column {attribute!r}; "
+                f"columns: {list(self._columns)}"
+            )
+        return self._columns[attribute].copy()
+
+    def column_view(self, attribute: str) -> np.ndarray:
+        """Return the underlying column array without copying (read-only use)."""
+        if attribute not in self._columns:
+            raise SchemaError(f"relation {self.name!r} has no column {attribute!r}")
+        return self._columns[attribute]
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Return the row at ``index`` as an attribute → value dictionary."""
+        if not 0 <= index < self._length:
+            raise IndexError(f"row index {index} out of range for {self.name!r}")
+        return {name: self._columns[name][index] for name in self.attribute_names}
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate over rows as dictionaries."""
+        for i in range(self._length):
+            yield self.row(i)
+
+    def key_of(self, index: int) -> tuple[Any, ...]:
+        """Return the key tuple of the row at ``index``."""
+        return tuple(self._columns[k][index] for k in self.schema.key)
+
+    def iter_keys(self) -> Iterator[tuple[Any, ...]]:
+        for i in range(self._length):
+            yield self.key_of(i)
+
+    def key_index(self) -> dict[tuple[Any, ...], int]:
+        """Map from key tuple to row position."""
+        return {self.key_of(i): i for i in range(self._length)}
+
+    # -- transformations -----------------------------------------------------------
+
+    def filter(self, mask: Sequence[bool] | np.ndarray) -> "Relation":
+        """Return the sub-relation of rows where ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._length,):
+            raise SchemaError(
+                f"filter mask has shape {mask.shape}, expected ({self._length},)"
+            )
+        columns = {name: col[mask] for name, col in self._columns.items()}
+        return Relation(self.schema, columns, validate=False)
+
+    def filter_rows(self, predicate: Callable[[dict[str, Any]], bool]) -> "Relation":
+        """Return the sub-relation of rows satisfying ``predicate(row_dict)``."""
+        mask = np.fromiter((bool(predicate(row)) for row in self.rows()), dtype=bool, count=self._length)
+        return self.filter(mask)
+
+    def take(self, indices: Sequence[int]) -> "Relation":
+        """Return the relation containing exactly the rows at ``indices`` (in order)."""
+        idx = np.asarray(indices, dtype=int)
+        columns = {name: col[idx] for name, col in self._columns.items()}
+        return Relation(self.schema, columns, validate=False)
+
+    def head(self, n: int) -> "Relation":
+        return self.take(list(range(min(n, self._length))))
+
+    def sample(self, n: int, rng: np.random.Generator) -> "Relation":
+        """Uniform random sample (without replacement) of ``n`` rows."""
+        n = min(n, self._length)
+        idx = rng.choice(self._length, size=n, replace=False)
+        return self.take(sorted(idx.tolist()))
+
+    def project(self, attributes: Iterable[str], name: str | None = None) -> "Relation":
+        """Project onto ``attributes`` (key attributes must be retained)."""
+        keep = list(attributes)
+        schema = self.schema.project(keep, name=name)
+        columns = {a: self._columns[a].copy() for a in keep}
+        return Relation(schema, columns, validate=False)
+
+    def with_column(
+        self,
+        attribute: str,
+        values: Sequence[Any],
+        *,
+        domain: Domain | None = None,
+        mutable: bool = True,
+    ) -> "Relation":
+        """Return a relation with ``attribute`` added or replaced by ``values``."""
+        values = list(values)
+        if len(values) != self._length:
+            raise SchemaError(
+                f"column {attribute!r} has {len(values)} values, expected {self._length}"
+            )
+        if attribute in self.schema:
+            spec = self.schema[attribute]
+            new_spec = AttributeSpec(attribute, domain or spec.domain, mutable=spec.mutable)
+        else:
+            new_spec = AttributeSpec(attribute, domain or infer_domain(values), mutable=mutable)
+        schema = self.schema.with_attribute(new_spec)
+        columns = {name: col.copy() for name, col in self._columns.items()}
+        columns[attribute] = _as_column(values)
+        ordered = {name: columns[name] for name in schema.attribute_names}
+        return Relation(schema, ordered, validate=False)
+
+    def with_updated_values(
+        self, attribute: str, mask: Sequence[bool], new_values: Sequence[Any]
+    ) -> "Relation":
+        """Replace ``attribute`` values where ``mask`` holds with ``new_values``.
+
+        ``new_values`` must align with the full relation (only masked positions
+        are read).  This is the primitive used to materialise hypothetical
+        updates and simulated possible worlds.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        column = list(self.column(attribute))
+        replacements = list(new_values)
+        if len(replacements) != self._length:
+            raise SchemaError("new_values must align with the relation length")
+        for i, flag in enumerate(mask):
+            if flag:
+                column[i] = replacements[i]
+        return self.with_column(attribute, column)
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Union of two relations with identical schemas (set semantics by key)."""
+        if other.schema.attribute_names != self.schema.attribute_names:
+            raise SchemaError("cannot concatenate relations with different schemas")
+        columns = {
+            name: np.concatenate([self._columns[name], other._columns[name]])
+            for name in self.attribute_names
+        }
+        return Relation(self.schema, columns, validate=False)
+
+    def sort_by(self, attribute: str, descending: bool = False) -> "Relation":
+        order = np.argsort(self.column_view(attribute), kind="stable")
+        if descending:
+            order = order[::-1]
+        return self.take(order.tolist())
+
+    # -- conversions -----------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, list[Any]]:
+        """Return the relation as plain column lists."""
+        return {name: list(col) for name, col in self._columns.items()}
+
+    def to_rows(self) -> list[dict[str, Any]]:
+        return list(self.rows())
+
+    def numeric_matrix(self, attributes: Sequence[str]) -> np.ndarray:
+        """Stack numeric columns into an ``(n_rows, n_attrs)`` float matrix."""
+        cols = []
+        for attr in attributes:
+            col = self.column_view(attr)
+            try:
+                cols.append(np.asarray(col, dtype=float))
+            except (TypeError, ValueError) as exc:
+                raise SchemaError(f"attribute {attr!r} is not numeric") from exc
+        if not cols:
+            return np.empty((self._length, 0))
+        return np.column_stack(cols)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.name!r}, {self._length} rows, {len(self.attribute_names)} cols)"
+
+    def pretty(self, limit: int = 10) -> str:
+        """Human-readable rendering of up to ``limit`` rows (for examples/CLI)."""
+        header = " | ".join(self.attribute_names)
+        sep = "-" * len(header)
+        body = []
+        for i, row in enumerate(self.rows()):
+            if i >= limit:
+                body.append(f"... ({self._length - limit} more rows)")
+                break
+            body.append(" | ".join(str(row[a]) for a in self.attribute_names))
+        return "\n".join([header, sep, *body])

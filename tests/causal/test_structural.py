@@ -1,0 +1,130 @@
+"""Tests for structural equations and noise models."""
+
+import numpy as np
+import pytest
+
+from repro.causal import (
+    DiscreteCPD,
+    ExogenousDistribution,
+    FunctionalEquation,
+    GaussianNoise,
+    LinearEquation,
+    LogisticEquation,
+    NoNoise,
+    UniformNoise,
+)
+from repro.exceptions import CausalModelError
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestNoiseModels:
+    def test_gaussian_scale(self):
+        samples = GaussianNoise(2.0).sample(np.random.default_rng(0), 5000)
+        assert abs(samples.std() - 2.0) < 0.1
+        assert abs(samples.mean()) < 0.1
+
+    def test_uniform_bounds(self):
+        samples = UniformNoise(-2.0, 3.0).sample(np.random.default_rng(0), 1000)
+        assert samples.min() >= -2.0 and samples.max() <= 3.0
+
+    def test_no_noise(self):
+        assert (NoNoise().sample(RNG, 10) == 0).all()
+
+
+class TestExogenous:
+    def test_normal_and_uniform(self):
+        normal = ExogenousDistribution("normal", {"loc": 5, "scale": 0.1})
+        assert abs(normal.sample(np.random.default_rng(0), 2000).mean() - 5) < 0.05
+        uniform = ExogenousDistribution("uniform", {"low": 1, "high": 2})
+        samples = uniform.sample(RNG, 100)
+        assert samples.min() >= 1 and samples.max() <= 2
+
+    def test_categorical(self):
+        dist = ExogenousDistribution(
+            "categorical", {"values": ["a", "b"], "probabilities": [0.9, 0.1]}
+        )
+        samples = dist.sample(np.random.default_rng(0), 1000)
+        assert set(samples.tolist()) <= {"a", "b"}
+        assert (samples == "a").mean() > 0.8
+
+    def test_unknown_kind(self):
+        with pytest.raises(CausalModelError):
+            ExogenousDistribution("poisson").sample(RNG, 1)
+
+
+class TestLinearEquation:
+    def test_deterministic_compute(self):
+        eq = LinearEquation(weights={"X": 2.0}, intercept=1.0, noise=NoNoise())
+        out = eq.compute({"X": np.array([1.0, 2.0])}, np.zeros(2))
+        assert list(out) == [3.0, 5.0]
+
+    def test_clip_and_round(self):
+        eq = LinearEquation(
+            weights={"X": 1.0}, intercept=0.0, noise=NoNoise(), clip=(0.0, 3.0), round_to_int=True
+        )
+        out = eq.compute({"X": np.array([2.6, 10.0, -5.0])}, np.zeros(3))
+        assert list(out) == [3.0, 3.0, 0.0]
+
+    def test_missing_parent_raises(self):
+        eq = LinearEquation(weights={"X": 1.0})
+        with pytest.raises(CausalModelError):
+            eq.compute({"Y": np.zeros(2)}, np.zeros(2))
+
+    def test_sample_adds_noise(self):
+        eq = LinearEquation(weights={"X": 1.0}, noise=GaussianNoise(1.0))
+        out = eq.sample({"X": np.zeros(3000)}, np.random.default_rng(0), 3000)
+        assert abs(out.std() - 1.0) < 0.1
+
+
+class TestLogisticEquation:
+    def test_probability_monotone_in_parent(self):
+        eq = LogisticEquation(weights={"X": 2.0}, intercept=0.0)
+        probs = eq.probability({"X": np.array([-3.0, 0.0, 3.0])}, 3)
+        assert probs[0] < probs[1] < probs[2]
+
+    def test_sample_rates_match_probability(self):
+        eq = LogisticEquation(weights={"X": 0.0}, intercept=1.5, labels=("no", "yes"))
+        out = eq.sample({"X": np.zeros(4000)}, np.random.default_rng(1), 4000)
+        expected = 1 / (1 + np.exp(-1.5))
+        assert abs((out == "yes").mean() - expected) < 0.03
+
+
+class TestDiscreteCPD:
+    def test_table_sampling_and_default(self):
+        cpd = DiscreteCPD(
+            parent_names=["P"],
+            table={("a",): {"x": 1.0}, ("b",): {"x": 0.2, "y": 0.8}},
+            default={"x": 0.5, "y": 0.5},
+        )
+        out = cpd.sample({"P": np.array(["a", "b", "zzz"], dtype=object)}, np.random.default_rng(0), 3)
+        assert out[0] == "x"
+        assert out[1] in ("x", "y")
+        assert out[2] in ("x", "y")
+
+    def test_compute_returns_mode(self):
+        cpd = DiscreteCPD(parent_names=["P"], table={("a",): {"x": 0.9, "y": 0.1}})
+        out = cpd.compute({"P": np.array(["a"], dtype=object)}, np.zeros(1))
+        assert out[0] == "x"
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(CausalModelError):
+            DiscreteCPD(parent_names=["P"], table={("a",): {"x": 0.5}})
+
+    def test_missing_row_without_default(self):
+        cpd = DiscreteCPD(parent_names=["P"], table={("a",): {"x": 1.0}})
+        with pytest.raises(CausalModelError):
+            cpd.sample({"P": np.array(["zzz"], dtype=object)}, RNG, 1)
+
+
+class TestFunctionalEquation:
+    def test_custom_function_with_clip(self):
+        eq = FunctionalEquation(
+            parent_names=["X"],
+            function=lambda parents: np.asarray(parents["X"], dtype=float) ** 2,
+            noise=NoNoise(),
+            clip=(0.0, 10.0),
+        )
+        out = eq.compute({"X": np.array([1.0, 2.0, 5.0])}, np.zeros(3))
+        assert list(out) == [1.0, 4.0, 10.0]

@@ -1,0 +1,70 @@
+"""A small linear-SCM dataset with analytically known interventional effects.
+
+Structure: a confounder ``X`` drives both the treatment ``B`` and the outcome
+``Y``; ``B`` also drives ``Y``::
+
+    X ~ Uniform(0, 10)
+    B = 0.8 * X + eps_B,          eps_B ~ N(0, 0.5)
+    Y = 2.0 * B + 1.5 * X + eps_Y, eps_Y ~ N(0, 0.5)
+
+Under ``do(B = b)`` the expected outcome is ``E[Y] = 2 b + 1.5 E[X]``, whereas
+the naive (correlational / Indep-style) reading of the data overstates the
+effect of ``B`` because of the confounding path through ``X``.  Several engine
+tests rely on these closed forms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.causal import (
+    CausalDAG,
+    ExogenousDistribution,
+    GaussianNoise,
+    LinearEquation,
+    StructuralCausalModel,
+)
+from repro.relational import Database, Relation, UseSpec
+
+B_EFFECT = 2.0
+X_EFFECT = 1.5
+B_FROM_X = 0.8
+
+
+def linear_scm() -> StructuralCausalModel:
+    dag = CausalDAG(nodes=["X", "B", "Y"], edges=[("X", "B"), ("X", "Y"), ("B", "Y")])
+    equations = {
+        "B": LinearEquation(weights={"X": B_FROM_X}, intercept=0.0, noise=GaussianNoise(0.5)),
+        "Y": LinearEquation(
+            weights={"B": B_EFFECT, "X": X_EFFECT}, intercept=0.0, noise=GaussianNoise(0.5)
+        ),
+    }
+    exogenous = {"X": ExogenousDistribution("uniform", {"low": 0.0, "high": 10.0})}
+    return StructuralCausalModel(dag=dag, equations=equations, exogenous=exogenous)
+
+
+def make_linear_dataset(n: int = 800, seed: int = 0):
+    """Return (database, dag, scm, use_spec, columns) for the linear benchmark."""
+    scm = linear_scm()
+    rng = np.random.default_rng(seed)
+    columns = scm.sample(n, rng)
+    relation = Relation.from_columns(
+        "Obs",
+        {
+            "ID": list(range(1, n + 1)),
+            "X": [float(v) for v in columns["X"]],
+            "B": [float(v) for v in columns["B"]],
+            "Y": [float(v) for v in columns["Y"]],
+        },
+        key=("ID",),
+        immutable=("ID",),
+    )
+    database = Database([relation])
+    use = UseSpec(base_relation="Obs")
+    return database, scm.dag, scm, use, columns
+
+
+def true_mean_y_under_do_b(b_value: float, x_values) -> float:
+    """Closed-form ``E[Y | do(B=b)]`` averaged over the empirical X distribution."""
+    x_mean = float(np.mean(np.asarray(list(x_values), dtype=float)))
+    return B_EFFECT * b_value + X_EFFECT * x_mean

@@ -1,0 +1,154 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.relational import write_csv
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "USE X UPDATE(A) = 1 OUTPUT AVG(B)"])
+
+
+class TestDatasetsCommand:
+    def test_lists_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "german-syn" in out and "student-syn" in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "--dataset", "german-syn", "--rows", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Credit" in out
+        assert "Status -> Credit" in out
+
+
+class TestQueryCommand:
+    def test_whatif_on_dataset(self, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset",
+                "german-syn",
+                "--rows",
+                "300",
+                "--regressor",
+                "linear",
+                "USE Credit UPDATE(Status) = 4 OUTPUT COUNT(POST(Credit)) FOR POST(Credit) = 1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "count(Post(Credit))" in out
+
+    def test_json_output(self, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset",
+                "german-syn",
+                "--rows",
+                "300",
+                "--regressor",
+                "linear",
+                "--json",
+                "USE Credit UPDATE(Status) = 4 OUTPUT COUNT(POST(Credit)) FOR POST(Credit) = 1",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "what-if"
+        assert payload["aggregate"] == "count"
+        assert payload["value"] > 0
+
+    def test_howto_on_dataset(self, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset",
+                "german-syn",
+                "--rows",
+                "300",
+                "--regressor",
+                "linear",
+                "--json",
+                "USE Credit HOWTOUPDATE Status LIMIT 1 <= POST(Status) <= 4 "
+                "TOMAXIMIZE COUNT(POST(Credit)) FOR POST(Credit) = 1",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "how-to"
+        assert "Status" in payload["plan"]
+
+    def test_variant_flag(self, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset",
+                "german-syn",
+                "--rows",
+                "300",
+                "--variant",
+                "indep",
+                "--json",
+                "USE Credit UPDATE(Status) = 4 OUTPUT COUNT(POST(Credit)) FOR POST(Credit) = 1",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["variant"] == "indep"
+
+    def test_csv_query(self, tmp_path, capsys, figure1_product):
+        path = write_csv(figure1_product, tmp_path / "product.csv")
+        code = main(
+            [
+                "query",
+                "--csv",
+                str(path),
+                "--key",
+                "PID",
+                "--relation-name",
+                "Product",
+                "--regressor",
+                "linear",
+                "USE Product UPDATE(Price) = 100 OUTPUT AVG(POST(Quality))",
+            ]
+        )
+        assert code == 0
+        assert "avg(Post(Quality))" in capsys.readouterr().out
+
+    def test_csv_without_key_errors(self, tmp_path, capsys, figure1_product):
+        path = write_csv(figure1_product, tmp_path / "product.csv")
+        code = main(
+            [
+                "query",
+                "--csv",
+                str(path),
+                "USE Product UPDATE(Price) = 100 OUTPUT AVG(Quality)",
+            ]
+        )
+        assert code == 2
+        assert "key" in capsys.readouterr().err
+
+    def test_bad_query_reports_error(self, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset",
+                "german-syn",
+                "--rows",
+                "100",
+                "USE Credit UPDATE(Status) OUTPUT AVG(Credit)",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,176 @@
+"""Tests for the view-level DAG projection and the backdoor-adjusted estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core import EngineConfig, PostUpdateEstimator, Variant, build_view_dag
+from repro.core.estimator import build_view_dag as build_view_dag_direct
+from repro.exceptions import QuerySemanticsError
+from repro.relational import UseSpec
+
+from .linear_fixture import make_linear_dataset, true_mean_y_under_do_b
+
+
+class TestBuildViewDag:
+    def test_none_passes_through(self, figure1_database, figure4_use):
+        assert build_view_dag(None, figure4_use, figure1_database) is None
+
+    def test_base_and_aggregated_attributes_mapped(
+        self, figure1_database, figure2_dag, figure4_use
+    ):
+        view_dag = build_view_dag(figure2_dag, figure4_use, figure1_database)
+        assert view_dag is not None
+        assert set(view_dag.nodes) >= {"Category", "Brand", "Price", "Rtng", "Senti"}
+        # Quality and Color are not view columns, so they are dropped.
+        assert "Quality" not in view_dag
+        assert view_dag.has_edge("Price", "Rtng")
+        assert view_dag.has_edge("Category", "Price")
+
+    def test_aggregated_column_inherits_causal_role(self, small_amazon):
+        view_dag = build_view_dag(
+            small_amazon.causal_dag, small_amazon.default_use, small_amazon.database
+        )
+        assert view_dag.has_edge("Quality", "Rtng")
+        assert view_dag.has_edge("Price", "Rtng")
+        assert view_dag.has_edge("Quality", "Senti")
+
+    def test_cross_tuple_flag_dropped_but_edge_kept(self, small_amazon):
+        view_dag = build_view_dag(
+            small_amazon.causal_dag, small_amazon.default_use, small_amazon.database
+        )
+        edge = view_dag.edge("Price", "Rtng")
+        assert not edge.cross_tuple
+
+    def test_student_two_relation_mapping(self, small_student):
+        view_dag = build_view_dag(
+            small_student.causal_dag, small_student.default_use, small_student.database
+        )
+        assert view_dag.has_edge("Attendance", "Grade")
+        assert view_dag.has_edge("Assignment", "Grade")
+        assert view_dag.has_edge("Age", "Attendance")
+
+    def test_alias_used_for_direct_import(self):
+        assert build_view_dag is build_view_dag_direct
+
+
+class TestPostUpdateEstimator:
+    @pytest.fixture(scope="class")
+    def linear_setup(self):
+        database, dag, scm, use, columns = make_linear_dataset(n=1500, seed=1)
+        view = use.build(database)
+        view_dag = build_view_dag(dag, use, database)
+        return database, view, view_dag, columns
+
+    def _estimator(self, view, view_dag, config=None):
+        return PostUpdateEstimator(
+            view=view,
+            view_dag=view_dag,
+            update_attributes=["B"],
+            outcome_attributes=["Y"],
+            config=config or EngineConfig(regressor="linear"),
+        )
+
+    def test_backdoor_set_is_confounder(self, linear_setup):
+        _, view, view_dag, _ = linear_setup
+        estimator = self._estimator(view, view_dag)
+        assert estimator.backdoor_set == ("X",)
+        assert estimator.feature_attributes == ("B", "X")
+
+    def test_nb_variant_uses_all_other_attributes(self, linear_setup):
+        _, view, view_dag, _ = linear_setup
+        estimator = self._estimator(
+            view, view_dag, EngineConfig(regressor="linear", variant=Variant.HYPER_NB)
+        )
+        assert estimator.backdoor_set == ("X",)  # only X remains after excluding keys/B/Y
+
+    def test_no_dag_falls_back_to_all_attributes(self, linear_setup):
+        _, view, _, _ = linear_setup
+        estimator = self._estimator(view, None)
+        assert "X" in estimator.backdoor_set
+
+    def test_counterfactual_mean_matches_interventional_truth(self, linear_setup):
+        _, view, view_dag, columns = linear_setup
+        estimator = self._estimator(view, view_dag)
+        target = np.asarray(view.column_view("Y"), dtype=float)
+        n = len(view)
+        post_values = {"B": [5.0] * n}
+        predictions = estimator.counterfactual_mean(
+            target, [True] * n, post_values, cache_key="y"
+        )
+        truth = true_mean_y_under_do_b(5.0, columns["X"])
+        assert float(predictions.mean()) == pytest.approx(truth, rel=0.05)
+
+    def test_counterfactual_differs_from_naive_correlation(self, linear_setup):
+        """Adjusting for X must remove the confounding bias."""
+        _, view, view_dag, columns = linear_setup
+        adjusted = self._estimator(view, view_dag)
+        unadjusted = PostUpdateEstimator(
+            view=view,
+            view_dag=None,
+            update_attributes=["B"],
+            outcome_attributes=["Y", "X"],  # excludes X from the adjustment set
+            config=EngineConfig(regressor="linear"),
+        )
+        assert unadjusted.backdoor_set == ()
+        target = np.asarray(view.column_view("Y"), dtype=float)
+        n = len(view)
+        post = {"B": [8.0] * n}
+        truth = true_mean_y_under_do_b(8.0, columns["X"])
+        adjusted_err = abs(float(adjusted.counterfactual_mean(target, [True] * n, post).mean()) - truth)
+        naive_err = abs(float(unadjusted.counterfactual_mean(target, [True] * n, post).mean()) - truth)
+        assert adjusted_err < naive_err
+
+    def test_prediction_mask_respected(self, linear_setup):
+        _, view, view_dag, _ = linear_setup
+        estimator = self._estimator(view, view_dag)
+        target = np.asarray(view.column_view("Y"), dtype=float)
+        mask = np.zeros(len(view), dtype=bool)
+        mask[:10] = True
+        predictions = estimator.counterfactual_mean(target, mask, {"B": [0.0] * len(view)})
+        assert (predictions[10:] == 0).all()
+        assert predictions[:10].any()
+
+    def test_sampling_controls_training_rows(self, linear_setup):
+        _, view, view_dag, _ = linear_setup
+        sampled = self._estimator(
+            view,
+            view_dag,
+            EngineConfig(regressor="linear", variant=Variant.HYPER_SAMPLED, sample_size=200),
+        )
+        assert sampled.n_training_rows == 200
+        full = self._estimator(view, view_dag)
+        assert full.n_training_rows == len(view)
+
+    def test_unknown_update_attribute_rejected(self, linear_setup):
+        _, view, view_dag, _ = linear_setup
+        with pytest.raises(QuerySemanticsError):
+            PostUpdateEstimator(
+                view=view,
+                view_dag=view_dag,
+                update_attributes=["Missing"],
+                outcome_attributes=["Y"],
+                config=EngineConfig(regressor="linear"),
+            )
+
+    def test_missing_post_values_rejected(self, linear_setup):
+        _, view, view_dag, _ = linear_setup
+        estimator = self._estimator(view, view_dag)
+        target = np.zeros(len(view))
+        with pytest.raises(QuerySemanticsError):
+            estimator.counterfactual_mean(target, [True] * len(view), {})
+
+    def test_misaligned_target_rejected(self, linear_setup):
+        _, view, view_dag, _ = linear_setup
+        estimator = self._estimator(view, view_dag)
+        with pytest.raises(QuerySemanticsError):
+            estimator.counterfactual_mean([1.0], [True], {"B": [1.0]})
+
+    def test_regressor_cache_reused(self, linear_setup):
+        _, view, view_dag, _ = linear_setup
+        estimator = self._estimator(view, view_dag)
+        target = np.asarray(view.column_view("Y"), dtype=float)
+        n = len(view)
+        estimator.counterfactual_mean(target, [True] * n, {"B": [1.0] * n}, cache_key="k")
+        cached = estimator._regressor_cache["k"]
+        estimator.counterfactual_mean(target, [True] * n, {"B": [2.0] * n}, cache_key="k")
+        assert estimator._regressor_cache["k"] is cached

@@ -1,0 +1,52 @@
+"""Tests for the exception hierarchy (single catchable base class)."""
+
+import pytest
+
+from repro import exceptions
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_hyper_error(self):
+        for name in (
+            "SchemaError",
+            "DomainError",
+            "ExpressionError",
+            "QuerySyntaxError",
+            "QuerySemanticsError",
+            "CausalModelError",
+            "IdentificationError",
+            "EstimationError",
+            "OptimizationError",
+            "ConvergenceError",
+        ):
+            error_type = getattr(exceptions, name)
+            assert issubclass(error_type, exceptions.HypeRError)
+
+    def test_domain_error_is_schema_error(self):
+        assert issubclass(exceptions.DomainError, exceptions.SchemaError)
+
+    def test_identification_error_is_causal_error(self):
+        assert issubclass(exceptions.IdentificationError, exceptions.CausalModelError)
+
+    def test_convergence_error_is_optimization_error(self):
+        assert issubclass(exceptions.ConvergenceError, exceptions.OptimizationError)
+
+    def test_syntax_error_carries_position(self):
+        error = exceptions.QuerySyntaxError("bad token", position=17, line=3)
+        assert error.position == 17
+        assert error.line == 3
+        assert "bad token" in str(error)
+
+    def test_single_catch_point_at_api_boundary(self):
+        """Every library error can be caught with one except clause."""
+        caught = []
+        for error_type in (
+            exceptions.SchemaError,
+            exceptions.QuerySyntaxError,
+            exceptions.OptimizationError,
+        ):
+            try:
+                raise error_type("boom")
+            except exceptions.HypeRError as error:
+                caught.append(error)
+        assert len(caught) == 3

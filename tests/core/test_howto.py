@@ -1,0 +1,226 @@
+"""Tests for how-to query evaluation (IP formulation + baselines)."""
+
+import pytest
+
+from repro.core import (
+    EngineConfig,
+    HowToEngine,
+    HowToQuery,
+    LimitConstraint,
+    SetTo,
+)
+from repro.core.howto import CandidateUpdate
+from repro.core.updates import MultiplyBy
+from repro.exceptions import OptimizationError, QuerySemanticsError
+from repro.relational import UseSpec, post, pre
+
+from .linear_fixture import make_linear_dataset
+
+
+@pytest.fixture(scope="module")
+def linear_world():
+    database, dag, scm, use, columns = make_linear_dataset(n=900, seed=5)
+    return database, dag, use
+
+
+@pytest.fixture(scope="module")
+def engine(linear_world):
+    database, dag, _ = linear_world
+    return HowToEngine(database, dag, EngineConfig(regressor="linear"))
+
+
+def base_query(use, **kwargs):
+    defaults = dict(
+        use=use,
+        update_attributes=["B"],
+        objective_attribute="Y",
+        objective_aggregate="avg",
+        limits=[LimitConstraint("B", lower=0.0, upper=10.0)],
+        candidate_buckets=5,
+        candidate_multipliers=(),
+    )
+    defaults.update(kwargs)
+    return HowToQuery(**defaults)
+
+
+class TestCandidateEnumeration:
+    def test_candidates_respect_range_limits(self, engine, linear_world):
+        _, _, use = linear_world
+        query = base_query(use, limits=[LimitConstraint("B", lower=2.0, upper=4.0)])
+        view = query.use.build(engine.database)
+        candidates = engine.enumerate_candidates(query, view, [True] * len(view))
+        values = [c.function.value for c in candidates if isinstance(c.function, SetTo)]
+        assert values and all(2.0 <= v <= 4.0 for v in values)
+
+    def test_allowed_values_limit(self, engine, linear_world):
+        _, _, use = linear_world
+        query = base_query(
+            use, limits=[LimitConstraint("B", allowed_values=(1.0, 2.0, 3.0))]
+        )
+        view = query.use.build(engine.database)
+        candidates = engine.enumerate_candidates(query, view, [True] * len(view))
+        assert {c.function.value for c in candidates} == {1.0, 2.0, 3.0}
+
+    def test_l1_limit_filters_multipliers(self, engine, linear_world):
+        _, _, use = linear_world
+        query = base_query(
+            use,
+            limits=[LimitConstraint("B", max_l1=0.5)],
+            candidate_multipliers=(1.01, 5.0),
+        )
+        view = query.use.build(engine.database)
+        candidates = engine.enumerate_candidates(query, view, [True] * len(view))
+        multipliers = [c.function.factor for c in candidates if isinstance(c.function, MultiplyBy)]
+        # a 1% nudge stays within the L1 budget for every tuple, a 5x change does not
+        assert multipliers == [1.01]
+
+    def test_impossible_limits_raise(self, engine, linear_world):
+        _, _, use = linear_world
+        query = base_query(
+            use, limits=[LimitConstraint("B", allowed_values=("impossible",))]
+        )
+        with pytest.raises(OptimizationError, match="no admissible"):
+            engine.evaluate(query)
+
+    def test_candidate_update_wrapper(self):
+        candidate = CandidateUpdate("B", SetTo(3.0), "= 3")
+        update = candidate.as_attribute_update()
+        assert update.attribute == "B" and update.function.value == 3.0
+
+
+class TestIPHowTo:
+    def test_maximisation_picks_largest_admissible_value(self, engine, linear_world):
+        """Y increases in B, so the best single update is the top of the range."""
+        _, _, use = linear_world
+        result = engine.evaluate(base_query(use))
+        assert len(result.recommended_updates) == 1
+        chosen = result.recommended_updates[0]
+        assert chosen.attribute == "B"
+        assert chosen.function.value == pytest.approx(9.0, abs=1.01)
+        assert result.objective_value > result.baseline_value
+        assert result.improvement > 0
+        assert result.solver_status == "optimal"
+
+    def test_minimisation_picks_smallest_value(self, engine, linear_world):
+        _, _, use = linear_world
+        result = engine.evaluate(base_query(use, maximize=False))
+        chosen = result.recommended_updates[0]
+        assert chosen.function.value == pytest.approx(1.0, abs=1.01)
+        assert result.objective_value < result.baseline_value
+
+    def test_verified_value_close_to_ip_objective(self, engine, linear_world):
+        _, _, use = linear_world
+        result = engine.evaluate(base_query(use))
+        assert result.verified_value == pytest.approx(result.objective_value, rel=0.05)
+
+    def test_budget_constraint_limits_updates(self, linear_world):
+        database, dag, use = linear_world
+        engine = HowToEngine(database, dag, EngineConfig(regressor="linear"))
+        query = HowToQuery(
+            use=use,
+            update_attributes=["B"],
+            objective_attribute="Y",
+            objective_aggregate="avg",
+            limits=[LimitConstraint("B", lower=0.0, upper=10.0)],
+            max_updates=1,
+            candidate_buckets=4,
+            candidate_multipliers=(),
+        )
+        result = engine.evaluate(query)
+        assert len(result.recommended_updates) <= 1
+
+    def test_plan_reports_no_change_for_unused_attributes(self, small_german, fast_config):
+        engine = HowToEngine(small_german.database, small_german.causal_dag, fast_config)
+        query = HowToQuery(
+            use=small_german.default_use,
+            update_attributes=["Status", "Housing"],
+            objective_attribute="Credit",
+            objective_aggregate="count",
+            for_clause=(post("Credit") == 1),
+            max_updates=1,
+            candidate_buckets=3,
+            candidate_multipliers=(),
+        )
+        result = engine.evaluate(query)
+        plan = result.plan()
+        assert set(plan) == {"Status", "Housing"}
+        assert sum(1 for v in plan.values() if v != "no change") <= 1
+
+    def test_when_scope_respected(self, engine, linear_world):
+        _, _, use = linear_world
+        query = base_query(use, when=(pre("X") > 5.0))
+        result = engine.evaluate(query)
+        # updating only the high-X half still helps, but less than updating everyone
+        full = engine.evaluate(base_query(use))
+        assert result.objective_value <= full.objective_value + 1e-6
+
+    def test_ip_size_reported(self, engine, linear_world):
+        _, _, use = linear_world
+        result = engine.evaluate(base_query(use, candidate_buckets=4))
+        assert result.n_ip_variables == result.n_candidates
+        assert result.n_ip_constraints >= 1
+
+
+class TestExhaustiveBaseline:
+    def test_opt_howto_agrees_with_ip_on_single_attribute(self, engine, linear_world):
+        _, _, use = linear_world
+        query = base_query(use, candidate_buckets=4)
+        ip_result = engine.evaluate(query)
+        exhaustive = engine.evaluate_exhaustive(query)
+        assert exhaustive.metadata["method"] == "opt-howto"
+        assert exhaustive.objective_value == pytest.approx(ip_result.objective_value, rel=0.05)
+        assert [u.attribute for u in exhaustive.recommended_updates] == [
+            u.attribute for u in ip_result.recommended_updates
+        ]
+
+    def test_combination_budget_guard(self, small_german, fast_config):
+        engine = HowToEngine(small_german.database, small_german.causal_dag, fast_config)
+        query = HowToQuery(
+            use=small_german.default_use,
+            update_attributes=["Status", "Housing", "Savings"],
+            objective_attribute="Credit",
+            objective_aggregate="count",
+            for_clause=(post("Credit") == 1),
+            candidate_buckets=6,
+        )
+        with pytest.raises(OptimizationError, match="combinations"):
+            engine.evaluate_exhaustive(query, max_combinations=10)
+
+
+class TestPreferential:
+    def test_lexicographic_objectives(self, linear_world):
+        database, dag, use = linear_world
+        engine = HowToEngine(database, dag, EngineConfig(regressor="linear"))
+        primary = base_query(use, candidate_buckets=4)
+        secondary = base_query(use, candidate_buckets=4, maximize=False)
+        results = engine.evaluate_preferential([primary, secondary])
+        assert len(results) == 2
+        # the first stage fixes the primary optimum; the second stage cannot undo it
+        assert results[0].objective_value >= results[0].baseline_value
+        assert results[1].metadata["stage"] == 1
+
+    def test_empty_query_list_rejected(self, linear_world):
+        database, dag, _ = linear_world
+        engine = HowToEngine(database, dag, EngineConfig(regressor="linear"))
+        with pytest.raises(QuerySemanticsError):
+            engine.evaluate_preferential([])
+
+
+class TestValidation:
+    def test_unknown_attribute_rejected(self, engine):
+        query = HowToQuery(
+            use=UseSpec(base_relation="Obs"),
+            update_attributes=["Missing"],
+            objective_attribute="Y",
+        )
+        with pytest.raises(QuerySemanticsError):
+            engine.evaluate(query)
+
+    def test_causally_connected_update_attributes_rejected(self, engine):
+        query = HowToQuery(
+            use=UseSpec(base_relation="Obs"),
+            update_attributes=["X", "B"],
+            objective_attribute="Y",
+        )
+        with pytest.raises(QuerySemanticsError, match="causally connected"):
+            engine.evaluate(query)

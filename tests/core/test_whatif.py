@@ -1,0 +1,296 @@
+"""Tests for what-if query evaluation (the core of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AttributeUpdate,
+    EngineConfig,
+    MultiplyBy,
+    SetTo,
+    Variant,
+    WhatIfEngine,
+    WhatIfQuery,
+)
+from repro.exceptions import QuerySemanticsError
+from repro.relational import TRUE, UseSpec, col, post, pre
+
+from .linear_fixture import make_linear_dataset, true_mean_y_under_do_b
+
+
+@pytest.fixture(scope="module")
+def linear_world():
+    database, dag, scm, use, columns = make_linear_dataset(n=1200, seed=3)
+    return database, dag, scm, use, columns
+
+
+def linear_engine(database, dag, variant=Variant.HYPER, **kwargs):
+    config = EngineConfig(regressor="linear", variant=variant, **kwargs)
+    return WhatIfEngine(database=database, causal_dag=dag, config=config)
+
+
+def avg_y_query(use, b_value, for_clause=TRUE, when=TRUE, aggregate="avg"):
+    return WhatIfQuery(
+        use=use,
+        updates=[AttributeUpdate("B", SetTo(b_value))],
+        output_attribute="Y",
+        output_aggregate=aggregate,
+        when=when,
+        for_clause=for_clause,
+    )
+
+
+class TestCausalCorrectness:
+    def test_average_matches_interventional_truth(self, linear_world):
+        database, dag, _, use, columns = linear_world
+        engine = linear_engine(database, dag)
+        result = engine.evaluate(avg_y_query(use, 5.0))
+        truth = true_mean_y_under_do_b(5.0, columns["X"])
+        assert result.value == pytest.approx(truth, rel=0.05)
+        assert result.backdoor_set == ("X",)
+        assert result.n_scope_tuples == len(database["Obs"])
+
+    def test_effect_is_monotone_in_update_value(self, linear_world):
+        database, dag, _, use, _ = linear_world
+        engine = linear_engine(database, dag)
+        low = engine.evaluate(avg_y_query(use, 1.0)).value
+        high = engine.evaluate(avg_y_query(use, 9.0)).value
+        assert high - low == pytest.approx(2.0 * 8.0, rel=0.1)
+
+    def test_indep_baseline_ignores_propagation(self, linear_world):
+        """Indep keeps Y at its observed value, so the update has no effect at all."""
+        database, dag, _, use, _ = linear_world
+        indep = linear_engine(database, dag, variant=Variant.INDEP)
+        observed_mean = float(
+            np.mean(np.asarray(database["Obs"].column_view("Y"), dtype=float))
+        )
+        result = indep.evaluate(avg_y_query(use, 9.0))
+        assert result.value == pytest.approx(observed_mean, rel=1e-6)
+        assert result.variant == Variant.INDEP
+
+    def test_hyper_nb_close_to_hyper_here(self, linear_world):
+        """With only one covariate the NB variant adjusts for the same set."""
+        database, dag, _, use, columns = linear_world
+        nb = linear_engine(database, dag, variant=Variant.HYPER_NB)
+        truth = true_mean_y_under_do_b(5.0, columns["X"])
+        assert nb.evaluate(avg_y_query(use, 5.0)).value == pytest.approx(truth, rel=0.05)
+
+    def test_sampled_variant_close_to_full(self, linear_world):
+        database, dag, _, use, _ = linear_world
+        full = linear_engine(database, dag)
+        sampled = linear_engine(
+            database, dag, variant=Variant.HYPER_SAMPLED, sample_size=400
+        )
+        full_value = full.evaluate(avg_y_query(use, 5.0)).value
+        sampled_result = sampled.evaluate(avg_y_query(use, 5.0))
+        assert sampled_result.value == pytest.approx(full_value, rel=0.1)
+        assert sampled_result.metadata["n_training_rows"] == 400
+
+    def test_multiplicative_update(self, linear_world):
+        database, dag, _, use, columns = linear_world
+        engine = linear_engine(database, dag)
+        query = WhatIfQuery(
+            use=use,
+            updates=[AttributeUpdate("B", MultiplyBy(0.0))],
+            output_attribute="Y",
+            output_aggregate="avg",
+        )
+        truth = true_mean_y_under_do_b(0.0, columns["X"])
+        assert engine.evaluate(query).value == pytest.approx(truth, rel=0.1, abs=0.5)
+
+
+class TestScopesAndClauses:
+    def test_empty_when_scope_equals_observational_value(self, linear_world):
+        database, dag, _, use, _ = linear_world
+        engine = linear_engine(database, dag)
+        query = avg_y_query(use, 9.0, when=(pre("X") > 1e9))
+        observed_mean = float(
+            np.mean(np.asarray(database["Obs"].column_view("Y"), dtype=float))
+        )
+        result = engine.evaluate(query)
+        assert result.n_scope_tuples == 0
+        assert result.value == pytest.approx(observed_mean, rel=1e-9)
+
+    def test_when_scope_limits_affected_tuples(self, linear_world):
+        database, dag, _, use, _ = linear_world
+        engine = linear_engine(database, dag)
+        full = engine.evaluate(avg_y_query(use, 9.0)).value
+        partial_result = engine.evaluate(avg_y_query(use, 9.0, when=(pre("X") > 5.0)))
+        observed_mean = float(
+            np.mean(np.asarray(database["Obs"].column_view("Y"), dtype=float))
+        )
+        assert 0 < partial_result.n_scope_tuples < len(database["Obs"])
+        assert min(observed_mean, full) - 0.5 <= partial_result.value <= max(observed_mean, full) + 0.5
+
+    def test_for_clause_pre_condition_restricts_output(self, linear_world):
+        database, dag, _, use, _ = linear_world
+        engine = linear_engine(database, dag)
+        result = engine.evaluate(avg_y_query(use, 5.0, for_clause=(pre("X") > 5.0)))
+        # only high-X tuples are averaged -> higher value than the overall answer
+        overall = engine.evaluate(avg_y_query(use, 5.0)).value
+        assert result.value > overall
+        assert result.expected_qualifying_count < len(database["Obs"])
+
+    def test_count_with_post_condition_bounded(self, linear_world):
+        database, dag, _, use, _ = linear_world
+        engine = linear_engine(database, dag)
+        query = avg_y_query(use, 9.0, for_clause=(post("Y") > 20.0), aggregate="count")
+        result = engine.evaluate(query)
+        assert 0.0 <= result.value <= len(database["Obs"])
+        # pushing B up must raise the share of high-Y tuples vs pushing it down
+        low = engine.evaluate(
+            avg_y_query(use, 0.5, for_clause=(post("Y") > 20.0), aggregate="count")
+        )
+        assert result.value > low.value
+
+    def test_disjunctive_for_clause(self, linear_world):
+        database, dag, _, use, _ = linear_world
+        engine = linear_engine(database, dag)
+        clause = (pre("X") < 2.0) | (pre("X") > 8.0)
+        result = engine.evaluate(avg_y_query(use, 5.0, for_clause=clause, aggregate="count"))
+        x = np.asarray(database["Obs"].column_view("X"), dtype=float)
+        expected = float(((x < 2.0) | (x > 8.0)).sum())
+        assert result.value == pytest.approx(expected, rel=0.05)
+        assert result.metadata["n_disjuncts"] == 2
+
+    def test_sum_aggregate(self, linear_world):
+        database, dag, _, use, columns = linear_world
+        engine = linear_engine(database, dag)
+        result = engine.evaluate(avg_y_query(use, 5.0, aggregate="sum"))
+        truth = true_mean_y_under_do_b(5.0, columns["X"]) * len(database["Obs"])
+        assert result.value == pytest.approx(truth, rel=0.05)
+
+    def test_block_contributions_sum_to_value_for_sum(self, linear_world):
+        database, dag, _, use, _ = linear_world
+        engine = linear_engine(database, dag)
+        result = engine.evaluate(avg_y_query(use, 5.0, aggregate="sum"))
+        assert sum(b.partial_value for b in result.block_contributions) == pytest.approx(
+            result.value
+        )
+
+    def test_runtime_recorded(self, linear_world):
+        database, dag, _, use, _ = linear_world
+        engine = linear_engine(database, dag)
+        assert engine.evaluate(avg_y_query(use, 5.0)).runtime_seconds > 0
+
+
+class TestValidation:
+    def test_unknown_attribute_in_query(self, linear_world):
+        database, dag, _, use, _ = linear_world
+        engine = linear_engine(database, dag)
+        query = WhatIfQuery(
+            use=use,
+            updates=[AttributeUpdate("Missing", SetTo(1))],
+            output_attribute="Y",
+        )
+        with pytest.raises(QuerySemanticsError, match="Missing"):
+            engine.evaluate(query)
+
+    def test_immutable_attribute_rejected(self, linear_world):
+        database, dag, _, use, _ = linear_world
+        engine = linear_engine(database, dag)
+        query = WhatIfQuery(
+            use=use,
+            updates=[AttributeUpdate("ID", SetTo(1))],
+            output_attribute="Y",
+        )
+        with pytest.raises(QuerySemanticsError, match="immutable"):
+            engine.evaluate(query)
+
+    def test_causally_connected_multi_update_rejected(self, linear_world):
+        database, dag, _, use, _ = linear_world
+        engine = linear_engine(database, dag)
+        query = WhatIfQuery(
+            use=use,
+            updates=[AttributeUpdate("X", SetTo(1.0)), AttributeUpdate("B", SetTo(1.0))],
+            output_attribute="Y",
+        )
+        with pytest.raises(QuerySemanticsError, match="causally connected"):
+            engine.evaluate(query)
+
+    def test_mixed_pre_post_atom_rejected(self, linear_world):
+        database, dag, _, use, _ = linear_world
+        engine = linear_engine(database, dag)
+        query = avg_y_query(use, 5.0, for_clause=(pre("Y") - post("Y")) < 2)
+        with pytest.raises(QuerySemanticsError, match="mixing Pre and Post"):
+            engine.evaluate(query)
+
+    def test_too_many_disjuncts_rejected(self, linear_world):
+        database, dag, _, use, _ = linear_world
+        engine = linear_engine(database, dag)
+        clause = col("X") == 0
+        for i in range(8):
+            clause = clause | (col("X") == float(i + 1))
+        with pytest.raises(QuerySemanticsError, match="disjuncts"):
+            engine.evaluate(avg_y_query(use, 5.0, for_clause=clause))
+
+
+class TestMultiRelation:
+    def test_student_attendance_effect_on_grade(self, small_student, fast_config):
+        engine = WhatIfEngine(
+            small_student.database, small_student.causal_dag, fast_config
+        )
+        query_high = WhatIfQuery(
+            use=small_student.default_use,
+            updates=[AttributeUpdate("Attendance", SetTo(95.0))],
+            output_attribute="Grade",
+            output_aggregate="avg",
+        )
+        query_low = WhatIfQuery(
+            use=small_student.default_use,
+            updates=[AttributeUpdate("Attendance", SetTo(10.0))],
+            output_attribute="Grade",
+            output_aggregate="avg",
+        )
+        high = engine.evaluate(query_high).value
+        low = engine.evaluate(query_low).value
+        assert high > low + 5.0  # attendance has a strong positive causal effect
+
+    def test_amazon_price_cut_raises_ratings(self, small_amazon, fast_config):
+        engine = WhatIfEngine(small_amazon.database, small_amazon.causal_dag, fast_config)
+        use = small_amazon.default_use
+        cut = WhatIfQuery(
+            use=use,
+            updates=[AttributeUpdate("Price", MultiplyBy(0.5))],
+            output_attribute="Rtng",
+            output_aggregate="avg",
+            for_clause=(pre("Category") == "Laptop"),
+        )
+        hike = WhatIfQuery(
+            use=use,
+            updates=[AttributeUpdate("Price", MultiplyBy(1.5))],
+            output_attribute="Rtng",
+            output_aggregate="avg",
+            for_clause=(pre("Category") == "Laptop"),
+        )
+        assert engine.evaluate(cut).value > engine.evaluate(hike).value
+
+    def test_blocks_reported_for_amazon(self, small_amazon, fast_config):
+        engine = WhatIfEngine(small_amazon.database, small_amazon.causal_dag, fast_config)
+        query = WhatIfQuery(
+            use=small_amazon.default_use,
+            updates=[AttributeUpdate("Price", MultiplyBy(0.9))],
+            output_attribute="Rtng",
+            output_aggregate="avg",
+        )
+        result = engine.evaluate(query)
+        categories = set(small_amazon.database["Product"].column_view("Category"))
+        assert result.n_blocks == len(categories)
+
+    def test_disable_blocks_gives_same_answer(self, small_amazon):
+        base_config = EngineConfig(regressor="linear")
+        no_blocks = EngineConfig(regressor="linear", use_blocks=False)
+        query = WhatIfQuery(
+            use=small_amazon.default_use,
+            updates=[AttributeUpdate("Price", MultiplyBy(0.8))],
+            output_attribute="Rtng",
+            output_aggregate="avg",
+        )
+        with_blocks = WhatIfEngine(
+            small_amazon.database, small_amazon.causal_dag, base_config
+        ).evaluate(query)
+        without_blocks = WhatIfEngine(
+            small_amazon.database, small_amazon.causal_dag, no_blocks
+        ).evaluate(query)
+        assert with_blocks.value == pytest.approx(without_blocks.value, rel=1e-9)
+        assert without_blocks.n_blocks == 1

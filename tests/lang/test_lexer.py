@@ -1,0 +1,67 @@
+"""Tests for the query tokenizer."""
+
+import pytest
+
+from repro.exceptions import QuerySyntaxError
+from repro.lang import Token, TokenType, tokenize
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("USE use Use")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_identifiers_vs_keywords(self):
+        tokens = tokenize("Price WHEN Brand")
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[1].type is TokenType.KEYWORD
+        assert tokens[2].type is TokenType.IDENTIFIER
+
+    def test_numbers(self):
+        tokens = tokenize("1.1 42 0.5")
+        assert [t.value for t in tokens[:-1]] == ["1.1", "42", "0.5"]
+        assert all(t.type is TokenType.NUMBER for t in tokens[:-1])
+
+    def test_strings_single_and_double_quotes(self):
+        tokens = tokenize("'Asus' \"Laptop\"")
+        assert tokens[0].type is TokenType.STRING and tokens[0].value == "Asus"
+        assert tokens[1].value == "Laptop"
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError, match="unterminated"):
+            tokenize("'Asus")
+
+    def test_operators_longest_match(self):
+        tokens = tokenize("<= >= != = < >")
+        assert [t.value for t in tokens[:-1]] == ["<=", ">=", "!=", "=", "<", ">"]
+
+    def test_parens_and_commas(self):
+        tokens = tokenize("(a, b)")
+        types = [t.type for t in tokens[:-1]]
+        assert types == [
+            TokenType.LPAREN,
+            TokenType.IDENTIFIER,
+            TokenType.COMMA,
+            TokenType.IDENTIFIER,
+            TokenType.RPAREN,
+        ]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("USE Product -- this is a comment\nWHEN")
+        values = [t.lowered for t in tokens[:-1]]
+        assert values == ["use", "product", "when"]
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("USE\nProduct")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+    def test_illegal_character(self):
+        with pytest.raises(QuerySyntaxError, match="illegal"):
+            tokenize("USE @Product")
+
+    def test_token_repr_and_lowered(self):
+        token = Token(TokenType.KEYWORD, "USE", 0, 1)
+        assert token.lowered == "use"
+        assert "USE" in repr(token)

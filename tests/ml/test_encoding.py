@@ -1,0 +1,73 @@
+"""Tests for feature encoders."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.ml import ColumnEncoder, FeatureEncoder
+from repro.relational import Relation
+
+
+class TestColumnEncoder:
+    def test_numeric_pass_through(self):
+        encoder = ColumnEncoder.fit("X", [1.0, 2.0, 3.0])
+        assert encoder.numeric and encoder.width == 1
+        assert encoder.transform([4.0]).tolist() == [[4.0]]
+
+    def test_numeric_nulls_filled_with_mean(self):
+        encoder = ColumnEncoder.fit("X", [1.0, 3.0, None])
+        assert encoder.transform([None]).tolist() == [[2.0]]
+
+    def test_categorical_one_hot(self):
+        encoder = ColumnEncoder.fit("C", ["a", "b", "a"])
+        assert not encoder.numeric
+        assert encoder.width == 2
+        assert encoder.feature_names == ["C=a", "C=b"]
+        assert encoder.transform(["b"]).tolist() == [[0.0, 1.0]]
+
+    def test_unseen_category_encodes_to_zeros(self):
+        encoder = ColumnEncoder.fit("C", ["a", "b"])
+        assert encoder.transform(["zzz"]).tolist() == [[0.0, 0.0]]
+        assert encoder.transform([None]).tolist() == [[0.0, 0.0]]
+
+    def test_all_null_column_rejected(self):
+        with pytest.raises(EstimationError):
+            ColumnEncoder.fit("C", [None, None])
+
+    def test_transform_value(self):
+        encoder = ColumnEncoder.fit("X", [1.0, 2.0])
+        assert encoder.transform_value(5.0).tolist() == [5.0]
+
+
+class TestFeatureEncoder:
+    @pytest.fixture
+    def relation(self):
+        return Relation.from_columns(
+            "R",
+            {"ID": [1, 2, 3], "Price": [10.0, 20.0, 30.0], "Brand": ["a", "b", "a"]},
+            key=("ID",),
+        )
+
+    def test_fit_from_relation(self, relation):
+        encoder = FeatureEncoder.fit(relation, ["Price", "Brand"])
+        matrix = encoder.transform_relation(relation)
+        assert matrix.shape == (3, 3)  # 1 numeric + 2 one-hot
+        assert encoder.feature_names == ["Price", "Brand=a", "Brand=b"]
+
+    def test_transform_columns_and_rows_agree(self, relation):
+        encoder = FeatureEncoder.fit(relation, ["Price", "Brand"])
+        from_columns = encoder.transform_columns(
+            {"Price": [15.0], "Brand": ["b"]}
+        )
+        from_row = encoder.transform_row({"Price": 15.0, "Brand": "b"})
+        assert np.allclose(from_columns[0], from_row)
+
+    def test_mismatched_column_lengths(self, relation):
+        encoder = FeatureEncoder.fit(relation, ["Price", "Brand"])
+        with pytest.raises(EstimationError):
+            encoder.transform_columns({"Price": [1.0, 2.0], "Brand": ["a"]})
+
+    def test_empty_feature_set(self, relation):
+        encoder = FeatureEncoder.fit(relation, [])
+        assert encoder.transform_relation(relation).shape == (3, 0)
+        assert encoder.width == 0

@@ -1,0 +1,137 @@
+"""Tests for the linear, tree and forest regressors."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.ml import (
+    DecisionTreeRegressor,
+    LinearRegression,
+    RandomForestRegressor,
+    RidgeRegression,
+    mean_squared_error,
+    r2_score,
+)
+
+
+RNG = np.random.default_rng(0)
+
+
+def linear_data(n=400, noise=0.1):
+    x = RNG.uniform(-2, 2, size=(n, 2))
+    y = 3.0 * x[:, 0] - 2.0 * x[:, 1] + 1.0 + RNG.normal(0, noise, size=n)
+    return x, y
+
+
+def step_data(n=500):
+    x = RNG.uniform(0, 1, size=(n, 1))
+    y = np.where(x[:, 0] > 0.5, 10.0, 0.0) + RNG.normal(0, 0.1, size=n)
+    return x, y
+
+
+class TestLinearRegression:
+    def test_recovers_coefficients(self):
+        x, y = linear_data()
+        model = LinearRegression().fit(x, y)
+        assert model.coefficients == pytest.approx([3.0, -2.0], abs=0.05)
+        assert model.intercept == pytest.approx(1.0, abs=0.05)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(EstimationError):
+            LinearRegression().predict(np.zeros((1, 2)))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(EstimationError):
+            LinearRegression().fit(np.zeros((3, 2)), np.zeros(4))
+        model = LinearRegression().fit(*linear_data(50))
+        with pytest.raises(EstimationError):
+            model.predict(np.zeros((1, 5)))
+
+    def test_zero_rows_raise(self):
+        with pytest.raises(EstimationError):
+            LinearRegression().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_1d_features_accepted(self):
+        x = np.linspace(0, 1, 50)
+        y = 2 * x + 3
+        model = LinearRegression().fit(x, y)
+        assert model.predict(np.array([0.5]))[0] == pytest.approx(4.0, abs=1e-6)
+
+    def test_ridge_shrinks_towards_zero(self):
+        x, y = linear_data(100)
+        ols = LinearRegression().fit(x, y)
+        ridge = RidgeRegression(alpha=100.0).fit(x, y)
+        assert abs(ridge.coefficients[0]) < abs(ols.coefficients[0])
+
+    def test_ridge_negative_alpha_rejected(self):
+        with pytest.raises(EstimationError):
+            RidgeRegression(alpha=-1.0).fit(*linear_data(20))
+
+
+class TestDecisionTree:
+    def test_learns_step_function(self):
+        x, y = step_data()
+        tree = DecisionTreeRegressor(max_depth=3, min_samples_leaf=5).fit(x, y)
+        predictions = tree.predict(np.array([[0.25], [0.75]]))
+        assert predictions[0] == pytest.approx(0.0, abs=0.5)
+        assert predictions[1] == pytest.approx(10.0, abs=0.5)
+
+    def test_constant_target_gives_single_leaf(self):
+        x = RNG.uniform(size=(50, 2))
+        y = np.full(50, 7.0)
+        tree = DecisionTreeRegressor().fit(x, y)
+        assert tree.depth() == 0
+        assert tree.predict(x)[0] == pytest.approx(7.0)
+
+    def test_depth_limit_respected(self):
+        x, y = linear_data(300, noise=0.0)
+        tree = DecisionTreeRegressor(max_depth=2, min_samples_leaf=1, min_samples_split=2).fit(x, y)
+        assert tree.depth() <= 2
+
+    def test_predict_validates_width(self):
+        tree = DecisionTreeRegressor().fit(*step_data())
+        with pytest.raises(EstimationError):
+            tree.predict(np.zeros((1, 3)))
+
+    def test_unfitted_errors(self):
+        with pytest.raises(EstimationError):
+            DecisionTreeRegressor().predict(np.zeros((1, 1)))
+        with pytest.raises(EstimationError):
+            DecisionTreeRegressor().depth()
+
+
+class TestRandomForest:
+    def test_beats_single_shallow_tree_on_noisy_data(self):
+        x, y = linear_data(500, noise=1.0)
+        x_test, y_test = linear_data(200, noise=0.0)
+        forest = RandomForestRegressor(n_estimators=15, max_depth=5, random_state=0).fit(x, y)
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        assert mean_squared_error(y_test, forest.predict(x_test)) <= mean_squared_error(
+            y_test, tree.predict(x_test)
+        )
+
+    def test_reasonable_r2_on_linear_signal(self):
+        x, y = linear_data(600, noise=0.2)
+        forest = RandomForestRegressor(n_estimators=10, max_depth=6, random_state=1).fit(x, y)
+        assert r2_score(y, forest.predict(x)) > 0.8
+
+    def test_deterministic_given_seed(self):
+        x, y = linear_data(200)
+        a = RandomForestRegressor(n_estimators=5, random_state=42).fit(x, y).predict(x[:10])
+        b = RandomForestRegressor(n_estimators=5, random_state=42).fit(x, y).predict(x[:10])
+        assert np.allclose(a, b)
+
+    def test_parameter_validation(self):
+        with pytest.raises(EstimationError):
+            RandomForestRegressor(n_estimators=0).fit(np.zeros((5, 1)), np.zeros(5))
+        with pytest.raises(EstimationError):
+            RandomForestRegressor(max_features="bogus").fit(np.ones((5, 2)), np.ones(5))
+        with pytest.raises(EstimationError):
+            RandomForestRegressor().predict(np.zeros((1, 1)))
+
+    def test_max_features_settings(self):
+        x, y = linear_data(100)
+        for setting in ("sqrt", "log2", "all", None, 1):
+            forest = RandomForestRegressor(n_estimators=3, max_features=setting, random_state=0)
+            forest.fit(x, y)
+            assert forest.n_fitted_trees == 3

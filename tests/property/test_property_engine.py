@@ -1,0 +1,104 @@
+"""Property-based tests for update functions, limits and discretization."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.queries import LimitConstraint
+from repro.core.updates import AddConstant, MultiplyBy, SetTo
+from repro.ml import Discretizer
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+# ---------------------------------------------------------------------------
+# Update functions (Definition 2's f : Dom(B) -> Dom(B))
+# ---------------------------------------------------------------------------
+
+
+@given(finite_floats, finite_floats)
+@settings(max_examples=80, deadline=None)
+def test_set_to_is_idempotent_and_constant(target, value):
+    function = SetTo(target)
+    assert function.apply(value) == target
+    assert function.apply(function.apply(value)) == target
+
+
+@given(finite_floats, finite_floats)
+@settings(max_examples=80, deadline=None)
+def test_add_constant_is_invertible(delta, value):
+    function = AddConstant(delta)
+    assert np.isclose(AddConstant(-delta).apply(function.apply(value)), value)
+
+
+@given(st.floats(min_value=0.01, max_value=100, allow_nan=False), finite_floats)
+@settings(max_examples=80, deadline=None)
+def test_multiply_is_invertible_for_nonzero_factor(factor, value):
+    function = MultiplyBy(factor)
+    assert np.isclose(MultiplyBy(1.0 / factor).apply(function.apply(value)), value, rtol=1e-6)
+
+
+@given(
+    st.lists(finite_floats, min_size=1, max_size=30),
+    st.lists(st.booleans(), min_size=1, max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_updated_values_touch_exactly_the_scope(values, mask):
+    from repro.core.updates import AttributeUpdate, HypotheticalUpdate
+
+    n = min(len(values), len(mask))
+    values, mask = values[:n], mask[:n]
+    update = HypotheticalUpdate(updates=[AttributeUpdate("B", AddConstant(1.0))])
+    out = update.updated_values("B", values, mask)
+    for before, after, flagged in zip(values, out, mask):
+        if flagged:
+            assert after == before + 1.0
+        else:
+            assert after == before
+
+
+# ---------------------------------------------------------------------------
+# Limit constraints (Section 4.1)
+# ---------------------------------------------------------------------------
+
+
+@given(finite_floats, finite_floats, finite_floats)
+@settings(max_examples=80, deadline=None)
+def test_range_limit_admits_iff_within_bounds(pre_value, post_value, width):
+    width = abs(width)
+    lower, upper = -abs(width), abs(width)
+    limit = LimitConstraint("B", lower=lower, upper=upper)
+    assert limit.admits(pre_value, post_value) == (lower <= post_value <= upper)
+
+
+@given(finite_floats, finite_floats, st.floats(min_value=0, max_value=1e6, allow_nan=False))
+@settings(max_examples=80, deadline=None)
+def test_l1_limit_is_symmetric_in_direction(pre_value, post_value, budget):
+    limit = LimitConstraint("B", max_l1=budget)
+    delta = post_value - pre_value
+    assert limit.admits(pre_value, post_value) == (abs(delta) <= budget)
+    # moving the same distance in the other direction is judged identically
+    assert limit.admits(pre_value, pre_value - delta) == limit.admits(pre_value, pre_value + delta)
+
+
+# ---------------------------------------------------------------------------
+# Discretization
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False), min_size=2, max_size=60),
+    st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=80, deadline=None)
+def test_discretizer_buckets_are_within_range_and_ordered(values, n_buckets):
+    disc = Discretizer(n_buckets).fit(values)
+    buckets = disc.transform(values)
+    assert buckets.min() >= 0 and buckets.max() < n_buckets
+    centers = disc.bucket_centers()
+    assert len(centers) == n_buckets
+    assert all(centers[i] <= centers[i + 1] + 1e-12 for i in range(len(centers) - 1))
+    # bucket assignment is monotone in the value
+    order = np.argsort(values)
+    sorted_buckets = buckets[order]
+    assert all(sorted_buckets[i] <= sorted_buckets[i + 1] for i in range(len(values) - 1))

@@ -1,0 +1,95 @@
+"""Property-based tests for the relational substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import Relation, col, evaluate_mask, get_aggregate
+from repro.probdb.decomposable import decomposed_value
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+values_column = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=40
+)
+
+
+def make_relation(values):
+    return Relation.from_columns(
+        "R",
+        {"ID": list(range(1, len(values) + 1)), "V": list(values)},
+        key=("ID",),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Relation invariants
+# ---------------------------------------------------------------------------
+
+
+@given(values_column)
+@settings(max_examples=60, deadline=None)
+def test_filter_then_concat_preserves_rows(values):
+    relation = make_relation(values)
+    threshold = float(np.median(values))
+    mask = [v >= threshold for v in values]
+    kept = relation.filter(mask)
+    dropped = relation.filter([not m for m in mask])
+    assert len(kept) + len(dropped) == len(relation)
+    recombined = sorted(list(kept.column_view("ID")) + list(dropped.column_view("ID")))
+    assert recombined == list(relation.column_view("ID"))
+
+
+@given(values_column)
+@settings(max_examples=60, deadline=None)
+def test_with_column_is_pure(values):
+    relation = make_relation(values)
+    updated = relation.with_column("V", [v + 1 for v in values])
+    assert list(relation.column_view("V")) == list(values)
+    assert list(updated.column_view("V")) == [v + 1 for v in values]
+
+
+@given(values_column, st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_selection_mask_matches_python_filter(values, threshold):
+    relation = make_relation(values)
+    mask = evaluate_mask(col("V") > threshold, relation)
+    expected = [v > threshold for v in values]
+    assert mask.tolist() == expected
+
+
+# ---------------------------------------------------------------------------
+# Aggregate decomposability (Definition 6), for arbitrary partitions
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.lists(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False), min_size=0, max_size=15),
+        min_size=1,
+        max_size=6,
+    ),
+    st.sampled_from(["sum", "count", "avg"]),
+)
+@settings(max_examples=80, deadline=None)
+def test_aggregates_decompose_over_any_partition(blocks, aggregate_name):
+    flat = [v for block in blocks for v in block]
+    aggregate = get_aggregate(aggregate_name)
+    direct = aggregate.evaluate(flat)
+    composed = decomposed_value(aggregate_name, blocks)
+    assert abs(direct - composed) <= 1e-6 * max(1.0, abs(direct))
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=1e4, allow_nan=False), min_size=1, max_size=20),
+    st.floats(min_value=0, max_value=10, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_sum_combiner_scaling_property(values, alpha):
+    aggregate = get_aggregate("sum")
+    left = alpha * aggregate.combine(values)
+    right = aggregate.combine([alpha * v for v in values])
+    assert abs(left - right) <= 1e-6 * max(1.0, abs(left))

@@ -1,0 +1,159 @@
+"""Tests for the column-store Relation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational import (
+    AttributeSpec,
+    CategoricalDomain,
+    IntegerDomain,
+    NumericDomain,
+    Relation,
+    RelationSchema,
+)
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema(
+        "Items",
+        [
+            AttributeSpec("ID", IntegerDomain(1, 100), mutable=False),
+            AttributeSpec("Price", NumericDomain(0.0, 1000.0)),
+            AttributeSpec("Color", CategoricalDomain(["red", "blue", "green"])),
+        ],
+        key=("ID",),
+    )
+
+
+@pytest.fixture
+def relation(schema):
+    return Relation(
+        schema,
+        {
+            "ID": [1, 2, 3, 4],
+            "Price": [10.0, 20.0, 30.0, 40.0],
+            "Color": ["red", "blue", "red", "green"],
+        },
+    )
+
+
+class TestConstruction:
+    def test_from_rows_round_trip(self, schema, relation):
+        rebuilt = Relation.from_rows(schema, relation.to_rows())
+        assert rebuilt.to_dict() == relation.to_dict()
+
+    def test_missing_column_raises(self, schema):
+        with pytest.raises(SchemaError, match="missing columns"):
+            Relation(schema, {"ID": [1], "Price": [1.0]})
+
+    def test_extra_column_raises(self, schema):
+        with pytest.raises(SchemaError, match="unknown columns"):
+            Relation(schema, {"ID": [1], "Price": [1.0], "Color": ["red"], "X": [1]})
+
+    def test_unequal_lengths_raise(self, schema):
+        with pytest.raises(SchemaError, match="unequal"):
+            Relation(schema, {"ID": [1, 2], "Price": [1.0], "Color": ["red"]})
+
+    def test_domain_violation_raises(self, schema):
+        with pytest.raises(SchemaError, match="violates"):
+            Relation(schema, {"ID": [1], "Price": [1.0], "Color": ["purple"]})
+
+    def test_duplicate_keys_raise(self, schema):
+        with pytest.raises(SchemaError, match="duplicate key"):
+            Relation(schema, {"ID": [1, 1], "Price": [1.0, 2.0], "Color": ["red", "red"]})
+
+    def test_from_columns_infers_schema(self):
+        rel = Relation.from_columns("R", {"K": [1, 2], "V": [1.5, 2.5]}, key=("K",))
+        assert rel.schema.is_key("K")
+        assert len(rel) == 2
+
+
+class TestAccess:
+    def test_row_and_key(self, relation):
+        assert relation.row(0) == {"ID": 1, "Price": 10.0, "Color": "red"}
+        assert relation.key_of(2) == (3,)
+        assert list(relation.iter_keys()) == [(1,), (2,), (3,), (4,)]
+        assert relation.key_index()[(4,)] == 3
+
+    def test_row_out_of_range(self, relation):
+        with pytest.raises(IndexError):
+            relation.row(10)
+
+    def test_column_returns_copy(self, relation):
+        column = relation.column("Price")
+        column[0] = 999.0
+        assert relation.column_view("Price")[0] == 10.0
+
+    def test_unknown_column_raises(self, relation):
+        with pytest.raises(SchemaError):
+            relation.column("Nope")
+
+    def test_numeric_matrix(self, relation):
+        matrix = relation.numeric_matrix(["Price"])
+        assert matrix.shape == (4, 1)
+        with pytest.raises(SchemaError):
+            relation.numeric_matrix(["Color"])
+
+
+class TestTransformations:
+    def test_filter_by_mask(self, relation):
+        filtered = relation.filter([True, False, True, False])
+        assert len(filtered) == 2
+        assert list(filtered.column_view("ID")) == [1, 3]
+
+    def test_filter_bad_mask_shape(self, relation):
+        with pytest.raises(SchemaError):
+            relation.filter([True, False])
+
+    def test_filter_rows_predicate(self, relation):
+        filtered = relation.filter_rows(lambda row: row["Color"] == "red")
+        assert len(filtered) == 2
+
+    def test_take_and_head_and_sort(self, relation):
+        taken = relation.take([3, 0])
+        assert list(taken.column_view("ID")) == [4, 1]
+        assert len(relation.head(2)) == 2
+        descending = relation.sort_by("Price", descending=True)
+        assert list(descending.column_view("ID")) == [4, 3, 2, 1]
+
+    def test_sample(self, relation):
+        sampled = relation.sample(2, np.random.default_rng(0))
+        assert len(sampled) == 2
+
+    def test_project(self, relation):
+        projected = relation.project(["ID", "Price"])
+        assert projected.attribute_names == ("ID", "Price")
+        with pytest.raises(SchemaError):
+            relation.project(["Price"])  # drops the key
+
+    def test_with_column_replaces_and_adds(self, relation):
+        doubled = relation.with_column("Price", [v * 2 for v in relation.column_view("Price")])
+        assert list(doubled.column_view("Price")) == [20.0, 40.0, 60.0, 80.0]
+        extended = relation.with_column("Discount", [0.1] * 4)
+        assert "Discount" in extended.schema
+        # the original is untouched
+        assert "Discount" not in relation.schema
+
+    def test_with_column_wrong_length(self, relation):
+        with pytest.raises(SchemaError):
+            relation.with_column("Price", [1.0])
+
+    def test_with_updated_values(self, relation):
+        updated = relation.with_updated_values(
+            "Price", [True, False, False, True], [0.0, 0.0, 0.0, 99.0]
+        )
+        assert list(updated.column_view("Price")) == [0.0, 20.0, 30.0, 99.0]
+
+    def test_concat(self, schema, relation):
+        other = Relation(
+            schema, {"ID": [10], "Price": [5.0], "Color": ["blue"]}
+        )
+        combined = relation.concat(other)
+        assert len(combined) == 5
+
+    def test_pretty_rendering(self, relation):
+        text = relation.pretty(limit=2)
+        assert "ID | Price | Color" in text
+        assert "more rows" in text
