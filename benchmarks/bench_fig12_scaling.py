@@ -47,7 +47,7 @@ def _howto_query(dataset):
             LimitConstraint("Status", lower=1.0, upper=4.0),
             LimitConstraint("Housing", lower=1.0, upper=3.0),
         ],
-        candidate_buckets=3,
+        candidate_buckets=4,
         candidate_multipliers=(),
     )
 
@@ -102,7 +102,7 @@ def test_fig12a_whatif_runtime_vs_dataset_size(benchmark):
 def test_fig12b_howto_runtime_vs_dataset_size(benchmark):
     rows = []
     hyper_times, exhaustive_times = [], []
-    for size in SIZES[:3]:
+    for size in SIZES:
         dataset = make_german_syn(size, seed=7)
         engine = HowToEngine(dataset.database, dataset.causal_dag, FAST_CONFIG)
         query = _howto_query(dataset)

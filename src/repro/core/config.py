@@ -27,22 +27,48 @@ class EngineConfig:
     Parameters
     ----------
     variant:
-        One of :class:`Variant`'s values.
+        One of :class:`Variant`'s values: ``hyper`` (full causal engine with
+        backdoor adjustment), ``hyper-nb`` (no background knowledge — adjust
+        for every attribute), ``hyper-sampled`` (estimators trained on a row
+        sample) or ``indep`` (provenance-style baseline without causal
+        propagation).
     regressor:
-        Estimator backend: ``"forest"`` (paper default), ``"linear"`` or ``"ridge"``.
+        Estimator backend: ``"forest"`` (paper default, random forest),
+        ``"linear"`` (closed-form OLS; fastest, used by the scaling
+        benchmarks) or ``"ridge"`` (L2-regularised OLS, stabler with one-hot
+        encoded categoricals).
     sample_size:
         When set (or when the variant is ``hyper-sampled``) the conditional
         probability estimators are trained on a random sample of this many view
-        rows (Section 5.2's HypeR-sampled, default 100k in the paper).
+        rows (Section 5.2's HypeR-sampled, default 100k in the paper).  Must be
+        positive when given.
     use_blocks:
         Whether to decompose the computation over block-independent components
-        (the Proposition 1 optimisation).  Turning it off is the ablation.
+        (the Proposition 1 optimisation).  Turning it off is the ablation run
+        by the benchmarks; results are identical, only per-block reporting and
+        runtime change.
     use_support_index:
-        Whether domain iteration uses the zero-support index (Section A.4).
+        Whether domain iteration uses the zero-support index (Section A.4):
+        only value combinations with non-zero empirical support are
+        enumerated.
     n_forest_trees / max_tree_depth:
-        Random-forest capacity (kept modest so pure-Python training stays fast).
+        Random-forest capacity (kept modest so pure-Python training stays
+        fast).  Ignored by the linear/ridge regressors.
     random_state:
         Seed controlling sampling and estimator randomness (reproducibility).
+    verify_howto_with_whatif:
+        After the how-to IP picks a plan, re-evaluate it with the what-if
+        machinery and report the verified value alongside the IP objective.
+    ground_truth_repeats:
+        Number of possible-world simulations averaged by the ground-truth
+        oracle in the accuracy experiments.
+    backend:
+        Storage/execution backend for the relational layer: ``"columnar"``
+        (vectorized kernels over typed ndarray columns — the default),
+        ``"rows"`` (the row-at-a-time reference implementation) or ``None``
+        to leave every relation on the backend it was constructed with.  The
+        engines convert the database lazily; data is shared, not copied.  See
+        the backend contract in :mod:`repro.relational`.
     """
 
     variant: str = Variant.HYPER
@@ -55,6 +81,7 @@ class EngineConfig:
     random_state: int = 0
     verify_howto_with_whatif: bool = True
     ground_truth_repeats: int = 10
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.variant not in Variant.ALL:
@@ -65,6 +92,13 @@ class EngineConfig:
             raise QuerySemanticsError("sample_size must be positive when given")
         if self.n_forest_trees <= 0 or self.max_tree_depth <= 0:
             raise QuerySemanticsError("forest capacity parameters must be positive")
+        if self.backend is not None and self.backend not in ("rows", "columnar"):
+            raise QuerySemanticsError(
+                f"unknown backend {self.backend!r}; expected 'rows' or 'columnar'"
+            )
+
+    def with_backend(self, backend: str | None) -> "EngineConfig":
+        return replace(self, backend=backend)
 
     @property
     def is_sampled(self) -> bool:

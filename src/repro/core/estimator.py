@@ -206,8 +206,8 @@ class PostUpdateEstimator:
         full post-update column.  The returned array has one entry per view row
         and is only meaningful where ``predict_mask`` is true.
         """
-        target = np.asarray(list(target), dtype=float)
-        predict_mask = np.asarray(list(predict_mask), dtype=bool)
+        target = np.asarray(target, dtype=float)
+        predict_mask = np.asarray(predict_mask, dtype=bool)
         if len(target) != len(self.view) or len(predict_mask) != len(self.view):
             raise QuerySemanticsError("target and mask must align with the view rows")
         missing = [a for a in self.update_attributes if a not in post_values]
@@ -218,14 +218,15 @@ class PostUpdateEstimator:
         out = np.zeros(len(self.view))
         if not predict_mask.any():
             return out
-        columns: dict[str, list[Any]] = {}
+        columns: dict[str, Any] = {}
         idx = np.flatnonzero(predict_mask)
         for attribute in self.update_attributes:
-            post_column = list(post_values[attribute])
-            columns[attribute] = [post_column[i] for i in idx]
+            post_column = post_values[attribute]
+            if not isinstance(post_column, np.ndarray):
+                post_column = np.asarray(post_column, dtype=object)
+            columns[attribute] = post_column[idx]
         for attribute in self._backdoor:
-            pre_column = self.view.column_view(attribute)
-            columns[attribute] = [pre_column[i] for i in idx]
+            columns[attribute] = self.view.column_view(attribute)[idx]
         predictions = regressor.predict_columns(columns)
         out[idx] = predictions
         return out
@@ -238,7 +239,7 @@ class PostUpdateEstimator:
         assert self._train_indices is not None
         train_idx = self._train_indices
         columns = {
-            attribute: [self.view.column_view(attribute)[i] for i in train_idx]
+            attribute: self.view.column_view(attribute)[train_idx]
             for attribute in self.feature_attributes
         }
         regressor = ConditionalMeanRegressor(

@@ -44,8 +44,8 @@ from .config import EngineConfig
 from .estimator import PostUpdateEstimator, build_view_dag
 from .queries import HowToQuery
 from .results import HowToResult
-from .updates import AttributeUpdate, MultiplyBy, SetTo, UpdateFunction
-from .whatif import _MAX_DISJUNCTS
+from .updates import AttributeUpdate, MultiplyBy, SetTo, UpdateFunction, apply_update_column
+from .whatif import _MAX_DISJUNCTS, numeric_output_column
 
 __all__ = ["CandidateUpdate", "HowToEngine"]
 
@@ -83,6 +83,10 @@ class HowToEngine:
     database: Database
     causal_dag: CausalDAG | None = None
     config: EngineConfig = field(default_factory=EngineConfig)
+
+    def __post_init__(self) -> None:
+        if self.config.backend is not None:
+            self.database = self.database.with_backend(self.config.backend)
 
     # -- public API ---------------------------------------------------------------------
 
@@ -288,9 +292,7 @@ class HowToEngine:
         )
         pre_masks = [evaluate_mask(d.pre, view) for d in disjuncts]
         post_masks = [evaluate_mask(d.post, view) for d in disjuncts]
-        output_values = np.array(
-            [0.0 if v is None else float(v) for v in view.column_view(query.objective_attribute)]
-        )
+        output_values = numeric_output_column(view, query.objective_attribute)
         return _SharedEvaluation(
             view=view,
             view_dag=view_dag,
@@ -393,27 +395,24 @@ class HowToEngine:
         query: HowToQuery,
         shared: _SharedEvaluation,
         updates: Sequence[AttributeUpdate],
-    ) -> dict[str, list[Any]]:
-        post_values: dict[str, list[Any]] = {}
+    ) -> dict[str, Sequence[Any]]:
+        post_values: dict[str, Sequence[Any]] = {}
         by_attribute = {u.attribute: u.function for u in updates}
         for attribute in query.update_attributes:
-            pre = list(shared.view.column_view(attribute))
+            pre = shared.view.column_view(attribute)
             if attribute in by_attribute:
-                function = by_attribute[attribute]
-                post = [
-                    function.apply(v) if (flag and v is not None) else v
-                    for v, flag in zip(pre, shared.scope_mask)
-                ]
+                post_values[attribute] = apply_update_column(
+                    by_attribute[attribute], pre, shared.scope_mask
+                )
             else:
-                post = pre
-            post_values[attribute] = post
+                post_values[attribute] = pre
         return post_values
 
     def _candidate_value(
         self,
         query: HowToQuery,
         shared: _SharedEvaluation,
-        post_values: dict[str, list[Any]],
+        post_values: dict[str, Sequence[Any]],
     ) -> float:
         """Estimated objective value for a concrete (possibly empty) update choice."""
         view = shared.view

@@ -20,6 +20,7 @@ from ..relational.predicates import TRUE
 
 __all__ = [
     "UpdateFunction",
+    "apply_update_column",
     "SetTo",
     "AddConstant",
     "MultiplyBy",
@@ -37,8 +38,34 @@ class UpdateFunction:
     def apply_column(self, values: Sequence[Any]) -> list[Any]:
         return [None if v is None else self.apply(v) for v in values]
 
+    def apply_vectorized(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray | None:
+        """Whole-column application where ``mask`` holds, or ``None`` when the
+        function has no vectorized form (callers fall back to :meth:`apply`)."""
+        return None
+
     def describe(self) -> str:
         raise NotImplementedError
+
+
+def apply_update_column(
+    function: "UpdateFunction", pre_values: Sequence[Any], scope_mask: Sequence[bool]
+) -> np.ndarray | list[Any]:
+    """Post-update column: ``f(pre)`` where ``scope_mask`` holds, ``pre`` elsewhere.
+
+    Numeric ndarray columns go through the update function's vectorized form
+    (columnar backend hot path); anything else falls back to the per-value
+    reference loop, which skips ``None`` entries.
+    """
+    mask = np.asarray(scope_mask, dtype=bool)
+    if isinstance(pre_values, np.ndarray) and pre_values.dtype.kind == "f":
+        vectorized = function.apply_vectorized(pre_values, mask)
+        if vectorized is not None:
+            return vectorized
+    out = list(pre_values)
+    for i in np.flatnonzero(mask):
+        if out[i] is not None:
+            out[i] = function.apply(out[i])
+    return out
 
 
 @dataclass(frozen=True)
@@ -49,6 +76,13 @@ class SetTo(UpdateFunction):
 
     def apply(self, value: Any) -> Any:
         return self.value
+
+    def apply_vectorized(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray | None:
+        if not isinstance(self.value, (int, float, np.integer, np.floating)) or isinstance(
+            self.value, bool
+        ):
+            return None
+        return np.where(mask, float(self.value), values)
 
     def describe(self) -> str:
         if isinstance(self.value, float):
@@ -67,6 +101,9 @@ class AddConstant(UpdateFunction):
     def apply(self, value: Any) -> Any:
         return value + self.delta
 
+    def apply_vectorized(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray | None:
+        return np.where(mask, values + self.delta, values)
+
     def describe(self) -> str:
         return f"+= {self.delta}"
 
@@ -79,6 +116,9 @@ class MultiplyBy(UpdateFunction):
 
     def apply(self, value: Any) -> Any:
         return value * self.factor
+
+    def apply_vectorized(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray | None:
+        return np.where(mask, values * self.factor, values)
 
     def describe(self) -> str:
         return f"*= {self.factor}"
@@ -128,15 +168,9 @@ class HypotheticalUpdate:
 
     def updated_values(
         self, attribute: str, pre_values: Sequence[Any], scope_mask: Sequence[bool]
-    ) -> list[Any]:
+    ) -> np.ndarray | list[Any]:
         """Post-update values of ``attribute``: ``f(pre)`` inside the scope, ``pre`` outside."""
-        function = self.function_for(attribute)
-        mask = np.asarray(scope_mask, dtype=bool)
-        out = list(pre_values)
-        for i, flagged in enumerate(mask):
-            if flagged and out[i] is not None:
-                out[i] = function.apply(out[i])
-        return out
+        return apply_update_column(self.function_for(attribute), pre_values, scope_mask)
 
     def describe(self) -> str:
         return " and ".join(u.describe() for u in self.updates)

@@ -30,7 +30,7 @@ import numpy as np
 
 from ..causal.dag import CausalDAG
 from ..exceptions import QuerySemanticsError
-from ..probdb.blocks import decompose_into_blocks
+from ..probdb.blocks import block_labels
 from ..relational.aggregates import get_aggregate
 from ..relational.database import Database
 from ..relational.expressions import Expr
@@ -46,9 +46,27 @@ from .estimator import PostUpdateEstimator, build_view_dag
 from .queries import WhatIfQuery
 from .results import BlockContribution, WhatIfResult
 
-__all__ = ["WhatIfEngine"]
+__all__ = ["WhatIfEngine", "numeric_output_column"]
 
 _MAX_DISJUNCTS = 6
+
+
+def numeric_output_column(view: Relation, attribute: str) -> np.ndarray:
+    """Output attribute as float64 with nulls as 0.0 (shared engine helper).
+
+    On the columnar backend this is a mask/where over the typed column; the
+    reference path converts value by value (and raises for non-numeric data,
+    as before).
+    """
+    if view.is_columnar:
+        column = view.columnar_store()[attribute]
+        if column.is_numeric:
+            return np.where(column.null, 0.0, column.data)
+    values = view.column_view(attribute)
+    out = np.zeros(len(view))
+    for i, value in enumerate(values):
+        out[i] = 0.0 if value is None else float(value)
+    return out
 
 
 @dataclass
@@ -58,7 +76,7 @@ class _PreparedQuery:
     view: Relation
     view_dag: CausalDAG | None
     scope_mask: np.ndarray
-    post_values: dict[str, list[Any]]
+    post_values: dict[str, Sequence[Any]]
     disjuncts: list[Conjunction]
     post_attributes: list[str]
     block_of_row: np.ndarray
@@ -72,6 +90,10 @@ class WhatIfEngine:
     database: Database
     causal_dag: CausalDAG | None = None
     config: EngineConfig = field(default_factory=EngineConfig)
+
+    def __post_init__(self) -> None:
+        if self.config.backend is not None:
+            self.database = self.database.with_backend(self.config.backend)
 
     # -- public API -------------------------------------------------------------------
 
@@ -96,10 +118,10 @@ class WhatIfEngine:
 
         scope_mask = evaluate_mask(query.when, view)
         update = query.hypothetical_update
-        post_values: dict[str, list[Any]] = {}
+        post_values: dict[str, Sequence[Any]] = {}
         for attribute in query.update_attributes:
             post_values[attribute] = update.updated_values(
-                attribute, list(view.column_view(attribute)), scope_mask
+                attribute, view.column_view(attribute), scope_mask
             )
 
         disjuncts = self._normalise_for_clause(query.for_clause)
@@ -167,14 +189,12 @@ class WhatIfEngine:
         n = len(view)
         if not self.config.use_blocks or self.causal_dag is None:
             return np.zeros(n, dtype=int), 1
-        decomposition = decompose_into_blocks(self.database, self.causal_dag)
-        base = query.use.base_relation
+        labels, n_blocks = block_labels(self.database, self.causal_dag)
+        base_labels = labels.get(query.use.base_relation)
         block_of_row = np.zeros(n, dtype=int)
-        for block in decomposition:
-            for row in block.rows.get(base, []):
-                if row < n:
-                    block_of_row[row] = block.index
-        n_blocks = len(decomposition)
+        if base_labels is not None:
+            m = min(n, len(base_labels))
+            block_of_row[:m] = base_labels[:m]
         return block_of_row, n_blocks
 
     # -- causal evaluation (HypeR / HypeR-NB / HypeR-sampled) -----------------------------
@@ -291,11 +311,7 @@ class WhatIfEngine:
         return out
 
     def _numeric_output(self, view: Relation, attribute: str) -> np.ndarray:
-        values = view.column_view(attribute)
-        out = np.zeros(len(view))
-        for i, value in enumerate(values):
-            out[i] = 0.0 if value is None else float(value)
-        return out
+        return numeric_output_column(view, attribute)
 
     def _combine(
         self, aggregate: str, count_contrib: np.ndarray, sum_contrib: np.ndarray
@@ -318,21 +334,20 @@ class WhatIfEngine:
         prepared: _PreparedQuery,
         scope: np.ndarray,
     ) -> list[BlockContribution]:
-        contributions = []
         per_row = count_contrib if aggregate == "count" else sum_contrib
-        for block_index in range(prepared.n_blocks):
-            rows = prepared.block_of_row == block_index
-            if not rows.any():
-                continue
-            contributions.append(
-                BlockContribution(
-                    block_index=block_index,
-                    partial_value=float(per_row[rows].sum()),
-                    n_tuples=int(rows.sum()),
-                    n_scope_tuples=int((rows & scope).sum()),
-                )
+        n_blocks = prepared.n_blocks
+        totals = np.bincount(prepared.block_of_row, weights=per_row, minlength=n_blocks)
+        sizes = np.bincount(prepared.block_of_row, minlength=n_blocks)
+        scope_sizes = np.bincount(prepared.block_of_row[scope], minlength=n_blocks)
+        return [
+            BlockContribution(
+                block_index=int(block_index),
+                partial_value=float(totals[block_index]),
+                n_tuples=int(sizes[block_index]),
+                n_scope_tuples=int(scope_sizes[block_index]),
             )
-        return contributions
+            for block_index in np.flatnonzero(sizes)
+        ]
 
     # -- Indep baseline ---------------------------------------------------------------------
 

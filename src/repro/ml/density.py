@@ -176,8 +176,8 @@ class ConditionalMeanRegressor:
         missing = [a for a in self.feature_attributes if a not in columns]
         if missing:
             raise EstimationError(f"training columns missing attributes {missing}")
-        target = np.asarray(list(target), dtype=float)
-        feature_columns = {a: list(columns[a]) for a in self.feature_attributes}
+        target = np.asarray(target, dtype=float)
+        feature_columns = {a: columns[a] for a in self.feature_attributes}
         self._target_mean = float(target.mean()) if target.size else 0.0
         if not self.feature_attributes:
             self._encoder = None
@@ -205,6 +205,6 @@ class ConditionalMeanRegressor:
             lengths = {len(v) for v in columns.values()} or {0}
             return np.full(lengths.pop(), self._target_mean)
         design = self._encoder.transform_columns(
-            {a: list(columns[a]) for a in self.feature_attributes}
+            {a: columns[a] for a in self.feature_attributes}
         )
         return self._model.predict(design)

@@ -19,11 +19,18 @@ from ..exceptions import EstimationError
 __all__ = ["Discretizer", "equal_width_edges", "equal_depth_edges"]
 
 
+def _as_float_array(values: Sequence[float]) -> np.ndarray:
+    """Whole-array pass-through for ndarray input, list conversion otherwise."""
+    if isinstance(values, np.ndarray) and values.dtype != object:
+        return values.astype(float, copy=False)
+    return np.asarray(list(values), dtype=float)
+
+
 def equal_width_edges(values: Sequence[float], n_buckets: int) -> np.ndarray:
     """Bucket edges splitting ``[min, max]`` into ``n_buckets`` equal-width bins."""
     if n_buckets <= 0:
         raise EstimationError("n_buckets must be positive")
-    arr = np.asarray(list(values), dtype=float)
+    arr = _as_float_array(values)
     if arr.size == 0:
         raise EstimationError("cannot discretize an empty column")
     low, high = float(arr.min()), float(arr.max())
@@ -36,7 +43,7 @@ def equal_depth_edges(values: Sequence[float], n_buckets: int) -> np.ndarray:
     """Bucket edges putting (approximately) equal numbers of values per bin."""
     if n_buckets <= 0:
         raise EstimationError("n_buckets must be positive")
-    arr = np.asarray(list(values), dtype=float)
+    arr = _as_float_array(values)
     if arr.size == 0:
         raise EstimationError("cannot discretize an empty column")
     quantiles = np.linspace(0, 1, n_buckets + 1)
@@ -77,7 +84,7 @@ class Discretizer:
     def transform(self, values: Sequence[float]) -> np.ndarray:
         """Bucket index per value (0-based; values outside the range are clipped)."""
         edges = self._require_fitted()
-        arr = np.asarray(list(values), dtype=float)
+        arr = _as_float_array(values)
         idx = np.searchsorted(edges, arr, side="right") - 1
         return np.clip(idx, 0, self.n_buckets - 1)
 
@@ -95,5 +102,8 @@ class Discretizer:
     def inverse_transform(self, buckets: Sequence[int]) -> np.ndarray:
         """Map bucket indices back to representative values."""
         centers = self.bucket_centers()
-        idx = np.clip(np.asarray(list(buckets), dtype=int), 0, self.n_buckets - 1)
+        if isinstance(buckets, np.ndarray):
+            idx = np.clip(buckets.astype(int), 0, self.n_buckets - 1)
+        else:
+            idx = np.clip(np.asarray(list(buckets), dtype=int), 0, self.n_buckets - 1)
         return centers[idx]

@@ -14,22 +14,20 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 
 from ..exceptions import EstimationError
+from ..relational.columnar import Column
 from ..relational.relation import Relation
 
 __all__ = ["ColumnEncoder", "FeatureEncoder"]
 
 
-def _is_numeric(values: Sequence[Any]) -> bool:
-    return all(
-        isinstance(v, (int, float, np.integer, np.floating)) and not isinstance(v, bool)
-        for v in values
-        if v is not None
-    )
-
-
 @dataclass
 class ColumnEncoder:
-    """Encoder for a single attribute: pass-through for numeric, one-hot otherwise."""
+    """Encoder for a single attribute: pass-through for numeric, one-hot otherwise.
+
+    Fitting and transforming go through :class:`~repro.relational.columnar.Column`
+    so whole-column ndarray inputs (the columnar backend's representation) are
+    encoded without per-value Python loops.
+    """
 
     name: str
     numeric: bool = True
@@ -38,16 +36,14 @@ class ColumnEncoder:
 
     @classmethod
     def fit(cls, name: str, values: Sequence[Any]) -> "ColumnEncoder":
-        values = list(values)
-        if all(v is None for v in values):
+        column = Column.from_values(values)
+        if len(column) == 0 or not column.valid.any():
             raise EstimationError(f"column {name!r} has no non-null values to encode")
-        if _is_numeric(values):
-            observed = [float(v) for v in values if v is not None]
-            fill = float(np.mean(observed)) if observed else 0.0
+        if column.is_numeric:
+            observed = column.data[column.valid]
+            fill = float(observed.mean()) if observed.size else 0.0
             return cls(name=name, numeric=True, fill_value=fill)
-        categories = tuple(sorted({str(v) for v in values if v is not None}))
-        if not categories:
-            raise EstimationError(f"column {name!r} has no non-null values to encode")
+        categories = tuple(sorted({str(v) for v in column.data[column.valid]}))
         return cls(name=name, numeric=False, categories=categories)
 
     @property
@@ -61,21 +57,36 @@ class ColumnEncoder:
         return [f"{self.name}={c}" for c in self.categories]
 
     def transform(self, values: Sequence[Any]) -> np.ndarray:
-        values = list(values)
-        n = len(values)
+        column = Column.from_values(values)
+        n = len(column)
         if self.numeric:
+            if column.is_numeric:
+                return np.where(column.null, self.fill_value, column.data).reshape(n, 1)
+            # Mixed content hitting a numeric encoder: reference per-value loop
+            # (float() raises for non-numeric values exactly as it used to).
             out = np.empty((n, 1))
-            for i, v in enumerate(values):
+            for i, v in enumerate(column.data):
                 out[i, 0] = self.fill_value if v is None else float(v)
             return out
         out = np.zeros((n, len(self.categories)))
-        index = {c: j for j, c in enumerate(self.categories)}
-        for i, v in enumerate(values):
-            if v is None:
-                continue
-            j = index.get(str(v))
-            if j is not None:
-                out[i, j] = 1.0
+        if not self.categories:
+            return out
+        valid_rows = np.flatnonzero(column.valid)
+        if valid_rows.size == 0:
+            return out
+        # Label with str() of the ORIGINAL values, not the sniffed column data:
+        # a purely-numeric batch drawn from a mixed column must stringify as
+        # str(2) == '2' (matching the categories recorded at fit time), not as
+        # the float-converted '2.0'.
+        source = (
+            np.asarray(values, dtype=object) if column.is_numeric else column.data
+        )
+        labels = source[valid_rows].astype(str)
+        cats = np.asarray(self.categories, dtype=str)
+        pos = np.searchsorted(cats, labels)
+        pos_clipped = np.minimum(pos, len(cats) - 1)
+        known = cats[pos_clipped] == labels
+        out[valid_rows[known], pos_clipped[known]] = 1.0
         return out
 
     def transform_value(self, value: Any) -> np.ndarray:
@@ -93,12 +104,12 @@ class FeatureEncoder:
     def fit(cls, relation: Relation, attributes: Sequence[str]) -> "FeatureEncoder":
         encoders = {}
         for attr in attributes:
-            encoders[attr] = ColumnEncoder.fit(attr, list(relation.column_view(attr)))
+            encoders[attr] = ColumnEncoder.fit(attr, relation.column_view(attr))
         return cls(encoders=encoders, attribute_order=tuple(attributes))
 
     @classmethod
     def fit_columns(cls, columns: Mapping[str, Sequence[Any]]) -> "FeatureEncoder":
-        encoders = {name: ColumnEncoder.fit(name, list(values)) for name, values in columns.items()}
+        encoders = {name: ColumnEncoder.fit(name, values) for name, values in columns.items()}
         return cls(encoders=encoders, attribute_order=tuple(columns))
 
     @property
@@ -114,7 +125,7 @@ class FeatureEncoder:
 
     def transform_relation(self, relation: Relation) -> np.ndarray:
         blocks = [
-            self.encoders[attr].transform(list(relation.column_view(attr)))
+            self.encoders[attr].transform(relation.column_view(attr))
             for attr in self.attribute_order
         ]
         if not blocks:
@@ -126,7 +137,7 @@ class FeatureEncoder:
         if len(lengths) > 1:
             raise EstimationError("all columns must have the same length")
         blocks = [
-            self.encoders[attr].transform(list(columns[attr]))
+            self.encoders[attr].transform(columns[attr])
             for attr in self.attribute_order
         ]
         if not blocks:

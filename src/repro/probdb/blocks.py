@@ -26,11 +26,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterable
 
+import numpy as np
+
 from ..causal.dag import CausalDAG
 from ..exceptions import CausalModelError
 from ..relational.database import Database
 
-__all__ = ["Block", "BlockDecomposition", "decompose_into_blocks"]
+__all__ = ["Block", "BlockDecomposition", "block_labels", "decompose_into_blocks"]
 
 
 TupleId = tuple[str, int]  # (relation name, row position)
@@ -176,13 +178,8 @@ def _group_values(database: Database, relation: str, within: str | None) -> list
     ]
 
 
-def decompose_into_blocks(database: Database, dag: CausalDAG | None) -> BlockDecomposition:
-    """Compute the block-independent decomposition of ``database`` under ``dag``.
-
-    With no causal graph (``dag is None``) every tuple forms its own block —
-    the tuple-independence default the paper assumes absent background
-    knowledge.
-    """
+def _union_tuples(database: Database, dag: CausalDAG | None) -> _UnionFind:
+    """Run the grounded-edge union–find shared by both decomposition entry points."""
     uf = _UnionFind()
     for relation in database.relation_names:
         for row in range(len(database[relation])):
@@ -202,7 +199,17 @@ def decompose_into_blocks(database: Database, dag: CausalDAG | None) -> BlockDec
             elif src_rel != dst_rel:
                 _merge_linked(uf, database, src_rel, dst_rel)
             # within-tuple edges never merge tuples
+    return uf
 
+
+def decompose_into_blocks(database: Database, dag: CausalDAG | None) -> BlockDecomposition:
+    """Compute the block-independent decomposition of ``database`` under ``dag``.
+
+    With no causal graph (``dag is None``) every tuple forms its own block —
+    the tuple-independence default the paper assumes absent background
+    knowledge.
+    """
+    uf = _union_tuples(database, dag)
     groups = uf.groups()
     blocks: list[Block] = []
     # Deterministic ordering: by the smallest (relation, row) member of each group.
@@ -214,6 +221,40 @@ def decompose_into_blocks(database: Database, dag: CausalDAG | None) -> BlockDec
     decomposition = BlockDecomposition(blocks)
     decomposition.validate_cover(database)
     return decomposition
+
+
+def block_labels(
+    database: Database, dag: CausalDAG | None
+) -> tuple[dict[str, np.ndarray], int]:
+    """Block index per row of every relation, without materialising blocks.
+
+    Returns ``(labels, n_blocks)`` where ``labels[relation][row]`` equals the
+    ``Block.index`` that :func:`decompose_into_blocks` would assign the tuple.
+    This is the fast path used by the query engines, which only need the
+    per-row block assignment (the partition property holds by construction,
+    so no cover validation is run).
+    """
+    uf = _union_tuples(database, dag)
+    root_of: dict[tuple[str, int], tuple[str, int]] = {}
+    smallest: dict[tuple[str, int], tuple[str, int]] = {}
+    for relation in database.relation_names:
+        for row in range(len(database[relation])):
+            tid = (relation, row)
+            root = uf.find(tid)
+            root_of[tid] = root
+            if root not in smallest or tid < smallest[root]:
+                smallest[root] = tid
+    ordered_roots = sorted(smallest, key=lambda r: smallest[r])
+    index_of = {root: i for i, root in enumerate(ordered_roots)}
+    labels = {
+        relation: np.fromiter(
+            (index_of[root_of[(relation, row)]] for row in range(len(database[relation]))),
+            dtype=np.int64,
+            count=len(database[relation]),
+        )
+        for relation in database.relation_names
+    }
+    return labels, len(ordered_roots)
 
 
 def _merge_linked(uf: _UnionFind, database: Database, relation_a: str, relation_b: str) -> None:

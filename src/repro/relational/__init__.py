@@ -6,6 +6,51 @@ self-contained column-store relational engine providing exactly the operations
 the paper's ``Use`` operator and estimators need: typed domains, keys and
 mutability flags, selection/projection/join/group-by, Pre/Post-aware predicate
 expressions, and decomposable aggregates.
+
+Execution backends
+==================
+
+Every :class:`Relation` (and transitively every :class:`Database`) executes on
+one of two backends, selected with the ``backend=`` keyword, the
+``REPRO_BACKEND`` environment variable, or :func:`set_default_backend`:
+
+``"columnar"`` (default)
+    Typed ``float64``/``object`` ndarray columns with explicit null masks
+    (:mod:`repro.relational.columnar`); predicates, joins, group-bys and
+    aggregates run as whole-column NumPy kernels.
+``"rows"``
+    The row-at-a-time reference implementation: predicates evaluate through
+    per-row :class:`EvaluationContext` dictionaries, joins and group-bys
+    through Python hash loops.  Slower, but the executable specification of
+    the semantics.
+
+Backend contract
+----------------
+
+Both backends MUST agree on the observable semantics of every operator; the
+parity suite in ``tests/relational/test_columnar_parity.py`` enforces this on
+the synthetic datasets.  The contract:
+
+* **Missing values.**  ``None`` is the missing value.  Comparisons
+  (``== != < <= > >=``) involving a missing operand are ``False``; ``IN``
+  membership of a missing value is ``True`` only when the value set contains
+  ``None``; ``Not`` negates the (null-coerced) boolean, so ``NOT (A == 1)``
+  is ``True`` for a missing ``A``.
+* **Aggregates.**  ``sum``/``count``/``avg`` ignore missing values; the empty
+  aggregate is ``0.0``.  The per-base-row ``Use`` aggregation yields ``None``
+  for base tuples with no (non-null) matching rows.
+* **Ordering.**  ``group_by`` emits one row per group in order of first
+  occurrence; ``equi_join`` emits left rows in order, each left row's right
+  matches in ascending right-row order; a left join pads unmatched right
+  attributes with ``None``.
+* **Numeric equality.**  Join keys and group keys compare with Python
+  semantics (``2 == 2.0``); key values may be missing and then match only
+  other missing values.
+* **Known divergence.**  Arithmetic over a missing operand raises
+  :class:`~repro.exceptions.ExpressionError` on the rows backend (it cannot
+  evaluate the row) while the columnar backend propagates the null, which
+  then fails any enclosing comparison.  Queries should treat arithmetic over
+  nullable attributes as undefined.
 """
 
 from .aggregates import (
@@ -15,6 +60,12 @@ from .aggregates import (
     CountAggregate,
     SumAggregate,
     get_aggregate,
+)
+from .columnar import (
+    Column,
+    ColumnStore,
+    get_default_backend,
+    set_default_backend,
 )
 from .database import Database
 from .expressions import (
@@ -69,6 +120,8 @@ __all__ = [
     "BooleanDomain",
     "BooleanExpr",
     "CategoricalDomain",
+    "Column",
+    "ColumnStore",
     "Comparison",
     "Conjunction",
     "Const",
@@ -94,8 +147,10 @@ __all__ = [
     "evaluate_mask",
     "evaluate_predicate",
     "get_aggregate",
+    "get_default_backend",
     "group_by",
     "infer_domain",
+    "set_default_backend",
     "lit",
     "make_disjoint",
     "post",

@@ -40,6 +40,14 @@ class AggregateFunction:
     def evaluate(self, values: Sequence[Any]) -> float:
         raise NotImplementedError
 
+    def evaluate_masked(self, data: np.ndarray, valid: np.ndarray) -> float:
+        """Vectorized evaluation over a typed column (columnar backend).
+
+        ``data`` is a float array, ``valid`` marks non-null positions; the
+        result equals ``evaluate`` over the non-null values as plain objects.
+        """
+        raise NotImplementedError
+
     # -- decomposition (Definition 6) --------------------------------------------
 
     def partial(self, values: Sequence[Any], total_size: int) -> float:
@@ -84,6 +92,9 @@ class SumAggregate(AggregateFunction):
             return 0.0
         return float(np.sum(np.asarray(values, dtype=float)))
 
+    def evaluate_masked(self, data: np.ndarray, valid: np.ndarray) -> float:
+        return float(np.where(valid, np.nan_to_num(data, nan=0.0), 0.0).sum())
+
     def partial(self, values: Sequence[Any], total_size: int) -> float:
         return self.evaluate(values)
 
@@ -99,6 +110,9 @@ class CountAggregate(AggregateFunction):
 
     def evaluate(self, values: Sequence[Any]) -> float:
         return float(len(values))
+
+    def evaluate_masked(self, data: np.ndarray, valid: np.ndarray) -> float:
+        return float(np.asarray(valid, dtype=bool).sum())
 
     def partial(self, values: Sequence[Any], total_size: int) -> float:
         return float(len(values))
@@ -121,6 +135,12 @@ class AvgAggregate(AggregateFunction):
         if len(values) == 0:
             return 0.0
         return float(np.mean(np.asarray(values, dtype=float)))
+
+    def evaluate_masked(self, data: np.ndarray, valid: np.ndarray) -> float:
+        count = float(np.asarray(valid, dtype=bool).sum())
+        if count == 0:
+            return 0.0
+        return float(np.where(valid, np.nan_to_num(data, nan=0.0), 0.0).sum()) / count
 
     def partial(self, values: Sequence[Any], total_size: int) -> float:
         if total_size <= 0:

@@ -1,0 +1,606 @@
+"""Columnar storage/execution backend: typed arrays, null masks, kernels.
+
+This module is the vectorized counterpart of the row-at-a-time reference
+implementation spread across :mod:`predicates`, :mod:`operators` and
+:mod:`view`.  A :class:`ColumnStore` holds one :class:`Column` per attribute:
+numeric attributes become contiguous ``float64`` arrays (missing values stored
+as NaN behind an explicit null mask), everything else stays an ``object``
+array with the same mask.  On top of that representation the module provides
+whole-column kernels for
+
+* predicate/expression evaluation (:func:`vectorized_mask`),
+* key factorization shared by group-by and join (:func:`factorize_columns`),
+* per-group aggregation via ``np.bincount`` (:func:`grouped_aggregate`),
+* equi-join index computation (:func:`join_indices`).
+
+The kernels implement exactly the semantics of the rows backend (see the
+"backend contract" in :mod:`repro.relational`); the one documented divergence
+is arithmetic over NULL, which the reference raises on and the columnar
+backend propagates as NULL.
+
+Backend selection is process-global by default (``columnar``; override with
+the ``REPRO_BACKEND`` environment variable or :func:`set_default_backend`)
+and can be fixed per :class:`~repro.relational.relation.Relation` via its
+``backend=`` keyword.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import ExpressionError, SchemaError
+from .aggregates import get_aggregate
+from .expressions import (
+    Arithmetic,
+    Attr,
+    BooleanExpr,
+    Comparison,
+    Const,
+    Expr,
+    InSet,
+    Not,
+    Temporal,
+)
+
+__all__ = [
+    "BACKENDS",
+    "Column",
+    "ColumnStore",
+    "factorize_columns",
+    "get_default_backend",
+    "grouped_aggregate",
+    "join_indices",
+    "set_default_backend",
+    "vectorized_mask",
+]
+
+BACKENDS = ("rows", "columnar")
+
+_default_backend = os.environ.get("REPRO_BACKEND", "columnar")
+if _default_backend not in BACKENDS:  # pragma: no cover - env misconfiguration
+    _default_backend = "columnar"
+
+
+def get_default_backend() -> str:
+    """Backend used by relations that do not pin one explicitly."""
+    return _default_backend
+
+
+def set_default_backend(name: str) -> str:
+    """Set the process-wide default backend; returns the previous value."""
+    global _default_backend
+    if name not in BACKENDS:
+        raise SchemaError(f"unknown backend {name!r}; expected one of {BACKENDS}")
+    previous = _default_backend
+    _default_backend = name
+    return previous
+
+
+def _is_numeric_value(value: Any) -> bool:
+    return isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(
+        value, (bool, np.bool_)
+    )
+
+
+_NO_NULLS = np.zeros(0, dtype=bool)
+
+
+class Column:
+    """One typed column: ``float64`` or ``object`` data plus a null mask.
+
+    ``data`` is ``float64`` for numeric columns (NaN at null positions) and
+    ``object`` otherwise (``None`` at null positions).  ``null`` is a boolean
+    mask aligned with ``data``; ``valid`` is its complement.  Columns are
+    immutable — transformations return new instances sharing nothing mutable.
+    """
+
+    __slots__ = ("data", "null", "is_numeric")
+
+    def __init__(self, data: np.ndarray, null: np.ndarray, is_numeric: bool) -> None:
+        self.data = data
+        self.null = null
+        self.is_numeric = is_numeric
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def valid(self) -> np.ndarray:
+        return ~self.null
+
+    @property
+    def has_nulls(self) -> bool:
+        return bool(self.null.any())
+
+    @classmethod
+    def from_values(cls, values: Sequence[Any] | np.ndarray) -> "Column":
+        """Type-sniff ``values`` into a numeric (NaN-masked) or object column."""
+        if isinstance(values, np.ndarray) and values.dtype != object:
+            data = values.astype(float, copy=False)
+            return cls(data, np.isnan(data), True)
+        arr = np.asarray(values, dtype=object)
+        null = np.fromiter((v is None for v in arr), dtype=bool, count=len(arr))
+        non_null = arr[~null]
+        numeric = all(_is_numeric_value(v) for v in non_null) and len(non_null) > 0
+        if numeric:
+            data = np.full(len(arr), np.nan)
+            data[~null] = non_null.astype(float)
+            # values stored as non-null NaN count as null too
+            return cls(data, np.isnan(data), True)
+        return cls(arr, null, False)
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Rows at ``indices``; index ``-1`` produces a null (left-join padding)."""
+        indices = np.asarray(indices, dtype=int)
+        pad = indices < 0
+        data = self.data[indices]
+        null = self.null[indices] | pad
+        if pad.any():
+            data = data.copy()
+            data[pad] = np.nan if self.is_numeric else None
+        return Column(data, null, self.is_numeric)
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        return Column(self.data[mask], self.null[mask], self.is_numeric)
+
+    def values_list(self, indices: np.ndarray | None = None) -> list[Any]:
+        """Values as a plain list with ``None`` at null positions (row parity)."""
+        col = self if indices is None else self.take(np.asarray(indices, dtype=int))
+        if not col.is_numeric:
+            return list(col.data)
+        out: list[Any] = col.data.tolist()
+        if col.has_nulls:
+            for i in np.flatnonzero(col.null):
+                out[i] = None
+        return out
+
+    def raw_array(self) -> np.ndarray:
+        """Array in the legacy ``Relation`` representation (float or object)."""
+        if self.is_numeric and not self.has_nulls:
+            return self.data
+        if self.is_numeric:
+            out = self.data.astype(object)
+            out[self.null] = None
+            return out
+        return self.data
+
+
+class ColumnStore:
+    """Named, aligned :class:`Column` objects — the columnar relation payload."""
+
+    __slots__ = ("columns", "length")
+
+    def __init__(self, columns: dict[str, Column], length: int) -> None:
+        self.columns = columns
+        self.length = length
+
+    @classmethod
+    def from_arrays(cls, arrays: Mapping[str, np.ndarray | Sequence[Any]]) -> "ColumnStore":
+        columns = {name: Column.from_values(arr) for name, arr in arrays.items()}
+        length = len(next(iter(columns.values()))) if columns else 0
+        return cls(columns, length)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.columns
+
+    def __getitem__(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError as exc:
+            raise ExpressionError(
+                f"attribute {name!r} is not available in the evaluation context; "
+                f"available: {sorted(self.columns)}"
+            ) from exc
+
+    def take(self, indices: np.ndarray) -> "ColumnStore":
+        indices = np.asarray(indices, dtype=int)
+        return ColumnStore(
+            {name: col.take(indices) for name, col in self.columns.items()}, len(indices)
+        )
+
+    def filter(self, mask: np.ndarray) -> "ColumnStore":
+        out = {name: col.filter(mask) for name, col in self.columns.items()}
+        length = len(next(iter(out.values()))) if out else 0
+        return ColumnStore(out, length)
+
+    def with_column(self, name: str, column: Column, order: Sequence[str]) -> "ColumnStore":
+        columns = {n: self.columns[n] for n in order if n in self.columns}
+        columns[name] = column
+        return ColumnStore({n: columns[n] for n in order}, self.length)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized expression evaluation
+# ---------------------------------------------------------------------------
+
+
+class _VCol:
+    """Intermediate evaluation result: values + null mask, possibly scalar."""
+
+    __slots__ = ("kind", "data", "null")
+
+    def __init__(self, kind: str, data: Any, null: Any) -> None:
+        self.kind = kind  # "num" | "obj" | "bool"
+        self.data = data  # ndarray or scalar
+        self.null = null  # ndarray, bool scalar, or False
+
+
+def _or_null(a: Any, b: Any) -> Any:
+    if a is False:
+        return b
+    if b is False:
+        return a
+    return a | b
+
+
+def _const_vcol(value: Any) -> _VCol:
+    if value is None:
+        return _VCol("obj", None, True)
+    if isinstance(value, (bool, np.bool_)):
+        return _VCol("bool", bool(value), False)
+    if _is_numeric_value(value):
+        return _VCol("num", float(value), False)
+    return _VCol("obj", value, False)
+
+
+def _attr_vcol(column: Column) -> _VCol:
+    null: Any = column.null if column.has_nulls else False
+    return _VCol("num" if column.is_numeric else "obj", column.data, null)
+
+
+def _to_bool(vcol: _VCol, n: int) -> np.ndarray:
+    """Coerce to a full-length boolean array; nulls become False (row parity)."""
+    data, null = vcol.data, vcol.null
+    if vcol.kind == "bool":
+        out = np.broadcast_to(np.asarray(data, dtype=bool), (n,)).copy()
+    elif vcol.kind == "num":
+        out = np.broadcast_to(np.asarray(data, dtype=float) != 0.0, (n,)).copy()
+    else:  # object: rare — mirror bool(value) per element
+        arr = np.broadcast_to(np.asarray(data, dtype=object), (n,))
+        out = np.fromiter((bool(v) for v in arr), dtype=bool, count=n)
+    if null is not False:
+        out &= ~np.broadcast_to(np.asarray(null, dtype=bool), (n,))
+    return out
+
+
+def _as_object_operand(vcol: _VCol) -> Any:
+    data = vcol.data
+    if isinstance(data, np.ndarray) and data.dtype != object:
+        return data.astype(object)
+    return data
+
+
+_CMP_UFUNCS = {
+    "==": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+_ARITH_UFUNCS = {"+": np.add, "-": np.subtract, "*": np.multiply, "/": np.divide}
+
+
+def _eval(expr: Expr, store: ColumnStore, post_store: ColumnStore) -> _VCol:
+    if isinstance(expr, Const):
+        return _const_vcol(expr.value)
+    if isinstance(expr, Attr):
+        source = post_store if expr.temporal is Temporal.POST else store
+        return _attr_vcol(source[expr.name])
+    if isinstance(expr, Comparison):
+        left = _eval(expr.left, store, post_store)
+        right = _eval(expr.right, store, post_store)
+        op = _CMP_UFUNCS[expr.op]
+        null = _or_null(left.null, right.null)
+        try:
+            if left.kind == "num" and right.kind == "num":
+                with np.errstate(invalid="ignore"):
+                    result = np.asarray(op(left.data, right.data), dtype=bool)
+                if null is not False:
+                    result = result & ~null
+            else:
+                # Object path: evaluate only the non-null rows so None never
+                # reaches an ordering ufunc (contract: null comparisons are
+                # False, and only genuinely incomparable values may raise).
+                n = store.length
+                l_obj = np.broadcast_to(np.asarray(_as_object_operand(left)), (n,))
+                r_obj = np.broadcast_to(np.asarray(_as_object_operand(right)), (n,))
+                result = np.zeros(n, dtype=bool)
+                if null is False:
+                    result[:] = np.asarray(op(l_obj, r_obj), dtype=bool)
+                else:
+                    valid = ~np.broadcast_to(np.asarray(null, dtype=bool), (n,))
+                    result[valid] = np.asarray(op(l_obj[valid], r_obj[valid]), dtype=bool)
+        except TypeError as exc:
+            raise ExpressionError(
+                f"cannot compare {left.data!r} {expr.op} {right.data!r}"
+            ) from exc
+        return _VCol("bool", result, False)
+    if isinstance(expr, BooleanExpr):
+        n = store.length
+        parts = [_to_bool(_eval(o, store, post_store), n) for o in expr.operands]
+        out = parts[0]
+        for part in parts[1:]:
+            out = (out & part) if expr.op == "and" else (out | part)
+        return _VCol("bool", out, False)
+    if isinstance(expr, Not):
+        return _VCol("bool", ~_to_bool(_eval(expr.operand, store, post_store), store.length), False)
+    if isinstance(expr, InSet):
+        return _eval_inset(expr, store, post_store)
+    if isinstance(expr, Arithmetic):
+        left = _eval(expr.left, store, post_store)
+        right = _eval(expr.right, store, post_store)
+        op = _ARITH_UFUNCS[expr.op]
+        null = _or_null(left.null, right.null)
+        if left.kind == "num" and right.kind == "num":
+            with np.errstate(all="ignore"):
+                return _VCol("num", op(left.data, right.data), null)
+        try:
+            return _VCol("obj", op(_as_object_operand(left), _as_object_operand(right)), null)
+        except TypeError as exc:
+            raise ExpressionError(
+                f"cannot apply {expr.op!r} to {left.data!r} and {right.data!r}"
+            ) from exc
+    raise ExpressionError(f"cannot vectorize expression node {expr!r}")
+
+
+def _eval_inset(expr: InSet, store: ColumnStore, post_store: ColumnStore) -> _VCol:
+    operand = _eval(expr.operand, store, post_store)
+    values = expr.values
+    none_in_set = any(v is None for v in values)
+    n = store.length
+    if operand.kind == "num":
+        numeric = [float(v) for v in values if isinstance(v, (bool, np.bool_)) or _is_numeric_value(v)]
+        data = np.broadcast_to(np.asarray(operand.data, dtype=float), (n,))
+        result = np.isin(data, numeric) if numeric else np.zeros(n, dtype=bool)
+    else:
+        data = np.broadcast_to(np.asarray(_as_object_operand(operand), dtype=object), (n,))
+        result = np.zeros(n, dtype=bool)
+        for v in values:
+            if v is None:
+                continue
+            result |= np.asarray(data == v, dtype=bool)
+    if operand.null is not False:
+        null = np.broadcast_to(np.asarray(operand.null, dtype=bool), (n,))
+        result = result.copy()
+        result[null] = none_in_set
+    return _VCol("bool", result, False)
+
+
+def vectorized_mask(predicate: Expr, store: ColumnStore, post_store: ColumnStore | None) -> np.ndarray:
+    """Evaluate a boolean predicate over a whole relation at once.
+
+    ``post_store`` supplies ``Post(A)`` values; ``None`` makes post fall back
+    to pre, exactly as the row-at-a-time :class:`EvaluationContext` does.
+    """
+    result = _to_bool(_eval(predicate, store, post_store or store), store.length)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Factorization (shared by group-by and join)
+# ---------------------------------------------------------------------------
+
+
+def _factorize_numeric(data: np.ndarray, null: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Codes + representative positions; nulls share one trailing code."""
+    codes = np.empty(len(data), dtype=np.int64)
+    valid = ~null
+    uniques, inverse = np.unique(data[valid], return_inverse=True)
+    codes[valid] = inverse
+    codes[null] = len(uniques)
+    n_codes = len(uniques) + (1 if null.any() else 0)
+    return codes, np.int64(n_codes)
+
+
+def _factorize_objects(values: Iterable[Any]) -> tuple[np.ndarray, np.ndarray]:
+    """Hash-based factorization preserving Python equality (2 == 2.0 etc.)."""
+    seen: dict[Any, int] = {}
+    codes = []
+    for v in values:
+        code = seen.get(v)
+        if code is None:
+            code = len(seen)
+            seen[v] = code
+        codes.append(code)
+    return np.asarray(codes, dtype=np.int64), np.int64(len(seen))
+
+
+def factorize_columns(columns: Sequence[Column]) -> np.ndarray:
+    """Dense int64 code per row for the combined key of ``columns``.
+
+    Rows get equal codes exactly when the rows-backend would have put them in
+    the same dict bucket (``None`` keys included, ``2 == 2.0`` respected).
+    Codes are re-compressed after every column so intermediate products stay
+    bounded by ``n_rows * cardinality`` (no int64 overflow on wide keys).
+    """
+    if not columns:
+        raise SchemaError("factorize_columns needs at least one column")
+    combined: np.ndarray | None = None
+    for col in columns:
+        if col.is_numeric:
+            codes, cardinality = _factorize_numeric(col.data, col.null)
+        else:
+            codes, cardinality = _factorize_objects(
+                None if is_null else v for v, is_null in zip(col.data, col.null)
+            )
+        if combined is None:
+            combined = codes
+        else:
+            _, combined = np.unique(combined * cardinality + codes, return_inverse=True)
+    assert combined is not None
+    return combined
+
+
+def group_rows(columns: Sequence[Column]) -> tuple[np.ndarray, np.ndarray]:
+    """Group rows by the combined key of ``columns``.
+
+    Returns ``(group_ids, representatives)`` where ``group_ids[i]`` is the
+    group of row ``i`` numbered in order of first occurrence (matching the
+    dict-insertion order of the rows backend) and ``representatives[g]`` is
+    the first row of group ``g``.
+    """
+    combined = factorize_columns(columns)
+    _, first, inverse = np.unique(combined, return_index=True, return_inverse=True)
+    order = np.argsort(first, kind="stable")
+    rank = np.empty(len(order), dtype=np.int64)
+    rank[order] = np.arange(len(order))
+    return rank[inverse], first[order]
+
+
+# ---------------------------------------------------------------------------
+# Aggregation kernels
+# ---------------------------------------------------------------------------
+
+
+def numeric_data(column: Column, context: str) -> np.ndarray:
+    """Column values as float64 (nulls as NaN); raises for non-numeric data."""
+    if column.is_numeric:
+        return column.data
+    try:
+        return np.asarray(
+            [np.nan if v is None else float(v) for v in column.data], dtype=float
+        )
+    except (TypeError, ValueError) as exc:
+        raise ExpressionError(f"cannot aggregate non-numeric values for {context}") from exc
+
+
+def grouped_aggregate(
+    column: Column, group_ids: np.ndarray, n_groups: int, how: str
+) -> np.ndarray:
+    """Per-group sum/count/avg over non-null values (empty groups yield 0.0).
+
+    Matches ``aggregate_column`` of the rows backend, which drops ``None``
+    before aggregating and defines the empty aggregate as ``0.0``.
+    """
+    valid = column.valid
+    counts = np.bincount(group_ids[valid], minlength=n_groups).astype(float)
+    if how == "count":
+        return counts
+    data = numeric_data(column, f"aggregate {how!r}")
+    weights = np.where(valid, np.nan_to_num(data, nan=0.0), 0.0)
+    sums = np.bincount(group_ids, weights=weights, minlength=n_groups)
+    if how == "sum":
+        return sums
+    if how in ("avg", "average", "mean"):
+        return np.divide(sums, counts, out=np.zeros(n_groups), where=counts > 0)
+    raise ExpressionError(f"unsupported aggregate {how!r}; supported: sum, count, avg")
+
+
+def _combined_pair_codes(
+    left_columns: Sequence[Column], right_columns: Sequence[Column]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Jointly factorize a multi-attribute key across two relations.
+
+    Codes live in one shared, dense space (equal code ⇔ equal key across both
+    sides) and are re-compressed after every attribute so intermediate
+    products never overflow int64, however many key attributes there are.
+    """
+    left_codes: np.ndarray | None = None
+    right_codes: np.ndarray | None = None
+    for lcol, rcol in zip(left_columns, right_columns):
+        lc, rc, cardinality = _pair_codes(lcol, rcol)
+        if left_codes is None:
+            left_codes, right_codes = lc, rc
+        else:
+            n_left = len(lc)
+            merged = np.concatenate(
+                [left_codes * cardinality + lc, right_codes * cardinality + rc]
+            )
+            _, inverse = np.unique(merged, return_inverse=True)
+            left_codes, right_codes = inverse[:n_left], inverse[n_left:]
+    assert left_codes is not None and right_codes is not None
+    return left_codes, right_codes
+
+
+def aggregate_lookup(
+    base_columns: Sequence[Column],
+    other_columns: Sequence[Column],
+    values: Column,
+    how: str,
+) -> list[Any]:
+    """Per-base-row aggregate of ``values`` grouped by a join key.
+
+    The workhorse of the ``Use`` operator: groups the rows behind
+    ``other_columns`` by their key, aggregates ``values`` per group (ignoring
+    nulls) and looks the result up for every base row.  Base rows whose key
+    has no (non-null) support map to ``None``, matching the rows backend.
+    """
+    base_codes, other_codes = _combined_pair_codes(base_columns, other_columns)
+    n_codes = int(max(base_codes.max(initial=-1), other_codes.max(initial=-1))) + 1
+
+    valid = values.valid
+    counts = np.bincount(other_codes[valid], minlength=n_codes).astype(float)
+    aggregate = get_aggregate(how).name
+    if aggregate == "count":
+        per_code = counts
+    else:
+        data = numeric_data(values, f"aggregate {how!r}")
+        weights = np.where(valid, np.nan_to_num(data, nan=0.0), 0.0)
+        sums = np.bincount(other_codes, weights=weights, minlength=n_codes)
+        if aggregate == "sum":
+            per_code = sums
+        else:
+            per_code = np.divide(sums, counts, out=np.zeros(n_codes), where=counts > 0)
+    out_values = per_code[base_codes]
+    supported = counts[base_codes] > 0
+    return [float(v) if ok else None for v, ok in zip(out_values, supported)]
+
+
+# ---------------------------------------------------------------------------
+# Join kernel
+# ---------------------------------------------------------------------------
+
+
+def _pair_codes(left: Column, right: Column) -> tuple[np.ndarray, np.ndarray, np.int64]:
+    """Jointly factorize one join-attribute pair across both relations."""
+    n_left = len(left)
+    if left.is_numeric and right.is_numeric:
+        data = np.concatenate([left.data, right.data])
+        null = np.concatenate([left.null, right.null])
+        codes, cardinality = _factorize_numeric(data, null)
+    else:
+        combined = left.values_list() + right.values_list()
+        codes, cardinality = _factorize_objects(combined)
+    return codes[:n_left], codes[n_left:], cardinality
+
+
+def join_indices(
+    left_columns: Sequence[Column],
+    right_columns: Sequence[Column],
+    *,
+    how: str = "inner",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-index pairs of the equi-join on the given aligned key columns.
+
+    Returns ``(left_idx, right_idx)``; ``right_idx`` is ``-1`` for unmatched
+    left rows of a left join.  Pair ordering matches the rows backend: left
+    rows in order, their right matches in ascending right-row order.
+    """
+    left_codes, right_codes = _combined_pair_codes(left_columns, right_columns)
+
+    order = np.argsort(right_codes, kind="stable")
+    sorted_codes = right_codes[order]
+    starts = np.searchsorted(sorted_codes, left_codes, side="left")
+    ends = np.searchsorted(sorted_codes, left_codes, side="right")
+    counts = ends - starts
+    if how == "left":
+        pad = counts == 0
+        effective = np.where(pad, 1, counts)
+    else:
+        pad = None
+        effective = counts
+    total = int(effective.sum())
+    left_idx = np.repeat(np.arange(len(left_codes)), effective)
+    cumulative = np.concatenate([[0], np.cumsum(effective[:-1])]) if len(effective) else np.zeros(0, dtype=int)
+    offsets = np.arange(total) - np.repeat(cumulative, effective)
+    right_pos = np.repeat(starts, effective) + offsets
+    right_idx = order[np.minimum(right_pos, len(order) - 1)] if len(order) else np.full(total, -1)
+    if pad is not None:
+        right_idx = right_idx.copy()
+        right_idx[np.repeat(pad, effective)] = -1
+    return left_idx, right_idx

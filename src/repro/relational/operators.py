@@ -12,6 +12,7 @@ from collections import defaultdict
 from typing import Any, Iterable, Mapping, Sequence
 
 from ..exceptions import SchemaError
+from . import columnar
 from .aggregates import get_aggregate
 from .expressions import Expr
 from .predicates import evaluate_mask
@@ -58,18 +59,34 @@ def equi_join(
         if r_attr not in right.schema:
             raise SchemaError(f"join attribute {r_attr!r} missing from {right.name!r}")
 
-    # Build a hash index over the right relation.
-    right_index: dict[tuple[Any, ...], list[int]] = defaultdict(list)
-    right_join_cols = [right.column_view(r) for _, r in on]
-    for j in range(len(right)):
-        right_index[tuple(col[j] for col in right_join_cols)].append(j)
-
     join_right_attrs = {r for _, r in on}
     left_attrs = list(left.attribute_names)
     right_attrs = [a for a in right.attribute_names if a not in join_right_attrs]
     renamed = {
         a: a if a not in left_attrs else f"{right.name}_{a}" for a in right_attrs
     }
+
+    schema = _join_schema(left, right, left_attrs, right_attrs, renamed, join_right_attrs, name)
+
+    if left.is_columnar and right.is_columnar:
+        left_store, right_store = left.columnar_store(), right.columnar_store()
+        left_idx, right_idx = columnar.join_indices(
+            [left_store[l] for l, _ in on], [right_store[r] for _, r in on], how=how
+        )
+        out_store = {a: left_store[a].take(left_idx) for a in left_attrs}
+        out_store.update(
+            {renamed[a]: right_store[a].take(right_idx) for a in right_attrs}
+        )
+        store = columnar.ColumnStore(
+            {a: out_store[a] for a in schema.attribute_names}, len(left_idx)
+        )
+        return Relation.from_colstore(schema, store, left.backend)
+
+    # Reference implementation: hash index over the right relation.
+    right_index: dict[tuple[Any, ...], list[int]] = defaultdict(list)
+    right_join_cols = [right.column_view(r) for _, r in on]
+    for j in range(len(right)):
+        right_index[tuple(col[j] for col in right_join_cols)].append(j)
 
     out_columns: dict[str, list[Any]] = {a: [] for a in left_attrs}
     out_columns.update({renamed[a]: [] for a in right_attrs})
@@ -89,10 +106,22 @@ def equi_join(
                 out_columns[a].append(left.column_view(a)[i])
             for a in right_attrs:
                 out_columns[renamed[a]].append(right.column_view(a)[j])
+    return Relation(schema, out_columns, validate=False, backend=left.backend)
 
-    # The join result key: left key plus right key (uniqueness of rows).
+
+def _join_schema(
+    left: Relation,
+    right: Relation,
+    left_attrs: Sequence[str],
+    right_attrs: Sequence[str],
+    renamed: Mapping[str, str],
+    join_right_attrs: set[str],
+    name: str | None,
+) -> RelationSchema:
+    """Output schema of an equi-join: left key plus surviving right key attrs."""
+    out_attrs = set(left_attrs) | {renamed[a] for a in right_attrs}
     right_key_attrs = [renamed.get(a, a) for a in right.schema.key if a not in join_right_attrs]
-    key = list(left.schema.key) + [a for a in right_key_attrs if a in out_columns]
+    key = list(left.schema.key) + [a for a in right_key_attrs if a in out_attrs]
     specs = []
     for a in left_attrs:
         spec = left.schema[a]
@@ -100,13 +129,20 @@ def equi_join(
     for a in right_attrs:
         spec = right.schema[a]
         specs.append(AttributeSpec(renamed[a], spec.domain, mutable=spec.mutable))
-    schema = RelationSchema(name or f"{left.name}_join_{right.name}", specs, key)
-    return Relation(schema, out_columns, validate=False)
+    return RelationSchema(name or f"{left.name}_join_{right.name}", specs, key)
 
 
 def aggregate_column(values: Sequence[Any], how: str) -> float:
     """Aggregate a list of values with a named aggregate (sum/count/avg)."""
-    return get_aggregate(how).evaluate([v for v in values if v is not None])
+    aggregate = get_aggregate(how)
+    if isinstance(values, columnar.Column):
+        data = (
+            values.data
+            if aggregate.name == "count"  # count never reads the values
+            else columnar.numeric_data(values, f"aggregate {how!r}")
+        )
+        return aggregate.evaluate_masked(data, values.valid)
+    return aggregate.evaluate([v for v in values if v is not None])
 
 
 def group_by(
@@ -132,33 +168,50 @@ def group_by(
         if out_name in by:
             raise SchemaError(f"aggregation output {out_name!r} collides with a group-by attribute")
 
-    groups: dict[tuple[Any, ...], list[int]] = defaultdict(list)
-    by_cols = [relation.column_view(a) for a in by]
-    for i in range(len(relation)):
-        groups[tuple(col[i] for col in by_cols)].append(i)
-
-    out_columns: dict[str, list[Any]] = {a: [] for a in by}
-    for out_name in aggregations:
-        out_columns[out_name] = []
-
-    for group_key, indices in groups.items():
-        for attr, value in zip(by, group_key):
-            out_columns[attr].append(value)
+    if relation.is_columnar:
+        store = relation.columnar_store()
+        group_ids, representatives = columnar.group_rows([store[a] for a in by])
+        n_groups = len(representatives)
+        out_columns: dict[str, Any] = {
+            a: store[a].values_list(representatives) for a in by
+        }
         for out_name, (source, how) in aggregations.items():
-            values = [relation.column_view(source)[i] for i in indices]
-            out_columns[out_name].append(aggregate_column(values, how))
+            out_columns[out_name] = columnar.grouped_aggregate(
+                store[source], group_ids, n_groups, get_aggregate(how).name
+            )
+    else:
+        groups: dict[tuple[Any, ...], list[int]] = defaultdict(list)
+        by_cols = [relation.column_view(a) for a in by]
+        for i in range(len(relation)):
+            groups[tuple(col[i] for col in by_cols)].append(i)
+
+        out_columns = {a: [] for a in by}
+        for out_name in aggregations:
+            out_columns[out_name] = []
+
+        for group_key, indices in groups.items():
+            for attr, value in zip(by, group_key):
+                out_columns[attr].append(value)
+            for out_name, (source, how) in aggregations.items():
+                values = [relation.column_view(source)[i] for i in indices]
+                out_columns[out_name].append(aggregate_column(values, how))
 
     specs = [
         AttributeSpec(a, relation.schema[a].domain, mutable=relation.schema[a].mutable)
         for a in by
     ]
     for out_name in aggregations:
+        agg_values = out_columns[out_name]
         specs.append(
-            AttributeSpec(out_name, infer_domain(out_columns[out_name] or [0.0]), mutable=True)
+            AttributeSpec(
+                out_name,
+                infer_domain(agg_values if len(agg_values) else [0.0]),
+                mutable=True,
+            )
         )
     group_key_attrs = tuple(key) if key is not None else tuple(by)
     missing_key = [k for k in group_key_attrs if k not in by]
     if missing_key:
         raise SchemaError(f"group-by key attributes {missing_key} are not grouping columns")
     schema = RelationSchema(name or f"{relation.name}_grouped", specs, group_key_attrs)
-    return Relation(schema, out_columns, validate=False)
+    return Relation(schema, out_columns, validate=False, backend=relation.backend)

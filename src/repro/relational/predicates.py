@@ -25,6 +25,7 @@ from typing import Iterable
 import numpy as np
 
 from ..exceptions import ExpressionError
+from . import columnar
 from .expressions import (
     BooleanExpr,
     Comparison,
@@ -68,14 +69,21 @@ def evaluate_mask(
     relation: Relation,
     post_relation: Relation | None = None,
 ) -> np.ndarray:
-    """Evaluate ``predicate`` row-by-row over ``relation``.
+    """Evaluate ``predicate`` over ``relation``, returning a boolean row mask.
 
     ``post_relation`` (aligned row-for-row with ``relation``) supplies
     ``Post(A)`` values; when omitted, post values fall back to pre values.
+    On the columnar backend the whole predicate is evaluated with the
+    vectorized kernels of :mod:`repro.relational.columnar`; the rows backend
+    evaluates row-by-row through :class:`EvaluationContext` and is the
+    reference for the semantics both must implement.
     """
     n = len(relation)
     if post_relation is not None and len(post_relation) != n:
         raise ExpressionError("pre and post relations must have the same number of rows")
+    if relation.is_columnar:
+        post_store = post_relation.columnar_store() if post_relation is not None else None
+        return columnar.vectorized_mask(predicate, relation.columnar_store(), post_store)
     out = np.empty(n, dtype=bool)
     post_rows = post_relation.rows() if post_relation is not None else None
     for i, pre_row in enumerate(relation.rows()):

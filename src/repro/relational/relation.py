@@ -18,6 +18,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 import numpy as np
 
 from ..exceptions import SchemaError
+from .columnar import BACKENDS, Column, ColumnStore, get_default_backend
 from .schema import AttributeSpec, RelationSchema
 from .types import Domain, infer_domain
 
@@ -26,6 +27,8 @@ __all__ = ["Relation"]
 
 def _as_column(values: Sequence[Any]) -> np.ndarray:
     """Store a column as float64 when purely numeric, else as an object array."""
+    if isinstance(values, np.ndarray) and values.dtype.kind in "fiu":
+        return values.astype(float, copy=False)
     values = list(values)
     is_numeric = all(
         isinstance(v, (int, float, np.integer, np.floating)) and not isinstance(v, bool)
@@ -37,7 +40,15 @@ def _as_column(values: Sequence[Any]) -> np.ndarray:
 
 
 class Relation:
-    """A named, schema-typed set of tuples stored column-wise."""
+    """A named, schema-typed set of tuples stored column-wise.
+
+    ``backend`` selects the execution strategy used by the relational kernels
+    (predicate evaluation, join, group-by): ``"columnar"`` (the default, see
+    :mod:`repro.relational.columnar`) evaluates whole columns with typed
+    ndarrays and null masks, ``"rows"`` keeps the row-at-a-time reference
+    implementation.  Both must satisfy the backend contract documented in
+    :mod:`repro.relational`.
+    """
 
     def __init__(
         self,
@@ -45,8 +56,13 @@ class Relation:
         columns: Mapping[str, Sequence[Any]] | None = None,
         *,
         validate: bool = True,
+        backend: str | None = None,
     ) -> None:
         self.schema = schema
+        self.backend = backend if backend is not None else get_default_backend()
+        if self.backend not in BACKENDS:
+            raise SchemaError(f"unknown backend {self.backend!r}; expected one of {BACKENDS}")
+        self._colstore: ColumnStore | None = None
         columns = columns or {name: [] for name in schema.attribute_names}
         missing = [a for a in schema.attribute_names if a not in columns]
         extra = [c for c in columns if c not in schema.attribute_names]
@@ -74,13 +90,14 @@ class Relation:
         rows: Iterable[Mapping[str, Any]],
         *,
         validate: bool = True,
+        backend: str | None = None,
     ) -> "Relation":
         """Build a relation from an iterable of row dictionaries."""
         rows = list(rows)
         columns = {
             name: [row.get(name) for row in rows] for name in schema.attribute_names
         }
-        return cls(schema, columns, validate=validate)
+        return cls(schema, columns, validate=validate, backend=backend)
 
     @classmethod
     def from_columns(
@@ -91,12 +108,71 @@ class Relation:
         *,
         immutable: Iterable[str] = (),
         domains: Mapping[str, Domain] | None = None,
+        backend: str | None = None,
     ) -> "Relation":
         """Build a relation and infer its schema from the column data."""
         schema = RelationSchema.from_columns(
             name, columns, key, immutable=immutable, domains=domains
         )
-        return cls(schema, columns)
+        return cls(schema, columns, backend=backend)
+
+    # -- backend -------------------------------------------------------------------
+
+    @property
+    def is_columnar(self) -> bool:
+        return self.backend == "columnar"
+
+    def with_backend(self, backend: str) -> "Relation":
+        """This relation executing on ``backend`` (data is shared, not copied)."""
+        if backend == self.backend:
+            return self
+        out = Relation.__new__(Relation)
+        out.schema = self.schema
+        out.backend = backend
+        if backend not in BACKENDS:
+            raise SchemaError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        out._columns = self._columns
+        out._length = self._length
+        out._colstore = self._colstore
+        return out
+
+    def columnar_store(self) -> ColumnStore:
+        """The typed :class:`ColumnStore` of this relation (built lazily, cached)."""
+        if self._colstore is None:
+            self._colstore = ColumnStore.from_arrays(self._columns)
+        return self._colstore
+
+    def _derive(
+        self,
+        schema: RelationSchema,
+        columns: dict[str, np.ndarray],
+        colstore: ColumnStore | None,
+    ) -> "Relation":
+        """Internal constructor for transformations: skip re-validation/re-sniffing."""
+        out = Relation(schema, columns, validate=False, backend=self.backend)
+        if colstore is not None:
+            out._colstore = colstore
+        return out
+
+    @classmethod
+    def from_colstore(
+        cls, schema: RelationSchema, colstore: ColumnStore, backend: str
+    ) -> "Relation":
+        """Build a relation directly from typed columns (kernel outputs).
+
+        Trusts the :class:`ColumnStore` types: the legacy per-column arrays
+        are derived with :meth:`Column.raw_array` instead of re-sniffing every
+        value, so vectorized operators can materialise results cheaply.
+        """
+        out = cls.__new__(cls)
+        out.schema = schema
+        out.backend = backend
+        out._colstore = colstore
+        out._columns = {
+            name: colstore.columns[name].raw_array() for name in schema.attribute_names
+        }
+        out._length = colstore.length
+        return out
 
     def _validate_domains(self) -> None:
         for name, column in self._columns.items():
@@ -179,7 +255,8 @@ class Relation:
                 f"filter mask has shape {mask.shape}, expected ({self._length},)"
             )
         columns = {name: col[mask] for name, col in self._columns.items()}
-        return Relation(self.schema, columns, validate=False)
+        colstore = self._colstore.filter(mask) if self._colstore is not None else None
+        return self._derive(self.schema, columns, colstore)
 
     def filter_rows(self, predicate: Callable[[dict[str, Any]], bool]) -> "Relation":
         """Return the sub-relation of rows satisfying ``predicate(row_dict)``."""
@@ -189,8 +266,18 @@ class Relation:
     def take(self, indices: Sequence[int]) -> "Relation":
         """Return the relation containing exactly the rows at ``indices`` (in order)."""
         idx = np.asarray(indices, dtype=int)
+        if idx.size and (
+            int(idx.min()) < -self._length or int(idx.max()) >= self._length
+        ):
+            raise IndexError(
+                f"take indices out of range for {self.name!r} ({self._length} rows)"
+            )
+        # Normalise numpy-style negative indices up front: the derived
+        # ColumnStore reserves -1 for left-join null padding.
+        idx = np.where(idx < 0, idx + self._length, idx)
         columns = {name: col[idx] for name, col in self._columns.items()}
-        return Relation(self.schema, columns, validate=False)
+        colstore = self._colstore.take(idx) if self._colstore is not None else None
+        return self._derive(self.schema, columns, colstore)
 
     def head(self, n: int) -> "Relation":
         return self.take(list(range(min(n, self._length))))
@@ -206,7 +293,12 @@ class Relation:
         keep = list(attributes)
         schema = self.schema.project(keep, name=name)
         columns = {a: self._columns[a].copy() for a in keep}
-        return Relation(schema, columns, validate=False)
+        colstore = None
+        if self._colstore is not None:
+            colstore = ColumnStore(
+                {a: self._colstore.columns[a] for a in keep}, self._colstore.length
+            )
+        return self._derive(schema, columns, colstore)
 
     def with_column(
         self,
@@ -217,7 +309,8 @@ class Relation:
         mutable: bool = True,
     ) -> "Relation":
         """Return a relation with ``attribute`` added or replaced by ``values``."""
-        values = list(values)
+        if not isinstance(values, np.ndarray):
+            values = list(values)
         if len(values) != self._length:
             raise SchemaError(
                 f"column {attribute!r} has {len(values)} values, expected {self._length}"
@@ -231,7 +324,12 @@ class Relation:
         columns = {name: col.copy() for name, col in self._columns.items()}
         columns[attribute] = _as_column(values)
         ordered = {name: columns[name] for name in schema.attribute_names}
-        return Relation(schema, ordered, validate=False)
+        colstore = None
+        if self._colstore is not None:
+            colstore = self._colstore.with_column(
+                attribute, Column.from_values(ordered[attribute]), schema.attribute_names
+            )
+        return self._derive(schema, ordered, colstore)
 
     def with_updated_values(
         self, attribute: str, mask: Sequence[bool], new_values: Sequence[Any]
@@ -260,7 +358,7 @@ class Relation:
             name: np.concatenate([self._columns[name], other._columns[name]])
             for name in self.attribute_names
         }
-        return Relation(self.schema, columns, validate=False)
+        return self._derive(self.schema, columns, None)
 
     def sort_by(self, attribute: str, descending: bool = False) -> "Relation":
         order = np.argsort(self.column_view(attribute), kind="stable")

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from ..exceptions import QuerySemanticsError, SchemaError
+from . import columnar
 from .aggregates import get_aggregate
 from .database import Database
 from .relation import Relation
@@ -148,6 +149,15 @@ class UseSpec:
         for a in other_attrs:
             if a not in other.schema:
                 raise SchemaError(f"join attribute {a!r} missing from {other.name!r}")
+
+        if base.is_columnar and other.is_columnar:
+            base_store, other_store = base.columnar_store(), other.columnar_store()
+            return columnar.aggregate_lookup(
+                [base_store[a] for a in base_attrs],
+                [other_store[a] for a in other_attrs],
+                other_store[agg.attribute],
+                agg.how,
+            )
 
         grouped: dict[tuple[Any, ...], list[Any]] = defaultdict(list)
         other_join_cols = [other.column_view(a) for a in other_attrs]

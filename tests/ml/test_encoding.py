@@ -38,6 +38,16 @@ class TestColumnEncoder:
         encoder = ColumnEncoder.fit("X", [1.0, 2.0])
         assert encoder.transform_value(5.0).tolist() == [5.0]
 
+    def test_mixed_column_numeric_batch_matches_fit_categories(self):
+        # A purely-numeric transform batch drawn from a mixed categorical
+        # column must stringify as str(2) == '2', not as the float '2.0'.
+        encoder = ColumnEncoder.fit("C", [2, "x", 3])
+        assert encoder.categories == ("2", "3", "x")
+        assert encoder.transform([2, 3]).tolist() == [
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+        ]
+
 
 class TestFeatureEncoder:
     @pytest.fixture
