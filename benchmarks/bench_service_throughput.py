@@ -1,0 +1,131 @@
+"""Service-layer throughput: cold library calls vs the cached, concurrent service.
+
+A 100-query repeated-template what-if suite (the Figure 12 Status/Credit
+template with varying update constants) on German-Syn 4000:
+
+* **cold** — 100 ``HypeR.what_if()`` calls, each rebuilding the view, the DAG
+  projection, the block decomposition and the regressors;
+* **warm** — the same suite through one ``HypeRService`` sequentially, after
+  the first query has populated the plan caches;
+* **parallel** — the same suite through ``HypeRService.execute_many()`` on a
+  thread pool.
+
+Asserts the acceptance criteria of the service-layer issue: identical answers
+to within 1e-9, >= 3x speedup for ``execute_many`` over cold, and a > 90%
+estimator cache hit rate on the warm run.  Results are also written to
+``BENCH_service.json`` in the repository root for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import fmt, print_table
+from repro import EngineConfig, HypeR, HypeRService, WhatIfQuery
+from repro.core import AttributeUpdate, MultiplyBy
+from repro.datasets import make_german_syn
+from repro.relational import post
+
+N_ROWS = 4_000
+N_QUERIES = 100
+FAST_CONFIG = EngineConfig(regressor="linear", random_state=0)
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _suite(dataset) -> list[WhatIfQuery]:
+    """100 parameter variants of one what-if template (shared logical plan)."""
+    return [
+        WhatIfQuery(
+            use=dataset.default_use,
+            updates=[AttributeUpdate("Status", MultiplyBy(1.0 + 0.005 * i))],
+            output_attribute="Credit",
+            output_aggregate="count",
+            for_clause=(post("Credit") == 1),
+        )
+        for i in range(N_QUERIES)
+    ]
+
+
+def test_service_throughput(benchmark):
+    dataset = make_german_syn(N_ROWS, seed=7)
+    queries = _suite(dataset)
+
+    cold_session = HypeR(dataset.database, dataset.causal_dag, FAST_CONFIG)
+    started = time.perf_counter()
+    cold_results = [cold_session.what_if(q) for q in queries]
+    cold_seconds = time.perf_counter() - started
+
+    warm_service = HypeRService(dataset.database, dataset.causal_dag, FAST_CONFIG)
+    warm_service.prepare(queries[0])  # populate the plan caches
+    started = time.perf_counter()
+    warm_results = [warm_service.execute(q) for q in queries]
+    warm_seconds = time.perf_counter() - started
+    warm_stats = warm_service.stats()
+
+    parallel_service = HypeRService(dataset.database, dataset.causal_dag, FAST_CONFIG)
+    started = time.perf_counter()
+    parallel_results = parallel_service.execute_many(queries)
+    parallel_seconds = time.perf_counter() - started
+
+    max_diff = max(
+        max(abs(a.value - b.value) for a, b in zip(cold_results, warm_results)),
+        max(abs(a.value - b.value) for a, b in zip(cold_results, parallel_results)),
+    )
+
+    rows = [
+        ["cold HypeR.what_if", fmt(cold_seconds), fmt(N_QUERIES / cold_seconds, 1), "1.0x"],
+        [
+            "warm service (sequential)",
+            fmt(warm_seconds),
+            fmt(N_QUERIES / warm_seconds, 1),
+            f"{cold_seconds / warm_seconds:.1f}x",
+        ],
+        [
+            "service execute_many",
+            fmt(parallel_seconds),
+            fmt(N_QUERIES / parallel_seconds, 1),
+            f"{cold_seconds / parallel_seconds:.1f}x",
+        ],
+    ]
+    print_table(
+        f"Service throughput — {N_QUERIES}-query what-if suite (German-Syn {N_ROWS})",
+        ["mode", "total s", "queries/s", "speedup"],
+        rows,
+    )
+    estimator_stats = warm_stats["caches"]["estimators"]
+    print(
+        f"warm estimator cache: {estimator_stats['hits']} hits / "
+        f"{estimator_stats['misses']} misses (hit rate {estimator_stats['hit_rate']:.1%}), "
+        f"{warm_stats['regressors']['fits']} regressor fits"
+    )
+
+    payload = {
+        "dataset": f"german-syn-{N_ROWS}",
+        "n_queries": N_QUERIES,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "parallel_seconds": parallel_seconds,
+        "cold_qps": N_QUERIES / cold_seconds,
+        "warm_qps": N_QUERIES / warm_seconds,
+        "parallel_qps": N_QUERIES / parallel_seconds,
+        "speedup_warm": cold_seconds / warm_seconds,
+        "speedup_parallel": cold_seconds / parallel_seconds,
+        "max_abs_diff": max_diff,
+        "estimator_hit_rate": estimator_stats["hit_rate"],
+        "regressor_fits": warm_stats["regressors"]["fits"],
+    }
+    _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {_RESULTS_PATH.name}")
+
+    # acceptance criteria of the service-layer issue
+    assert max_diff <= 1e-9
+    assert cold_seconds / parallel_seconds >= 3.0, payload
+    assert estimator_stats["hit_rate"] > 0.90, estimator_stats
+
+    query = queries[0]
+    service = HypeRService(dataset.database, dataset.causal_dag, FAST_CONFIG)
+    service.prepare(query)
+    benchmark.pedantic(lambda: service.execute(query), rounds=3, iterations=1)

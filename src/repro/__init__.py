@@ -55,6 +55,7 @@ from .relational import (
     pre,
 )
 from .causal import CausalDAG, CausalEdge, StructuralCausalModel
+from .service import HypeRService, PlanFingerprint
 from .workloads import WorkloadGenerator
 
 __version__ = "1.0.0"
@@ -73,8 +74,10 @@ __all__ = [
     "HowToQuery",
     "HowToResult",
     "HypeR",
+    "HypeRService",
     "HypotheticalUpdate",
     "LimitConstraint",
+    "PlanFingerprint",
     "MultiplyBy",
     "Relation",
     "RelationSchema",

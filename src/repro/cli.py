@@ -20,7 +20,6 @@ from typing import Sequence
 
 from .core.config import EngineConfig, Variant
 from .core.engine import HypeR
-from .core.results import HowToResult, WhatIfResult
 from .datasets import available_datasets, make_dataset
 from .exceptions import HypeRError
 from .relational.csvio import read_csv
@@ -68,6 +67,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--exhaustive", action="store_true", help="use Opt-HowTo for how-to queries")
     query.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve queries over HTTP (GET /health, GET /stats, POST /query, POST /batch)",
+    )
+    serve.add_argument("--dataset", required=True, choices=available_datasets())
+    serve.add_argument("--rows", type=int, default=1_000, help="rows to generate")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000)
+    serve.add_argument(
+        "--variant",
+        default=Variant.HYPER,
+        choices=list(Variant.ALL),
+        help="engine variant (hyper, hyper-nb, hyper-sampled, indep)",
+    )
+    serve.add_argument("--sample-size", type=int, default=None)
+    serve.add_argument("--regressor", default="forest", choices=["forest", "linear", "ridge"])
+    serve.add_argument(
+        "--backend",
+        default=None,
+        choices=["rows", "columnar"],
+        help="relational execution backend (default: columnar, or $REPRO_BACKEND)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, help="thread-pool size for POST /batch"
+    )
     return parser
 
 
@@ -96,29 +122,6 @@ def _generator_kwargs(args: argparse.Namespace) -> dict:
     return {"n_rows": args.rows, "seed": args.seed}
 
 
-def _result_payload(result: WhatIfResult | HowToResult) -> dict:
-    if isinstance(result, WhatIfResult):
-        return {
-            "kind": "what-if",
-            "value": result.value,
-            "aggregate": result.aggregate,
-            "output_attribute": result.output_attribute,
-            "variant": result.variant,
-            "n_scope_tuples": result.n_scope_tuples,
-            "n_blocks": result.n_blocks,
-            "backdoor_set": list(result.backdoor_set),
-            "runtime_seconds": result.runtime_seconds,
-        }
-    return {
-        "kind": "how-to",
-        "objective_value": result.objective_value,
-        "baseline_value": result.baseline_value,
-        "plan": result.plan(),
-        "solver_status": result.solver_status,
-        "runtime_seconds": result.runtime_seconds,
-    }
-
-
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -139,6 +142,25 @@ def main(argv: Sequence[str] | None = None) -> int:
                 marker = " (cross-tuple)" if edge.cross_tuple else ""
                 print(f"  {edge.source} -> {edge.target}{marker}")
             return 0
+        if args.command == "serve":
+            from .service import HypeRService, serve as run_server
+
+            dataset = make_dataset(args.dataset, **_generator_kwargs(args))
+            config = EngineConfig(
+                variant=args.variant,
+                regressor=args.regressor,
+                sample_size=args.sample_size,
+                backend=args.backend,
+            )
+            service = HypeRService(
+                dataset.database,
+                dataset.causal_dag,
+                config,
+                max_workers=args.workers,
+            )
+            print(f"serving dataset {args.dataset!r} ({dataset.database.total_rows} rows)")
+            run_server(service, host=args.host, port=args.port)
+            return 0
         # query
         session = _load_session(args)
         parsed = session.parse(args.text)
@@ -149,7 +171,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             result = session.execute(args.text)
         if args.json:
-            print(json.dumps(_result_payload(result), indent=2, default=str))
+            print(json.dumps(result.payload(), indent=2, default=str))
         else:
             print(result.summary())
         return 0

@@ -10,7 +10,7 @@ from .baselines import GroundTruthOracle, make_indep_engine, naive_possible_worl
 from .config import EngineConfig, Variant
 from .engine import HypeR
 from .estimator import PostUpdateEstimator, build_view_dag
-from .howto import CandidateUpdate, HowToEngine
+from .howto import CandidateUpdate, HowToEngine, PreparedHowTo
 from .queries import HowToQuery, LimitConstraint, WhatIfQuery
 from .results import BlockContribution, HowToResult, WhatIfResult
 from .updates import (
@@ -21,7 +21,7 @@ from .updates import (
     SetTo,
     UpdateFunction,
 )
-from .whatif import WhatIfEngine
+from .whatif import PreparedWhatIf, WhatIfEngine, regressor_cache_key
 
 __all__ = [
     "AddConstant",
@@ -38,6 +38,8 @@ __all__ = [
     "LimitConstraint",
     "MultiplyBy",
     "PostUpdateEstimator",
+    "PreparedHowTo",
+    "PreparedWhatIf",
     "SetTo",
     "UpdateFunction",
     "Variant",
@@ -47,4 +49,5 @@ __all__ = [
     "build_view_dag",
     "make_indep_engine",
     "naive_possible_world_value",
+    "regressor_cache_key",
 ]

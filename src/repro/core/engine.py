@@ -109,3 +109,17 @@ class HypeR:
     def parse(self, query_text: str) -> WhatIfQuery | HowToQuery:
         """Parse a query without executing it (useful for inspection and tests)."""
         return parse_query(query_text)
+
+    # -- service layer -----------------------------------------------------------------
+
+    def service(self, **kwargs):
+        """A long-lived :class:`repro.service.HypeRService` over this session.
+
+        The service keeps fingerprint-keyed caches of views, estimators and
+        block decompositions across queries and offers ``execute_many`` batch
+        execution; see :mod:`repro.service`.  Keyword arguments are forwarded
+        to the :class:`~repro.service.session.HypeRService` constructor.
+        """
+        from ..service import HypeRService
+
+        return HypeRService(self.database, self.causal_dag, self.config, **kwargs)

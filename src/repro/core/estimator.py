@@ -22,8 +22,10 @@ variant of Section 5.2).
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Hashable, Mapping, Sequence
 
 import numpy as np
 
@@ -37,6 +39,15 @@ from ..relational.view import UseSpec
 from .config import EngineConfig
 
 __all__ = ["build_view_dag", "PostUpdateEstimator"]
+
+#: Bound on fitted regressors kept per estimator.  The service layer shares
+#: one estimator across every ``For``-literal variant of a plan, so without a
+#: cap a long sweep (e.g. thousands of thresholds) would accumulate a fitted
+#: regressor per literal inside one hot cache entry.  A single evaluation of
+#: one plan touches up to ``2 * (2^6 - 1) = 126`` keys (count and sum targets
+#: per disjunct subset at the engine's 6-disjunct maximum), so the bound must
+#: comfortably exceed that or repeated-template workloads would thrash.
+_MAX_CACHED_REGRESSORS = 256
 
 
 def build_view_dag(
@@ -114,7 +125,13 @@ class PostUpdateEstimator:
     rng: np.random.Generator | None = None
     _backdoor: tuple[str, ...] = ()
     _train_indices: np.ndarray | None = field(default=None, repr=False)
-    _regressor_cache: dict[str, ConditionalMeanRegressor] = field(default_factory=dict, repr=False)
+    _regressor_cache: OrderedDict[Hashable, ConditionalMeanRegressor] = field(
+        default_factory=OrderedDict, repr=False
+    )
+    _fit_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _pending_fits: dict = field(default_factory=dict, repr=False)
+    _n_regressor_fits: int = field(default=0, repr=False)
+    _n_regressor_hits: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.rng is None:
@@ -197,7 +214,7 @@ class PostUpdateEstimator:
         predict_mask: Sequence[bool],
         post_values: Mapping[str, Sequence[Any]],
         *,
-        cache_key: str | None = None,
+        cache_key: Hashable | None = None,
     ) -> np.ndarray:
         """Predict ``E[target | B = post values, C = observed]`` for masked rows.
 
@@ -232,10 +249,52 @@ class PostUpdateEstimator:
         return out
 
     def _fit_regressor(
-        self, target: np.ndarray, cache_key: str | None
+        self, target: np.ndarray, cache_key: Hashable | None
     ) -> ConditionalMeanRegressor:
-        if cache_key is not None and cache_key in self._regressor_cache:
-            return self._regressor_cache[cache_key]
+        """Fetch or fit the regressor for ``target``, keyed by ``cache_key``.
+
+        Keys are structured tuples (target kind, predicate identity, disjunct
+        subset) built by the engines — see ``regressor_cache_key`` in
+        :mod:`repro.core.whatif` — so that an estimator shared across queries
+        by the service layer can never alias two different training targets.
+        Fitting is per-key single-flight: concurrent batch-executor workers
+        sharing one estimator fit each key exactly once, while fits of
+        *different* keys run in parallel (the fit happens outside the lock).
+        """
+        if cache_key is None:
+            return self._fit_fresh(target)
+        while True:
+            with self._fit_lock:
+                cached = self._regressor_cache.get(cache_key)
+                if cached is not None:
+                    self._n_regressor_hits += 1
+                    self._regressor_cache.move_to_end(cache_key)
+                    return cached
+                waiter = self._pending_fits.get(cache_key)
+                if waiter is None:
+                    self._pending_fits[cache_key] = threading.Event()
+                    break  # we are the builder
+            waiter.wait()
+            # Loop: the value is cached now, or the builder failed (or the
+            # entry was immediately evicted) and we take over as builder.
+        try:
+            regressor = self._fit_fresh(target)
+        except BaseException:
+            with self._fit_lock:
+                event = self._pending_fits.pop(cache_key, None)
+            if event is not None:
+                event.set()
+            raise
+        with self._fit_lock:
+            self._regressor_cache[cache_key] = regressor
+            while len(self._regressor_cache) > _MAX_CACHED_REGRESSORS:
+                self._regressor_cache.popitem(last=False)
+            event = self._pending_fits.pop(cache_key, None)
+        if event is not None:
+            event.set()
+        return regressor
+
+    def _fit_fresh(self, target: np.ndarray) -> ConditionalMeanRegressor:
         assert self._train_indices is not None
         train_idx = self._train_indices
         columns = {
@@ -249,6 +308,15 @@ class PostUpdateEstimator:
             regressor_params=self.config.regressor_params(),
         )
         regressor.fit(columns, target[train_idx])
-        if cache_key is not None:
-            self._regressor_cache[cache_key] = regressor
+        with self._fit_lock:
+            self._n_regressor_fits += 1
         return regressor
+
+    @property
+    def regressor_cache_stats(self) -> dict[str, int]:
+        """Counters of regressor fits vs. cache reuses over this estimator's life."""
+        return {
+            "fits": self._n_regressor_fits,
+            "hits": self._n_regressor_hits,
+            "cached": len(self._regressor_cache),
+        }

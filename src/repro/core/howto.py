@@ -24,7 +24,7 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Hashable, Sequence
 
 import numpy as np
 
@@ -45,9 +45,9 @@ from .estimator import PostUpdateEstimator, build_view_dag
 from .queries import HowToQuery
 from .results import HowToResult
 from .updates import AttributeUpdate, MultiplyBy, SetTo, UpdateFunction, apply_update_column
-from .whatif import _MAX_DISJUNCTS, numeric_output_column
+from .whatif import _MAX_DISJUNCTS, numeric_output_column, regressor_cache_key
 
-__all__ = ["CandidateUpdate", "HowToEngine"]
+__all__ = ["CandidateUpdate", "HowToEngine", "PreparedHowTo"]
 
 
 @dataclass(frozen=True)
@@ -63,8 +63,13 @@ class CandidateUpdate:
 
 
 @dataclass
-class _SharedEvaluation:
-    """State reused across all candidate evaluations of one how-to query."""
+class PreparedHowTo:
+    """State reused across all candidate evaluations of one how-to query.
+
+    Built by :meth:`HowToEngine.prepare`; the service layer caches the
+    contained estimator by plan fingerprint and injects it into fresh
+    preparations of structurally identical queries.
+    """
 
     view: Relation
     view_dag: CausalDAG | None
@@ -74,6 +79,7 @@ class _SharedEvaluation:
     post_masks: list[np.ndarray]
     output_values: np.ndarray
     aggregate_name: str
+    for_key: Hashable = None
 
 
 @dataclass
@@ -90,11 +96,23 @@ class HowToEngine:
 
     # -- public API ---------------------------------------------------------------------
 
-    def evaluate(self, query: HowToQuery) -> HowToResult:
-        """Solve ``query`` with the IP formulation and return the recommended plan."""
+    def evaluate(
+        self,
+        query: HowToQuery,
+        *,
+        prepared: PreparedHowTo | None = None,
+        candidates: Sequence[CandidateUpdate] | None = None,
+    ) -> HowToResult:
+        """Solve ``query`` with the IP formulation and return the recommended plan.
+
+        ``prepared`` / ``candidates`` inject reusable state from
+        :meth:`prepare` / :meth:`enumerate_candidates` (the service layer
+        caches both); omitted pieces are built fresh.
+        """
         started = time.perf_counter()
-        shared = self._prepare(query)
-        candidates = self.enumerate_candidates(query, shared.view, shared.scope_mask)
+        shared = prepared if prepared is not None else self.prepare(query)
+        if candidates is None:
+            candidates = self.enumerate_candidates(query, shared.view, shared.scope_mask)
         baseline = self._candidate_value(query, shared, {})
         coefficients = self._candidate_coefficients(query, shared, candidates, baseline)
         program, variable_of = self._build_program(query, candidates, coefficients, baseline)
@@ -134,11 +152,19 @@ class HowToEngine:
         )
         return result
 
-    def evaluate_exhaustive(self, query: HowToQuery, *, max_combinations: int = 200_000) -> HowToResult:
+    def evaluate_exhaustive(
+        self,
+        query: HowToQuery,
+        *,
+        max_combinations: int = 200_000,
+        prepared: PreparedHowTo | None = None,
+        candidates: Sequence[CandidateUpdate] | None = None,
+    ) -> HowToResult:
         """Opt-HowTo baseline: enumerate every candidate combination (Definition 8)."""
         started = time.perf_counter()
-        shared = self._prepare(query)
-        candidates = self.enumerate_candidates(query, shared.view, shared.scope_mask)
+        shared = prepared if prepared is not None else self.prepare(query)
+        if candidates is None:
+            candidates = self.enumerate_candidates(query, shared.view, shared.scope_mask)
         baseline = self._candidate_value(query, shared, {})
         per_attribute: dict[str, list[CandidateUpdate | None]] = {
             attribute: [None] for attribute in query.update_attributes
@@ -196,13 +222,13 @@ class HowToEngine:
         if not queries:
             raise QuerySemanticsError("evaluate_preferential needs at least one query")
         primary = queries[0]
-        shared = self._prepare(primary)
+        shared = self.prepare(primary)
         candidates = self.enumerate_candidates(primary, shared.view, shared.scope_mask)
         results: list[HowToResult] = []
         locked: list[tuple[dict[CandidateUpdate, float], float, float]] = []
         for stage, query in enumerate(queries):
             started = time.perf_counter()
-            stage_shared = shared if stage == 0 else self._prepare(query)
+            stage_shared = shared if stage == 0 else self.prepare(query)
             baseline = self._candidate_value(query, stage_shared, {})
             coefficients = self._candidate_coefficients(query, stage_shared, candidates, baseline)
             program, variable_of = self._build_program(query, candidates, coefficients, baseline)
@@ -249,8 +275,24 @@ class HowToEngine:
 
     # -- preparation -----------------------------------------------------------------------
 
-    def _prepare(self, query: HowToQuery) -> _SharedEvaluation:
-        view = query.use.build(self.database)
+    def prepare(
+        self,
+        query: HowToQuery,
+        *,
+        view: Relation | None = None,
+        estimator: PostUpdateEstimator | None = None,
+        view_dag: CausalDAG | None = None,
+    ) -> PreparedHowTo:
+        """Derive the state shared by every candidate evaluation of ``query``.
+
+        ``view`` may inject a cached relevant view, ``view_dag`` the matching
+        DAG projection, and ``estimator`` a cached
+        :class:`PostUpdateEstimator` built for a structurally identical query
+        (same view, DAG projection, update/outcome attributes and config); the
+        service layer supplies all three from its fingerprint-keyed caches.
+        """
+        if view is None:
+            view = query.use.build(self.database)
         referenced = set(query.update_attributes) | {query.objective_attribute}
         referenced |= query.when.attribute_names() | query.for_clause.attribute_names()
         missing = sorted(a for a in referenced if a not in view.schema)
@@ -258,7 +300,8 @@ class HowToEngine:
             raise QuerySemanticsError(
                 f"attributes {missing} are not columns of the relevant view"
             )
-        view_dag = build_view_dag(self.causal_dag, query.use, self.database)
+        if view_dag is None:
+            view_dag = build_view_dag(self.causal_dag, query.use, self.database)
         # Updated attributes must be causally unrelated when they can be chosen
         # together (Section 4.1); a budget of one update means no two attributes
         # are ever updated simultaneously, so the restriction does not apply.
@@ -279,21 +322,12 @@ class HowToEngine:
                 raise QuerySemanticsError(
                     "For conditions mixing Pre and Post in one comparison are not supported"
                 )
-        post_attrs = sorted(
-            {query.objective_attribute} | {a for d in disjuncts for a in d.post_attributes}
-        )
-        estimator = PostUpdateEstimator(
-            view=view,
-            view_dag=view_dag,
-            update_attributes=query.update_attributes,
-            outcome_attributes=post_attrs,
-            config=self.config,
-            rng=np.random.default_rng(self.config.random_state),
-        )
+        if estimator is None:
+            estimator = self.build_estimator(query, view=view, view_dag=view_dag)
         pre_masks = [evaluate_mask(d.pre, view) for d in disjuncts]
         post_masks = [evaluate_mask(d.post, view) for d in disjuncts]
         output_values = numeric_output_column(view, query.objective_attribute)
-        return _SharedEvaluation(
+        return PreparedHowTo(
             view=view,
             view_dag=view_dag,
             scope_mask=scope_mask,
@@ -302,6 +336,38 @@ class HowToEngine:
             post_masks=post_masks,
             output_values=output_values,
             aggregate_name=get_aggregate(query.objective_aggregate).name,
+            for_key=query.for_clause.canonical(),
+        )
+
+    def build_estimator(
+        self,
+        query: HowToQuery,
+        *,
+        view: Relation | None = None,
+        view_dag: CausalDAG | None = None,
+    ) -> PostUpdateEstimator:
+        """The backdoor-adjusted estimator for ``query`` (reusable across queries).
+
+        Mirrors :meth:`WhatIfEngine.build_estimator`: the estimator depends
+        only on the view, the DAG projection, the update/outcome attributes
+        and the engine config, so the service layer caches it by plan
+        fingerprint — shared with what-if queries of the same structure.
+        """
+        if view is None:
+            view = query.use.build(self.database)
+        if view_dag is None:
+            view_dag = build_view_dag(self.causal_dag, query.use, self.database)
+        disjuncts = [split_pre_post(atoms) for atoms in to_dnf(query.for_clause)]
+        post_attrs = sorted(
+            {query.objective_attribute} | {a for d in disjuncts for a in d.post_attributes}
+        )
+        return PostUpdateEstimator(
+            view=view,
+            view_dag=view_dag,
+            update_attributes=list(query.update_attributes),
+            outcome_attributes=post_attrs,
+            config=self.config,
+            rng=np.random.default_rng(self.config.random_state),
         )
 
     # -- candidate enumeration ---------------------------------------------------------------
@@ -393,7 +459,7 @@ class HowToEngine:
     def _post_values_for(
         self,
         query: HowToQuery,
-        shared: _SharedEvaluation,
+        shared: PreparedHowTo,
         updates: Sequence[AttributeUpdate],
     ) -> dict[str, Sequence[Any]]:
         post_values: dict[str, Sequence[Any]] = {}
@@ -411,7 +477,7 @@ class HowToEngine:
     def _candidate_value(
         self,
         query: HowToQuery,
-        shared: _SharedEvaluation,
+        shared: PreparedHowTo,
         post_values: dict[str, Sequence[Any]],
     ) -> float:
         """Estimated objective value for a concrete (possibly empty) update choice."""
@@ -449,7 +515,7 @@ class HowToEngine:
                     joint_post.astype(float),
                     applicable,
                     post_values,
-                    cache_key=f"count:{subset}",
+                    cache_key=regressor_cache_key("count", subset, shared.for_key),
                 )
                 prob = np.clip(prob, 0.0, 1.0)
                 count_contrib[applicable] += sign * prob[applicable]
@@ -458,7 +524,9 @@ class HowToEngine:
                         shared.output_values * joint_post.astype(float),
                         applicable,
                         post_values,
-                        cache_key=f"sum:{subset}",
+                        cache_key=regressor_cache_key(
+                            "sum", subset, shared.for_key, query.objective_attribute
+                        ),
                     )
                     sum_contrib[applicable] += sign * expected[applicable]
         expected_count = float(count_contrib.sum())
@@ -473,7 +541,7 @@ class HowToEngine:
     def _candidate_coefficients(
         self,
         query: HowToQuery,
-        shared: _SharedEvaluation,
+        shared: PreparedHowTo,
         candidates: Sequence[CandidateUpdate],
         baseline: float,
     ) -> dict[CandidateUpdate, float]:

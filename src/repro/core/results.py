@@ -2,12 +2,18 @@
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from .updates import AttributeUpdate
 
-__all__ = ["BlockContribution", "WhatIfResult", "HowToResult"]
+__all__ = [
+    "BlockContribution",
+    "LazyBlockContributions",
+    "WhatIfResult",
+    "HowToResult",
+]
 
 
 @dataclass(frozen=True)
@@ -20,6 +26,50 @@ class BlockContribution:
     n_scope_tuples: int
 
 
+class LazyBlockContributions(Sequence):
+    """Sequence of :class:`BlockContribution` materialised on access.
+
+    The engines compute per-block totals as vectorized ``np.bincount`` arrays;
+    with thousands of singleton blocks, eagerly building one dataclass object
+    per block dominated the per-query runtime.  This wrapper keeps the arrays
+    and constructs objects only when a caller actually iterates or indexes.
+    """
+
+    __slots__ = ("_indices", "_totals", "_sizes", "_scope_sizes")
+
+    def __init__(self, indices, totals, sizes, scope_sizes) -> None:
+        self._indices = indices
+        self._totals = totals
+        self._sizes = sizes
+        self._scope_sizes = scope_sizes
+
+    def __len__(self) -> int:
+        return len(self._indices)
+
+    def __getitem__(self, position):
+        if isinstance(position, slice):
+            return [self[i] for i in range(*position.indices(len(self)))]
+        block = int(self._indices[position])
+        return BlockContribution(
+            block_index=block,
+            partial_value=float(self._totals[block]),
+            n_tuples=int(self._sizes[block]),
+            n_scope_tuples=int(self._scope_sizes[block]),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        # Preserve the equality contract block_contributions had as a plain
+        # list (WhatIfResult dataclass equality relies on it).
+        if isinstance(other, Sequence) and not isinstance(other, (str, bytes)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LazyBlockContributions({len(self)} blocks)"
+
+
 @dataclass
 class WhatIfResult:
     """Answer to a what-if query plus evaluation metadata."""
@@ -30,7 +80,7 @@ class WhatIfResult:
     n_view_tuples: int = 0
     n_scope_tuples: int = 0
     n_blocks: int = 1
-    block_contributions: list[BlockContribution] = field(default_factory=list)
+    block_contributions: Sequence[BlockContribution] = field(default_factory=list)
     backdoor_set: tuple[str, ...] = ()
     variant: str = "hyper"
     runtime_seconds: float = 0.0
@@ -39,6 +89,20 @@ class WhatIfResult:
 
     def __float__(self) -> float:
         return float(self.value)
+
+    def payload(self) -> dict[str, Any]:
+        """Machine-readable summary (used by ``--json`` and the HTTP server)."""
+        return {
+            "kind": "what-if",
+            "value": self.value,
+            "aggregate": self.aggregate,
+            "output_attribute": self.output_attribute,
+            "variant": self.variant,
+            "n_scope_tuples": self.n_scope_tuples,
+            "n_blocks": self.n_blocks,
+            "backdoor_set": list(self.backdoor_set),
+            "runtime_seconds": self.runtime_seconds,
+        }
 
     def summary(self) -> str:
         return (
@@ -82,6 +146,17 @@ class HowToResult:
         for update in self.recommended_updates:
             out.setdefault(update.attribute, update.function.describe())
         return out
+
+    def payload(self) -> dict[str, Any]:
+        """Machine-readable summary (used by ``--json`` and the HTTP server)."""
+        return {
+            "kind": "how-to",
+            "objective_value": self.objective_value,
+            "baseline_value": self.baseline_value,
+            "plan": self.plan(),
+            "solver_status": self.solver_status,
+            "runtime_seconds": self.runtime_seconds,
+        }
 
     def summary(self) -> str:
         direction = "maximize" if self.maximize else "minimize"

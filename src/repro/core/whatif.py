@@ -24,7 +24,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Any, Sequence
+from typing import Any, Hashable, Sequence
 
 import numpy as np
 
@@ -44,11 +44,35 @@ from ..relational.relation import Relation
 from .config import EngineConfig, Variant
 from .estimator import PostUpdateEstimator, build_view_dag
 from .queries import WhatIfQuery
-from .results import BlockContribution, WhatIfResult
+from .results import BlockContribution, LazyBlockContributions, WhatIfResult
 
-__all__ = ["WhatIfEngine", "numeric_output_column"]
+__all__ = [
+    "PreparedWhatIf",
+    "WhatIfEngine",
+    "numeric_output_column",
+    "regressor_cache_key",
+]
 
 _MAX_DISJUNCTS = 6
+
+
+def regressor_cache_key(
+    kind: str,
+    subset: tuple[int, ...],
+    for_key: Hashable,
+    output_attribute: str | None = None,
+) -> Hashable:
+    """Structured key identifying one regressor training target.
+
+    ``kind`` is ``"count"`` or ``"sum"``, ``subset`` the disjunct subset of the
+    inclusion–exclusion term, ``for_key`` the canonical identity (literals
+    included) of the ``For`` clause whose post-parts define the indicator, and
+    ``output_attribute`` the attribute whose values scale a ``"sum"`` target.
+    Unlike the former ``f"count:{subset}"`` strings, these keys cannot alias
+    across target kinds or across queries sharing one estimator through the
+    service-layer cache.
+    """
+    return (kind, output_attribute, for_key, subset)
 
 
 def numeric_output_column(view: Relation, attribute: str) -> np.ndarray:
@@ -70,8 +94,13 @@ def numeric_output_column(view: Relation, attribute: str) -> np.ndarray:
 
 
 @dataclass
-class _PreparedQuery:
-    """Everything derived from the query before estimation starts."""
+class PreparedWhatIf:
+    """Everything derived from a what-if query before estimation starts.
+
+    Built by :meth:`WhatIfEngine.prepare` and reusable: the service layer
+    prepares once per plan and evaluates many parameter variants against the
+    same derived state (with per-query scope masks and post values).
+    """
 
     view: Relation
     view_dag: CausalDAG | None
@@ -81,6 +110,7 @@ class _PreparedQuery:
     post_attributes: list[str]
     block_of_row: np.ndarray
     n_blocks: int
+    for_key: Hashable = None
 
 
 @dataclass
@@ -97,23 +127,57 @@ class WhatIfEngine:
 
     # -- public API -------------------------------------------------------------------
 
-    def evaluate(self, query: WhatIfQuery) -> WhatIfResult:
-        """Answer ``query`` and return a :class:`WhatIfResult` with metadata."""
+    def evaluate(
+        self,
+        query: WhatIfQuery,
+        *,
+        prepared: PreparedWhatIf | None = None,
+        estimator: PostUpdateEstimator | None = None,
+    ) -> WhatIfResult:
+        """Answer ``query`` and return a :class:`WhatIfResult` with metadata.
+
+        ``prepared`` and ``estimator`` allow a caller (notably the service
+        layer in :mod:`repro.service`) to inject reusable state built by
+        :meth:`prepare` / :meth:`build_estimator`; omitted pieces are built
+        fresh, which is the cold single-query path.
+        """
         started = time.perf_counter()
-        prepared = self._prepare(query)
+        if prepared is None:
+            prepared = self.prepare(query)
         if self.config.ignores_dependencies:
             result = self._evaluate_indep(query, prepared)
         else:
-            result = self._evaluate_causal(query, prepared)
+            if estimator is None:
+                estimator = self.build_estimator(query, prepared)
+            result = self._evaluate_causal(query, prepared, estimator)
         result.runtime_seconds = time.perf_counter() - started
         return result
 
     # -- preparation --------------------------------------------------------------------
 
-    def _prepare(self, query: WhatIfQuery) -> _PreparedQuery:
-        view = query.use.build(self.database)
+    def prepare(
+        self,
+        query: WhatIfQuery,
+        *,
+        view: Relation | None = None,
+        blocks: tuple[dict[str, np.ndarray], int] | None = None,
+        view_dag: CausalDAG | None = None,
+    ) -> PreparedWhatIf:
+        """Derive everything the evaluation needs short of fitting estimators.
+
+        ``view`` may inject a pre-built relevant view (it must be the
+        materialisation of ``query.use`` over this engine's database),
+        ``view_dag`` the matching DAG projection from
+        :func:`~repro.core.estimator.build_view_dag`, and ``blocks`` a
+        pre-computed ``(labels, n_blocks)`` block assignment from
+        :func:`repro.probdb.blocks.block_labels`; all are served from caches
+        by the service layer.
+        """
+        if view is None:
+            view = query.use.build(self.database)
         self._check_attributes(query, view)
-        view_dag = build_view_dag(self.causal_dag, query.use, self.database)
+        if view_dag is None:
+            view_dag = build_view_dag(self.causal_dag, query.use, self.database)
         self._check_update_independence(query, view_dag)
 
         scope_mask = evaluate_mask(query.when, view)
@@ -129,8 +193,8 @@ class WhatIfEngine:
             {query.output_attribute}
             | {a for d in disjuncts for a in d.post_attributes}
         )
-        block_of_row, n_blocks = self._block_assignment(query, view)
-        return _PreparedQuery(
+        block_of_row, n_blocks = self._block_assignment(query, view, blocks)
+        return PreparedWhatIf(
             view=view,
             view_dag=view_dag,
             scope_mask=scope_mask,
@@ -139,6 +203,47 @@ class WhatIfEngine:
             post_attributes=post_attributes,
             block_of_row=block_of_row,
             n_blocks=n_blocks,
+            for_key=query.for_clause.canonical(),
+        )
+
+    def build_estimator(
+        self,
+        query: WhatIfQuery,
+        prepared: PreparedWhatIf | None = None,
+        *,
+        view: Relation | None = None,
+        view_dag: CausalDAG | None = None,
+    ) -> PostUpdateEstimator:
+        """The backdoor-adjusted estimator for ``query`` (reusable across queries).
+
+        The estimator depends only on the relevant view, the projected DAG,
+        the update/outcome attributes and the engine config — not on update
+        constants, scope or ``For`` literals — so the service layer caches it
+        by plan fingerprint and shares it across parameter variants.  Pass
+        ``prepared`` when one is already at hand, or ``view``/``view_dag`` to
+        build directly from cached components without a full :meth:`prepare`.
+        """
+        if prepared is not None:
+            view = prepared.view
+            view_dag = prepared.view_dag
+            post_attributes = prepared.post_attributes
+        else:
+            if view is None:
+                view = query.use.build(self.database)
+            if view_dag is None:
+                view_dag = build_view_dag(self.causal_dag, query.use, self.database)
+            disjuncts = self._normalise_for_clause(query.for_clause)
+            post_attributes = sorted(
+                {query.output_attribute}
+                | {a for d in disjuncts for a in d.post_attributes}
+            )
+        return PostUpdateEstimator(
+            view=view,
+            view_dag=view_dag,
+            update_attributes=list(query.update_attributes),
+            outcome_attributes=post_attributes,
+            config=self.config,
+            rng=np.random.default_rng(self.config.random_state),
         )
 
     def _check_attributes(self, query: WhatIfQuery, view: Relation) -> None:
@@ -185,11 +290,18 @@ class WhatIfEngine:
                 )
         return disjuncts
 
-    def _block_assignment(self, query: WhatIfQuery, view: Relation) -> tuple[np.ndarray, int]:
+    def _block_assignment(
+        self,
+        query: WhatIfQuery,
+        view: Relation,
+        blocks: tuple[dict[str, np.ndarray], int] | None = None,
+    ) -> tuple[np.ndarray, int]:
         n = len(view)
         if not self.config.use_blocks or self.causal_dag is None:
             return np.zeros(n, dtype=int), 1
-        labels, n_blocks = block_labels(self.database, self.causal_dag)
+        labels, n_blocks = (
+            blocks if blocks is not None else block_labels(self.database, self.causal_dag)
+        )
         base_labels = labels.get(query.use.base_relation)
         block_of_row = np.zeros(n, dtype=int)
         if base_labels is not None:
@@ -199,21 +311,17 @@ class WhatIfEngine:
 
     # -- causal evaluation (HypeR / HypeR-NB / HypeR-sampled) -----------------------------
 
-    def _evaluate_causal(self, query: WhatIfQuery, prepared: _PreparedQuery) -> WhatIfResult:
+    def _evaluate_causal(
+        self,
+        query: WhatIfQuery,
+        prepared: PreparedWhatIf,
+        estimator: PostUpdateEstimator,
+    ) -> WhatIfResult:
         aggregate = get_aggregate(query.output_aggregate)
         view = prepared.view
         n = len(view)
         scope = prepared.scope_mask
         output_values = self._numeric_output(view, query.output_attribute)
-
-        estimator = PostUpdateEstimator(
-            view=view,
-            view_dag=prepared.view_dag,
-            update_attributes=query.update_attributes,
-            outcome_attributes=prepared.post_attributes,
-            config=self.config,
-            rng=np.random.default_rng(self.config.random_state),
-        )
 
         # Pre-part satisfaction per disjunct (deterministic, observed values).
         pre_masks = [evaluate_mask(d.pre, view) for d in prepared.disjuncts]
@@ -251,7 +359,7 @@ class WhatIfEngine:
                     joint_post.astype(float),
                     applicable,
                     prepared.post_values,
-                    cache_key=f"count:{subset}",
+                    cache_key=regressor_cache_key("count", subset, prepared.for_key),
                 )
                 prob = np.clip(prob, 0.0, 1.0)
                 count_contrib[applicable] += sign * prob[applicable]
@@ -261,7 +369,9 @@ class WhatIfEngine:
                         value_target,
                         applicable,
                         prepared.post_values,
-                        cache_key=f"sum:{subset}",
+                        cache_key=regressor_cache_key(
+                            "sum", subset, prepared.for_key, query.output_attribute
+                        ),
                     )
                     sum_contrib[applicable] += sign * expected_value[applicable]
             # Per-tuple qualification probabilities live in [0, 1]; clip estimator overshoot.
@@ -331,27 +441,19 @@ class WhatIfEngine:
         aggregate: str,
         count_contrib: np.ndarray,
         sum_contrib: np.ndarray,
-        prepared: _PreparedQuery,
+        prepared: PreparedWhatIf,
         scope: np.ndarray,
-    ) -> list[BlockContribution]:
+    ) -> LazyBlockContributions:
         per_row = count_contrib if aggregate == "count" else sum_contrib
         n_blocks = prepared.n_blocks
         totals = np.bincount(prepared.block_of_row, weights=per_row, minlength=n_blocks)
         sizes = np.bincount(prepared.block_of_row, minlength=n_blocks)
         scope_sizes = np.bincount(prepared.block_of_row[scope], minlength=n_blocks)
-        return [
-            BlockContribution(
-                block_index=int(block_index),
-                partial_value=float(totals[block_index]),
-                n_tuples=int(sizes[block_index]),
-                n_scope_tuples=int(scope_sizes[block_index]),
-            )
-            for block_index in np.flatnonzero(sizes)
-        ]
+        return LazyBlockContributions(np.flatnonzero(sizes), totals, sizes, scope_sizes)
 
     # -- Indep baseline ---------------------------------------------------------------------
 
-    def _evaluate_indep(self, query: WhatIfQuery, prepared: _PreparedQuery) -> WhatIfResult:
+    def _evaluate_indep(self, query: WhatIfQuery, prepared: PreparedWhatIf) -> WhatIfResult:
         """Provenance-style baseline: the update does not propagate to other attributes."""
         aggregate = get_aggregate(query.output_aggregate)
         view = prepared.view

@@ -1,4 +1,13 @@
-"""Declarative query language: lexer and parser for the HypeR SQL extension."""
+"""Declarative query language: lexer and parser for the HypeR SQL extension.
+
+**Stable AST identity.**  The parser is deterministic: parsing the same text
+twice yields structurally identical query objects — same clause ordering,
+same expression-tree shape, same literal values — so the expression trees'
+:meth:`~repro.relational.expressions.Expr.canonical` keys (and therefore the
+service layer's plan fingerprints, :mod:`repro.service.fingerprint`) are
+stable across parses, processes and HTTP requests.  ``tests/lang`` enforces
+this contract; keep it when extending the grammar.
+"""
 
 from .lexer import Token, TokenType, tokenize
 from .parser import parse_how_to, parse_query, parse_what_if

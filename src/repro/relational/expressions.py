@@ -20,6 +20,7 @@ __all__ = [
     "Temporal",
     "EvaluationContext",
     "Expr",
+    "LITERAL_SLOT",
     "Const",
     "Attr",
     "Arithmetic",
@@ -77,6 +78,23 @@ class EvaluationContext:
         return row[attribute]
 
 
+#: Placeholder substituted for literal values in structural canonical keys.
+LITERAL_SLOT = "?"
+
+
+def _key_value(value: Any) -> Any:
+    """A hashable, equality-comparable stand-in for a literal constant."""
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int, float)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_key_value(v) for v in value)
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
 class Expr:
     """Base class of all expression nodes."""
 
@@ -85,6 +103,18 @@ class Expr:
 
     def referenced_attributes(self) -> set[tuple[str, Temporal]]:
         """All ``(attribute, temporal)`` pairs referenced anywhere in the tree."""
+        raise NotImplementedError
+
+    def canonical(self, literals: bool = True) -> tuple:
+        """Stable, hashable identity of this expression tree.
+
+        Returns nested tuples of plain values (never ``Expr`` objects, whose
+        ``__eq__`` is overloaded to build comparisons), so the result can be
+        used as a dictionary key.  With ``literals=False`` every constant is
+        replaced by :data:`LITERAL_SLOT`, yielding the *structural* identity
+        used by plan fingerprinting: two predicates that differ only in their
+        literal values share the same structural key.
+        """
         raise NotImplementedError
 
     def attribute_names(self) -> set[str]:
@@ -174,6 +204,9 @@ class Const(Expr):
     def referenced_attributes(self) -> set[tuple[str, Temporal]]:
         return set()
 
+    def canonical(self, literals: bool = True) -> tuple:
+        return ("const", _key_value(self.value) if literals else LITERAL_SLOT)
+
     def __repr__(self) -> str:
         return f"Const({self.value!r})"
 
@@ -192,6 +225,9 @@ class Attr(Expr):
 
     def referenced_attributes(self) -> set[tuple[str, Temporal]]:
         return {(self.name, self.temporal)}
+
+    def canonical(self, literals: bool = True) -> tuple:
+        return ("attr", self.name, self.temporal.value)
 
     def __repr__(self) -> str:
         marker = {Temporal.PRE: "Pre", Temporal.POST: "Post", Temporal.DEFAULT: ""}[self.temporal]
@@ -238,6 +274,9 @@ class Arithmetic(Expr):
     def referenced_attributes(self) -> set[tuple[str, Temporal]]:
         return self.left.referenced_attributes() | self.right.referenced_attributes()
 
+    def canonical(self, literals: bool = True) -> tuple:
+        return ("arith", self.op, self.left.canonical(literals), self.right.canonical(literals))
+
     def __repr__(self) -> str:
         return f"({self.left!r} {self.op} {self.right!r})"
 
@@ -267,6 +306,9 @@ class Comparison(Expr):
     def referenced_attributes(self) -> set[tuple[str, Temporal]]:
         return self.left.referenced_attributes() | self.right.referenced_attributes()
 
+    def canonical(self, literals: bool = True) -> tuple:
+        return ("cmp", self.op, self.left.canonical(literals), self.right.canonical(literals))
+
     def __repr__(self) -> str:
         return f"({self.left!r} {self.op} {self.right!r})"
 
@@ -292,6 +334,9 @@ class BooleanExpr(Expr):
             out |= o.referenced_attributes()
         return out
 
+    def canonical(self, literals: bool = True) -> tuple:
+        return ("bool", self.op, tuple(o.canonical(literals) for o in self.operands))
+
     def __repr__(self) -> str:
         joiner = f" {self.op} "
         return "(" + joiner.join(repr(o) for o in self.operands) + ")"
@@ -309,6 +354,9 @@ class Not(Expr):
     def referenced_attributes(self) -> set[tuple[str, Temporal]]:
         return self.operand.referenced_attributes()
 
+    def canonical(self, literals: bool = True) -> tuple:
+        return ("not", self.operand.canonical(literals))
+
     def __repr__(self) -> str:
         return f"not {self.operand!r}"
 
@@ -325,6 +373,10 @@ class InSet(Expr):
 
     def referenced_attributes(self) -> set[tuple[str, Temporal]]:
         return self.operand.referenced_attributes()
+
+    def canonical(self, literals: bool = True) -> tuple:
+        values = _key_value(self.values) if literals else LITERAL_SLOT
+        return ("in", self.operand.canonical(literals), values)
 
     def __repr__(self) -> str:
         return f"({self.operand!r} in {self.values!r})"

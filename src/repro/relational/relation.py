@@ -13,6 +13,7 @@ worlds and pre/post snapshots trivially safe to hold side by side.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -63,6 +64,7 @@ class Relation:
         if self.backend not in BACKENDS:
             raise SchemaError(f"unknown backend {self.backend!r}; expected one of {BACKENDS}")
         self._colstore: ColumnStore | None = None
+        self._colstore_lock = threading.Lock()
         columns = columns or {name: [] for name in schema.attribute_names}
         missing = [a for a in schema.attribute_names if a not in columns]
         extra = [c for c in columns if c not in schema.attribute_names]
@@ -134,13 +136,23 @@ class Relation:
         out._columns = self._columns
         out._length = self._length
         out._colstore = self._colstore
+        out._colstore_lock = threading.Lock()
         return out
 
     def columnar_store(self) -> ColumnStore:
-        """The typed :class:`ColumnStore` of this relation (built lazily, cached)."""
-        if self._colstore is None:
-            self._colstore = ColumnStore.from_arrays(self._columns)
-        return self._colstore
+        """The typed :class:`ColumnStore` of this relation (built lazily, cached).
+
+        Safe to call from concurrent threads: the first materialisation is
+        built under a lock so parallel executor workers all observe the same
+        store instead of racing on the lazy build.
+        """
+        store = self._colstore
+        if store is None:
+            with self._colstore_lock:
+                if self._colstore is None:
+                    self._colstore = ColumnStore.from_arrays(self._columns)
+                store = self._colstore
+        return store
 
     def _derive(
         self,
@@ -168,6 +180,7 @@ class Relation:
         out.schema = schema
         out.backend = backend
         out._colstore = colstore
+        out._colstore_lock = threading.Lock()
         out._columns = {
             name: colstore.columns[name].raw_array() for name in schema.attribute_names
         }

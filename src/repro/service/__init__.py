@@ -1,0 +1,54 @@
+"""The HypeR query service layer: fingerprints, caches, batch execution, HTTP.
+
+This package turns the per-query engines of :mod:`repro.core` into a servable
+system (the ROADMAP's production north star):
+
+* :mod:`~repro.service.fingerprint` — canonical logical-plan fingerprints
+  separating plan structure (which determines the expensive causal work)
+  from parameters (update constants, clause literals);
+* :mod:`~repro.service.cache` — bounded, instrumented LRU caches for views,
+  fitted estimators, block decompositions and candidate enumerations;
+* :mod:`~repro.service.executor` — fingerprint-grouped concurrent batch
+  execution on a thread pool;
+* :mod:`~repro.service.session` — the :class:`HypeRService` facade
+  (``prepare`` / ``execute`` / ``execute_many`` / ``stats``);
+* :mod:`~repro.service.server` — a stdlib HTTP JSON endpoint
+  (``repro serve``).
+
+See ``docs/service.md`` for the architecture and invalidation rules.
+"""
+
+from .cache import CacheStats, LRUCache, QueryCaches
+from .executor import BatchExecutor, default_max_workers
+from .fingerprint import (
+    PlanFingerprint,
+    config_key,
+    dag_key,
+    fingerprint_how_to,
+    fingerprint_query,
+    fingerprint_what_if,
+    update_key,
+    use_key,
+)
+from .server import make_server, serve
+from .session import HypeRService, PreparedPlan
+
+__all__ = [
+    "BatchExecutor",
+    "CacheStats",
+    "HypeRService",
+    "LRUCache",
+    "PlanFingerprint",
+    "PreparedPlan",
+    "QueryCaches",
+    "config_key",
+    "dag_key",
+    "default_max_workers",
+    "fingerprint_how_to",
+    "fingerprint_query",
+    "fingerprint_what_if",
+    "make_server",
+    "serve",
+    "update_key",
+    "use_key",
+]

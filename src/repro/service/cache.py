@@ -1,0 +1,215 @@
+"""Size-bounded, stats-instrumented caches for cross-query state.
+
+The service layer keeps four LRU caches, all keyed by fingerprint components
+that embed the service's database/DAG *generation counter* (see
+:class:`~repro.service.session.HypeRService`), so a generation bump
+invalidates every prior entry by construction; ``clear()`` additionally
+releases the memory:
+
+* **views** — materialised relevant views per ``Use`` specification;
+* **estimators** — fitted :class:`~repro.core.estimator.PostUpdateEstimator`
+  objects per estimator key (each internally caches its per-target
+  regressors under structured keys);
+* **blocks** — the block-independent decomposition labels per generation;
+* **candidates** — how-to candidate enumerations (including their
+  discretized value grids) per exact query identity.
+
+Every cache is thread-safe.  ``get_or_create`` is *per-key* single-flight:
+concurrent callers asking for the same missing key build it exactly once,
+while misses on other keys — and hits — proceed without waiting on the
+build (the factory runs outside the cache lock).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator
+
+__all__ = ["CacheStats", "LRUCache", "QueryCaches"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters of one cache."""
+
+    name: str
+    max_size: int
+    size: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "max_size": self.max_size,
+            "size": self.size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class LRUCache:
+    """A thread-safe least-recently-used cache with instrumentation.
+
+    ``max_size`` bounds the number of entries; inserting beyond the bound
+    evicts the least recently *used* (read or written) entry.  ``get`` and
+    ``get_or_create`` count hits/misses; evictions are counted separately so
+    tests can assert the bound is enforced.
+    """
+
+    def __init__(
+        self,
+        max_size: int,
+        name: str = "cache",
+        on_evict: Callable[[Hashable, Any], None] | None = None,
+    ) -> None:
+        if max_size < 1:
+            raise ValueError("max_size must be at least 1")
+        self.name = name
+        self.max_size = max_size
+        #: called with (key, value) when an entry leaves the cache (LRU
+        #: eviction or ``clear``); must not call back into this cache.
+        self.on_evict = on_evict
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.RLock()
+        self._pending: dict[Hashable, threading.Event] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- access ----------------------------------------------------------------------
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (refreshing recency) or ``default``."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+            self._misses += 1
+            return default
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the cached value, building it with ``factory`` on a miss.
+
+        Per-key single-flight: the first caller to miss a key becomes its
+        builder and runs ``factory`` *outside* the cache lock; concurrent
+        callers for the same key wait for that build, while hits and misses
+        on other keys proceed unblocked.  If the builder raises, one waiter
+        takes over as builder.
+        """
+        while True:
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    return self._entries[key]
+                waiter = self._pending.get(key)
+                if waiter is None:
+                    self._pending[key] = threading.Event()
+                    self._misses += 1
+                    break  # we are the builder
+            waiter.wait()
+            # Loop: either the value is cached now, or the builder failed (or
+            # the entry was already evicted) and we take over as builder.
+        try:
+            value = factory()
+        except BaseException:
+            with self._lock:
+                event = self._pending.pop(key, None)
+            if event is not None:
+                event.set()
+            raise
+        with self._lock:
+            self._store(key, value)
+            event = self._pending.pop(key, None)
+        if event is not None:
+            event.set()
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or replace an entry (counts neither hit nor miss)."""
+        with self._lock:
+            self._store(key, value)
+
+    def _store(self, key: Hashable, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_size:
+            evicted_key, evicted_value = self._entries.popitem(last=False)
+            self._evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(evicted_key, evicted_value)
+
+    def clear(self) -> None:
+        with self._lock:
+            entries = list(self._entries.items()) if self.on_evict is not None else []
+            self._entries.clear()
+            for key, value in entries:
+                self.on_evict(key, value)
+
+    # -- introspection ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def values(self) -> Iterator[Any]:
+        with self._lock:
+            return iter(list(self._entries.values()))
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                name=self.name,
+                max_size=self.max_size,
+                size=len(self._entries),
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+            )
+
+
+class QueryCaches:
+    """The bundle of caches one :class:`HypeRService` owns."""
+
+    def __init__(
+        self,
+        *,
+        estimator_size: int = 64,
+        view_size: int = 16,
+        block_size: int = 8,
+        candidate_size: int = 64,
+    ) -> None:
+        self.estimators = LRUCache(estimator_size, "estimators")
+        self.views = LRUCache(view_size, "views")
+        self.blocks = LRUCache(block_size, "blocks")
+        self.candidates = LRUCache(candidate_size, "candidates")
+
+    def all(self) -> tuple[LRUCache, ...]:
+        return (self.estimators, self.views, self.blocks, self.candidates)
+
+    def clear(self) -> None:
+        for cache in self.all():
+            cache.clear()
+
+    def stats(self) -> dict[str, dict[str, Any]]:
+        return {cache.name: cache.stats().as_dict() for cache in self.all()}

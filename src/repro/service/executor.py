@@ -1,0 +1,114 @@
+"""Concurrent batch execution of query suites.
+
+``execute_many`` on :class:`~repro.service.session.HypeRService` delegates
+here.  The executor:
+
+1. fingerprints every query and groups the batch by estimator key, so all
+   parameter variants of one logical plan share state;
+2. warms one plan per group (view materialisation, estimator construction;
+   concurrently across groups) so the fan-out starts from a populated cache;
+3. fans the individual queries out across a ``ThreadPoolExecutor``.  The
+   heavy lifting inside a query — regression fitting and prediction, mask
+   evaluation — happens in NumPy kernels that release the GIL, so threads
+   give real parallelism without pickling the database into subprocesses.
+
+Shared mutable state is protected at the source: the per-estimator regressor
+cache fits per-key single-flight (each shared regressor is fitted exactly
+once even when many workers need it simultaneously), and `Relation.columnar_store`
+materialises its typed columns under a lock.  Results are returned in input
+order; the first failing query propagates its exception after the pool
+drains.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Hashable, Sequence
+
+from ..core.queries import HowToQuery, WhatIfQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .session import HypeRService
+
+__all__ = ["BatchExecutor", "default_max_workers"]
+
+
+def default_max_workers() -> int:
+    """A conservative thread count: the CPU count, capped at 8."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class BatchExecutor:
+    """Groups a query batch by plan fingerprint and executes it on a thread pool."""
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers
+
+    def run(
+        self,
+        session: "HypeRService",
+        queries: Sequence[WhatIfQuery | HowToQuery | Exception],
+        *,
+        return_errors: bool = False,
+    ) -> list:
+        """Execute ``queries`` against ``session``, preserving input order.
+
+        Entries that are already ``Exception`` instances (failed parses
+        captured by the caller) are passed through as results.  With
+        ``return_errors=True`` a failing query contributes its exception to
+        the result list instead of discarding the rest of the batch; with the
+        default, the first failure propagates after the pool drains.
+        """
+        if not queries:
+            return []
+        runnable = [
+            (index, query)
+            for index, query in enumerate(queries)
+            if not isinstance(query, Exception)
+        ]
+        groups: dict[Hashable, list[int]] = {}
+        for index, query in runnable:
+            fingerprint = session.fingerprint(query)
+            groups.setdefault(fingerprint.estimator_key, []).append(index)
+
+        def warm_one(query):
+            try:
+                session.prepare(query)
+            except Exception:  # noqa: BLE001 - surfaced per query, attributed
+                pass
+
+        def run_one(query):
+            try:
+                return session.execute(query)
+            except Exception as error:  # noqa: BLE001 - captured per query
+                return error
+
+        results: list = list(queries)  # Exception entries stay in place
+        workers = self.max_workers or default_max_workers()
+        workers = max(1, min(workers, len(runnable) or 1))
+        if workers == 1:
+            for indices in groups.values():
+                warm_one(queries[indices[0]])
+            for index, query in runnable:
+                results[index] = run_one(query)
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                # Warm one plan per group (concurrently — the caches'
+                # per-key single-flight makes each build exactly-once) so
+                # every shared view/estimator exists before the fan-out.
+                for future in [
+                    pool.submit(warm_one, queries[indices[0]])
+                    for indices in groups.values()
+                ]:
+                    future.result()
+                futures = [
+                    (index, pool.submit(run_one, query)) for index, query in runnable
+                ]
+                for index, future in futures:
+                    results[index] = future.result()
+        if not return_errors:
+            for result in results:
+                if isinstance(result, Exception):
+                    raise result
+        return results

@@ -1,0 +1,248 @@
+"""Canonical logical-plan fingerprints for parsed HypeR queries.
+
+A query's cost is dominated by work that depends only on its *structure*:
+materialising the relevant view, projecting the causal DAG, choosing a
+backdoor set and fitting regressors.  The *parameters* — update constants
+("= 1.1 × PRE(Price)" vs "= 1.3 × PRE(Price)"), ``When``/``For`` literals —
+only change cheap vectorized arithmetic at prediction time.  This module
+separates the two so the service layer can reuse the expensive state:
+
+* :attr:`PlanFingerprint.estimator_key` — identity of the fitted
+  :class:`~repro.core.estimator.PostUpdateEstimator`: database generation,
+  causal-DAG identity, ``Use`` specification, update/output attributes, the
+  *structural* identity of the ``For`` clause (literals masked — they select
+  regression targets, which the estimator disambiguates internally via
+  :func:`repro.core.whatif.regressor_cache_key`) and the engine config.
+  The ``When`` clause is deliberately absent: scope affects which rows are
+  predicted, never what is fitted.  What-if and how-to queries with the same
+  components share one estimator.
+* :attr:`PlanFingerprint.plan_key` — the full logical plan: the estimator key
+  plus kind, aggregate, the structural identity of every clause and the
+  update-function shapes, all literals masked.
+* :attr:`PlanFingerprint.parameter_key` — everything masked out above:
+  update constants and clause literals.  ``(plan_key, parameter_key)``
+  identifies the query exactly (the follow-on result cache keys on it).
+
+All keys are nested tuples of plain hashable values, built from
+:meth:`repro.relational.expressions.Expr.canonical` — never ``Expr`` objects,
+whose ``==`` is overloaded to build comparison nodes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Hashable, Sequence
+
+from ..causal.dag import CausalDAG
+from ..core.config import EngineConfig
+from ..core.queries import HowToQuery, LimitConstraint, WhatIfQuery
+from ..core.updates import AttributeUpdate
+from ..exceptions import QuerySemanticsError
+from ..relational.expressions import LITERAL_SLOT, _key_value
+from ..relational.view import UseSpec
+
+__all__ = [
+    "PlanFingerprint",
+    "config_key",
+    "dag_key",
+    "fingerprint_query",
+    "fingerprint_what_if",
+    "fingerprint_how_to",
+    "update_key",
+    "use_key",
+]
+
+
+def dag_key(dag: CausalDAG | None) -> Hashable:
+    """Stable identity of a causal DAG (nodes plus edges with markers)."""
+    if dag is None:
+        return ("dag", None)
+    edges = tuple(
+        sorted((e.source, e.target, e.cross_tuple, e.within or "") for e in dag.edges)
+    )
+    return ("dag", tuple(sorted(dag.nodes)), edges)
+
+
+def use_key(use: UseSpec) -> Hashable:
+    """Stable identity of a ``Use`` specification (view name excluded)."""
+    aggregated = tuple(
+        (a.name, a.relation, a.attribute, a.how) for a in use.aggregated
+    )
+    joins = tuple(
+        (other, tuple(condition)) for other, condition in sorted(use.joins.items())
+    )
+    attributes = tuple(use.attributes) if use.attributes is not None else None
+    return ("use", use.base_relation, attributes, aggregated, joins)
+
+
+def config_key(config: EngineConfig) -> Hashable:
+    """Stable identity of an engine configuration."""
+    return ("config",) + tuple(
+        (f.name, _key_value(getattr(config, f.name))) for f in fields(config)
+    )
+
+
+def _function_params(function: Any, literals: bool) -> Hashable:
+    if not literals:
+        return LITERAL_SLOT
+    if is_dataclass(function):
+        return tuple(_key_value(getattr(function, f.name)) for f in fields(function))
+    return repr(function)
+
+
+def update_key(updates: Sequence[AttributeUpdate], literals: bool = True) -> Hashable:
+    """Identity of an ``Update`` clause; ``literals=False`` masks the constants."""
+    return tuple(
+        (u.attribute, type(u.function).__name__, _function_params(u.function, literals))
+        for u in updates
+    )
+
+
+def _limits_key(limits: Sequence[LimitConstraint], literals: bool) -> Hashable:
+    out = []
+    for limit in limits:
+        if literals:
+            values: Hashable = (
+                limit.lower,
+                limit.upper,
+                _key_value(limit.allowed_values),
+                limit.max_l1,
+            )
+        else:
+            values = (
+                limit.lower is not None,
+                limit.upper is not None,
+                None if limit.allowed_values is None else len(limit.allowed_values),
+                limit.max_l1 is not None,
+            )
+        out.append((limit.attribute, values))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class PlanFingerprint:
+    """Canonical identity of a query, split into shareable structure and parameters."""
+
+    kind: str
+    estimator_key: Hashable
+    plan_key: Hashable
+    parameter_key: Hashable
+
+    @property
+    def query_key(self) -> Hashable:
+        """Exact query identity (plan plus parameters)."""
+        return (self.plan_key, self.parameter_key)
+
+    @property
+    def digest(self) -> str:
+        """Short stable hex digest of the plan structure, for logs and stats."""
+        return hashlib.sha256(repr(self.plan_key).encode()).hexdigest()[:12]
+
+    def same_plan(self, other: "PlanFingerprint") -> bool:
+        return self.plan_key == other.plan_key
+
+
+def fingerprint_what_if(
+    query: WhatIfQuery,
+    config: EngineConfig,
+    *,
+    generation: int = 0,
+    dag: CausalDAG | None = None,
+    dag_identity: Hashable | None = None,
+) -> PlanFingerprint:
+    """Fingerprint a what-if query (see module docstring for the key split)."""
+    dag_id = dag_identity if dag_identity is not None else dag_key(dag)
+    cfg = config_key(config)
+    for_structure = query.for_clause.canonical(literals=False)
+    estimator_key = (
+        "estimator",
+        generation,
+        dag_id,
+        use_key(query.use),
+        tuple(query.update_attributes),
+        query.output_attribute,
+        for_structure,
+        cfg,
+    )
+    plan_key = (
+        "what-if",
+        estimator_key,
+        query.output_aggregate,
+        query.when.canonical(literals=False),
+        update_key(query.updates, literals=False),
+    )
+    parameter_key = (
+        update_key(query.updates, literals=True),
+        query.when.canonical(literals=True),
+        query.for_clause.canonical(literals=True),
+    )
+    return PlanFingerprint("what-if", estimator_key, plan_key, parameter_key)
+
+
+def fingerprint_how_to(
+    query: HowToQuery,
+    config: EngineConfig,
+    *,
+    generation: int = 0,
+    dag: CausalDAG | None = None,
+    dag_identity: Hashable | None = None,
+) -> PlanFingerprint:
+    """Fingerprint a how-to query.
+
+    The estimator key matches the one a what-if query with the same ``Use``,
+    update attributes, output attribute and ``For`` structure would produce,
+    so both query families share fitted estimators through the service cache.
+    """
+    dag_id = dag_identity if dag_identity is not None else dag_key(dag)
+    cfg = config_key(config)
+    for_structure = query.for_clause.canonical(literals=False)
+    estimator_key = (
+        "estimator",
+        generation,
+        dag_id,
+        use_key(query.use),
+        tuple(query.update_attributes),
+        query.objective_attribute,
+        for_structure,
+        cfg,
+    )
+    plan_key = (
+        "how-to",
+        estimator_key,
+        query.objective_aggregate,
+        query.maximize,
+        query.max_updates,
+        query.candidate_buckets,
+        tuple(query.candidate_multipliers),
+        query.when.canonical(literals=False),
+        _limits_key(query.limits, literals=False),
+    )
+    parameter_key = (
+        query.when.canonical(literals=True),
+        query.for_clause.canonical(literals=True),
+        _limits_key(query.limits, literals=True),
+    )
+    return PlanFingerprint("how-to", estimator_key, plan_key, parameter_key)
+
+
+def fingerprint_query(
+    query: WhatIfQuery | HowToQuery,
+    config: EngineConfig,
+    *,
+    generation: int = 0,
+    dag: CausalDAG | None = None,
+    dag_identity: Hashable | None = None,
+) -> PlanFingerprint:
+    """Fingerprint either query family (dispatch on the query type)."""
+    if isinstance(query, WhatIfQuery):
+        return fingerprint_what_if(
+            query, config, generation=generation, dag=dag, dag_identity=dag_identity
+        )
+    if isinstance(query, HowToQuery):
+        return fingerprint_how_to(
+            query, config, generation=generation, dag=dag, dag_identity=dag_identity
+        )
+    raise QuerySemanticsError(
+        f"cannot fingerprint query object of type {type(query).__name__}"
+    )

@@ -1,0 +1,146 @@
+"""A minimal stdlib HTTP front-end for :class:`HypeRService`.
+
+No web framework — ``http.server.ThreadingHTTPServer`` dispatches each
+request on its own thread to a shared, thread-safe service.  Endpoints:
+
+* ``GET /health`` — liveness probe, ``{"status": "ok"}``;
+* ``GET /stats`` — :meth:`HypeRService.stats` as JSON;
+* ``POST /query`` — body ``{"query": "<SQL extension text>",
+  "exhaustive": false}``; answers with the result payload;
+* ``POST /batch`` — body ``{"queries": ["...", ...]}``; runs
+  :meth:`HypeRService.execute_many` and answers with
+  ``{"results": [...], "n_queries": N}``.  Failures are per query: a bad
+  entry yields ``{"error": ...}`` at its position while the rest of the
+  batch completes.
+
+Query errors (parse/semantics) on ``/query`` return HTTP 400 with
+``{"error": ...}``, unexpected engine failures 500; unknown paths 404.  Start one from Python with :func:`serve` or from the
+command line with ``repro serve --dataset german-syn``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from ..exceptions import HypeRError
+from .session import HypeRService
+
+__all__ = ["make_server", "serve"]
+
+_MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the service attached to the server."""
+
+    server_version = "HypeRService/1.0"
+    #: silence per-request stderr logging unless the server enables it
+    verbose = False
+
+    @property
+    def service(self) -> HypeRService:
+        return self.server.hyper_service  # type: ignore[attr-defined]
+
+    # -- plumbing ---------------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.verbose:  # pragma: no cover - exercised only with verbose servers
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload, default=str).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > _MAX_BODY_BYTES:
+            raise ValueError("request body missing or too large")
+        data = json.loads(self.rfile.read(length).decode())
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    # -- routes ------------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        if self.path == "/health":
+            self._send_json(200, {"status": "ok", "generation": self.service.generation})
+        elif self.path == "/stats":
+            self._send_json(200, self.service.stats())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        try:
+            body = self._read_json_body()
+        except (ValueError, json.JSONDecodeError) as error:
+            self._send_json(400, {"error": f"invalid request body: {error}"})
+            return
+        try:
+            if self.path == "/query":
+                text = body.get("query")
+                if not isinstance(text, str):
+                    raise ValueError('body must contain a "query" string')
+                result = self.service.execute(
+                    text, exhaustive=bool(body.get("exhaustive", False))
+                )
+                self._send_json(200, result.payload())
+            elif self.path == "/batch":
+                texts = body.get("queries")
+                if not isinstance(texts, list) or not all(
+                    isinstance(t, str) for t in texts
+                ):
+                    raise ValueError('body must contain a "queries" list of strings')
+                # Per-query error capture: one bad query must not discard the
+                # rest of the batch's already-computed results.
+                results = self.service.execute_many(texts, return_errors=True)
+                payloads = [
+                    {"error": str(r)} if isinstance(r, Exception) else r.payload()
+                    for r in results
+                ]
+                self._send_json(
+                    200, {"results": payloads, "n_queries": len(payloads)}
+                )
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except (HypeRError, ValueError) as error:
+            self._send_json(400, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - keep the JSON contract
+            # Never drop the connection: unexpected engine failures still
+            # answer with the documented {"error": ...} shape.
+            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+
+
+def make_server(
+    service: HypeRService, host: str = "127.0.0.1", port: int = 8000
+) -> ThreadingHTTPServer:
+    """Build (without starting) a threading HTTP server bound to ``service``.
+
+    ``port=0`` binds an ephemeral port (useful for tests); read the actual
+    address from ``server.server_address``.
+    """
+    server = ThreadingHTTPServer((host, port), _ServiceRequestHandler)
+    server.hyper_service = service  # type: ignore[attr-defined]
+    return server
+
+
+def serve(
+    service: HypeRService, host: str = "127.0.0.1", port: int = 8000
+) -> None:  # pragma: no cover - blocking loop, exercised manually / via CLI
+    """Serve forever (Ctrl-C to stop); used by the ``repro serve`` subcommand."""
+    server = make_server(service, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"HypeR service listening on http://{bound_host}:{bound_port}")
+    print("endpoints: GET /health, GET /stats, POST /query, POST /batch")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()

@@ -1,0 +1,414 @@
+"""The long-lived HypeR query service.
+
+:class:`HypeRService` is the "system that serves many queries" counterpart of
+the per-query :class:`repro.core.engine.HypeR` library facade.  It holds one
+database + causal DAG + engine configuration and, across queries:
+
+* caches materialised relevant views, fitted estimators and the block
+  decomposition, keyed by :mod:`plan fingerprints <repro.service.fingerprint>`
+  that embed a **generation counter** — ``update_database`` /
+  ``update_causal_dag`` / ``invalidate`` bump the counter, so stale state can
+  never be served;
+* executes query batches concurrently through
+  :class:`~repro.service.executor.BatchExecutor` (``execute_many``);
+* reports instrumentation through :meth:`stats`.
+
+Concurrency model: every generation-dependent piece (database, engines, DAG
+identity, counter) lives in one immutable ``_EngineState`` snapshot that each
+query reads exactly once, so a query observes either the old or the new
+generation in full — never a mix — even when ``update_database`` runs
+mid-flight.  Cache keys embed the snapshot's generation; entries an in-flight
+old-generation query inserts after an invalidation are unreachable from the
+new generation and age out of the bounded LRU.
+
+Typical use::
+
+    service = HypeRService(dataset.database, dataset.causal_dag,
+                           EngineConfig(regressor="linear"))
+    results = service.execute_many(queries)      # shared plans, thread pool
+    one = service.execute("USE Credit UPDATE(Status) = 4 ...")
+    print(service.stats()["caches"]["estimators"]["hit_rate"])
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Hashable, Sequence
+
+from ..causal.dag import CausalDAG
+from ..core.config import EngineConfig
+from ..core.estimator import PostUpdateEstimator, build_view_dag
+from ..core.howto import HowToEngine
+from ..core.queries import HowToQuery, WhatIfQuery
+from ..core.results import HowToResult, WhatIfResult
+from ..core.whatif import WhatIfEngine
+from ..exceptions import QuerySemanticsError
+from ..lang.parser import parse_query
+from ..probdb.blocks import block_labels
+from ..relational.database import Database
+from ..relational.relation import Relation
+from ..relational.view import UseSpec
+from .cache import QueryCaches
+from .executor import BatchExecutor
+from .fingerprint import PlanFingerprint, dag_key, fingerprint_query, use_key
+
+__all__ = ["HypeRService", "PreparedPlan"]
+
+Query = WhatIfQuery | HowToQuery
+Result = WhatIfResult | HowToResult
+
+
+@dataclass(frozen=True)
+class _EngineState:
+    """One generation's immutable execution state, swapped atomically."""
+
+    generation: int
+    database: Database
+    causal_dag: CausalDAG | None
+    dag_identity: Hashable
+    whatif: WhatIfEngine
+    howto: HowToEngine
+
+    @classmethod
+    def build(
+        cls,
+        generation: int,
+        database: Database,
+        causal_dag: CausalDAG | None,
+        config: EngineConfig,
+    ) -> "_EngineState":
+        whatif = WhatIfEngine(database, causal_dag, config)
+        # Reuse the (possibly backend-converted) database so both engines and
+        # every cached view share one set of relations and column stores.
+        howto = HowToEngine(whatif.database, causal_dag, config)
+        return cls(
+            generation=generation,
+            database=whatif.database,
+            causal_dag=causal_dag,
+            dag_identity=dag_key(causal_dag),
+            whatif=whatif,
+            howto=howto,
+        )
+
+
+class PreparedPlan:
+    """Handle returned by :meth:`HypeRService.prepare`: warmed shared state."""
+
+    __slots__ = ("fingerprint", "view", "estimator")
+
+    def __init__(
+        self,
+        fingerprint: PlanFingerprint,
+        view: Relation,
+        estimator: PostUpdateEstimator | None,
+    ) -> None:
+        self.fingerprint = fingerprint
+        self.view = view
+        self.estimator = estimator
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PreparedPlan({self.fingerprint.kind}, plan={self.fingerprint.digest}, "
+            f"estimator={'yes' if self.estimator is not None else 'no'})"
+        )
+
+
+class HypeRService:
+    """Thread-safe, cache-backed query service over one database.
+
+    Parameters
+    ----------
+    database / causal_dag / config:
+        Exactly as for :class:`repro.core.engine.HypeR`.
+    estimator_cache_size / view_cache_size / block_cache_size /
+    candidate_cache_size:
+        LRU bounds of the cross-query caches (entries, not bytes).  A view
+        entry holds the materialised relevant view together with its DAG
+        projection.
+    max_workers:
+        Default thread count for :meth:`execute_many` (``None``: CPU count
+        capped at 8).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        causal_dag: CausalDAG | None = None,
+        config: EngineConfig | None = None,
+        *,
+        estimator_cache_size: int = 64,
+        view_cache_size: int = 16,
+        block_cache_size: int = 8,
+        candidate_cache_size: int = 64,
+        max_workers: int | None = None,
+    ) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self._state = _EngineState.build(0, database, causal_dag, self.config)
+        self.caches = QueryCaches(
+            estimator_size=estimator_cache_size,
+            view_size=view_cache_size,
+            block_size=block_cache_size,
+            candidate_size=candidate_cache_size,
+        )
+        self.max_workers = max_workers
+        self._lock = threading.Lock()
+        self._n_queries = 0
+        self._n_batches = 0
+        self._started_at = time.time()
+        # Fold evicted/invalidated estimators' regressor counters into running
+        # totals so stats() stays monotonic across evictions.  Guarded by its
+        # own lock: the callback runs under the cache lock and must not take
+        # self._lock (stats() holds self._lock while reading the caches).
+        self._retired_lock = threading.Lock()
+        self._retired_regressor_fits = 0
+        self._retired_regressor_hits = 0
+        self.caches.estimators.on_evict = self._retire_estimator
+
+    def _retire_estimator(self, key: Hashable, estimator: PostUpdateEstimator) -> None:
+        counters = estimator.regressor_cache_stats
+        with self._retired_lock:
+            self._retired_regressor_fits += counters["fits"]
+            self._retired_regressor_hits += counters["hits"]
+
+    # -- generation snapshot ---------------------------------------------------------------
+
+    @property
+    def database(self) -> Database:
+        return self._state.database
+
+    @property
+    def causal_dag(self) -> CausalDAG | None:
+        return self._state.causal_dag
+
+    @property
+    def generation(self) -> int:
+        return self._state.generation
+
+    # -- parsing and fingerprinting ------------------------------------------------------
+
+    def parse(self, query_text: str) -> Query:
+        """Parse SQL-extension text into a query object (no execution)."""
+        return parse_query(query_text)
+
+    def _as_query(self, query: str | Query) -> Query:
+        if isinstance(query, str):
+            return self.parse(query)
+        if isinstance(query, (WhatIfQuery, HowToQuery)):
+            return query
+        raise QuerySemanticsError(
+            f"expected query text or a query object, got {type(query).__name__}"
+        )
+
+    def fingerprint(self, query: str | Query) -> PlanFingerprint:
+        """The canonical plan fingerprint of ``query`` at the current generation."""
+        return self._fingerprint(self._state, self._as_query(query))
+
+    def _fingerprint(self, state: _EngineState, query: Query) -> PlanFingerprint:
+        return fingerprint_query(
+            query,
+            self.config,
+            generation=state.generation,
+            dag_identity=state.dag_identity,
+        )
+
+    # -- cached shared state ---------------------------------------------------------------
+
+    def _plan_view(
+        self, state: _EngineState, use: UseSpec
+    ) -> tuple[Relation, CausalDAG | None]:
+        """The materialised relevant view and its DAG projection (one cache entry)."""
+        key = ("view", state.generation, state.dag_identity, use_key(use))
+        return self.caches.views.get_or_create(
+            key,
+            lambda: (
+                use.build(state.database),
+                build_view_dag(state.causal_dag, use, state.database),
+            ),
+        )
+
+    def _blocks(self, state: _EngineState) -> tuple[dict, int] | None:
+        if state.causal_dag is None or not self.config.use_blocks:
+            return None
+        key = ("blocks", state.generation, state.dag_identity)
+        return self.caches.blocks.get_or_create(
+            key, lambda: block_labels(state.database, state.causal_dag)
+        )
+
+    def prepare(self, query: str | Query) -> PreparedPlan:
+        """Warm the caches for ``query``'s plan and return the shared state.
+
+        Building the plan once up front (the batch executor does this per
+        fingerprint group) means subsequent :meth:`execute` calls for any
+        parameter variant of the plan only pay for prediction.
+        """
+        state = self._state
+        parsed = self._as_query(query)
+        fingerprint = self._fingerprint(state, parsed)
+        view, view_dag = self._plan_view(state, parsed.use)
+        estimator: PostUpdateEstimator | None = None
+        if isinstance(parsed, WhatIfQuery):
+            if not self.config.ignores_dependencies:
+                estimator = self.caches.estimators.get_or_create(
+                    fingerprint.estimator_key,
+                    lambda: state.whatif.build_estimator(
+                        parsed, view=view, view_dag=view_dag
+                    ),
+                )
+        else:
+            estimator = self.caches.estimators.get_or_create(
+                fingerprint.estimator_key,
+                lambda: state.howto.build_estimator(
+                    parsed, view=view, view_dag=view_dag
+                ),
+            )
+        return PreparedPlan(fingerprint, view, estimator)
+
+    # -- execution ---------------------------------------------------------------------------
+
+    def execute(self, query: str | Query, *, exhaustive: bool = False) -> Result:
+        """Answer one query, reusing every applicable cached plan component."""
+        state = self._state
+        parsed = self._as_query(query)
+        with self._lock:
+            self._n_queries += 1
+        if isinstance(parsed, WhatIfQuery):
+            return self._execute_what_if(state, parsed)
+        return self._execute_how_to(state, parsed, exhaustive=exhaustive)
+
+    def what_if(self, query: WhatIfQuery) -> WhatIfResult:
+        """Alias of :meth:`execute` for programmatic what-if queries."""
+        return self.execute(query)  # type: ignore[return-value]
+
+    def how_to(self, query: HowToQuery, *, exhaustive: bool = False) -> HowToResult:
+        """Alias of :meth:`execute` for programmatic how-to queries."""
+        return self.execute(query, exhaustive=exhaustive)  # type: ignore[return-value]
+
+    def execute_many(
+        self,
+        queries: Sequence[str | Query],
+        *,
+        max_workers: int | None = None,
+        return_errors: bool = False,
+    ) -> list[Result | Exception]:
+        """Answer a batch concurrently; results align with the input order.
+
+        Queries are grouped by plan fingerprint so each shared estimator is
+        fitted once, then parameter variants fan out across worker threads.
+        With ``return_errors=True`` a failing query yields its exception in
+        the result list while the rest of the batch completes normally (the
+        HTTP ``/batch`` endpoint uses this); with the default, the first
+        failure propagates after the pool drains.
+        """
+        parsed: list[Query | Exception] = []
+        for query in queries:
+            try:
+                parsed.append(self._as_query(query))
+            except Exception as error:  # noqa: BLE001 - captured per query
+                if not return_errors:
+                    raise
+                parsed.append(error)
+        with self._lock:
+            self._n_batches += 1
+        executor = BatchExecutor(max_workers or self.max_workers)
+        return executor.run(self, parsed, return_errors=return_errors)
+
+    def _execute_what_if(self, state: _EngineState, query: WhatIfQuery) -> WhatIfResult:
+        fingerprint = self._fingerprint(state, query)
+        view, view_dag = self._plan_view(state, query.use)
+        prepared = state.whatif.prepare(
+            query, view=view, blocks=self._blocks(state), view_dag=view_dag
+        )
+        estimator: PostUpdateEstimator | None = None
+        if not self.config.ignores_dependencies:
+            estimator = self.caches.estimators.get_or_create(
+                fingerprint.estimator_key,
+                lambda: state.whatif.build_estimator(query, prepared),
+            )
+        return state.whatif.evaluate(query, prepared=prepared, estimator=estimator)
+
+    def _execute_how_to(
+        self, state: _EngineState, query: HowToQuery, *, exhaustive: bool
+    ) -> HowToResult:
+        fingerprint = self._fingerprint(state, query)
+        view, view_dag = self._plan_view(state, query.use)
+        estimator = self.caches.estimators.get_or_create(
+            fingerprint.estimator_key,
+            lambda: state.howto.build_estimator(query, view=view, view_dag=view_dag),
+        )
+        prepared = state.howto.prepare(
+            query, view=view, estimator=estimator, view_dag=view_dag
+        )
+        candidates = self.caches.candidates.get_or_create(
+            ("candidates", fingerprint.query_key),
+            lambda: state.howto.enumerate_candidates(
+                query, prepared.view, prepared.scope_mask
+            ),
+        )
+        if exhaustive:
+            return state.howto.evaluate_exhaustive(
+                query, prepared=prepared, candidates=candidates
+            )
+        return state.howto.evaluate(query, prepared=prepared, candidates=candidates)
+
+    # -- invalidation ---------------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Bump the generation counter and drop every cached plan component."""
+        with self._lock:
+            state = self._state
+            self._state = _EngineState.build(
+                state.generation + 1, state.database, state.causal_dag, self.config
+            )
+        self.caches.clear()
+
+    def update_database(self, database: Database) -> None:
+        """Swap in a new database instance; all cached state is invalidated."""
+        with self._lock:
+            state = self._state
+            self._state = _EngineState.build(
+                state.generation + 1, database, state.causal_dag, self.config
+            )
+        self.caches.clear()
+
+    def update_causal_dag(self, causal_dag: CausalDAG | None) -> None:
+        """Swap in new causal background knowledge; invalidates cached state."""
+        with self._lock:
+            state = self._state
+            self._state = _EngineState.build(
+                state.generation + 1, state.database, causal_dag, self.config
+            )
+        self.caches.clear()
+
+    # -- instrumentation -------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Service counters plus per-cache and regressor-level statistics.
+
+        ``regressors.fits``/``hits`` are monotonic totals over the service's
+        life: counters of estimators evicted from the LRU (or dropped by an
+        invalidation) are folded into running sums, not lost.
+        """
+        with self._retired_lock:
+            regressor_fits = self._retired_regressor_fits
+            regressor_hits = self._retired_regressor_hits
+        regressors_cached = 0
+        for estimator in self.caches.estimators.values():
+            counters = estimator.regressor_cache_stats
+            regressor_fits += counters["fits"]
+            regressor_hits += counters["hits"]
+            regressors_cached += counters["cached"]
+        with self._lock:
+            return {
+                "generation": self._state.generation,
+                "n_queries": self._n_queries,
+                "n_batches": self._n_batches,
+                "uptime_seconds": time.time() - self._started_at,
+                "caches": self.caches.stats(),
+                "regressors": {
+                    "fits": regressor_fits,
+                    "hits": regressor_hits,
+                    "cached": regressors_cached,
+                },
+            }

@@ -66,6 +66,33 @@ class TestWhatIfGeneration:
             assert 0.0 <= result.value <= len(dataset.database["Credit"])
 
 
+class TestTemplateBatch:
+    def test_template_batch_shares_one_plan(self, generator):
+        _, gen = generator
+        from repro.core.updates import MultiplyBy
+        from repro.service import fingerprint_query
+        from repro import EngineConfig
+
+        queries = gen.what_if_template_batch(8, with_post_condition=True)
+        assert len(queries) == 8
+        config = EngineConfig(regressor="linear")
+        fingerprints = [fingerprint_query(q, config) for q in queries]
+        assert len({fp.plan_key for fp in fingerprints}) == 1
+        assert len({fp.parameter_key for fp in fingerprints}) == 8
+        factors = [q.updates[0].function for q in queries]
+        assert all(isinstance(f, MultiplyBy) for f in factors)
+        assert factors[0].factor < factors[-1].factor
+
+    def test_template_batch_executes(self, generator):
+        dataset, gen = generator
+        session = HypeR(dataset.database, dataset.causal_dag, EngineConfig(regressor="linear"))
+        service = session.service()
+        queries = gen.what_if_template_batch(4, aggregate="count")
+        results = service.execute_many(queries, max_workers=2)
+        assert len(results) == 4
+        assert service.stats()["caches"]["estimators"]["size"] == 1
+
+
 class TestHowToGeneration:
     def test_howto_queries_are_valid(self, generator):
         _, gen = generator

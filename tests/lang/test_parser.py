@@ -155,3 +155,39 @@ class TestDispatch:
     def test_parse_query_dispatches(self):
         assert isinstance(parse_query(FIGURE4_QUERY), WhatIfQuery)
         assert isinstance(parse_query(FIGURE5_QUERY), HowToQuery)
+
+
+class TestStableAstIdentity:
+    """The contract documented in ``repro.lang.__init__``: parsing is
+    deterministic, so expression trees have stable ``canonical()`` keys and
+    plan fingerprints survive re-parsing (dashboards re-send the same text)."""
+
+    def test_what_if_clauses_have_stable_canonical_keys(self):
+        a = parse_query(FIGURE4_QUERY)
+        b = parse_query(FIGURE4_QUERY)
+        assert a.when.canonical() == b.when.canonical()
+        assert a.for_clause.canonical() == b.for_clause.canonical()
+        assert a.for_clause.canonical(literals=False) == b.for_clause.canonical(
+            literals=False
+        )
+        assert a.update_attributes == b.update_attributes
+
+    def test_how_to_clauses_have_stable_canonical_keys(self):
+        a = parse_query(FIGURE5_QUERY)
+        b = parse_query(FIGURE5_QUERY)
+        assert a.when.canonical() == b.when.canonical()
+        assert a.for_clause.canonical() == b.for_clause.canonical()
+        assert a.limits == b.limits
+        assert a.update_attributes == b.update_attributes
+
+    def test_literal_changes_keep_structure(self):
+        a = parse_query(FIGURE4_QUERY)
+        b = parse_query(FIGURE4_QUERY.replace("1.1 * PRE(Price)", "1.3 * PRE(Price)"))
+        assert a.for_clause.canonical(literals=False) == b.for_clause.canonical(
+            literals=False
+        )
+        c = parse_query(FIGURE4_QUERY.replace("POST(Senti) > 0.5", "POST(Senti) > 0.9"))
+        assert a.for_clause.canonical(literals=False) == c.for_clause.canonical(
+            literals=False
+        )
+        assert a.for_clause.canonical() != c.for_clause.canonical()

@@ -1,0 +1,93 @@
+"""LRU cache semantics: bounds, eviction order, stats, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service import LRUCache, QueryCaches
+
+
+class TestLRUCache:
+    def test_bound_is_enforced(self):
+        cache = LRUCache(max_size=3)
+        for i in range(5):
+            cache.put(i, str(i))
+        assert len(cache) == 3
+        assert cache.evictions == 2
+        assert 0 not in cache and 1 not in cache
+        assert all(i in cache for i in (2, 3, 4))
+
+    def test_least_recently_used_is_evicted_first(self):
+        cache = LRUCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh recency: "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_hit_miss_counters(self):
+        cache = LRUCache(max_size=4, name="test")
+        cache.get_or_create("k", lambda: 42)
+        assert cache.get("k") == 42
+        assert cache.get("absent") is None
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 2  # the create miss and the absent get
+        assert stats.size == 1
+        assert stats.name == "test"
+        assert 0.0 < stats.hit_rate < 1.0
+        assert stats.as_dict()["hit_rate"] == round(stats.hit_rate, 4)
+
+    def test_get_or_create_builds_once(self):
+        cache = LRUCache(max_size=4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_create("key", lambda: calls.append(1) or "built")
+        assert value == "built"
+        assert len(calls) == 1
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(max_size=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            LRUCache(max_size=0)
+
+    def test_concurrent_get_or_create_single_flight(self):
+        cache = LRUCache(max_size=4)
+        built = []
+        barrier = threading.Barrier(8)
+        results = []
+
+        def worker():
+            barrier.wait()
+            results.append(
+                cache.get_or_create("shared", lambda: built.append(1) or object())
+            )
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(built) == 1
+        assert all(r is results[0] for r in results)
+
+
+class TestQueryCaches:
+    def test_bundle_layout_and_clear(self):
+        caches = QueryCaches(estimator_size=2, view_size=2, block_size=2, candidate_size=2)
+        caches.views.put("v", 1)
+        caches.estimators.put("e", 2)
+        stats = caches.stats()
+        assert set(stats) == {"estimators", "views", "blocks", "candidates"}
+        assert stats["views"]["size"] == 1
+        caches.clear()
+        assert len(caches.views) == 0 and len(caches.estimators) == 0

@@ -1,0 +1,171 @@
+"""Plan fingerprinting: structure vs. parameter separation, stable identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EngineConfig, HowToQuery, LimitConstraint, WhatIfQuery
+from repro.core.updates import AttributeUpdate, MultiplyBy, SetTo
+from repro.lang.parser import parse_query
+from repro.relational import UseSpec, post, pre
+from repro.relational.expressions import LITERAL_SLOT
+from repro.relational.predicates import TRUE
+from repro.service import (
+    fingerprint_how_to,
+    fingerprint_query,
+    fingerprint_what_if,
+)
+
+CONFIG = EngineConfig(regressor="linear")
+USE = UseSpec(base_relation="Credit")
+
+
+def whatif(
+    factor: float = 1.1,
+    *,
+    attribute: str = "Status",
+    aggregate: str = "count",
+    threshold: float = 1.0,
+    when=None,
+) -> WhatIfQuery:
+    return WhatIfQuery(
+        use=USE,
+        updates=[AttributeUpdate(attribute, MultiplyBy(factor))],
+        output_attribute="Credit",
+        output_aggregate=aggregate,
+        when=when if when is not None else TRUE,
+        for_clause=(post("Credit") == threshold),
+    )
+
+
+class TestExpressionCanonical:
+    def test_canonical_is_hashable_primitives(self):
+        key = ((post("Credit") == 1) & (pre("Age") >= 30)).canonical()
+        hash(key)  # nested tuples of plain values
+
+        def assert_no_expr(node):
+            assert not hasattr(node, "evaluate"), f"Expr leaked into key: {node!r}"
+            if isinstance(node, tuple):
+                for child in node:
+                    assert_no_expr(child)
+
+        assert_no_expr(key)
+
+    def test_literal_masking(self):
+        a = (post("Credit") == 1).canonical(literals=False)
+        b = (post("Credit") == 2).canonical(literals=False)
+        assert a == b
+        assert LITERAL_SLOT in repr(a)
+        assert (post("Credit") == 1).canonical() != (post("Credit") == 2).canonical()
+
+    def test_structure_distinguished(self):
+        assert (post("Credit") == 1).canonical(literals=False) != (
+            post("Credit") >= 1
+        ).canonical(literals=False)
+        assert (pre("Credit") == 1).canonical(literals=False) != (
+            post("Credit") == 1
+        ).canonical(literals=False)
+
+
+class TestWhatIfFingerprint:
+    def test_identical_queries_identical_fingerprint(self):
+        a = fingerprint_what_if(whatif(1.1), CONFIG)
+        b = fingerprint_what_if(whatif(1.1), CONFIG)
+        assert a == b
+        assert a.digest == b.digest
+
+    def test_parsed_text_is_stable(self):
+        text = (
+            "USE Credit UPDATE(Status) = 4 "
+            "OUTPUT COUNT(POST(Credit)) FOR POST(Credit) = 1"
+        )
+        a = fingerprint_query(parse_query(text), CONFIG)
+        b = fingerprint_query(parse_query(text), CONFIG)
+        assert a == b
+
+    def test_update_constant_is_a_parameter(self):
+        a = fingerprint_what_if(whatif(1.1), CONFIG)
+        b = fingerprint_what_if(whatif(1.3), CONFIG)
+        assert a.estimator_key == b.estimator_key
+        assert a.plan_key == b.plan_key
+        assert a.parameter_key != b.parameter_key
+
+    def test_for_literal_is_a_parameter(self):
+        a = fingerprint_what_if(whatif(threshold=1.0), CONFIG)
+        b = fingerprint_what_if(whatif(threshold=0.0), CONFIG)
+        assert a.estimator_key == b.estimator_key
+        assert a.plan_key == b.plan_key
+        assert a.parameter_key != b.parameter_key
+
+    def test_when_does_not_touch_estimator_key(self):
+        a = fingerprint_what_if(whatif(), CONFIG)
+        b = fingerprint_what_if(whatif(when=pre("Age") >= 30), CONFIG)
+        assert a.estimator_key == b.estimator_key
+        assert a.plan_key != b.plan_key
+
+    def test_structure_changes_estimator_key(self):
+        base = fingerprint_what_if(whatif(), CONFIG)
+        other_attr = fingerprint_what_if(whatif(attribute="Housing"), CONFIG)
+        assert base.estimator_key != other_attr.estimator_key
+        other_config = fingerprint_what_if(whatif(), EngineConfig(regressor="ridge"))
+        assert base.estimator_key != other_config.estimator_key
+
+    def test_aggregate_is_plan_level_only(self):
+        a = fingerprint_what_if(whatif(aggregate="count"), CONFIG)
+        b = fingerprint_what_if(whatif(aggregate="avg"), CONFIG)
+        assert a.estimator_key == b.estimator_key
+        assert a.plan_key != b.plan_key
+
+    def test_generation_invalidates(self):
+        a = fingerprint_what_if(whatif(), CONFIG, generation=0)
+        b = fingerprint_what_if(whatif(), CONFIG, generation=1)
+        assert a.estimator_key != b.estimator_key
+
+
+class TestHowToFingerprint:
+    def howto(self, upper: float = 4.0) -> HowToQuery:
+        return HowToQuery(
+            use=USE,
+            update_attributes=["Status"],
+            objective_attribute="Credit",
+            objective_aggregate="count",
+            for_clause=(post("Credit") == 1),
+            limits=[LimitConstraint("Status", lower=1.0, upper=upper)],
+            candidate_buckets=3,
+            candidate_multipliers=(),
+        )
+
+    def test_shares_estimator_with_matching_what_if(self):
+        hq = fingerprint_how_to(self.howto(), CONFIG)
+        wq = fingerprint_what_if(whatif(), CONFIG)
+        assert hq.estimator_key == wq.estimator_key
+        assert hq.plan_key != wq.plan_key
+
+    def test_limit_bound_is_a_parameter(self):
+        a = fingerprint_how_to(self.howto(upper=4.0), CONFIG)
+        b = fingerprint_how_to(self.howto(upper=5.0), CONFIG)
+        assert a.plan_key == b.plan_key
+        assert a.parameter_key != b.parameter_key
+
+    def test_dispatch_rejects_non_queries(self):
+        from repro.exceptions import QuerySemanticsError
+
+        with pytest.raises(QuerySemanticsError):
+            fingerprint_query("not a query object", CONFIG)  # type: ignore[arg-type]
+
+
+class TestUpdateFunctionKeys:
+    def test_function_kind_is_structural(self):
+        a = fingerprint_what_if(whatif(), CONFIG)
+        set_query = WhatIfQuery(
+            use=USE,
+            updates=[AttributeUpdate("Status", SetTo(4))],
+            output_attribute="Credit",
+            output_aggregate="count",
+            for_clause=(post("Credit") == 1.0),
+        )
+        b = fingerprint_what_if(set_query, CONFIG)
+        # same estimator (fit does not depend on the update function at all) ...
+        assert a.estimator_key == b.estimator_key
+        # ... but a different logical plan (MultiplyBy vs SetTo).
+        assert a.plan_key != b.plan_key

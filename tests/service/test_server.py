@@ -1,0 +1,130 @@
+"""HTTP endpoint tests against a live threading server on an ephemeral port."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import EngineConfig, HypeR, HypeRService
+from repro.datasets import make_german_syn
+from repro.service import make_server
+
+QUERY_TEXT = (
+    "USE Credit UPDATE(Status) = 4 OUTPUT COUNT(POST(Credit)) FOR POST(Credit) = 1"
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_german_syn(300, seed=4)
+
+
+@pytest.fixture(scope="module")
+def live_server(dataset):
+    service = HypeRService(
+        dataset.database, dataset.causal_dag, EngineConfig(regressor="linear")
+    )
+    server = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", service
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def get_json(url: str) -> tuple[int, dict]:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read().decode())
+
+
+def post_json(url: str, payload: dict) -> tuple[int, dict]:
+    body = json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode())
+
+
+class TestEndpoints:
+    def test_health(self, live_server):
+        base, _ = live_server
+        status, payload = get_json(f"{base}/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+
+    def test_query_matches_direct_execution(self, live_server, dataset):
+        base, _ = live_server
+        status, payload = post_json(f"{base}/query", {"query": QUERY_TEXT})
+        assert status == 200
+        assert payload["kind"] == "what-if"
+        direct = HypeR(
+            dataset.database, dataset.causal_dag, EngineConfig(regressor="linear")
+        ).execute(QUERY_TEXT)
+        assert payload["value"] == pytest.approx(direct.value, abs=1e-9)
+
+    def test_batch(self, live_server):
+        base, _ = live_server
+        texts = [QUERY_TEXT, QUERY_TEXT.replace("= 4", "= 3")]
+        status, payload = post_json(f"{base}/batch", {"queries": texts})
+        assert status == 200
+        assert payload["n_queries"] == 2
+        assert [r["kind"] for r in payload["results"]] == ["what-if", "what-if"]
+
+    def test_batch_reports_errors_per_query(self, live_server):
+        base, _ = live_server
+        texts = [QUERY_TEXT, "garbage query", QUERY_TEXT.replace("= 4", "= 2")]
+        status, payload = post_json(f"{base}/batch", {"queries": texts})
+        assert status == 200
+        assert payload["n_queries"] == 3
+        results = payload["results"]
+        assert results[0]["kind"] == "what-if"
+        assert "error" in results[1] and "kind" not in results[1]
+        assert results[2]["kind"] == "what-if"
+
+    def test_stats_reflect_traffic(self, live_server):
+        base, service = live_server
+        status, payload = get_json(f"{base}/stats")
+        assert status == 200
+        assert payload["n_queries"] >= 1
+        assert "caches" in payload and "estimators" in payload["caches"]
+        assert payload["generation"] == service.generation
+
+    def test_parse_error_is_400(self, live_server):
+        base, _ = live_server
+        status, payload = post_json(f"{base}/query", {"query": "SELECT nonsense"})
+        assert status == 400
+        assert "error" in payload
+
+    def test_missing_query_field_is_400(self, live_server):
+        base, _ = live_server
+        status, payload = post_json(f"{base}/query", {"nope": 1})
+        assert status == 400
+
+    def test_unexpected_engine_error_is_500_json(self, live_server, monkeypatch):
+        base, service = live_server
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(service, "execute", explode)
+        status, payload = post_json(f"{base}/query", {"query": QUERY_TEXT})
+        assert status == 500
+        assert "RuntimeError" in payload["error"]
+
+    def test_unknown_path_is_404(self, live_server):
+        base, _ = live_server
+        status, payload = post_json(f"{base}/nowhere", {"query": QUERY_TEXT})
+        assert status == 404
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{base}/nowhere", timeout=10)
+        assert excinfo.value.code == 404

@@ -1,0 +1,298 @@
+"""Service correctness: warm results equal cold results, invalidation, stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    EngineConfig,
+    HowToEngine,
+    HowToQuery,
+    HypeR,
+    HypeRService,
+    LimitConstraint,
+    WhatIfQuery,
+)
+from repro.core.updates import AttributeUpdate, MultiplyBy, SetTo
+from repro.datasets import make_german_syn
+from repro.relational import post, pre
+
+
+def suite_20(dataset) -> list[WhatIfQuery]:
+    """20 what-if queries from 4 templates x 5 parameter settings."""
+    use = dataset.default_use
+    queries: list[WhatIfQuery] = []
+    for i in range(5):
+        queries.append(
+            WhatIfQuery(
+                use=use,
+                updates=[AttributeUpdate("Status", MultiplyBy(1.0 + 0.1 * i))],
+                output_attribute="Credit",
+                output_aggregate="count",
+                for_clause=(post("Credit") == 1),
+            )
+        )
+        queries.append(
+            WhatIfQuery(
+                use=use,
+                updates=[AttributeUpdate("Savings", SetTo(i + 1))],
+                output_attribute="CreditAmount",
+                output_aggregate="avg",
+                when=pre("Age") >= 25 + i,
+                for_clause=(post("Credit") == 1),
+            )
+        )
+        queries.append(
+            WhatIfQuery(
+                use=use,
+                updates=[AttributeUpdate("Housing", MultiplyBy(0.8 + 0.1 * i))],
+                output_attribute="CreditAmount",
+                output_aggregate="sum",
+                for_clause=(post("CreditAmount") >= 1000.0 * (i + 1)),
+            )
+        )
+        queries.append(
+            WhatIfQuery(
+                use=use,
+                updates=[AttributeUpdate("Status", SetTo(i))],
+                output_attribute="Credit",
+                output_aggregate="count",
+                when=pre("Sex") == (i % 2),
+                for_clause=(post("Credit") == 1),
+            )
+        )
+    return queries
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_german_syn(300, seed=11)
+
+
+@pytest.mark.parametrize("backend", ["columnar", "rows"])
+class TestWarmEqualsCold:
+    def test_20_query_suite_bitwise_equal(self, dataset, backend):
+        config = EngineConfig(regressor="linear", backend=backend)
+        queries = suite_20(dataset)
+        cold = HypeR(dataset.database, dataset.causal_dag, config)
+        cold_results = [cold.what_if(q) for q in queries]
+        service = HypeRService(dataset.database, dataset.causal_dag, config)
+        warm_results = [service.execute(q) for q in queries]
+        for query, a, b in zip(queries, cold_results, warm_results):
+            assert a.value == b.value, query.describe()
+            assert a.expected_qualifying_count == b.expected_qualifying_count
+            assert a.backdoor_set == b.backdoor_set
+        # re-running the warm suite must reproduce itself exactly, too
+        rerun = [service.execute(q) for q in queries]
+        assert [r.value for r in rerun] == [r.value for r in warm_results]
+
+
+class TestServiceBehaviour:
+    def test_estimators_are_shared_across_parameter_variants(self, dataset):
+        config = EngineConfig(regressor="linear")
+        service = HypeRService(dataset.database, dataset.causal_dag, config)
+        for factor in (1.05, 1.1, 1.2, 1.3, 1.4):
+            service.execute(
+                WhatIfQuery(
+                    use=dataset.default_use,
+                    updates=[AttributeUpdate("Status", MultiplyBy(factor))],
+                    output_attribute="Credit",
+                    output_aggregate="count",
+                    for_clause=(post("Credit") == 1),
+                )
+            )
+        stats = service.stats()
+        assert stats["n_queries"] == 5
+        assert stats["caches"]["estimators"]["size"] == 1
+        assert stats["caches"]["estimators"]["hits"] == 4
+        assert stats["regressors"]["fits"] == 1
+        assert stats["regressors"]["hits"] == 4
+
+    def test_sql_text_execution(self, dataset):
+        config = EngineConfig(regressor="linear")
+        service = HypeRService(dataset.database, dataset.causal_dag, config)
+        text = (
+            "USE Credit UPDATE(Status) = 4 "
+            "OUTPUT COUNT(POST(Credit)) FOR POST(Credit) = 1"
+        )
+        cold = HypeR(dataset.database, dataset.causal_dag, config).execute(text)
+        assert service.execute(text).value == cold.value
+
+    def test_how_to_equals_cold_engine(self, dataset):
+        config = EngineConfig(regressor="linear")
+        query = HowToQuery(
+            use=dataset.default_use,
+            update_attributes=["Status", "Housing"],
+            objective_attribute="Credit",
+            objective_aggregate="count",
+            for_clause=(post("Credit") == 1),
+            limits=[
+                LimitConstraint("Status", lower=1.0, upper=4.0),
+                LimitConstraint("Housing", lower=1.0, upper=3.0),
+            ],
+            candidate_buckets=3,
+            candidate_multipliers=(),
+        )
+        cold = HowToEngine(dataset.database, dataset.causal_dag, config).evaluate(query)
+        service = HypeRService(dataset.database, dataset.causal_dag, config)
+        warm_first = service.how_to(query)
+        warm_second = service.how_to(query)
+        for warm in (warm_first, warm_second):
+            assert warm.objective_value == cold.objective_value
+            assert warm.baseline_value == cold.baseline_value
+            assert warm.plan() == cold.plan()
+        stats = service.stats()
+        assert stats["caches"]["candidates"]["hits"] == 1
+
+    def test_what_if_and_how_to_share_estimator(self, dataset):
+        config = EngineConfig(regressor="linear")
+        service = HypeRService(dataset.database, dataset.causal_dag, config)
+        service.execute(
+            WhatIfQuery(
+                use=dataset.default_use,
+                updates=[AttributeUpdate("Status", MultiplyBy(1.1))],
+                output_attribute="Credit",
+                output_aggregate="count",
+                for_clause=(post("Credit") == 1),
+            )
+        )
+        service.how_to(
+            HowToQuery(
+                use=dataset.default_use,
+                update_attributes=["Status"],
+                objective_attribute="Credit",
+                objective_aggregate="count",
+                for_clause=(post("Credit") == 1),
+                limits=[LimitConstraint("Status", lower=1.0, upper=4.0)],
+                candidate_buckets=3,
+                candidate_multipliers=(),
+            )
+        )
+        assert service.stats()["caches"]["estimators"]["size"] == 1
+
+    def test_indep_variant_skips_estimators(self, dataset):
+        config = EngineConfig(regressor="linear", variant="indep")
+        service = HypeRService(dataset.database, dataset.causal_dag, config)
+        cold = HypeR(dataset.database, dataset.causal_dag, config)
+        query = WhatIfQuery(
+            use=dataset.default_use,
+            updates=[AttributeUpdate("Status", SetTo(4))],
+            output_attribute="Credit",
+            output_aggregate="count",
+            for_clause=(post("Credit") == 1),
+        )
+        assert service.execute(query).value == cold.what_if(query).value
+        assert service.stats()["caches"]["estimators"]["size"] == 0
+
+    def test_regressor_cache_inside_shared_estimator_is_bounded(self, dataset, monkeypatch):
+        # One estimator is shared across every For-literal variant of a plan;
+        # its internal per-target regressor cache must not grow unboundedly.
+        # (The real bound is 256 — above the 126 keys one evaluation of a
+        # 6-disjunct plan touches; shrink it here to exercise eviction.)
+        import repro.core.estimator as estimator_module
+
+        monkeypatch.setattr(estimator_module, "_MAX_CACHED_REGRESSORS", 8)
+        config = EngineConfig(regressor="linear")
+        service = HypeRService(dataset.database, dataset.causal_dag, config)
+        for step in range(40):
+            service.execute(
+                WhatIfQuery(
+                    use=dataset.default_use,
+                    updates=[AttributeUpdate("Status", SetTo(4))],
+                    output_attribute="Credit",
+                    output_aggregate="count",
+                    for_clause=(post("CreditAmount") >= 100.0 * step),
+                )
+            )
+        stats = service.stats()
+        assert stats["caches"]["estimators"]["size"] == 1
+        assert stats["regressors"]["fits"] == 40
+        assert stats["regressors"]["cached"] <= 8
+
+    def test_lru_eviction_bounds_under_many_plans(self, dataset):
+        config = EngineConfig(regressor="linear")
+        service = HypeRService(
+            dataset.database, dataset.causal_dag, config, estimator_cache_size=2
+        )
+        for attribute in ("Status", "Housing", "Savings", "Investment"):
+            service.execute(
+                WhatIfQuery(
+                    use=dataset.default_use,
+                    updates=[AttributeUpdate(attribute, MultiplyBy(1.1))],
+                    output_attribute="Credit",
+                    output_aggregate="count",
+                    for_clause=(post("Credit") == 1),
+                )
+            )
+        stats = service.stats()["caches"]["estimators"]
+        assert stats["size"] <= 2
+        assert stats["evictions"] == 2
+        # counters of evicted estimators are folded into running totals,
+        # so the regressor fit count stays monotonic (one fit per plan)
+        assert service.stats()["regressors"]["fits"] == 4
+
+    def test_hyper_facade_service_constructor(self, dataset):
+        config = EngineConfig(regressor="linear")
+        session = HypeR(dataset.database, dataset.causal_dag, config)
+        service = session.service(max_workers=2)
+        assert isinstance(service, HypeRService)
+        query = suite_20(dataset)[0]
+        assert service.execute(query).value == session.what_if(query).value
+
+
+class TestInvalidation:
+    def build_query(self, dataset) -> WhatIfQuery:
+        return WhatIfQuery(
+            use=dataset.default_use,
+            updates=[AttributeUpdate("Status", SetTo(4))],
+            output_attribute="Credit",
+            output_aggregate="count",
+            for_clause=(post("Credit") == 1),
+        )
+
+    def test_database_update_invalidates_cached_state(self, dataset):
+        config = EngineConfig(regressor="linear")
+        service = HypeRService(dataset.database, dataset.causal_dag, config)
+        query = self.build_query(dataset)
+        before = service.execute(query).value
+
+        # Flip a third of the Credit outcomes: answers must change.
+        relation = service.database[dataset.default_use.base_relation]
+        credit = np.asarray(relation.column("Credit"), dtype=float)
+        credit[:: 3] = 1.0 - credit[:: 3]
+        updated = relation.with_column("Credit", credit)
+        new_database = service.database.with_relation(updated)
+
+        generation_before = service.generation
+        service.update_database(new_database)
+        assert service.generation == generation_before + 1
+        assert service.stats()["caches"]["estimators"]["size"] == 0
+
+        after = service.execute(query).value
+        cold = HypeR(new_database, dataset.causal_dag, config).what_if(query).value
+        assert after == cold
+        assert after != before
+
+    def test_explicit_invalidate_refits(self, dataset):
+        config = EngineConfig(regressor="linear")
+        service = HypeRService(dataset.database, dataset.causal_dag, config)
+        query = self.build_query(dataset)
+        first = service.execute(query).value
+        service.invalidate()
+        assert service.stats()["caches"]["views"]["size"] == 0
+        assert service.execute(query).value == first  # same data -> same answer
+        # two generations of fingerprints never collide
+        assert service.stats()["caches"]["estimators"]["size"] == 1
+
+    def test_dag_update_invalidates(self, dataset):
+        config = EngineConfig(regressor="linear")
+        service = HypeRService(dataset.database, dataset.causal_dag, config)
+        query = self.build_query(dataset)
+        with_dag = service.execute(query).value
+        service.update_causal_dag(None)
+        without_dag = service.execute(query).value
+        cold = HypeR(dataset.database, None, config).what_if(query).value
+        assert without_dag == cold
+        assert service.generation == 1
+        assert isinstance(with_dag, float)
