@@ -56,6 +56,7 @@ from .relational import (
 )
 from .causal import CausalDAG, CausalEdge, StructuralCausalModel
 from .service import HypeRService, PlanFingerprint
+from .shard import ShardPool, partition_database
 from .workloads import WorkloadGenerator
 
 __version__ = "1.0.0"
@@ -82,6 +83,7 @@ __all__ = [
     "Relation",
     "RelationSchema",
     "SetTo",
+    "ShardPool",
     "StructuralCausalModel",
     "UseSpec",
     "Variant",
@@ -91,6 +93,7 @@ __all__ = [
     "WorkloadGenerator",
     "col",
     "lit",
+    "partition_database",
     "post",
     "pre",
     "__version__",

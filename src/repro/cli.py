@@ -67,6 +67,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--exhaustive", action="store_true", help="use Opt-HowTo for how-to queries")
     query.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    query.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="evaluate through a pool of N shard worker processes "
+        "(block-decomposition sharding; answers are identical)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -92,7 +99,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="relational execution backend (default: columnar, or $REPRO_BACKEND)",
     )
     serve.add_argument(
-        "--workers", type=int, default=None, help="thread-pool size for POST /batch"
+        "--workers", type=int, default=None, help="worker count for POST /batch"
+    )
+    serve.add_argument(
+        "--execution",
+        default="threads",
+        choices=["threads", "processes"],
+        help="batch execution mode: in-process threads (default) or a "
+        "persistent pool of shard worker processes",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="number of shards/worker processes with --execution processes "
+        "(default: --workers, else CPU count capped at 8)",
     )
     return parser
 
@@ -157,16 +178,30 @@ def main(argv: Sequence[str] | None = None) -> int:
                 dataset.causal_dag,
                 config,
                 max_workers=args.workers,
+                execution=args.execution,
+                n_shards=args.shards,
             )
             print(f"serving dataset {args.dataset!r} ({dataset.database.total_rows} rows)")
-            run_server(service, host=args.host, port=args.port)
+            if args.execution == "processes":
+                # start workers before the threading HTTP server exists so
+                # the pool can fork from a single-threaded parent
+                service.start_pool()
+                print(f"execution: {service.n_shards} shard worker processes")
+            try:
+                run_server(service, host=args.host, port=args.port)
+            finally:
+                service.close()
             return 0
         # query
         session = _load_session(args)
         parsed = session.parse(args.text)
         from .core.queries import HowToQuery
 
-        if isinstance(parsed, HowToQuery) and args.exhaustive:
+        exhaustive = isinstance(parsed, HowToQuery) and args.exhaustive
+        if args.shards is not None:
+            with session.service(execution="processes", n_shards=args.shards) as service:
+                result = service.execute(parsed, exhaustive=exhaustive)
+        elif exhaustive:
             result = session.how_to(parsed, exhaustive=True)
         else:
             result = session.execute(args.text)

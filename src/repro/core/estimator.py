@@ -25,7 +25,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Mapping, Sequence
+from typing import Any, Callable, Hashable, Mapping, Sequence
 
 import numpy as np
 
@@ -132,6 +132,24 @@ class PostUpdateEstimator:
     _pending_fits: dict = field(default_factory=dict, repr=False)
     _n_regressor_fits: int = field(default=0, repr=False)
     _n_regressor_hits: int = field(default=0, repr=False)
+
+    def __getstate__(self) -> dict:
+        """Pickle without locks or in-flight fit events (shard/worker boundary).
+
+        Estimator *construction* is deterministic given (view, DAG projection,
+        attributes, config), so shard workers normally rebuild estimators
+        locally instead of receiving them; this hook keeps the object picklable
+        for callers that do ship one (fitted regressors travel along).
+        """
+        state = self.__dict__.copy()
+        state["_fit_lock"] = None
+        state["_pending_fits"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._fit_lock = threading.Lock()
+        self._pending_fits = {}
 
     def __post_init__(self) -> None:
         if self.rng is None:
@@ -251,7 +269,19 @@ class PostUpdateEstimator:
     def _fit_regressor(
         self, target: np.ndarray, cache_key: Hashable | None
     ) -> ConditionalMeanRegressor:
-        """Fetch or fit the regressor for ``target``, keyed by ``cache_key``.
+        return self.regressor_for(cache_key, lambda: target)
+
+    def regressor_for(
+        self,
+        cache_key: Hashable | None,
+        target_factory: Callable[[], np.ndarray],
+    ) -> ConditionalMeanRegressor:
+        """Fetch or fit the regressor for a training target, keyed by ``cache_key``.
+
+        ``target_factory`` produces the full-view training target and is only
+        invoked on a cache miss — shard workers exploit this to evaluate
+        queries over their own rows without touching full-view masks once
+        their plan's regressors are fitted (:mod:`repro.shard.local`).
 
         Keys are structured tuples (target kind, predicate identity, disjunct
         subset) built by the engines — see ``regressor_cache_key`` in
@@ -262,7 +292,7 @@ class PostUpdateEstimator:
         *different* keys run in parallel (the fit happens outside the lock).
         """
         if cache_key is None:
-            return self._fit_fresh(target)
+            return self._fit_fresh(np.asarray(target_factory(), dtype=float))
         while True:
             with self._fit_lock:
                 cached = self._regressor_cache.get(cache_key)
@@ -278,7 +308,7 @@ class PostUpdateEstimator:
             # Loop: the value is cached now, or the builder failed (or the
             # entry was immediately evicted) and we take over as builder.
         try:
-            regressor = self._fit_fresh(target)
+            regressor = self._fit_fresh(np.asarray(target_factory(), dtype=float))
         except BaseException:
             with self._fit_lock:
                 event = self._pending_fits.pop(cache_key, None)

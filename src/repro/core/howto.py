@@ -47,7 +47,15 @@ from .results import HowToResult
 from .updates import AttributeUpdate, MultiplyBy, SetTo, UpdateFunction, apply_update_column
 from .whatif import _MAX_DISJUNCTS, numeric_output_column, regressor_cache_key
 
-__all__ = ["CandidateUpdate", "HowToEngine", "PreparedHowTo"]
+__all__ = [
+    "CandidateUpdate",
+    "HowToEngine",
+    "PreparedHowTo",
+    "build_howto_program",
+    "candidate_contribution_rows",
+    "candidate_post_values",
+    "combine_candidate_value",
+]
 
 
 @dataclass(frozen=True)
@@ -80,6 +88,147 @@ class PreparedHowTo:
     output_values: np.ndarray
     aggregate_name: str
     for_key: Hashable = None
+
+
+# -- pure evaluation phases ----------------------------------------------------------
+#
+# Like :mod:`repro.core.whatif`, the per-candidate objective estimation is
+# factored into pure functions over prepared state so the shard subsystem can
+# evaluate disjoint row sets in worker processes and merge exactly: fits use
+# full-view targets, predictions are row-stable, and the final fold over a
+# merged full-length array reproduces the unsharded reduction bit for bit.
+
+
+def candidate_post_values(
+    query: HowToQuery,
+    shared: PreparedHowTo,
+    updates: Sequence[AttributeUpdate],
+) -> dict[str, Sequence[Any]]:
+    """Post-update columns for a concrete (possibly empty) update choice."""
+    post_values: dict[str, Sequence[Any]] = {}
+    by_attribute = {u.attribute: u.function for u in updates}
+    for attribute in query.update_attributes:
+        pre = shared.view.column_view(attribute)
+        if attribute in by_attribute:
+            post_values[attribute] = apply_update_column(
+                by_attribute[attribute], pre, shared.scope_mask
+            )
+        else:
+            post_values[attribute] = pre
+    return post_values
+
+
+def candidate_contribution_rows(
+    query: HowToQuery,
+    shared: PreparedHowTo,
+    post_values: dict[str, Sequence[Any]],
+    *,
+    row_mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row (count, sum) contributions of one candidate update choice.
+
+    Full-view-length arrays; entries outside ``row_mask`` (when given) are
+    zero.  ``sum`` is only populated for sum/avg objectives.
+    """
+    view = shared.view
+    n = len(view)
+    scope = np.asarray(shared.scope_mask, dtype=bool)
+    restrict = (
+        np.ones(n, dtype=bool) if row_mask is None else np.asarray(row_mask, dtype=bool)
+    )
+    if not post_values:
+        post_values = candidate_post_values(query, shared, [])
+    count_contrib = np.zeros(n)
+    sum_contrib = np.zeros(n)
+
+    qualifies_pre = np.zeros(n, dtype=bool)
+    for pre_mask, post_mask in zip(shared.pre_masks, shared.post_masks):
+        qualifies_pre |= pre_mask & post_mask
+    unaffected = ~scope & restrict
+    count_contrib[unaffected] = qualifies_pre[unaffected].astype(float)
+    sum_contrib[unaffected] = np.where(
+        qualifies_pre[unaffected], shared.output_values[unaffected], 0.0
+    )
+    if scope.any():
+        n_disjuncts = len(shared.pre_masks)
+        subsets = []
+        for size in range(1, n_disjuncts + 1):
+            subsets.extend(itertools.combinations(range(n_disjuncts), size))
+        for subset in subsets:
+            sign = 1.0 if len(subset) % 2 == 1 else -1.0
+            joint_post = np.ones(n, dtype=bool)
+            applicable = scope & restrict
+            for k in subset:
+                joint_post &= shared.post_masks[k]
+                applicable &= shared.pre_masks[k]
+            if not applicable.any():
+                continue
+            prob = shared.estimator.counterfactual_mean(
+                joint_post.astype(float),
+                applicable,
+                post_values,
+                cache_key=regressor_cache_key("count", subset, shared.for_key),
+            )
+            prob = np.clip(prob, 0.0, 1.0)
+            count_contrib[applicable] += sign * prob[applicable]
+            if shared.aggregate_name in ("sum", "avg"):
+                expected = shared.estimator.counterfactual_mean(
+                    shared.output_values * joint_post.astype(float),
+                    applicable,
+                    post_values,
+                    cache_key=regressor_cache_key(
+                        "sum", subset, shared.for_key, query.objective_attribute
+                    ),
+                )
+                sum_contrib[applicable] += sign * expected[applicable]
+    return count_contrib, sum_contrib
+
+
+def combine_candidate_value(
+    aggregate_name: str, count_contrib: np.ndarray, sum_contrib: np.ndarray
+) -> float:
+    """Fold per-row candidate contributions into the objective value."""
+    expected_count = float(count_contrib.sum())
+    if aggregate_name == "count":
+        return expected_count
+    if aggregate_name == "sum":
+        return float(sum_contrib.sum())
+    if expected_count <= 0:
+        return 0.0
+    return float(sum_contrib.sum()) / expected_count
+
+
+def build_howto_program(
+    query: HowToQuery,
+    candidates: Sequence[CandidateUpdate],
+    coefficients: dict[CandidateUpdate, float],
+    baseline: float,
+) -> tuple[IntegerProgram, dict[CandidateUpdate, str]]:
+    """The 0/1 integer program of Section 4.3 for a coefficient assignment."""
+    program = IntegerProgram(name=f"howto:{query.name}")
+    variable_of: dict[CandidateUpdate, str] = {}
+    for index, candidate in enumerate(candidates):
+        name = f"u{index}_{candidate.attribute}"
+        program.add_binary(name)
+        variable_of[candidate] = name
+    for attribute in query.update_attributes:
+        terms = {
+            variable_of[c]: 1.0 for c in candidates if c.attribute == attribute
+        }
+        if terms:
+            program.add_constraint(terms, "<=", 1.0, name=f"at-most-one:{attribute}")
+    if query.max_updates is not None:
+        program.add_constraint(
+            {variable_of[c]: 1.0 for c in candidates},
+            "<=",
+            float(query.max_updates),
+            name="budget",
+        )
+    objective = LinearExpression(
+        {variable_of[c]: coefficients[c] for c in candidates}, baseline
+    )
+    program.set_objective(objective, maximize=query.maximize)
+    return program, variable_of
 
 
 @dataclass
@@ -462,17 +611,7 @@ class HowToEngine:
         shared: PreparedHowTo,
         updates: Sequence[AttributeUpdate],
     ) -> dict[str, Sequence[Any]]:
-        post_values: dict[str, Sequence[Any]] = {}
-        by_attribute = {u.attribute: u.function for u in updates}
-        for attribute in query.update_attributes:
-            pre = shared.view.column_view(attribute)
-            if attribute in by_attribute:
-                post_values[attribute] = apply_update_column(
-                    by_attribute[attribute], pre, shared.scope_mask
-                )
-            else:
-                post_values[attribute] = pre
-        return post_values
+        return candidate_post_values(query, shared, updates)
 
     def _candidate_value(
         self,
@@ -481,62 +620,10 @@ class HowToEngine:
         post_values: dict[str, Sequence[Any]],
     ) -> float:
         """Estimated objective value for a concrete (possibly empty) update choice."""
-        view = shared.view
-        n = len(view)
-        scope = np.asarray(shared.scope_mask, dtype=bool)
-        if not post_values:
-            post_values = self._post_values_for(query, shared, [])
-        count_contrib = np.zeros(n)
-        sum_contrib = np.zeros(n)
-
-        qualifies_pre = np.zeros(n, dtype=bool)
-        for pre_mask, post_mask in zip(shared.pre_masks, shared.post_masks):
-            qualifies_pre |= pre_mask & post_mask
-        unaffected = ~scope
-        count_contrib[unaffected] = qualifies_pre[unaffected].astype(float)
-        sum_contrib[unaffected] = np.where(
-            qualifies_pre[unaffected], shared.output_values[unaffected], 0.0
+        count_contrib, sum_contrib = candidate_contribution_rows(
+            query, shared, post_values
         )
-        if scope.any():
-            n_disjuncts = len(shared.pre_masks)
-            subsets = []
-            for size in range(1, n_disjuncts + 1):
-                subsets.extend(itertools.combinations(range(n_disjuncts), size))
-            for subset in subsets:
-                sign = 1.0 if len(subset) % 2 == 1 else -1.0
-                joint_post = np.ones(n, dtype=bool)
-                applicable = scope.copy()
-                for k in subset:
-                    joint_post &= shared.post_masks[k]
-                    applicable &= shared.pre_masks[k]
-                if not applicable.any():
-                    continue
-                prob = shared.estimator.counterfactual_mean(
-                    joint_post.astype(float),
-                    applicable,
-                    post_values,
-                    cache_key=regressor_cache_key("count", subset, shared.for_key),
-                )
-                prob = np.clip(prob, 0.0, 1.0)
-                count_contrib[applicable] += sign * prob[applicable]
-                if shared.aggregate_name in ("sum", "avg"):
-                    expected = shared.estimator.counterfactual_mean(
-                        shared.output_values * joint_post.astype(float),
-                        applicable,
-                        post_values,
-                        cache_key=regressor_cache_key(
-                            "sum", subset, shared.for_key, query.objective_attribute
-                        ),
-                    )
-                    sum_contrib[applicable] += sign * expected[applicable]
-        expected_count = float(count_contrib.sum())
-        if shared.aggregate_name == "count":
-            return expected_count
-        if shared.aggregate_name == "sum":
-            return float(sum_contrib.sum())
-        if expected_count <= 0:
-            return 0.0
-        return float(sum_contrib.sum()) / expected_count
+        return combine_candidate_value(shared.aggregate_name, count_contrib, sum_contrib)
 
     def _candidate_coefficients(
         self,
@@ -563,27 +650,4 @@ class HowToEngine:
         coefficients: dict[CandidateUpdate, float],
         baseline: float,
     ) -> tuple[IntegerProgram, dict[CandidateUpdate, str]]:
-        program = IntegerProgram(name=f"howto:{query.name}")
-        variable_of: dict[CandidateUpdate, str] = {}
-        for index, candidate in enumerate(candidates):
-            name = f"u{index}_{candidate.attribute}"
-            program.add_binary(name)
-            variable_of[candidate] = name
-        for attribute in query.update_attributes:
-            terms = {
-                variable_of[c]: 1.0 for c in candidates if c.attribute == attribute
-            }
-            if terms:
-                program.add_constraint(terms, "<=", 1.0, name=f"at-most-one:{attribute}")
-        if query.max_updates is not None:
-            program.add_constraint(
-                {variable_of[c]: 1.0 for c in candidates},
-                "<=",
-                float(query.max_updates),
-                name="budget",
-            )
-        objective = LinearExpression(
-            {variable_of[c]: coefficients[c] for c in candidates}, baseline
-        )
-        program.set_objective(objective, maximize=query.maximize)
-        return program, variable_of
+        return build_howto_program(query, candidates, coefficients, baseline)

@@ -49,6 +49,11 @@ from .results import BlockContribution, LazyBlockContributions, WhatIfResult
 __all__ = [
     "PreparedWhatIf",
     "WhatIfEngine",
+    "causal_contribution_rows",
+    "combine_aggregate",
+    "block_contribution_summary",
+    "finalize_what_if",
+    "indep_contribution_rows",
     "numeric_output_column",
     "regressor_cache_key",
 ]
@@ -111,6 +116,196 @@ class PreparedWhatIf:
     block_of_row: np.ndarray
     n_blocks: int
     for_key: Hashable = None
+
+
+# -- pure evaluation phases ----------------------------------------------------------
+#
+# The functions below are the shard-safe core of what-if evaluation: they
+# close over no engine state, take picklable inputs, and optionally restrict
+# accumulation (and estimator *prediction*) to a boolean ``row_mask`` of view
+# rows.  Restriction is exact: regressors are always fitted on the full-view
+# training targets (so every shard fits the bitwise-identical model), and
+# per-row predictions are row-stable, so contributions computed for a shard's
+# rows equal the same rows of an unsharded evaluation bit for bit.  The
+# shard subsystem (:mod:`repro.shard`) merges such per-row contributions and
+# finishes with :func:`finalize_what_if`, the same reduction the unsharded
+# path runs.
+
+
+def _subset_index_list(n: int) -> list[tuple[int, ...]]:
+    out: list[tuple[int, ...]] = []
+    for size in range(1, n + 1):
+        out.extend(combinations(range(n), size))
+    return out
+
+
+def causal_contribution_rows(
+    query: WhatIfQuery,
+    prepared: PreparedWhatIf,
+    estimator: PostUpdateEstimator,
+    *,
+    row_mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row (count, sum) contributions of the causal variants.
+
+    Returns full-view-length float arrays; entries outside ``row_mask`` (when
+    given) are zero and must be taken from other shards.  ``sum`` entries are
+    only populated when the query's aggregate needs output values.
+    """
+    aggregate = get_aggregate(query.output_aggregate)
+    view = prepared.view
+    n = len(view)
+    scope = prepared.scope_mask
+    restrict = (
+        np.ones(n, dtype=bool) if row_mask is None else np.asarray(row_mask, dtype=bool)
+    )
+    output_values = numeric_output_column(view, query.output_attribute)
+
+    # Pre-part satisfaction per disjunct (deterministic, observed values).
+    pre_masks = [evaluate_mask(d.pre, view) for d in prepared.disjuncts]
+    # Post-part indicators evaluated on the observed data (training targets).
+    post_masks = [evaluate_mask(d.post, view) for d in prepared.disjuncts]
+
+    count_contrib = np.zeros(n)
+    sum_contrib = np.zeros(n)
+
+    # -- unaffected tuples: post values equal pre values, everything deterministic.
+    unaffected = ~scope & restrict
+    qualifies_pre = np.zeros(n, dtype=bool)
+    for pre_mask, post_mask in zip(pre_masks, post_masks):
+        qualifies_pre |= pre_mask & post_mask
+    count_contrib[unaffected] = qualifies_pre[unaffected].astype(float)
+    sum_contrib[unaffected] = np.where(
+        qualifies_pre[unaffected], output_values[unaffected], 0.0
+    )
+
+    # -- affected tuples: inclusion–exclusion over disjunct subsets (Sec. A.2.3).
+    # The branch condition uses the full-view scope so a shard that owns no
+    # affected row still follows the unsharded control flow (the final clip).
+    if scope.any():
+        for subset in _subset_index_list(len(prepared.disjuncts)):
+            sign = 1.0 if len(subset) % 2 == 1 else -1.0
+            joint_post = np.ones(n, dtype=bool)
+            # Rows where every pre-part in the subset holds contribute this term.
+            applicable = scope & restrict
+            for k in subset:
+                joint_post &= post_masks[k]
+                applicable &= pre_masks[k]
+            if not applicable.any():
+                continue
+            prob = estimator.counterfactual_mean(
+                joint_post.astype(float),
+                applicable,
+                prepared.post_values,
+                cache_key=regressor_cache_key("count", subset, prepared.for_key),
+            )
+            prob = np.clip(prob, 0.0, 1.0)
+            count_contrib[applicable] += sign * prob[applicable]
+            if aggregate.needs_output_value:
+                value_target = output_values * joint_post.astype(float)
+                expected_value = estimator.counterfactual_mean(
+                    value_target,
+                    applicable,
+                    prepared.post_values,
+                    cache_key=regressor_cache_key(
+                        "sum", subset, prepared.for_key, query.output_attribute
+                    ),
+                )
+                sum_contrib[applicable] += sign * expected_value[applicable]
+        # Per-tuple qualification probabilities live in [0, 1]; clip estimator overshoot.
+        count_contrib = np.clip(count_contrib, 0.0, 1.0)
+    return count_contrib, sum_contrib
+
+
+def indep_contribution_rows(
+    query: WhatIfQuery,
+    prepared: PreparedWhatIf,
+    *,
+    row_mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row contributions of the Indep baseline (no causal propagation)."""
+    view = prepared.view
+    post_view = view
+    for attribute, values in prepared.post_values.items():
+        post_view = post_view.with_column(attribute, values)
+    qualify = evaluate_mask(query.for_clause, view, post_view)
+    if row_mask is not None:
+        qualify = qualify & np.asarray(row_mask, dtype=bool)
+    output_values = numeric_output_column(post_view, query.output_attribute)
+    count_contrib = qualify.astype(float)
+    sum_contrib = np.where(qualify, output_values, 0.0)
+    return count_contrib, sum_contrib
+
+
+def combine_aggregate(
+    aggregate: str, count_contrib: np.ndarray, sum_contrib: np.ndarray
+) -> tuple[float, float]:
+    """Fold per-row contributions into ``(value, expected_qualifying_count)``."""
+    expected_count = float(count_contrib.sum())
+    if aggregate == "count":
+        return expected_count, expected_count
+    if aggregate == "sum":
+        return float(sum_contrib.sum()), expected_count
+    # avg: ratio of expected sum to expected qualifying count
+    if expected_count <= 0:
+        return 0.0, expected_count
+    return float(sum_contrib.sum()) / expected_count, expected_count
+
+
+def block_contribution_summary(
+    aggregate: str,
+    count_contrib: np.ndarray,
+    sum_contrib: np.ndarray,
+    block_of_row: np.ndarray,
+    n_blocks: int,
+    scope: np.ndarray,
+) -> LazyBlockContributions:
+    """Per-block partial answers (Proposition 1) from per-row contributions."""
+    per_row = count_contrib if aggregate == "count" else sum_contrib
+    totals = np.bincount(block_of_row, weights=per_row, minlength=n_blocks)
+    sizes = np.bincount(block_of_row, minlength=n_blocks)
+    scope_sizes = np.bincount(block_of_row[scope], minlength=n_blocks)
+    return LazyBlockContributions(np.flatnonzero(sizes), totals, sizes, scope_sizes)
+
+
+def finalize_what_if(
+    query: WhatIfQuery,
+    count_contrib: np.ndarray,
+    sum_contrib: np.ndarray,
+    *,
+    scope_mask: np.ndarray,
+    block_of_row: np.ndarray,
+    n_blocks: int,
+    backdoor_set: tuple[str, ...],
+    variant: str,
+    metadata: dict[str, Any] | None = None,
+) -> WhatIfResult:
+    """Reduce merged per-row contributions into a :class:`WhatIfResult`.
+
+    This is the single aggregation path shared by the unsharded engine and the
+    shard merge: both hand it full-view-length contribution arrays, so a
+    sharded evaluation reduces in exactly the same order as an unsharded one.
+    """
+    aggregate = get_aggregate(query.output_aggregate)
+    value, expected_count = combine_aggregate(
+        aggregate.name, count_contrib, sum_contrib
+    )
+    blocks = block_contribution_summary(
+        aggregate.name, count_contrib, sum_contrib, block_of_row, n_blocks, scope_mask
+    )
+    return WhatIfResult(
+        value=value,
+        aggregate=aggregate.name,
+        output_attribute=query.output_attribute,
+        n_view_tuples=len(count_contrib),
+        n_scope_tuples=int(scope_mask.sum()),
+        n_blocks=n_blocks,
+        block_contributions=blocks,
+        backdoor_set=backdoor_set,
+        variant=variant,
+        expected_qualifying_count=expected_count,
+        metadata=metadata or {},
+    )
 
 
 @dataclass
@@ -317,81 +512,18 @@ class WhatIfEngine:
         prepared: PreparedWhatIf,
         estimator: PostUpdateEstimator,
     ) -> WhatIfResult:
-        aggregate = get_aggregate(query.output_aggregate)
-        view = prepared.view
-        n = len(view)
-        scope = prepared.scope_mask
-        output_values = self._numeric_output(view, query.output_attribute)
-
-        # Pre-part satisfaction per disjunct (deterministic, observed values).
-        pre_masks = [evaluate_mask(d.pre, view) for d in prepared.disjuncts]
-        # Post-part indicators evaluated on the observed data (training targets).
-        post_masks = [evaluate_mask(d.post, view) for d in prepared.disjuncts]
-
-        count_contrib = np.zeros(n)
-        sum_contrib = np.zeros(n)
-
-        # -- unaffected tuples: post values equal pre values, everything deterministic.
-        unaffected = ~scope
-        qualifies_pre = np.zeros(n, dtype=bool)
-        for pre_mask, post_mask in zip(pre_masks, post_masks):
-            qualifies_pre |= pre_mask & post_mask
-        count_contrib[unaffected] = qualifies_pre[unaffected].astype(float)
-        sum_contrib[unaffected] = np.where(
-            qualifies_pre[unaffected], output_values[unaffected], 0.0
+        count_contrib, sum_contrib = causal_contribution_rows(
+            query, prepared, estimator
         )
-
-        # -- affected tuples: inclusion–exclusion over disjunct subsets (Sec. A.2.3).
-        if scope.any():
-            subset_signs, subset_post_masks = self._disjunct_subsets(
-                prepared.disjuncts, post_masks
-            )
-            for subset, sign, joint_post in zip(
-                self._subset_indices(len(prepared.disjuncts)), subset_signs, subset_post_masks
-            ):
-                # Rows where every pre-part in the subset holds contribute this term.
-                applicable = scope.copy()
-                for k in subset:
-                    applicable &= pre_masks[k]
-                if not applicable.any():
-                    continue
-                prob = estimator.counterfactual_mean(
-                    joint_post.astype(float),
-                    applicable,
-                    prepared.post_values,
-                    cache_key=regressor_cache_key("count", subset, prepared.for_key),
-                )
-                prob = np.clip(prob, 0.0, 1.0)
-                count_contrib[applicable] += sign * prob[applicable]
-                if aggregate.needs_output_value:
-                    value_target = output_values * joint_post.astype(float)
-                    expected_value = estimator.counterfactual_mean(
-                        value_target,
-                        applicable,
-                        prepared.post_values,
-                        cache_key=regressor_cache_key(
-                            "sum", subset, prepared.for_key, query.output_attribute
-                        ),
-                    )
-                    sum_contrib[applicable] += sign * expected_value[applicable]
-            # Per-tuple qualification probabilities live in [0, 1]; clip estimator overshoot.
-            count_contrib = np.clip(count_contrib, 0.0, 1.0)
-
-        value, expected_count = self._combine(aggregate.name, count_contrib, sum_contrib)
-        blocks = self._block_contributions(
-            aggregate.name, count_contrib, sum_contrib, prepared, scope
-        )
-        return WhatIfResult(
-            value=value,
-            aggregate=aggregate.name,
-            output_attribute=query.output_attribute,
-            n_view_tuples=n,
-            n_scope_tuples=int(scope.sum()),
+        return finalize_what_if(
+            query,
+            count_contrib,
+            sum_contrib,
+            scope_mask=prepared.scope_mask,
+            block_of_row=prepared.block_of_row,
             n_blocks=prepared.n_blocks,
-            block_contributions=blocks,
             backdoor_set=estimator.backdoor_set,
             variant=self.config.variant,
-            expected_qualifying_count=expected_count,
             metadata={
                 "n_training_rows": estimator.n_training_rows,
                 "n_disjuncts": len(prepared.disjuncts),
@@ -399,85 +531,19 @@ class WhatIfEngine:
             },
         )
 
-    def _disjunct_subsets(
-        self, disjuncts: list[Conjunction], post_masks: list[np.ndarray]
-    ) -> tuple[list[float], list[np.ndarray]]:
-        signs: list[float] = []
-        joint_masks: list[np.ndarray] = []
-        for subset in self._subset_indices(len(disjuncts)):
-            sign = 1.0 if len(subset) % 2 == 1 else -1.0
-            joint = np.ones(len(post_masks[0]), dtype=bool)
-            for k in subset:
-                joint &= post_masks[k]
-            signs.append(sign)
-            joint_masks.append(joint)
-        return signs, joint_masks
-
-    @staticmethod
-    def _subset_indices(n: int) -> list[tuple[int, ...]]:
-        out: list[tuple[int, ...]] = []
-        for size in range(1, n + 1):
-            out.extend(combinations(range(n), size))
-        return out
-
-    def _numeric_output(self, view: Relation, attribute: str) -> np.ndarray:
-        return numeric_output_column(view, attribute)
-
-    def _combine(
-        self, aggregate: str, count_contrib: np.ndarray, sum_contrib: np.ndarray
-    ) -> tuple[float, float]:
-        expected_count = float(count_contrib.sum())
-        if aggregate == "count":
-            return expected_count, expected_count
-        if aggregate == "sum":
-            return float(sum_contrib.sum()), expected_count
-        # avg: ratio of expected sum to expected qualifying count
-        if expected_count <= 0:
-            return 0.0, expected_count
-        return float(sum_contrib.sum()) / expected_count, expected_count
-
-    def _block_contributions(
-        self,
-        aggregate: str,
-        count_contrib: np.ndarray,
-        sum_contrib: np.ndarray,
-        prepared: PreparedWhatIf,
-        scope: np.ndarray,
-    ) -> LazyBlockContributions:
-        per_row = count_contrib if aggregate == "count" else sum_contrib
-        n_blocks = prepared.n_blocks
-        totals = np.bincount(prepared.block_of_row, weights=per_row, minlength=n_blocks)
-        sizes = np.bincount(prepared.block_of_row, minlength=n_blocks)
-        scope_sizes = np.bincount(prepared.block_of_row[scope], minlength=n_blocks)
-        return LazyBlockContributions(np.flatnonzero(sizes), totals, sizes, scope_sizes)
-
     # -- Indep baseline ---------------------------------------------------------------------
 
     def _evaluate_indep(self, query: WhatIfQuery, prepared: PreparedWhatIf) -> WhatIfResult:
         """Provenance-style baseline: the update does not propagate to other attributes."""
-        aggregate = get_aggregate(query.output_aggregate)
-        view = prepared.view
-        post_view = view
-        for attribute, values in prepared.post_values.items():
-            post_view = post_view.with_column(attribute, values)
-        qualify = evaluate_mask(query.for_clause, view, post_view)
-        output_values = self._numeric_output(post_view, query.output_attribute)
-        count_contrib = qualify.astype(float)
-        sum_contrib = np.where(qualify, output_values, 0.0)
-        value, expected_count = self._combine(aggregate.name, count_contrib, sum_contrib)
-        blocks = self._block_contributions(
-            aggregate.name, count_contrib, sum_contrib, prepared, prepared.scope_mask
-        )
-        return WhatIfResult(
-            value=value,
-            aggregate=aggregate.name,
-            output_attribute=query.output_attribute,
-            n_view_tuples=len(view),
-            n_scope_tuples=int(prepared.scope_mask.sum()),
+        count_contrib, sum_contrib = indep_contribution_rows(query, prepared)
+        return finalize_what_if(
+            query,
+            count_contrib,
+            sum_contrib,
+            scope_mask=prepared.scope_mask,
+            block_of_row=prepared.block_of_row,
             n_blocks=prepared.n_blocks,
-            block_contributions=blocks,
             backdoor_set=(),
             variant=Variant.INDEP,
-            expected_qualifying_count=expected_count,
             metadata={"n_disjuncts": len(prepared.disjuncts)},
         )

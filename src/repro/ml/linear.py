@@ -62,7 +62,12 @@ class LinearRegression:
             raise EstimationError(
                 f"expected {self.coefficients.shape[0]} features, got {features.shape[1]}"
             )
-        return features @ self.coefficients + self.intercept
+        # Row-stable dot product: einsum accumulates each row independently in
+        # a fixed order, so predicting any subset of rows is bitwise identical
+        # to slicing a full-matrix prediction.  BLAS gemv (``features @ coef``)
+        # does not guarantee this, and the shard-merge protocol
+        # (:mod:`repro.shard.merge`) relies on per-row reproducibility.
+        return np.einsum("ij,j->i", features, self.coefficients) + self.intercept
 
 
 @dataclass

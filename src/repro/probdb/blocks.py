@@ -24,7 +24,7 @@ factor), matching the complexity claim in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterable
+from typing import Any, Hashable, Iterable, Sequence
 
 import numpy as np
 
@@ -32,7 +32,14 @@ from ..causal.dag import CausalDAG
 from ..exceptions import CausalModelError
 from ..relational.database import Database
 
-__all__ = ["Block", "BlockDecomposition", "block_labels", "decompose_into_blocks"]
+__all__ = [
+    "Block",
+    "BlockDecomposition",
+    "assign_blocks_to_shards",
+    "block_labels",
+    "decompose_into_blocks",
+    "shard_row_masks",
+]
 
 
 TupleId = tuple[str, int]  # (relation name, row position)
@@ -255,6 +262,59 @@ def block_labels(
         for relation in database.relation_names
     }
     return labels, len(ordered_roots)
+
+
+def assign_blocks_to_shards(block_sizes: Sequence[int] | np.ndarray, n_shards: int) -> np.ndarray:
+    """Deterministic, size-balanced assignment of blocks to shards.
+
+    This is the *stable shard-assignment API* the shard subsystem
+    (:mod:`repro.shard`) builds on: given the tuple count of every block of a
+    decomposition, return ``shard_of_block`` such that
+    ``shard_of_block[block_index]`` names the shard owning that block.  Because
+    blocks are independent (Proposition 1), any block-to-shard mapping yields
+    an exact parallel evaluation; this one uses longest-processing-time greedy
+    packing — blocks sorted by (size desc, index asc), each assigned to the
+    least-loaded shard so far, ties broken by the lowest shard index — which is
+    deterministic across runs, processes and platforms.
+
+    When ``n_shards`` exceeds the number of blocks, trailing shards simply own
+    no blocks (the single-block edge case degenerates to one working shard).
+    """
+    if n_shards < 1:
+        raise CausalModelError(f"n_shards must be at least 1, got {n_shards}")
+    sizes = np.asarray(block_sizes, dtype=np.int64)
+    shard_of_block = np.zeros(len(sizes), dtype=np.int64)
+    if n_shards == 1 or len(sizes) == 0:
+        return shard_of_block
+    loads = [0] * n_shards
+    order = sorted(range(len(sizes)), key=lambda b: (-int(sizes[b]), b))
+    for block in order:
+        shard = min(range(n_shards), key=lambda s: (loads[s], s))
+        shard_of_block[block] = shard
+        loads[shard] += int(sizes[block])
+    return shard_of_block
+
+
+def shard_row_masks(
+    labels: dict[str, np.ndarray], shard_of_block: np.ndarray, n_shards: int
+) -> list[dict[str, np.ndarray]]:
+    """Per-shard boolean row masks over every relation of a labelled database.
+
+    ``labels`` is the per-relation block assignment from :func:`block_labels`;
+    the returned list has one ``{relation: mask}`` dict per shard, and the
+    masks of any relation partition its rows exactly (each row belongs to the
+    shard owning its block).
+    """
+    out: list[dict[str, np.ndarray]] = []
+    shard_of_row = {
+        relation: shard_of_block[relation_labels]
+        for relation, relation_labels in labels.items()
+    }
+    for shard in range(n_shards):
+        out.append(
+            {relation: rows == shard for relation, rows in shard_of_row.items()}
+        )
+    return out
 
 
 def _merge_linked(uf: _UnionFind, database: Database, relation_a: str, relation_b: str) -> None:

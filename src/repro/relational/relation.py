@@ -139,6 +139,22 @@ class Relation:
         out._colstore_lock = threading.Lock()
         return out
 
+    # -- pickling ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle without the colstore lock (shard workers receive relations).
+
+        The typed column store itself is carried along when already built, so
+        a worker process does not redo the materialisation.
+        """
+        state = self.__dict__.copy()
+        del state["_colstore_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._colstore_lock = threading.Lock()
+
     def columnar_store(self) -> ColumnStore:
         """The typed :class:`ColumnStore` of this relation (built lazily, cached).
 

@@ -18,7 +18,7 @@ system (the ROADMAP's production north star):
 See ``docs/service.md`` for the architecture and invalidation rules.
 """
 
-from .cache import CacheStats, LRUCache, QueryCaches
+from .cache import CacheStats, LRUCache, QueryCaches, TTLCache
 from .executor import BatchExecutor, default_max_workers
 from .fingerprint import (
     PlanFingerprint,
@@ -29,6 +29,7 @@ from .fingerprint import (
     fingerprint_what_if,
     update_key,
     use_key,
+    use_relations,
 )
 from .server import make_server, serve
 from .session import HypeRService, PreparedPlan
@@ -41,6 +42,7 @@ __all__ = [
     "PlanFingerprint",
     "PreparedPlan",
     "QueryCaches",
+    "TTLCache",
     "config_key",
     "dag_key",
     "default_max_workers",
@@ -51,4 +53,5 @@ __all__ = [
     "serve",
     "update_key",
     "use_key",
+    "use_relations",
 ]

@@ -1,7 +1,10 @@
-"""Concurrent batch execution of query suites.
+"""Concurrent batch execution of query suites (thread mode).
 
 ``execute_many`` on :class:`~repro.service.session.HypeRService` delegates
-here.  The executor:
+here in ``execution="threads"`` mode (``execution="processes"`` routes to the
+shard worker pool in :mod:`repro.shard.pool` instead — pick processes when
+CPU-bound regressor fits dominate and the GIL is the bottleneck, threads when
+the working set is cache-hot and fits are amortised).  The executor:
 
 1. fingerprints every query and groups the batch by estimator key, so all
    parameter variants of one logical plan share state;

@@ -8,7 +8,10 @@ only change cheap vectorized arithmetic at prediction time.  This module
 separates the two so the service layer can reuse the expensive state:
 
 * :attr:`PlanFingerprint.estimator_key` — identity of the fitted
-  :class:`~repro.core.estimator.PostUpdateEstimator`: database generation,
+  :class:`~repro.core.estimator.PostUpdateEstimator`: database generation
+  (any hashable — the service passes the per-relation generation vector of
+  the relations the plan reads, so an update to an unrelated relation leaves
+  the key, and with it the cached estimator, intact),
   causal-DAG identity, ``Use`` specification, update/output attributes, the
   *structural* identity of the ``For`` clause (literals masked — they select
   regression targets, which the estimator disambiguates internally via
@@ -51,6 +54,7 @@ __all__ = [
     "fingerprint_how_to",
     "update_key",
     "use_key",
+    "use_relations",
 ]
 
 
@@ -62,6 +66,20 @@ def dag_key(dag: CausalDAG | None) -> Hashable:
         sorted((e.source, e.target, e.cross_tuple, e.within or "") for e in dag.edges)
     )
     return ("dag", tuple(sorted(dag.nodes)), edges)
+
+
+def use_relations(use: UseSpec) -> frozenset[str]:
+    """The relations a ``Use`` specification reads (dependency tags).
+
+    This is the dependency set behind fine-grained invalidation: views,
+    estimators and candidate enumerations built from a plan depend on exactly
+    these relations, so a database update touching none of them leaves the
+    cached state valid.
+    """
+    relations = {use.base_relation}
+    relations.update(agg.relation for agg in use.aggregated)
+    relations.update(use.joins)
+    return frozenset(relations)
 
 
 def use_key(use: UseSpec) -> Hashable:
@@ -147,7 +165,7 @@ def fingerprint_what_if(
     query: WhatIfQuery,
     config: EngineConfig,
     *,
-    generation: int = 0,
+    generation: Hashable = 0,
     dag: CausalDAG | None = None,
     dag_identity: Hashable | None = None,
 ) -> PlanFingerprint:
@@ -184,7 +202,7 @@ def fingerprint_how_to(
     query: HowToQuery,
     config: EngineConfig,
     *,
-    generation: int = 0,
+    generation: Hashable = 0,
     dag: CausalDAG | None = None,
     dag_identity: Hashable | None = None,
 ) -> PlanFingerprint:
@@ -230,7 +248,7 @@ def fingerprint_query(
     query: WhatIfQuery | HowToQuery,
     config: EngineConfig,
     *,
-    generation: int = 0,
+    generation: Hashable = 0,
     dag: CausalDAG | None = None,
     dag_identity: Hashable | None = None,
 ) -> PlanFingerprint:

@@ -4,22 +4,30 @@
 the per-query :class:`repro.core.engine.HypeR` library facade.  It holds one
 database + causal DAG + engine configuration and, across queries:
 
-* caches materialised relevant views, fitted estimators and the block
-  decomposition, keyed by :mod:`plan fingerprints <repro.service.fingerprint>`
-  that embed a **generation counter** — ``update_database`` /
-  ``update_causal_dag`` / ``invalidate`` bump the counter, so stale state can
-  never be served;
-* executes query batches concurrently through
-  :class:`~repro.service.executor.BatchExecutor` (``execute_many``);
+* caches materialised relevant views, fitted estimators, block decompositions
+  and final **results**, keyed by :mod:`plan fingerprints
+  <repro.service.fingerprint>` that embed **per-relation generation
+  counters** — ``update_database`` bumps only the generations of the
+  relations that actually changed, so estimators and views built from other
+  relations stay warm, while ``update_causal_dag`` / ``invalidate`` bump
+  everything;
+* executes query batches concurrently — through
+  :class:`~repro.service.executor.BatchExecutor` threads
+  (``execution="threads"``, the default) or through a persistent
+  :class:`~repro.shard.pool.ShardPool` of worker **processes** over a
+  block-decomposition partition (``execution="processes"``, see
+  :mod:`repro.shard`), whose merged answers are bitwise equal to the
+  single-process path;
 * reports instrumentation through :meth:`stats`.
 
 Concurrency model: every generation-dependent piece (database, engines, DAG
-identity, counter) lives in one immutable ``_EngineState`` snapshot that each
+identity, counters) lives in one immutable ``_EngineState`` snapshot that each
 query reads exactly once, so a query observes either the old or the new
 generation in full — never a mix — even when ``update_database`` runs
-mid-flight.  Cache keys embed the snapshot's generation; entries an in-flight
-old-generation query inserts after an invalidation are unreachable from the
-new generation and age out of the bounded LRU.
+mid-flight.  Cache keys embed the snapshot's generation vector; entries an
+in-flight old-generation query inserts after an invalidation are unreachable
+from the new generation and age out of the bounded LRU (targeted eviction by
+relation tag reclaims the reachable ones eagerly).
 
 Typical use::
 
@@ -28,14 +36,19 @@ Typical use::
     results = service.execute_many(queries)      # shared plans, thread pool
     one = service.execute("USE Credit UPDATE(Status) = 4 ...")
     print(service.stats()["caches"]["estimators"]["hit_rate"])
+
+    sharded = HypeRService(dataset.database, dataset.causal_dag, config,
+                           execution="processes", n_shards=4)
+    results = sharded.execute_many(queries)      # shard workers, exact merge
+    sharded.close()
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
-from typing import Any, Hashable, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Hashable, Sequence
 
 from ..causal.dag import CausalDAG
 from ..core.config import EngineConfig
@@ -51,13 +64,29 @@ from ..relational.database import Database
 from ..relational.relation import Relation
 from ..relational.view import UseSpec
 from .cache import QueryCaches
-from .executor import BatchExecutor
-from .fingerprint import PlanFingerprint, dag_key, fingerprint_query, use_key
+from .executor import BatchExecutor, default_max_workers
+from .fingerprint import (
+    PlanFingerprint,
+    dag_key,
+    fingerprint_query,
+    use_key,
+    use_relations,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..shard.pool import ShardPool
 
 __all__ = ["HypeRService", "PreparedPlan"]
 
 Query = WhatIfQuery | HowToQuery
 Result = WhatIfResult | HowToResult
+
+EXECUTION_MODES = ("threads", "processes")
+
+
+def _estimator_weight(estimator: PostUpdateEstimator) -> int:
+    """Cost weight of a cached estimator: training rows × feature columns."""
+    return estimator.n_training_rows * max(1, len(estimator.feature_attributes))
 
 
 @dataclass(frozen=True)
@@ -70,6 +99,10 @@ class _EngineState:
     dag_identity: Hashable
     whatif: WhatIfEngine
     howto: HowToEngine
+    #: generation counter per relation; only the counters of relations a plan
+    #: reads enter its fingerprint, which is what keeps unrelated plans warm
+    #: across partial database updates.  Treated as immutable.
+    relation_generations: dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def build(
@@ -78,11 +111,14 @@ class _EngineState:
         database: Database,
         causal_dag: CausalDAG | None,
         config: EngineConfig,
+        relation_generations: dict[str, int] | None = None,
     ) -> "_EngineState":
         whatif = WhatIfEngine(database, causal_dag, config)
         # Reuse the (possibly backend-converted) database so both engines and
         # every cached view share one set of relations and column stores.
         howto = HowToEngine(whatif.database, causal_dag, config)
+        if relation_generations is None:
+            relation_generations = {name: 0 for name in whatif.database.relation_names}
         return cls(
             generation=generation,
             database=whatif.database,
@@ -90,7 +126,17 @@ class _EngineState:
             dag_identity=dag_key(causal_dag),
             whatif=whatif,
             howto=howto,
+            relation_generations=relation_generations,
         )
+
+    def generation_key(self, relations: Sequence[str] | frozenset[str]) -> Hashable:
+        """The generation vector of ``relations`` (a stable hashable)."""
+        return ("gens",) + tuple(
+            (name, self.relation_generations.get(name, 0)) for name in sorted(relations)
+        )
+
+    def all_relations_key(self) -> Hashable:
+        return self.generation_key(self.database.relation_names)
 
 
 class PreparedPlan:
@@ -124,12 +170,27 @@ class HypeRService:
         Exactly as for :class:`repro.core.engine.HypeR`.
     estimator_cache_size / view_cache_size / block_cache_size /
     candidate_cache_size:
-        LRU bounds of the cross-query caches (entries, not bytes).  A view
-        entry holds the materialised relevant view together with its DAG
-        projection.
+        LRU bounds of the cross-query caches (entries).  A view entry holds
+        the materialised relevant view together with its DAG projection.
+    estimator_cache_weight:
+        Cost budget of the estimator cache in training-rows × features
+        (size-weighted LRU on top of the entry bound; ``None`` disables the
+        weight bound).
+    result_cache_size / result_ttl_seconds:
+        Bound and optional time-to-live of the result cache keyed on exact
+        query identity (``PlanFingerprint.query_key``); ``result_cache_size=0``
+        disables result caching.
     max_workers:
-        Default thread count for :meth:`execute_many` (``None``: CPU count
-        capped at 8).
+        Default thread count for :meth:`execute_many` in ``threads`` mode
+        (``None``: CPU count capped at 8).
+    execution:
+        ``"threads"`` (default) executes in-process; ``"processes"`` routes
+        queries through a persistent :class:`~repro.shard.pool.ShardPool` of
+        worker processes over a block-decomposition partition
+        (:mod:`repro.shard`) — answers are bitwise identical either way.
+    n_shards:
+        Number of shards/worker processes in ``processes`` mode (default:
+        ``max_workers`` or the CPU count capped at 8).
     """
 
     def __init__(
@@ -142,18 +203,37 @@ class HypeRService:
         view_cache_size: int = 16,
         block_cache_size: int = 8,
         candidate_cache_size: int = 64,
+        estimator_cache_weight: int | None = 50_000_000,
+        result_cache_size: int = 256,
+        result_ttl_seconds: float | None = None,
         max_workers: int | None = None,
+        execution: str = "threads",
+        n_shards: int | None = None,
     ) -> None:
+        if execution not in EXECUTION_MODES:
+            raise QuerySemanticsError(
+                f"unknown execution mode {execution!r}; expected one of {EXECUTION_MODES}"
+            )
         self.config = config if config is not None else EngineConfig()
+        self.execution = execution
         self._state = _EngineState.build(0, database, causal_dag, self.config)
         self.caches = QueryCaches(
             estimator_size=estimator_cache_size,
             view_size=view_cache_size,
             block_size=block_cache_size,
             candidate_size=candidate_cache_size,
+            result_size=result_cache_size,
+            result_ttl_seconds=result_ttl_seconds,
+            estimator_weigher=_estimator_weight,
+            estimator_max_weight=estimator_cache_weight,
         )
+        self._result_cache_enabled = result_cache_size > 0
         self.max_workers = max_workers
+        self.n_shards = n_shards or max_workers or default_max_workers()
         self._lock = threading.Lock()
+        self._pool_lock = threading.Lock()
+        self._pool: "ShardPool | None" = None
+        self._pool_generation: int | None = None
         self._n_queries = 0
         self._n_batches = 0
         self._started_at = time.time()
@@ -186,6 +266,11 @@ class HypeRService:
     def generation(self) -> int:
         return self._state.generation
 
+    @property
+    def relation_generations(self) -> dict[str, int]:
+        """Per-relation generation counters (copy; see fine-grained invalidation)."""
+        return dict(self._state.relation_generations)
+
     # -- parsing and fingerprinting ------------------------------------------------------
 
     def parse(self, query_text: str) -> Query:
@@ -209,7 +294,7 @@ class HypeRService:
         return fingerprint_query(
             query,
             self.config,
-            generation=state.generation,
+            generation=state.generation_key(use_relations(query.use)),
             dag_identity=state.dag_identity,
         )
 
@@ -219,21 +304,25 @@ class HypeRService:
         self, state: _EngineState, use: UseSpec
     ) -> tuple[Relation, CausalDAG | None]:
         """The materialised relevant view and its DAG projection (one cache entry)."""
-        key = ("view", state.generation, state.dag_identity, use_key(use))
+        deps = use_relations(use)
+        key = ("view", state.generation_key(deps), state.dag_identity, use_key(use))
         return self.caches.views.get_or_create(
             key,
             lambda: (
                 use.build(state.database),
                 build_view_dag(state.causal_dag, use, state.database),
             ),
+            tags=deps,
         )
 
     def _blocks(self, state: _EngineState) -> tuple[dict, int] | None:
         if state.causal_dag is None or not self.config.use_blocks:
             return None
-        key = ("blocks", state.generation, state.dag_identity)
+        key = ("blocks", state.all_relations_key(), state.dag_identity)
         return self.caches.blocks.get_or_create(
-            key, lambda: block_labels(state.database, state.causal_dag)
+            key,
+            lambda: block_labels(state.database, state.causal_dag),
+            tags=state.database.relation_names,
         )
 
     def prepare(self, query: str | Query) -> PreparedPlan:
@@ -247,6 +336,7 @@ class HypeRService:
         parsed = self._as_query(query)
         fingerprint = self._fingerprint(state, parsed)
         view, view_dag = self._plan_view(state, parsed.use)
+        deps = use_relations(parsed.use)
         estimator: PostUpdateEstimator | None = None
         if isinstance(parsed, WhatIfQuery):
             if not self.config.ignores_dependencies:
@@ -255,6 +345,7 @@ class HypeRService:
                     lambda: state.whatif.build_estimator(
                         parsed, view=view, view_dag=view_dag
                     ),
+                    tags=deps,
                 )
         else:
             estimator = self.caches.estimators.get_or_create(
@@ -262,17 +353,57 @@ class HypeRService:
                 lambda: state.howto.build_estimator(
                     parsed, view=view, view_dag=view_dag
                 ),
+                tags=deps,
             )
         return PreparedPlan(fingerprint, view, estimator)
 
     # -- execution ---------------------------------------------------------------------------
 
     def execute(self, query: str | Query, *, exhaustive: bool = False) -> Result:
-        """Answer one query, reusing every applicable cached plan component."""
+        """Answer one query, reusing every applicable cached plan component.
+
+        Repeated identical queries (same plan *and* parameters) are answered
+        from the bounded result cache in O(1); the cache key embeds the
+        generation vector of every relation, so no stale answer can survive a
+        database update, and ``result_ttl_seconds`` adds a wall-clock bound on
+        top for dashboard-style workloads.
+        """
         state = self._state
         parsed = self._as_query(query)
         with self._lock:
             self._n_queries += 1
+        if not self._result_cache_enabled:
+            return self._execute_uncached(state, parsed, exhaustive)
+        fingerprint = self._fingerprint(state, parsed)
+        key = self._result_key(state, fingerprint, exhaustive)
+        return self.caches.results.get_or_create(
+            key,
+            lambda: self._execute_uncached(state, parsed, exhaustive),
+            tags=state.database.relation_names,
+        )
+
+    def _result_key(
+        self, state: _EngineState, fingerprint: PlanFingerprint, exhaustive: bool
+    ) -> Hashable:
+        # Shard-aware: results from different execution layouts never alias
+        # (they are bitwise equal by construction, but the key still records
+        # which pipeline produced them).  Block metadata depends on the whole
+        # database, so the full generation vector is embedded.
+        layout = (self.execution, self.n_shards if self.execution == "processes" else None)
+        return (
+            "result",
+            fingerprint.kind,
+            fingerprint.query_key,
+            state.all_relations_key(),
+            exhaustive,
+            layout,
+        )
+
+    def _execute_uncached(
+        self, state: _EngineState, parsed: Query, exhaustive: bool
+    ) -> Result:
+        if self.execution == "processes":
+            return self._pool_for(state).run_query(parsed, exhaustive=exhaustive)
         if isinstance(parsed, WhatIfQuery):
             return self._execute_what_if(state, parsed)
         return self._execute_how_to(state, parsed, exhaustive=exhaustive)
@@ -294,12 +425,14 @@ class HypeRService:
     ) -> list[Result | Exception]:
         """Answer a batch concurrently; results align with the input order.
 
-        Queries are grouped by plan fingerprint so each shared estimator is
-        fitted once, then parameter variants fan out across worker threads.
-        With ``return_errors=True`` a failing query yields its exception in
-        the result list while the rest of the batch completes normally (the
-        HTTP ``/batch`` endpoint uses this); with the default, the first
-        failure propagates after the pool drains.
+        In ``threads`` mode, queries are grouped by plan fingerprint so each
+        shared estimator is fitted once, then parameter variants fan out
+        across worker threads.  In ``processes`` mode the whole batch crosses
+        the shard pool in a single broadcast round-trip and the merged
+        answers come back in order.  With ``return_errors=True`` a failing
+        query yields its exception in the result list while the rest of the
+        batch completes normally (the HTTP ``/batch`` endpoint uses this);
+        with the default, the first failure propagates after the pool drains.
         """
         parsed: list[Query | Exception] = []
         for query in queries:
@@ -311,8 +444,50 @@ class HypeRService:
                 parsed.append(error)
         with self._lock:
             self._n_batches += 1
+        if self.execution == "processes":
+            return self._execute_many_processes(parsed, return_errors=return_errors)
         executor = BatchExecutor(max_workers or self.max_workers)
         return executor.run(self, parsed, return_errors=return_errors)
+
+    def _execute_many_processes(
+        self, parsed: Sequence[Query | Exception], *, return_errors: bool
+    ) -> list[Result | Exception]:
+        state = self._state
+        with self._lock:
+            self._n_queries += sum(
+                1 for query in parsed if not isinstance(query, Exception)
+            )
+        results: list[Result | Exception] = list(parsed)
+        # Serve result-cache hits first; only misses cross the pool.
+        misses: list[tuple[int, Query, Hashable]] = []
+        for index, query in enumerate(parsed):
+            if isinstance(query, Exception):
+                continue
+            if not self._result_cache_enabled:
+                misses.append((index, query, None))
+                continue
+            key = self._result_key(state, self._fingerprint(state, query), False)
+            cached = self.caches.results.get(key)
+            if cached is not None:
+                results[index] = cached
+            else:
+                misses.append((index, query, key))
+        if misses:
+            pool = self._pool_for(state)
+            fresh = pool.run_batch(
+                [query for _index, query, _key in misses], return_errors=True
+            )
+            for (index, _query, key), result in zip(misses, fresh):
+                results[index] = result
+                if key is not None and not isinstance(result, Exception):
+                    self.caches.results.put(
+                        key, result, tags=state.database.relation_names
+                    )
+        if not return_errors:
+            for result in results:
+                if isinstance(result, Exception):
+                    raise result
+        return results
 
     def _execute_what_if(self, state: _EngineState, query: WhatIfQuery) -> WhatIfResult:
         fingerprint = self._fingerprint(state, query)
@@ -325,6 +500,7 @@ class HypeRService:
             estimator = self.caches.estimators.get_or_create(
                 fingerprint.estimator_key,
                 lambda: state.whatif.build_estimator(query, prepared),
+                tags=use_relations(query.use),
             )
         return state.whatif.evaluate(query, prepared=prepared, estimator=estimator)
 
@@ -333,9 +509,11 @@ class HypeRService:
     ) -> HowToResult:
         fingerprint = self._fingerprint(state, query)
         view, view_dag = self._plan_view(state, query.use)
+        deps = use_relations(query.use)
         estimator = self.caches.estimators.get_or_create(
             fingerprint.estimator_key,
             lambda: state.howto.build_estimator(query, view=view, view_dag=view_dag),
+            tags=deps,
         )
         prepared = state.howto.prepare(
             query, view=view, estimator=estimator, view_dag=view_dag
@@ -345,6 +523,7 @@ class HypeRService:
             lambda: state.howto.enumerate_candidates(
                 query, prepared.view, prepared.scope_mask
             ),
+            tags=deps,
         )
         if exhaustive:
             return state.howto.evaluate_exhaustive(
@@ -352,34 +531,139 @@ class HypeRService:
             )
         return state.howto.evaluate(query, prepared=prepared, candidates=candidates)
 
+    # -- shard pool (processes mode) -------------------------------------------------------
+
+    def _pool_for(self, state: _EngineState) -> "ShardPool":
+        """The persistent shard pool of ``state``'s generation (lazily started).
+
+        Any invalidation bumps the generation; the next query then tears the
+        old pool down and partitions the new database.  The worker processes
+        hold the shard snapshots for their whole lifetime — the database
+        crosses the process boundary once per generation, never per query.
+        """
+        from ..shard.partition import partition_database
+        from ..shard.pool import ShardPool
+
+        with self._pool_lock:
+            if self._pool is not None and self._pool_generation == state.generation:
+                return self._pool
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+            plan = partition_database(
+                state.database,
+                state.causal_dag,
+                self.n_shards,
+                blocks=self._blocks(state),
+            )
+            self._pool = ShardPool(plan, state.causal_dag, self.config).start()
+            self._pool_generation = state.generation
+            return self._pool
+
+    def start_pool(self) -> None:
+        """Eagerly start the shard pool for the current generation.
+
+        Optional — the pool starts lazily on the first ``processes``-mode
+        query — but starting it *before* spawning request-handler threads
+        lets the pool use the cheap ``fork`` start method safely (forking a
+        multithreaded parent risks cloning held locks); ``repro serve`` calls
+        this before binding the HTTP server.  No-op in ``threads`` mode.
+        """
+        if self.execution == "processes":
+            self._pool_for(self._state)
+
+    def close(self) -> None:
+        """Release the shard pool (idempotent; threads mode has nothing to close)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+                self._pool_generation = None
+
+    def __enter__(self) -> "HypeRService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- invalidation ---------------------------------------------------------------------
 
     def invalidate(self) -> None:
-        """Bump the generation counter and drop every cached plan component."""
+        """Bump every generation counter and drop every cached plan component."""
         with self._lock:
             state = self._state
             self._state = _EngineState.build(
-                state.generation + 1, state.database, state.causal_dag, self.config
+                state.generation + 1,
+                state.database,
+                state.causal_dag,
+                self.config,
+                {name: gen + 1 for name, gen in state.relation_generations.items()},
             )
         self.caches.clear()
+        self.close()
 
     def update_database(self, database: Database) -> None:
-        """Swap in a new database instance; all cached state is invalidated."""
+        """Swap in a new database instance with fine-grained invalidation.
+
+        Relations are compared by object identity against the current
+        snapshot: building the new database with
+        ``service.database.with_relation(updated)`` (so unchanged relations
+        are the *same* objects) bumps only the changed relations'
+        generations, and only cache entries depending on them are evicted —
+        estimators and views over untouched relations stay warm.  When no
+        relation can be proven unchanged, everything is invalidated.
+        """
+        from dataclasses import replace as dataclass_replace
+
         with self._lock:
             state = self._state
-            self._state = _EngineState.build(
-                state.generation + 1, database, state.causal_dag, self.config
+            new_state = _EngineState.build(
+                state.generation + 1,
+                database,
+                state.causal_dag,
+                self.config,
+                dict(state.relation_generations),
             )
-        self.caches.clear()
+            # Diff against the backend-converted database the engines built,
+            # so conversion no-ops keep relation identity intact.
+            changed = {
+                name
+                for name in new_state.database.relation_names
+                if name not in state.database
+                or new_state.database[name] is not state.database[name]
+            }
+            changed |= set(state.database.relation_names) - set(
+                new_state.database.relation_names
+            )
+            generations = dict(state.relation_generations)
+            for name in changed:
+                generations[name] = generations.get(name, 0) + 1
+            self._state = dataclass_replace(
+                new_state, relation_generations=generations
+            )
+        if changed >= set(state.database.relation_names) | set(
+            self._state.database.relation_names
+        ):
+            self.caches.clear()
+        else:
+            # Targeted eviction: entries tagged with a changed relation go,
+            # everything else (unrelated estimators, views, candidates) stays.
+            self.caches.evict_tagged(changed)
+        self.close()
 
     def update_causal_dag(self, causal_dag: CausalDAG | None) -> None:
         """Swap in new causal background knowledge; invalidates cached state."""
         with self._lock:
             state = self._state
             self._state = _EngineState.build(
-                state.generation + 1, state.database, causal_dag, self.config
+                state.generation + 1,
+                state.database,
+                causal_dag,
+                self.config,
+                {name: gen + 1 for name, gen in state.relation_generations.items()},
             )
         self.caches.clear()
+        self.close()
 
     # -- instrumentation -------------------------------------------------------------------
 
@@ -388,7 +672,10 @@ class HypeRService:
 
         ``regressors.fits``/``hits`` are monotonic totals over the service's
         life: counters of estimators evicted from the LRU (or dropped by an
-        invalidation) are folded into running sums, not lost.
+        invalidation) are folded into running sums, not lost.  In
+        ``processes`` mode, fits inside shard workers are *not* included —
+        the per-worker caches live in other processes; ``pool`` reports the
+        pool's own counters instead.
         """
         with self._retired_lock:
             regressor_fits = self._retired_regressor_fits
@@ -399,9 +686,13 @@ class HypeRService:
             regressor_fits += counters["fits"]
             regressor_hits += counters["hits"]
             regressors_cached += counters["cached"]
+        with self._pool_lock:
+            pool_stats = self._pool.stats() if self._pool is not None else None
         with self._lock:
             return {
                 "generation": self._state.generation,
+                "relation_generations": dict(self._state.relation_generations),
+                "execution": self.execution,
                 "n_queries": self._n_queries,
                 "n_batches": self._n_batches,
                 "uptime_seconds": time.time() - self._started_at,
@@ -411,4 +702,5 @@ class HypeRService:
                     "hits": regressor_hits,
                     "cached": regressors_cached,
                 },
+                "pool": pool_stats,
             }

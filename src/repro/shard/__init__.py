@@ -1,0 +1,46 @@
+"""Shard-parallel execution core: block-decomposition sharding (Proposition 1).
+
+The paper's decomposability result makes what-if / how-to answers exact
+aggregates of independent per-block contributions.  This package turns that
+into an execution architecture:
+
+* :mod:`~repro.shard.partition` — split a database into N self-contained
+  :class:`Shard` snapshots along block-independent boundaries;
+* :mod:`~repro.shard.pool` — a persistent ``multiprocessing`` worker pool
+  (stdlib only) with the shard data mapped once per worker, running per-shard
+  estimator fits and block-contribution computation off the GIL;
+* :mod:`~repro.shard.merge` — the associative merge protocol folding
+  per-shard partials into answers **bitwise equal** to the unsharded path.
+
+The service layer (:mod:`repro.service`) drives this stack through
+``HypeRService(execution="processes", n_shards=...)``; see
+``docs/service.md`` for the shard lifecycle and the pickling boundary.
+"""
+
+from .merge import (
+    HowToShardPartial,
+    MergedHowTo,
+    ShardMergeError,
+    WhatIfShardPartial,
+    merge_how_to,
+    merge_what_if,
+    solve_merged_how_to,
+)
+from .partition import Shard, ShardPlan, partition_database
+from .pool import ShardPool, ShardPoolError, ShardWorkerRuntime
+
+__all__ = [
+    "HowToShardPartial",
+    "MergedHowTo",
+    "Shard",
+    "ShardMergeError",
+    "ShardPlan",
+    "ShardPool",
+    "ShardPoolError",
+    "ShardWorkerRuntime",
+    "WhatIfShardPartial",
+    "merge_how_to",
+    "merge_what_if",
+    "partition_database",
+    "solve_merged_how_to",
+]

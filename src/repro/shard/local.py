@@ -1,0 +1,202 @@
+"""Shard-local what-if evaluation: per-query work proportional to owned rows.
+
+:func:`repro.core.whatif.causal_contribution_rows` with a ``row_mask``
+restricts estimator *prediction* to a shard's rows but still evaluates scope /
+``For`` masks and post-update columns over the full view — work every worker
+would duplicate.  The kernels here evaluate those per-query vectorized pieces
+on the shard's **local view** (the full view filtered to owned rows), so a
+query's marginal cost in a worker scales with ``n / n_shards``.
+
+The bitwise-exactness contract survives because the two remaining full-view
+dependencies are handled explicitly:
+
+* **Training targets** — regressors must be fitted on full-view targets (every
+  shard fits the identical model).  :class:`FullViewTargets` computes the
+  full-view mask bundle *lazily*, inside
+  :meth:`~repro.core.estimator.PostUpdateEstimator.regressor_for`'s target
+  factory, so it is only ever evaluated on a regressor-cache miss — once per
+  plan per worker, amortised to zero across a suite.
+* **Row-stable kernels** — predicate masks, update functions, encoders and
+  regressor predictions are all elementwise / per-row deterministic (see the
+  einsum note in :mod:`repro.ml.linear`), so evaluating them on a filtered
+  view produces bit-identical values to slicing a full-view evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.estimator import PostUpdateEstimator
+from ..core.queries import WhatIfQuery
+from ..core.whatif import (
+    _subset_index_list,
+    numeric_output_column,
+    regressor_cache_key,
+)
+from ..relational.aggregates import get_aggregate
+from ..relational.predicates import Conjunction, evaluate_mask
+from ..relational.relation import Relation
+
+__all__ = ["FullViewTargets", "local_indep_contributions", "local_what_if_contributions"]
+
+
+class FullViewTargets:
+    """Lazily-built full-view training targets of one what-if query.
+
+    Nothing is computed until a regressor-cache miss asks for a target; the
+    full-view ``For`` masks and output column are then materialised once and
+    reused for every subset/kind of the same query.
+    """
+
+    def __init__(
+        self, query: WhatIfQuery, view: Relation, disjuncts: Sequence[Conjunction]
+    ) -> None:
+        self._query = query
+        self._view = view
+        self._disjuncts = disjuncts
+        self._post_masks: list[np.ndarray] | None = None
+        self._output: np.ndarray | None = None
+
+    def _masks(self) -> list[np.ndarray]:
+        if self._post_masks is None:
+            self._post_masks = [
+                evaluate_mask(d.post, self._view) for d in self._disjuncts
+            ]
+        return self._post_masks
+
+    def _joint_post(self, subset: tuple[int, ...]) -> np.ndarray:
+        post_masks = self._masks()
+        joint = np.ones(len(self._view), dtype=bool)
+        for k in subset:
+            joint &= post_masks[k]
+        return joint
+
+    def count_target(self, subset: tuple[int, ...]) -> np.ndarray:
+        return self._joint_post(subset).astype(float)
+
+    def sum_target(self, subset: tuple[int, ...]) -> np.ndarray:
+        if self._output is None:
+            self._output = numeric_output_column(
+                self._view, self._query.output_attribute
+            )
+        return self._output * self._joint_post(subset).astype(float)
+
+
+def _predict_local(
+    estimator: PostUpdateEstimator,
+    regressor,
+    local_view: Relation,
+    post_values: dict[str, Sequence[Any]],
+    idx: np.ndarray,
+    n_local: int,
+) -> np.ndarray:
+    """Row-stable prediction at the local rows ``idx`` (full-length-local array)."""
+    columns: dict[str, Any] = {}
+    for attribute in estimator.update_attributes:
+        post_column = post_values[attribute]
+        if not isinstance(post_column, np.ndarray):
+            post_column = np.asarray(post_column, dtype=object)
+        columns[attribute] = post_column[idx]
+    for attribute in estimator.backdoor_set:
+        columns[attribute] = local_view.column_view(attribute)[idx]
+    out = np.zeros(n_local)
+    out[idx] = regressor.predict_columns(columns)
+    return out
+
+
+def local_what_if_contributions(
+    query: WhatIfQuery,
+    full_view: Relation,
+    local_view: Relation,
+    disjuncts: Sequence[Conjunction],
+    estimator: PostUpdateEstimator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-owned-row (count, sum) contributions of the causal variants.
+
+    Mirrors :func:`repro.core.whatif.causal_contribution_rows` operation for
+    operation, with every per-query vectorized step evaluated on
+    ``local_view`` only; the returned arrays align with the local view's rows
+    and are bitwise equal to the same rows of an unsharded evaluation.
+    """
+    aggregate = get_aggregate(query.output_aggregate)
+    n_local = len(local_view)
+    for_key = query.for_clause.canonical()
+    scope = evaluate_mask(query.when, local_view)
+    update = query.hypothetical_update
+    post_values: dict[str, Sequence[Any]] = {
+        attribute: update.updated_values(
+            attribute, local_view.column_view(attribute), scope
+        )
+        for attribute in query.update_attributes
+    }
+    output_values = numeric_output_column(local_view, query.output_attribute)
+    pre_masks = [evaluate_mask(d.pre, local_view) for d in disjuncts]
+    post_masks = [evaluate_mask(d.post, local_view) for d in disjuncts]
+
+    count_contrib = np.zeros(n_local)
+    sum_contrib = np.zeros(n_local)
+
+    unaffected = ~scope
+    qualifies_pre = np.zeros(n_local, dtype=bool)
+    for pre_mask, post_mask in zip(pre_masks, post_masks):
+        qualifies_pre |= pre_mask & post_mask
+    count_contrib[unaffected] = qualifies_pre[unaffected].astype(float)
+    sum_contrib[unaffected] = np.where(
+        qualifies_pre[unaffected], output_values[unaffected], 0.0
+    )
+
+    if scope.any():
+        targets = FullViewTargets(query, full_view, disjuncts)
+        for subset in _subset_index_list(len(disjuncts)):
+            sign = 1.0 if len(subset) % 2 == 1 else -1.0
+            applicable = scope.copy()
+            for k in subset:
+                applicable &= pre_masks[k]
+            if not applicable.any():
+                continue
+            idx = np.flatnonzero(applicable)
+            regressor = estimator.regressor_for(
+                regressor_cache_key("count", subset, for_key),
+                lambda s=subset: targets.count_target(s),
+            )
+            prob = _predict_local(
+                estimator, regressor, local_view, post_values, idx, n_local
+            )
+            prob = np.clip(prob, 0.0, 1.0)
+            count_contrib[applicable] += sign * prob[applicable]
+            if aggregate.needs_output_value:
+                regressor = estimator.regressor_for(
+                    regressor_cache_key(
+                        "sum", subset, for_key, query.output_attribute
+                    ),
+                    lambda s=subset: targets.sum_target(s),
+                )
+                expected_value = _predict_local(
+                    estimator, regressor, local_view, post_values, idx, n_local
+                )
+                sum_contrib[applicable] += sign * expected_value[applicable]
+        count_contrib = np.clip(count_contrib, 0.0, 1.0)
+    return count_contrib, sum_contrib
+
+
+def local_indep_contributions(
+    query: WhatIfQuery, local_view: Relation
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-owned-row contributions of the Indep baseline on the local view."""
+    scope = evaluate_mask(query.when, local_view)
+    update = query.hypothetical_update
+    post_view = local_view
+    for attribute in query.update_attributes:
+        post_view = post_view.with_column(
+            attribute,
+            update.updated_values(
+                attribute, local_view.column_view(attribute), scope
+            ),
+        )
+    qualify = evaluate_mask(query.for_clause, local_view, post_view)
+    output_values = numeric_output_column(post_view, query.output_attribute)
+    count_contrib = qualify.astype(float)
+    sum_contrib = np.where(qualify, output_values, 0.0)
+    return count_contrib, sum_contrib

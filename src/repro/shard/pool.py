@@ -1,0 +1,693 @@
+"""A persistent multiprocessing pool of shard workers (stdlib only).
+
+Each worker process owns one :class:`~repro.shard.partition.Shard` for the
+pool's whole lifetime — the shard (including the full database snapshot) is
+transferred **once** at start-up (by copy-on-write under the ``fork`` start
+method, by pickle under ``spawn``), never per query.  Queries travel to every
+worker as small pickled task messages; per-row contribution partials travel
+back and are folded by the merge protocol (:mod:`repro.shard.merge`).
+
+Inside a worker, a :class:`ShardWorkerRuntime` keeps the same kind of
+plan-level caches the thread-mode service keeps in-process: materialised
+relevant views, fitted estimators (each with its internal regressor cache) and
+how-to candidate enumerations, keyed by plan fingerprints.  Repeated-template
+workloads therefore pay the estimator fit once *per worker* and pure
+prediction afterwards — CPU-bound fits run truly in parallel across processes,
+which is the scaling step the GIL denies the thread-pool executor.
+
+When worker processes cannot be started (no usable ``multiprocessing`` start
+method, sandboxed semaphores, pickling failure), the pool degrades to an
+*inline* mode that runs the identical shard protocol sequentially in-process;
+``mode`` reports which one is active, and answers are bitwise identical either
+way.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+import traceback
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+import numpy as np
+
+from ..causal.dag import CausalDAG
+from ..core.config import EngineConfig, Variant
+from ..core.howto import (
+    HowToEngine,
+    candidate_contribution_rows,
+    candidate_post_values,
+)
+from ..core.queries import HowToQuery, WhatIfQuery
+from ..core.whatif import WhatIfEngine
+from ..exceptions import HypeRError
+from ..relational.aggregates import get_aggregate
+from ..relational.predicates import evaluate_mask
+from ..relational.relation import Relation
+from ..service.fingerprint import dag_key, fingerprint_query
+from .merge import (
+    HowToShardPartial,
+    WhatIfShardPartial,
+    merge_how_to,
+    merge_what_if,
+    solve_merged_how_to,
+)
+from .partition import Shard, ShardPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.results import HowToResult, WhatIfResult
+
+__all__ = ["ShardPool", "ShardPoolError", "ShardWorkerRuntime"]
+
+_JOIN_TIMEOUT_SECONDS = 5.0
+_POLL_SECONDS = 0.2
+
+
+class ShardPoolError(HypeRError):
+    """A shard worker failed or the pool is not in a runnable state."""
+
+
+class ShardWorkerRuntime:
+    """Per-shard evaluation engine with plan-level caches (runs inside a worker).
+
+    The runtime is deliberately free of any parent-process state: it is
+    constructed from ``(shard, causal_dag, config)`` alone, so the same class
+    backs both real worker processes and the inline fallback.
+    """
+
+    def __init__(
+        self, shard: Shard, causal_dag: CausalDAG | None, config: EngineConfig
+    ) -> None:
+        self.shard = shard
+        self.config = config
+        self.causal_dag = causal_dag
+        self.whatif = WhatIfEngine(shard.database, causal_dag, config)
+        # Share the (possibly backend-converted) database between both engines.
+        self.howto = HowToEngine(self.whatif.database, causal_dag, config)
+        self._dag_identity = dag_key(causal_dag)
+        # Bounded like the parent-side QueryCaches: a persistent worker
+        # serving many distinct plans must not grow without limit.
+        from ..service.cache import LRUCache
+
+        self._views = LRUCache(16, "worker-views")
+        self._local_views = LRUCache(16, "worker-local-views")
+        self._block_assignments = LRUCache(16, "worker-blocks")
+        self._estimators = LRUCache(64, "worker-estimators")
+        self._candidates = LRUCache(64, "worker-candidates")
+        self.n_tasks = 0
+        self.n_estimator_builds = 0
+
+    # -- cached plan components ---------------------------------------------------------
+
+    def _fingerprint(self, query: WhatIfQuery | HowToQuery):
+        return fingerprint_query(
+            query, self.config, generation=0, dag_identity=self._dag_identity
+        )
+
+    def _view(self, query: WhatIfQuery | HowToQuery) -> tuple:
+        from ..core.estimator import build_view_dag
+        from ..service.fingerprint import use_key
+
+        return self._views.get_or_create(
+            use_key(query.use),
+            lambda: (
+                query.use.build(self.whatif.database),
+                build_view_dag(self.causal_dag, query.use, self.whatif.database),
+            ),
+        )
+
+    def _estimator(self, key: Any, build: Callable[[], Any]) -> Any:
+        def counted_build():
+            self.n_estimator_builds += 1
+            return build()
+
+        return self._estimators.get_or_create(key, counted_build)
+
+    def _row_mask(self, query: WhatIfQuery | HowToQuery, view) -> np.ndarray:
+        mask = self.shard.own_rows(query.use.base_relation)
+        if len(mask) != len(view):
+            raise ShardPoolError(
+                f"shard row mask over {query.use.base_relation!r} has {len(mask)} rows "
+                f"but the relevant view has {len(view)} — the shard snapshot is stale"
+            )
+        return mask
+
+    def _local_view(self, query: WhatIfQuery | HowToQuery, view) -> Relation:
+        """The full view filtered to this shard's rows (cached per plan)."""
+        from ..service.fingerprint import use_key
+
+        return self._local_views.get_or_create(
+            use_key(query.use), lambda: view.filter(self._row_mask(query, view))
+        )
+
+    def _block_assignment(
+        self, query: WhatIfQuery, view
+    ) -> tuple[np.ndarray, int]:
+        """Full-view block labels for shard-0 carriers (cached per plan).
+
+        Returning the *same* cached array for every query of a plan lets
+        pickle's memoizer serialise it once per batch message.
+        """
+        from ..service.fingerprint import use_key
+
+        return self._block_assignments.get_or_create(
+            use_key(query.use),
+            lambda: self.whatif._block_assignment(
+                query, view, (self.shard.block_labels, self.shard.n_blocks)
+            ),
+        )
+
+    # -- task handlers ------------------------------------------------------------------
+
+    def handle(self, kind: str, payload: Any) -> Any:
+        self.n_tasks += 1
+        if kind == "whatif":
+            return self.what_if_partial(payload)
+        if kind == "howto":
+            return self.how_to_partial(payload)
+        if kind == "howto_verify":
+            query, chosen_indices = payload
+            return self.how_to_verify(query, chosen_indices)
+        if kind == "full":
+            query, exhaustive = payload
+            return self.run_full(query, exhaustive)
+        if kind == "batch":
+            out = []
+            for sub_kind, sub_payload in payload:
+                try:
+                    out.append((True, self.handle(sub_kind, sub_payload)))
+                except Exception as error:  # noqa: BLE001 - per-subtask capture
+                    out.append((False, _describe_error(error)))
+            return out
+        if kind == "ping":
+            return {"shard": self.shard.index, "n_tasks": self.n_tasks}
+        raise ShardPoolError(f"unknown shard task kind {kind!r}")
+
+    def what_if_partial(self, query: WhatIfQuery) -> WhatIfShardPartial:
+        """Contributions of this shard's rows, via the shard-local kernels.
+
+        Per-query vectorized work (masks, post-update columns, predictions)
+        runs on the local view only — ``n / n_shards`` rows; the full view is
+        touched solely by lazy regressor-fit targets (once per plan) and by
+        shard 0's merge carriers (:mod:`repro.shard.local`).
+        """
+        from .local import local_indep_contributions, local_what_if_contributions
+
+        fingerprint = self._fingerprint(query)
+        view, view_dag = self._view(query)
+        # Same validation the unsharded prepare() runs (cheap, schema-level).
+        self.whatif._check_attributes(query, view)
+        self.whatif._check_update_independence(query, view_dag)
+        disjuncts = self.whatif._normalise_for_clause(query.for_clause)
+        local_view = self._local_view(query, view)
+        if self.config.ignores_dependencies:
+            count, sum_ = local_indep_contributions(query, local_view)
+            meta: dict[str, Any] = {
+                "variant": Variant.INDEP,
+                "backdoor_set": (),
+                "n_disjuncts": len(disjuncts),
+            }
+        else:
+            estimator = self._estimator(
+                fingerprint.estimator_key,
+                lambda: self.whatif.build_estimator(query, view=view, view_dag=view_dag),
+            )
+            count, sum_ = local_what_if_contributions(
+                query, view, local_view, disjuncts, estimator
+            )
+            meta = {
+                "variant": self.config.variant,
+                "backdoor_set": tuple(estimator.backdoor_set),
+                "n_training_rows": estimator.n_training_rows,
+                "n_disjuncts": len(disjuncts),
+                "feature_attributes": list(estimator.feature_attributes),
+            }
+        needs_sum = get_aggregate(query.output_aggregate).needs_output_value
+        partial = WhatIfShardPartial(
+            shard_index=self.shard.index,
+            n_shards=self.shard.n_shards,
+            n_rows=len(view),
+            row_indices=np.flatnonzero(self._row_mask(query, view)),
+            count=count,
+            sum=sum_ if needs_sum else None,
+            meta=meta,
+        )
+        if self.shard.index == 0:
+            # Merge carriers: full-view context the finalizer needs exactly once.
+            partial.scope_mask = evaluate_mask(query.when, view)
+            partial.block_of_row, partial.n_blocks = self._block_assignment(query, view)
+        return partial
+
+    def _how_to_shared(self, query: HowToQuery):
+        fingerprint = self._fingerprint(query)
+        view, view_dag = self._view(query)
+        estimator = self._estimator(
+            fingerprint.estimator_key,
+            lambda: self.howto.build_estimator(query, view=view, view_dag=view_dag),
+        )
+        shared = self.howto.prepare(
+            query, view=view, estimator=estimator, view_dag=view_dag
+        )
+        candidates = self._candidates.get_or_create(
+            ("candidates", fingerprint.query_key),
+            lambda: self.howto.enumerate_candidates(
+                query, shared.view, shared.scope_mask
+            ),
+        )
+        return shared, candidates, estimator
+
+    def how_to_partial(self, query: HowToQuery) -> HowToShardPartial:
+        shared, candidates, estimator = self._how_to_shared(query)
+        row_mask = self._row_mask(query, shared.view)
+        own = np.flatnonzero(row_mask)
+        baseline_count, baseline_sum = candidate_contribution_rows(
+            query, shared, {}, row_mask=row_mask
+        )
+        candidate_count = np.empty((len(candidates), own.size))
+        candidate_sum = np.empty((len(candidates), own.size))
+        for i, candidate in enumerate(candidates):
+            post_values = candidate_post_values(
+                query, shared, [candidate.as_attribute_update()]
+            )
+            count, sum_ = candidate_contribution_rows(
+                query, shared, post_values, row_mask=row_mask
+            )
+            candidate_count[i] = count[own]
+            candidate_sum[i] = sum_[own]
+        return HowToShardPartial(
+            shard_index=self.shard.index,
+            n_shards=self.shard.n_shards,
+            n_rows=len(shared.view),
+            row_indices=own,
+            baseline_count=baseline_count[own],
+            baseline_sum=baseline_sum[own],
+            candidate_count=candidate_count,
+            candidate_sum=candidate_sum,
+            signature=tuple((c.attribute, c.label) for c in candidates),
+            meta={
+                "aggregate_name": shared.aggregate_name,
+                "backdoor_set": list(estimator.backdoor_set),
+            },
+            candidates=list(candidates) if self.shard.index == 0 else None,
+        )
+
+    def how_to_verify(
+        self, query: HowToQuery, chosen_indices: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        shared, candidates, _estimator = self._how_to_shared(query)
+        row_mask = self._row_mask(query, shared.view)
+        own = np.flatnonzero(row_mask)
+        updates = [candidates[i].as_attribute_update() for i in chosen_indices]
+        post_values = candidate_post_values(query, shared, updates)
+        count, sum_ = candidate_contribution_rows(
+            query, shared, post_values, row_mask=row_mask
+        )
+        return own, count[own], sum_[own]
+
+    def run_full(self, query: WhatIfQuery | HowToQuery, exhaustive: bool) -> Any:
+        """Run a query unsharded inside this worker (exhaustive how-to et al.)."""
+        if isinstance(query, HowToQuery):
+            if exhaustive:
+                return self.howto.evaluate_exhaustive(query)
+            return self.howto.evaluate(query)
+        return self.whatif.evaluate(query)
+
+
+def _describe_error(error: BaseException) -> tuple[str, str, str]:
+    return (type(error).__name__, str(error), traceback.format_exc())
+
+
+def _raise_worker_error(shard_index: int, described: tuple[str, str, str]) -> None:
+    error_type, message, trace = described
+    raise ShardPoolError(
+        f"shard worker {shard_index} failed with {error_type}: {message}\n{trace}"
+    )
+
+
+def _shard_worker_main(shard, causal_dag, config, task_queue, result_queue) -> None:
+    """Worker process entry point: build the runtime once, then serve tasks."""
+    runtime = ShardWorkerRuntime(shard, causal_dag, config)
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        task_id, kind, payload = task
+        try:
+            result_queue.put((task_id, shard.index, True, runtime.handle(kind, payload)))
+        except BaseException as error:  # noqa: BLE001 - worker must survive any task
+            result_queue.put((task_id, shard.index, False, _describe_error(error)))
+
+
+class ShardPool:
+    """Persistent shard workers answering queries via broadcast-and-merge.
+
+    Parameters
+    ----------
+    plan:
+        The :class:`~repro.shard.partition.ShardPlan` to execute (one worker
+        per shard).
+    causal_dag / config:
+        As for the engines; every worker builds its own engines from these.
+    inline:
+        Force the in-process fallback (no subprocesses).  ``None`` tries real
+        processes first and degrades automatically.
+    start_method:
+        ``multiprocessing`` start method preference; ``fork`` (where
+        available) maps the shard data into workers without pickling.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        causal_dag: CausalDAG | None,
+        config: EngineConfig,
+        *,
+        inline: bool | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        self.plan = plan
+        self.causal_dag = causal_dag
+        self.config = config
+        self._force_inline = bool(inline)
+        self._start_method = start_method
+        self._io_lock = threading.Lock()
+        self._task_counter = 0
+        self.n_broadcasts = 0
+        self.mode: str = "unstarted"
+        self.fallback_reason: str | None = None
+        self._processes: list = []
+        self._task_queues: list = []
+        self._result_queue = None
+        self._inline_workers: list[ShardWorkerRuntime] | None = None
+        self._closed = False
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.plan)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start(self) -> "ShardPool":
+        """Start the workers (idempotent); falls back to inline mode on failure."""
+        if self.mode != "unstarted":
+            return self
+        if self._force_inline:
+            self._start_inline("requested")
+            return self
+        try:
+            self._start_processes()
+            self.mode = "processes"
+        except Exception as error:  # noqa: BLE001 - degrade, never fail to start
+            self._teardown_processes()
+            self._start_inline(f"{type(error).__name__}: {error}")
+        return self
+
+    def _start_processes(self) -> None:
+        import multiprocessing as mp
+
+        method = self._start_method
+        if method is None:
+            # fork maps the shard data into workers for free (copy-on-write),
+            # but forking a *multithreaded* parent can clone locks in their
+            # held state and deadlock the child.  When other threads are
+            # already running (e.g. the pool starts lazily inside an HTTP
+            # handler thread), fall back to a pickling start method; callers
+            # that want the cheap fork should start the pool before spawning
+            # threads (HypeRService.start_pool, done by `repro serve`).
+            available = mp.get_all_start_methods()
+            if "fork" in available and threading.active_count() == 1:
+                method = "fork"
+            elif "forkserver" in available:
+                method = "forkserver"
+            else:
+                method = None
+        ctx = mp.get_context(method)
+        self._result_queue = ctx.Queue()
+        for shard in self.plan:
+            task_queue = ctx.Queue()
+            process = ctx.Process(
+                target=_shard_worker_main,
+                args=(shard, self.causal_dag, self.config, task_queue, self._result_queue),
+                daemon=True,
+                name=f"repro-shard-{shard.index}",
+            )
+            process.start()
+            self._task_queues.append(task_queue)
+            self._processes.append(process)
+
+    def _start_inline(self, reason: str) -> None:
+        self._inline_workers = [
+            ShardWorkerRuntime(shard, self.causal_dag, self.config)
+            for shard in self.plan
+        ]
+        self.mode = "inline"
+        self.fallback_reason = reason
+
+    def close(self) -> None:
+        """Stop the workers; the pool cannot be restarted afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        self._teardown_processes()
+        self._inline_workers = None
+        self.mode = "closed"
+
+    def _teardown_processes(self) -> None:
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(None)
+            except Exception:  # noqa: BLE001 - best-effort shutdown
+                pass
+        deadline = time.monotonic() + _JOIN_TIMEOUT_SECONDS
+        for process in self._processes:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for task_queue in self._task_queues:
+            try:
+                task_queue.close()
+            except Exception:  # noqa: BLE001
+                pass
+        if self._result_queue is not None:
+            try:
+                self._result_queue.close()
+            except Exception:  # noqa: BLE001
+                pass
+        self._processes = []
+        self._task_queues = []
+        self._result_queue = None
+
+    def __enter__(self) -> "ShardPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown guard
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+    # -- broadcast plumbing ------------------------------------------------------------
+
+    def _ensure_running(self) -> None:
+        if self.mode == "unstarted":
+            self.start()
+        if self.mode == "closed":
+            raise ShardPoolError("the shard pool has been closed")
+
+    def _broadcast(self, kind: str, payload: Any) -> list[Any]:
+        """Send one task to every worker; return per-shard payloads in shard order.
+
+        Raises :class:`ShardPoolError` if any worker reports a failure (for
+        ``batch`` tasks, per-subtask failures are embedded in the payloads and
+        handled by the caller instead).
+        """
+        self._ensure_running()
+        with self._io_lock:
+            self.n_broadcasts += 1
+            if self.mode == "inline":
+                assert self._inline_workers is not None
+                outs = []
+                for worker in self._inline_workers:
+                    try:
+                        outs.append(worker.handle(kind, payload))
+                    except ShardPoolError:
+                        raise
+                    except Exception as error:  # noqa: BLE001 - uniform report
+                        _raise_worker_error(worker.shard.index, _describe_error(error))
+                return outs
+            self._task_counter += 1
+            task_id = self._task_counter
+            for task_queue in self._task_queues:
+                task_queue.put((task_id, kind, payload))
+            by_shard: dict[int, Any] = {}
+            failures: list[tuple[int, tuple[str, str, str]]] = []
+            while len(by_shard) < self.n_shards:
+                try:
+                    received_id, shard_index, ok, out = self._result_queue.get(
+                        timeout=_POLL_SECONDS
+                    )
+                except queue_module.Empty:
+                    self._check_workers_alive()
+                    continue
+                if received_id != task_id:
+                    continue  # stale result from an abandoned broadcast
+                if ok:
+                    by_shard[shard_index] = out
+                else:
+                    failures.append((shard_index, out))
+                    by_shard[shard_index] = None
+            if failures:
+                _raise_worker_error(failures[0][0], failures[0][1])
+            return [by_shard[i] for i in range(self.n_shards)]
+
+    def _check_workers_alive(self) -> None:
+        for process in self._processes:
+            if not process.is_alive():
+                raise ShardPoolError(
+                    f"shard worker {process.name!r} died with exit code "
+                    f"{process.exitcode}; the pool must be recreated"
+                )
+
+    def _run_on_one(self, kind: str, payload: Any, shard_index: int = 0) -> Any:
+        """Run one task on a single worker (used for unsharded fallbacks)."""
+        self._ensure_running()
+        with self._io_lock:
+            self.n_broadcasts += 1
+            if self.mode == "inline":
+                assert self._inline_workers is not None
+                return self._inline_workers[shard_index].handle(kind, payload)
+            self._task_counter += 1
+            task_id = self._task_counter
+            self._task_queues[shard_index].put((task_id, kind, payload))
+            while True:
+                try:
+                    received_id, shard, ok, out = self._result_queue.get(
+                        timeout=_POLL_SECONDS
+                    )
+                except queue_module.Empty:
+                    self._check_workers_alive()
+                    continue
+                if received_id != task_id:
+                    continue
+                if not ok:
+                    _raise_worker_error(shard, out)
+                return out
+
+    # -- query execution ---------------------------------------------------------------
+
+    def run_what_if(self, query: WhatIfQuery) -> "WhatIfResult":
+        """Answer one what-if query: broadcast, collect partials, merge exactly."""
+        started = time.perf_counter()
+        partials = self._broadcast("whatif", query)
+        result = merge_what_if(query, partials)
+        result.runtime_seconds = time.perf_counter() - started
+        return result
+
+    def run_how_to(self, query: HowToQuery, *, exhaustive: bool = False) -> "HowToResult":
+        """Answer one how-to query (two broadcast rounds when verification is on)."""
+        started = time.perf_counter()
+        if exhaustive:
+            # Opt-HowTo enumerates full update combinations; run it unsharded
+            # on one worker rather than shipping every combination's partials.
+            return self._run_on_one("full", (query, True))
+        partials = self._broadcast("howto", query)
+        merged = merge_how_to(query, partials)
+        verify = self._verifier(query, len(merged.baseline_count))
+        return solve_merged_how_to(
+            query,
+            merged,
+            verify=verify,
+            runtime_seconds=time.perf_counter() - started,
+        )
+
+    def _verifier(self, query: HowToQuery, n_rows: int):
+        if not self.config.verify_howto_with_whatif:
+            return None
+
+        def verify(chosen_indices: list[int]) -> tuple[np.ndarray, np.ndarray]:
+            outs = self._broadcast("howto_verify", (query, list(chosen_indices)))
+            count = np.zeros(n_rows)
+            sum_ = np.zeros(n_rows)
+            for own, shard_count, shard_sum in outs:
+                count[own] = shard_count
+                sum_[own] = shard_sum
+            return count, sum_
+
+        return verify
+
+    def run_query(
+        self, query: WhatIfQuery | HowToQuery, *, exhaustive: bool = False
+    ) -> Any:
+        if isinstance(query, HowToQuery):
+            return self.run_how_to(query, exhaustive=exhaustive)
+        return self.run_what_if(query)
+
+    def run_batch(
+        self,
+        queries: Sequence[WhatIfQuery | HowToQuery | Exception],
+        *,
+        return_errors: bool = False,
+    ) -> list[Any]:
+        """Answer a batch with one broadcast round-trip for all what-if work.
+
+        Every worker receives the whole batch as a single ``batch`` task (one
+        task message, one result message — IPC is amortised over the suite);
+        how-to queries then run their verification rounds individually.
+        Entries that are already exceptions pass through; failures are captured
+        per query with ``return_errors=True``, else the first one is raised.
+        """
+        results: list[Any] = list(queries)
+        runnable = [
+            (index, query)
+            for index, query in enumerate(queries)
+            if not isinstance(query, Exception)
+        ]
+        subtasks = [
+            ("howto" if isinstance(query, HowToQuery) else "whatif", query)
+            for _index, query in runnable
+        ]
+        if subtasks:
+            per_shard = self._broadcast("batch", subtasks)
+            for sub_position, (index, query) in enumerate(runnable):
+                shard_outs = [shard_result[sub_position] for shard_result in per_shard]
+                failed = next((out for ok, out in shard_outs if not ok), None)
+                if failed is not None:
+                    try:
+                        _raise_worker_error(0, failed)
+                    except ShardPoolError as error:
+                        results[index] = error
+                    continue
+                partials = [out for _ok, out in shard_outs]
+                try:
+                    if isinstance(query, HowToQuery):
+                        merged = merge_how_to(query, partials)
+                        results[index] = solve_merged_how_to(
+                            query,
+                            merged,
+                            verify=self._verifier(query, len(merged.baseline_count)),
+                        )
+                    else:
+                        results[index] = merge_what_if(query, partials)
+                except Exception as error:  # noqa: BLE001 - captured per query
+                    results[index] = error
+        if not return_errors:
+            for result in results:
+                if isinstance(result, Exception):
+                    raise result
+        return results
+
+    # -- instrumentation ---------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "n_shards": self.n_shards,
+            "n_blocks": self.plan.n_blocks,
+            "n_broadcasts": self.n_broadcasts,
+            "fallback_reason": self.fallback_reason,
+        }

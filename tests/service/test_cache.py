@@ -81,13 +81,121 @@ class TestLRUCache:
         assert all(r is results[0] for r in results)
 
 
+class TestWeightedLRU:
+    def test_weight_budget_evicts_lru_first(self):
+        cache = LRUCache(max_size=10, weigher=len, max_weight=10)
+        cache.put("a", "xxxx")  # weight 4
+        cache.put("b", "xxxx")  # weight 4
+        cache.put("c", "xxxx")  # weight 4 -> total 12 > 10, evict "a"
+        assert "a" not in cache and "b" in cache and "c" in cache
+        assert cache.total_weight == 8
+        assert cache.evictions == 1
+
+    def test_single_overweight_entry_still_caches(self):
+        cache = LRUCache(max_size=10, weigher=len, max_weight=5)
+        cache.put("big", "x" * 50)
+        assert "big" in cache
+        cache.put("small", "xx")  # forces "big" out
+        assert "big" not in cache and "small" in cache
+
+    def test_replacing_entry_updates_weight(self):
+        cache = LRUCache(max_size=10, weigher=len, max_weight=100)
+        cache.put("k", "x" * 30)
+        cache.put("k", "x")
+        assert cache.total_weight == 1
+
+    def test_stats_report_weight(self):
+        cache = LRUCache(max_size=4, name="w", weigher=len, max_weight=64)
+        cache.put("k", "xyz")
+        stats = cache.stats().as_dict()
+        assert stats["weight"] == 3 and stats["max_weight"] == 64
+        # unweighted caches keep their original stats shape
+        assert "weight" not in LRUCache(max_size=4).stats().as_dict()
+
+    def test_rejects_nonpositive_weight_budget(self):
+        with pytest.raises(ValueError):
+            LRUCache(max_size=4, weigher=len, max_weight=0)
+
+
+class TestTaggedEviction:
+    def test_evict_tagged_drops_only_matching_entries(self):
+        cache = LRUCache(max_size=8)
+        cache.put("v1", 1, tags=("Credit",))
+        cache.put("v2", 2, tags=("Audit",))
+        cache.put("v3", 3, tags=("Credit", "Audit"))
+        cache.put("v4", 4)  # untagged: depends on nothing
+        assert cache.evict_tagged({"Credit"}) == 2
+        assert "v1" not in cache and "v3" not in cache
+        assert "v2" in cache and "v4" in cache
+        assert cache.evictions == 2
+
+    def test_evict_tagged_runs_on_evict_hook(self):
+        retired = []
+        cache = LRUCache(max_size=8, on_evict=lambda k, v: retired.append(k))
+        cache.get_or_create("a", lambda: 1, tags=("R",))
+        cache.evict_tagged({"R"})
+        assert retired == ["a"]
+
+    def test_empty_tag_set_is_a_no_op(self):
+        cache = LRUCache(max_size=8)
+        cache.put("a", 1, tags=("R",))
+        assert cache.evict_tagged(()) == 0
+        assert "a" in cache
+
+
+class TestTTLCache:
+    def test_entries_expire_after_ttl(self):
+        from repro.service import TTLCache
+
+        now = [0.0]
+        cache = TTLCache(max_size=4, ttl_seconds=10.0, clock=lambda: now[0])
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        now[0] = 10.5
+        assert cache.get("k") is None  # expired counts as a miss
+        assert "k" not in cache
+        rebuilt = cache.get_or_create("k", lambda: "v2")
+        assert rebuilt == "v2"
+
+    def test_rebuilt_entry_expires_again(self):
+        # regression: replacing an expired entry must refresh its timestamp,
+        # not lose it (a lost stamp made rebuilt entries immortal)
+        from repro.service import TTLCache
+
+        now = [0.0]
+        cache = TTLCache(max_size=4, ttl_seconds=10.0, clock=lambda: now[0])
+        cache.put("k", "v1")
+        now[0] = 11.0
+        assert cache.get("k") is None
+        assert cache.get_or_create("k", lambda: "v2") == "v2"
+        now[0] = 20.0
+        assert cache.get("k") == "v2"  # still fresh relative to the rebuild
+        now[0] = 22.0
+        assert cache.get("k") is None  # second expiry cycle works too
+
+    def test_none_ttl_never_expires(self):
+        from repro.service import TTLCache
+
+        now = [0.0]
+        cache = TTLCache(max_size=4, ttl_seconds=None, clock=lambda: now[0])
+        cache.put("k", "v")
+        now[0] = 1e9
+        assert cache.get("k") == "v"
+
+    def test_rejects_nonpositive_ttl(self):
+        from repro.service import TTLCache
+
+        with pytest.raises(ValueError):
+            TTLCache(max_size=4, ttl_seconds=0.0)
+
+
 class TestQueryCaches:
     def test_bundle_layout_and_clear(self):
         caches = QueryCaches(estimator_size=2, view_size=2, block_size=2, candidate_size=2)
         caches.views.put("v", 1)
         caches.estimators.put("e", 2)
         stats = caches.stats()
-        assert set(stats) == {"estimators", "views", "blocks", "candidates"}
+        assert set(stats) == {"estimators", "views", "blocks", "candidates", "results"}
         assert stats["views"]["size"] == 1
         caches.clear()
         assert len(caches.views) == 0 and len(caches.estimators) == 0

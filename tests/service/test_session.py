@@ -143,7 +143,9 @@ class TestServiceBehaviour:
             assert warm.baseline_value == cold.baseline_value
             assert warm.plan() == cold.plan()
         stats = service.stats()
-        assert stats["caches"]["candidates"]["hits"] == 1
+        # the identical repeat is served straight from the result cache
+        assert stats["caches"]["results"]["hits"] == 1
+        assert warm_second is warm_first
 
     def test_what_if_and_how_to_share_estimator(self, dataset):
         config = EngineConfig(regressor="linear")
@@ -239,6 +241,258 @@ class TestServiceBehaviour:
         assert isinstance(service, HypeRService)
         query = suite_20(dataset)[0]
         assert service.execute(query).value == session.what_if(query).value
+
+
+class TestResultCache:
+    def build_query(self, dataset, factor=1.1) -> WhatIfQuery:
+        return WhatIfQuery(
+            use=dataset.default_use,
+            updates=[AttributeUpdate("Status", MultiplyBy(factor))],
+            output_attribute="Credit",
+            output_aggregate="count",
+            for_clause=(post("Credit") == 1),
+        )
+
+    def test_identical_repeat_is_served_from_cache(self, dataset):
+        service = HypeRService(
+            dataset.database, dataset.causal_dag, EngineConfig(regressor="linear")
+        )
+        first = service.execute(self.build_query(dataset))
+        second = service.execute(self.build_query(dataset))
+        assert second is first
+        stats = service.stats()["caches"]["results"]
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_parameter_change_misses(self, dataset):
+        service = HypeRService(
+            dataset.database, dataset.causal_dag, EngineConfig(regressor="linear")
+        )
+        service.execute(self.build_query(dataset, 1.1))
+        service.execute(self.build_query(dataset, 1.2))
+        stats = service.stats()["caches"]["results"]
+        assert stats["hits"] == 0 and stats["misses"] == 2
+
+    def test_database_update_invalidates_results(self, dataset):
+        service = HypeRService(
+            dataset.database, dataset.causal_dag, EngineConfig(regressor="linear")
+        )
+        query = self.build_query(dataset)
+        before = service.execute(query)
+        relation = service.database["Credit"]
+        credit = np.asarray(relation.column("Credit"), dtype=float)
+        credit[::2] = 1.0 - credit[::2]
+        service.update_database(
+            service.database.with_relation(relation.with_column("Credit", credit))
+        )
+        after = service.execute(query)
+        assert after is not before
+        assert after.value != before.value
+
+    def test_ttl_expires_entries(self, dataset):
+        service = HypeRService(
+            dataset.database,
+            dataset.causal_dag,
+            EngineConfig(regressor="linear"),
+            result_ttl_seconds=30.0,
+        )
+        query = self.build_query(dataset)
+        first = service.execute(query)
+        assert service.execute(query) is first
+        # age the entry past its TTL via the cache's internal clock
+        results = service.caches.results
+        results._inserted_at = {
+            key: stamp - 60.0 for key, stamp in results._inserted_at.items()
+        }
+        assert service.execute(query) is not first
+
+    def test_zero_size_disables_result_caching(self, dataset):
+        service = HypeRService(
+            dataset.database,
+            dataset.causal_dag,
+            EngineConfig(regressor="linear"),
+            result_cache_size=0,
+        )
+        query = self.build_query(dataset)
+        assert service.execute(query) is not service.execute(query)
+        assert service.stats()["caches"]["results"]["misses"] == 0
+
+
+class TestFineGrainedInvalidation:
+    @pytest.fixture()
+    def service(self, dataset):
+        from repro import Database, Relation
+
+        audit = Relation.from_columns(
+            "Audit",
+            {"AuditID": list(range(8)), "Note": [float(i) for i in range(8)]},
+            key=["AuditID"],
+        )
+        relations = list(dataset.database) + [audit]
+        database = Database(relations, dataset.database.foreign_keys)
+        return HypeRService(
+            database, dataset.causal_dag, EngineConfig(regressor="linear")
+        )
+
+    def build_query(self, dataset) -> WhatIfQuery:
+        return WhatIfQuery(
+            use=dataset.default_use,
+            updates=[AttributeUpdate("Status", SetTo(4))],
+            output_attribute="Credit",
+            output_aggregate="count",
+            for_clause=(post("Credit") == 1),
+        )
+
+    def test_unrelated_update_keeps_estimators_warm(self, service, dataset):
+        query = self.build_query(dataset)
+        before = service.execute(query)
+        assert service.stats()["caches"]["estimators"]["size"] == 1
+        fits_before = service.stats()["regressors"]["fits"]
+
+        audit = service.database["Audit"]
+        updated = audit.with_column("Note", [float(i) + 0.5 for i in range(8)])
+        service.update_database(service.database.with_relation(updated))
+
+        assert service.relation_generations["Audit"] == 1
+        assert service.relation_generations["Credit"] == 0
+        # the estimator and view built from Credit survived the Audit update
+        assert service.stats()["caches"]["estimators"]["size"] == 1
+        assert service.stats()["caches"]["views"]["size"] == 1
+        after = service.execute(query)
+        assert after.value == before.value
+        assert service.stats()["regressors"]["fits"] == fits_before  # no refit
+
+    def test_dependent_update_evicts(self, service, dataset):
+        query = self.build_query(dataset)
+        service.execute(query)
+        relation = service.database["Credit"]
+        credit = np.asarray(relation.column("Credit"), dtype=float)
+        credit[::3] = 1.0 - credit[::3]
+        service.update_database(
+            service.database.with_relation(relation.with_column("Credit", credit))
+        )
+        assert service.relation_generations["Credit"] == 1
+        assert service.stats()["caches"]["estimators"]["size"] == 0
+        cold = HypeR(service.database, dataset.causal_dag, EngineConfig(regressor="linear"))
+        assert service.execute(query).value == cold.what_if(query).value
+
+    def test_block_labels_depend_on_every_relation(self, service, dataset):
+        query = self.build_query(dataset)
+        service.execute(query)
+        assert service.stats()["caches"]["blocks"]["size"] == 1
+        audit = service.database["Audit"]
+        service.update_database(
+            service.database.with_relation(
+                audit.with_column("Note", [float(i) - 1.0 for i in range(8)])
+            )
+        )
+        # cross-relation edges can re-shape blocks: the labels are rebuilt
+        assert service.stats()["caches"]["blocks"]["size"] == 0
+
+
+class TestCostAwareEviction:
+    def test_weight_budget_evicts_despite_entry_headroom(self, dataset):
+        config = EngineConfig(regressor="linear")
+        probe = HypeRService(dataset.database, dataset.causal_dag, config)
+        probe.execute(
+            WhatIfQuery(
+                use=dataset.default_use,
+                updates=[AttributeUpdate("Status", MultiplyBy(1.1))],
+                output_attribute="Credit",
+                output_aggregate="count",
+                for_clause=(post("Credit") == 1),
+            )
+        )
+        one_weight = probe.stats()["caches"]["estimators"]["weight"]
+        assert one_weight > 0
+
+        # budget for ~1.5 estimators: the second plan must evict the first
+        service = HypeRService(
+            dataset.database,
+            dataset.causal_dag,
+            config,
+            estimator_cache_size=64,
+            estimator_cache_weight=int(one_weight * 1.5),
+        )
+        for attribute in ("Status", "Housing", "Savings"):
+            service.execute(
+                WhatIfQuery(
+                    use=dataset.default_use,
+                    updates=[AttributeUpdate(attribute, MultiplyBy(1.1))],
+                    output_attribute="Credit",
+                    output_aggregate="count",
+                    for_clause=(post("Credit") == 1),
+                )
+            )
+        stats = service.stats()["caches"]["estimators"]
+        # plans have different feature counts, so at least one (typically two)
+        # of the three estimators must have been evicted to stay in budget
+        assert stats["evictions"] >= 1
+        assert stats["weight"] <= int(one_weight * 1.5)
+        assert stats["size"] < 3
+        # monotonic regressor totals still fold in evicted estimators
+        assert service.stats()["regressors"]["fits"] == 3
+
+
+class TestProcessesExecution:
+    @pytest.fixture(scope="class")
+    def services(self, dataset):
+        config = EngineConfig(regressor="linear")
+        threads = HypeRService(dataset.database, dataset.causal_dag, config)
+        processes = HypeRService(
+            dataset.database,
+            dataset.causal_dag,
+            config,
+            execution="processes",
+            n_shards=2,
+        )
+        yield threads, processes
+        processes.close()
+
+    def test_execute_matches_threads_bitwise(self, services, dataset):
+        threads, processes = services
+        for query in suite_20(dataset)[:8]:
+            assert processes.execute(query).value == threads.execute(query).value
+
+    def test_execute_many_matches_and_uses_one_broadcast(self, services, dataset):
+        threads, processes = services
+        queries = suite_20(dataset)[8:16]
+        expected = [threads.execute(q).value for q in queries]
+        before = processes.stats()["pool"]["n_broadcasts"] if processes.stats()["pool"] else 0
+        results = processes.execute_many(queries)
+        assert [r.value for r in results] == expected
+        stats = processes.stats()
+        assert stats["execution"] == "processes"
+        assert stats["pool"]["n_shards"] == 2
+        assert stats["pool"]["n_broadcasts"] == before + 1
+
+    def test_update_database_rebuilds_pool(self, dataset):
+        config = EngineConfig(regressor="linear")
+        service = HypeRService(
+            dataset.database,
+            dataset.causal_dag,
+            config,
+            execution="processes",
+            n_shards=2,
+        )
+        try:
+            query = suite_20(dataset)[0]
+            before = service.execute(query).value
+            relation = service.database["Credit"]
+            credit = np.asarray(relation.column("Credit"), dtype=float)
+            credit[::4] = 1.0 - credit[::4]
+            service.update_database(
+                service.database.with_relation(relation.with_column("Credit", credit))
+            )
+            after = service.execute(query)
+            cold = HypeR(service.database, dataset.causal_dag, config).what_if(query)
+            assert after.value == cold.value
+            assert after.value != before
+        finally:
+            service.close()
+
+    def test_rejects_unknown_execution_mode(self, dataset):
+        with pytest.raises(Exception):
+            HypeRService(dataset.database, dataset.causal_dag, execution="fibers")
 
 
 class TestInvalidation:

@@ -1,0 +1,130 @@
+"""ShardPool behaviour: real worker processes, batches, failures, fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EngineConfig, HowToQuery, HypeR, LimitConstraint, WhatIfQuery
+from repro.core.updates import AttributeUpdate, MultiplyBy
+from repro.datasets import make_german_syn
+from repro.relational import post
+from repro.shard import ShardPool, ShardPoolError, partition_database
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_german_syn(200, seed=7)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return EngineConfig(regressor="linear")
+
+
+def make_queries(dataset, n=6) -> list[WhatIfQuery]:
+    return [
+        WhatIfQuery(
+            use=dataset.default_use,
+            updates=[AttributeUpdate("Status", MultiplyBy(1.0 + 0.05 * i))],
+            output_attribute="Credit",
+            output_aggregate="count",
+            for_clause=(post("Credit") == 1),
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def pool(dataset, config):
+    plan = partition_database(dataset.database, dataset.causal_dag, 3)
+    pool = ShardPool(plan, dataset.causal_dag, config).start()
+    yield pool
+    pool.close()
+
+
+class TestProcessPool:
+    def test_worker_processes_match_unsharded_bitwise(self, dataset, config, pool):
+        session = HypeR(dataset.database, dataset.causal_dag, config)
+        for query in make_queries(dataset, 3):
+            assert pool.run_what_if(query).value == session.what_if(query).value
+
+    def test_pool_is_persistent_across_batches(self, dataset, pool):
+        queries = make_queries(dataset, 4)
+        before = pool.n_broadcasts
+        first = pool.run_batch(queries)
+        second = pool.run_batch(queries)
+        assert [r.value for r in first] == [r.value for r in second]
+        assert pool.n_broadcasts == before + 2
+        assert pool.stats()["mode"] in ("processes", "inline")
+
+    def test_how_to_through_processes(self, dataset, config, pool):
+        query = HowToQuery(
+            use=dataset.default_use,
+            update_attributes=["Status"],
+            objective_attribute="Credit",
+            objective_aggregate="count",
+            for_clause=(post("Credit") == 1),
+            limits=[LimitConstraint("Status", lower=1.0, upper=4.0)],
+            candidate_buckets=3,
+            candidate_multipliers=(),
+        )
+        session = HypeR(dataset.database, dataset.causal_dag, config)
+        unsharded = session.how_to(query)
+        sharded = pool.run_how_to(query)
+        assert sharded.objective_value == unsharded.objective_value
+        assert sharded.plan() == unsharded.plan()
+        assert sharded.verified_value == unsharded.verified_value
+        # exhaustive Opt-HowTo runs unsharded on one worker
+        exhaustive = pool.run_how_to(query, exhaustive=True)
+        assert exhaustive.objective_value == session.how_to(query, exhaustive=True).objective_value
+
+    def test_batch_captures_per_query_errors(self, dataset, pool):
+        bad = WhatIfQuery(
+            use=dataset.default_use,
+            updates=[AttributeUpdate("Status", MultiplyBy(1.1))],
+            output_attribute="NoSuchColumn",
+            output_aggregate="count",
+            for_clause=(post("Credit") == 1),
+        )
+        queries = [*make_queries(dataset, 2), bad]
+        results = pool.run_batch(queries, return_errors=True)
+        assert all(not isinstance(r, Exception) for r in results[:2])
+        assert isinstance(results[2], ShardPoolError)
+        with pytest.raises(ShardPoolError):
+            pool.run_batch([bad])
+
+    def test_single_query_error_propagates(self, dataset, pool):
+        bad = WhatIfQuery(
+            use=dataset.default_use,
+            updates=[AttributeUpdate("Status", MultiplyBy(1.1))],
+            output_attribute="NoSuchColumn",
+            output_aggregate="count",
+            for_clause=(post("Credit") == 1),
+        )
+        with pytest.raises(ShardPoolError):
+            pool.run_what_if(bad)
+        # the pool survives worker-side failures
+        good = make_queries(dataset, 1)[0]
+        assert pool.run_what_if(good) is not None
+
+
+class TestInlineFallback:
+    def test_forced_inline_mode_matches(self, dataset, config):
+        plan = partition_database(dataset.database, dataset.causal_dag, 2)
+        pool = ShardPool(plan, dataset.causal_dag, config, inline=True).start()
+        try:
+            assert pool.mode == "inline"
+            assert pool.stats()["fallback_reason"] == "requested"
+            session = HypeR(dataset.database, dataset.causal_dag, config)
+            query = make_queries(dataset, 1)[0]
+            assert pool.run_what_if(query).value == session.what_if(query).value
+        finally:
+            pool.close()
+
+    def test_closed_pool_refuses_work(self, dataset, config):
+        plan = partition_database(dataset.database, dataset.causal_dag, 2)
+        pool = ShardPool(plan, dataset.causal_dag, config, inline=True).start()
+        pool.close()
+        with pytest.raises(ShardPoolError):
+            pool.run_what_if(make_queries(dataset, 1)[0])
+        pool.close()  # idempotent
