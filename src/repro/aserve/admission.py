@@ -1,0 +1,218 @@
+"""Admission control: bounded concurrency, bounded queueing, fast rejection.
+
+The controller is the async front door's overload policy.  Capacity is
+``max_inflight`` execution slots plus a waiting room of ``queue_depth``
+reservations; a request that fits neither is rejected **synchronously on the
+event loop** — an O(1) counter check, no awaiting, no thread handoff — with a
+``Retry-After`` estimate derived from observed query latency.  Overload
+therefore costs the server microseconds per excess request instead of a
+thread, a socket buffer, or an unbounded queue entry.
+
+Backpressure signals are read live from
+:meth:`~repro.service.session.HypeRService.serving_signals` at every
+decision:
+
+* the **service-level in-flight count** covers executions from *every*
+  front-end sharing the service (the threaded server, direct library calls),
+  so capacity consumed elsewhere shrinks what this front door admits;
+* the **per-endpoint latency sums** turn the current backlog into the
+  ``Retry-After`` hint (backlog × average query seconds / slots);
+* rejections are pushed back into the service's counters
+  (:meth:`~repro.service.session.HypeRService.record_rejection`), so
+  ``stats()["serving"]["rejected_total"]`` is the system-wide truth.
+
+Unit lifecycle: ``try_admit(n)`` reserves ``n`` queued units or raises
+:class:`AdmissionRejected`; each unit then moves queued → in-flight via
+``await acquire_slot()`` (bounded by the semaphore) and is returned with
+``release_slot()``.  ``cancel_reservation`` returns units whose work never
+started (client vanished between admission and execution).  ``wait_idle``
+is the drain barrier the lifecycle runner blocks on at shutdown.
+
+Decision latencies are kept in a bounded reservoir so ``stats()`` can report
+the p50/p99 admission decision time — the ISSUE's acceptance criterion
+(p99 < 50 ms) is asserted from exactly these numbers by
+``benchmarks/bench_async_load.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..service.session import HypeRService
+
+__all__ = ["AdmissionController", "AdmissionRejected"]
+
+
+class AdmissionRejected(Exception):
+    """Raised by ``try_admit`` when the request would exceed capacity."""
+
+    def __init__(self, message: str, *, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+class AdmissionController:
+    """Bounded admission queue feeding a fixed number of execution slots.
+
+    Single-threaded by construction: every method except ``stats`` must run
+    on the event loop, which is what makes the counter arithmetic safe
+    without locks and the admission decision O(1).
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        queue_depth: int = 16,
+        *,
+        service: "HypeRService | None" = None,
+        min_retry_after: float = 0.1,
+        decision_window: int = 4096,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self.min_retry_after = min_retry_after
+        self._service = service
+        self._slots = asyncio.Semaphore(max_inflight)
+        self._queued = 0
+        self._inflight = 0
+        self._peak_queued = 0
+        self._peak_inflight = 0
+        self._admitted_total = 0
+        self._rejected_total = 0
+        self._decisions: deque[float] = deque(maxlen=decision_window)
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    @property
+    def capacity(self) -> int:
+        """Total units admitted at once: executing plus queued."""
+        return self.max_inflight + self.queue_depth
+
+    @property
+    def occupied(self) -> int:
+        return self._inflight + self._queued
+
+    # -- the admission decision --------------------------------------------------------
+
+    def try_admit(self, units: int = 1, *, endpoint: str = "query") -> None:
+        """Reserve ``units`` of capacity or raise :class:`AdmissionRejected`.
+
+        Synchronous and O(1): called on the event loop between parsing a
+        request and dispatching it, so an overloaded server answers 429 in
+        microseconds.  A ``/batch`` of *k* queries reserves *k* units in one
+        decision — either the whole batch is admitted or none of it.
+        """
+        started = time.perf_counter()
+        try:
+            external = 0
+            signals: dict[str, Any] | None = None
+            if self._service is not None:
+                signals = self._service.serving_signals()
+                # work in flight on other front-ends sharing the service
+                external = max(0, signals["in_flight"] - self._inflight)
+            if self.occupied + external + units > self.capacity:
+                self._rejected_total += units
+                if self._service is not None:
+                    self._service.record_rejection(endpoint, units=units)
+                raise AdmissionRejected(
+                    f"at capacity: {self._inflight} executing, {self._queued} queued"
+                    + (f", {external} external" if external else "")
+                    + f" (max_inflight={self.max_inflight}, queue_depth={self.queue_depth})",
+                    retry_after=self._estimate_retry_after(units, signals),
+                )
+            # ``queued`` gauges admitted units not yet holding an execution
+            # slot; a freshly admitted batch parks all its units here for an
+            # instant even when slots are free, so the hard capacity bound
+            # is occupied <= capacity, not queued <= queue_depth.
+            self._queued += units
+            self._admitted_total += units
+            if self._queued > self._peak_queued:
+                self._peak_queued = self._queued
+            self._idle.clear()
+        finally:
+            self._decisions.append(time.perf_counter() - started)
+
+    def _estimate_retry_after(
+        self, units: int, signals: dict[str, Any] | None
+    ) -> float:
+        """Backlog × average query latency / slots, floored at ``min_retry_after``."""
+        per_query = 0.1
+        if signals is not None:
+            bucket = signals.get("latency", {}).get("query")
+            if bucket and bucket["count"]:
+                per_query = bucket["seconds"] / bucket["count"]
+        backlog = self.occupied + units
+        return max(self.min_retry_after, backlog * per_query / self.max_inflight)
+
+    # -- unit lifecycle ----------------------------------------------------------------
+
+    async def acquire_slot(self) -> None:
+        """Move one reserved unit from the queue into execution (may wait)."""
+        try:
+            await self._slots.acquire()
+        except asyncio.CancelledError:
+            self.cancel_reservation()
+            raise
+        self._queued -= 1
+        self._inflight += 1
+        if self._inflight > self._peak_inflight:
+            self._peak_inflight = self._inflight
+
+    def release_slot(self) -> None:
+        """Return one executing unit's slot."""
+        self._inflight -= 1
+        self._slots.release()
+        self._maybe_idle()
+
+    def cancel_reservation(self, units: int = 1) -> None:
+        """Return reserved units whose work never started."""
+        self._queued -= units
+        self._maybe_idle()
+
+    def _maybe_idle(self) -> None:
+        if self._inflight + self._queued == 0:
+            self._idle.set()
+
+    async def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no unit is queued or executing; the drain barrier."""
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    # -- instrumentation ---------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        decisions = sorted(self._decisions)
+        return {
+            "max_inflight": self.max_inflight,
+            "queue_depth": self.queue_depth,
+            "in_flight": self._inflight,
+            "queued": self._queued,
+            "peak_in_flight": self._peak_inflight,
+            "peak_queued": self._peak_queued,
+            "admitted_total": self._admitted_total,
+            "rejected_total": self._rejected_total,
+            "decisions": {
+                "count": len(self._decisions),
+                "p50_seconds": _quantile(decisions, 0.50),
+                "p99_seconds": _quantile(decisions, 0.99),
+                "max_seconds": decisions[-1] if decisions else 0.0,
+            },
+        }

@@ -1,0 +1,360 @@
+"""Endpoint routing for the asyncio front-end.
+
+:class:`AsyncApp` owns one connection loop (`handle_connection`, passed to
+``asyncio.start_server``) and the four endpoints, mirroring the threaded
+server's contract plus the overload and streaming behaviors:
+
+* ``GET /health`` — ``200 {"status": "ok"}``, or ``503 {"status":
+  "draining"}`` once shutdown has begun;
+* ``GET /stats`` — :meth:`HypeRService.stats` (which embeds the serving
+  counters) plus an ``"aserve"`` section with the admission controller's
+  numbers (queue occupancy, peaks, decision-time percentiles);
+* ``POST /query`` — admission-controlled single query.  At capacity the
+  answer is ``429`` with a ``Retry-After`` header, decided synchronously on
+  the event loop; admitted work is handed to the executor thread pool so the
+  loop never blocks on an engine call;
+* ``POST /batch`` — reserves one admission unit per query (whole batch or
+  nothing), then **streams** NDJSON lines in order of *completion*: one slow
+  how-to no longer head-of-line-blocks the other answers.  Each line is
+  ``{"index": i, "result": {...}}`` or ``{"index": i, "error": "..."}``,
+  closed by ``{"done": true, "n_queries": k}``.
+
+Body handling shares :func:`~repro.service.server.check_body_length` /
+:func:`~repro.service.server.decode_json_object` with the threaded server:
+oversized bodies are ``413`` (rejected before the read, in the protocol
+layer), malformed JSON ``400`` — byte-identical policy on both front doors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import math
+from concurrent.futures import Executor, ThreadPoolExecutor
+from contextlib import suppress
+from typing import Any, Awaitable, Callable
+
+from ..exceptions import HypeRError
+from ..service.server import MAX_BODY_BYTES, PayloadError, decode_json_object
+from ..service.session import HypeRService
+from .admission import AdmissionController, AdmissionRejected
+from .protocol import (
+    ChunkedJsonWriter,
+    HttpProtocolError,
+    Request,
+    read_request,
+    render_json_response,
+)
+
+__all__ = ["AsyncApp"]
+
+
+def _retry_after_headers(rejected: AdmissionRejected) -> dict[str, str]:
+    return {"Retry-After": str(max(1, math.ceil(rejected.retry_after)))}
+
+
+class AsyncApp:
+    """Routes parsed requests to a shared :class:`HypeRService`.
+
+    ``executor`` is the thread pool blocking engine calls run on (sized to
+    ``max_inflight`` by the runner, so the admission semaphore — not the
+    pool — is the true concurrency bound).  Setting :attr:`draining` flips
+    ``/health`` to 503 and stamps ``Connection: close`` on every response so
+    keep-alive clients migrate away while in-flight work finishes.
+    """
+
+    def __init__(
+        self,
+        service: HypeRService,
+        admission: AdmissionController,
+        *,
+        max_body_bytes: int = MAX_BODY_BYTES,
+        executor: Executor | None = None,
+        keep_alive_timeout: float = 75.0,
+    ) -> None:
+        self.service = service
+        self.admission = admission
+        self.max_body_bytes = max_body_bytes
+        self.keep_alive_timeout = keep_alive_timeout
+        self.draining = False
+        self._executor = executor
+        # /stats must stay responsive when the query executor is saturated
+        # (that's when an operator needs it) but service.stats() can also
+        # block briefly on the engine lock during update_database — so it
+        # gets its own single thread instead of the loop or the query pool
+        self._aux_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="aserve-aux"
+        )
+        # connection tracking for the drain: open sockets, and the subset
+        # currently inside a request handler (mid-response, must not be cut)
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._busy: set[asyncio.StreamWriter] = set()
+
+    def close(self) -> None:
+        """Release the app's own resources (the runner calls this at drain)."""
+        self._aux_executor.shutdown(wait=False, cancel_futures=True)
+
+    @property
+    def open_connections(self) -> int:
+        return len(self._connections)
+
+    def abort_idle_connections(self) -> None:
+        """Close keep-alive connections that are between requests.
+
+        Busy connections finish their in-flight response first (draining
+        responses carry ``Connection: close``, so they end themselves); the
+        lifecycle runner sweeps until none remain.
+        """
+        for writer in list(self._connections - self._busy):
+            writer.close()
+
+    def abort_all_connections(self) -> None:
+        for writer in list(self._connections):
+            writer.close()
+
+    # -- connection loop ---------------------------------------------------------------
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        read_request(reader, max_body_bytes=self.max_body_bytes),
+                        self.keep_alive_timeout,
+                    )
+                except asyncio.TimeoutError:
+                    break  # idle keep-alive connection: close silently
+                except HttpProtocolError as error:
+                    keep = not error.close
+                    writer.write(
+                        render_json_response(
+                            error.status, {"error": str(error)}, keep_alive=keep
+                        )
+                    )
+                    await writer.drain()
+                    if keep:
+                        continue
+                    break
+                if request is None:
+                    break
+                keep_alive = request.keep_alive and not self.draining
+                self._busy.add(writer)
+                try:
+                    if not await self._dispatch(request, writer, keep_alive):
+                        break
+                finally:
+                    self._busy.discard(writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; admission units are released in finallys
+        finally:
+            self._connections.discard(writer)
+            self._busy.discard(writer)
+            writer.close()
+            with suppress(ConnectionError, asyncio.TimeoutError):
+                await writer.wait_closed()
+
+    async def _dispatch(
+        self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> bool:
+        """Answer one request; returns whether the connection stays open."""
+        route: Callable[..., Awaitable[bool]] | None = {
+            ("GET", "/health"): self._handle_health,
+            ("GET", "/stats"): self._handle_stats,
+            ("POST", "/query"): self._handle_query,
+            ("POST", "/batch"): self._handle_batch,
+        }.get((request.method, request.path))
+        if route is None:
+            return await self._send(
+                writer, 404, {"error": f"unknown path {request.path!r}"}, keep_alive
+            )
+        return await route(request, writer, keep_alive)
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+        keep_alive: bool,
+        *,
+        extra_headers: dict[str, str] | None = None,
+    ) -> bool:
+        writer.write(
+            render_json_response(
+                status, payload, keep_alive=keep_alive, extra_headers=extra_headers
+            )
+        )
+        await writer.drain()
+        return keep_alive
+
+    async def _run_blocking(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Any:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, functools.partial(fn, *args, **kwargs)
+        )
+
+    # -- endpoints ---------------------------------------------------------------------
+
+    async def _handle_health(
+        self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> bool:
+        if self.draining:
+            return await self._send(
+                writer, 503, {"status": "draining"}, keep_alive=False
+            )
+        return await self._send(
+            writer,
+            200,
+            {"status": "ok", "generation": self.service.generation},
+            keep_alive,
+        )
+
+    async def _handle_stats(
+        self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> bool:
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(self._aux_executor, self.service.stats)
+        payload["aserve"] = {
+            "draining": self.draining,
+            "admission": self.admission.stats(),
+        }
+        return await self._send(writer, 200, payload, keep_alive)
+
+    async def _handle_query(
+        self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> bool:
+        # a /query is always one admission unit, so the overload answer needs
+        # no look at the body: admit first, decode only if admitted (an
+        # overloaded server must not pay a JSON parse per rejected request)
+        try:
+            self.admission.try_admit(1, endpoint="query")
+        except AdmissionRejected as rejected:
+            return await self._send(
+                writer,
+                429,
+                {"error": str(rejected), "retry_after": rejected.retry_after},
+                keep_alive,
+                extra_headers=_retry_after_headers(rejected),
+            )
+        try:
+            body = decode_json_object(request.body)
+            text = body.get("query")
+            if not isinstance(text, str):
+                raise PayloadError(400, 'body must contain a "query" string')
+        except PayloadError as error:
+            self.admission.cancel_reservation(1)
+            return await self._send(writer, error.status, {"error": str(error)}, keep_alive)
+        await self.admission.acquire_slot()
+        # the unit is released only after the response bytes are written:
+        # "finish in-flight" at drain time includes delivering the answer
+        try:
+            try:
+                result = await self._run_blocking(
+                    self.service.execute,
+                    text,
+                    exhaustive=bool(body.get("exhaustive", False)),
+                )
+            except (HypeRError, ValueError) as error:
+                return await self._send(writer, 400, {"error": str(error)}, keep_alive)
+            except Exception as error:  # noqa: BLE001 - keep the JSON contract
+                return await self._send(
+                    writer, 500, {"error": f"{type(error).__name__}: {error}"}, keep_alive
+                )
+            return await self._send(writer, 200, result.payload(), keep_alive)
+        finally:
+            self.admission.release_slot()
+
+    async def _handle_batch(
+        self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> bool:
+        try:
+            body = decode_json_object(request.body)
+            texts = body.get("queries")
+            if not isinstance(texts, list) or not all(
+                isinstance(t, str) for t in texts
+            ):
+                raise PayloadError(400, 'body must contain a "queries" list of strings')
+        except PayloadError as error:
+            return await self._send(writer, error.status, {"error": str(error)}, keep_alive)
+        if not texts:
+            return await self._send(
+                writer, 200, {"results": [], "n_queries": 0}, keep_alive
+            )
+        if len(texts) > self.admission.capacity:
+            # no amount of retrying can fit this batch: a 429 would lie, so
+            # answer 413 and tell the client to split
+            return await self._send(
+                writer,
+                413,
+                {
+                    "error": (
+                        f"batch of {len(texts)} queries exceeds this server's "
+                        f"total admission capacity of {self.admission.capacity} "
+                        "(max_inflight + queue_depth); split the batch"
+                    )
+                },
+                keep_alive,
+            )
+        try:
+            # one unit per query: the whole batch is admitted or none of it
+            self.admission.try_admit(len(texts), endpoint="batch")
+        except AdmissionRejected as rejected:
+            return await self._send(
+                writer,
+                429,
+                {"error": str(rejected), "retry_after": rejected.retry_after},
+                keep_alive,
+                extra_headers=_retry_after_headers(rejected),
+            )
+
+        stream = ChunkedJsonWriter(writer, keep_alive=keep_alive)
+        send_lock = asyncio.Lock()
+        dead = False  # flipped when the client vanishes mid-stream
+
+        async def run_one(index: int, text: str) -> None:
+            nonlocal dead
+            # Each unit owns its whole slot lifecycle (acquire → execute →
+            # send → release): no unit ever waits on another unit's send, so
+            # a client disconnect can neither deadlock the handler nor leak
+            # capacity.  The slot is released only after the line is written
+            # (or the connection is known dead), so a drain never cuts off
+            # an undelivered result.  A cancelled acquire returns its own
+            # reservation and never reaches the try block.
+            await self.admission.acquire_slot()
+            try:
+                try:
+                    result = await self._run_blocking(self.service.execute, text)
+                    line: dict[str, Any] = {"index": index, "result": result.payload()}
+                except asyncio.CancelledError:
+                    raise
+                except Exception as error:  # noqa: BLE001 - captured per query
+                    line = {"index": index, "error": str(error)}
+                async with send_lock:
+                    if not dead:
+                        try:
+                            await stream.send(line)
+                        except (ConnectionError, asyncio.TimeoutError):
+                            dead = True
+            finally:
+                self.admission.release_slot()
+
+        try:
+            await stream.start()
+        except (ConnectionError, asyncio.TimeoutError):
+            self.admission.cancel_reservation(len(texts))
+            return False
+        # lines leave in order of *completion*: fast queries stream out while
+        # slow ones are still executing
+        await asyncio.gather(
+            *(run_one(index, text) for index, text in enumerate(texts))
+        )
+        if dead:
+            return False
+        try:
+            await stream.send({"done": True, "n_queries": len(texts)})
+            await stream.finish()
+        except (ConnectionError, asyncio.TimeoutError):
+            return False
+        return keep_alive

@@ -13,7 +13,10 @@ system (the ROADMAP's production north star):
 * :mod:`~repro.service.session` — the :class:`HypeRService` facade
   (``prepare`` / ``execute`` / ``execute_many`` / ``stats``);
 * :mod:`~repro.service.server` — a stdlib HTTP JSON endpoint
-  (``repro serve``).
+  (``repro serve``) with graceful SIGTERM/SIGINT drain and the shared
+  payload/limit helpers (:class:`PayloadError`, :func:`check_body_length`,
+  :func:`decode_json_object`) the asyncio front-end (:mod:`repro.aserve`,
+  ``repro serve --async``) reuses.
 
 See ``docs/service.md`` for the architecture and invalidation rules.
 """
@@ -31,7 +34,14 @@ from .fingerprint import (
     use_key,
     use_relations,
 )
-from .server import make_server, serve
+from .server import (
+    MAX_BODY_BYTES,
+    PayloadError,
+    check_body_length,
+    decode_json_object,
+    make_server,
+    serve,
+)
 from .session import HypeRService, PreparedPlan
 
 __all__ = [
@@ -39,10 +49,14 @@ __all__ = [
     "CacheStats",
     "HypeRService",
     "LRUCache",
+    "MAX_BODY_BYTES",
+    "PayloadError",
     "PlanFingerprint",
     "PreparedPlan",
     "QueryCaches",
     "TTLCache",
+    "check_body_length",
+    "decode_json_object",
     "config_key",
     "dag_key",
     "default_max_workers",

@@ -14,22 +14,68 @@ request on its own thread to a shared, thread-safe service.  Endpoints:
   batch completes.
 
 Query errors (parse/semantics) on ``/query`` return HTTP 400 with
-``{"error": ...}``, unexpected engine failures 500; unknown paths 404.  Start one from Python with :func:`serve` or from the
-command line with ``repro serve --dataset german-syn``.
+``{"error": ...}``, unexpected engine failures 500; unknown paths 404;
+oversized bodies 413 and malformed JSON 400 (the shared
+:func:`check_body_length` / :func:`decode_json_object` helpers give the
+asyncio front-end in :mod:`repro.aserve` the identical contract).  Start one
+from Python with :func:`serve` or from the command line with ``repro serve
+--dataset german-syn``; :func:`serve` installs SIGTERM/SIGINT handlers that
+stop the listener, finish in-flight requests, and release the service's
+shard pool.
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from ..exceptions import HypeRError
 from .session import HypeRService
 
-__all__ = ["make_server", "serve"]
+__all__ = [
+    "MAX_BODY_BYTES",
+    "PayloadError",
+    "check_body_length",
+    "decode_json_object",
+    "make_server",
+    "serve",
+]
 
-_MAX_BODY_BYTES = 4 * 1024 * 1024
+#: default request-body ceiling shared by the threaded and asyncio front-ends
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class PayloadError(ValueError):
+    """A request body rejected before execution; carries the HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def check_body_length(length: int | None, *, max_bytes: int = MAX_BODY_BYTES) -> int:
+    """Validate a declared Content-Length: 400 when absent, 413 when too big."""
+    if length is None or length <= 0:
+        raise PayloadError(400, "request body missing (Content-Length required)")
+    if length > max_bytes:
+        raise PayloadError(
+            413, f"request body of {length} bytes exceeds the {max_bytes}-byte limit"
+        )
+    return length
+
+
+def decode_json_object(raw: bytes) -> dict[str, Any]:
+    """Decode a request body into a JSON object; malformed input is 400."""
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise PayloadError(400, f"malformed JSON body: {error}") from None
+    if not isinstance(data, dict):
+        raise PayloadError(400, "request body must be a JSON object")
+    return data
 
 
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -58,13 +104,13 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _read_json_body(self) -> dict[str, Any]:
-        length = int(self.headers.get("Content-Length") or 0)
-        if length <= 0 or length > _MAX_BODY_BYTES:
-            raise ValueError("request body missing or too large")
-        data = json.loads(self.rfile.read(length).decode())
-        if not isinstance(data, dict):
-            raise ValueError("request body must be a JSON object")
-        return data
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length) if raw_length is not None else None
+        except ValueError:
+            raise PayloadError(400, f"invalid Content-Length {raw_length!r}") from None
+        length = check_body_length(length)
+        return decode_json_object(self.rfile.read(length))
 
     # -- routes ------------------------------------------------------------------------
 
@@ -79,8 +125,10 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
         try:
             body = self._read_json_body()
-        except (ValueError, json.JSONDecodeError) as error:
-            self._send_json(400, {"error": f"invalid request body: {error}"})
+        except PayloadError as error:
+            # 413 for oversized bodies, 400 for missing/malformed ones — the
+            # shared helpers keep this identical to the async front-end.
+            self._send_json(error.status, {"error": str(error)})
             return
         try:
             if self.path == "/query":
@@ -125,22 +173,86 @@ def make_server(
     ``port=0`` binds an ephemeral port (useful for tests); read the actual
     address from ``server.server_address``.
     """
-    server = ThreadingHTTPServer((host, port), _ServiceRequestHandler)
+    class _Server(ThreadingHTTPServer):
+        # socketserver's default listen backlog of 5 resets connections the
+        # moment a few dozen clients arrive at once; without keep-alive every
+        # request is a fresh connection, so the backlog must absorb bursts.
+        request_queue_size = 128
+        # Handler threads stay daemonic (a hung engine call must never block
+        # process exit), but ``block_on_close`` keeps them registered so
+        # ``server_close()`` joins them — ``serve()`` runs that join on a
+        # helper thread with a timeout, giving a *bounded* drain.
+        daemon_threads = True
+        block_on_close = True
+
+    server = _Server((host, port), _ServiceRequestHandler)
     server.hyper_service = service  # type: ignore[attr-defined]
     return server
 
 
 def serve(
-    service: HypeRService, host: str = "127.0.0.1", port: int = 8000
-) -> None:  # pragma: no cover - blocking loop, exercised manually / via CLI
-    """Serve forever (Ctrl-C to stop); used by the ``repro serve`` subcommand."""
+    service: HypeRService,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    *,
+    shutdown_event: threading.Event | None = None,
+    drain_timeout: float = 30.0,
+) -> None:
+    """Serve until SIGTERM/SIGINT (or ``shutdown_event``), then drain and close.
+
+    Graceful shutdown: the signal stops the listener (no new connections),
+    in-flight handler threads finish their responses (``server_close`` joins
+    them, run on a helper thread bounded by ``drain_timeout`` so one hung
+    request cannot block shutdown forever), and :meth:`HypeRService.close`
+    releases the shard worker pool — workers are never left to be
+    garbage-collected.  ``shutdown_event`` lets embedding code (tests)
+    request the same drain without a signal; when ``serve`` is not on the
+    main thread, signal handlers are skipped and the event is the only
+    trigger.
+    """
     server = make_server(service, host, port)
     bound_host, bound_port = server.server_address[:2]
-    print(f"HypeR service listening on http://{bound_host}:{bound_port}")
-    print("endpoints: GET /health, GET /stats, POST /query, POST /batch")
+    print(f"HypeR service listening on http://{bound_host}:{bound_port}", flush=True)
+    print("endpoints: GET /health, GET /stats, POST /query, POST /batch", flush=True)
+    stop = shutdown_event if shutdown_event is not None else threading.Event()
+    previous: dict[int, Any] = {}
+
+    def _request_stop(signum: int, frame: Any) -> None:
+        stop.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _request_stop)
+        except ValueError:  # pragma: no cover - not the main thread
+            break
+    listener = threading.Thread(
+        target=server.serve_forever, name="hyper-http-listener", daemon=True
+    )
+    listener.start()
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("\nshutting down")
+        stop.wait()
+    except KeyboardInterrupt:  # pragma: no cover - interactive fallback
+        pass
     finally:
-        server.server_close()
+        print("draining: listener closed, finishing in-flight requests", flush=True)
+        server.shutdown()
+        # server_close joins in-flight handler threads; bound it so a hung
+        # engine call cannot block shutdown (handlers are daemonic)
+        closer = threading.Thread(
+            target=server.server_close, name="hyper-http-drain", daemon=True
+        )
+        closer.start()
+        closer.join(timeout=drain_timeout)
+        if closer.is_alive():
+            print(
+                f"drain timeout after {drain_timeout}s; abandoning in-flight requests",
+                flush=True,
+            )
+        listener.join(timeout=10)
+        service.close()
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except ValueError:  # pragma: no cover - not the main thread
+                pass
+        print("shutdown complete", flush=True)

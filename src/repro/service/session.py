@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Hashable, Sequence
 
@@ -237,6 +238,17 @@ class HypeRService:
         self._n_queries = 0
         self._n_batches = 0
         self._started_at = time.time()
+        # Serving counters, read by front-end admission control (repro.aserve)
+        # as live backpressure signals: concurrent executions across *every*
+        # front-end sharing this service, their all-time peak, overload
+        # rejections recorded by the front-ends, and per-endpoint latency
+        # sums.  Guarded by a dedicated lock so hot-path tracking never
+        # contends with stats()/invalidation holding self._lock.
+        self._serving_lock = threading.Lock()
+        self._inflight = 0
+        self._peak_inflight = 0
+        self._rejected: dict[str, int] = {}
+        self._latency: dict[str, list[float]] = {}  # endpoint -> [count, seconds]
         # Fold evicted/invalidated estimators' regressor counters into running
         # totals so stats() stays monotonic across evictions.  Guarded by its
         # own lock: the callback runs under the cache lock and must not take
@@ -245,6 +257,63 @@ class HypeRService:
         self._retired_regressor_fits = 0
         self._retired_regressor_hits = 0
         self.caches.estimators.on_evict = self._retire_estimator
+
+    @contextmanager
+    def _track(self, endpoint: str, units: int = 1):
+        """Count ``units`` in-flight executions and the endpoint's latency.
+
+        ``units`` is the number of concurrent query executions the tracked
+        region represents (a shard-pool batch crossing counts one unit per
+        query it carries; a wrapper whose per-query work is tracked elsewhere
+        passes 0 so nothing double-counts).
+        """
+        started = time.perf_counter()
+        with self._serving_lock:
+            self._inflight += units
+            if self._inflight > self._peak_inflight:
+                self._peak_inflight = self._inflight
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            with self._serving_lock:
+                self._inflight -= units
+                bucket = self._latency.setdefault(endpoint, [0, 0.0])
+                bucket[0] += 1
+                bucket[1] += elapsed
+
+    def record_rejection(self, endpoint: str = "query", *, units: int = 1) -> None:
+        """Count ``units`` requests a front-end turned away (HTTP 429)."""
+        with self._serving_lock:
+            self._rejected[endpoint] = self._rejected.get(endpoint, 0) + units
+
+    def serving_signals(self) -> dict[str, Any]:
+        """A cheap live snapshot of serving load, for admission decisions.
+
+        Returns in-flight executions (all front-ends sharing the service),
+        their peak, total rejections, per-endpoint latency sums, and a
+        saturation ratio against the service's own execution capacity
+        (shard count in ``processes`` mode, worker threads otherwise).  No
+        engine locks are taken — safe to call on an event loop per request.
+        """
+        capacity = (
+            self.n_shards
+            if self.execution == "processes"
+            else (self.max_workers or default_max_workers())
+        )
+        with self._serving_lock:
+            return {
+                "in_flight": self._inflight,
+                "peak_in_flight": self._peak_inflight,
+                "rejected_total": sum(self._rejected.values()),
+                "rejected": dict(self._rejected),
+                "capacity_hint": capacity,
+                "saturation": self._inflight / capacity if capacity else 0.0,
+                "latency": {
+                    endpoint: {"count": bucket[0], "seconds": bucket[1]}
+                    for endpoint, bucket in self._latency.items()
+                },
+            }
 
     def _retire_estimator(self, key: Hashable, estimator: PostUpdateEstimator) -> None:
         counters = estimator.regressor_cache_stats
@@ -372,15 +441,16 @@ class HypeRService:
         parsed = self._as_query(query)
         with self._lock:
             self._n_queries += 1
-        if not self._result_cache_enabled:
-            return self._execute_uncached(state, parsed, exhaustive)
-        fingerprint = self._fingerprint(state, parsed)
-        key = self._result_key(state, fingerprint, exhaustive)
-        return self.caches.results.get_or_create(
-            key,
-            lambda: self._execute_uncached(state, parsed, exhaustive),
-            tags=state.database.relation_names,
-        )
+        with self._track("query"):
+            if not self._result_cache_enabled:
+                return self._execute_uncached(state, parsed, exhaustive)
+            fingerprint = self._fingerprint(state, parsed)
+            key = self._result_key(state, fingerprint, exhaustive)
+            return self.caches.results.get_or_create(
+                key,
+                lambda: self._execute_uncached(state, parsed, exhaustive),
+                tags=state.database.relation_names,
+            )
 
     def _result_key(
         self, state: _EngineState, fingerprint: PlanFingerprint, exhaustive: bool
@@ -444,10 +514,14 @@ class HypeRService:
                 parsed.append(error)
         with self._lock:
             self._n_batches += 1
-        if self.execution == "processes":
-            return self._execute_many_processes(parsed, return_errors=return_errors)
-        executor = BatchExecutor(max_workers or self.max_workers)
-        return executor.run(self, parsed, return_errors=return_errors)
+        # units=0: per-query in-flight is tracked inside execute() (threads
+        # mode) or around the pool crossing (processes mode); the batch
+        # wrapper contributes only its latency sum.
+        with self._track("batch", units=0):
+            if self.execution == "processes":
+                return self._execute_many_processes(parsed, return_errors=return_errors)
+            executor = BatchExecutor(max_workers or self.max_workers)
+            return executor.run(self, parsed, return_errors=return_errors)
 
     def _execute_many_processes(
         self, parsed: Sequence[Query | Exception], *, return_errors: bool
@@ -474,9 +548,10 @@ class HypeRService:
                 misses.append((index, query, key))
         if misses:
             pool = self._pool_for(state)
-            fresh = pool.run_batch(
-                [query for _index, query, _key in misses], return_errors=True
-            )
+            with self._track("shard_batch", units=len(misses)):
+                fresh = pool.run_batch(
+                    [query for _index, query, _key in misses], return_errors=True
+                )
             for (index, _query, key), result in zip(misses, fresh):
                 results[index] = result
                 if key is not None and not isinstance(result, Exception):
@@ -688,8 +763,10 @@ class HypeRService:
             regressors_cached += counters["cached"]
         with self._pool_lock:
             pool_stats = self._pool.stats() if self._pool is not None else None
+        serving = self.serving_signals()
         with self._lock:
             return {
+                "serving": serving,
                 "generation": self._state.generation,
                 "relation_generations": dict(self._state.relation_generations),
                 "execution": self.execution,

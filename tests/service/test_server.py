@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import http.client
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -11,7 +13,7 @@ import pytest
 
 from repro import EngineConfig, HypeR, HypeRService
 from repro.datasets import make_german_syn
-from repro.service import make_server
+from repro.service import make_server, serve
 
 QUERY_TEXT = (
     "USE Credit UPDATE(Status) = 4 OUTPUT COUNT(POST(Credit)) FOR POST(Credit) = 1"
@@ -128,3 +130,70 @@ class TestEndpoints:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(f"{base}/nowhere", timeout=10)
         assert excinfo.value.code == 404
+
+    def test_oversized_body_is_413_without_reading_it(self, live_server):
+        base, _ = live_server
+        host, port = base.removeprefix("http://").split(":")
+        conn = http.client.HTTPConnection(host, int(port), timeout=10)
+        # declare a 5 MiB body but never send it: the limit check rejects on
+        # the Content-Length header alone
+        conn.putrequest("POST", "/query")
+        conn.putheader("Content-Type", "application/json")
+        conn.putheader("Content-Length", str(5 * 1024 * 1024))
+        conn.endheaders()
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 413
+        assert "exceeds" in payload["error"]
+        conn.close()
+
+    def test_malformed_json_is_400_not_500(self, live_server):
+        base, _ = live_server
+        request = urllib.request.Request(
+            f"{base}/query",
+            data=b"{definitely not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        assert "malformed JSON" in json.loads(excinfo.value.read())["error"]
+
+    def test_non_object_json_body_is_400(self, live_server):
+        base, _ = live_server
+        request = urllib.request.Request(
+            f"{base}/query",
+            data=json.dumps([1, 2, 3]).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestGracefulShutdown:
+    def test_serve_drains_on_shutdown_event_and_closes_service(self, dataset):
+        service = HypeRService(
+            dataset.database, dataset.causal_dag, EngineConfig(regressor="linear")
+        )
+        closed = threading.Event()
+        original_close = service.close
+
+        def tracking_close():
+            closed.set()
+            original_close()
+
+        service.close = tracking_close  # type: ignore[method-assign]
+        stop = threading.Event()
+        thread = threading.Thread(
+            target=serve,
+            args=(service,),
+            kwargs={"host": "127.0.0.1", "port": 0, "shutdown_event": stop},
+            daemon=True,
+        )
+        thread.start()
+        time.sleep(0.2)  # let the listener bind
+        stop.set()
+        thread.join(timeout=15)
+        assert not thread.is_alive()
+        assert closed.is_set()  # the shard pool/service was released

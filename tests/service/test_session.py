@@ -550,3 +550,73 @@ class TestInvalidation:
         assert without_dag == cold
         assert service.generation == 1
         assert isinstance(with_dag, float)
+
+
+class TestServingCounters:
+    """The serving instrumentation consumed by front-end admission control."""
+
+    def build_query(self, dataset, factor: float = 1.1) -> WhatIfQuery:
+        return WhatIfQuery(
+            use=dataset.default_use,
+            updates=[AttributeUpdate("Status", MultiplyBy(factor))],
+            output_attribute="Credit",
+            output_aggregate="count",
+            for_clause=(post("Credit") == 1),
+        )
+
+    def test_execute_updates_inflight_peak_and_latency(self, dataset):
+        service = HypeRService(
+            dataset.database, dataset.causal_dag, EngineConfig(regressor="linear")
+        )
+        service.execute(self.build_query(dataset))
+        signals = service.serving_signals()
+        assert signals["in_flight"] == 0  # nothing left executing
+        assert signals["peak_in_flight"] >= 1
+        assert signals["latency"]["query"]["count"] == 1
+        assert signals["latency"]["query"]["seconds"] > 0.0
+        assert signals["rejected_total"] == 0
+        assert signals["capacity_hint"] >= 1
+        # the same block is embedded in stats()
+        assert service.stats()["serving"]["peak_in_flight"] >= 1
+
+    def test_concurrent_executions_raise_peak(self, dataset):
+        service = HypeRService(
+            dataset.database,
+            dataset.causal_dag,
+            EngineConfig(regressor="linear"),
+            max_workers=4,
+        )
+        queries = [self.build_query(dataset, 1.0 + 0.01 * i) for i in range(8)]
+        service.execute_many(queries)
+        signals = service.serving_signals()
+        assert signals["in_flight"] == 0
+        assert signals["peak_in_flight"] >= 1
+        assert signals["latency"]["query"]["count"] == 8
+        assert signals["latency"]["batch"]["count"] == 1
+
+    def test_record_rejection_accumulates_per_endpoint(self, dataset):
+        service = HypeRService(
+            dataset.database, dataset.causal_dag, EngineConfig(regressor="linear")
+        )
+        service.record_rejection("query")
+        service.record_rejection("batch", units=3)
+        signals = service.serving_signals()
+        assert signals["rejected_total"] == 4
+        assert signals["rejected"] == {"query": 1, "batch": 3}
+        assert service.stats()["serving"]["rejected_total"] == 4
+
+    def test_processes_mode_counts_pool_crossings(self, dataset):
+        config = EngineConfig(regressor="linear")
+        with HypeRService(
+            dataset.database,
+            dataset.causal_dag,
+            config,
+            execution="processes",
+            n_shards=2,
+        ) as service:
+            queries = [self.build_query(dataset, 1.0 + 0.01 * i) for i in range(3)]
+            service.execute_many(queries)
+            signals = service.serving_signals()
+        assert signals["in_flight"] == 0
+        assert signals["latency"]["shard_batch"]["count"] == 1
+        assert signals["peak_in_flight"] >= 3  # the 3 misses crossed together
