@@ -1,9 +1,11 @@
 """Async front-end under concurrent load vs the threaded server, plus overload.
 
 Drives real ``repro serve`` subprocesses (the threaded front-end and the
-asyncio front-end of :mod:`repro.aserve`) with N concurrent keep-alive HTTP
-clients over the warm German-Syn 4000 repeated-template what-if suite, and
-asserts the serving issue's acceptance criteria:
+asyncio front-end of :mod:`repro.aserve`) with N concurrent keep-alive
+clients — the production-shaped runs through the v1
+:class:`repro.api.HypeRClient` SDK, plus one raw-``http.client`` run to
+price the SDK — over the warm German-Syn 4000 repeated-template what-if
+suite, and asserts the serving acceptance criteria:
 
 * the async front-end sustains **at least the threaded server's throughput**
   under N concurrent clients (default 32; ``BENCH_ASYNC_CLIENTS`` overrides —
@@ -15,7 +17,9 @@ asserts the serving issue's acceptance criteria:
   configured depth (asserted via ``peak_queued``);
 * every accepted answer is **bitwise identical** to direct
   ``HypeRService.execute`` (JSON float round-trips are exact for finite
-  doubles).
+  doubles);
+* the **client SDK costs ≤ 10 % throughput** against raw sockets on the
+  same warm async server (``client_over_raw >= 0.9`` in the results).
 
 Results land in ``BENCH_async.json`` for the CI artifact.
 """
@@ -34,6 +38,7 @@ from pathlib import Path
 
 from benchmarks.conftest import fmt, print_table
 from repro import EngineConfig, HypeRService
+from repro.api import HypeRClient
 from repro.datasets import make_german_syn
 
 N_ROWS = 4_000
@@ -175,6 +180,54 @@ def run_load(host: str, port: int, n_clients: int) -> dict:
     }
 
 
+def run_load_sdk(host: str, port: int, n_clients: int) -> dict:
+    """The same suite through :class:`HypeRClient` (one SDK client per thread).
+
+    The SDK adds schema encode/decode, typed answers and retry plumbing on
+    top of the raw socket; this run prices that overhead.
+    """
+    answers: list[tuple[str, float]] = []
+    failures: list[str] = []
+    latencies: list[float] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(n_clients + 1)
+
+    def client_run(offset: int) -> None:
+        with HypeRClient(host, port, timeout=60.0, max_retries=4) as client:
+            barrier.wait()
+            for i in range(REQUESTS_PER_CLIENT):
+                text = QUERY_TEXTS[(offset + i) % len(QUERY_TEXTS)]
+                started = time.perf_counter()
+                try:
+                    answer = client.query(text)
+                except Exception as error:  # noqa: BLE001 - recorded, fails the bench
+                    with lock:
+                        failures.append(f"{type(error).__name__}: {error}")
+                    return
+                elapsed = time.perf_counter() - started
+                with lock:
+                    latencies.append(elapsed)
+                    answers.append((text, answer.value))
+
+    threads = [threading.Thread(target=client_run, args=(k,)) for k in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    latencies.sort()
+    return {
+        "seconds": elapsed,
+        "n_requests": len(answers),
+        "qps": len(answers) / elapsed if elapsed else 0.0,
+        "p99_request_seconds": latencies[int(0.99 * (len(latencies) - 1))] if latencies else 0.0,
+        "answers": answers,
+        "failures": failures,
+    }
+
+
 def warm(host: str, port: int, texts: list[str]) -> None:
     conn = http.client.HTTPConnection(host, port, timeout=120)
     for text in texts:
@@ -259,6 +312,8 @@ def test_async_load():
     assert not threaded["failures"], threaded["failures"][:5]
 
     # -- async front-end (ample capacity: measure throughput, not rejection) --------
+    # raw http.client sockets first, then the HypeRClient SDK on the same
+    # warm server: the delta is the SDK's overhead
     process, host, port = spawn_serve(
         "--async", "--max-inflight", "8", "--queue-depth", str(max(64, 4 * N_CLIENTS)),
         "--warm-query", QUERY_TEXTS[0],
@@ -266,10 +321,13 @@ def test_async_load():
     try:
         warm(host, port, QUERY_TEXTS)
         asynchronous = run_load(host, port, N_CLIENTS)
+        sdk = run_load_sdk(host, port, N_CLIENTS)
         stats = get_stats(host, port)
     finally:
         stop_serve(process)
     assert not asynchronous["failures"], asynchronous["failures"][:5]
+    assert not sdk["failures"], sdk["failures"][:5]
+    client_over_raw = sdk["qps"] / asynchronous["qps"] if asynchronous["qps"] else 0.0
     admission = stats["aserve"]["admission"]
     decision_p99 = admission["decisions"]["p99_seconds"]
 
@@ -294,11 +352,18 @@ def test_async_load():
             threaded["retries"],
         ],
         [
-            "async aserve (keep-alive)",
+            "async aserve (raw sockets)",
             fmt(asynchronous["seconds"]),
             fmt(asynchronous["qps"], 1),
             fmt(asynchronous["p99_request_seconds"] * 1e3, 1),
             asynchronous["retries"],
+        ],
+        [
+            "async aserve (HypeRClient SDK)",
+            fmt(sdk["seconds"]),
+            fmt(sdk["qps"], 1),
+            fmt(sdk["p99_request_seconds"] * 1e3, 1),
+            0,
         ],
     ]
     print_table(
@@ -319,11 +384,18 @@ def test_async_load():
         f"{len(overload['resets'])} resets, "
         f"peak queue {overload_stats['aserve']['admission']['peak_queued']}"
     )
+    print(
+        f"HypeRClient SDK overhead: {sdk['qps']:.1f} q/s vs "
+        f"{asynchronous['qps']:.1f} q/s raw ({client_over_raw:.2f}x)"
+    )
 
     mismatches = [
         (text, value, expected[text])
         for text, value in (
-            threaded["answers"] + asynchronous["answers"] + overload["values"]
+            threaded["answers"]
+            + asynchronous["answers"]
+            + sdk["answers"]
+            + overload["values"]
         )
         if value != expected[text]
     ]
@@ -335,6 +407,9 @@ def test_async_load():
         "threaded_qps": threaded["qps"],
         "async_qps": asynchronous["qps"],
         "async_over_threaded": asynchronous["qps"] / threaded["qps"],
+        "client_qps": sdk["qps"],
+        "client_over_raw": client_over_raw,
+        "client_p99_request_seconds": sdk["p99_request_seconds"],
         "threaded_p99_request_seconds": threaded["p99_request_seconds"],
         "async_p99_request_seconds": asynchronous["p99_request_seconds"],
         "admission_decision_p99_seconds": decision_p99,
@@ -352,6 +427,7 @@ def test_async_load():
     # -- acceptance criteria ---------------------------------------------------------
     assert not mismatches, mismatches[:3]
     assert asynchronous["qps"] >= threaded["qps"], payload
+    assert client_over_raw >= 0.9, payload  # SDK costs <= 10% throughput
     assert decision_p99 < 0.05, payload
     assert n_accepted + n_rejected == N_CLIENTS
     assert not overload["resets"], overload["resets"][:5]

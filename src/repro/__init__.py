@@ -55,6 +55,22 @@ from .relational import (
     pre,
 )
 from .causal import CausalDAG, CausalEdge, StructuralCausalModel
+from .api import (
+    API_VERSION,
+    ErrorEnvelope,
+    HowToAnswer,
+    HypeRClient,
+    WhatIfAnswer,
+    avg,
+    count,
+    how_to,
+    multiply,
+    set_,
+    sum_,
+    what_if,
+)
+from .api import add as add_  # `add` is too generic for the top-level namespace
+from .lang import parse_query, unparse
 from .service import HypeRService, PlanFingerprint
 from .shard import ShardPool, partition_database
 from .workloads import WorkloadGenerator
@@ -62,6 +78,7 @@ from .workloads import WorkloadGenerator
 __version__ = "1.0.0"
 
 __all__ = [
+    "API_VERSION",
     "AddConstant",
     "AggregatedAttribute",
     "AttributeUpdate",
@@ -69,12 +86,15 @@ __all__ = [
     "CausalEdge",
     "Database",
     "EngineConfig",
+    "ErrorEnvelope",
     "ForeignKey",
     "GroundTruthOracle",
+    "HowToAnswer",
     "HowToEngine",
     "HowToQuery",
     "HowToResult",
     "HypeR",
+    "HypeRClient",
     "HypeRService",
     "HypotheticalUpdate",
     "LimitConstraint",
@@ -87,14 +107,25 @@ __all__ = [
     "StructuralCausalModel",
     "UseSpec",
     "Variant",
+    "WhatIfAnswer",
     "WhatIfEngine",
     "WhatIfQuery",
     "WhatIfResult",
     "WorkloadGenerator",
+    "add_",
+    "avg",
     "col",
+    "count",
+    "how_to",
     "lit",
+    "multiply",
+    "parse_query",
     "partition_database",
     "post",
     "pre",
+    "set_",
+    "sum_",
+    "unparse",
+    "what_if",
     "__version__",
 ]

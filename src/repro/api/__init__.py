@@ -1,0 +1,87 @@
+"""The versioned public API of the HypeR reproduction.
+
+Three pieces, one contract (see ``docs/api.md``):
+
+* :mod:`repro.api.schemas` — the **v1 wire schemas**: typed, strict
+  request/response dataclasses every HTTP byte goes through.
+* :mod:`repro.api.builder` — the **fluent query builder**: constructs
+  :mod:`repro.lang` ASTs directly; builder-made and text-parsed queries
+  fingerprint identically and share every service cache.
+* :mod:`repro.api.client` — :class:`HypeRClient`, the stdlib **Python SDK**
+  with keep-alive, bounded retries honoring ``Retry-After``, request
+  deadlines, and streaming batch iteration.
+
+:mod:`repro.api.endpoints` is the shared ``/v1/*`` endpoint table both HTTP
+front doors mount; import it to build new front ends that cannot drift from
+the contract.
+"""
+
+from .builder import (
+    AggTerm,
+    as_query_object,
+    HowToBuilder,
+    QueryBuilder,
+    WhatIfBuilder,
+    add,
+    avg,
+    count,
+    how_to,
+    multiply,
+    set_,
+    sum_,
+    what_if,
+)
+from .client import (
+    ApiStatusError,
+    DeadlineExceeded,
+    HypeRClient,
+    HypeRClientError,
+    OverloadedError,
+    TransportError,
+)
+from .schemas import (
+    API_VERSION,
+    BatchItem,
+    BatchRequest,
+    ErrorEnvelope,
+    HowToAnswer,
+    QueryRequest,
+    StatsSnapshot,
+    WhatIfAnswer,
+    WireFormatError,
+    answer_from_json,
+    answer_from_result,
+)
+
+__all__ = [
+    "API_VERSION",
+    "AggTerm",
+    "as_query_object",
+    "ApiStatusError",
+    "BatchItem",
+    "BatchRequest",
+    "DeadlineExceeded",
+    "ErrorEnvelope",
+    "HowToAnswer",
+    "HowToBuilder",
+    "HypeRClient",
+    "HypeRClientError",
+    "OverloadedError",
+    "QueryBuilder",
+    "QueryRequest",
+    "StatsSnapshot",
+    "TransportError",
+    "WhatIfAnswer",
+    "WhatIfBuilder",
+    "WireFormatError",
+    "add",
+    "answer_from_json",
+    "answer_from_result",
+    "avg",
+    "count",
+    "how_to",
+    "multiply",
+    "set_",
+    "sum_",
+    "what_if",
+]

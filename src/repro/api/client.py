@@ -1,0 +1,396 @@
+"""``HypeRClient`` — the stdlib Python SDK for the v1 HTTP API.
+
+One keep-alive connection per client, typed answers, and production-shaped
+failure handling::
+
+    from repro.api import HypeRClient, what_if, set_, avg
+
+    with HypeRClient("127.0.0.1", 8000) as client:
+        answer = client.query(
+            what_if().use("Credit").update(set_("CreditAmount", 1000)).output(avg("Risk"))
+        )
+        print(answer.value)
+        for item in client.batch(["USE Credit UPDATE(Status) = 4 "
+                                  "OUTPUT AVG(POST(Credit))"]):
+            print(item.index, item.result.value if item.ok else item.error.message)
+
+Behaviors:
+
+* **Inputs.** ``query``/``batch`` accept SQL-extension text, built query
+  objects, or fluent builders — non-text inputs are rendered through
+  :func:`repro.lang.unparse`, whose output fingerprints identically, so the
+  server's caches treat them as the same plan.
+* **Retries.** Bounded (``max_retries``); 429 answers honor the server's
+  ``Retry-After`` before retrying, transport failures (server closed the
+  keep-alive connection, HTTP/1.0 front door) reconnect with exponential
+  backoff.  Only reads are retried — every endpoint is read-only.
+* **Deadlines.** ``deadline`` caps the *whole* call including retries and
+  backoff sleeps; when it cannot be met the client raises
+  :class:`DeadlineExceeded` instead of sleeping past it.
+* **Streaming.** :meth:`HypeRClient.batch` yields
+  :class:`~repro.api.schemas.BatchItem` lines as the async front door streams
+  them (completion order); against the threaded front door's single JSON
+  response it yields the same items in index order.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterable, Iterator, Sequence
+
+from ..exceptions import HypeRError
+from .schemas import (
+    Answer,
+    BatchItem,
+    BatchRequest,
+    ErrorEnvelope,
+    QueryRequest,
+    StatsSnapshot,
+    answer_from_json,
+)
+
+__all__ = [
+    "HypeRClient",
+    "HypeRClientError",
+    "TransportError",
+    "DeadlineExceeded",
+    "ApiStatusError",
+    "OverloadedError",
+]
+
+
+class HypeRClientError(HypeRError):
+    """Base class of every client-side failure."""
+
+
+class TransportError(HypeRClientError):
+    """The connection failed and the retry budget is exhausted."""
+
+
+class DeadlineExceeded(HypeRClientError):
+    """The request deadline expired before an answer arrived."""
+
+
+class ApiStatusError(HypeRClientError):
+    """The server answered with an error status; carries the parsed envelope."""
+
+    def __init__(self, status: int, envelope: ErrorEnvelope, body: dict[str, Any]):
+        super().__init__(f"HTTP {status}: {envelope.message}")
+        self.status = status
+        self.envelope = envelope
+        self.body = body
+
+    @property
+    def code(self) -> str:
+        return self.envelope.code
+
+
+class OverloadedError(ApiStatusError):
+    """429 after the retry budget; ``retry_after`` is the server's last hint."""
+
+    def __init__(self, status: int, envelope: ErrorEnvelope, body: dict[str, Any]):
+        super().__init__(status, envelope, body)
+        self.retry_after = float(body.get("retry_after") or 1.0)
+
+
+def _error_from_response(status: int, body: dict[str, Any]) -> ApiStatusError:
+    try:
+        envelope = ErrorEnvelope.from_json(body)
+    except HypeRError:
+        envelope = ErrorEnvelope("error", f"HTTP {status}: {body!r}")
+    if status == 429:
+        return OverloadedError(status, envelope, body)
+    return ApiStatusError(status, envelope, body)
+
+
+class _Deadline:
+    """Wall-clock budget for one logical call (request + retries + sleeps)."""
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, seconds: float | None) -> None:
+        self.expires_at = None if seconds is None else time.monotonic() + seconds
+
+    def remaining(self) -> float | None:
+        if self.expires_at is None:
+            return None
+        return self.expires_at - time.monotonic()
+
+    def check(self) -> None:
+        remaining = self.remaining()
+        if remaining is not None and remaining <= 0:
+            raise DeadlineExceeded("request deadline expired")
+
+    def cap(self, seconds: float) -> float:
+        remaining = self.remaining()
+        return seconds if remaining is None else min(seconds, max(remaining, 0.0))
+
+
+class HypeRClient:
+    """Client for a HypeR service's ``/v1`` HTTP API (threaded or async front door).
+
+    Parameters
+    ----------
+    host / port:
+        Server address (as printed by ``repro serve``).
+    timeout:
+        Socket timeout per attempt, seconds (also the default deadline floor).
+    max_retries:
+        Retry budget per call for 429s and transport failures; ``0`` disables
+        retrying entirely.
+    backoff_seconds:
+        Base of the exponential reconnect backoff (doubles per attempt).
+
+    Not thread-safe: one client wraps one keep-alive connection.  Create one
+    client per thread (they are cheap — the socket opens lazily).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        *,
+        timeout: float = 60.0,
+        max_retries: int = 3,
+        backoff_seconds: float = 0.05,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "HypeRClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- plumbing ----------------------------------------------------------------------
+
+    def _connection(self, deadline: _Deadline) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        self._conn.timeout = self.cap_timeout(deadline)
+        if self._conn.sock is not None:
+            self._conn.sock.settimeout(self._conn.timeout)
+        return self._conn
+
+    def cap_timeout(self, deadline: _Deadline) -> float:
+        capped = deadline.cap(self.timeout)
+        return max(capped, 1e-3)
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def _sleep(self, seconds: float, deadline: _Deadline) -> None:
+        remaining = deadline.remaining()
+        if remaining is not None and seconds >= remaining:
+            raise DeadlineExceeded(
+                f"request deadline expires in {remaining:.3f}s, "
+                f"cannot wait {seconds:.3f}s to retry"
+            )
+        time.sleep(seconds)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict[str, Any] | None,
+        deadline: _Deadline,
+    ) -> http.client.HTTPResponse:
+        """Send one request, retrying 429s (per Retry-After) and dropped sockets."""
+        body = json.dumps(payload).encode() if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        attempt = 0
+        while True:
+            deadline.check()
+            conn = self._connection(deadline)
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+            except (ConnectionError, http.client.HTTPException, TimeoutError, OSError) as error:
+                self._drop_connection()
+                if attempt >= self.max_retries:
+                    raise TransportError(
+                        f"{method} {path} failed after {attempt + 1} attempt(s): "
+                        f"{type(error).__name__}: {error}"
+                    ) from error
+                self._sleep(self.backoff_seconds * (2**attempt), deadline)
+                attempt += 1
+                continue
+            if response.status == 429 and attempt < self.max_retries:
+                rejection = _decode_body(response.read())
+                if response.will_close:
+                    self._drop_connection()
+                # the body's retry_after is the server's precise float hint;
+                # the Retry-After header is ceiled to whole seconds, so it
+                # only serves as the fallback
+                hint = rejection.get("retry_after")
+                if hint is None:
+                    header = response.getheader("Retry-After")
+                    hint = float(header) if header else 1.0
+                self._sleep(max(float(hint), 0.0), deadline)
+                attempt += 1
+                continue
+            return response
+
+    def _json_call(
+        self,
+        method: str,
+        path: str,
+        payload: dict[str, Any] | None,
+        deadline: _Deadline,
+    ) -> dict[str, Any]:
+        response = self._request(method, path, payload, deadline)
+        raw = response.read()
+        if response.will_close:
+            self._drop_connection()
+        body = _decode_body(raw)
+        if response.status != 200:
+            raise _error_from_response(response.status, body)
+        return body
+
+    # -- query text coercion -----------------------------------------------------------
+
+    @staticmethod
+    def _as_text(query: Any) -> str:
+        if isinstance(query, str):
+            return query
+        from ..lang.unparse import unparse
+        from .builder import as_query_object
+
+        return unparse(as_query_object(query))
+
+    # -- endpoints ---------------------------------------------------------------------
+
+    def health(self, *, deadline: float | None = None) -> dict[str, Any]:
+        """``GET /v1/health``."""
+        return self._json_call("GET", "/v1/health", None, _Deadline(deadline))
+
+    def stats(self, *, deadline: float | None = None) -> StatsSnapshot:
+        """``GET /v1/stats`` as a typed :class:`StatsSnapshot`."""
+        body = self._json_call("GET", "/v1/stats", None, _Deadline(deadline))
+        return StatsSnapshot.from_json(body)
+
+    def query(
+        self,
+        query: Any,
+        *,
+        exhaustive: bool = False,
+        deadline: float | None = None,
+    ) -> Answer:
+        """Answer one query (text, query object, or builder) as a typed answer."""
+        request = QueryRequest(query=self._as_text(query), exhaustive=exhaustive)
+        body = self._json_call("POST", "/v1/query", request.to_json(), _Deadline(deadline))
+        return answer_from_json(body)
+
+    def batch(
+        self,
+        queries: Sequence[Any] | Iterable[Any],
+        *,
+        deadline: float | None = None,
+    ) -> Iterator[BatchItem]:
+        """Stream a batch's per-query outcomes as they complete.
+
+        Against the asyncio front door this yields NDJSON lines live (in
+        completion order); against the threaded front door it yields the
+        single JSON response's items in index order.  The iterator owns the
+        connection until exhausted — drain it before issuing the next call.
+        """
+        texts = [self._as_text(q) for q in queries]
+        request = BatchRequest(queries=tuple(texts))
+        budget = _Deadline(deadline)
+        response = self._request("POST", "/v1/batch", request.to_json(), budget)
+        if response.status != 200:
+            raw = response.read()
+            if response.will_close:
+                self._drop_connection()
+            raise _error_from_response(response.status, _decode_body(raw))
+        content_type = (response.getheader("Content-Type") or "").lower()
+        if "ndjson" in content_type:
+            return self._iter_ndjson(response, len(texts), budget)
+        raw = response.read()
+        if response.will_close:
+            self._drop_connection()
+        return self._iter_results(_decode_body(raw))
+
+    def batch_collect(
+        self,
+        queries: Sequence[Any],
+        *,
+        deadline: float | None = None,
+    ) -> list[BatchItem]:
+        """All batch outcomes, ordered by query index."""
+        items = list(self.batch(queries, deadline=deadline))
+        return sorted(items, key=lambda item: item.index)
+
+    # -- batch framing -----------------------------------------------------------------
+
+    def _iter_ndjson(
+        self,
+        response: http.client.HTTPResponse,
+        n_queries: int,
+        deadline: _Deadline,
+    ) -> Iterator[BatchItem]:
+        seen = 0
+        try:
+            while True:
+                deadline.check()
+                line = response.readline()
+                if not line:
+                    raise TransportError(
+                        f"batch stream ended early: {seen}/{n_queries} results"
+                    )
+                data = json.loads(line)
+                if data.get("done"):
+                    if seen != n_queries:
+                        raise TransportError(
+                            f"batch stream closed after {seen}/{n_queries} results"
+                        )
+                    # drain the chunked terminator so the keep-alive
+                    # connection is clean for the next request
+                    response.read()
+                    if response.will_close:
+                        self._drop_connection()
+                    return
+                seen += 1
+                yield BatchItem.from_json(data)
+        except (ConnectionError, http.client.HTTPException, TimeoutError, OSError) as error:
+            self._drop_connection()
+            raise TransportError(f"batch stream failed: {error}") from error
+
+    @staticmethod
+    def _iter_results(body: dict[str, Any]) -> Iterator[BatchItem]:
+        results = body.get("results")
+        if not isinstance(results, list):
+            raise TransportError(f"malformed batch response: {body!r}")
+        for index, entry in enumerate(results):
+            if isinstance(entry, dict) and "error" in entry:
+                yield BatchItem(index=index, error=ErrorEnvelope.from_json(entry))
+            else:
+                yield BatchItem(index=index, result=answer_from_json(entry))
+
+
+def _decode_body(raw: bytes) -> dict[str, Any]:
+    try:
+        data = json.loads(raw) if raw else {}
+    except json.JSONDecodeError as error:
+        raise TransportError(f"server sent a non-JSON body: {error}") from None
+    if not isinstance(data, dict):
+        raise TransportError(f"server sent a non-object body: {data!r}")
+    return data

@@ -1,0 +1,275 @@
+"""The shared, declarative ``/v1/*`` endpoint table and wire policy.
+
+Both HTTP front doors — the threaded :mod:`repro.service.server` and the
+asyncio :mod:`repro.aserve` — mount exactly this table, so routing, legacy
+aliases, error envelopes and the 400/413/429 semantics are defined once and
+cannot drift:
+
+=======  ==============  ==================  ===========================================
+method   v1 path         legacy alias        body
+=======  ==============  ==================  ===========================================
+GET      ``/v1/health``  ``/health``         ``{"status", "generation", "api_version"}``
+GET      ``/v1/stats``   ``/stats``          :class:`~repro.api.schemas.StatsSnapshot`
+POST     ``/v1/query``   ``/query``          :class:`~repro.api.schemas.QueryRequest` →
+                                             :class:`~repro.api.schemas.WhatIfAnswer` /
+                                             :class:`~repro.api.schemas.HowToAnswer`
+POST     ``/v1/batch``   ``/batch``          :class:`~repro.api.schemas.BatchRequest` →
+                                             NDJSON stream (async) / JSON list (threaded)
+=======  ==============  ==================  ===========================================
+
+Aliases answer byte-identically to their canonical path.  Every failure maps
+through :func:`envelope_for` to one :class:`~repro.api.schemas.ErrorEnvelope`
+(HTTP status + stable ``code``), and the request-body guards
+(:func:`check_body_length` → 413, :func:`decode_json_object` → 400) live here
+so the limit policy is a single definition.  This module knows nothing about
+sockets: front ends feed it parsed JSON bodies and write out what it returns.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..exceptions import HypeRError, QuerySemanticsError, QuerySyntaxError
+from .schemas import (
+    API_VERSION,
+    BatchRequest,
+    ErrorEnvelope,
+    QueryRequest,
+    StatsSnapshot,
+    WireFormatError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..service.session import HypeRService
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "PayloadError",
+    "ApiError",
+    "Endpoint",
+    "V1_ENDPOINTS",
+    "resolve",
+    "check_body_length",
+    "decode_json_object",
+    "envelope_for",
+    "code_for_status",
+    "not_found",
+    "health_payload",
+    "stats_payload",
+    "parse_query_request",
+    "parse_batch_request",
+    "execute_query_payload",
+    "batch_response_payload",
+    "batch_line",
+    "batch_done_line",
+]
+
+#: default request-body ceiling shared by the threaded and asyncio front-ends
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class PayloadError(ValueError):
+    """A request body rejected before execution; carries the HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ApiError(HypeRError):
+    """An error with a fully-determined HTTP answer (status + envelope)."""
+
+    def __init__(self, status: int, envelope: ErrorEnvelope) -> None:
+        super().__init__(envelope.message)
+        self.status = status
+        self.envelope = envelope
+
+    def body(self) -> dict[str, Any]:
+        return self.envelope.to_json()
+
+
+# -- the endpoint table ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One row of the public API: canonical ``/v1`` path plus legacy aliases."""
+
+    name: str
+    method: str
+    path: str
+    aliases: tuple[str, ...] = ()
+    streaming: bool = False
+
+    @property
+    def paths(self) -> tuple[str, ...]:
+        return (self.path, *self.aliases)
+
+
+V1_ENDPOINTS: tuple[Endpoint, ...] = (
+    Endpoint("health", "GET", "/v1/health", aliases=("/health",)),
+    Endpoint("stats", "GET", "/v1/stats", aliases=("/stats",)),
+    Endpoint("query", "POST", "/v1/query", aliases=("/query",)),
+    Endpoint("batch", "POST", "/v1/batch", aliases=("/batch",), streaming=True),
+)
+
+_ROUTES: dict[tuple[str, str], Endpoint] = {
+    (endpoint.method, path): endpoint
+    for endpoint in V1_ENDPOINTS
+    for path in endpoint.paths
+}
+
+
+def resolve(method: str, path: str) -> Endpoint | None:
+    """Look up the endpoint serving ``method path`` (canonical or alias)."""
+    return _ROUTES.get((method, path))
+
+
+# -- body guards (shared 413/400 policy) -----------------------------------------------
+
+
+def check_body_length(length: int | None, *, max_bytes: int = MAX_BODY_BYTES) -> int:
+    """Validate a declared Content-Length: 400 when absent, 413 when too big."""
+    if length is None or length <= 0:
+        raise PayloadError(400, "request body missing (Content-Length required)")
+    if length > max_bytes:
+        raise PayloadError(
+            413, f"request body of {length} bytes exceeds the {max_bytes}-byte limit"
+        )
+    return length
+
+
+def decode_json_object(raw: bytes) -> dict[str, Any]:
+    """Decode a request body into a JSON object; malformed input is 400."""
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise PayloadError(400, f"malformed JSON body: {error}") from None
+    if not isinstance(data, dict):
+        raise PayloadError(400, "request body must be a JSON object")
+    return data
+
+
+# -- the one exception → envelope mapping ----------------------------------------------
+
+_STATUS_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    408: "bad_request",
+    411: "bad_request",
+    413: "payload_too_large",
+    429: "rate_limited",
+    500: "internal",
+    501: "not_implemented",
+    503: "unavailable",
+    505: "bad_request",
+}
+
+
+def code_for_status(status: int) -> str:
+    """The stable envelope code of a bare HTTP status (protocol-level errors)."""
+    return _STATUS_CODES.get(status, "error")
+
+
+def envelope_for(error: BaseException) -> tuple[int, ErrorEnvelope]:
+    """Map any failure to its HTTP status and :class:`ErrorEnvelope`.
+
+    This is the single classification both front doors use, so the same bad
+    input gets the identical answer on either server.
+    """
+    if isinstance(error, ApiError):
+        return error.status, error.envelope
+    if isinstance(error, PayloadError):
+        return error.status, ErrorEnvelope(code_for_status(error.status), str(error))
+    if isinstance(error, QuerySyntaxError):
+        detail: dict[str, Any] = {}
+        if error.position is not None:
+            detail["position"] = error.position
+        if error.line is not None:
+            detail["line"] = error.line
+        return 400, ErrorEnvelope("query_syntax", str(error), detail or None)
+    if isinstance(error, QuerySemanticsError):
+        return 400, ErrorEnvelope("query_semantics", str(error))
+    if isinstance(error, (HypeRError, ValueError)):
+        return 400, ErrorEnvelope("bad_request", str(error))
+    return 500, ErrorEnvelope("internal", f"{type(error).__name__}: {error}")
+
+
+def not_found(path: str) -> ApiError:
+    return ApiError(404, ErrorEnvelope("not_found", f"unknown path {path!r}"))
+
+
+# -- request decoding ------------------------------------------------------------------
+
+
+def parse_query_request(body: dict[str, Any]) -> QueryRequest:
+    """Decode and validate a ``/v1/query`` body (schema violations are 400)."""
+    try:
+        return QueryRequest.from_json(body)
+    except WireFormatError as error:
+        raise ApiError(400, ErrorEnvelope("bad_request", str(error))) from None
+
+
+def parse_batch_request(body: dict[str, Any]) -> BatchRequest:
+    """Decode and validate a ``/v1/batch`` body (schema violations are 400)."""
+    try:
+        return BatchRequest.from_json(body)
+    except WireFormatError as error:
+        raise ApiError(400, ErrorEnvelope("bad_request", str(error))) from None
+
+
+# -- response payloads -----------------------------------------------------------------
+
+
+def health_payload(service: "HypeRService") -> dict[str, Any]:
+    return {
+        "status": "ok",
+        "generation": service.generation,
+        "api_version": API_VERSION,
+    }
+
+
+def stats_payload(service: "HypeRService") -> dict[str, Any]:
+    return StatsSnapshot.from_service_stats(service.stats()).to_json()
+
+
+def execute_query_payload(
+    service: "HypeRService", request: QueryRequest
+) -> dict[str, Any]:
+    """Run one query and return its v1 answer payload (exceptions bubble)."""
+    result = service.execute(request.query, exhaustive=request.exhaustive)
+    return result.payload()
+
+
+def batch_line(index: int, outcome: Any) -> dict[str, Any]:
+    """One NDJSON line of a streamed batch: an answer or a per-query envelope."""
+    if isinstance(outcome, BaseException):
+        _status, envelope = envelope_for(outcome)
+        return {"index": index, **envelope.to_json()}
+    return {"index": index, "result": outcome.payload()}
+
+
+def batch_done_line(n_queries: int) -> dict[str, Any]:
+    """The closing NDJSON line of a streamed batch."""
+    return {"done": True, "n_queries": n_queries}
+
+
+def batch_response_payload(
+    service: "HypeRService", request: BatchRequest
+) -> dict[str, Any]:
+    """Answer a whole batch as one JSON object (the non-streaming form).
+
+    Failures are captured per query as inline error envelopes; a bad entry
+    cannot discard the rest of the batch.
+    """
+    results = service.execute_many(list(request.queries), return_errors=True)
+    payloads = []
+    for outcome in results:
+        if isinstance(outcome, Exception):
+            _status, envelope = envelope_for(outcome)
+            payloads.append(envelope.to_json())
+        else:
+            payloads.append(outcome.payload())
+    return {"results": payloads, "n_queries": len(payloads)}

@@ -1,0 +1,485 @@
+"""Versioned (v1) wire schemas of the public HypeR API.
+
+Every byte that crosses the HTTP boundary — requests, answers, error bodies,
+stats, NDJSON batch lines — is produced and consumed through the typed
+dataclasses in this module.  The rules:
+
+* **One version string.** Every payload carries ``"api_version": "v1"``.
+  Additive evolution (new optional fields) stays within ``v1``; renaming or
+  removing a field requires ``v2`` side-by-side.  Golden fixtures under
+  ``tests/api/fixtures/`` pin the exact serialized forms so accidental wire
+  changes fail CI.
+* **Strict codecs.** ``from_json`` validates types, rejects unknown fields
+  and wrong versions with :class:`WireFormatError`; ``to_json`` emits plain
+  JSON-serializable dicts with stable field names and ordering.
+* **No behavior.** Schemas never touch the engine; converters *from* engine
+  result objects (:meth:`WhatIfAnswer.from_result` etc.) only read public
+  attributes, so any duck-typed result works.
+
+The error body is flat and backwards compatible: ``{"error": <message>,
+"code": <machine code>, "detail": {...}?}`` — legacy clients keep reading
+``body["error"]`` as a string while v1 clients dispatch on ``code``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..exceptions import HypeRError
+
+__all__ = [
+    "API_VERSION",
+    "WireFormatError",
+    "QueryRequest",
+    "BatchRequest",
+    "WhatIfAnswer",
+    "HowToAnswer",
+    "BatchItem",
+    "ErrorEnvelope",
+    "StatsSnapshot",
+    "answer_from_result",
+    "answer_from_json",
+]
+
+#: the current wire-schema version; embedded in every payload
+API_VERSION = "v1"
+
+
+class WireFormatError(HypeRError):
+    """A JSON payload violates the v1 wire schema."""
+
+
+# -- strict decoding helpers -----------------------------------------------------------
+
+
+def _require_object(data: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(data, Mapping):
+        raise WireFormatError(f"{what} must be a JSON object, got {type(data).__name__}")
+    return data
+
+
+def _reject_unknown(data: Mapping[str, Any], allowed: set[str], what: str) -> None:
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise WireFormatError(f"{what} has unknown field(s) {unknown}; allowed: {sorted(allowed)}")
+
+
+def _check_version(data: Mapping[str, Any], what: str) -> None:
+    version = data.get("api_version", API_VERSION)
+    if version != API_VERSION:
+        raise WireFormatError(
+            f"{what} declares api_version {version!r}; this library speaks {API_VERSION!r}"
+        )
+
+
+def _get_str(data: Mapping[str, Any], key: str, what: str) -> str:
+    value = data.get(key)
+    if not isinstance(value, str):
+        raise WireFormatError(f'{what} must contain a "{key}" string')
+    return value
+
+
+def _get_bool(data: Mapping[str, Any], key: str, what: str, default: bool = False) -> bool:
+    value = data.get(key, default)
+    if not isinstance(value, bool):
+        raise WireFormatError(f'{what} field "{key}" must be a boolean')
+    return value
+
+
+def _get_int(data: Mapping[str, Any], key: str, what: str) -> int:
+    value = data.get(key)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise WireFormatError(f'{what} field "{key}" must be an integer')
+    return value
+
+
+def _get_float(data: Mapping[str, Any], key: str, what: str) -> float:
+    value = data.get(key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise WireFormatError(f'{what} field "{key}" must be a number')
+    return float(value)
+
+
+# -- requests --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """Body of ``POST /v1/query``: one query in the SQL extension."""
+
+    query: str
+    exhaustive: bool = False
+
+    _FIELDS = {"api_version", "query", "exhaustive"}
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "api_version": API_VERSION,
+            "query": self.query,
+            "exhaustive": self.exhaustive,
+        }
+
+    @classmethod
+    def from_json(cls, data: Any) -> "QueryRequest":
+        data = _require_object(data, "query request")
+        _reject_unknown(data, cls._FIELDS, "query request")
+        _check_version(data, "query request")
+        return cls(
+            query=_get_str(data, "query", "query request"),
+            exhaustive=_get_bool(data, "exhaustive", "query request"),
+        )
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """Body of ``POST /v1/batch``: many queries, answered concurrently."""
+
+    queries: tuple[str, ...]
+
+    _FIELDS = {"api_version", "queries"}
+
+    def to_json(self) -> dict[str, Any]:
+        return {"api_version": API_VERSION, "queries": list(self.queries)}
+
+    @classmethod
+    def from_json(cls, data: Any) -> "BatchRequest":
+        data = _require_object(data, "batch request")
+        _reject_unknown(data, cls._FIELDS, "batch request")
+        _check_version(data, "batch request")
+        queries = data.get("queries")
+        if not isinstance(queries, list) or not all(isinstance(q, str) for q in queries):
+            raise WireFormatError('batch request must contain a "queries" list of strings')
+        return cls(queries=tuple(queries))
+
+
+# -- answers ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WhatIfAnswer:
+    """Wire form of a what-if answer (:class:`repro.core.results.WhatIfResult`)."""
+
+    value: float
+    aggregate: str
+    output_attribute: str
+    variant: str
+    n_scope_tuples: int
+    n_blocks: int
+    backdoor_set: tuple[str, ...]
+    runtime_seconds: float
+
+    KIND = "what-if"
+    _FIELDS = {
+        "api_version",
+        "kind",
+        "value",
+        "aggregate",
+        "output_attribute",
+        "variant",
+        "n_scope_tuples",
+        "n_blocks",
+        "backdoor_set",
+        "runtime_seconds",
+    }
+
+    @classmethod
+    def from_result(cls, result: Any) -> "WhatIfAnswer":
+        return cls(
+            value=float(result.value),
+            aggregate=result.aggregate,
+            output_attribute=result.output_attribute,
+            variant=result.variant,
+            n_scope_tuples=int(result.n_scope_tuples),
+            n_blocks=int(result.n_blocks),
+            backdoor_set=tuple(result.backdoor_set),
+            runtime_seconds=float(result.runtime_seconds),
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "api_version": API_VERSION,
+            "kind": self.KIND,
+            "value": self.value,
+            "aggregate": self.aggregate,
+            "output_attribute": self.output_attribute,
+            "variant": self.variant,
+            "n_scope_tuples": self.n_scope_tuples,
+            "n_blocks": self.n_blocks,
+            "backdoor_set": list(self.backdoor_set),
+            "runtime_seconds": self.runtime_seconds,
+        }
+
+    @classmethod
+    def from_json(cls, data: Any) -> "WhatIfAnswer":
+        data = _require_object(data, "what-if answer")
+        _reject_unknown(data, cls._FIELDS, "what-if answer")
+        _check_version(data, "what-if answer")
+        if data.get("kind") != cls.KIND:
+            raise WireFormatError(f'what-if answer must declare "kind": "{cls.KIND}"')
+        backdoor = data.get("backdoor_set")
+        if not isinstance(backdoor, list) or not all(isinstance(a, str) for a in backdoor):
+            raise WireFormatError('what-if answer field "backdoor_set" must be a string list')
+        return cls(
+            value=_get_float(data, "value", "what-if answer"),
+            aggregate=_get_str(data, "aggregate", "what-if answer"),
+            output_attribute=_get_str(data, "output_attribute", "what-if answer"),
+            variant=_get_str(data, "variant", "what-if answer"),
+            n_scope_tuples=_get_int(data, "n_scope_tuples", "what-if answer"),
+            n_blocks=_get_int(data, "n_blocks", "what-if answer"),
+            backdoor_set=tuple(backdoor),
+            runtime_seconds=_get_float(data, "runtime_seconds", "what-if answer"),
+        )
+
+
+@dataclass(frozen=True)
+class HowToAnswer:
+    """Wire form of a how-to answer (:class:`repro.core.results.HowToResult`)."""
+
+    objective_value: float
+    baseline_value: float
+    maximize: bool
+    plan: Mapping[str, str]
+    solver_status: str
+    runtime_seconds: float
+
+    KIND = "how-to"
+    _FIELDS = {
+        "api_version",
+        "kind",
+        "objective_value",
+        "baseline_value",
+        "maximize",
+        "plan",
+        "solver_status",
+        "runtime_seconds",
+    }
+
+    @classmethod
+    def from_result(cls, result: Any) -> "HowToAnswer":
+        return cls(
+            objective_value=float(result.objective_value),
+            baseline_value=float(result.baseline_value),
+            maximize=bool(result.maximize),
+            plan={str(k): str(v) for k, v in result.plan().items()},
+            solver_status=result.solver_status,
+            runtime_seconds=float(result.runtime_seconds),
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "api_version": API_VERSION,
+            "kind": self.KIND,
+            "objective_value": self.objective_value,
+            "baseline_value": self.baseline_value,
+            "maximize": self.maximize,
+            "plan": dict(self.plan),
+            "solver_status": self.solver_status,
+            "runtime_seconds": self.runtime_seconds,
+        }
+
+    @classmethod
+    def from_json(cls, data: Any) -> "HowToAnswer":
+        data = _require_object(data, "how-to answer")
+        _reject_unknown(data, cls._FIELDS, "how-to answer")
+        _check_version(data, "how-to answer")
+        if data.get("kind") != cls.KIND:
+            raise WireFormatError(f'how-to answer must declare "kind": "{cls.KIND}"')
+        plan = data.get("plan")
+        if not isinstance(plan, Mapping) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in plan.items()
+        ):
+            raise WireFormatError('how-to answer field "plan" must map strings to strings')
+        return cls(
+            objective_value=_get_float(data, "objective_value", "how-to answer"),
+            baseline_value=_get_float(data, "baseline_value", "how-to answer"),
+            maximize=_get_bool(data, "maximize", "how-to answer"),
+            plan=dict(plan),
+            solver_status=_get_str(data, "solver_status", "how-to answer"),
+            runtime_seconds=_get_float(data, "runtime_seconds", "how-to answer"),
+        )
+
+
+Answer = WhatIfAnswer | HowToAnswer
+
+
+def answer_from_result(result: Any) -> Answer:
+    """Convert an engine result object into its typed wire answer."""
+    if hasattr(result, "objective_value"):
+        return HowToAnswer.from_result(result)
+    return WhatIfAnswer.from_result(result)
+
+
+def answer_from_json(data: Any) -> Answer:
+    """Strictly decode an answer payload, dispatching on its ``kind``."""
+    data = _require_object(data, "answer")
+    kind = data.get("kind")
+    if kind == WhatIfAnswer.KIND:
+        return WhatIfAnswer.from_json(data)
+    if kind == HowToAnswer.KIND:
+        return HowToAnswer.from_json(data)
+    raise WireFormatError(f"answer has unknown kind {kind!r}")
+
+
+# -- errors ----------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ErrorEnvelope:
+    """The one error body both front doors speak, on every endpoint.
+
+    ``code`` is a stable machine-readable slug (``bad_request``,
+    ``query_syntax``, ``query_semantics``, ``payload_too_large``,
+    ``rate_limited``, ``not_found``, ``internal``); ``message`` is
+    human-readable; ``detail`` carries structured extras (caret position of a
+    syntax error, retry hints).  Serialized flat so legacy consumers keep
+    reading ``body["error"]`` as a plain string.
+    """
+
+    code: str
+    message: str
+    detail: Mapping[str, Any] | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        body: dict[str, Any] = {"error": self.message, "code": self.code}
+        if self.detail is not None:
+            body["detail"] = dict(self.detail)
+        return body
+
+    @classmethod
+    def from_json(cls, data: Any) -> "ErrorEnvelope":
+        # deliberately tolerant of extra fields: endpoints may decorate the
+        # envelope (e.g. a top-level retry_after on 429 bodies)
+        data = _require_object(data, "error body")
+        message = _get_str(data, "error", "error body")
+        code = data.get("code")
+        if code is not None and not isinstance(code, str):
+            raise WireFormatError('error body field "code" must be a string')
+        detail = data.get("detail")
+        if detail is not None and not isinstance(detail, Mapping):
+            raise WireFormatError('error body field "detail" must be an object')
+        return cls(code=code or "error", message=message, detail=detail)
+
+
+# -- batch lines -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One per-query outcome of a batch: either an answer or an error envelope."""
+
+    index: int
+    result: Answer | None = None
+    error: ErrorEnvelope | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    def to_json(self) -> dict[str, Any]:
+        if (self.result is None) == (self.error is None):
+            raise WireFormatError("a batch item carries exactly one of result/error")
+        if self.result is not None:
+            return {"index": self.index, "result": self.result.to_json()}
+        return {"index": self.index, **self.error.to_json()}
+
+    @classmethod
+    def from_json(cls, data: Any) -> "BatchItem":
+        data = _require_object(data, "batch item")
+        index = _get_int(data, "index", "batch item")
+        if "result" in data:
+            return cls(index=index, result=answer_from_json(data["result"]))
+        return cls(index=index, error=ErrorEnvelope.from_json(data))
+
+
+# -- stats -----------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Typed wrapper of ``GET /v1/stats``.
+
+    The core counters are first-class fields; instrumentation sections whose
+    layout belongs to other subsystems (``caches``, ``serving``, ``pool``,
+    the async front-end's ``aserve``) pass through as mappings — their inner
+    shape is documented by those subsystems, and new sections are additive.
+    """
+
+    generation: int
+    execution: str
+    n_queries: int
+    n_batches: int
+    uptime_seconds: float
+    relation_generations: Mapping[str, int] = field(default_factory=dict)
+    caches: Mapping[str, Any] = field(default_factory=dict)
+    serving: Mapping[str, Any] = field(default_factory=dict)
+    regressors: Mapping[str, Any] = field(default_factory=dict)
+    pool: Mapping[str, Any] | None = None
+    sections: Mapping[str, Any] = field(default_factory=dict)
+
+    _KNOWN = {
+        "api_version",
+        "generation",
+        "execution",
+        "n_queries",
+        "n_batches",
+        "uptime_seconds",
+        "relation_generations",
+        "caches",
+        "serving",
+        "regressors",
+        "pool",
+    }
+
+    @classmethod
+    def from_service_stats(cls, stats: Mapping[str, Any]) -> "StatsSnapshot":
+        """Wrap :meth:`HypeRService.stats` output (extra keys become sections)."""
+        return cls(
+            generation=int(stats["generation"]),
+            execution=str(stats["execution"]),
+            n_queries=int(stats["n_queries"]),
+            n_batches=int(stats["n_batches"]),
+            uptime_seconds=float(stats["uptime_seconds"]),
+            relation_generations=dict(stats.get("relation_generations", {})),
+            caches=dict(stats.get("caches", {})),
+            serving=dict(stats.get("serving", {})),
+            regressors=dict(stats.get("regressors", {})),
+            pool=stats.get("pool"),
+            sections={k: v for k, v in stats.items() if k not in cls._KNOWN},
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        body: dict[str, Any] = {
+            "api_version": API_VERSION,
+            "generation": self.generation,
+            "execution": self.execution,
+            "n_queries": self.n_queries,
+            "n_batches": self.n_batches,
+            "uptime_seconds": self.uptime_seconds,
+            "relation_generations": dict(self.relation_generations),
+            "caches": dict(self.caches),
+            "serving": dict(self.serving),
+            "regressors": dict(self.regressors),
+            "pool": self.pool,
+        }
+        for name, section in self.sections.items():
+            body[name] = section
+        return body
+
+    @classmethod
+    def from_json(cls, data: Any) -> "StatsSnapshot":
+        data = _require_object(data, "stats snapshot")
+        _check_version(data, "stats snapshot")
+        return cls(
+            generation=_get_int(data, "generation", "stats snapshot"),
+            execution=_get_str(data, "execution", "stats snapshot"),
+            n_queries=_get_int(data, "n_queries", "stats snapshot"),
+            n_batches=_get_int(data, "n_batches", "stats snapshot"),
+            uptime_seconds=_get_float(data, "uptime_seconds", "stats snapshot"),
+            relation_generations=dict(data.get("relation_generations", {})),
+            caches=dict(data.get("caches", {})),
+            serving=dict(data.get("serving", {})),
+            regressors=dict(data.get("regressors", {})),
+            pool=data.get("pool"),
+            sections={k: v for k, v in data.items() if k not in cls._KNOWN},
+        )

@@ -16,13 +16,18 @@ server's contract plus the overload and streaming behaviors:
 * ``POST /batch`` — reserves one admission unit per query (whole batch or
   nothing), then **streams** NDJSON lines in order of *completion*: one slow
   how-to no longer head-of-line-blocks the other answers.  Each line is
-  ``{"index": i, "result": {...}}`` or ``{"index": i, "error": "..."}``,
-  closed by ``{"done": true, "n_queries": k}``.
+  ``{"index": i, "result": {...}}`` or ``{"index": i, "error": ..., "code":
+  ...}``, closed by ``{"done": true, "n_queries": k}``.
 
-Body handling shares :func:`~repro.service.server.check_body_length` /
-:func:`~repro.service.server.decode_json_object` with the threaded server:
+Routing, request validation and error bodies come from the shared ``/v1``
+endpoint table in :mod:`repro.api.endpoints` (every endpoint also answers on
+its canonical ``/v1/*`` path; the bare paths above are the legacy aliases).
+Body handling shares :func:`~repro.api.endpoints.check_body_length` /
+:func:`~repro.api.endpoints.decode_json_object` with the threaded server:
 oversized bodies are ``413`` (rejected before the read, in the protocol
-layer), malformed JSON ``400`` — byte-identical policy on both front doors.
+layer), malformed JSON ``400``, and every failure wears the shared
+``{"error", "code", "detail"?}`` envelope — byte-identical policy on both
+front doors.
 """
 
 from __future__ import annotations
@@ -34,8 +39,9 @@ from concurrent.futures import Executor, ThreadPoolExecutor
 from contextlib import suppress
 from typing import Any, Awaitable, Callable
 
-from ..exceptions import HypeRError
-from ..service.server import MAX_BODY_BYTES, PayloadError, decode_json_object
+from ..api import endpoints as api
+from ..api.endpoints import MAX_BODY_BYTES, PayloadError, decode_json_object
+from ..api.schemas import ErrorEnvelope
 from ..service.session import HypeRService
 from .admission import AdmissionController, AdmissionRejected
 from .protocol import (
@@ -51,6 +57,13 @@ __all__ = ["AsyncApp"]
 
 def _retry_after_headers(rejected: AdmissionRejected) -> dict[str, str]:
     return {"Retry-After": str(max(1, math.ceil(rejected.retry_after)))}
+
+
+def _rejection_body(rejected: AdmissionRejected) -> dict[str, Any]:
+    """The 429 envelope plus the machine-readable retry hint."""
+    body = ErrorEnvelope("rate_limited", str(rejected)).to_json()
+    body["retry_after"] = rejected.retry_after
+    return body
 
 
 class AsyncApp:
@@ -131,7 +144,12 @@ class AsyncApp:
                     keep = not error.close
                     writer.write(
                         render_json_response(
-                            error.status, {"error": str(error)}, keep_alive=keep
+                            error.status,
+                            {
+                                "error": str(error),
+                                "code": api.code_for_status(error.status),
+                            },
+                            keep_alive=keep,
                         )
                     )
                     await writer.drain()
@@ -159,17 +177,21 @@ class AsyncApp:
     async def _dispatch(
         self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
     ) -> bool:
-        """Answer one request; returns whether the connection stays open."""
-        route: Callable[..., Awaitable[bool]] | None = {
-            ("GET", "/health"): self._handle_health,
-            ("GET", "/stats"): self._handle_stats,
-            ("POST", "/query"): self._handle_query,
-            ("POST", "/batch"): self._handle_batch,
-        }.get((request.method, request.path))
-        if route is None:
-            return await self._send(
-                writer, 404, {"error": f"unknown path {request.path!r}"}, keep_alive
-            )
+        """Answer one request; returns whether the connection stays open.
+
+        Routing comes from the shared ``/v1`` endpoint table — canonical
+        ``/v1/*`` paths and their legacy aliases resolve to the same handler,
+        so both spellings answer byte-identically.
+        """
+        endpoint = api.resolve(request.method, request.path)
+        if endpoint is None:
+            return await self._send_error(writer, api.not_found(request.path), keep_alive)
+        route: Callable[..., Awaitable[bool]] = {
+            "health": self._handle_health,
+            "stats": self._handle_stats,
+            "query": self._handle_query,
+            "batch": self._handle_batch,
+        }[endpoint.name]
         return await route(request, writer, keep_alive)
 
     async def _send(
@@ -189,6 +211,13 @@ class AsyncApp:
         await writer.drain()
         return keep_alive
 
+    async def _send_error(
+        self, writer: asyncio.StreamWriter, error: BaseException, keep_alive: bool
+    ) -> bool:
+        """Answer a failure with the shared envelope (status + code + message)."""
+        status, envelope = api.envelope_for(error)
+        return await self._send(writer, status, envelope.to_json(), keep_alive)
+
     async def _run_blocking(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Any:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
@@ -201,21 +230,22 @@ class AsyncApp:
         self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
     ) -> bool:
         if self.draining:
-            return await self._send(
-                writer, 503, {"status": "draining"}, keep_alive=False
-            )
+            # the envelope fields ride along so v1 clients can dispatch on
+            # code="unavailable"; "status" stays for legacy health checks
+            body = ErrorEnvelope("unavailable", "service is draining").to_json()
+            body["status"] = "draining"
+            return await self._send(writer, 503, body, keep_alive=False)
         return await self._send(
-            writer,
-            200,
-            {"status": "ok", "generation": self.service.generation},
-            keep_alive,
+            writer, 200, api.health_payload(self.service), keep_alive
         )
 
     async def _handle_stats(
         self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
     ) -> bool:
         loop = asyncio.get_running_loop()
-        payload = await loop.run_in_executor(self._aux_executor, self.service.stats)
+        payload = await loop.run_in_executor(
+            self._aux_executor, api.stats_payload, self.service
+        )
         payload["aserve"] = {
             "draining": self.draining,
             "admission": self.admission.stats(),
@@ -234,18 +264,15 @@ class AsyncApp:
             return await self._send(
                 writer,
                 429,
-                {"error": str(rejected), "retry_after": rejected.retry_after},
+                _rejection_body(rejected),
                 keep_alive,
                 extra_headers=_retry_after_headers(rejected),
             )
         try:
-            body = decode_json_object(request.body)
-            text = body.get("query")
-            if not isinstance(text, str):
-                raise PayloadError(400, 'body must contain a "query" string')
-        except PayloadError as error:
+            query_request = api.parse_query_request(decode_json_object(request.body))
+        except (PayloadError, api.ApiError) as error:
             self.admission.cancel_reservation(1)
-            return await self._send(writer, error.status, {"error": str(error)}, keep_alive)
+            return await self._send_error(writer, error, keep_alive)
         await self.admission.acquire_slot()
         # the unit is released only after the response bytes are written:
         # "finish in-flight" at drain time includes delivering the answer
@@ -253,15 +280,12 @@ class AsyncApp:
             try:
                 result = await self._run_blocking(
                     self.service.execute,
-                    text,
-                    exhaustive=bool(body.get("exhaustive", False)),
+                    query_request.query,
+                    exhaustive=query_request.exhaustive,
                 )
-            except (HypeRError, ValueError) as error:
-                return await self._send(writer, 400, {"error": str(error)}, keep_alive)
             except Exception as error:  # noqa: BLE001 - keep the JSON contract
-                return await self._send(
-                    writer, 500, {"error": f"{type(error).__name__}: {error}"}, keep_alive
-                )
+                # envelope_for maps query errors to 400, the rest to 500
+                return await self._send_error(writer, error, keep_alive)
             return await self._send(writer, 200, result.payload(), keep_alive)
         finally:
             self.admission.release_slot()
@@ -270,14 +294,10 @@ class AsyncApp:
         self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
     ) -> bool:
         try:
-            body = decode_json_object(request.body)
-            texts = body.get("queries")
-            if not isinstance(texts, list) or not all(
-                isinstance(t, str) for t in texts
-            ):
-                raise PayloadError(400, 'body must contain a "queries" list of strings')
-        except PayloadError as error:
-            return await self._send(writer, error.status, {"error": str(error)}, keep_alive)
+            batch_request = api.parse_batch_request(decode_json_object(request.body))
+        except (PayloadError, api.ApiError) as error:
+            return await self._send_error(writer, error, keep_alive)
+        texts = list(batch_request.queries)
         if not texts:
             return await self._send(
                 writer, 200, {"results": [], "n_queries": 0}, keep_alive
@@ -288,13 +308,12 @@ class AsyncApp:
             return await self._send(
                 writer,
                 413,
-                {
-                    "error": (
-                        f"batch of {len(texts)} queries exceeds this server's "
-                        f"total admission capacity of {self.admission.capacity} "
-                        "(max_inflight + queue_depth); split the batch"
-                    )
-                },
+                ErrorEnvelope(
+                    "payload_too_large",
+                    f"batch of {len(texts)} queries exceeds this server's "
+                    f"total admission capacity of {self.admission.capacity} "
+                    "(max_inflight + queue_depth); split the batch",
+                ).to_json(),
                 keep_alive,
             )
         try:
@@ -304,7 +323,7 @@ class AsyncApp:
             return await self._send(
                 writer,
                 429,
-                {"error": str(rejected), "retry_after": rejected.retry_after},
+                _rejection_body(rejected),
                 keep_alive,
                 extra_headers=_retry_after_headers(rejected),
             )
@@ -326,11 +345,11 @@ class AsyncApp:
             try:
                 try:
                     result = await self._run_blocking(self.service.execute, text)
-                    line: dict[str, Any] = {"index": index, "result": result.payload()}
+                    line: dict[str, Any] = api.batch_line(index, result)
                 except asyncio.CancelledError:
                     raise
                 except Exception as error:  # noqa: BLE001 - captured per query
-                    line = {"index": index, "error": str(error)}
+                    line = api.batch_line(index, error)
                 async with send_lock:
                     if not dead:
                         try:
@@ -353,7 +372,7 @@ class AsyncApp:
         if dead:
             return False
         try:
-            await stream.send({"done": True, "n_queries": len(texts)})
+            await stream.send(api.batch_done_line(len(texts)))
             await stream.finish()
         except (ConnectionError, asyncio.TimeoutError):
             return False

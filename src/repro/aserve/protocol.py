@@ -28,7 +28,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from ..service.server import PayloadError, check_body_length
+from ..api.endpoints import PayloadError, check_body_length
 
 __all__ = [
     "ChunkedJsonWriter",

@@ -31,7 +31,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
 
 from ..service.executor import default_max_workers
-from ..service.server import MAX_BODY_BYTES
+from ..api.endpoints import MAX_BODY_BYTES
 from ..service.session import HypeRService
 from .admission import AdmissionController
 from .app import AsyncApp

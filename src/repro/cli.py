@@ -21,11 +21,37 @@ from typing import Sequence
 from .core.config import EngineConfig, Variant
 from .core.engine import HypeR
 from .datasets import available_datasets, make_dataset
-from .exceptions import HypeRError
+from .exceptions import HypeRError, QuerySyntaxError
 from .relational.csvio import read_csv
 from .relational.database import Database
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "format_syntax_error"]
+
+
+def format_syntax_error(text: str, error: QuerySyntaxError) -> str:
+    """A caret-positioned diagnostic for a query that failed to parse.
+
+    Shows the offending source line with a ``^`` under the exact character
+    the parser rejected (the lexer stamps every token with its offset)::
+
+        syntax error: expected keyword 'OUTPUT', found 'OUTPT'
+          USE Credit UPDATE(Status) = 4 OUTPT AVG(POST(Credit))
+                                        ^
+    """
+    message = f"syntax error: {error}"
+    if error.position is None or not (0 <= error.position <= len(text)):
+        return message
+    line_start = text.rfind("\n", 0, error.position) + 1
+    line_end = text.find("\n", error.position)
+    if line_end == -1:
+        line_end = len(text)
+    column = error.position - line_start
+    lines = [message]
+    if error.line is not None and "\n" in text:
+        lines.append(f"  (line {error.line})")
+    lines.append("  " + text[line_start:line_end])
+    lines.append("  " + " " * column + "^")
+    return "\n".join(lines)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -263,10 +289,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             result = session.execute(args.text)
         if args.json:
+            # result.payload() serializes through the v1 wire schemas, so
+            # --json output and the HTTP API emit the identical shape
             print(json.dumps(result.payload(), indent=2, default=str))
         else:
             print(result.summary())
         return 0
+    except QuerySyntaxError as error:
+        print(format_syntax_error(getattr(args, "text", ""), error), file=sys.stderr)
+        return 2
     except HypeRError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -97,9 +97,14 @@ class HypeR:
             return engine.evaluate_exhaustive(query)
         return engine.evaluate(query)
 
-    def execute(self, query_text: str) -> WhatIfResult | HowToResult:
-        """Parse and answer a query written in the HypeR SQL extension."""
-        query = parse_query(query_text)
+    def execute(self, query) -> WhatIfResult | HowToResult:
+        """Answer a query: SQL-extension text, a query object, or a fluent builder."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        else:
+            from ..api.builder import as_query_object  # lazy: api sits above core
+
+            query = as_query_object(query)
         if isinstance(query, WhatIfQuery):
             return self.what_if(query)
         if isinstance(query, HowToQuery):

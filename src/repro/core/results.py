@@ -91,18 +91,15 @@ class WhatIfResult:
         return float(self.value)
 
     def payload(self) -> dict[str, Any]:
-        """Machine-readable summary (used by ``--json`` and the HTTP server)."""
-        return {
-            "kind": "what-if",
-            "value": self.value,
-            "aggregate": self.aggregate,
-            "output_attribute": self.output_attribute,
-            "variant": self.variant,
-            "n_scope_tuples": self.n_scope_tuples,
-            "n_blocks": self.n_blocks,
-            "backdoor_set": list(self.backdoor_set),
-            "runtime_seconds": self.runtime_seconds,
-        }
+        """The v1 wire form (used by ``--json`` and both HTTP front doors).
+
+        Serialized through :class:`repro.api.schemas.WhatIfAnswer` so every
+        consumer sees one schema; the import is lazy to keep the core layer
+        free of an api-package dependency at import time.
+        """
+        from ..api.schemas import WhatIfAnswer
+
+        return WhatIfAnswer.from_result(self).to_json()
 
     def summary(self) -> str:
         return (
@@ -148,15 +145,10 @@ class HowToResult:
         return out
 
     def payload(self) -> dict[str, Any]:
-        """Machine-readable summary (used by ``--json`` and the HTTP server)."""
-        return {
-            "kind": "how-to",
-            "objective_value": self.objective_value,
-            "baseline_value": self.baseline_value,
-            "plan": self.plan(),
-            "solver_status": self.solver_status,
-            "runtime_seconds": self.runtime_seconds,
-        }
+        """The v1 wire form (used by ``--json`` and both HTTP front doors)."""
+        from ..api.schemas import HowToAnswer
+
+        return HowToAnswer.from_result(self).to_json()
 
     def summary(self) -> str:
         direction = "maximize" if self.maximize else "minimize"

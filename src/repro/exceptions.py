@@ -43,6 +43,10 @@ class QuerySemanticsError(HypeRError):
     """A parsed query references unknown attributes/relations or is inconsistent."""
 
 
+class UnparseError(HypeRError):
+    """A query object contains components with no query-text surface syntax."""
+
+
 class CausalModelError(HypeRError):
     """The causal DAG / PRCM is invalid (cycles, unknown attributes, bad equations)."""
 

@@ -11,6 +11,7 @@ this contract; keep it when extending the grammar.
 
 from .lexer import Token, TokenType, tokenize
 from .parser import parse_how_to, parse_query, parse_what_if
+from .unparse import unparse, unparse_expr
 
 __all__ = [
     "Token",
@@ -19,4 +20,6 @@ __all__ = [
     "parse_query",
     "parse_what_if",
     "tokenize",
+    "unparse",
+    "unparse_expr",
 ]

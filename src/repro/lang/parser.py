@@ -22,6 +22,7 @@ Grammar (keywords case-insensitive)::
     for         := FOR predicate
     predicate   := or_expr  -- the usual AND/OR/NOT/comparison/IN grammar over
                             -- PRE(attr), POST(attr), attr, literals
+    number      := ['-'] NUMBER  -- numeric literals accept a unary minus
 
 The ``Use`` clause deliberately deviates from the paper's full embedded-SQL
 form: instead of an arbitrary SELECT, it takes the base relation, an optional
@@ -199,6 +200,28 @@ def _expect_end(cursor: _Cursor) -> None:
 # ---------------------------------------------------------------------------
 
 
+def _at_number(cursor: _Cursor) -> bool:
+    """Whether the cursor sits on a numeric literal (with optional unary minus)."""
+    token = cursor.peek()
+    if token.type is TokenType.NUMBER:
+        return True
+    return (
+        token.type is TokenType.OPERATOR
+        and token.value == "-"
+        and cursor.peek(1).type is TokenType.NUMBER
+    )
+
+
+def _parse_number(cursor: _Cursor) -> float:
+    """A numeric literal with optional unary minus (``-3.5``)."""
+    sign = 1.0
+    token = cursor.peek()
+    if token.type is TokenType.OPERATOR and token.value == "-":
+        cursor.advance()
+        sign = -1.0
+    return sign * float(cursor.expect(TokenType.NUMBER).value)
+
+
 def _parse_use(cursor: _Cursor) -> UseSpec:
     cursor.expect_keyword("use")
     relation = cursor.expect_identifier().value
@@ -268,9 +291,8 @@ def _parse_single_update(cursor: _Cursor) -> AttributeUpdate:
 
 def _parse_update_function(cursor: _Cursor, attribute: str):
     token = cursor.peek()
-    if token.type is TokenType.NUMBER:
-        cursor.advance()
-        value = float(token.value)
+    if _at_number(cursor):
+        value = _parse_number(cursor)
         operator = cursor.peek()
         if operator.type is TokenType.OPERATOR and operator.value in ("*", "+"):
             cursor.advance()
@@ -353,11 +375,11 @@ def _parse_limit_condition(cursor: _Cursor) -> LimitConstraint:
         op = cursor.expect(TokenType.OPERATOR).value
         if op not in ("<=", "<"):
             raise QuerySyntaxError(f"L1 constraints use '<=', found {op!r}")
-        bound = float(cursor.expect(TokenType.NUMBER).value)
+        bound = _parse_number(cursor)
         return LimitConstraint(attribute=attribute, max_l1=bound)
     # number <= POST(B) <= number   |   POST(B) <= number   |   POST(B) IN (...)
-    if token.type is TokenType.NUMBER:
-        lower = float(cursor.advance().value)
+    if _at_number(cursor):
+        lower = _parse_number(cursor)
         op = cursor.expect(TokenType.OPERATOR).value
         if op not in ("<=", "<"):
             raise QuerySyntaxError(f"range limits use '<=', found {op!r}")
@@ -365,7 +387,7 @@ def _parse_limit_condition(cursor: _Cursor) -> LimitConstraint:
         upper = None
         if cursor.peek().type is TokenType.OPERATOR and cursor.peek().value in ("<=", "<"):
             cursor.advance()
-            upper = float(cursor.expect(TokenType.NUMBER).value)
+            upper = _parse_number(cursor)
         return LimitConstraint(attribute=attribute, lower=lower, upper=upper)
     attribute = _parse_post_reference(cursor)
     next_token = cursor.peek()
@@ -379,7 +401,7 @@ def _parse_limit_condition(cursor: _Cursor) -> LimitConstraint:
         cursor.expect(TokenType.RPAREN)
         return LimitConstraint(attribute=attribute, allowed_values=tuple(values))
     op = cursor.expect(TokenType.OPERATOR).value
-    bound = float(cursor.expect(TokenType.NUMBER).value)
+    bound = _parse_number(cursor)
     if op in ("<=", "<"):
         return LimitConstraint(attribute=attribute, upper=bound)
     if op in (">=", ">"):
@@ -396,10 +418,10 @@ def _parse_post_reference(cursor: _Cursor) -> str:
 
 
 def _parse_literal(cursor: _Cursor):
-    token = cursor.advance()
-    if token.type is TokenType.NUMBER:
-        value = float(token.value)
+    if _at_number(cursor):
+        value = _parse_number(cursor)
         return int(value) if value.is_integer() else value
+    token = cursor.advance()
     if token.type is TokenType.STRING:
         return token.value
     if token.type is TokenType.KEYWORD and token.lowered in ("true", "false"):
@@ -489,6 +511,9 @@ def _parse_comparison(cursor: _Cursor) -> Expr:
 
 def _parse_operand(cursor: _Cursor) -> Expr:
     token = cursor.peek()
+    if _at_number(cursor):
+        value = _parse_number(cursor)
+        return Const(int(value) if value.is_integer() else value)
     if token.type is TokenType.KEYWORD and token.lowered in ("pre", "post"):
         cursor.advance()
         cursor.expect(TokenType.LPAREN)
@@ -499,10 +524,6 @@ def _parse_operand(cursor: _Cursor) -> Expr:
     if token.type is TokenType.IDENTIFIER:
         cursor.advance()
         return Attr(token.value, Temporal.DEFAULT)
-    if token.type is TokenType.NUMBER:
-        cursor.advance()
-        value = float(token.value)
-        return Const(int(value) if value.is_integer() else value)
     if token.type is TokenType.STRING:
         cursor.advance()
         return Const(token.value)

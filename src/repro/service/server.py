@@ -1,38 +1,50 @@
 """A minimal stdlib HTTP front-end for :class:`HypeRService`.
 
 No web framework — ``http.server.ThreadingHTTPServer`` dispatches each
-request on its own thread to a shared, thread-safe service.  Endpoints:
+request on its own thread to a shared, thread-safe service.  Routing, request
+validation, error envelopes and the 413/400 body policy all come from the
+shared ``/v1`` endpoint table in :mod:`repro.api.endpoints` (the asyncio
+front-end of :mod:`repro.aserve` mounts the same table, so the two front
+doors cannot drift):
 
-* ``GET /health`` — liveness probe, ``{"status": "ok"}``;
-* ``GET /stats`` — :meth:`HypeRService.stats` as JSON;
-* ``POST /query`` — body ``{"query": "<SQL extension text>",
-  "exhaustive": false}``; answers with the result payload;
-* ``POST /batch`` — body ``{"queries": ["...", ...]}``; runs
-  :meth:`HypeRService.execute_many` and answers with
-  ``{"results": [...], "n_queries": N}``.  Failures are per query: a bad
-  entry yields ``{"error": ...}`` at its position while the rest of the
-  batch completes.
+* ``GET /v1/health`` (alias ``/health``) — liveness probe;
+* ``GET /v1/stats`` (alias ``/stats``) — the v1
+  :class:`~repro.api.schemas.StatsSnapshot`;
+* ``POST /v1/query`` (alias ``/query``) — body is a v1
+  :class:`~repro.api.schemas.QueryRequest`; answers with the typed
+  what-if/how-to answer payload;
+* ``POST /v1/batch`` (alias ``/batch``) — body is a v1
+  :class:`~repro.api.schemas.BatchRequest`; answers ``{"results": [...],
+  "n_queries": N}`` with per-query error envelopes (one bad entry never
+  discards the rest of the batch).
 
-Query errors (parse/semantics) on ``/query`` return HTTP 400 with
-``{"error": ...}``, unexpected engine failures 500; unknown paths 404;
-oversized bodies 413 and malformed JSON 400 (the shared
-:func:`check_body_length` / :func:`decode_json_object` helpers give the
-asyncio front-end in :mod:`repro.aserve` the identical contract).  Start one
-from Python with :func:`serve` or from the command line with ``repro serve
---dataset german-syn``; :func:`serve` installs SIGTERM/SIGINT handlers that
-stop the listener, finish in-flight requests, and release the service's
-shard pool.
+Failures map through :func:`repro.api.endpoints.envelope_for` to the shared
+``{"error", "code", "detail"?}`` envelope: query errors 400, oversized bodies
+413, malformed JSON 400, unknown paths 404, unexpected engine failures 500.
+Start a server from Python with :func:`serve` or from the command line with
+``repro serve --dataset german-syn``; :func:`serve` installs SIGTERM/SIGINT
+handlers that stop the listener, finish in-flight requests, and release the
+service's shard pool.
 """
 
 from __future__ import annotations
 
-import json
 import signal
 import threading
+import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
-from ..exceptions import HypeRError
+from ..api import endpoints as api
+
+# Historical home of the shared body-guard helpers; re-exported so existing
+# importers (and pickled references) keep working after the move to repro.api.
+from ..api.endpoints import (  # noqa: F401  (re-exports)
+    MAX_BODY_BYTES,
+    PayloadError,
+    check_body_length,
+    decode_json_object,
+)
 from .session import HypeRService
 
 __all__ = [
@@ -44,42 +56,9 @@ __all__ = [
     "serve",
 ]
 
-#: default request-body ceiling shared by the threaded and asyncio front-ends
-MAX_BODY_BYTES = 4 * 1024 * 1024
-
-
-class PayloadError(ValueError):
-    """A request body rejected before execution; carries the HTTP status."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-
-
-def check_body_length(length: int | None, *, max_bytes: int = MAX_BODY_BYTES) -> int:
-    """Validate a declared Content-Length: 400 when absent, 413 when too big."""
-    if length is None or length <= 0:
-        raise PayloadError(400, "request body missing (Content-Length required)")
-    if length > max_bytes:
-        raise PayloadError(
-            413, f"request body of {length} bytes exceeds the {max_bytes}-byte limit"
-        )
-    return length
-
-
-def decode_json_object(raw: bytes) -> dict[str, Any]:
-    """Decode a request body into a JSON object; malformed input is 400."""
-    try:
-        data = json.loads(raw.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise PayloadError(400, f"malformed JSON body: {error}") from None
-    if not isinstance(data, dict):
-        raise PayloadError(400, "request body must be a JSON object")
-    return data
-
 
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
-    """Routes HTTP requests to the service attached to the server."""
+    """Routes HTTP requests through the shared v1 endpoint table."""
 
     server_version = "HypeRService/1.0"
     #: silence per-request stderr logging unless the server enables it
@@ -103,6 +82,10 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_error_envelope(self, error: BaseException) -> None:
+        status, envelope = api.envelope_for(error)
+        self._send_json(status, envelope.to_json())
+
     def _read_json_body(self) -> dict[str, Any]:
         raw_length = self.headers.get("Content-Length")
         try:
@@ -115,54 +98,41 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     # -- routes ------------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
-        if self.path == "/health":
-            self._send_json(200, {"status": "ok", "generation": self.service.generation})
-        elif self.path == "/stats":
-            self._send_json(200, self.service.stats())
-        else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        endpoint = api.resolve("GET", self.path)
+        if endpoint is None:
+            self._send_error_envelope(api.not_found(self.path))
+        elif endpoint.name == "health":
+            self._send_json(200, api.health_payload(self.service))
+        elif endpoint.name == "stats":
+            self._send_json(200, api.stats_payload(self.service))
+        else:  # pragma: no cover - table only maps health/stats to GET
+            self._send_error_envelope(api.not_found(self.path))
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        endpoint = api.resolve("POST", self.path)
+        if endpoint is None:
+            self._send_error_envelope(api.not_found(self.path))
+            return
         try:
             body = self._read_json_body()
         except PayloadError as error:
             # 413 for oversized bodies, 400 for missing/malformed ones — the
-            # shared helpers keep this identical to the async front-end.
-            self._send_json(error.status, {"error": str(error)})
+            # shared guards keep this identical to the async front-end.
+            self._send_error_envelope(error)
             return
         try:
-            if self.path == "/query":
-                text = body.get("query")
-                if not isinstance(text, str):
-                    raise ValueError('body must contain a "query" string')
-                result = self.service.execute(
-                    text, exhaustive=bool(body.get("exhaustive", False))
-                )
-                self._send_json(200, result.payload())
-            elif self.path == "/batch":
-                texts = body.get("queries")
-                if not isinstance(texts, list) or not all(
-                    isinstance(t, str) for t in texts
-                ):
-                    raise ValueError('body must contain a "queries" list of strings')
-                # Per-query error capture: one bad query must not discard the
-                # rest of the batch's already-computed results.
-                results = self.service.execute_many(texts, return_errors=True)
-                payloads = [
-                    {"error": str(r)} if isinstance(r, Exception) else r.payload()
-                    for r in results
-                ]
-                self._send_json(
-                    200, {"results": payloads, "n_queries": len(payloads)}
-                )
-            else:
-                self._send_json(404, {"error": f"unknown path {self.path!r}"})
-        except (HypeRError, ValueError) as error:
-            self._send_json(400, {"error": str(error)})
+            if endpoint.name == "query":
+                request = api.parse_query_request(body)
+                self._send_json(200, api.execute_query_payload(self.service, request))
+            elif endpoint.name == "batch":
+                request = api.parse_batch_request(body)
+                self._send_json(200, api.batch_response_payload(self.service, request))
+            else:  # pragma: no cover - table only maps query/batch to POST
+                self._send_error_envelope(api.not_found(self.path))
         except Exception as error:  # noqa: BLE001 - keep the JSON contract
-            # Never drop the connection: unexpected engine failures still
-            # answer with the documented {"error": ...} shape.
-            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+            # Never drop the connection: query errors answer 400, unexpected
+            # engine failures 500, all with the shared envelope shape.
+            self._send_error_envelope(error)
 
 
 def make_server(
@@ -213,7 +183,11 @@ def serve(
     server = make_server(service, host, port)
     bound_host, bound_port = server.server_address[:2]
     print(f"HypeR service listening on http://{bound_host}:{bound_port}", flush=True)
-    print("endpoints: GET /health, GET /stats, POST /query, POST /batch", flush=True)
+    print(
+        "endpoints: GET /v1/health, GET /v1/stats, POST /v1/query, POST /v1/batch "
+        "(legacy aliases without the /v1 prefix)",
+        flush=True,
+    )
     stop = shutdown_event if shutdown_event is not None else threading.Event()
     previous: dict[int, Any] = {}
 

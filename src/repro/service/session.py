@@ -349,11 +349,9 @@ class HypeRService:
     def _as_query(self, query: str | Query) -> Query:
         if isinstance(query, str):
             return self.parse(query)
-        if isinstance(query, (WhatIfQuery, HowToQuery)):
-            return query
-        raise QuerySemanticsError(
-            f"expected query text or a query object, got {type(query).__name__}"
-        )
+        from ..api.builder import as_query_object  # lazy: api sits above service
+
+        return as_query_object(query)
 
     def fingerprint(self, query: str | Query) -> PlanFingerprint:
         """The canonical plan fingerprint of ``query`` at the current generation."""

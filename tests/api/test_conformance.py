@@ -1,0 +1,242 @@
+"""The shared /v1 conformance suite, run against BOTH HTTP front doors.
+
+One parametrized fixture spins up the threaded ``ThreadingHTTPServer`` front
+door and the asyncio ``aserve`` front door over services built from the same
+dataset and configuration; every test below runs against each.  This is the
+executable form of the contract in :mod:`repro.api.endpoints`: canonical
+``/v1/*`` paths, legacy aliases answering byte-identically, typed answers
+that validate against the strict v1 schemas, and the shared error envelope
+for 400/404/413.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro import EngineConfig, HypeR, HypeRService
+from repro.api.schemas import (
+    API_VERSION,
+    BatchItem,
+    StatsSnapshot,
+    WhatIfAnswer,
+    answer_from_json,
+)
+from repro.aserve import BackgroundAsyncServer
+from repro.datasets import make_german_syn
+from repro.service import make_server
+
+QUERY_TEXT = (
+    "USE Credit UPDATE(Status) = 4 OUTPUT COUNT(POST(Credit)) FOR POST(Credit) = 1"
+)
+HOWTO_TEXT = (
+    "USE Credit HOWTOUPDATE CreditAmount "
+    "LIMIT L1(PRE(CreditAmount), POST(CreditAmount)) <= 500 "
+    "TOMAXIMIZE AVG(POST(Credit))"
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_german_syn(300, seed=4)
+
+
+def _make_service(dataset):
+    return HypeRService(
+        dataset.database, dataset.causal_dag, EngineConfig(regressor="linear")
+    )
+
+
+@pytest.fixture(scope="module")
+def threaded_server(dataset):
+    service = _make_service(dataset)
+    server = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield host, port
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def async_server(dataset):
+    service = _make_service(dataset)
+    with BackgroundAsyncServer(service, max_inflight=4, queue_depth=16) as server:
+        yield server.address
+
+
+@pytest.fixture(scope="module", params=["threaded", "async"])
+def front_door(request, threaded_server, async_server):
+    return threaded_server if request.param == "threaded" else async_server
+
+
+def send(
+    address: tuple[str, int],
+    method: str,
+    path: str,
+    payload: dict | None = None,
+    raw_body: bytes | None = None,
+) -> tuple[int, dict]:
+    host, port = address
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    body = raw_body if raw_body is not None else (
+        json.dumps(payload).encode() if payload is not None else None
+    )
+    headers = {"Content-Type": "application/json"} if body else {}
+    conn.request(method, path, body=body, headers=headers)
+    response = conn.getresponse()
+    data = json.loads(response.read() or b"{}")
+    conn.close()
+    return response.status, data
+
+
+class TestHealthAndStats:
+    def test_v1_health(self, front_door):
+        status, body = send(front_door, "GET", "/v1/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["api_version"] == API_VERSION
+
+    def test_legacy_health_alias_is_identical(self, front_door):
+        _, canonical = send(front_door, "GET", "/v1/health")
+        _, alias = send(front_door, "GET", "/health")
+        assert alias == canonical
+
+    def test_v1_stats_parses_as_snapshot(self, front_door):
+        send(front_door, "POST", "/v1/query", {"query": QUERY_TEXT})
+        status, body = send(front_door, "GET", "/v1/stats")
+        assert status == 200
+        snapshot = StatsSnapshot.from_json(body)
+        assert snapshot.n_queries >= 1
+        assert "estimators" in snapshot.caches
+
+
+class TestQuery:
+    def test_v1_query_returns_strictly_valid_typed_answer(self, front_door, dataset):
+        status, body = send(front_door, "POST", "/v1/query", {"query": QUERY_TEXT})
+        assert status == 200
+        answer = answer_from_json(body)  # strict: unknown fields would fail
+        assert isinstance(answer, WhatIfAnswer)
+        direct = HypeR(
+            dataset.database, dataset.causal_dag, EngineConfig(regressor="linear")
+        ).execute(QUERY_TEXT)
+        assert answer.value == direct.value  # bitwise through the JSON round-trip
+
+    def test_legacy_query_alias_is_identical(self, front_door):
+        _, canonical = send(front_door, "POST", "/v1/query", {"query": QUERY_TEXT})
+        _, alias = send(front_door, "POST", "/query", {"query": QUERY_TEXT})
+        assert {k: v for k, v in alias.items() if k != "runtime_seconds"} == {
+            k: v for k, v in canonical.items() if k != "runtime_seconds"
+        }
+
+    def test_how_to_answer_validates(self, front_door):
+        status, body = send(front_door, "POST", "/v1/query", {"query": HOWTO_TEXT})
+        assert status == 200
+        answer = answer_from_json(body)
+        assert answer.to_json()["kind"] == "how-to"
+
+
+class TestErrorEnvelopes:
+    def test_syntax_error_envelope(self, front_door):
+        status, body = send(
+            front_door, "POST", "/v1/query", {"query": "SELECT nonsense"}
+        )
+        assert status == 400
+        assert body["code"] == "query_syntax"
+        assert isinstance(body["error"], str)
+        assert "position" in body.get("detail", {})
+
+    def test_semantics_error_envelope(self, front_door):
+        text = "USE Credit UPDATE(Nope) = 1 OUTPUT AVG(POST(Credit))"
+        status, body = send(front_door, "POST", "/v1/query", {"query": text})
+        assert status == 400
+        assert body["code"] == "query_semantics"
+
+    def test_unknown_field_is_schema_violation(self, front_door):
+        status, body = send(
+            front_door, "POST", "/v1/query", {"query": QUERY_TEXT, "shard": 1}
+        )
+        assert status == 400
+        assert body["code"] == "bad_request"
+        assert "unknown field" in body["error"]
+
+    def test_missing_query_field(self, front_door):
+        status, body = send(front_door, "POST", "/v1/query", {"nope": 1})
+        assert status == 400
+        assert body["code"] == "bad_request"
+
+    def test_malformed_json_body(self, front_door):
+        status, body = send(front_door, "POST", "/v1/query", raw_body=b"{not json")
+        assert status == 400
+        assert body["code"] == "bad_request"
+        assert "malformed JSON" in body["error"]
+
+    def test_unknown_path_is_404_envelope(self, front_door):
+        status, body = send(front_door, "GET", "/v2/health")
+        assert status == 404
+        assert body["code"] == "not_found"
+
+    def test_oversized_declared_body_is_413_envelope(self, front_door):
+        host, port = front_door
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        # declare an oversized body without paying to send it: both front
+        # doors must reject on the declared length, before the read
+        conn.putrequest("POST", "/v1/query")
+        conn.putheader("Content-Type", "application/json")
+        conn.putheader("Content-Length", str(64 * 1024 * 1024))
+        conn.endheaders()
+        response = conn.getresponse()
+        body = json.loads(response.read())
+        conn.close()
+        assert response.status == 413
+        assert body["code"] == "payload_too_large"
+        assert "exceeds" in body["error"]
+
+
+class TestBatch:
+    TEXTS = [QUERY_TEXT, "garbage", QUERY_TEXT.replace("= 4", "= 3")]
+
+    def test_batch_answers_all_queries_with_per_query_envelopes(self, front_door):
+        host, port = front_door
+        conn = http.client.HTTPConnection(host, port, timeout=60)
+        conn.request(
+            "POST",
+            "/v1/batch",
+            body=json.dumps({"queries": self.TEXTS}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        assert response.status == 200
+        content_type = response.getheader("Content-Type") or ""
+        raw = response.read()
+        conn.close()
+        if "ndjson" in content_type:  # the async front door streams
+            lines = [json.loads(line) for line in raw.decode().splitlines()]
+            assert lines[-1] == {"done": True, "n_queries": 3}
+            items = [BatchItem.from_json(line) for line in lines[:-1]]
+        else:  # the threaded front door answers one JSON object
+            body = json.loads(raw)
+            assert body["n_queries"] == 3
+            items = []
+            for index, entry in enumerate(body["results"]):
+                if "error" in entry:
+                    items.append(BatchItem.from_json({"index": index, **entry}))
+                else:
+                    items.append(
+                        BatchItem.from_json({"index": index, "result": entry})
+                    )
+        by_index = {item.index: item for item in items}
+        assert set(by_index) == {0, 1, 2}
+        assert by_index[0].ok and by_index[2].ok
+        assert not by_index[1].ok
+        assert by_index[1].error.code == "query_syntax"
+
+    def test_batch_rejects_non_list_queries(self, front_door):
+        status, body = send(front_door, "POST", "/v1/batch", {"queries": "nope"})
+        assert status == 400
+        assert body["code"] == "bad_request"

@@ -1,0 +1,139 @@
+"""Wire-schema stability: serialized v1 forms are pinned by golden fixtures.
+
+Each fixture under ``tests/api/fixtures/`` is the exact JSON a canonical
+object serializes to.  If an edit to :mod:`repro.api.schemas` changes any
+byte of the wire form — a renamed field, a dropped key, a type change — the
+comparison fails and CI goes red.  **Additive** evolution is the only kind
+allowed inside ``v1``: add the new field to the canonical object AND its
+fixture in the same change; anything else needs a ``v2`` schema side by side.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api.schemas import (
+    BatchItem,
+    BatchRequest,
+    ErrorEnvelope,
+    HowToAnswer,
+    QueryRequest,
+    StatsSnapshot,
+    WhatIfAnswer,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: the canonical object behind every golden fixture (deterministic values)
+CANONICAL = {
+    "query_request": QueryRequest(
+        query="USE Credit UPDATE(Status) = 4 OUTPUT AVG(POST(Credit))",
+        exhaustive=False,
+    ),
+    "batch_request": BatchRequest(
+        queries=(
+            "USE Credit UPDATE(Status) = 4 OUTPUT AVG(POST(Credit))",
+            "USE Credit UPDATE(Status) = 2 OUTPUT AVG(POST(Credit))",
+        )
+    ),
+    "what_if_answer": WhatIfAnswer(
+        value=0.53125,
+        aggregate="avg",
+        output_attribute="Credit",
+        variant="hyper",
+        n_scope_tuples=300,
+        n_blocks=17,
+        backdoor_set=("Age", "Housing"),
+        runtime_seconds=0.125,
+    ),
+    "how_to_answer": HowToAnswer(
+        objective_value=0.75,
+        baseline_value=0.5,
+        maximize=True,
+        plan={"CreditAmount": "= 1000", "Duration": "no change"},
+        solver_status="optimal",
+        runtime_seconds=2.5,
+    ),
+    "error_envelope": ErrorEnvelope(
+        code="query_syntax",
+        message="expected keyword 'OUTPUT', found 'OUTPT'",
+        detail={"position": 30, "line": 1},
+    ),
+    "batch_item_result": BatchItem(
+        index=1,
+        result=WhatIfAnswer(
+            value=1.0,
+            aggregate="count",
+            output_attribute="Credit",
+            variant="indep",
+            n_scope_tuples=10,
+            n_blocks=1,
+            backdoor_set=(),
+            runtime_seconds=0.0625,
+        ),
+    ),
+    "batch_item_error": BatchItem(
+        index=0, error=ErrorEnvelope("query_semantics", "unknown attribute 'Riskk'")
+    ),
+    "stats_snapshot": StatsSnapshot(
+        generation=2,
+        execution="processes",
+        n_queries=128,
+        n_batches=4,
+        uptime_seconds=60.5,
+        relation_generations={"Credit": 2},
+        caches={"estimators": {"hits": 100, "misses": 4}},
+        serving={"in_flight": 1, "peak_in_flight": 8},
+        regressors={"fits": 4, "hits": 250, "cached": 4},
+        pool={"n_shards": 4},
+        sections={"aserve": {"draining": False}},
+    ),
+}
+
+_DECODERS = {
+    "query_request": QueryRequest.from_json,
+    "batch_request": BatchRequest.from_json,
+    "what_if_answer": WhatIfAnswer.from_json,
+    "how_to_answer": HowToAnswer.from_json,
+    "error_envelope": ErrorEnvelope.from_json,
+    "batch_item_result": BatchItem.from_json,
+    "batch_item_error": BatchItem.from_json,
+    "stats_snapshot": StatsSnapshot.from_json,
+}
+
+
+@pytest.mark.parametrize("name", sorted(CANONICAL))
+def test_serialized_form_matches_golden_fixture(name):
+    fixture_path = FIXTURES / f"{name}.json"
+    assert fixture_path.exists(), (
+        f"golden fixture {fixture_path} is missing; if this is a deliberate "
+        f"schema addition, regenerate it with: python -m tests.api.test_schema_stability"
+    )
+    golden = json.loads(fixture_path.read_text())
+    serialized = json.loads(json.dumps(CANONICAL[name].to_json()))
+    assert serialized == golden, (
+        f"the serialized v1 form of {name} changed; wire changes inside v1 "
+        f"must be additive and must update the golden fixture deliberately"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CANONICAL))
+def test_golden_fixture_decodes_to_canonical_object(name):
+    golden = json.loads((FIXTURES / f"{name}.json").read_text())
+    assert _DECODERS[name](golden) == CANONICAL[name]
+
+
+def regenerate() -> None:  # pragma: no cover - developer utility
+    FIXTURES.mkdir(parents=True, exist_ok=True)
+    for name, obj in CANONICAL.items():
+        (FIXTURES / f"{name}.json").write_text(
+            json.dumps(obj.to_json(), indent=2, sort_keys=False) + "\n"
+        )
+        print(f"wrote {FIXTURES / f'{name}.json'}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regenerate()

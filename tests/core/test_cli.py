@@ -152,3 +152,75 @@ class TestQueryCommand:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestSyntaxErrorDiagnostics:
+    """`repro query` answers a parse failure with a caret-positioned message."""
+
+    def test_caret_points_at_the_offending_token(self, capsys):
+        text = "USE Credit UPDATE(Status) = 4 OUTPT AVG(POST(Credit))"
+        code = main(["query", "--dataset", "german-syn", "--rows", "100", text])
+        assert code == 2
+        err = capsys.readouterr().err
+        lines = err.splitlines()
+        assert lines[0].startswith("syntax error:")
+        assert "OUTPT" in lines[0]
+        assert lines[1] == "  " + text
+        # the caret sits exactly under the first character of OUTPT
+        assert lines[2] == "  " + " " * text.index("OUTPT") + "^"
+
+    def test_format_syntax_error_without_position(self):
+        from repro.cli import format_syntax_error
+        from repro.exceptions import QuerySyntaxError
+
+        message = format_syntax_error("USE X", QuerySyntaxError("broken"))
+        assert message == "syntax error: broken"
+
+    def test_multiline_query_reports_line(self, capsys):
+        text = "USE Credit\nUPDATE(Status) == 4\nOUTPUT AVG(POST(Credit))"
+        code = main(["query", "--dataset", "german-syn", "--rows", "100", text])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "(line 2)" in err
+        assert "UPDATE(Status) == 4" in err
+
+
+class TestJsonGoldenSchema:
+    """--json output is byte-stable v1 wire schema (golden-file pinned)."""
+
+    GOLDEN = "tests/api/fixtures/cli_query_json.json"
+    ARGS = [
+        "query",
+        "--dataset",
+        "german-syn",
+        "--rows",
+        "300",
+        "--seed",
+        "0",
+        "--regressor",
+        "linear",
+        "--json",
+        "USE Credit UPDATE(Status) = 4 OUTPUT COUNT(POST(Credit)) FOR POST(Credit) = 1",
+    ]
+
+    def _normalize(self, payload: dict) -> dict:
+        # runtime is the one legitimately nondeterministic field; numeric
+        # answers are rounded so the golden file survives BLAS/numpy skew
+        out = dict(payload)
+        out["runtime_seconds"] = 0.0
+        if isinstance(out.get("value"), float):
+            out["value"] = round(out["value"], 6)
+        return out
+
+    def test_json_output_matches_golden_and_validates_strictly(self, capsys):
+        import pathlib
+
+        from repro.api.schemas import WhatIfAnswer, answer_from_json
+
+        assert main(self.ARGS) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # strict schema validation: unknown/missing/mistyped fields raise
+        answer = answer_from_json(payload)
+        assert isinstance(answer, WhatIfAnswer)
+        golden = json.loads(pathlib.Path(self.GOLDEN).read_text())
+        assert self._normalize(payload) == golden
