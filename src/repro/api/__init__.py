@@ -47,6 +47,8 @@ from .schemas import (
     HowToAnswer,
     QueryRequest,
     StatsSnapshot,
+    UpdateAnswer,
+    UpdateRequest,
     WhatIfAnswer,
     WireFormatError,
     answer_from_json,
@@ -71,6 +73,8 @@ __all__ = [
     "QueryRequest",
     "StatsSnapshot",
     "TransportError",
+    "UpdateAnswer",
+    "UpdateRequest",
     "WhatIfAnswer",
     "WhatIfBuilder",
     "WireFormatError",

@@ -23,7 +23,9 @@ Behaviors:
 * **Retries.** Bounded (``max_retries``); 429 answers honor the server's
   ``Retry-After`` before retrying, transport failures (server closed the
   keep-alive connection, HTTP/1.0 front door) reconnect with exponential
-  backoff.  Only reads are retried — every endpoint is read-only.
+  backoff.  Safe because every endpoint is either read-only or (for
+  ``update``) an idempotent whole-column overwrite — replaying it commits
+  the same values again.
 * **Deadlines.** ``deadline`` caps the *whole* call including retries and
   backoff sleeps; when it cannot be met the client raises
   :class:`DeadlineExceeded` instead of sleeping past it.
@@ -48,6 +50,8 @@ from .schemas import (
     ErrorEnvelope,
     QueryRequest,
     StatsSnapshot,
+    UpdateAnswer,
+    UpdateRequest,
     answer_from_json,
 )
 
@@ -298,6 +302,32 @@ class HypeRClient:
         request = QueryRequest(query=self._as_text(query), exhaustive=exhaustive)
         body = self._json_call("POST", "/v1/query", request.to_json(), _Deadline(deadline))
         return answer_from_json(body)
+
+    def update(
+        self,
+        assignments: dict[str, dict[str, Sequence[float]]],
+        *,
+        deadline: float | None = None,
+    ) -> UpdateAnswer:
+        """``POST /v1/update``: commit whole-column overwrites as one generation.
+
+        ``assignments`` maps relation → attribute → the full new column (one
+        value per row).  The server commits everything named here atomically
+        under MVCC — queries racing the commit answer entirely from the old
+        or entirely from the new snapshot.  Idempotent (an overwrite replayed
+        by a transport retry commits the same values), so the usual retry
+        policy applies.
+        """
+        request = UpdateRequest(
+            assignments={
+                relation: {attr: tuple(float(v) for v in values) for attr, values in columns.items()}
+                for relation, columns in assignments.items()
+            }
+        )
+        body = self._json_call(
+            "POST", "/v1/update", request.to_json(), _Deadline(deadline)
+        )
+        return UpdateAnswer.from_json(body)
 
     def batch(
         self,

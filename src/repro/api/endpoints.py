@@ -15,6 +15,8 @@ POST     ``/v1/query``   ``/query``          :class:`~repro.api.schemas.QueryReq
                                              :class:`~repro.api.schemas.HowToAnswer`
 POST     ``/v1/batch``   ``/batch``          :class:`~repro.api.schemas.BatchRequest` →
                                              NDJSON stream (async) / JSON list (threaded)
+POST     ``/v1/update``  —                   :class:`~repro.api.schemas.UpdateRequest` →
+                                             :class:`~repro.api.schemas.UpdateAnswer`
 =======  ==============  ==================  ===========================================
 
 Aliases answer byte-identically to their canonical path.  Every failure maps
@@ -38,6 +40,8 @@ from .schemas import (
     ErrorEnvelope,
     QueryRequest,
     StatsSnapshot,
+    UpdateAnswer,
+    UpdateRequest,
     WireFormatError,
 )
 
@@ -60,6 +64,8 @@ __all__ = [
     "stats_payload",
     "parse_query_request",
     "parse_batch_request",
+    "parse_update_request",
+    "apply_update_payload",
     "execute_query_payload",
     "batch_response_payload",
     "batch_line",
@@ -113,6 +119,7 @@ V1_ENDPOINTS: tuple[Endpoint, ...] = (
     Endpoint("stats", "GET", "/v1/stats", aliases=("/stats",)),
     Endpoint("query", "POST", "/v1/query", aliases=("/query",)),
     Endpoint("batch", "POST", "/v1/batch", aliases=("/batch",), streaming=True),
+    Endpoint("update", "POST", "/v1/update"),
 )
 
 _ROUTES: dict[tuple[str, str], Endpoint] = {
@@ -220,6 +227,14 @@ def parse_batch_request(body: dict[str, Any]) -> BatchRequest:
         raise ApiError(400, ErrorEnvelope("bad_request", str(error))) from None
 
 
+def parse_update_request(body: dict[str, Any]) -> UpdateRequest:
+    """Decode and validate a ``/v1/update`` body (schema violations are 400)."""
+    try:
+        return UpdateRequest.from_json(body)
+    except WireFormatError as error:
+        raise ApiError(400, ErrorEnvelope("bad_request", str(error))) from None
+
+
 # -- response payloads -----------------------------------------------------------------
 
 
@@ -241,6 +256,22 @@ def execute_query_payload(
     """Run one query and return its v1 answer payload (exceptions bubble)."""
     result = service.execute(request.query, exhaustive=request.exhaustive)
     return result.payload()
+
+
+def apply_update_payload(
+    service: "HypeRService", request: UpdateRequest
+) -> dict[str, Any]:
+    """Commit an ``UpdateRequest`` as one MVCC generation; return its answer.
+
+    Unknown relations/attributes and length mismatches surface as engine
+    exceptions and map to 400 through :func:`envelope_for`; in-flight queries
+    on either front door keep their pinned snapshot and are not paused.
+    """
+    assignments = {
+        relation: dict(columns) for relation, columns in request.assignments.items()
+    }
+    changed = service.update_relation_columns(assignments)
+    return UpdateAnswer(generation=service.generation, changed=tuple(changed)).to_json()
 
 
 def batch_line(index: int, outcome: Any) -> dict[str, Any]:

@@ -33,6 +33,8 @@ __all__ = [
     "WireFormatError",
     "QueryRequest",
     "BatchRequest",
+    "UpdateRequest",
+    "UpdateAnswer",
     "WhatIfAnswer",
     "HowToAnswer",
     "BatchItem",
@@ -153,7 +155,112 @@ class BatchRequest:
         return cls(queries=tuple(queries))
 
 
+@dataclass(frozen=True)
+class UpdateRequest:
+    """Body of ``POST /v1/update``: overwrite whole columns atomically.
+
+    ``assignments`` maps relation name → attribute name → the full column of
+    new values (one number per row, in row order).  All named columns commit
+    as **one** database generation: concurrent queries answer either entirely
+    from the pre-update snapshot or entirely from the post-update one, never
+    a blend (see ``docs/service.md``, "Updates & isolation").
+    """
+
+    assignments: Mapping[str, Mapping[str, tuple[float, ...]]]
+
+    _FIELDS = {"api_version", "assignments"}
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "api_version": API_VERSION,
+            "assignments": {
+                relation: {attribute: list(values) for attribute, values in columns.items()}
+                for relation, columns in self.assignments.items()
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: Any) -> "UpdateRequest":
+        data = _require_object(data, "update request")
+        _reject_unknown(data, cls._FIELDS, "update request")
+        _check_version(data, "update request")
+        assignments = data.get("assignments")
+        if not isinstance(assignments, Mapping) or not assignments:
+            raise WireFormatError(
+                'update request must contain a non-empty "assignments" object'
+            )
+        decoded: dict[str, dict[str, tuple[float, ...]]] = {}
+        for relation, columns in assignments.items():
+            if not isinstance(relation, str):
+                raise WireFormatError("update request relation names must be strings")
+            if not isinstance(columns, Mapping) or not columns:
+                raise WireFormatError(
+                    f"update request assignments for relation {relation!r} must be "
+                    "a non-empty object of attribute -> values"
+                )
+            decoded[relation] = {}
+            for attribute, values in columns.items():
+                if not isinstance(attribute, str):
+                    raise WireFormatError(
+                        f"update request attribute names of relation {relation!r} "
+                        "must be strings"
+                    )
+                if not isinstance(values, list) or not all(
+                    isinstance(v, (int, float)) and not isinstance(v, bool)
+                    for v in values
+                ):
+                    raise WireFormatError(
+                        f"update request column {relation}.{attribute} must be a "
+                        "list of numbers"
+                    )
+                decoded[relation][attribute] = tuple(float(v) for v in values)
+        return cls(assignments=decoded)
+
+
 # -- answers ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UpdateAnswer:
+    """Wire form of a commit outcome: the new generation and what changed.
+
+    ``changed`` lists the relations whose generation counter was bumped by
+    this commit; when it is empty the commit was a no-op and ``generation``
+    reports the (unchanged) current generation.
+    """
+
+    generation: int
+    changed: tuple[str, ...]
+
+    KIND = "update"
+    _FIELDS = {"api_version", "kind", "generation", "changed"}
+
+    @property
+    def noop(self) -> bool:
+        return not self.changed
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "api_version": API_VERSION,
+            "kind": self.KIND,
+            "generation": self.generation,
+            "changed": sorted(self.changed),
+        }
+
+    @classmethod
+    def from_json(cls, data: Any) -> "UpdateAnswer":
+        data = _require_object(data, "update answer")
+        _reject_unknown(data, cls._FIELDS, "update answer")
+        _check_version(data, "update answer")
+        if data.get("kind") != cls.KIND:
+            raise WireFormatError(f'update answer must declare "kind": "{cls.KIND}"')
+        changed = data.get("changed")
+        if not isinstance(changed, list) or not all(isinstance(c, str) for c in changed):
+            raise WireFormatError('update answer field "changed" must be a string list')
+        return cls(
+            generation=_get_int(data, "generation", "update answer"),
+            changed=tuple(changed),
+        )
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,12 @@ server's contract plus the overload and streaming behaviors:
   nothing), then **streams** NDJSON lines in order of *completion*: one slow
   how-to no longer head-of-line-blocks the other answers.  Each line is
   ``{"index": i, "result": {...}}`` or ``{"index": i, "error": ..., "code":
-  ...}``, closed by ``{"done": true, "n_queries": k}``.
+  ...}``, closed by ``{"done": true, "n_queries": k}``;
+* ``POST /v1/update`` — commits a column-overwrite as one MVCC generation
+  (body: :class:`~repro.api.schemas.UpdateRequest`).  Control-plane: not
+  admission-controlled (a commit must land on a saturated server — it never
+  pauses running queries, which keep their pinned snapshots), executed on
+  the auxiliary thread.
 
 Routing, request validation and error bodies come from the shared ``/v1``
 endpoint table in :mod:`repro.api.endpoints` (every endpoint also answers on
@@ -191,6 +196,7 @@ class AsyncApp:
             "stats": self._handle_stats,
             "query": self._handle_query,
             "batch": self._handle_batch,
+            "update": self._handle_update,
         }[endpoint.name]
         return await route(request, writer, keep_alive)
 
@@ -250,6 +256,29 @@ class AsyncApp:
             "draining": self.draining,
             "admission": self.admission.stats(),
         }
+        return await self._send(writer, 200, payload, keep_alive)
+
+    async def _handle_update(
+        self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> bool:
+        # Control-plane like /stats: a commit must land even when the query
+        # executor is saturated (MVCC means it never pauses those queries),
+        # so it bypasses admission and runs on the auxiliary thread — which
+        # also serialises HTTP commits with stats snapshots.
+        try:
+            update_request = api.parse_update_request(decode_json_object(request.body))
+        except (PayloadError, api.ApiError) as error:
+            return await self._send_error(writer, error, keep_alive)
+        loop = asyncio.get_running_loop()
+        try:
+            payload = await loop.run_in_executor(
+                self._aux_executor,
+                functools.partial(
+                    api.apply_update_payload, self.service, update_request
+                ),
+            )
+        except Exception as error:  # noqa: BLE001 - keep the JSON contract
+            return await self._send_error(writer, error, keep_alive)
         return await self._send(writer, 200, payload, keep_alive)
 
     async def _handle_query(

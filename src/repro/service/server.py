@@ -16,7 +16,12 @@ doors cannot drift):
 * ``POST /v1/batch`` (alias ``/batch``) — body is a v1
   :class:`~repro.api.schemas.BatchRequest`; answers ``{"results": [...],
   "n_queries": N}`` with per-query error envelopes (one bad entry never
-  discards the rest of the batch).
+  discards the rest of the batch);
+* ``POST /v1/update`` — body is a v1
+  :class:`~repro.api.schemas.UpdateRequest`; commits the named columns as
+  one MVCC generation and answers with the
+  :class:`~repro.api.schemas.UpdateAnswer` (in-flight queries keep their
+  pinned snapshot — a commit never pauses readers).
 
 Failures map through :func:`repro.api.endpoints.envelope_for` to the shared
 ``{"error", "code", "detail"?}`` envelope: query errors 400, oversized bodies
@@ -127,7 +132,10 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             elif endpoint.name == "batch":
                 request = api.parse_batch_request(body)
                 self._send_json(200, api.batch_response_payload(self.service, request))
-            else:  # pragma: no cover - table only maps query/batch to POST
+            elif endpoint.name == "update":
+                request = api.parse_update_request(body)
+                self._send_json(200, api.apply_update_payload(self.service, request))
+            else:  # pragma: no cover - table maps query/batch/update to POST
                 self._send_error_envelope(api.not_found(self.path))
         except Exception as error:  # noqa: BLE001 - keep the JSON contract
             # Never drop the connection: query errors answer 400, unexpected
@@ -184,8 +192,8 @@ def serve(
     bound_host, bound_port = server.server_address[:2]
     print(f"HypeR service listening on http://{bound_host}:{bound_port}", flush=True)
     print(
-        "endpoints: GET /v1/health, GET /v1/stats, POST /v1/query, POST /v1/batch "
-        "(legacy aliases without the /v1 prefix)",
+        "endpoints: GET /v1/health, GET /v1/stats, POST /v1/query, POST /v1/batch, "
+        "POST /v1/update (legacy aliases without the /v1 prefix)",
         flush=True,
     )
     stop = shutdown_event if shutdown_event is not None else threading.Event()

@@ -20,13 +20,26 @@ database + causal DAG + engine configuration and, across queries:
   single-process path;
 * reports instrumentation through :meth:`stats`.
 
-Concurrency model: every generation-dependent piece (database, engines, DAG
-identity, counters) lives in one immutable ``_EngineState`` snapshot that each
-query reads exactly once, so a query observes either the old or the new
-generation in full — never a mix — even when ``update_database`` runs
-mid-flight.  Cache keys embed the snapshot's generation vector; entries an
-in-flight old-generation query inserts after an invalidation are unreachable
-from the new generation and age out of the bounded LRU (targeted eviction by
+Concurrency model (MVCC): every generation-dependent piece (database,
+engines, DAG identity, counters) lives in one immutable ``_EngineState``
+snapshot, and the snapshots live in a refcounted
+:class:`~repro.service.versions.VersionStore`.  A query *pins* the latest
+committed snapshot when it begins and reads exactly that snapshot until it
+finishes, so it observes either the old or the new generation in full —
+never a mix — even when ``update_database`` commits mid-flight.  Commits
+never pause readers: ``update_database`` installs the new snapshot
+atomically, in-flight readers keep their pinned (old) snapshot alive until
+they unpin, and superseded snapshots are retired the moment their last
+reader finishes.  In ``processes`` mode the shard pool always serves the
+latest committed generation — a commit ships only the changed relations and
+re-shaped row masks to the existing workers in place
+(:meth:`~repro.shard.pool.ShardPool.apply_update`) instead of tearing the
+pool down, and a reader still pinned to an older snapshot falls back to
+in-process evaluation of its pinned state (bitwise-identical answers by the
+shard merge contract), so no query ever observes a pool teardown.  Cache
+keys embed the snapshot's generation vector; entries an in-flight
+old-generation query inserts after an invalidation are unreachable from the
+new generation and age out of the bounded LRU (targeted eviction by
 relation tag reclaims the reachable ones eagerly).
 
 Typical use::
@@ -73,6 +86,7 @@ from .fingerprint import (
     use_key,
     use_relations,
 )
+from .versions import VersionStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..shard.pool import ShardPool
@@ -217,7 +231,9 @@ class HypeRService:
             )
         self.config = config if config is not None else EngineConfig()
         self.execution = execution
-        self._state = _EngineState.build(0, database, causal_dag, self.config)
+        self._versions = VersionStore(
+            _EngineState.build(0, database, causal_dag, self.config)
+        )
         self.caches = QueryCaches(
             estimator_size=estimator_cache_size,
             view_size=view_cache_size,
@@ -232,11 +248,17 @@ class HypeRService:
         self.max_workers = max_workers
         self.n_shards = n_shards or max_workers or default_max_workers()
         self._lock = threading.Lock()
+        # Serializes read-modify-write commits (update_relation_columns) so
+        # concurrent column updates cannot lose each other; re-entrant because
+        # update_database takes it too.
+        self._commit_lock = threading.RLock()
         self._pool_lock = threading.Lock()
         self._pool: "ShardPool | None" = None
         self._pool_generation: int | None = None
         self._n_queries = 0
         self._n_batches = 0
+        self._n_noop_commits = 0
+        self._n_pinned_fallbacks = 0
         self._started_at = time.time()
         # Serving counters, read by front-end admission control (repro.aserve)
         # as live backpressure signals: concurrent executions across *every*
@@ -324,6 +346,23 @@ class HypeRService:
     # -- generation snapshot ---------------------------------------------------------------
 
     @property
+    def _state(self) -> _EngineState:
+        """The latest committed engine state (unpinned peek).
+
+        Queries must not read this repeatedly — they pin a snapshot once via
+        :meth:`_pin_snapshot` and pass the pinned state explicitly, which is
+        what makes every answer attributable to exactly one committed
+        generation.
+        """
+        return self._versions.latest.state
+
+    @contextmanager
+    def _pin_snapshot(self):
+        """Pin the latest committed snapshot for one query's whole execution."""
+        with self._versions.pin() as snapshot:
+            yield snapshot.state
+
+    @property
     def database(self) -> Database:
         return self._state.database
 
@@ -399,30 +438,30 @@ class HypeRService:
         fingerprint group) means subsequent :meth:`execute` calls for any
         parameter variant of the plan only pay for prediction.
         """
-        state = self._state
         parsed = self._as_query(query)
-        fingerprint = self._fingerprint(state, parsed)
-        view, view_dag = self._plan_view(state, parsed.use)
-        deps = use_relations(parsed.use)
-        estimator: PostUpdateEstimator | None = None
-        if isinstance(parsed, WhatIfQuery):
-            if not self.config.ignores_dependencies:
+        with self._pin_snapshot() as state:
+            fingerprint = self._fingerprint(state, parsed)
+            view, view_dag = self._plan_view(state, parsed.use)
+            deps = use_relations(parsed.use)
+            estimator: PostUpdateEstimator | None = None
+            if isinstance(parsed, WhatIfQuery):
+                if not self.config.ignores_dependencies:
+                    estimator = self.caches.estimators.get_or_create(
+                        fingerprint.estimator_key,
+                        lambda: state.whatif.build_estimator(
+                            parsed, view=view, view_dag=view_dag
+                        ),
+                        tags=deps,
+                    )
+            else:
                 estimator = self.caches.estimators.get_or_create(
                     fingerprint.estimator_key,
-                    lambda: state.whatif.build_estimator(
+                    lambda: state.howto.build_estimator(
                         parsed, view=view, view_dag=view_dag
                     ),
                     tags=deps,
                 )
-        else:
-            estimator = self.caches.estimators.get_or_create(
-                fingerprint.estimator_key,
-                lambda: state.howto.build_estimator(
-                    parsed, view=view, view_dag=view_dag
-                ),
-                tags=deps,
-            )
-        return PreparedPlan(fingerprint, view, estimator)
+            return PreparedPlan(fingerprint, view, estimator)
 
     # -- execution ---------------------------------------------------------------------------
 
@@ -435,11 +474,10 @@ class HypeRService:
         database update, and ``result_ttl_seconds`` adds a wall-clock bound on
         top for dashboard-style workloads.
         """
-        state = self._state
         parsed = self._as_query(query)
         with self._lock:
             self._n_queries += 1
-        with self._track("query"):
+        with self._track("query"), self._pin_snapshot() as state:
             if not self._result_cache_enabled:
                 return self._execute_uncached(state, parsed, exhaustive)
             fingerprint = self._fingerprint(state, parsed)
@@ -471,7 +509,16 @@ class HypeRService:
         self, state: _EngineState, parsed: Query, exhaustive: bool
     ) -> Result:
         if self.execution == "processes":
-            return self._pool_for(state).run_query(parsed, exhaustive=exhaustive)
+            pool = self._pool_for(state)
+            if pool is not None:
+                return pool.run_query(parsed, exhaustive=exhaustive)
+            # Straggler: this query is pinned to a snapshot the pool has moved
+            # past (or the pool is mid-rebuild).  Its pinned state holds fully
+            # built engines, and the shard merge contract makes the in-process
+            # answer bitwise-identical — so evaluate here rather than pause or
+            # error the reader.
+            with self._lock:
+                self._n_pinned_fallbacks += 1
         if isinstance(parsed, WhatIfQuery):
             return self._execute_what_if(state, parsed)
         return self._execute_how_to(state, parsed, exhaustive=exhaustive)
@@ -524,38 +571,59 @@ class HypeRService:
     def _execute_many_processes(
         self, parsed: Sequence[Query | Exception], *, return_errors: bool
     ) -> list[Result | Exception]:
-        state = self._state
         with self._lock:
             self._n_queries += sum(
                 1 for query in parsed if not isinstance(query, Exception)
             )
         results: list[Result | Exception] = list(parsed)
-        # Serve result-cache hits first; only misses cross the pool.
-        misses: list[tuple[int, Query, Hashable]] = []
-        for index, query in enumerate(parsed):
-            if isinstance(query, Exception):
-                continue
-            if not self._result_cache_enabled:
-                misses.append((index, query, None))
-                continue
-            key = self._result_key(state, self._fingerprint(state, query), False)
-            cached = self.caches.results.get(key)
-            if cached is not None:
-                results[index] = cached
-            else:
-                misses.append((index, query, key))
-        if misses:
-            pool = self._pool_for(state)
-            with self._track("shard_batch", units=len(misses)):
-                fresh = pool.run_batch(
-                    [query for _index, query, _key in misses], return_errors=True
-                )
-            for (index, _query, key), result in zip(misses, fresh):
-                results[index] = result
-                if key is not None and not isinstance(result, Exception):
-                    self.caches.results.put(
-                        key, result, tags=state.database.relation_names
-                    )
+        with self._pin_snapshot() as state:
+            # Serve result-cache hits first; only misses cross the pool.
+            misses: list[tuple[int, Query, Hashable]] = []
+            for index, query in enumerate(parsed):
+                if isinstance(query, Exception):
+                    continue
+                if not self._result_cache_enabled:
+                    misses.append((index, query, None))
+                    continue
+                key = self._result_key(state, self._fingerprint(state, query), False)
+                cached = self.caches.results.get(key)
+                if cached is not None:
+                    results[index] = cached
+                else:
+                    misses.append((index, query, key))
+            if misses:
+                pool = self._pool_for(state)
+                with self._track("shard_batch", units=len(misses)):
+                    if pool is not None:
+                        fresh = pool.run_batch(
+                            [query for _index, query, _key in misses],
+                            return_errors=True,
+                        )
+                    else:
+                        # Pinned to a superseded snapshot: evaluate the whole
+                        # batch in-process from the pinned engines (bitwise
+                        # identical by the shard merge contract).
+                        with self._lock:
+                            self._n_pinned_fallbacks += len(misses)
+                        fresh = []
+                        for _index, query, _key in misses:
+                            try:
+                                if isinstance(query, WhatIfQuery):
+                                    fresh.append(self._execute_what_if(state, query))
+                                else:
+                                    fresh.append(
+                                        self._execute_how_to(
+                                            state, query, exhaustive=False
+                                        )
+                                    )
+                            except Exception as error:  # noqa: BLE001 - per query
+                                fresh.append(error)
+                for (index, _query, key), result in zip(misses, fresh):
+                    results[index] = result
+                    if key is not None and not isinstance(result, Exception):
+                        self.caches.results.put(
+                            key, result, tags=state.database.relation_names
+                        )
         if not return_errors:
             for result in results:
                 if isinstance(result, Exception):
@@ -606,23 +674,31 @@ class HypeRService:
 
     # -- shard pool (processes mode) -------------------------------------------------------
 
-    def _pool_for(self, state: _EngineState) -> "ShardPool":
-        """The persistent shard pool of ``state``'s generation (lazily started).
+    def _pool_for(self, state: _EngineState) -> "ShardPool | None":
+        """The persistent shard pool, iff it serves ``state``'s generation.
 
-        Any invalidation bumps the generation; the next query then tears the
-        old pool down and partitions the new database.  The worker processes
-        hold the shard snapshots for their whole lifetime — the database
-        crosses the process boundary once per generation, never per query.
+        The pool always tracks the *latest* committed generation —
+        ``update_database`` moves it forward in place
+        (:meth:`~repro.shard.pool.ShardPool.apply_update`), so the worker
+        processes live across commits and the database crosses the process
+        boundary once per generation, never per query.  Returns ``None`` for
+        a reader pinned to a superseded snapshot (the caller evaluates
+        in-process from its pinned state) — a commit therefore never pauses
+        or errors an in-flight reader.  Lazily started on the first call
+        whose ``state`` is the latest generation.
         """
         from ..shard.partition import partition_database
         from ..shard.pool import ShardPool
 
         with self._pool_lock:
-            if self._pool is not None and self._pool_generation == state.generation:
-                return self._pool
             if self._pool is not None:
-                self._pool.close()
-                self._pool = None
+                if self._pool_generation == state.generation:
+                    return self._pool
+                # The pool serves a different (newer) generation than this
+                # reader's pinned snapshot: straggler, falls back in-process.
+                return None
+            if state.generation != self._versions.latest.generation:
+                return None
             plan = partition_database(
                 state.database,
                 state.causal_dag,
@@ -632,6 +708,39 @@ class HypeRService:
             self._pool = ShardPool(plan, state.causal_dag, self.config).start()
             self._pool_generation = state.generation
             return self._pool
+
+    def _refresh_pool(self, state: _EngineState, changed: frozenset[str]) -> None:
+        """Move the running shard pool to ``state``'s generation in place.
+
+        Ships only the changed relations (plus re-shaped row masks / block
+        labels) to the existing worker processes; the workers are never
+        restarted, so readers racing the commit keep their answers.  If the
+        in-place update fails for any reason the pool is closed and the next
+        latest-generation query rebuilds it lazily — readers pinned to older
+        snapshots fall back in-process either way.
+        """
+        if self.execution != "processes":
+            return
+        from ..shard.partition import partition_database
+
+        with self._pool_lock:
+            pool = self._pool
+            if pool is None:
+                return  # nothing running; lazy start will use the new state
+            try:
+                plan = partition_database(
+                    state.database,
+                    state.causal_dag,
+                    self.n_shards,
+                    blocks=self._blocks(state),
+                )
+                pool.apply_update(plan, changed)
+                self._pool_generation = state.generation
+            except Exception:
+                pool.close()
+                self._pool = None
+                self._pool_generation = None
+                raise
 
     def start_pool(self) -> None:
         """Eagerly start the shard pool for the current generation.
@@ -662,21 +771,29 @@ class HypeRService:
     # -- invalidation ---------------------------------------------------------------------
 
     def invalidate(self) -> None:
-        """Bump every generation counter and drop every cached plan component."""
-        with self._lock:
-            state = self._state
-            self._state = _EngineState.build(
-                state.generation + 1,
-                state.database,
-                state.causal_dag,
-                self.config,
-                {name: gen + 1 for name, gen in state.relation_generations.items()},
-            )
-        self.caches.clear()
-        self.close()
+        """Bump every generation counter and drop every cached plan component.
 
-    def update_database(self, database: Database) -> None:
-        """Swap in a new database instance with fine-grained invalidation.
+        A full invalidation also retires the shard pool (the next
+        latest-generation query rebuilds it); readers already pinned to older
+        snapshots keep executing in-process from their pinned engines.
+        """
+        with self._commit_lock:
+            state = self._state
+            self._versions.commit(
+                _EngineState.build(
+                    state.generation + 1,
+                    state.database,
+                    state.causal_dag,
+                    self.config,
+                    {name: gen + 1 for name, gen in state.relation_generations.items()},
+                ),
+                generation=state.generation + 1,
+            )
+            self.caches.clear()
+            self.close()
+
+    def update_database(self, database: Database) -> frozenset[str]:
+        """Commit a new database snapshot with fine-grained invalidation.
 
         Relations are compared by object identity against the current
         snapshot: building the new database with
@@ -685,10 +802,21 @@ class HypeRService:
         generations, and only cache entries depending on them are evicted —
         estimators and views over untouched relations stay warm.  When no
         relation can be proven unchanged, everything is invalidated.
+
+        The commit is MVCC: the new snapshot is installed atomically and
+        in-flight readers keep their pinned (old) snapshot until they finish —
+        they are never paused, never see a blend, and never observe a shard
+        pool teardown (the running pool is moved forward in place, shipping
+        only the changed relations to the workers).  A commit that changes
+        nothing (every relation identical by identity) is a no-op: no
+        generation bump, no cache eviction, and the pool stays untouched.
+
+        Returns the set of relation names whose generation was bumped
+        (empty for a no-op commit).
         """
         from dataclasses import replace as dataclass_replace
 
-        with self._lock:
+        with self._commit_lock:
             state = self._state
             new_state = _EngineState.build(
                 state.generation + 1,
@@ -708,35 +836,68 @@ class HypeRService:
             changed |= set(state.database.relation_names) - set(
                 new_state.database.relation_names
             )
+            if not changed:
+                with self._lock:
+                    self._n_noop_commits += 1
+                return frozenset()
             generations = dict(state.relation_generations)
             for name in changed:
                 generations[name] = generations.get(name, 0) + 1
-            self._state = dataclass_replace(
-                new_state, relation_generations=generations
-            )
-        if changed >= set(state.database.relation_names) | set(
-            self._state.database.relation_names
-        ):
-            self.caches.clear()
-        else:
-            # Targeted eviction: entries tagged with a changed relation go,
-            # everything else (unrelated estimators, views, candidates) stays.
-            self.caches.evict_tagged(changed)
-        self.close()
+            new_state = dataclass_replace(new_state, relation_generations=generations)
+            self._versions.commit(new_state, generation=new_state.generation)
+            if changed >= set(state.database.relation_names) | set(
+                new_state.database.relation_names
+            ):
+                self.caches.clear()
+            else:
+                # Targeted eviction: entries tagged with a changed relation
+                # go, everything else (unrelated estimators, views,
+                # candidates) stays.
+                self.caches.evict_tagged(changed)
+            self._refresh_pool(new_state, frozenset(changed))
+            return frozenset(changed)
+
+    def update_relation_columns(
+        self, assignments: dict[str, dict[str, Any]]
+    ) -> frozenset[str]:
+        """Atomically overwrite columns: ``{relation: {attribute: values}}``.
+
+        The read-modify-write runs under the commit lock, so concurrent
+        callers (e.g. two ``/v1/update`` requests) serialize and neither can
+        lose the other's columns.  Unnamed relations keep their identity, so
+        the resulting :meth:`update_database` commit bumps only the relations
+        named here.  Returns the changed-relation set.
+        """
+        with self._commit_lock:
+            database = self.database
+            for relation_name, columns in assignments.items():
+                if relation_name not in database:
+                    raise QuerySemanticsError(
+                        f"unknown relation {relation_name!r}; database has "
+                        f"{sorted(database.relation_names)}"
+                    )
+                relation = database[relation_name]
+                for attribute, values in columns.items():
+                    relation = relation.with_column(attribute, values)
+                database = database.with_relation(relation)
+            return self.update_database(database)
 
     def update_causal_dag(self, causal_dag: CausalDAG | None) -> None:
         """Swap in new causal background knowledge; invalidates cached state."""
-        with self._lock:
+        with self._commit_lock:
             state = self._state
-            self._state = _EngineState.build(
-                state.generation + 1,
-                state.database,
-                causal_dag,
-                self.config,
-                {name: gen + 1 for name, gen in state.relation_generations.items()},
+            self._versions.commit(
+                _EngineState.build(
+                    state.generation + 1,
+                    state.database,
+                    causal_dag,
+                    self.config,
+                    {name: gen + 1 for name, gen in state.relation_generations.items()},
+                ),
+                generation=state.generation + 1,
             )
-        self.caches.clear()
-        self.close()
+            self.caches.clear()
+            self.close()
 
     # -- instrumentation -------------------------------------------------------------------
 
@@ -762,11 +923,16 @@ class HypeRService:
         with self._pool_lock:
             pool_stats = self._pool.stats() if self._pool is not None else None
         serving = self.serving_signals()
+        versions = self._versions.stats()
+        latest = self._state
         with self._lock:
+            versions["noop_commits"] = self._n_noop_commits
+            versions["pinned_fallbacks"] = self._n_pinned_fallbacks
             return {
                 "serving": serving,
-                "generation": self._state.generation,
-                "relation_generations": dict(self._state.relation_generations),
+                "generation": latest.generation,
+                "relation_generations": dict(latest.relation_generations),
+                "versions": versions,
                 "execution": self.execution,
                 "n_queries": self._n_queries,
                 "n_batches": self._n_batches,

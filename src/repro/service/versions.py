@@ -1,0 +1,187 @@
+"""Multi-version concurrency control for the query service.
+
+:class:`VersionStore` keeps the service's immutable per-generation engine
+snapshots under MVCC semantics: a *commit* installs a new latest snapshot
+atomically, while every in-flight query *pins* the snapshot it started on and
+keeps reading it until it finishes — a commit never pauses readers and a
+reader never observes a mix of two generations.  Snapshots are refcounted;
+a superseded snapshot is *retired* (its engine state released) the moment its
+last pinned reader unpins, so long-running readers bound memory to the
+handful of generations they actually straddle.
+
+The store is deliberately generic — it versions any immutable state object —
+so the snapshot-isolation property it provides can be checked black-box by
+the recorded-history harness in ``tests/isolation`` (in the style of
+"Efficient Black-box Checking of Snapshot Isolation in Databases"): every
+answer must be bitwise explainable by exactly one committed snapshot, reads
+within a session must be monotonic, and no reader may ever see a torn
+(half-committed) generation vector.
+
+Typical use (this is what :class:`~repro.service.session.HypeRService` does)::
+
+    store = VersionStore(initial_state)
+    with store.pin() as snapshot:        # reader: pin-at-begin
+        answer = evaluate(snapshot.state)
+    store.commit(new_state)              # writer: atomic install, no pauses
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+__all__ = ["Snapshot", "VersionStore"]
+
+
+class Snapshot:
+    """One committed, immutable version of the service's engine state.
+
+    ``state`` is the payload (the service's ``_EngineState``); ``generation``
+    is its monotonically increasing commit number.  The refcount counts
+    readers currently pinned to this snapshot; once the snapshot is
+    superseded *and* unpinned it is retired — ``state`` is released so the
+    databases and fitted engines of dead generations do not accumulate.
+    """
+
+    __slots__ = ("generation", "state", "refcount", "retired", "superseded")
+
+    def __init__(self, generation: int, state: Any) -> None:
+        self.generation = generation
+        self.state = state
+        self.refcount = 0
+        self.retired = False
+        self.superseded = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "retired" if self.retired else ("old" if self.superseded else "latest")
+        return f"Snapshot(gen={self.generation}, refs={self.refcount}, {status})"
+
+
+class VersionStore:
+    """Refcounted multi-version snapshot store with atomic commits.
+
+    Invariants (the ones the isolation checker verifies from outside):
+
+    * :meth:`pin` returns the latest committed snapshot at some instant
+      within the call — never a superseded-and-retired one, never a blend;
+    * :meth:`commit` swaps the latest snapshot atomically and *never* blocks
+      on readers — in-flight pins keep their snapshot alive until unpinned;
+    * generations are strictly increasing, so per-session reads that pin at
+      begin are automatically monotonic.
+
+    ``on_retire`` (if given) is called with each snapshot right after its
+    state is released — the service uses it for instrumentation only; it runs
+    under the store lock and must not call back into the store.
+    """
+
+    def __init__(
+        self,
+        initial_state: Any,
+        *,
+        generation: int = 0,
+        on_retire: Callable[[Snapshot], None] | None = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._latest = Snapshot(generation, initial_state)
+        self.on_retire = on_retire
+        self._n_commits = 0
+        self._n_retired = 0
+        self._live: dict[int, Snapshot] = {self._latest.generation: self._latest}
+        self._peak_live = 1
+        self._peak_pinned = 0
+
+    # -- readers -----------------------------------------------------------------------
+
+    @property
+    def latest(self) -> Snapshot:
+        """The current latest snapshot (unpinned peek; may be superseded next)."""
+        with self._lock:
+            return self._latest
+
+    def acquire(self) -> Snapshot:
+        """Pin the latest snapshot (incref); pair with :meth:`release`."""
+        with self._lock:
+            snapshot = self._latest
+            snapshot.refcount += 1
+            pinned = sum(s.refcount for s in self._live.values())
+            if pinned > self._peak_pinned:
+                self._peak_pinned = pinned
+            return snapshot
+
+    def release(self, snapshot: Snapshot) -> None:
+        """Unpin ``snapshot``; retires it if superseded and no reader remains."""
+        with self._lock:
+            snapshot.refcount -= 1
+            if snapshot.refcount < 0:  # pragma: no cover - misuse guard
+                raise RuntimeError(
+                    f"snapshot generation {snapshot.generation} released more often "
+                    "than acquired"
+                )
+            self._retire_if_dead(snapshot)
+
+    @contextmanager
+    def pin(self) -> Iterator[Snapshot]:
+        """Context manager: pin the latest snapshot for the block's duration."""
+        snapshot = self.acquire()
+        try:
+            yield snapshot
+        finally:
+            self.release(snapshot)
+
+    # -- writers -----------------------------------------------------------------------
+
+    def commit(self, state: Any, *, generation: int | None = None) -> Snapshot:
+        """Atomically install ``state`` as the new latest snapshot.
+
+        Readers pinned to older snapshots are untouched; the superseded
+        snapshot is retired immediately when nothing is pinned to it,
+        otherwise on its last :meth:`release`.  ``generation`` defaults to
+        the previous latest plus one and must be strictly increasing.
+        """
+        with self._lock:
+            previous = self._latest
+            if generation is None:
+                generation = previous.generation + 1
+            if generation <= previous.generation:
+                raise ValueError(
+                    f"commit generation {generation} is not after the latest "
+                    f"generation {previous.generation}"
+                )
+            snapshot = Snapshot(generation, state)
+            self._latest = snapshot
+            self._live[generation] = snapshot
+            previous.superseded = True
+            self._n_commits += 1
+            self._retire_if_dead(previous)
+            if len(self._live) > self._peak_live:
+                self._peak_live = len(self._live)
+            return snapshot
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _retire_if_dead(self, snapshot: Snapshot) -> None:
+        """Release a superseded, unpinned snapshot's state (lock held)."""
+        if snapshot.retired or not snapshot.superseded or snapshot.refcount > 0:
+            return
+        snapshot.retired = True
+        snapshot.state = None
+        self._live.pop(snapshot.generation, None)
+        self._n_retired += 1
+        if self.on_retire is not None:
+            self.on_retire(snapshot)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Counters for :meth:`HypeRService.stats`'s ``versions`` section."""
+        with self._lock:
+            return {
+                "latest_generation": self._latest.generation,
+                "commits": self._n_commits,
+                "retired": self._n_retired,
+                "live_snapshots": len(self._live),
+                "pinned_readers": sum(s.refcount for s in self._live.values()),
+                "peak_live_snapshots": self._peak_live,
+                "peak_pinned_readers": self._peak_pinned,
+            }

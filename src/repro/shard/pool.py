@@ -6,6 +6,10 @@ transferred **once** at start-up (by copy-on-write under the ``fork`` start
 method, by pickle under ``spawn``), never per query.  Queries travel to every
 worker as small pickled task messages; per-row contribution partials travel
 back and are folded by the merge protocol (:mod:`repro.shard.merge`).
+Database commits move the running workers forward *in place*
+(:meth:`ShardPool.apply_update`): only the changed relations and re-shaped
+ownership masks cross the process boundary, and the workers' plan caches for
+untouched relations stay warm — the pool is never restarted for an update.
 
 Inside a worker, a :class:`ShardWorkerRuntime` keeps the same kind of
 plan-level caches the thread-mode service keeps in-process: materialised
@@ -43,9 +47,10 @@ from ..core.queries import HowToQuery, WhatIfQuery
 from ..core.whatif import WhatIfEngine
 from ..exceptions import HypeRError
 from ..relational.aggregates import get_aggregate
+from ..relational.database import Database
 from ..relational.predicates import evaluate_mask
 from ..relational.relation import Relation
-from ..service.fingerprint import dag_key, fingerprint_query
+from ..service.fingerprint import dag_key, fingerprint_query, use_relations
 from .merge import (
     HowToShardPartial,
     WhatIfShardPartial,
@@ -115,14 +120,17 @@ class ShardWorkerRuntime:
                 query.use.build(self.whatif.database),
                 build_view_dag(self.causal_dag, query.use, self.whatif.database),
             ),
+            tags=use_relations(query.use),
         )
 
-    def _estimator(self, key: Any, build: Callable[[], Any]) -> Any:
+    def _estimator(
+        self, key: Any, build: Callable[[], Any], tags: Sequence[Any] = ()
+    ) -> Any:
         def counted_build():
             self.n_estimator_builds += 1
             return build()
 
-        return self._estimators.get_or_create(key, counted_build)
+        return self._estimators.get_or_create(key, counted_build, tags=tags)
 
     def _row_mask(self, query: WhatIfQuery | HowToQuery, view) -> np.ndarray:
         mask = self.shard.own_rows(query.use.base_relation)
@@ -180,9 +188,66 @@ class ShardWorkerRuntime:
                 except Exception as error:  # noqa: BLE001 - per-subtask capture
                     out.append((False, _describe_error(error)))
             return out
+        if kind == "update":
+            return self.apply_update(payload)
         if kind == "ping":
             return {"shard": self.shard.index, "n_tasks": self.n_tasks}
         raise ShardPoolError(f"unknown shard task kind {kind!r}")
+
+    def apply_update(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Move this worker's shard snapshot to a new generation in place.
+
+        ``payload`` carries only the delta the parent diffed for this shard:
+        the changed/added relations, removed relation names, the new relation
+        order and foreign keys, and whichever row masks / block labels
+        actually differ.  Unchanged relations are reused from the current
+        snapshot, so the rebuilt engines see value-identical training data
+        and merged answers stay bitwise equal to the unsharded path.  Plan
+        caches tagged with a changed relation are evicted; the row-geometry
+        caches (local views, block assignments) are dropped wholesale because
+        a commit can re-shape ownership masks even over unchanged relations.
+        """
+        old_database = self.whatif.database
+        changed_relations: dict[str, Relation] = payload["changed"]
+        removed: set[str] = set(payload["removed"])
+        relations = [
+            changed_relations[name] if name in changed_relations else old_database[name]
+            for name in payload["relation_names"]
+        ]
+        database = Database(relations, foreign_keys=payload["foreign_keys"])
+        row_masks = {
+            name: mask
+            for name, mask in self.shard.row_masks.items()
+            if name not in removed
+        }
+        row_masks.update(payload["row_masks"])
+        labels = {
+            name: arr
+            for name, arr in self.shard.block_labels.items()
+            if name not in removed
+        }
+        labels.update(payload["block_labels"])
+        shard_of_block = payload["shard_of_block"]
+        if shard_of_block is None:
+            shard_of_block = self.shard.shard_of_block
+        self.shard = Shard(
+            index=self.shard.index,
+            n_shards=self.shard.n_shards,
+            database=database,
+            row_masks=row_masks,
+            block_labels=labels,
+            n_blocks=payload["n_blocks"],
+            shard_of_block=shard_of_block,
+        )
+        self.whatif = WhatIfEngine(database, self.causal_dag, self.config)
+        self.howto = HowToEngine(self.whatif.database, self.causal_dag, self.config)
+        dirty = set(changed_relations) | removed
+        evicted = self._views.evict_tagged(dirty)
+        evicted += self._estimators.evict_tagged(dirty)
+        evicted += self._candidates.evict_tagged(dirty)
+        self._local_views.clear()
+        self._block_assignments.clear()
+        return {"shard": self.shard.index, "evicted": evicted}
 
     def what_if_partial(self, query: WhatIfQuery) -> WhatIfShardPartial:
         """Contributions of this shard's rows, via the shard-local kernels.
@@ -212,6 +277,7 @@ class ShardWorkerRuntime:
             estimator = self._estimator(
                 fingerprint.estimator_key,
                 lambda: self.whatif.build_estimator(query, view=view, view_dag=view_dag),
+                tags=use_relations(query.use),
             )
             count, sum_ = local_what_if_contributions(
                 query, view, local_view, disjuncts, estimator
@@ -242,9 +308,11 @@ class ShardWorkerRuntime:
     def _how_to_shared(self, query: HowToQuery):
         fingerprint = self._fingerprint(query)
         view, view_dag = self._view(query)
+        deps = use_relations(query.use)
         estimator = self._estimator(
             fingerprint.estimator_key,
             lambda: self.howto.build_estimator(query, view=view, view_dag=view_dag),
+            tags=deps,
         )
         shared = self.howto.prepare(
             query, view=view, estimator=estimator, view_dag=view_dag
@@ -254,6 +322,7 @@ class ShardWorkerRuntime:
             lambda: self.howto.enumerate_candidates(
                 query, shared.view, shared.scope_mask
             ),
+            tags=deps,
         )
         return shared, candidates, estimator
 
@@ -374,6 +443,7 @@ class ShardPool:
         self._io_lock = threading.Lock()
         self._task_counter = 0
         self.n_broadcasts = 0
+        self.n_updates = 0
         self.mode: str = "unstarted"
         self.fallback_reason: str | None = None
         self._processes: list = []
@@ -445,13 +515,21 @@ class ShardPool:
         self.fallback_reason = reason
 
     def close(self) -> None:
-        """Stop the workers; the pool cannot be restarted afterwards."""
+        """Stop the workers; the pool cannot be restarted afterwards.
+
+        Takes the broadcast lock first, so a query crossing the pool when
+        close() is called finishes and gets its answers before the workers
+        are told to exit — readers never observe a mid-query teardown.
+        """
         if self._closed:
             return
-        self._closed = True
-        self._teardown_processes()
-        self._inline_workers = None
-        self.mode = "closed"
+        with self._io_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._teardown_processes()
+            self._inline_workers = None
+            self.mode = "closed"
 
     def _teardown_processes(self) -> None:
         for task_queue in self._task_queues:
@@ -506,13 +584,27 @@ class ShardPool:
         ``batch`` tasks, per-subtask failures are embedded in the payloads and
         handled by the caller instead).
         """
+        return self._scatter(kind, [payload] * self.n_shards)
+
+    def _scatter(self, kind: str, payloads: Sequence[Any]) -> list[Any]:
+        """Send one task *per worker* (distinct payloads); collect in shard order.
+
+        The broadcast lock makes each scatter atomic with respect to every
+        other crossing: an ``update`` scatter never interleaves with a query
+        broadcast, so a query's per-shard partials always come from one
+        database generation.
+        """
         self._ensure_running()
+        if len(payloads) != self.n_shards:
+            raise ShardPoolError(
+                f"scatter needs {self.n_shards} payloads, got {len(payloads)}"
+            )
         with self._io_lock:
             self.n_broadcasts += 1
             if self.mode == "inline":
                 assert self._inline_workers is not None
                 outs = []
-                for worker in self._inline_workers:
+                for worker, payload in zip(self._inline_workers, payloads):
                     try:
                         outs.append(worker.handle(kind, payload))
                     except ShardPoolError:
@@ -522,7 +614,7 @@ class ShardPool:
                 return outs
             self._task_counter += 1
             task_id = self._task_counter
-            for task_queue in self._task_queues:
+            for task_queue, payload in zip(self._task_queues, payloads):
                 task_queue.put((task_id, kind, payload))
             by_shard: dict[int, Any] = {}
             failures: list[tuple[int, tuple[str, str, str]]] = []
@@ -577,6 +669,71 @@ class ShardPool:
                 if not ok:
                     _raise_worker_error(shard, out)
                 return out
+
+    # -- live updates ------------------------------------------------------------------
+
+    def apply_update(self, plan: ShardPlan, changed: Sequence[str] | frozenset[str]) -> None:
+        """Move the running workers to ``plan``'s database generation in place.
+
+        Ships each worker a delta, not the world: the relations named in
+        ``changed`` (added or modified — removed ones travel as names only),
+        the new relation order and foreign keys, and only those row masks /
+        block labels that actually differ from the worker's current shard
+        (``np.array_equal`` diff).  Workers stay alive across the update —
+        their fitted estimators and views for untouched relations stay warm —
+        and the broadcast lock serialises the update against in-flight query
+        crossings, so every query's partials come from exactly one
+        generation.
+        """
+        self._ensure_running()
+        if len(plan) != self.n_shards:
+            raise ShardPoolError(
+                f"cannot apply an update with {len(plan)} shards to a pool of "
+                f"{self.n_shards}; recreate the pool instead"
+            )
+        old_plan = self.plan
+        new_database = plan[0].database
+        old_database = old_plan[0].database
+        changed_relations = {
+            name: new_database[name] for name in changed if name in new_database
+        }
+        removed = [
+            name for name in old_database.relation_names if name not in new_database
+        ]
+        label_delta = {
+            name: arr
+            for name, arr in plan[0].block_labels.items()
+            if name not in old_plan[0].block_labels
+            or not np.array_equal(old_plan[0].block_labels[name], arr)
+        }
+        shard_of_block = plan[0].shard_of_block
+        if old_plan[0].shard_of_block is not None and np.array_equal(
+            old_plan[0].shard_of_block, shard_of_block
+        ):
+            shard_of_block = None  # unchanged: don't re-ship it
+        payloads = []
+        for old_shard, new_shard in zip(old_plan, plan):
+            mask_delta = {
+                name: mask
+                for name, mask in new_shard.row_masks.items()
+                if name not in old_shard.row_masks
+                or not np.array_equal(old_shard.row_masks[name], mask)
+            }
+            payloads.append(
+                {
+                    "changed": changed_relations,
+                    "removed": removed,
+                    "relation_names": list(new_database.relation_names),
+                    "foreign_keys": list(new_database.foreign_keys),
+                    "row_masks": mask_delta,
+                    "block_labels": label_delta,
+                    "n_blocks": new_shard.n_blocks,
+                    "shard_of_block": shard_of_block,
+                }
+            )
+        self._scatter("update", payloads)
+        self.plan = plan
+        self.n_updates += 1
 
     # -- query execution ---------------------------------------------------------------
 
@@ -689,5 +846,6 @@ class ShardPool:
             "n_shards": self.n_shards,
             "n_blocks": self.plan.n_blocks,
             "n_broadcasts": self.n_broadcasts,
+            "n_updates": self.n_updates,
             "fallback_reason": self.fallback_reason,
         }

@@ -22,6 +22,7 @@ from repro.api.schemas import (
     API_VERSION,
     BatchItem,
     StatsSnapshot,
+    UpdateAnswer,
     WhatIfAnswer,
     answer_from_json,
 )
@@ -240,3 +241,61 @@ class TestBatch:
         status, body = send(front_door, "POST", "/v1/batch", {"queries": "nope"})
         assert status == 400
         assert body["code"] == "bad_request"
+
+
+class TestUpdate:
+    def test_v1_update_commits_and_answers_typed(self, front_door, dataset):
+        # overwrite the Credit column with its current values: a real commit
+        # (new generation, changed={"Credit"}) whose answers stay bitwise
+        # identical — so the module's shared service is undisturbed
+        column = [float(v) for v in dataset.database["Credit"].column("Credit")]
+        _, health_before = send(front_door, "GET", "/v1/health")
+        _, query_before = send(front_door, "POST", "/v1/query", {"query": QUERY_TEXT})
+        status, body = send(
+            front_door,
+            "POST",
+            "/v1/update",
+            {"assignments": {"Credit": {"Credit": column}}},
+        )
+        assert status == 200
+        answer = UpdateAnswer.from_json(body)  # strict: round-trips the schema
+        assert answer.changed == ("Credit",)
+        assert answer.generation == health_before["generation"] + 1
+        assert not answer.noop
+        _, query_after = send(front_door, "POST", "/v1/query", {"query": QUERY_TEXT})
+        assert query_after["value"] == query_before["value"]
+
+    def test_unknown_relation_is_semantics_envelope(self, front_door):
+        status, body = send(
+            front_door,
+            "POST",
+            "/v1/update",
+            {"assignments": {"Nope": {"X": [1.0]}}},
+        )
+        assert status == 400
+        assert body["code"] == "query_semantics"
+
+    def test_schema_violation_is_bad_request_envelope(self, front_door):
+        status, body = send(front_door, "POST", "/v1/update", {"assignments": {}})
+        assert status == 400
+        assert body["code"] == "bad_request"
+
+    def test_wrong_column_length_is_bad_request_envelope(self, front_door):
+        status, body = send(
+            front_door,
+            "POST",
+            "/v1/update",
+            {"assignments": {"Credit": {"Credit": [1.0, 0.0]}}},
+        )
+        assert status == 400
+        assert body["code"] == "bad_request"
+
+    def test_update_has_no_legacy_alias(self, front_door):
+        status, body = send(
+            front_door,
+            "POST",
+            "/update",
+            {"assignments": {"Credit": {"Credit": [1.0]}}},
+        )
+        assert status == 404
+        assert body["code"] == "not_found"

@@ -14,6 +14,8 @@ from repro.api.schemas import (
     HowToAnswer,
     QueryRequest,
     StatsSnapshot,
+    UpdateAnswer,
+    UpdateRequest,
     WhatIfAnswer,
     WireFormatError,
     answer_from_json,
@@ -222,3 +224,65 @@ class TestStatsSnapshot:
         }
         snapshot = StatsSnapshot.from_service_stats(stats)
         assert snapshot.sections == {"aserve": {"draining": True}}
+
+
+class TestUpdateSchemas:
+    def test_update_request_round_trip(self):
+        request = UpdateRequest(
+            assignments={"Credit": {"Credit": (1.0, 0.0), "Status": (2.0, 3.0)}}
+        )
+        data = json.loads(json.dumps(request.to_json()))
+        assert data["api_version"] == API_VERSION
+        assert UpdateRequest.from_json(data) == request
+
+    def test_update_request_coerces_ints_to_floats(self):
+        request = UpdateRequest.from_json({"assignments": {"R": {"x": [1, 0]}}})
+        assert request.assignments == {"R": {"x": (1.0, 0.0)}}
+
+    def test_update_request_rejects_empty_assignments(self):
+        with pytest.raises(WireFormatError, match="non-empty"):
+            UpdateRequest.from_json({"assignments": {}})
+        with pytest.raises(WireFormatError, match="non-empty"):
+            UpdateRequest.from_json({"assignments": {"R": {}}})
+
+    def test_update_request_rejects_non_numeric_columns(self):
+        with pytest.raises(WireFormatError, match="list of numbers"):
+            UpdateRequest.from_json({"assignments": {"R": {"x": [1.0, "no"]}}})
+        with pytest.raises(WireFormatError, match="list of numbers"):
+            UpdateRequest.from_json({"assignments": {"R": {"x": [True]}}})
+        with pytest.raises(WireFormatError, match="list of numbers"):
+            UpdateRequest.from_json({"assignments": {"R": {"x": 3.0}}})
+
+    def test_update_request_rejects_unknown_fields_and_versions(self):
+        with pytest.raises(WireFormatError, match="unknown field"):
+            UpdateRequest.from_json(
+                {"assignments": {"R": {"x": [1.0]}}, "force": True}
+            )
+        with pytest.raises(WireFormatError, match="api_version"):
+            UpdateRequest.from_json(
+                {"assignments": {"R": {"x": [1.0]}}, "api_version": "v2"}
+            )
+
+    def test_update_answer_round_trip_sorts_changed(self):
+        answer = UpdateAnswer(generation=3, changed=("B", "A"))
+        data = json.loads(json.dumps(answer.to_json()))
+        assert data["kind"] == "update"
+        assert data["changed"] == ["A", "B"]
+        assert UpdateAnswer.from_json(data).generation == 3
+        assert not answer.noop
+
+    def test_update_answer_noop_form(self):
+        answer = UpdateAnswer.from_json(
+            {"api_version": API_VERSION, "kind": "update", "generation": 2, "changed": []}
+        )
+        assert answer.noop
+
+    def test_update_answer_rejects_wrong_kind_and_types(self):
+        with pytest.raises(WireFormatError, match="kind"):
+            UpdateAnswer.from_json(
+                {"api_version": API_VERSION, "kind": "query", "generation": 1, "changed": []}
+            )
+        with pytest.raises(WireFormatError, match="string list"):
+            UpdateAnswer.from_json(
+                {"api_version": API_VERSION, "kind": "update", "generation": 1, "changed": [3]}
+            )

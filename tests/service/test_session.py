@@ -388,6 +388,78 @@ class TestFineGrainedInvalidation:
         # cross-relation edges can re-shape blocks: the labels are rebuilt
         assert service.stats()["caches"]["blocks"]["size"] == 0
 
+    def test_removed_relation_evicts_only_its_dependents(self, service, dataset):
+        from repro import Database
+
+        query = self.build_query(dataset)
+        before = service.execute(query)
+        fits_before = service.stats()["regressors"]["fits"]
+        blocks_evictions = service.stats()["caches"]["blocks"]["evictions"]
+        remaining = [r for r in service.database if r.name != "Audit"]
+        changed = service.update_database(
+            Database(remaining, service.database.foreign_keys)
+        )
+        assert changed == {"Audit"}
+        assert "Audit" not in service.database
+        # the Credit estimator and view never depended on Audit: still warm
+        assert service.stats()["caches"]["estimators"]["size"] == 1
+        assert service.stats()["caches"]["views"]["size"] == 1
+        # the block labels (tagged with every relation) went via evict_tagged,
+        # which counts its victims — this is targeted eviction, not clear()
+        assert service.stats()["caches"]["blocks"]["evictions"] == blocks_evictions + 1
+        hits_before = service.stats()["caches"]["estimators"]["hits"]
+        after = service.execute(query)
+        assert after.value == before.value
+        assert service.stats()["regressors"]["fits"] == fits_before  # no refit
+        assert service.stats()["caches"]["estimators"]["hits"] > hits_before
+
+    def test_renamed_relation_keeps_unrelated_entries_warm(self, service, dataset):
+        from repro import Database, Relation
+
+        query = self.build_query(dataset)
+        service.execute(query)
+        fits_before = service.stats()["regressors"]["fits"]
+        renamed = Relation.from_columns(
+            "AuditArchive",
+            {"AuditID": list(range(8)), "Note": [float(i) for i in range(8)]},
+            key=["AuditID"],
+        )
+        relations = [r for r in service.database if r.name != "Audit"] + [renamed]
+        changed = service.update_database(
+            Database(relations, service.database.foreign_keys)
+        )
+        # a rename is a removal plus an addition: both names' dependents go
+        assert changed == {"Audit", "AuditArchive"}
+        assert "AuditArchive" in service.database and "Audit" not in service.database
+        assert service.stats()["caches"]["estimators"]["size"] == 1
+        hits_before = service.stats()["caches"]["estimators"]["hits"]
+        service.execute(query)
+        assert service.stats()["regressors"]["fits"] == fits_before
+        assert service.stats()["caches"]["estimators"]["hits"] > hits_before
+
+    def test_all_relations_changed_degrades_to_clear(self, service, dataset):
+        query = self.build_query(dataset)
+        service.execute(query)
+        assert service.stats()["caches"]["estimators"]["size"] == 1
+        estimator_evictions = service.stats()["caches"]["estimators"]["evictions"]
+        blocks_evictions = service.stats()["caches"]["blocks"]["evictions"]
+        credit = service.database["Credit"]
+        flipped = 1.0 - np.asarray(credit.column("Credit"), dtype=float)
+        audit = service.database["Audit"]
+        database = service.database.with_relation(
+            credit.with_column("Credit", flipped)
+        ).with_relation(audit.with_column("Note", [float(i) + 2.0 for i in range(8)]))
+        changed = service.update_database(database)
+        assert changed == set(service.database.relation_names)
+        assert service.stats()["caches"]["estimators"]["size"] == 0
+        assert service.stats()["caches"]["blocks"]["size"] == 0
+        # every relation changed: the caches were wholesale clear()ed, which
+        # (unlike evict_tagged) does not count per-entry evictions
+        assert (
+            service.stats()["caches"]["estimators"]["evictions"] == estimator_evictions
+        )
+        assert service.stats()["caches"]["blocks"]["evictions"] == blocks_evictions
+
 
 class TestCostAwareEviction:
     def test_weight_budget_evicts_despite_entry_headroom(self, dataset):
@@ -465,7 +537,7 @@ class TestProcessesExecution:
         assert stats["pool"]["n_shards"] == 2
         assert stats["pool"]["n_broadcasts"] == before + 1
 
-    def test_update_database_rebuilds_pool(self, dataset):
+    def test_update_database_moves_live_pool_forward_in_place(self, dataset):
         config = EngineConfig(regressor="linear")
         service = HypeRService(
             dataset.database,
@@ -477,16 +549,50 @@ class TestProcessesExecution:
         try:
             query = suite_20(dataset)[0]
             before = service.execute(query).value
+            pool = service._pool
+            assert pool is not None
             relation = service.database["Credit"]
             credit = np.asarray(relation.column("Credit"), dtype=float)
             credit[::4] = 1.0 - credit[::4]
-            service.update_database(
+            changed = service.update_database(
                 service.database.with_relation(relation.with_column("Credit", credit))
             )
+            assert changed == {"Credit"}
+            # the running workers were moved forward in place — same pool,
+            # one update broadcast, no teardown/respawn
+            assert service._pool is pool
             after = service.execute(query)
             cold = HypeR(service.database, dataset.causal_dag, config).what_if(query)
             assert after.value == cold.value
             assert after.value != before
+            assert service.stats()["pool"]["n_updates"] == 1
+        finally:
+            service.close()
+
+    def test_noop_commit_leaves_pool_and_generation_untouched(self, dataset):
+        # regression: update_database used to close() the pool even when the
+        # commit changed nothing, pausing every in-flight reader for a respawn
+        config = EngineConfig(regressor="linear")
+        service = HypeRService(
+            dataset.database,
+            dataset.causal_dag,
+            config,
+            execution="processes",
+            n_shards=2,
+        )
+        try:
+            query = suite_20(dataset)[1]
+            value = service.execute(query).value
+            pool = service._pool
+            generation = service.generation
+            changed = service.update_database(service.database)
+            assert changed == frozenset()
+            assert service._pool is pool
+            assert service.generation == generation
+            stats = service.stats()
+            assert stats["versions"]["noop_commits"] == 1
+            assert stats["pool"]["n_updates"] == 0
+            assert service.execute(query).value == value
         finally:
             service.close()
 
