@@ -40,6 +40,7 @@ from benchmarks.conftest import fmt, print_table
 from repro import EngineConfig, HypeRService
 from repro.api import HypeRClient
 from repro.datasets import make_german_syn
+from repro.obs.metrics import validate_exposition
 
 N_ROWS = 4_000
 SEED = 7
@@ -49,6 +50,9 @@ N_TEMPLATES = 16
 
 _ROOT = Path(__file__).resolve().parent.parent
 _RESULTS_PATH = _ROOT / "BENCH_async.json"
+#: Prometheus text scraped from the loaded async server; CI's metrics-smoke
+#: step re-validates these bytes and the artifact keeps them inspectable
+_METRICS_PATH = _ROOT / "BENCH_metrics.prom"
 
 QUERY_TEXTS = [
     f"USE Credit UPDATE(Status) = {value} "
@@ -236,6 +240,30 @@ def warm(host: str, port: int, texts: list[str]) -> None:
     conn.close()
 
 
+def scrape_metrics(host: str, port: int) -> str:
+    """GET /v1/metrics; the bytes must already be valid exposition format."""
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    conn.request("GET", "/v1/metrics")
+    response = conn.getresponse()
+    text = response.read().decode("utf-8")
+    conn.close()
+    assert response.status == 200, text[:200]
+    assert response.getheader("Content-Type", "").startswith("text/plain")
+    validate_exposition(text)
+    return text
+
+
+def parse_samples(text: str) -> dict[str, float]:
+    """Flat ``{series: value}`` from exposition text (for scrape deltas)."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        samples[series] = float(value)
+    return samples
+
+
 def get_stats(host: str, port: int) -> dict:
     conn = http.client.HTTPConnection(host, port, timeout=30)
     conn.request("GET", "/stats")
@@ -320,11 +348,20 @@ def test_async_load():
     )
     try:
         warm(host, port, QUERY_TEXTS)
+        metrics_before = parse_samples(scrape_metrics(host, port))
         asynchronous = run_load(host, port, N_CLIENTS)
         sdk = run_load_sdk(host, port, N_CLIENTS)
         stats = get_stats(host, port)
+        metrics_text = scrape_metrics(host, port)
     finally:
         stop_serve(process)
+    metrics_after = parse_samples(metrics_text)
+    metrics_delta = {
+        series: metrics_after[series] - metrics_before.get(series, 0.0)
+        for series in sorted(metrics_after)
+        if metrics_after[series] != metrics_before.get(series, 0.0)
+    }
+    _METRICS_PATH.write_text(metrics_text)
     assert not asynchronous["failures"], asynchronous["failures"][:5]
     assert not sdk["failures"], sdk["failures"][:5]
     client_over_raw = sdk["qps"] / asynchronous["qps"] if asynchronous["qps"] else 0.0
@@ -420,12 +457,18 @@ def test_async_load():
         "overload_peak_queued": overload_stats["aserve"]["admission"]["peak_queued"],
         "overload_rejected_total_stat": overload_stats["serving"]["rejected_total"],
         "n_bitwise_mismatches": len(mismatches),
+        #: /v1/metrics scrape delta across the raw + SDK load runs
+        "metrics_delta": metrics_delta,
     }
     _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {_RESULTS_PATH.name}")
+    print(f"wrote {_RESULTS_PATH.name} and {_METRICS_PATH.name}")
 
     # -- acceptance criteria ---------------------------------------------------------
     assert not mismatches, mismatches[:3]
+    # every accepted query crossed the counter exactly once while loaded
+    assert metrics_delta.get("hyper_queries_total") == (
+        asynchronous["n_requests"] + sdk["n_requests"]
+    ), metrics_delta
     assert asynchronous["qps"] >= threaded["qps"], payload
     assert client_over_raw >= 0.9, payload  # SDK costs <= 10% throughput
     assert decision_p99 < 0.05, payload

@@ -60,10 +60,17 @@ def test_service_throughput(benchmark):
 
     warm_service = HypeRService(dataset.database, dataset.causal_dag, FAST_CONFIG)
     warm_service.prepare(queries[0])  # populate the plan caches
+    metrics_before = warm_service.metrics.snapshot()
     started = time.perf_counter()
     warm_results = [warm_service.execute(q) for q in queries]
     warm_seconds = time.perf_counter() - started
     warm_stats = warm_service.stats()
+    metrics_after = warm_service.metrics.snapshot()
+    metrics_delta = {
+        series: metrics_after[series] - metrics_before.get(series, 0.0)
+        for series in sorted(metrics_after)
+        if metrics_after[series] != metrics_before.get(series, 0.0)
+    }
 
     parallel_service = HypeRService(dataset.database, dataset.causal_dag, FAST_CONFIG)
     started = time.perf_counter()
@@ -116,6 +123,8 @@ def test_service_throughput(benchmark):
         "max_abs_diff": max_diff,
         "estimator_hit_rate": estimator_stats["hit_rate"],
         "regressor_fits": warm_stats["regressors"]["fits"],
+        #: registry snapshot delta across the warm run (observability issue)
+        "metrics_delta": metrics_delta,
     }
     _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {_RESULTS_PATH.name}")
@@ -124,6 +133,7 @@ def test_service_throughput(benchmark):
     assert max_diff <= 1e-9
     assert cold_seconds / parallel_seconds >= 3.0, payload
     assert estimator_stats["hit_rate"] > 0.90, estimator_stats
+    assert metrics_delta["hyper_queries_total"] == N_QUERIES, metrics_delta
 
     query = queries[0]
     service = HypeRService(dataset.database, dataset.causal_dag, FAST_CONFIG)

@@ -115,6 +115,11 @@ class QueryBuilder:
 
         return unparse(self.build())
 
+    @property
+    def wants_trace(self) -> bool:
+        """Whether ``.trace()`` asked the server for this query's span tree."""
+        return getattr(self, "_trace", False)
+
 
 @dataclass(frozen=True)
 class _UseState:
@@ -142,6 +147,11 @@ class WhatIfBuilder(QueryBuilder):
     _for: Expr = TRUE
     _output: AggTerm | None = None
     _name: str = "what-if"
+    _trace: bool = False
+
+    def trace(self) -> "WhatIfBuilder":
+        """Ask the server for the query's span tree (``?trace=1``)."""
+        return replace(self, _trace=True)
 
     # -- clauses -----------------------------------------------------------------------
 
@@ -220,6 +230,11 @@ class HowToBuilder(QueryBuilder):
     _multipliers: tuple[float, ...] | None = None
     _buckets: int | None = None
     _name: str = "how-to"
+    _trace: bool = False
+
+    def trace(self) -> "HowToBuilder":
+        """Ask the server for the query's span tree (``?trace=1``)."""
+        return replace(self, _trace=True)
 
     # -- clauses -----------------------------------------------------------------------
 

@@ -43,6 +43,7 @@ import time
 from typing import Any, Iterable, Iterator, Sequence
 
 from ..exceptions import HypeRError
+from ..obs.trace import new_request_id
 from .schemas import (
     Answer,
     BatchItem,
@@ -65,8 +66,20 @@ __all__ = [
 ]
 
 
+def _tag_request(message: str, request_id: str) -> str:
+    return f"{message} [request {request_id}]" if request_id else message
+
+
 class HypeRClientError(HypeRError):
-    """Base class of every client-side failure."""
+    """Base class of every client-side failure.
+
+    ``request_id`` is the ``X-Request-Id`` the failed call carried, so a
+    client-side error names the exact server-side trace/log entries to pull.
+    """
+
+    def __init__(self, message: str, *, request_id: str = "") -> None:
+        super().__init__(_tag_request(message, request_id))
+        self.request_id = request_id
 
 
 class TransportError(HypeRClientError):
@@ -80,8 +93,15 @@ class DeadlineExceeded(HypeRClientError):
 class ApiStatusError(HypeRClientError):
     """The server answered with an error status; carries the parsed envelope."""
 
-    def __init__(self, status: int, envelope: ErrorEnvelope, body: dict[str, Any]):
-        super().__init__(f"HTTP {status}: {envelope.message}")
+    def __init__(
+        self,
+        status: int,
+        envelope: ErrorEnvelope,
+        body: dict[str, Any],
+        *,
+        request_id: str = "",
+    ):
+        super().__init__(f"HTTP {status}: {envelope.message}", request_id=request_id)
         self.status = status
         self.envelope = envelope
         self.body = body
@@ -94,28 +114,38 @@ class ApiStatusError(HypeRClientError):
 class OverloadedError(ApiStatusError):
     """429 after the retry budget; ``retry_after`` is the server's last hint."""
 
-    def __init__(self, status: int, envelope: ErrorEnvelope, body: dict[str, Any]):
-        super().__init__(status, envelope, body)
+    def __init__(
+        self,
+        status: int,
+        envelope: ErrorEnvelope,
+        body: dict[str, Any],
+        *,
+        request_id: str = "",
+    ):
+        super().__init__(status, envelope, body, request_id=request_id)
         self.retry_after = float(body.get("retry_after") or 1.0)
 
 
-def _error_from_response(status: int, body: dict[str, Any]) -> ApiStatusError:
+def _error_from_response(
+    status: int, body: dict[str, Any], *, request_id: str = ""
+) -> ApiStatusError:
     try:
         envelope = ErrorEnvelope.from_json(body)
     except HypeRError:
         envelope = ErrorEnvelope("error", f"HTTP {status}: {body!r}")
     if status == 429:
-        return OverloadedError(status, envelope, body)
-    return ApiStatusError(status, envelope, body)
+        return OverloadedError(status, envelope, body, request_id=request_id)
+    return ApiStatusError(status, envelope, body, request_id=request_id)
 
 
 class _Deadline:
     """Wall-clock budget for one logical call (request + retries + sleeps)."""
 
-    __slots__ = ("expires_at",)
+    __slots__ = ("expires_at", "request_id")
 
-    def __init__(self, seconds: float | None) -> None:
+    def __init__(self, seconds: float | None, request_id: str = "") -> None:
         self.expires_at = None if seconds is None else time.monotonic() + seconds
+        self.request_id = request_id
 
     def remaining(self) -> float | None:
         if self.expires_at is None:
@@ -125,7 +155,9 @@ class _Deadline:
     def check(self) -> None:
         remaining = self.remaining()
         if remaining is not None and remaining <= 0:
-            raise DeadlineExceeded("request deadline expired")
+            raise DeadlineExceeded(
+                "request deadline expired", request_id=self.request_id
+            )
 
     def cap(self, seconds: float) -> float:
         remaining = self.remaining()
@@ -146,6 +178,14 @@ class HypeRClient:
         retrying entirely.
     backoff_seconds:
         Base of the exponential reconnect backoff (doubles per attempt).
+    trace:
+        When true, every query/update asks the server for its span tree
+        (``?trace=1``); the answer's ``trace`` field carries it back.
+
+    Every call sends a fresh ``X-Request-Id`` (kept across that call's
+    retries, available afterwards as :attr:`last_request_id`), and every
+    client-side error names the id it failed under — one string correlates a
+    client log line, the server's trace, and its slow-query log.
 
     Not thread-safe: one client wraps one keep-alive connection.  Create one
     client per thread (they are cheap — the socket opens lazily).
@@ -159,12 +199,16 @@ class HypeRClient:
         timeout: float = 60.0,
         max_retries: int = 3,
         backoff_seconds: float = 0.05,
+        trace: bool = False,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.max_retries = max_retries
         self.backoff_seconds = backoff_seconds
+        self.trace = trace
+        #: the X-Request-Id of the most recently started call
+        self.last_request_id: str = ""
         self._conn: http.client.HTTPConnection | None = None
 
     # -- lifecycle ---------------------------------------------------------------------
@@ -206,9 +250,15 @@ class HypeRClient:
         if remaining is not None and seconds >= remaining:
             raise DeadlineExceeded(
                 f"request deadline expires in {remaining:.3f}s, "
-                f"cannot wait {seconds:.3f}s to retry"
+                f"cannot wait {seconds:.3f}s to retry",
+                request_id=deadline.request_id,
             )
         time.sleep(seconds)
+
+    def _begin_call(self, deadline: float | None) -> _Deadline:
+        """Mint the call's request id and wall-clock budget (shared by retries)."""
+        self.last_request_id = new_request_id()
+        return _Deadline(deadline, self.last_request_id)
 
     def _request(
         self,
@@ -220,6 +270,9 @@ class HypeRClient:
         """Send one request, retrying 429s (per Retry-After) and dropped sockets."""
         body = json.dumps(payload).encode() if payload is not None else None
         headers = {"Content-Type": "application/json"} if body else {}
+        if deadline.request_id:
+            # retries reuse the id: they are the same logical request
+            headers["X-Request-Id"] = deadline.request_id
         attempt = 0
         while True:
             deadline.check()
@@ -232,7 +285,8 @@ class HypeRClient:
                 if attempt >= self.max_retries:
                     raise TransportError(
                         f"{method} {path} failed after {attempt + 1} attempt(s): "
-                        f"{type(error).__name__}: {error}"
+                        f"{type(error).__name__}: {error}",
+                        request_id=deadline.request_id,
                     ) from error
                 self._sleep(self.backoff_seconds * (2**attempt), deadline)
                 attempt += 1
@@ -266,7 +320,9 @@ class HypeRClient:
             self._drop_connection()
         body = _decode_body(raw)
         if response.status != 200:
-            raise _error_from_response(response.status, body)
+            raise _error_from_response(
+                response.status, body, request_id=deadline.request_id
+            )
         return body
 
     # -- query text coercion -----------------------------------------------------------
@@ -284,12 +340,29 @@ class HypeRClient:
 
     def health(self, *, deadline: float | None = None) -> dict[str, Any]:
         """``GET /v1/health``."""
-        return self._json_call("GET", "/v1/health", None, _Deadline(deadline))
+        return self._json_call("GET", "/v1/health", None, self._begin_call(deadline))
 
     def stats(self, *, deadline: float | None = None) -> StatsSnapshot:
         """``GET /v1/stats`` as a typed :class:`StatsSnapshot`."""
-        body = self._json_call("GET", "/v1/stats", None, _Deadline(deadline))
+        body = self._json_call("GET", "/v1/stats", None, self._begin_call(deadline))
         return StatsSnapshot.from_json(body)
+
+    def metrics(self, *, deadline: float | None = None) -> str:
+        """``GET /v1/metrics``: the server's Prometheus text exposition."""
+        budget = self._begin_call(deadline)
+        response = self._request("GET", "/v1/metrics", None, budget)
+        raw = response.read()
+        if response.will_close:
+            self._drop_connection()
+        if response.status != 200:
+            raise _error_from_response(
+                response.status, _decode_body(raw), request_id=budget.request_id
+            )
+        return raw.decode("utf-8")
+
+    def slow_queries(self, *, deadline: float | None = None) -> dict[str, Any]:
+        """``GET /v1/slow``: the server's slow-query log snapshot."""
+        return self._json_call("GET", "/v1/slow", None, self._begin_call(deadline))
 
     def query(
         self,
@@ -297,10 +370,21 @@ class HypeRClient:
         *,
         exhaustive: bool = False,
         deadline: float | None = None,
+        trace: bool | None = None,
     ) -> Answer:
-        """Answer one query (text, query object, or builder) as a typed answer."""
+        """Answer one query (text, query object, or builder) as a typed answer.
+
+        ``trace`` overrides the client default; a builder that asked for
+        ``.trace()`` turns it on for this call as well.  Traced answers carry
+        the server's span tree in their ``trace`` field.
+        """
+        wants_trace = self.trace if trace is None else trace
+        wants_trace = wants_trace or bool(getattr(query, "wants_trace", False))
         request = QueryRequest(query=self._as_text(query), exhaustive=exhaustive)
-        body = self._json_call("POST", "/v1/query", request.to_json(), _Deadline(deadline))
+        path = "/v1/query?trace=1" if wants_trace else "/v1/query"
+        body = self._json_call(
+            "POST", path, request.to_json(), self._begin_call(deadline)
+        )
         return answer_from_json(body)
 
     def update(
@@ -308,6 +392,7 @@ class HypeRClient:
         assignments: dict[str, dict[str, Sequence[float]]],
         *,
         deadline: float | None = None,
+        trace: bool | None = None,
     ) -> UpdateAnswer:
         """``POST /v1/update``: commit whole-column overwrites as one generation.
 
@@ -324,8 +409,10 @@ class HypeRClient:
                 for relation, columns in assignments.items()
             }
         )
+        wants_trace = self.trace if trace is None else trace
+        path = "/v1/update?trace=1" if wants_trace else "/v1/update"
         body = self._json_call(
-            "POST", "/v1/update", request.to_json(), _Deadline(deadline)
+            "POST", path, request.to_json(), self._begin_call(deadline)
         )
         return UpdateAnswer.from_json(body)
 
@@ -344,13 +431,15 @@ class HypeRClient:
         """
         texts = [self._as_text(q) for q in queries]
         request = BatchRequest(queries=tuple(texts))
-        budget = _Deadline(deadline)
+        budget = self._begin_call(deadline)
         response = self._request("POST", "/v1/batch", request.to_json(), budget)
         if response.status != 200:
             raw = response.read()
             if response.will_close:
                 self._drop_connection()
-            raise _error_from_response(response.status, _decode_body(raw))
+            raise _error_from_response(
+                response.status, _decode_body(raw), request_id=budget.request_id
+            )
         content_type = (response.getheader("Content-Type") or "").lower()
         if "ndjson" in content_type:
             return self._iter_ndjson(response, len(texts), budget)
@@ -384,13 +473,15 @@ class HypeRClient:
                 line = response.readline()
                 if not line:
                     raise TransportError(
-                        f"batch stream ended early: {seen}/{n_queries} results"
+                        f"batch stream ended early: {seen}/{n_queries} results",
+                        request_id=deadline.request_id,
                     )
                 data = json.loads(line)
                 if data.get("done"):
                     if seen != n_queries:
                         raise TransportError(
-                            f"batch stream closed after {seen}/{n_queries} results"
+                            f"batch stream closed after {seen}/{n_queries} results",
+                            request_id=deadline.request_id,
                         )
                     # drain the chunked terminator so the keep-alive
                     # connection is clean for the next request
@@ -402,7 +493,9 @@ class HypeRClient:
                 yield BatchItem.from_json(data)
         except (ConnectionError, http.client.HTTPException, TimeoutError, OSError) as error:
             self._drop_connection()
-            raise TransportError(f"batch stream failed: {error}") from error
+            raise TransportError(
+                f"batch stream failed: {error}", request_id=deadline.request_id
+            ) from error
 
     @staticmethod
     def _iter_results(body: dict[str, Any]) -> Iterator[BatchItem]:

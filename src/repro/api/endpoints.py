@@ -10,6 +10,9 @@ method   v1 path         legacy alias        body
 =======  ==============  ==================  ===========================================
 GET      ``/v1/health``  ``/health``         ``{"status", "generation", "api_version"}``
 GET      ``/v1/stats``   ``/stats``          :class:`~repro.api.schemas.StatsSnapshot`
+GET      ``/v1/metrics`` ``/metrics``        Prometheus text exposition (not JSON)
+GET      ``/v1/slow``    —                   slow-query log snapshot
+
 POST     ``/v1/query``   ``/query``          :class:`~repro.api.schemas.QueryRequest` →
                                              :class:`~repro.api.schemas.WhatIfAnswer` /
                                              :class:`~repro.api.schemas.HowToAnswer`
@@ -34,6 +37,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from ..exceptions import HypeRError, QuerySemanticsError, QuerySyntaxError
+from ..obs import trace as obs_trace
+from ..obs.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from .schemas import (
     API_VERSION,
     BatchRequest,
@@ -62,6 +67,10 @@ __all__ = [
     "not_found",
     "health_payload",
     "stats_payload",
+    "metrics_text",
+    "slow_payload",
+    "wants_trace",
+    "METRICS_CONTENT_TYPE",
     "parse_query_request",
     "parse_batch_request",
     "parse_update_request",
@@ -117,6 +126,8 @@ class Endpoint:
 V1_ENDPOINTS: tuple[Endpoint, ...] = (
     Endpoint("health", "GET", "/v1/health", aliases=("/health",)),
     Endpoint("stats", "GET", "/v1/stats", aliases=("/stats",)),
+    Endpoint("metrics", "GET", "/v1/metrics", aliases=("/metrics",)),
+    Endpoint("slow", "GET", "/v1/slow"),
     Endpoint("query", "POST", "/v1/query", aliases=("/query",)),
     Endpoint("batch", "POST", "/v1/batch", aliases=("/batch",), streaming=True),
     Endpoint("update", "POST", "/v1/update"),
@@ -250,16 +261,49 @@ def stats_payload(service: "HypeRService") -> dict[str, Any]:
     return StatsSnapshot.from_service_stats(service.stats()).to_json()
 
 
+def metrics_text(service: "HypeRService") -> str:
+    """Render ``/v1/metrics``: the service registry in Prometheus text form."""
+    return service.metrics.render()
+
+
+def slow_payload(service: "HypeRService") -> dict[str, Any]:
+    """Render ``/v1/slow``: the bounded slow-query log, worst offender first."""
+    return {"api_version": API_VERSION, **service.slow_log.snapshot()}
+
+
+def wants_trace(query_string: str) -> bool:
+    """True when a request's query string opts into tracing (``trace=1``)."""
+    for part in query_string.split("&"):
+        if part in ("trace=1", "trace=true"):
+            return True
+    return False
+
+
 def execute_query_payload(
-    service: "HypeRService", request: QueryRequest
+    service: "HypeRService",
+    request: QueryRequest,
+    *,
+    trace: "obs_trace.TraceContext | None" = None,
 ) -> dict[str, Any]:
-    """Run one query and return its v1 answer payload (exceptions bubble)."""
-    result = service.execute(request.query, exhaustive=request.exhaustive)
-    return result.payload()
+    """Run one query and return its v1 answer payload (exceptions bubble).
+
+    With a live ``trace``, the answer payload embeds the finished span tree
+    under ``"trace"``; serialization itself is measured as the last span.
+    """
+    if trace is None:
+        return service.execute(request.query, exhaustive=request.exhaustive).payload()
+    result = service.execute(request.query, exhaustive=request.exhaustive, trace=trace)
+    with obs_trace.activate(trace), obs_trace.span("serialize"):
+        payload = result.payload()
+    payload["trace"] = trace.to_wire()
+    return payload
 
 
 def apply_update_payload(
-    service: "HypeRService", request: UpdateRequest
+    service: "HypeRService",
+    request: UpdateRequest,
+    *,
+    trace: "obs_trace.TraceContext | None" = None,
 ) -> dict[str, Any]:
     """Commit an ``UpdateRequest`` as one MVCC generation; return its answer.
 
@@ -270,8 +314,15 @@ def apply_update_payload(
     assignments = {
         relation: dict(columns) for relation, columns in request.assignments.items()
     }
-    changed = service.update_relation_columns(assignments)
-    return UpdateAnswer(generation=service.generation, changed=tuple(changed)).to_json()
+    with obs_trace.activate(trace):
+        with obs_trace.span("update"):
+            changed = service.update_relation_columns(assignments)
+    payload = UpdateAnswer(
+        generation=service.generation, changed=tuple(changed)
+    ).to_json()
+    if trace is not None:
+        payload["trace"] = trace.to_wire()
+    return payload
 
 
 def batch_line(index: int, outcome: Any) -> dict[str, Any]:

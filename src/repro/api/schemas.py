@@ -37,6 +37,7 @@ __all__ = [
     "UpdateAnswer",
     "WhatIfAnswer",
     "HowToAnswer",
+    "TraceSpan",
     "BatchItem",
     "ErrorEnvelope",
     "StatsSnapshot",
@@ -217,6 +218,59 @@ class UpdateRequest:
         return cls(assignments=decoded)
 
 
+# -- trace spans -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceSpan:
+    """One node of a request's span tree (``?trace=1`` answers).
+
+    ``duration_ms`` is a monotonic-clock duration; spans carry durations
+    rather than absolute timestamps so coordinator and shard-worker clocks
+    never mix.  ``meta`` holds span-specific annotations (the root span's
+    meta carries ``request_id``); ``children`` are the spans opened while
+    this one was current, in start order.
+    """
+
+    name: str
+    duration_ms: float
+    meta: Mapping[str, Any] | None = None
+    children: tuple["TraceSpan", ...] = ()
+
+    _FIELDS = {"name", "duration_ms", "meta", "children"}
+
+    def to_json(self) -> dict[str, Any]:
+        body: dict[str, Any] = {"name": self.name, "duration_ms": self.duration_ms}
+        if self.meta is not None:
+            body["meta"] = dict(self.meta)
+        body["children"] = [child.to_json() for child in self.children]
+        return body
+
+    @classmethod
+    def from_json(cls, data: Any) -> "TraceSpan":
+        data = _require_object(data, "trace span")
+        _reject_unknown(data, cls._FIELDS, "trace span")
+        meta = data.get("meta")
+        if meta is not None and not isinstance(meta, Mapping):
+            raise WireFormatError('trace span field "meta" must be an object')
+        children = data.get("children", [])
+        if not isinstance(children, list):
+            raise WireFormatError('trace span field "children" must be a list')
+        return cls(
+            name=_get_str(data, "name", "trace span"),
+            duration_ms=_get_float(data, "duration_ms", "trace span"),
+            meta=dict(meta) if meta is not None else None,
+            children=tuple(cls.from_json(child) for child in children),
+        )
+
+
+def _decode_optional_trace(data: Mapping[str, Any], what: str) -> "TraceSpan | None":
+    raw = data.get("trace")
+    if raw is None:
+        return None
+    return TraceSpan.from_json(raw)
+
+
 # -- answers ---------------------------------------------------------------------------
 
 
@@ -231,21 +285,26 @@ class UpdateAnswer:
 
     generation: int
     changed: tuple[str, ...]
+    #: span tree, present only when the request asked for ``?trace=1``
+    trace: "TraceSpan | None" = None
 
     KIND = "update"
-    _FIELDS = {"api_version", "kind", "generation", "changed"}
+    _FIELDS = {"api_version", "kind", "generation", "changed", "trace"}
 
     @property
     def noop(self) -> bool:
         return not self.changed
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "api_version": API_VERSION,
             "kind": self.KIND,
             "generation": self.generation,
             "changed": sorted(self.changed),
         }
+        if self.trace is not None:
+            out["trace"] = self.trace.to_json()
+        return out
 
     @classmethod
     def from_json(cls, data: Any) -> "UpdateAnswer":
@@ -260,6 +319,7 @@ class UpdateAnswer:
         return cls(
             generation=_get_int(data, "generation", "update answer"),
             changed=tuple(changed),
+            trace=_decode_optional_trace(data, "update answer"),
         )
 
 
@@ -275,6 +335,8 @@ class WhatIfAnswer:
     n_blocks: int
     backdoor_set: tuple[str, ...]
     runtime_seconds: float
+    #: span tree, present only when the request asked for ``?trace=1``
+    trace: "TraceSpan | None" = None
 
     KIND = "what-if"
     _FIELDS = {
@@ -288,6 +350,7 @@ class WhatIfAnswer:
         "n_blocks",
         "backdoor_set",
         "runtime_seconds",
+        "trace",
     }
 
     @classmethod
@@ -304,7 +367,7 @@ class WhatIfAnswer:
         )
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "api_version": API_VERSION,
             "kind": self.KIND,
             "value": self.value,
@@ -316,6 +379,9 @@ class WhatIfAnswer:
             "backdoor_set": list(self.backdoor_set),
             "runtime_seconds": self.runtime_seconds,
         }
+        if self.trace is not None:
+            out["trace"] = self.trace.to_json()
+        return out
 
     @classmethod
     def from_json(cls, data: Any) -> "WhatIfAnswer":
@@ -336,6 +402,7 @@ class WhatIfAnswer:
             n_blocks=_get_int(data, "n_blocks", "what-if answer"),
             backdoor_set=tuple(backdoor),
             runtime_seconds=_get_float(data, "runtime_seconds", "what-if answer"),
+            trace=_decode_optional_trace(data, "what-if answer"),
         )
 
 
@@ -349,6 +416,8 @@ class HowToAnswer:
     plan: Mapping[str, str]
     solver_status: str
     runtime_seconds: float
+    #: span tree, present only when the request asked for ``?trace=1``
+    trace: "TraceSpan | None" = None
 
     KIND = "how-to"
     _FIELDS = {
@@ -360,6 +429,7 @@ class HowToAnswer:
         "plan",
         "solver_status",
         "runtime_seconds",
+        "trace",
     }
 
     @classmethod
@@ -374,7 +444,7 @@ class HowToAnswer:
         )
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "api_version": API_VERSION,
             "kind": self.KIND,
             "objective_value": self.objective_value,
@@ -384,6 +454,9 @@ class HowToAnswer:
             "solver_status": self.solver_status,
             "runtime_seconds": self.runtime_seconds,
         }
+        if self.trace is not None:
+            out["trace"] = self.trace.to_json()
+        return out
 
     @classmethod
     def from_json(cls, data: Any) -> "HowToAnswer":
@@ -404,6 +477,7 @@ class HowToAnswer:
             plan=dict(plan),
             solver_status=_get_str(data, "solver_status", "how-to answer"),
             runtime_seconds=_get_float(data, "runtime_seconds", "how-to answer"),
+            trace=_decode_optional_trace(data, "how-to answer"),
         )
 
 
@@ -521,6 +595,8 @@ class StatsSnapshot:
     caches: Mapping[str, Any] = field(default_factory=dict)
     serving: Mapping[str, Any] = field(default_factory=dict)
     regressors: Mapping[str, Any] = field(default_factory=dict)
+    #: MVCC counters (commits, retired, noop_commits, pinned_fallbacks, ...)
+    versions: Mapping[str, Any] | None = None
     pool: Mapping[str, Any] | None = None
     sections: Mapping[str, Any] = field(default_factory=dict)
 
@@ -535,6 +611,7 @@ class StatsSnapshot:
         "caches",
         "serving",
         "regressors",
+        "versions",
         "pool",
     }
 
@@ -551,6 +628,7 @@ class StatsSnapshot:
             caches=dict(stats.get("caches", {})),
             serving=dict(stats.get("serving", {})),
             regressors=dict(stats.get("regressors", {})),
+            versions=stats.get("versions"),
             pool=stats.get("pool"),
             sections={k: v for k, v in stats.items() if k not in cls._KNOWN},
         )
@@ -567,6 +645,7 @@ class StatsSnapshot:
             "caches": dict(self.caches),
             "serving": dict(self.serving),
             "regressors": dict(self.regressors),
+            "versions": self.versions,
             "pool": self.pool,
         }
         for name, section in self.sections.items():
@@ -587,6 +666,7 @@ class StatsSnapshot:
             caches=dict(data.get("caches", {})),
             serving=dict(data.get("serving", {})),
             regressors=dict(data.get("regressors", {})),
+            versions=data.get("versions"),
             pool=data.get("pool"),
             sections={k: v for k, v in data.items() if k not in cls._KNOWN},
         )

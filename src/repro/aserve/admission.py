@@ -41,6 +41,8 @@ import time
 from collections import deque
 from typing import TYPE_CHECKING, Any
 
+from ..obs.metrics import MetricsRegistry, exponential_buckets
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..service.session import HypeRService
 
@@ -78,6 +80,7 @@ class AdmissionController:
         service: "HypeRService | None" = None,
         min_retry_after: float = 0.1,
         decision_window: int = 4096,
+        metrics_registry: MetricsRegistry | None = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
@@ -97,6 +100,34 @@ class AdmissionController:
         self._decisions: deque[float] = deque(maxlen=decision_window)
         self._idle = asyncio.Event()
         self._idle.set()
+        if metrics_registry is None and service is not None:
+            # share the service's registry so /v1/metrics shows both layers
+            # (getattr: tests drive the controller with stub services)
+            metrics_registry = getattr(service, "metrics", None)
+        self.metrics = (
+            metrics_registry if metrics_registry is not None else MetricsRegistry()
+        )
+        self._m_admitted = self.metrics.counter(
+            "aserve_admitted_total", "Units admitted by the async front door."
+        )
+        self._m_rejected = self.metrics.counter(
+            "aserve_rejected_total", "Units rejected at admission (429s)."
+        )
+        self._m_queue_wait = self.metrics.histogram(
+            "aserve_queue_wait_seconds",
+            "Seconds an admitted unit waited for an execution slot.",
+            buckets=exponential_buckets(0.0001, 4.0, 12),
+        )
+        self.metrics.register_callback(
+            "aserve_queued",
+            "Units admitted but not yet holding an execution slot.",
+            lambda: self._queued,
+        )
+        self.metrics.register_callback(
+            "aserve_inflight",
+            "Units currently holding an execution slot.",
+            lambda: self._inflight,
+        )
 
     @property
     def capacity(self) -> int:
@@ -127,6 +158,7 @@ class AdmissionController:
                 external = max(0, signals["in_flight"] - self._inflight)
             if self.occupied + external + units > self.capacity:
                 self._rejected_total += units
+                self._m_rejected.inc(units)
                 if self._service is not None:
                     self._service.record_rejection(endpoint, units=units)
                 raise AdmissionRejected(
@@ -141,6 +173,7 @@ class AdmissionController:
             # is occupied <= capacity, not queued <= queue_depth.
             self._queued += units
             self._admitted_total += units
+            self._m_admitted.inc(units)
             if self._queued > self._peak_queued:
                 self._peak_queued = self._queued
             self._idle.clear()
@@ -163,11 +196,13 @@ class AdmissionController:
 
     async def acquire_slot(self) -> None:
         """Move one reserved unit from the queue into execution (may wait)."""
+        waited = time.perf_counter()
         try:
             await self._slots.acquire()
         except asyncio.CancelledError:
             self.cancel_reservation()
             raise
+        self._m_queue_wait.observe(time.perf_counter() - waited)
         self._queued -= 1
         self._inflight += 1
         if self._inflight > self._peak_inflight:

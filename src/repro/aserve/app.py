@@ -9,6 +9,10 @@ server's contract plus the overload and streaming behaviors:
 * ``GET /stats`` — :meth:`HypeRService.stats` (which embeds the serving
   counters) plus an ``"aserve"`` section with the admission controller's
   numbers (queue occupancy, peaks, decision-time percentiles);
+* ``GET /v1/metrics`` (alias ``/metrics``) — Prometheus text exposition of
+  the shared service registry, rendered on the auxiliary thread so scrapes
+  succeed under query-executor saturation;
+* ``GET /v1/slow`` — the bounded slow-query log;
 * ``POST /query`` — admission-controlled single query.  At capacity the
   answer is ``429`` with a ``Retry-After`` header, decided synchronously on
   the event loop; admitted work is handed to the executor thread pool so the
@@ -47,6 +51,7 @@ from typing import Any, Awaitable, Callable
 from ..api import endpoints as api
 from ..api.endpoints import MAX_BODY_BYTES, PayloadError, decode_json_object
 from ..api.schemas import ErrorEnvelope
+from ..obs import trace as obs_trace
 from ..service.session import HypeRService
 from .admission import AdmissionController, AdmissionRejected
 from .protocol import (
@@ -55,6 +60,7 @@ from .protocol import (
     Request,
     read_request,
     render_json_response,
+    render_response,
 )
 
 __all__ = ["AsyncApp"]
@@ -191,9 +197,14 @@ class AsyncApp:
         endpoint = api.resolve(request.method, request.path)
         if endpoint is None:
             return await self._send_error(writer, api.not_found(request.path), keep_alive)
+        # adopt the client's X-Request-Id or mint one; every JSON response
+        # echoes it back so client logs and server traces correlate
+        request.headers.setdefault("x-request-id", obs_trace.new_request_id())
         route: Callable[..., Awaitable[bool]] = {
             "health": self._handle_health,
             "stats": self._handle_stats,
+            "metrics": self._handle_metrics,
+            "slow": self._handle_slow,
             "query": self._handle_query,
             "batch": self._handle_batch,
             "update": self._handle_update,
@@ -208,7 +219,10 @@ class AsyncApp:
         keep_alive: bool,
         *,
         extra_headers: dict[str, str] | None = None,
+        request_id: str = "",
     ) -> bool:
+        if request_id:
+            extra_headers = {**(extra_headers or {}), "X-Request-Id": request_id}
         writer.write(
             render_json_response(
                 status, payload, keep_alive=keep_alive, extra_headers=extra_headers
@@ -218,11 +232,18 @@ class AsyncApp:
         return keep_alive
 
     async def _send_error(
-        self, writer: asyncio.StreamWriter, error: BaseException, keep_alive: bool
+        self,
+        writer: asyncio.StreamWriter,
+        error: BaseException,
+        keep_alive: bool,
+        *,
+        request_id: str = "",
     ) -> bool:
         """Answer a failure with the shared envelope (status + code + message)."""
         status, envelope = api.envelope_for(error)
-        return await self._send(writer, status, envelope.to_json(), keep_alive)
+        return await self._send(
+            writer, status, envelope.to_json(), keep_alive, request_id=request_id
+        )
 
     async def _run_blocking(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Any:
         loop = asyncio.get_running_loop()
@@ -256,7 +277,41 @@ class AsyncApp:
             "draining": self.draining,
             "admission": self.admission.stats(),
         }
-        return await self._send(writer, 200, payload, keep_alive)
+        return await self._send(
+            writer, 200, payload, keep_alive, request_id=request.request_id
+        )
+
+    async def _handle_metrics(
+        self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> bool:
+        # control-plane like /stats: rendered off-loop on the auxiliary
+        # thread so a scrape succeeds even when the query executor is full
+        loop = asyncio.get_running_loop()
+        text = await loop.run_in_executor(
+            self._aux_executor, api.metrics_text, self.service
+        )
+        writer.write(
+            render_response(
+                200,
+                text.encode("utf-8"),
+                content_type=api.METRICS_CONTENT_TYPE,
+                keep_alive=keep_alive,
+                extra_headers={"X-Request-Id": request.request_id},
+            )
+        )
+        await writer.drain()
+        return keep_alive
+
+    async def _handle_slow(
+        self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> bool:
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(
+            self._aux_executor, api.slow_payload, self.service
+        )
+        return await self._send(
+            writer, 200, payload, keep_alive, request_id=request.request_id
+        )
 
     async def _handle_update(
         self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
@@ -265,21 +320,29 @@ class AsyncApp:
         # executor is saturated (MVCC means it never pauses those queries),
         # so it bypasses admission and runs on the auxiliary thread — which
         # also serialises HTTP commits with stats snapshots.
+        request_id = request.request_id
         try:
             update_request = api.parse_update_request(decode_json_object(request.body))
         except (PayloadError, api.ApiError) as error:
-            return await self._send_error(writer, error, keep_alive)
+            return await self._send_error(writer, error, keep_alive, request_id=request_id)
+        trace = (
+            obs_trace.TraceContext(request_id)
+            if api.wants_trace(request.query_string)
+            else None
+        )
         loop = asyncio.get_running_loop()
         try:
             payload = await loop.run_in_executor(
                 self._aux_executor,
                 functools.partial(
-                    api.apply_update_payload, self.service, update_request
+                    api.apply_update_payload, self.service, update_request, trace=trace
                 ),
             )
         except Exception as error:  # noqa: BLE001 - keep the JSON contract
-            return await self._send_error(writer, error, keep_alive)
-        return await self._send(writer, 200, payload, keep_alive)
+            return await self._send_error(writer, error, keep_alive, request_id=request_id)
+        return await self._send(
+            writer, 200, payload, keep_alive, request_id=request_id
+        )
 
     async def _handle_query(
         self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
@@ -287,6 +350,7 @@ class AsyncApp:
         # a /query is always one admission unit, so the overload answer needs
         # no look at the body: admit first, decode only if admitted (an
         # overloaded server must not pay a JSON parse per rejected request)
+        request_id = request.request_id
         try:
             self.admission.try_admit(1, endpoint="query")
         except AdmissionRejected as rejected:
@@ -296,26 +360,41 @@ class AsyncApp:
                 _rejection_body(rejected),
                 keep_alive,
                 extra_headers=_retry_after_headers(rejected),
+                request_id=request_id,
             )
         try:
             query_request = api.parse_query_request(decode_json_object(request.body))
         except (PayloadError, api.ApiError) as error:
             self.admission.cancel_reservation(1)
-            return await self._send_error(writer, error, keep_alive)
-        await self.admission.acquire_slot()
+            return await self._send_error(writer, error, keep_alive, request_id=request_id)
+        trace = (
+            obs_trace.TraceContext(request_id)
+            if api.wants_trace(request.query_string)
+            else None
+        )
+        if trace is not None:
+            # queue wait is the async door's own contribution to latency;
+            # record it as a span before the unit enters execution
+            with obs_trace.activate(trace), obs_trace.span("admission.queue"):
+                await self.admission.acquire_slot()
+        else:
+            await self.admission.acquire_slot()
         # the unit is released only after the response bytes are written:
         # "finish in-flight" at drain time includes delivering the answer
         try:
             try:
-                result = await self._run_blocking(
-                    self.service.execute,
-                    query_request.query,
-                    exhaustive=query_request.exhaustive,
+                payload = await self._run_blocking(
+                    api.execute_query_payload,
+                    self.service,
+                    query_request,
+                    trace=trace,
                 )
             except Exception as error:  # noqa: BLE001 - keep the JSON contract
                 # envelope_for maps query errors to 400, the rest to 500
-                return await self._send_error(writer, error, keep_alive)
-            return await self._send(writer, 200, result.payload(), keep_alive)
+                return await self._send_error(writer, error, keep_alive, request_id=request_id)
+            return await self._send(
+                writer, 200, payload, keep_alive, request_id=request_id
+            )
         finally:
             self.admission.release_slot()
 

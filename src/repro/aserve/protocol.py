@@ -87,6 +87,15 @@ class Request:
         return self.target.split("?", 1)[0]
 
     @property
+    def query_string(self) -> str:
+        parts = self.target.split("?", 1)
+        return parts[1] if len(parts) == 2 else ""
+
+    @property
+    def request_id(self) -> str:
+        return self.headers.get("x-request-id", "")
+
+    @property
     def keep_alive(self) -> bool:
         connection = self.headers.get("connection", "").lower()
         if self.version == "HTTP/1.0":

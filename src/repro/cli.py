@@ -94,6 +94,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--exhaustive", action="store_true", help="use Opt-HowTo for how-to queries")
     query.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     query.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the query's span tree (parse, cache, execute, shard workers)",
+    )
+    query.add_argument(
         "--shards",
         type=int,
         default=None,
@@ -281,9 +286,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         from .core.queries import HowToQuery
 
         exhaustive = isinstance(parsed, HowToQuery) and args.exhaustive
+        trace_ctx = None
+        if args.trace:
+            from .obs.trace import TraceContext
+
+            trace_ctx = TraceContext()
         if args.shards is not None:
             with session.service(execution="processes", n_shards=args.shards) as service:
-                result = service.execute(parsed, exhaustive=exhaustive)
+                result = service.execute(parsed, exhaustive=exhaustive, trace=trace_ctx)
+        elif trace_ctx is not None:
+            # tracing spans live in the service layer; run the query through
+            # an in-process service so the tree is populated
+            with session.service() as service:
+                result = service.execute(parsed, exhaustive=exhaustive, trace=trace_ctx)
         elif exhaustive:
             result = session.how_to(parsed, exhaustive=True)
         else:
@@ -291,9 +306,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.json:
             # result.payload() serializes through the v1 wire schemas, so
             # --json output and the HTTP API emit the identical shape
-            print(json.dumps(result.payload(), indent=2, default=str))
+            payload = result.payload()
+            if trace_ctx is not None:
+                payload["trace"] = trace_ctx.to_wire()
+            print(json.dumps(payload, indent=2, default=str))
         else:
             print(result.summary())
+            if trace_ctx is not None:
+                from .obs.trace import format_span_tree
+
+                print()
+                print(format_span_tree(trace_ctx.to_wire()))
         return 0
     except QuerySyntaxError as error:
         print(format_syntax_error(getattr(args, "text", ""), error), file=sys.stderr)

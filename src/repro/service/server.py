@@ -10,6 +10,9 @@ doors cannot drift):
 * ``GET /v1/health`` (alias ``/health``) — liveness probe;
 * ``GET /v1/stats`` (alias ``/stats``) — the v1
   :class:`~repro.api.schemas.StatsSnapshot`;
+* ``GET /v1/metrics`` (alias ``/metrics``) — Prometheus text exposition of
+  the service's metrics registry;
+* ``GET /v1/slow`` — the bounded slow-query log, worst offender first;
 * ``POST /v1/query`` (alias ``/query``) — body is a v1
   :class:`~repro.api.schemas.QueryRequest`; answers with the typed
   what-if/how-to answer payload;
@@ -50,6 +53,7 @@ from ..api.endpoints import (  # noqa: F401  (re-exports)
     check_body_length,
     decode_json_object,
 )
+from ..obs import trace as obs_trace
 from .session import HypeRService
 
 __all__ = [
@@ -84,12 +88,43 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "_request_id", "")
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "_request_id", "")
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error_envelope(self, error: BaseException) -> None:
         status, envelope = api.envelope_for(error)
         self._send_json(status, envelope.to_json())
+
+    def _begin_request(self) -> tuple[str, str]:
+        """Split path/query string, adopt or mint the request id.
+
+        Returns ``(path, query_string)``; the request id is echoed back on
+        every response as ``X-Request-Id``.
+        """
+        path, _, query_string = self.path.partition("?")
+        self._request_id = (
+            self.headers.get("X-Request-Id") or obs_trace.new_request_id()
+        )
+        return path, query_string
+
+    def _trace_context(self, query_string: str) -> "obs_trace.TraceContext | None":
+        if api.wants_trace(query_string):
+            return obs_trace.TraceContext(self._request_id)
+        return None
 
     def _read_json_body(self) -> dict[str, Any]:
         raw_length = self.headers.get("Content-Length")
@@ -103,20 +138,28 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     # -- routes ------------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
-        endpoint = api.resolve("GET", self.path)
+        path, _query_string = self._begin_request()
+        endpoint = api.resolve("GET", path)
         if endpoint is None:
-            self._send_error_envelope(api.not_found(self.path))
+            self._send_error_envelope(api.not_found(path))
         elif endpoint.name == "health":
             self._send_json(200, api.health_payload(self.service))
         elif endpoint.name == "stats":
             self._send_json(200, api.stats_payload(self.service))
-        else:  # pragma: no cover - table only maps health/stats to GET
-            self._send_error_envelope(api.not_found(self.path))
+        elif endpoint.name == "metrics":
+            self._send_text(
+                200, api.metrics_text(self.service), api.METRICS_CONTENT_TYPE
+            )
+        elif endpoint.name == "slow":
+            self._send_json(200, api.slow_payload(self.service))
+        else:  # pragma: no cover - every GET endpoint is handled above
+            self._send_error_envelope(api.not_found(path))
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
-        endpoint = api.resolve("POST", self.path)
+        path, query_string = self._begin_request()
+        endpoint = api.resolve("POST", path)
         if endpoint is None:
-            self._send_error_envelope(api.not_found(self.path))
+            self._send_error_envelope(api.not_found(path))
             return
         try:
             body = self._read_json_body()
@@ -125,18 +168,24 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             # shared guards keep this identical to the async front-end.
             self._send_error_envelope(error)
             return
+        trace = self._trace_context(query_string)
         try:
             if endpoint.name == "query":
                 request = api.parse_query_request(body)
-                self._send_json(200, api.execute_query_payload(self.service, request))
+                self._send_json(
+                    200,
+                    api.execute_query_payload(self.service, request, trace=trace),
+                )
             elif endpoint.name == "batch":
                 request = api.parse_batch_request(body)
                 self._send_json(200, api.batch_response_payload(self.service, request))
             elif endpoint.name == "update":
                 request = api.parse_update_request(body)
-                self._send_json(200, api.apply_update_payload(self.service, request))
+                self._send_json(
+                    200, api.apply_update_payload(self.service, request, trace=trace)
+                )
             else:  # pragma: no cover - table maps query/batch/update to POST
-                self._send_error_envelope(api.not_found(self.path))
+                self._send_error_envelope(api.not_found(path))
         except Exception as error:  # noqa: BLE001 - keep the JSON contract
             # Never drop the connection: query errors answer 400, unexpected
             # engine failures 500, all with the shared envelope shape.
@@ -192,8 +241,9 @@ def serve(
     bound_host, bound_port = server.server_address[:2]
     print(f"HypeR service listening on http://{bound_host}:{bound_port}", flush=True)
     print(
-        "endpoints: GET /v1/health, GET /v1/stats, POST /v1/query, POST /v1/batch, "
-        "POST /v1/update (legacy aliases without the /v1 prefix)",
+        "endpoints: GET /v1/health, GET /v1/stats, GET /v1/metrics, GET /v1/slow, "
+        "POST /v1/query, POST /v1/batch, POST /v1/update "
+        "(legacy aliases without the /v1 prefix)",
         flush=True,
     )
     stop = shutdown_event if shutdown_event is not None else threading.Event()

@@ -73,6 +73,9 @@ from ..core.results import HowToResult, WhatIfResult
 from ..core.whatif import WhatIfEngine
 from ..exceptions import QuerySemanticsError
 from ..lang.parser import parse_query
+from ..obs import trace as obs_trace
+from ..obs.metrics import MetricsRegistry
+from ..obs.slowlog import SlowQueryLog
 from ..probdb.blocks import block_labels
 from ..relational.database import Database
 from ..relational.relation import Relation
@@ -224,6 +227,9 @@ class HypeRService:
         max_workers: int | None = None,
         execution: str = "threads",
         n_shards: int | None = None,
+        metrics_registry: MetricsRegistry | None = None,
+        slow_query_seconds: float = 0.1,
+        slow_log_size: int = 64,
     ) -> None:
         if execution not in EXECUTION_MODES:
             raise QuerySemanticsError(
@@ -247,7 +253,6 @@ class HypeRService:
         self._result_cache_enabled = result_cache_size > 0
         self.max_workers = max_workers
         self.n_shards = n_shards or max_workers or default_max_workers()
-        self._lock = threading.Lock()
         # Serializes read-modify-write commits (update_relation_columns) so
         # concurrent column updates cannot lose each other; re-entrant because
         # update_database takes it too.
@@ -255,30 +260,122 @@ class HypeRService:
         self._pool_lock = threading.Lock()
         self._pool: "ShardPool | None" = None
         self._pool_generation: int | None = None
-        self._n_queries = 0
-        self._n_batches = 0
-        self._n_noop_commits = 0
-        self._n_pinned_fallbacks = 0
         self._started_at = time.time()
-        # Serving counters, read by front-end admission control (repro.aserve)
-        # as live backpressure signals: concurrent executions across *every*
-        # front-end sharing this service, their all-time peak, overload
-        # rejections recorded by the front-ends, and per-endpoint latency
-        # sums.  Guarded by a dedicated lock so hot-path tracking never
-        # contends with stats()/invalidation holding self._lock.
-        self._serving_lock = threading.Lock()
-        self._inflight = 0
-        self._peak_inflight = 0
-        self._rejected: dict[str, int] = {}
-        self._latency: dict[str, list[float]] = {}  # endpoint -> [count, seconds]
+        # Declared instruments (repro.obs.metrics) replace the old hand-rolled
+        # counter fields.  Each service gets its own registry by default so
+        # stats of co-hosted services never mix; the front doors expose it at
+        # GET /v1/metrics.  The serving instruments double as the live
+        # backpressure signals read by front-end admission control
+        # (repro.aserve) via serving_signals().
+        self.metrics = (
+            metrics_registry if metrics_registry is not None else MetricsRegistry()
+        )
+        m = self.metrics
+        self._m_queries = m.counter(
+            "hyper_queries_total", "Queries accepted by execute()/execute_many()"
+        )
+        self._m_batches = m.counter(
+            "hyper_batches_total", "Batches accepted by execute_many()"
+        )
+        self._m_noop_commits = m.counter(
+            "hyper_noop_commits_total", "Commits that changed no relation"
+        )
+        self._m_pinned_fallbacks = m.counter(
+            "hyper_pinned_fallbacks_total",
+            "Queries evaluated in-process because their pinned snapshot was superseded",
+        )
+        self._m_rejected = m.counter(
+            "hyper_rejected_total",
+            "Requests turned away by front-end admission control",
+            labelnames=("endpoint",),
+        )
+        self._m_latency = m.histogram(
+            "hyper_request_seconds",
+            "Tracked execution latency per endpoint",
+            labelnames=("endpoint",),
+        )
+        self._m_inflight = m.gauge(
+            "hyper_inflight", "Concurrent tracked executions across all front doors"
+        )
+        self._m_slow = m.counter(
+            "hyper_slow_queries_total",
+            "Query completions at or above the slow-query threshold",
+        )
+        #: bounded per-plan-fingerprint slow-query log, served by GET /v1/slow
+        self.slow_log = SlowQueryLog(slow_log_size, slow_query_seconds)
+        self._register_collectors()
         # Fold evicted/invalidated estimators' regressor counters into running
         # totals so stats() stays monotonic across evictions.  Guarded by its
-        # own lock: the callback runs under the cache lock and must not take
-        # self._lock (stats() holds self._lock while reading the caches).
+        # own lock because the callback runs under the cache lock.
         self._retired_lock = threading.Lock()
         self._retired_regressor_fits = 0
         self._retired_regressor_hits = 0
         self.caches.estimators.on_evict = self._retire_estimator
+
+    def _register_collectors(self) -> None:
+        """Scrape-time callbacks over derived state (zero steady-state cost)."""
+        m = self.metrics
+        m.register_callback(
+            "hyper_uptime_seconds",
+            "Seconds since the service started",
+            lambda: time.time() - self._started_at,
+        )
+        m.register_callback(
+            "hyper_generation",
+            "Latest committed database generation",
+            lambda: self._versions.latest.generation,
+        )
+        m.register_callback(
+            "hyper_inflight_peak",
+            "High-water mark of concurrent tracked executions",
+            lambda: self._m_inflight.peak,
+        )
+        mvcc = {
+            "hyper_mvcc_commits_total": ("commits", "counter"),
+            "hyper_mvcc_retired_total": ("retired", "counter"),
+            "hyper_mvcc_live_snapshots": ("live_snapshots", "gauge"),
+            "hyper_mvcc_pinned_readers": ("pinned_readers", "gauge"),
+        }
+        for name, (stat_key, kind) in mvcc.items():
+            m.register_callback(
+                name,
+                f"MVCC version store: {stat_key}",
+                lambda key=stat_key: self._versions.stats()[key],
+                kind=kind,
+            )
+        for name, stat_key, kind in (
+            ("hyper_cache_hits_total", "hits", "counter"),
+            ("hyper_cache_misses_total", "misses", "counter"),
+            ("hyper_cache_evictions_total", "evictions", "counter"),
+            ("hyper_cache_entries", "size", "gauge"),
+        ):
+            m.register_callback(
+                name,
+                f"Per-cache {stat_key} (labelled by cache)",
+                lambda key=stat_key: [
+                    ({"cache": cache_name}, stats[key])
+                    for cache_name, stats in self.caches.stats().items()
+                ],
+                kind=kind,
+            )
+        for name, stat_key, kind in (
+            ("hyper_pool_broadcasts_total", "n_broadcasts", "counter"),
+            ("hyper_pool_updates_total", "n_updates", "counter"),
+            ("hyper_pool_shards", "n_shards", "gauge"),
+        ):
+            m.register_callback(
+                name,
+                f"Shard pool {stat_key} (absent while no pool is running)",
+                lambda key=stat_key: self._collect_pool_stat(key),
+                kind=kind,
+            )
+
+    def _collect_pool_stat(self, key: str) -> float | None:
+        with self._pool_lock:
+            pool = self._pool
+        if pool is None:
+            return None
+        return float(pool.stats()[key])
 
     @contextmanager
     def _track(self, endpoint: str, units: int = 1):
@@ -290,24 +387,17 @@ class HypeRService:
         passes 0 so nothing double-counts).
         """
         started = time.perf_counter()
-        with self._serving_lock:
-            self._inflight += units
-            if self._inflight > self._peak_inflight:
-                self._peak_inflight = self._inflight
+        self._m_inflight.inc(units)
         try:
             yield
         finally:
             elapsed = time.perf_counter() - started
-            with self._serving_lock:
-                self._inflight -= units
-                bucket = self._latency.setdefault(endpoint, [0, 0.0])
-                bucket[0] += 1
-                bucket[1] += elapsed
+            self._m_inflight.dec(units)
+            self._m_latency.labels(endpoint=endpoint).observe(elapsed)
 
     def record_rejection(self, endpoint: str = "query", *, units: int = 1) -> None:
         """Count ``units`` requests a front-end turned away (HTTP 429)."""
-        with self._serving_lock:
-            self._rejected[endpoint] = self._rejected.get(endpoint, 0) + units
+        self._m_rejected.labels(endpoint=endpoint).inc(units)
 
     def serving_signals(self) -> dict[str, Any]:
         """A cheap live snapshot of serving load, for admission decisions.
@@ -323,19 +413,20 @@ class HypeRService:
             if self.execution == "processes"
             else (self.max_workers or default_max_workers())
         )
-        with self._serving_lock:
-            return {
-                "in_flight": self._inflight,
-                "peak_in_flight": self._peak_inflight,
-                "rejected_total": sum(self._rejected.values()),
-                "rejected": dict(self._rejected),
-                "capacity_hint": capacity,
-                "saturation": self._inflight / capacity if capacity else 0.0,
-                "latency": {
-                    endpoint: {"count": bucket[0], "seconds": bucket[1]}
-                    for endpoint, bucket in self._latency.items()
-                },
-            }
+        in_flight = int(self._m_inflight.value)
+        rejected = {k: int(v) for k, v in self._m_rejected.per_label().items()}
+        return {
+            "in_flight": in_flight,
+            "peak_in_flight": int(self._m_inflight.peak),
+            "rejected_total": sum(rejected.values()),
+            "rejected": rejected,
+            "capacity_hint": capacity,
+            "saturation": in_flight / capacity if capacity else 0.0,
+            "latency": {
+                endpoint: {"count": child.count, "seconds": child.sum}
+                for endpoint, child in self._m_latency.per_label().items()
+            },
+        }
 
     def _retire_estimator(self, key: Hashable, estimator: PostUpdateEstimator) -> None:
         counters = estimator.regressor_cache_stats
@@ -359,8 +450,14 @@ class HypeRService:
     @contextmanager
     def _pin_snapshot(self):
         """Pin the latest committed snapshot for one query's whole execution."""
-        with self._versions.pin() as snapshot:
+        with obs_trace.span("snapshot.pin") as pin_span:
+            snapshot = self._versions.acquire()
+            if pin_span is not None:
+                pin_span.meta["generation"] = snapshot.generation
+        try:
             yield snapshot.state
+        finally:
+            self._versions.release(snapshot)
 
     @property
     def database(self) -> Database:
@@ -465,7 +562,13 @@ class HypeRService:
 
     # -- execution ---------------------------------------------------------------------------
 
-    def execute(self, query: str | Query, *, exhaustive: bool = False) -> Result:
+    def execute(
+        self,
+        query: str | Query,
+        *,
+        exhaustive: bool = False,
+        trace: "obs_trace.TraceContext | None" = None,
+    ) -> Result:
         """Answer one query, reusing every applicable cached plan component.
 
         Repeated identical queries (same plan *and* parameters) are answered
@@ -473,20 +576,86 @@ class HypeRService:
         generation vector of every relation, so no stale answer can survive a
         database update, and ``result_ttl_seconds`` adds a wall-clock bound on
         top for dashboard-style workloads.
+
+        ``trace`` activates span recording for this call (the front doors
+        pass the request's :class:`~repro.obs.trace.TraceContext` when the
+        client asked for ``?trace=1``); with ``trace=None`` every span site
+        is a no-op.
         """
-        parsed = self._as_query(query)
-        with self._lock:
-            self._n_queries += 1
-        with self._track("query"), self._pin_snapshot() as state:
-            if not self._result_cache_enabled:
-                return self._execute_uncached(state, parsed, exhaustive)
+        with obs_trace.activate(trace):
+            with obs_trace.span("parse"):
+                parsed = self._as_query(query)
+            self._m_queries.inc()
+            with self._track("query"), self._pin_snapshot() as state:
+                started = time.perf_counter()
+                if not self._result_cache_enabled:
+                    with obs_trace.span("execute"):
+                        result = self._execute_uncached(state, parsed, exhaustive)
+                    self._record_completion(
+                        state, parsed, query, time.perf_counter() - started
+                    )
+                    return result
+                with obs_trace.span("fingerprint"):
+                    fingerprint = self._fingerprint(state, parsed)
+                key = self._result_key(state, fingerprint, exhaustive)
+                hit = True
+
+                def _build() -> Result:
+                    nonlocal hit
+                    hit = False
+                    with obs_trace.span("execute"):
+                        return self._execute_uncached(state, parsed, exhaustive)
+
+                with obs_trace.span("cache.result") as cache_span:
+                    result = self.caches.results.get_or_create(
+                        key, _build, tags=state.database.relation_names
+                    )
+                if cache_span is not None:
+                    cache_span.meta["hit"] = hit
+                self._record_completion(
+                    state,
+                    parsed,
+                    query,
+                    time.perf_counter() - started,
+                    fingerprint=fingerprint,
+                )
+                return result
+
+    def _record_completion(
+        self,
+        state: _EngineState,
+        parsed: Query,
+        query: str | Query,
+        elapsed: float,
+        *,
+        fingerprint: PlanFingerprint | None = None,
+    ) -> None:
+        """Feed the slow-query log; fingerprints/unparses only when tripped."""
+        if elapsed < self.slow_log.threshold_seconds:
+            return
+        if fingerprint is None:
             fingerprint = self._fingerprint(state, parsed)
-            key = self._result_key(state, fingerprint, exhaustive)
-            return self.caches.results.get_or_create(
-                key,
-                lambda: self._execute_uncached(state, parsed, exhaustive),
-                tags=state.database.relation_names,
-            )
+        if isinstance(query, str):
+            text = query
+        else:
+            try:
+                from ..lang.unparse import unparse_how_to, unparse_what_if
+
+                if isinstance(parsed, WhatIfQuery):
+                    text = unparse_what_if(parsed)
+                else:
+                    text = unparse_how_to(parsed)
+            except Exception:  # noqa: BLE001 - the log is best-effort
+                text = repr(parsed)[:200]
+        active = obs_trace.current_trace()
+        if self.slow_log.record(
+            str(fingerprint.digest),
+            elapsed,
+            query=text,
+            request_id=active.request_id if active is not None else "",
+            kind=fingerprint.kind,
+        ):
+            self._m_slow.inc()
 
     def _result_key(
         self, state: _EngineState, fingerprint: PlanFingerprint, exhaustive: bool
@@ -517,8 +686,7 @@ class HypeRService:
             # built engines, and the shard merge contract makes the in-process
             # answer bitwise-identical — so evaluate here rather than pause or
             # error the reader.
-            with self._lock:
-                self._n_pinned_fallbacks += 1
+            self._m_pinned_fallbacks.inc()
         if isinstance(parsed, WhatIfQuery):
             return self._execute_what_if(state, parsed)
         return self._execute_how_to(state, parsed, exhaustive=exhaustive)
@@ -557,8 +725,7 @@ class HypeRService:
                 if not return_errors:
                     raise
                 parsed.append(error)
-        with self._lock:
-            self._n_batches += 1
+        self._m_batches.inc()
         # units=0: per-query in-flight is tracked inside execute() (threads
         # mode) or around the pool crossing (processes mode); the batch
         # wrapper contributes only its latency sum.
@@ -571,10 +738,9 @@ class HypeRService:
     def _execute_many_processes(
         self, parsed: Sequence[Query | Exception], *, return_errors: bool
     ) -> list[Result | Exception]:
-        with self._lock:
-            self._n_queries += sum(
-                1 for query in parsed if not isinstance(query, Exception)
-            )
+        self._m_queries.inc(
+            sum(1 for query in parsed if not isinstance(query, Exception))
+        )
         results: list[Result | Exception] = list(parsed)
         with self._pin_snapshot() as state:
             # Serve result-cache hits first; only misses cross the pool.
@@ -603,8 +769,7 @@ class HypeRService:
                         # Pinned to a superseded snapshot: evaluate the whole
                         # batch in-process from the pinned engines (bitwise
                         # identical by the shard merge contract).
-                        with self._lock:
-                            self._n_pinned_fallbacks += len(misses)
+                        self._m_pinned_fallbacks.inc(len(misses))
                         fresh = []
                         for _index, query, _key in misses:
                             try:
@@ -638,10 +803,13 @@ class HypeRService:
         )
         estimator: PostUpdateEstimator | None = None
         if not self.config.ignores_dependencies:
+
+            def _fit() -> PostUpdateEstimator:
+                with obs_trace.span("estimator.fit", plan=str(fingerprint.digest)):
+                    return state.whatif.build_estimator(query, prepared)
+
             estimator = self.caches.estimators.get_or_create(
-                fingerprint.estimator_key,
-                lambda: state.whatif.build_estimator(query, prepared),
-                tags=use_relations(query.use),
+                fingerprint.estimator_key, _fit, tags=use_relations(query.use)
             )
         return state.whatif.evaluate(query, prepared=prepared, estimator=estimator)
 
@@ -651,10 +819,13 @@ class HypeRService:
         fingerprint = self._fingerprint(state, query)
         view, view_dag = self._plan_view(state, query.use)
         deps = use_relations(query.use)
+
+        def _fit() -> PostUpdateEstimator:
+            with obs_trace.span("estimator.fit", plan=str(fingerprint.digest)):
+                return state.howto.build_estimator(query, view=view, view_dag=view_dag)
+
         estimator = self.caches.estimators.get_or_create(
-            fingerprint.estimator_key,
-            lambda: state.howto.build_estimator(query, view=view, view_dag=view_dag),
-            tags=deps,
+            fingerprint.estimator_key, _fit, tags=deps
         )
         prepared = state.howto.prepare(
             query, view=view, estimator=estimator, view_dag=view_dag
@@ -837,8 +1008,7 @@ class HypeRService:
                 new_state.database.relation_names
             )
             if not changed:
-                with self._lock:
-                    self._n_noop_commits += 1
+                self._m_noop_commits.inc()
                 return frozenset()
             generations = dict(state.relation_generations)
             for name in changed:
@@ -925,23 +1095,27 @@ class HypeRService:
         serving = self.serving_signals()
         versions = self._versions.stats()
         latest = self._state
-        with self._lock:
-            versions["noop_commits"] = self._n_noop_commits
-            versions["pinned_fallbacks"] = self._n_pinned_fallbacks
-            return {
-                "serving": serving,
-                "generation": latest.generation,
-                "relation_generations": dict(latest.relation_generations),
-                "versions": versions,
-                "execution": self.execution,
-                "n_queries": self._n_queries,
-                "n_batches": self._n_batches,
-                "uptime_seconds": time.time() - self._started_at,
-                "caches": self.caches.stats(),
-                "regressors": {
-                    "fits": regressor_fits,
-                    "hits": regressor_hits,
-                    "cached": regressors_cached,
-                },
-                "pool": pool_stats,
-            }
+        versions["noop_commits"] = int(self._m_noop_commits.value)
+        versions["pinned_fallbacks"] = int(self._m_pinned_fallbacks.value)
+        return {
+            "serving": serving,
+            "generation": latest.generation,
+            "relation_generations": dict(latest.relation_generations),
+            "versions": versions,
+            "execution": self.execution,
+            "n_queries": int(self._m_queries.value),
+            "n_batches": int(self._m_batches.value),
+            "uptime_seconds": time.time() - self._started_at,
+            "caches": self.caches.stats(),
+            "regressors": {
+                "fits": regressor_fits,
+                "hits": regressor_hits,
+                "cached": regressors_cached,
+            },
+            "pool": pool_stats,
+            "slow_queries": {
+                "entries": len(self.slow_log),
+                "recorded": int(self._m_slow.value),
+                "threshold_seconds": self.slow_log.threshold_seconds,
+            },
+        }

@@ -31,6 +31,8 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
+from ..obs import trace as obs_trace
+
 __all__ = ["Snapshot", "VersionStore"]
 
 
@@ -139,7 +141,10 @@ class VersionStore:
         otherwise on its last :meth:`release`.  ``generation`` defaults to
         the previous latest plus one and must be strictly increasing.
         """
-        with self._lock:
+        # span is a no-op unless the caller's request is being traced (e.g.
+        # /v1/update?trace=1); it deliberately wraps the whole critical section
+        # so the trace shows commit-lock contention, not just the swap.
+        with obs_trace.span("mvcc.commit") as commit_span, self._lock:
             previous = self._latest
             if generation is None:
                 generation = previous.generation + 1
@@ -156,6 +161,8 @@ class VersionStore:
             self._retire_if_dead(previous)
             if len(self._live) > self._peak_live:
                 self._peak_live = len(self._live)
+            if commit_span is not None:
+                commit_span.meta["generation"] = generation
             return snapshot
 
     # -- internals ---------------------------------------------------------------------
@@ -164,12 +171,13 @@ class VersionStore:
         """Release a superseded, unpinned snapshot's state (lock held)."""
         if snapshot.retired or not snapshot.superseded or snapshot.refcount > 0:
             return
-        snapshot.retired = True
-        snapshot.state = None
-        self._live.pop(snapshot.generation, None)
-        self._n_retired += 1
-        if self.on_retire is not None:
-            self.on_retire(snapshot)
+        with obs_trace.span("mvcc.retire", generation=snapshot.generation):
+            snapshot.retired = True
+            snapshot.state = None
+            self._live.pop(snapshot.generation, None)
+            self._n_retired += 1
+            if self.on_retire is not None:
+                self.on_retire(snapshot)
 
     # -- introspection -----------------------------------------------------------------
 

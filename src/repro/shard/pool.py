@@ -46,6 +46,7 @@ from ..core.howto import (
 from ..core.queries import HowToQuery, WhatIfQuery
 from ..core.whatif import WhatIfEngine
 from ..exceptions import HypeRError
+from ..obs import trace as obs_trace
 from ..relational.aggregates import get_aggregate
 from ..relational.database import Database
 from ..relational.predicates import evaluate_mask
@@ -169,7 +170,36 @@ class ShardWorkerRuntime:
     # -- task handlers ------------------------------------------------------------------
 
     def handle(self, kind: str, payload: Any) -> Any:
+        """Serve one task, stamping a worker span onto the outgoing payload.
+
+        The span is a plain dict inside the partial's ``meta`` (or a result's
+        ``metadata``), so it crosses the pickling boundary with the payload it
+        times; the parent pool pops it back out — *always*, traced or not, so
+        merged answers stay bitwise identical to the unsharded path — and
+        re-attaches it to the live trace via :func:`repro.obs.trace.add_span`.
+        """
         self.n_tasks += 1
+        builds_before = self.n_estimator_builds
+        started = time.perf_counter()
+        out = self._dispatch(kind, payload)
+        elapsed = time.perf_counter() - started
+        meta = getattr(out, "meta", None)
+        if not isinstance(meta, dict):
+            meta = getattr(out, "metadata", None)
+        if isinstance(meta, dict):
+            meta["worker_span"] = {
+                "name": f"shard-worker[{self.shard.index}]",
+                "duration_ms": round(elapsed * 1000.0, 6),
+                "meta": {
+                    "shard": self.shard.index,
+                    "kind": kind,
+                    "estimator_builds": self.n_estimator_builds - builds_before,
+                },
+                "children": [],
+            }
+        return out
+
+    def _dispatch(self, kind: str, payload: Any) -> Any:
         if kind == "whatif":
             return self.what_if_partial(payload)
         if kind == "howto":
@@ -731,17 +761,50 @@ class ShardPool:
                     "shard_of_block": shard_of_block,
                 }
             )
-        self._scatter("update", payloads)
+        with obs_trace.span("shard.update", shards=self.n_shards):
+            self._scatter("update", payloads)
         self.plan = plan
         self.n_updates += 1
 
     # -- query execution ---------------------------------------------------------------
 
+    @staticmethod
+    def _pop_worker_span(out: Any) -> dict[str, Any] | None:
+        """Remove the worker-span stamp from a shipped payload (always).
+
+        Popping unconditionally — not only when a trace is active — keeps the
+        payload's ``meta`` identical to what the unsharded path produces.
+        """
+        meta = getattr(out, "meta", None)
+        if not isinstance(meta, dict):
+            meta = getattr(out, "metadata", None)
+        if isinstance(meta, dict):
+            return meta.pop("worker_span", None)
+        return None
+
+    @classmethod
+    def _attach_worker_spans(cls, outs: Sequence[Any]) -> None:
+        """Re-attach shipped worker spans under the current (broadcast) span."""
+        for out in outs:
+            raw = cls._pop_worker_span(out)
+            if raw is not None:
+                obs_trace.add_span(
+                    raw["name"],
+                    float(raw.get("duration_ms", 0.0)) / 1000.0,
+                    meta=raw.get("meta"),
+                    children=raw.get("children"),
+                )
+
     def run_what_if(self, query: WhatIfQuery) -> "WhatIfResult":
         """Answer one what-if query: broadcast, collect partials, merge exactly."""
         started = time.perf_counter()
-        partials = self._broadcast("whatif", query)
-        result = merge_what_if(query, partials)
+        with obs_trace.span("shard.broadcast", shards=self.n_shards) as bspan:
+            partials = self._broadcast("whatif", query)
+            if bspan is not None:
+                bspan.meta["mode"] = self.mode
+            self._attach_worker_spans(partials)
+        with obs_trace.span("shard.merge"):
+            result = merge_what_if(query, partials)
         result.runtime_seconds = time.perf_counter() - started
         return result
 
@@ -751,16 +814,26 @@ class ShardPool:
         if exhaustive:
             # Opt-HowTo enumerates full update combinations; run it unsharded
             # on one worker rather than shipping every combination's partials.
-            return self._run_on_one("full", (query, True))
-        partials = self._broadcast("howto", query)
-        merged = merge_how_to(query, partials)
-        verify = self._verifier(query, len(merged.baseline_count))
-        return solve_merged_how_to(
-            query,
-            merged,
-            verify=verify,
-            runtime_seconds=time.perf_counter() - started,
-        )
+            with obs_trace.span("shard.broadcast", shards=1) as bspan:
+                result = self._run_on_one("full", (query, True))
+                if bspan is not None:
+                    bspan.meta["mode"] = self.mode
+                self._attach_worker_spans([result])
+            return result
+        with obs_trace.span("shard.broadcast", shards=self.n_shards) as bspan:
+            partials = self._broadcast("howto", query)
+            if bspan is not None:
+                bspan.meta["mode"] = self.mode
+            self._attach_worker_spans(partials)
+        with obs_trace.span("shard.merge"):
+            merged = merge_how_to(query, partials)
+            verify = self._verifier(query, len(merged.baseline_count))
+            return solve_merged_how_to(
+                query,
+                merged,
+                verify=verify,
+                runtime_seconds=time.perf_counter() - started,
+            )
 
     def _verifier(self, query: HowToQuery, n_rows: int):
         if not self.config.verify_howto_with_whatif:
@@ -809,29 +882,42 @@ class ShardPool:
             for _index, query in runnable
         ]
         if subtasks:
-            per_shard = self._broadcast("batch", subtasks)
-            for sub_position, (index, query) in enumerate(runnable):
-                shard_outs = [shard_result[sub_position] for shard_result in per_shard]
-                failed = next((out for ok, out in shard_outs if not ok), None)
-                if failed is not None:
+            with obs_trace.span(
+                "shard.broadcast", shards=self.n_shards, batch=len(subtasks)
+            ) as bspan:
+                per_shard = self._broadcast("batch", subtasks)
+                if bspan is not None:
+                    bspan.meta["mode"] = self.mode
+                # Strip (and, when traced, re-attach) every subtask's worker
+                # span before any merge sees the partials.
+                self._attach_worker_spans(
+                    [out for shard_result in per_shard for ok, out in shard_result if ok]
+                )
+            with obs_trace.span("shard.merge", batch=len(subtasks)):
+                for sub_position, (index, query) in enumerate(runnable):
+                    shard_outs = [
+                        shard_result[sub_position] for shard_result in per_shard
+                    ]
+                    failed = next((out for ok, out in shard_outs if not ok), None)
+                    if failed is not None:
+                        try:
+                            _raise_worker_error(0, failed)
+                        except ShardPoolError as error:
+                            results[index] = error
+                        continue
+                    partials = [out for _ok, out in shard_outs]
                     try:
-                        _raise_worker_error(0, failed)
-                    except ShardPoolError as error:
+                        if isinstance(query, HowToQuery):
+                            merged = merge_how_to(query, partials)
+                            results[index] = solve_merged_how_to(
+                                query,
+                                merged,
+                                verify=self._verifier(query, len(merged.baseline_count)),
+                            )
+                        else:
+                            results[index] = merge_what_if(query, partials)
+                    except Exception as error:  # noqa: BLE001 - captured per query
                         results[index] = error
-                    continue
-                partials = [out for _ok, out in shard_outs]
-                try:
-                    if isinstance(query, HowToQuery):
-                        merged = merge_how_to(query, partials)
-                        results[index] = solve_merged_how_to(
-                            query,
-                            merged,
-                            verify=self._verifier(query, len(merged.baseline_count)),
-                        )
-                    else:
-                        results[index] = merge_what_if(query, partials)
-                except Exception as error:  # noqa: BLE001 - captured per query
-                    results[index] = error
         if not return_errors:
             for result in results:
                 if isinstance(result, Exception):

@@ -22,6 +22,7 @@ from repro.api.schemas import (
     HowToAnswer,
     QueryRequest,
     StatsSnapshot,
+    TraceSpan,
     WhatIfAnswer,
 )
 
@@ -57,6 +58,26 @@ CANONICAL = {
         solver_status="optimal",
         runtime_seconds=2.5,
     ),
+    "what_if_answer_traced": WhatIfAnswer(
+        value=0.53125,
+        aggregate="avg",
+        output_attribute="Credit",
+        variant="hyper",
+        n_scope_tuples=300,
+        n_blocks=17,
+        backdoor_set=("Age", "Housing"),
+        runtime_seconds=0.125,
+        trace=TraceSpan(
+            name="request",
+            duration_ms=125.5,
+            meta={"request_id": "c0ffee0123456789"},
+            children=(
+                TraceSpan(name="parse", duration_ms=0.25),
+                TraceSpan(name="cache.result", duration_ms=120.0, meta={"hit": False}),
+                TraceSpan(name="serialize", duration_ms=0.125),
+            ),
+        ),
+    ),
     "error_envelope": ErrorEnvelope(
         code="query_syntax",
         message="expected keyword 'OUTPUT', found 'OUTPT'",
@@ -88,7 +109,13 @@ CANONICAL = {
         caches={"estimators": {"hits": 100, "misses": 4}},
         serving={"in_flight": 1, "peak_in_flight": 8},
         regressors={"fits": 4, "hits": 250, "cached": 4},
-        pool={"n_shards": 4},
+        versions={
+            "latest_generation": 2,
+            "commits": 2,
+            "noop_commits": 1,
+            "pinned_fallbacks": 0,
+        },
+        pool={"n_shards": 4, "n_updates": 2},
         sections={"aserve": {"draining": False}},
     ),
 }
@@ -97,6 +124,7 @@ _DECODERS = {
     "query_request": QueryRequest.from_json,
     "batch_request": BatchRequest.from_json,
     "what_if_answer": WhatIfAnswer.from_json,
+    "what_if_answer_traced": WhatIfAnswer.from_json,
     "how_to_answer": HowToAnswer.from_json,
     "error_envelope": ErrorEnvelope.from_json,
     "batch_item_result": BatchItem.from_json,

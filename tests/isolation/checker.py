@@ -48,12 +48,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ReadEvent:
-    """One observed answer: issued by ``session`` over ``[begin, end]``."""
+    """One observed answer: issued by ``session`` over ``[begin, end]``.
+
+    ``request_id`` is the X-Request-Id the read travelled under (empty when
+    the driver does not tag requests); a violation message names it so the
+    offending request can be pulled from server traces and slow-query logs.
+    """
 
     session: str
     begin: float
     end: float
     value: float
+    request_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -63,6 +69,7 @@ class CommitEvent:
     version: int
     begin: float
     end: float
+    request_id: str = ""
 
 
 @dataclass
@@ -103,6 +110,14 @@ def _admissible_events(
     return options
 
 
+def _who(read: ReadEvent) -> str:
+    """``session='r-1' request_id=abc`` — names the offending request."""
+    tag = f"session={read.session!r}"
+    if read.request_id:
+        tag += f" request_id={read.request_id}"
+    return tag
+
+
 def check_snapshot_isolation(history: History) -> list[str]:
     """All snapshot-isolation violations in ``history`` (empty = SI holds)."""
     violations: list[str] = []
@@ -120,7 +135,7 @@ def check_snapshot_isolation(history: History) -> list[str]:
         if not matching:
             admissible.append([])
             violations.append(
-                f"[{label}] torn/blended answer: session={read.session!r} "
+                f"[{label}] torn/blended answer: {_who(read)} "
                 f"value={read.value!r} matches no installed version "
                 f"(fingerprints: {history.version_values})"
             )
@@ -129,7 +144,7 @@ def check_snapshot_isolation(history: History) -> list[str]:
         admissible.append(options)
         if not options:
             violations.append(
-                f"[{label}] stale read: session={read.session!r} "
+                f"[{label}] stale read: {_who(read)} "
                 f"value={read.value!r} (version(s) {sorted(matching)}) has no "
                 f"admissible commit for [{read.begin:.6f}, {read.end:.6f}] — "
                 "a later commit fully finished before this read began"
@@ -149,7 +164,7 @@ def check_snapshot_isolation(history: History) -> list[str]:
             if not feasible:
                 read = history.reads[read_index]
                 violations.append(
-                    f"[{label}] non-monotonic reads: session={session!r} "
+                    f"[{label}] non-monotonic reads: {_who(read)} "
                     f"observed value={read.value!r} from a snapshot older "
                     f"than one it already observed"
                 )

@@ -31,6 +31,7 @@ from repro import EngineConfig, HypeRService
 from repro.api.client import HypeRClient
 from repro.aserve import BackgroundAsyncServer
 from repro.datasets import make_german_syn
+from repro.obs.trace import new_request_id
 from repro.service.server import make_server
 
 from .checker import CommitEvent, History, ReadEvent
@@ -96,7 +97,12 @@ class VersionedWorkload:
 
 
 class HistoryRecorder:
-    """Thread-safe event log: wraps reads and commits with monotonic stamps."""
+    """Thread-safe event log: wraps reads and commits with monotonic stamps.
+
+    ``read`` may return a bare value or a ``(value, request_id)`` pair and
+    ``commit`` may return its request id; ids land on the recorded events so
+    a checker violation names the exact offending request.
+    """
 
     def __init__(self, label: str, workload: VersionedWorkload):
         self.history = History(label=label, version_values=dict(workload.values))
@@ -104,18 +110,26 @@ class HistoryRecorder:
 
     def record_read(self, session: str, read: Callable[[], float]) -> float:
         begin = time.monotonic()
-        value = read()
+        out = read()
         end = time.monotonic()
+        if isinstance(out, tuple):
+            value, request_id = out
+        else:
+            value, request_id = out, ""
         with self._lock:
-            self.history.reads.append(ReadEvent(session, begin, end, float(value)))
-        return value
+            self.history.reads.append(
+                ReadEvent(session, begin, end, float(value), str(request_id))
+            )
+        return float(value)
 
     def record_commit(self, version: int, commit: Callable[[], None]) -> None:
         begin = time.monotonic()
-        commit()
+        request_id = commit()
         end = time.monotonic()
         with self._lock:
-            self.history.commits.append(CommitEvent(version, begin, end))
+            self.history.commits.append(
+                CommitEvent(version, begin, end, str(request_id or ""))
+            )
 
 
 class DirectDriver:
@@ -128,12 +142,17 @@ class DirectDriver:
         self.workload = workload
 
     def open_session(self) -> tuple[Callable[[], float], Callable[[], None]]:
-        read = lambda: float(self.service.execute(QUERY_TEXT).value)  # noqa: E731
+        def read() -> tuple[float, str]:
+            request_id = new_request_id()
+            return float(self.service.execute(QUERY_TEXT).value), request_id
+
         return read, lambda: None
 
     def open_writer(self) -> tuple[Callable[[int], None], Callable[[], None]]:
-        def commit(version: int) -> None:
+        def commit(version: int) -> str:
+            request_id = new_request_id()
             self.service.update_database(self.workload.databases[version])
+            return request_id
 
         return commit, lambda: None
 
@@ -156,14 +175,21 @@ class HttpDriver:
 
     def open_session(self) -> tuple[Callable[[], float], Callable[[], None]]:
         client = self._client()
-        read = lambda: float(client.query(QUERY_TEXT).value)  # noqa: E731
+
+        def read() -> tuple[float, str]:
+            # the client mints and sends the X-Request-Id, so the recorded id
+            # is exactly what the server's traces and slow log saw
+            value = float(client.query(QUERY_TEXT).value)
+            return value, client.last_request_id
+
         return read, client.close
 
     def open_writer(self) -> tuple[Callable[[int], None], Callable[[], None]]:
         client = self._client()
 
-        def commit(version: int) -> None:
+        def commit(version: int) -> str:
             client.update({"Credit": {"Credit": self.workload.columns[version]}})
+            return client.last_request_id
 
         return commit, client.close
 

@@ -1,0 +1,68 @@
+"""Slow-query log: threshold, aggregation, bounded LRU eviction, snapshot."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slowlog import SlowQueryLog
+
+
+class TestThreshold:
+    def test_fast_queries_are_dropped(self):
+        log = SlowQueryLog(threshold_seconds=0.1)
+        assert log.record("fp", 0.05) is False
+        assert len(log) == 0
+        assert log.snapshot()["recorded"] == 0
+
+    def test_slow_queries_enter(self):
+        log = SlowQueryLog(threshold_seconds=0.1)
+        assert log.record("fp", 0.1) is True  # at-threshold counts
+        assert len(log) == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+
+
+class TestAggregation:
+    def test_per_fingerprint_rollup(self):
+        log = SlowQueryLog(threshold_seconds=0.0)
+        log.record("fp", 0.2, query="Q", request_id="r1", kind="whatif")
+        log.record("fp", 0.5, request_id="r2")
+        log.record("fp", 0.3)
+        [entry] = log.snapshot()["entries"]
+        assert entry["count"] == 3
+        assert entry["max_seconds"] == pytest.approx(0.5)
+        assert entry["last_seconds"] == pytest.approx(0.3)
+        assert entry["last_request_id"] == "r2"  # third record had no id
+        assert entry["query"] == "Q"
+        assert entry["kind"] == "whatif"
+
+    def test_snapshot_sorted_by_max_seconds_desc(self):
+        log = SlowQueryLog(threshold_seconds=0.0)
+        log.record("mild", 0.1)
+        log.record("worst", 0.9)
+        log.record("middling", 0.5)
+        names = [entry["fingerprint"] for entry in log.snapshot()["entries"]]
+        assert names == ["worst", "middling", "mild"]
+
+
+class TestEviction:
+    def test_bounded_with_lru_eviction(self):
+        log = SlowQueryLog(capacity=3, threshold_seconds=0.0)
+        for name in ("a", "b", "c"):
+            log.record(name, 0.2)
+        log.record("a", 0.2)  # refresh "a" → "b" is now least recent
+        log.record("d", 0.2)
+        assert len(log) == 3
+        snapshot = log.snapshot()
+        kept = {entry["fingerprint"] for entry in snapshot["entries"]}
+        assert kept == {"a", "c", "d"}
+        assert snapshot["evicted"] == 1
+        assert snapshot["recorded"] == 5
+
+    def test_clear(self):
+        log = SlowQueryLog(threshold_seconds=0.0)
+        log.record("fp", 0.2)
+        log.clear()
+        assert len(log) == 0
