@@ -1,0 +1,192 @@
+"""Fused single-pass kernels and zero-copy snapshots: the data-movement bench.
+
+Two microbenchmarks for the per-node costs that cap shard scale-out:
+
+* **per-query kernel time** — the predicate→group→aggregate stage of the
+  100-variant what-if suite (German-Syn 4000, real block labels from
+  :func:`repro.shard.partition_database`, real ``post("Credit") == 1``-style
+  predicates), cold in the sense that nothing query-specific is reused.  The
+  *unfused* reference is the materializing pipeline the engine used to run:
+  factorize the block labels, build the predicate mask, gather the passing
+  rows, then aggregate the filtered copies pass by pass.  The *fused* path is
+  what ``EngineConfig(fused_kernels=True)`` routes through
+  :func:`repro.relational.columnar.fused_mask_aggregate`: group codes come
+  from the per-plan :class:`~repro.relational.columnar.KernelCache` and the
+  predicate folds into a single bincount traversal — no filtered
+  intermediates.  Both paths must produce identical arrays before either
+  timing counts.
+
+* **snapshot bytes on the wire** — one generation of the database as the
+  shard workers receive it: the shared-memory descriptor (segment names +
+  offsets + column headers) vs the same buffers shipped inline and vs
+  ``pickle.dumps(database)``, the pre-zero-copy broadcast payload.
+
+Asserts the issue's acceptance bars — fused >= 1.5x unfused per query, and
+snapshot broadcast bytes reduced >= 5x vs the pickled baseline — and writes
+``BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import fmt, print_table
+from repro.datasets import make_german_syn
+from repro.relational.columnar import (
+    KernelCache,
+    fused_mask_aggregate,
+    fused_masked_count,
+)
+from repro.shard import partition_database
+from repro.shard.shm import (
+    SegmentManager,
+    encode_database,
+    ship_buffers,
+    shm_available,
+)
+
+N_ROWS = 4_000
+N_QUERIES = 100
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+
+def _suite_inputs():
+    """Real engine artifacts for the suite: columns, block labels, predicates."""
+    dataset = make_german_syn(N_ROWS, seed=7)
+    plan = partition_database(dataset.database, dataset.causal_dag, 1)
+    shard = plan.shards[0]
+    relation = dataset.database["Credit"]
+    labels = shard.block_labels[relation.name]
+    credit = np.asarray(relation.column("Credit"), dtype=float)
+    status = np.asarray(relation.column("Status"), dtype=float)
+    pivot = float(np.median(status))
+    return dataset, labels, plan.n_blocks, credit, status, pivot
+
+
+def _unfused_query(labels, credit, status, multiplier, pivot):
+    """Materializing reference: factorize, mask, gather, aggregate per pass."""
+    _uniq, codes = np.unique(labels, return_inverse=True)
+    n_groups = int(codes.max()) + 1 if len(codes) else 1
+    mask = (credit == 1.0) & (status * multiplier > pivot)
+    grouped = codes[mask]
+    gathered = status[mask]
+    counts = np.bincount(grouped, minlength=n_groups).astype(float)
+    sums = np.bincount(grouped, weights=gathered, minlength=n_groups)
+    return counts, sums, float(mask.sum())
+
+
+def _fused_query(kernels, labels, credit, status, multiplier, pivot):
+    """Single-pass path: cached group codes, predicate folded into bincount."""
+    codes = kernels.get(
+        ("block_codes",), lambda: np.unique(labels, return_inverse=True)[1]
+    )
+    n_groups = int(
+        kernels.get(("n_groups",), lambda: np.asarray(codes.max() + 1))
+    ) if len(codes) else 1
+    mask = (credit == 1.0) & (status * multiplier > pivot)
+    counts = fused_mask_aggregate(codes, n_groups, mask=mask, how="count")
+    sums = fused_mask_aggregate(
+        codes, n_groups, mask=mask, values=status, how="sum"
+    )
+    return counts, sums, fused_masked_count(mask)
+
+
+def _time_suite(run_one) -> float:
+    run_one(0)  # warm allocators and caches outside the timer, like a pool does
+    started = time.perf_counter()
+    for i in range(N_QUERIES):
+        run_one(i)
+    return time.perf_counter() - started
+
+
+def test_fused_kernels_and_snapshot_bytes(benchmark):
+    _dataset, labels, _n_blocks, credit, status, pivot = _suite_inputs()
+
+    def unfused(i):
+        return _unfused_query(labels, credit, status, 1.0 + 0.005 * i, pivot)
+
+    kernels = KernelCache()
+
+    def fused(i):
+        return _fused_query(kernels, labels, credit, status, 1.0 + 0.005 * i, pivot)
+
+    # exactness first: neither timing means anything if the paths disagree
+    for i in range(0, N_QUERIES, 9):
+        for a, b in zip(unfused(i), fused(i)):
+            assert np.asarray(a).tolist() == np.asarray(b).tolist()
+
+    unfused_seconds = _time_suite(unfused)
+    fused_seconds = _time_suite(fused)
+    speedup = unfused_seconds / fused_seconds
+
+    # -- snapshot wire bytes -----------------------------------------------------------
+    database = _dataset.database
+    manifest, buffers = encode_database(database)
+    pickled_bytes = len(pickle.dumps(database, protocol=pickle.HIGHEST_PROTOCOL))
+    inline_bytes = len(
+        pickle.dumps(
+            (manifest, ship_buffers(buffers, None, generation=0)),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    )
+    shm_bytes = None
+    if shm_available():
+        manager = SegmentManager()
+        try:
+            descriptor = manager.put(0, buffers)
+            shm_bytes = len(
+                pickle.dumps((manifest, descriptor), protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        finally:
+            manager.close_all()
+    reduction = pickled_bytes / shm_bytes if shm_bytes else None
+
+    print_table(
+        f"Per-query kernel time — {N_QUERIES}-variant suite (German-Syn {N_ROWS})",
+        ["path", "total s", "us/query", "speedup"],
+        [
+            ["unfused (materializing)", fmt(unfused_seconds),
+             fmt(unfused_seconds / N_QUERIES * 1e6, 1), "1.0x"],
+            ["fused (single-pass)", fmt(fused_seconds),
+             fmt(fused_seconds / N_QUERIES * 1e6, 1), f"{speedup:.1f}x"],
+        ],
+    )
+    print_table(
+        "Snapshot broadcast payload — one database generation",
+        ["transport", "bytes"],
+        [
+            ["pickled database (baseline)", f"{pickled_bytes:,}"],
+            ["inline buffers (no shm)", f"{inline_bytes:,}"],
+            ["shm descriptor (zero-copy)",
+             f"{shm_bytes:,}" if shm_bytes else "unavailable"],
+        ],
+    )
+
+    payload = {
+        "dataset": f"german-syn-{N_ROWS}",
+        "n_queries": N_QUERIES,
+        "unfused_seconds": unfused_seconds,
+        "fused_seconds": fused_seconds,
+        "unfused_us_per_query": unfused_seconds / N_QUERIES * 1e6,
+        "fused_us_per_query": fused_seconds / N_QUERIES * 1e6,
+        "fused_speedup": speedup,
+        "snapshot_pickled_bytes": pickled_bytes,
+        "snapshot_inline_bytes": inline_bytes,
+        "snapshot_shm_bytes": shm_bytes,
+        "snapshot_reduction_vs_pickled": reduction,
+    }
+    _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {_RESULTS_PATH.name}")
+
+    # acceptance criteria of the zero-copy/fused-kernel issue
+    assert speedup >= 1.5, payload
+    if shm_bytes is not None:
+        assert reduction >= 5.0, payload
+
+    benchmark.pedantic(lambda: [fused(i) for i in range(N_QUERIES)], rounds=3, iterations=1)

@@ -94,8 +94,8 @@ class AsyncServingRunner:
         try:
             # fork shard workers before any executor thread exists
             self.service.start_pool()
-            for query in self.warm_queries:
-                self.service.prepare(query)
+            if self.warm_queries:
+                self.service.prepare(self.warm_queries)
             self._shutdown_requested = asyncio.Event()
             self._server = await asyncio.start_server(
                 self.app.handle_connection, self.host, self.port

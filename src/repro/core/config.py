@@ -56,6 +56,13 @@ class EngineConfig:
         fast).  Ignored by the linear/ridge regressors.
     random_state:
         Seed controlling sampling and estimator randomness (reproducibility).
+    fused_kernels:
+        Route contribution accumulation and per-block reductions through the
+        single-pass fused kernels in :mod:`repro.relational.columnar`
+        (predicate folded into the aggregation traversal, per-plan cached
+        masks and group codes).  ``False`` keeps the original multi-pass
+        pipeline — the parity reference the fused path is tested against;
+        answers are identical either way.
     verify_howto_with_whatif:
         After the how-to IP picks a plan, re-evaluate it with the what-if
         machinery and report the verified value alongside the IP objective.
@@ -79,6 +86,7 @@ class EngineConfig:
     n_forest_trees: int = 12
     max_tree_depth: int = 6
     random_state: int = 0
+    fused_kernels: bool = True
     verify_howto_with_whatif: bool = True
     ground_truth_repeats: int = 10
     backend: str | None = None

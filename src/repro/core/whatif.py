@@ -32,6 +32,7 @@ from ..causal.dag import CausalDAG
 from ..exceptions import QuerySemanticsError
 from ..probdb.blocks import block_labels
 from ..relational.aggregates import get_aggregate
+from ..relational.columnar import KernelCache, fused_mask_aggregate
 from ..relational.database import Database
 from ..relational.expressions import Expr
 from ..relational.predicates import (
@@ -116,6 +117,12 @@ class PreparedWhatIf:
     block_of_row: np.ndarray
     n_blocks: int
     for_key: Hashable = None
+    # Per-plan fused-kernel state: ``kernels`` caches masks / group codes /
+    # derived arrays across the parameter variants sharing one plan (injected
+    # by the service layer and the shard worker runtime); ``fused`` routes
+    # accumulation through the single-pass kernels when the config enables it.
+    kernels: KernelCache | None = None
+    fused: bool = False
 
 
 # -- pure evaluation phases ----------------------------------------------------------
@@ -159,25 +166,51 @@ def causal_contribution_rows(
     restrict = (
         np.ones(n, dtype=bool) if row_mask is None else np.asarray(row_mask, dtype=bool)
     )
-    output_values = numeric_output_column(view, query.output_attribute)
+    kernels = prepared.kernels
+
+    def _derived(key: Hashable, build: Any) -> np.ndarray:
+        # Per-plan memo: every parameter variant of one plan shares the same
+        # deterministic masks, so build each exactly once per plan.
+        return build() if kernels is None else kernels.get(key, build)
+
+    output_values = _derived(
+        ("output_values", query.output_attribute),
+        lambda: numeric_output_column(view, query.output_attribute),
+    )
 
     # Pre-part satisfaction per disjunct (deterministic, observed values).
-    pre_masks = [evaluate_mask(d.pre, view) for d in prepared.disjuncts]
+    pre_masks = [
+        _derived(("pre_mask", i, prepared.for_key), lambda d=d: evaluate_mask(d.pre, view))
+        for i, d in enumerate(prepared.disjuncts)
+    ]
     # Post-part indicators evaluated on the observed data (training targets).
-    post_masks = [evaluate_mask(d.post, view) for d in prepared.disjuncts]
+    post_masks = [
+        _derived(("post_mask", i, prepared.for_key), lambda d=d: evaluate_mask(d.post, view))
+        for i, d in enumerate(prepared.disjuncts)
+    ]
+
+    def _build_qualifies_pre() -> np.ndarray:
+        out = np.zeros(n, dtype=bool)
+        for pre_mask, post_mask in zip(pre_masks, post_masks):
+            out |= pre_mask & post_mask
+        return out
 
     count_contrib = np.zeros(n)
     sum_contrib = np.zeros(n)
 
     # -- unaffected tuples: post values equal pre values, everything deterministic.
     unaffected = ~scope & restrict
-    qualifies_pre = np.zeros(n, dtype=bool)
-    for pre_mask, post_mask in zip(pre_masks, post_masks):
-        qualifies_pre |= pre_mask & post_mask
-    count_contrib[unaffected] = qualifies_pre[unaffected].astype(float)
-    sum_contrib[unaffected] = np.where(
-        qualifies_pre[unaffected], output_values[unaffected], 0.0
-    )
+    qualifies_pre = _derived(("qualifies_pre", prepared.for_key), _build_qualifies_pre)
+    if prepared.fused:
+        # One where-pass instead of gather / assign round-trips; values are
+        # identical (zeros outside ``unaffected`` either way).
+        count_contrib = np.where(unaffected, qualifies_pre.astype(float), 0.0)
+        sum_contrib = np.where(unaffected & qualifies_pre, output_values, 0.0)
+    else:
+        count_contrib[unaffected] = qualifies_pre[unaffected].astype(float)
+        sum_contrib[unaffected] = np.where(
+            qualifies_pre[unaffected], output_values[unaffected], 0.0
+        )
 
     # -- affected tuples: inclusion–exclusion over disjunct subsets (Sec. A.2.3).
     # The branch condition uses the full-view scope so a shard that owns no
@@ -259,12 +292,33 @@ def block_contribution_summary(
     block_of_row: np.ndarray,
     n_blocks: int,
     scope: np.ndarray,
+    *,
+    kernels: KernelCache | None = None,
+    fused: bool = False,
 ) -> LazyBlockContributions:
-    """Per-block partial answers (Proposition 1) from per-row contributions."""
+    """Per-block partial answers (Proposition 1) from per-row contributions.
+
+    With ``fused`` the scope filter folds into the bincount traversal (no
+    ``block_of_row[scope]`` gather) and the scope-independent block sizes are
+    served from the per-plan ``kernels`` cache; counts are exact integers, so
+    the fused and unfused summaries are equal element for element.
+    """
     per_row = count_contrib if aggregate == "count" else sum_contrib
     totals = np.bincount(block_of_row, weights=per_row, minlength=n_blocks)
-    sizes = np.bincount(block_of_row, minlength=n_blocks)
-    scope_sizes = np.bincount(block_of_row[scope], minlength=n_blocks)
+    if fused:
+        sizes = (
+            np.bincount(block_of_row, minlength=n_blocks)
+            if kernels is None
+            else kernels.get(
+                ("block_sizes",), lambda: np.bincount(block_of_row, minlength=n_blocks)
+            )
+        )
+        scope_sizes = fused_mask_aggregate(
+            block_of_row, n_blocks, mask=scope, how="count"
+        ).astype(np.int64)
+    else:
+        sizes = np.bincount(block_of_row, minlength=n_blocks)
+        scope_sizes = np.bincount(block_of_row[scope], minlength=n_blocks)
     return LazyBlockContributions(np.flatnonzero(sizes), totals, sizes, scope_sizes)
 
 
@@ -279,6 +333,8 @@ def finalize_what_if(
     backdoor_set: tuple[str, ...],
     variant: str,
     metadata: dict[str, Any] | None = None,
+    kernels: KernelCache | None = None,
+    fused: bool = False,
 ) -> WhatIfResult:
     """Reduce merged per-row contributions into a :class:`WhatIfResult`.
 
@@ -291,7 +347,14 @@ def finalize_what_if(
         aggregate.name, count_contrib, sum_contrib
     )
     blocks = block_contribution_summary(
-        aggregate.name, count_contrib, sum_contrib, block_of_row, n_blocks, scope_mask
+        aggregate.name,
+        count_contrib,
+        sum_contrib,
+        block_of_row,
+        n_blocks,
+        scope_mask,
+        kernels=kernels,
+        fused=fused,
     )
     return WhatIfResult(
         value=value,
@@ -357,16 +420,19 @@ class WhatIfEngine:
         view: Relation | None = None,
         blocks: tuple[dict[str, np.ndarray], int] | None = None,
         view_dag: CausalDAG | None = None,
+        kernels: KernelCache | None = None,
     ) -> PreparedWhatIf:
         """Derive everything the evaluation needs short of fitting estimators.
 
         ``view`` may inject a pre-built relevant view (it must be the
         materialisation of ``query.use`` over this engine's database),
         ``view_dag`` the matching DAG projection from
-        :func:`~repro.core.estimator.build_view_dag`, and ``blocks`` a
+        :func:`~repro.core.estimator.build_view_dag`, ``blocks`` a
         pre-computed ``(labels, n_blocks)`` block assignment from
-        :func:`repro.probdb.blocks.block_labels`; all are served from caches
-        by the service layer.
+        :func:`repro.probdb.blocks.block_labels`, and ``kernels`` a shared
+        per-plan :class:`~repro.relational.columnar.KernelCache` so parameter
+        variants of one plan reuse each other's masks; all are served from
+        caches by the service layer and the shard worker runtime.
         """
         if view is None:
             view = query.use.build(self.database)
@@ -375,7 +441,13 @@ class WhatIfEngine:
             view_dag = build_view_dag(self.causal_dag, query.use, self.database)
         self._check_update_independence(query, view_dag)
 
-        scope_mask = evaluate_mask(query.when, view)
+        if kernels is not None:
+            scope_mask = kernels.get(
+                ("scope_mask", query.when.canonical()),
+                lambda: evaluate_mask(query.when, view),
+            )
+        else:
+            scope_mask = evaluate_mask(query.when, view)
         update = query.hypothetical_update
         post_values: dict[str, Sequence[Any]] = {}
         for attribute in query.update_attributes:
@@ -399,6 +471,8 @@ class WhatIfEngine:
             block_of_row=block_of_row,
             n_blocks=n_blocks,
             for_key=query.for_clause.canonical(),
+            kernels=kernels,
+            fused=self.config.fused_kernels,
         )
 
     def build_estimator(
@@ -529,6 +603,8 @@ class WhatIfEngine:
                 "n_disjuncts": len(prepared.disjuncts),
                 "feature_attributes": list(estimator.feature_attributes),
             },
+            kernels=prepared.kernels,
+            fused=prepared.fused,
         )
 
     # -- Indep baseline ---------------------------------------------------------------------
@@ -546,4 +622,6 @@ class WhatIfEngine:
             backdoor_set=(),
             variant=Variant.INDEP,
             metadata={"n_disjuncts": len(prepared.disjuncts)},
+            kernels=prepared.kernels,
+            fused=prepared.fused,
         )

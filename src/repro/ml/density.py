@@ -208,3 +208,31 @@ class ConditionalMeanRegressor:
             {a: columns[a] for a in self.feature_attributes}
         )
         return self._model.predict(design)
+
+    # -- fused-kernel path: pre-encoded per-attribute design blocks ------------------
+
+    @property
+    def feature_order(self) -> tuple[str, ...]:
+        """Attribute order of the fitted design matrix (empty before fitting)."""
+        return self._encoder.attribute_order if self._encoder is not None else ()
+
+    def attribute_block(self, attribute: str, values: Sequence[Any]) -> np.ndarray:
+        """Encode one attribute's values into its design block.
+
+        Lets callers cache the blocks of attributes whose values are constant
+        across the queries of a plan; :meth:`predict_blocks` consumes them.
+        """
+        if self._encoder is None:
+            raise EstimationError("the regressor has no fitted encoder")
+        return self._encoder.transform_attribute(attribute, values)
+
+    def predict_blocks(self, blocks: Sequence[np.ndarray], n_rows: int) -> np.ndarray:
+        """Predict from per-attribute blocks built by :meth:`attribute_block`.
+
+        The blocks must follow :attr:`feature_order`; stacking them is exactly
+        what :meth:`predict_columns` does internally, so predictions are
+        bitwise identical.
+        """
+        if self._encoder is None or self._model is None:
+            return np.full(n_rows, self._target_mean)
+        return self._model.predict(self._encoder.stack(blocks, n_rows))

@@ -145,6 +145,22 @@ class FeatureEncoder:
             return np.zeros((n, 0))
         return np.hstack(blocks)
 
+    def transform_attribute(self, attribute: str, values: Sequence[Any]) -> np.ndarray:
+        """One attribute's encoded design block (a column of the full matrix).
+
+        Building the matrix block-by-block lets callers cache the blocks of
+        attributes whose values do not change between queries (the backdoor
+        covariates of a prepared plan); :meth:`stack` reassembles them exactly
+        as :meth:`transform_columns` would have.
+        """
+        return self.encoders[attribute].transform(values)
+
+    def stack(self, blocks: Sequence[np.ndarray], n_rows: int) -> np.ndarray:
+        """Assemble per-attribute blocks (in ``attribute_order``) into a matrix."""
+        if not blocks:
+            return np.zeros((n_rows, 0))
+        return np.hstack(list(blocks))
+
     def transform_row(self, row: Mapping[str, Any]) -> np.ndarray:
         pieces = [
             self.encoders[attr].transform_value(row.get(attr))

@@ -49,11 +49,20 @@ __all__ = [
     "BACKENDS",
     "Column",
     "ColumnStore",
+    "KernelCache",
+    "column_from_buffers",
+    "column_to_buffers",
     "factorize_columns",
+    "fused_block_summary",
+    "fused_mask_aggregate",
+    "fused_masked_count",
+    "fused_masked_sum",
     "get_default_backend",
     "grouped_aggregate",
     "join_indices",
     "set_default_backend",
+    "store_from_buffers",
+    "store_to_buffers",
     "vectorized_mask",
 ]
 
@@ -604,3 +613,239 @@ def join_indices(
         right_idx = right_idx.copy()
         right_idx[np.repeat(pad, effective)] = -1
     return left_idx, right_idx
+
+
+# ---------------------------------------------------------------------------
+# Buffer-protocol serialization (zero-copy snapshot transport)
+# ---------------------------------------------------------------------------
+#
+# A column serializes to a compact header (plain dict of Python scalars) plus
+# a short list of contiguous C-order buffers:
+#
+# * numeric columns ship their ``float64`` data buffer as-is, and the null
+#   mask bit-packed (``np.packbits``) only when any null exists;
+# * object columns are dictionary-encoded — an ``int32`` codes buffer plus a
+#   small value table carried in the header (the table is tiny for the
+#   categorical attributes this engine works with).
+#
+# The layout is deliberately Arrow-compatible in spirit (validity bitmap +
+# values / dictionary indices) so a future Arrow-backed third backend can
+# adopt the same wire contract without changing the transport.  Buffers are
+# plain ndarrays; the shared-memory layer (:mod:`repro.shard.shm`) decides
+# where their bytes live.  Decoding numeric columns is zero-copy: the
+# returned arrays are read-only views over the supplied buffers.
+
+
+_CODES_DTYPE = np.dtype(np.int32)
+
+
+def _pack_null(null: np.ndarray) -> np.ndarray:
+    return np.packbits(null.astype(np.uint8, copy=False))
+
+
+def _unpack_null(packed: np.ndarray, length: int) -> np.ndarray:
+    return np.unpackbits(np.asarray(packed, dtype=np.uint8), count=length).astype(bool)
+
+
+def column_to_buffers(column: Column) -> tuple[dict, list[np.ndarray]]:
+    """Serialize one column to ``(header, buffers)``.
+
+    ``header`` contains only small Python values (safe to pickle cheaply);
+    ``buffers`` is a list of contiguous C-order ndarrays whose bytes carry
+    the column payload.  Exact round-trip: ``column_from_buffers`` restores
+    data, null mask, and numeric-ness bit-for-bit.
+    """
+    n = len(column)
+    if column.is_numeric:
+        header: dict[str, Any] = {"kind": "f8", "length": n, "has_nulls": bool(column.null.any())}
+        buffers = [np.ascontiguousarray(column.data, dtype=np.float64)]
+        if header["has_nulls"]:
+            buffers.append(_pack_null(column.null))
+        return header, buffers
+    # object column: dictionary-encode (codes buffer + small value table).
+    # The dictionary keys on (type, value) so 2 / 2.0 / True survive the
+    # round-trip with their exact types (str-encoding downstream depends on it).
+    seen: dict[Any, int] = {}
+    table: list[Any] = []
+    codes = np.empty(n, dtype=_CODES_DTYPE)
+    for i, v in enumerate(column.data):
+        key = (v.__class__, v)
+        code = seen.get(key)
+        if code is None:
+            code = len(seen)
+            seen[key] = code
+            table.append(v)
+        codes[i] = code
+    header = {
+        "kind": "obj",
+        "length": n,
+        "has_nulls": bool(column.null.any()),
+        "table": table,
+    }
+    buffers = [np.ascontiguousarray(codes, dtype=_CODES_DTYPE)]
+    if header["has_nulls"]:
+        buffers.append(_pack_null(column.null))
+    return header, buffers
+
+
+def column_from_buffers(header: Mapping[str, Any], buffers: Sequence[np.ndarray]) -> Column:
+    """Inverse of :func:`column_to_buffers`.
+
+    Numeric columns are *zero-copy*: ``data`` is a read-only float64 view of
+    ``buffers[0]`` — the caller keeps the backing memory (e.g. a shared-memory
+    segment) alive for the column's lifetime.  Object columns rebuild their
+    object array from the dictionary (necessarily a copy; Python objects
+    cannot live in a raw buffer).
+    """
+    n = int(header["length"])
+    if header["kind"] == "f8":
+        data = np.frombuffer(buffers[0], dtype=np.float64, count=n)
+        data.flags.writeable = False
+        null = _unpack_null(buffers[1], n) if header["has_nulls"] else np.zeros(n, dtype=bool)
+        return Column(data, null, True)
+    codes = np.frombuffer(buffers[0], dtype=_CODES_DTYPE, count=n)
+    table = np.empty(len(header["table"]), dtype=object)
+    for i, v in enumerate(header["table"]):
+        table[i] = v
+    data = table[codes] if n else np.empty(0, dtype=object)
+    null = _unpack_null(buffers[1], n) if header["has_nulls"] else np.zeros(n, dtype=bool)
+    return Column(data, null, False)
+
+
+def store_to_buffers(store: ColumnStore) -> tuple[dict, list[np.ndarray]]:
+    """Serialize a :class:`ColumnStore` to one header + flat buffer list."""
+    headers: list[dict] = []
+    buffers: list[np.ndarray] = []
+    for name, column in store.columns.items():
+        col_header, col_buffers = column_to_buffers(column)
+        col_header["name"] = name
+        col_header["n_buffers"] = len(col_buffers)
+        headers.append(col_header)
+        buffers.extend(col_buffers)
+    return {"length": store.length, "columns": headers}, buffers
+
+
+def store_from_buffers(header: Mapping[str, Any], buffers: Sequence[np.ndarray]) -> ColumnStore:
+    """Inverse of :func:`store_to_buffers` (numeric columns stay zero-copy)."""
+    columns: dict[str, Column] = {}
+    cursor = 0
+    for col_header in header["columns"]:
+        n_buffers = int(col_header["n_buffers"])
+        columns[col_header["name"]] = column_from_buffers(
+            col_header, buffers[cursor : cursor + n_buffers]
+        )
+        cursor += n_buffers
+    return ColumnStore(columns, int(header["length"]))
+
+
+# ---------------------------------------------------------------------------
+# Fused single-pass kernels + per-plan cache
+# ---------------------------------------------------------------------------
+#
+# The unfused pipeline materializes every stage: evaluate predicate -> index
+# the rows -> gather values -> aggregate.  The fused kernels below collapse
+# predicate application and (grouped) aggregation into a single bincount
+# traversal with where-masked weights, never materializing the filtered
+# intermediates.  They are value-exact vs. the unfused reference: bincount
+# accumulates per bin in row order, and interleaving masked-out ``+0.0``
+# terms leaves every IEEE-754 sum unchanged — the parity property tests in
+# ``tests/relational`` assert this on both backends.
+
+
+def fused_masked_count(mask: np.ndarray) -> float:
+    """``float(mask.sum())`` — the fused count of rows passing a predicate."""
+    return float(np.count_nonzero(mask))
+
+
+def fused_masked_sum(values: np.ndarray, mask: np.ndarray) -> float:
+    """Sum of ``values`` where ``mask``, without materializing ``values[mask]``.
+
+    Masked-out rows contribute ``+0.0`` in place (no gather), so the pairwise
+    reduction tree — and therefore the IEEE-754 result — is identical to
+    summing the zeroed full-length array, which is what the unfused reference
+    computes.  (``np.sum(values, where=mask)`` is *not* used: skipping
+    elements re-shapes the reduction tree and can drift in the last ulp.)
+    """
+    return float(np.where(mask, values, 0.0).sum())
+
+
+def fused_mask_aggregate(
+    group_ids: np.ndarray,
+    n_groups: int,
+    *,
+    mask: np.ndarray | None = None,
+    values: np.ndarray | None = None,
+    how: str = "count",
+) -> np.ndarray:
+    """Masked per-group aggregate in one traversal.
+
+    Equivalent to ``grouped_aggregate(column.filter(mask), group_ids[mask],
+    ...)`` but with the predicate folded into the bincount weights, so no
+    filtered copy of the data is ever built.  ``how`` is ``count`` | ``sum``
+    | ``avg``; ``mask=None`` aggregates every row.
+    """
+    if how == "count":
+        if mask is None:
+            return np.bincount(group_ids, minlength=n_groups).astype(float)
+        return np.bincount(
+            group_ids, weights=mask.astype(float, copy=False), minlength=n_groups
+        )
+    if values is None:
+        raise ExpressionError(f"fused aggregate {how!r} needs values")
+    weights = values if mask is None else np.where(mask, values, 0.0)
+    sums = np.bincount(group_ids, weights=weights, minlength=n_groups)
+    if how == "sum":
+        return sums
+    if how in ("avg", "average", "mean"):
+        counts = fused_mask_aggregate(group_ids, n_groups, mask=mask, how="count")
+        return np.divide(sums, counts, out=np.zeros(n_groups), where=counts > 0)
+    raise ExpressionError(f"unsupported fused aggregate {how!r}; supported: sum, count, avg")
+
+
+def fused_block_summary(
+    contribution: np.ndarray,
+    block_of_row: np.ndarray,
+    n_blocks: int,
+    *,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-block contribution totals in one pass (predicate folded in)."""
+    return fused_mask_aggregate(
+        block_of_row, n_blocks, mask=mask, values=contribution, how="sum"
+    )
+
+
+class KernelCache:
+    """Per-plan cache of masks, group codes, and derived arrays.
+
+    One instance lives alongside each prepared plan (worker runtime and
+    thread-mode engine alike).  Keys are caller-chosen small tuples; values
+    are immutable ndarrays.  Returning the *same object* on every hit also
+    lets pickle's memo deduplicate repeated carriers inside one batch
+    message, which is what keeps shard result payloads small.
+    """
+
+    __slots__ = ("_entries", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._entries: dict[Any, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Any, build: Any) -> Any:
+        entry = self._entries.get(key, _MISSING)
+        if entry is not _MISSING:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        entry = build()
+        if isinstance(entry, np.ndarray):
+            entry.flags.writeable = False
+        self._entries[key] = entry
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_MISSING = object()

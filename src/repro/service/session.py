@@ -58,6 +58,7 @@ Typical use::
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from contextlib import contextmanager
@@ -238,7 +239,8 @@ class HypeRService:
         self.config = config if config is not None else EngineConfig()
         self.execution = execution
         self._versions = VersionStore(
-            _EngineState.build(0, database, causal_dag, self.config)
+            _EngineState.build(0, database, causal_dag, self.config),
+            on_retire=self._on_retire_snapshot,
         )
         self.caches = QueryCaches(
             estimator_size=estimator_cache_size,
@@ -260,6 +262,7 @@ class HypeRService:
         self._pool_lock = threading.Lock()
         self._pool: "ShardPool | None" = None
         self._pool_generation: int | None = None
+        self._shard_gate_warned = False
         self._started_at = time.time()
         # Declared instruments (repro.obs.metrics) replace the old hand-rolled
         # counter fields.  Each service gets its own registry by default so
@@ -300,6 +303,10 @@ class HypeRService:
         self._m_slow = m.counter(
             "hyper_slow_queries_total",
             "Query completions at or above the slow-query threshold",
+        )
+        self._m_shard_gated = m.counter(
+            "hyper_shard_gated_total",
+            "Pool starts forced to a single worker by the rows backend",
         )
         #: bounded per-plan-fingerprint slow-query log, served by GET /v1/slow
         self.slow_log = SlowQueryLog(slow_log_size, slow_query_seconds)
@@ -369,13 +376,33 @@ class HypeRService:
                 lambda key=stat_key: self._collect_pool_stat(key),
                 kind=kind,
             )
+        m.register_callback(
+            "hyper_shm_bytes",
+            "Live shared-memory snapshot bytes owned by the shard pool",
+            self._collect_shm_bytes,
+        )
+        m.register_callback(
+            "hyper_broadcast_bytes_total",
+            "Bytes crossing the shard-worker queues (both directions)",
+            lambda: self._collect_pool_stat("bytes_to_workers", "bytes_from_workers"),
+            kind="counter",
+        )
 
-    def _collect_pool_stat(self, key: str) -> float | None:
+    def _collect_pool_stat(self, *keys: str) -> float | None:
         with self._pool_lock:
             pool = self._pool
         if pool is None:
             return None
-        return float(pool.stats()[key])
+        stats = pool.stats()
+        return float(sum(stats[key] for key in keys))
+
+    def _collect_shm_bytes(self) -> float | None:
+        with self._pool_lock:
+            pool = self._pool
+        if pool is None:
+            return None
+        shm = pool.stats()["shm"]
+        return float(shm["live_bytes"]) if shm is not None else 0.0
 
     @contextmanager
     def _track(self, endpoint: str, units: int = 1):
@@ -427,6 +454,23 @@ class HypeRService:
                 for endpoint, child in self._m_latency.per_label().items()
             },
         }
+
+    def _on_retire_snapshot(self, snapshot) -> None:
+        """MVCC retire hook: free the retired generation's shm segments.
+
+        Runs under the version store's lock, so it must stay re-entrancy-free:
+        the pool reference is read directly (never via ``_pool_lock``, which
+        ``close()`` holds while commits may retire concurrently) and
+        :meth:`~repro.shard.pool.ShardPool.release_snapshot` only touches the
+        segment manager's leaf lock.  Missing the pool here (a benign race
+        with teardown) just defers the unlink to the pool's ``close_all``.
+        """
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            try:
+                pool.release_snapshot(snapshot.generation)
+            except Exception:  # noqa: BLE001 - never fail a retire over cleanup
+                pass
 
     def _retire_estimator(self, key: Hashable, estimator: PostUpdateEstimator) -> None:
         counters = estimator.regressor_cache_stats
@@ -528,13 +572,25 @@ class HypeRService:
             tags=state.database.relation_names,
         )
 
-    def prepare(self, query: str | Query) -> PreparedPlan:
+    def prepare(
+        self, query: str | Query | Sequence[str | Query]
+    ) -> PreparedPlan | list[PreparedPlan]:
         """Warm the caches for ``query``'s plan and return the shared state.
 
         Building the plan once up front (the batch executor does this per
         fingerprint group) means subsequent :meth:`execute` calls for any
         parameter variant of the plan only pay for prediction.
+
+        A list (or tuple) of queries warms every plan in order against one
+        pinned snapshot and returns the plans as a list — ``repro serve``
+        uses this to warm each ``--warm-query`` before binding the server.
         """
+        if isinstance(query, (list, tuple)):
+            plans: list[PreparedPlan] = []
+            with self._pin_snapshot():
+                for entry in query:
+                    plans.append(self.prepare(entry))
+            return plans
         parsed = self._as_query(query)
         with self._pin_snapshot() as state:
             fingerprint = self._fingerprint(state, parsed)
@@ -873,12 +929,40 @@ class HypeRService:
             plan = partition_database(
                 state.database,
                 state.causal_dag,
-                self.n_shards,
+                self._effective_shards(state),
                 blocks=self._blocks(state),
             )
-            self._pool = ShardPool(plan, state.causal_dag, self.config).start()
+            self._pool = ShardPool(
+                plan, state.causal_dag, self.config, generation=state.generation
+            ).start()
             self._pool_generation = state.generation
             return self._pool
+
+    def _effective_shards(self, state: _EngineState) -> int:
+        """Worker count for ``state`` — gated to 1 on the rows backend.
+
+        Process sharding's zero-copy snapshot transport serializes relations
+        through their columnar stores; the rows backend would pay a full
+        row→column conversion per generation per worker and void the
+        transport's savings, so multi-worker plans are downgraded to a single
+        worker (logged once, counted in ``hyper_shard_gated_total``).
+        """
+        if self.n_shards <= 1:
+            return self.n_shards
+        backends = {relation.backend for relation in state.database}
+        if "rows" not in backends:
+            return self.n_shards
+        self._m_shard_gated.inc()
+        if not self._shard_gate_warned:
+            self._shard_gate_warned = True
+            logging.getLogger(__name__).warning(
+                "process sharding across %d workers requires the columnar "
+                "backend; the database uses the rows backend, so the pool is "
+                "gated to a single worker (set EngineConfig(backend="
+                "'columnar') to shard)",
+                self.n_shards,
+            )
+        return 1
 
     def _refresh_pool(self, state: _EngineState, changed: frozenset[str]) -> None:
         """Move the running shard pool to ``state``'s generation in place.
@@ -902,10 +986,10 @@ class HypeRService:
                 plan = partition_database(
                     state.database,
                     state.causal_dag,
-                    self.n_shards,
+                    self._effective_shards(state),
                     blocks=self._blocks(state),
                 )
-                pool.apply_update(plan, changed)
+                pool.apply_update(plan, changed, generation=state.generation)
                 self._pool_generation = state.generation
             except Exception:
                 pool.close()

@@ -73,8 +73,9 @@ class VersionStore:
       begin are automatically monotonic.
 
     ``on_retire`` (if given) is called with each snapshot right after its
-    state is released — the service uses it for instrumentation only; it runs
-    under the store lock and must not call back into the store.
+    state is released — the service uses it to free the retired generation's
+    shared-memory segments (and for instrumentation); it runs under the store
+    lock and must not call back into the store.
     """
 
     def __init__(

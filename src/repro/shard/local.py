@@ -36,6 +36,7 @@ from ..core.whatif import (
     regressor_cache_key,
 )
 from ..relational.aggregates import get_aggregate
+from ..relational.columnar import KernelCache
 from ..relational.predicates import Conjunction, evaluate_mask
 from ..relational.relation import Relation
 
@@ -91,8 +92,44 @@ def _predict_local(
     post_values: dict[str, Sequence[Any]],
     idx: np.ndarray,
     n_local: int,
+    *,
+    kernels: KernelCache | None = None,
+    idx_token: Any = None,
 ) -> np.ndarray:
-    """Row-stable prediction at the local rows ``idx`` (full-length-local array)."""
+    """Row-stable prediction at the local rows ``idx`` (full-length-local array).
+
+    With ``kernels`` the backdoor covariates' encoded design blocks — constant
+    for a given row set, whatever the query's update constants — are built
+    once per ``(attribute, idx_token)`` and reused by every parameter variant
+    of the plan; only the update attributes are re-encoded per query.  Block
+    stacking reproduces ``predict_columns`` exactly (same order, same hstack),
+    so the fused path is bitwise identical.
+    """
+    update_attrs = set(estimator.update_attributes)
+    if kernels is not None and idx_token is not None and regressor.feature_order:
+
+        def _backdoor_block(attribute: str) -> np.ndarray:
+            return regressor.attribute_block(
+                attribute, local_view.column_view(attribute)[idx]
+            )
+
+        blocks = []
+        for attribute in regressor.feature_order:
+            if attribute in update_attrs:
+                post_column = post_values[attribute]
+                if not isinstance(post_column, np.ndarray):
+                    post_column = np.asarray(post_column, dtype=object)
+                blocks.append(regressor.attribute_block(attribute, post_column[idx]))
+            else:
+                blocks.append(
+                    kernels.get(
+                        ("backdoor_block", attribute, idx_token),
+                        lambda a=attribute: _backdoor_block(a),
+                    )
+                )
+        out = np.zeros(n_local)
+        out[idx] = regressor.predict_blocks(blocks, len(idx))
+        return out
     columns: dict[str, Any] = {}
     for attribute in estimator.update_attributes:
         post_column = post_values[attribute]
@@ -112,6 +149,8 @@ def local_what_if_contributions(
     local_view: Relation,
     disjuncts: Sequence[Conjunction],
     estimator: PostUpdateEstimator,
+    *,
+    kernels: KernelCache | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Per-owned-row (count, sum) contributions of the causal variants.
 
@@ -119,11 +158,22 @@ def local_what_if_contributions(
     operation, with every per-query vectorized step evaluated on
     ``local_view`` only; the returned arrays align with the local view's rows
     and are bitwise equal to the same rows of an unsharded evaluation.
+
+    ``kernels`` (per plan, owned by the worker runtime) memoises every
+    deterministic piece that parameter variants of one plan share: scope /
+    pre / post masks, the output column, applicable-row index sets, and the
+    encoded backdoor design blocks.  Only update-dependent values (post
+    columns, predictions) are computed per query.
     """
     aggregate = get_aggregate(query.output_aggregate)
     n_local = len(local_view)
     for_key = query.for_clause.canonical()
-    scope = evaluate_mask(query.when, local_view)
+    when_key = query.when.canonical()
+
+    def _derived(key: Any, build: Any) -> np.ndarray:
+        return build() if kernels is None else kernels.get(key, build)
+
+    scope = _derived(("scope_mask", when_key), lambda: evaluate_mask(query.when, local_view))
     update = query.hypothetical_update
     post_values: dict[str, Sequence[Any]] = {
         attribute: update.updated_values(
@@ -131,38 +181,60 @@ def local_what_if_contributions(
         )
         for attribute in query.update_attributes
     }
-    output_values = numeric_output_column(local_view, query.output_attribute)
-    pre_masks = [evaluate_mask(d.pre, local_view) for d in disjuncts]
-    post_masks = [evaluate_mask(d.post, local_view) for d in disjuncts]
+    output_values = _derived(
+        ("output_values", query.output_attribute),
+        lambda: numeric_output_column(local_view, query.output_attribute),
+    )
+    pre_masks = [
+        _derived(("pre_mask", i, for_key), lambda d=d: evaluate_mask(d.pre, local_view))
+        for i, d in enumerate(disjuncts)
+    ]
+    post_masks = [
+        _derived(("post_mask", i, for_key), lambda d=d: evaluate_mask(d.post, local_view))
+        for i, d in enumerate(disjuncts)
+    ]
 
-    count_contrib = np.zeros(n_local)
-    sum_contrib = np.zeros(n_local)
+    def _build_qualifies_pre() -> np.ndarray:
+        out = np.zeros(n_local, dtype=bool)
+        for pre_mask, post_mask in zip(pre_masks, post_masks):
+            out |= pre_mask & post_mask
+        return out
+
+    qualifies_pre = _derived(("qualifies_pre", for_key), _build_qualifies_pre)
 
     unaffected = ~scope
-    qualifies_pre = np.zeros(n_local, dtype=bool)
-    for pre_mask, post_mask in zip(pre_masks, post_masks):
-        qualifies_pre |= pre_mask & post_mask
-    count_contrib[unaffected] = qualifies_pre[unaffected].astype(float)
-    sum_contrib[unaffected] = np.where(
-        qualifies_pre[unaffected], output_values[unaffected], 0.0
-    )
+    count_contrib = np.where(unaffected, qualifies_pre.astype(float), 0.0)
+    sum_contrib = np.where(unaffected & qualifies_pre, output_values, 0.0)
 
     if scope.any():
         targets = FullViewTargets(query, full_view, disjuncts)
         for subset in _subset_index_list(len(disjuncts)):
             sign = 1.0 if len(subset) % 2 == 1 else -1.0
-            applicable = scope.copy()
-            for k in subset:
-                applicable &= pre_masks[k]
+
+            def _applicable() -> np.ndarray:
+                out = scope.copy()
+                for k in subset:
+                    out &= pre_masks[k]
+                return out
+
+            applicable = _derived(("applicable", when_key, for_key, subset), _applicable)
             if not applicable.any():
                 continue
-            idx = np.flatnonzero(applicable)
+            idx_token = ("idx", when_key, for_key, subset)
+            idx = _derived(idx_token, lambda: np.flatnonzero(applicable))
             regressor = estimator.regressor_for(
                 regressor_cache_key("count", subset, for_key),
                 lambda s=subset: targets.count_target(s),
             )
             prob = _predict_local(
-                estimator, regressor, local_view, post_values, idx, n_local
+                estimator,
+                regressor,
+                local_view,
+                post_values,
+                idx,
+                n_local,
+                kernels=kernels,
+                idx_token=idx_token,
             )
             prob = np.clip(prob, 0.0, 1.0)
             count_contrib[applicable] += sign * prob[applicable]
@@ -174,7 +246,14 @@ def local_what_if_contributions(
                     lambda s=subset: targets.sum_target(s),
                 )
                 expected_value = _predict_local(
-                    estimator, regressor, local_view, post_values, idx, n_local
+                    estimator,
+                    regressor,
+                    local_view,
+                    post_values,
+                    idx,
+                    n_local,
+                    kernels=kernels,
+                    idx_token=idx_token,
                 )
                 sum_contrib[applicable] += sign * expected_value[applicable]
         count_contrib = np.clip(count_contrib, 0.0, 1.0)

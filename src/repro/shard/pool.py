@@ -28,6 +28,7 @@ way.
 
 from __future__ import annotations
 
+import pickle
 import queue as queue_module
 import threading
 import time
@@ -48,6 +49,13 @@ from ..core.whatif import WhatIfEngine
 from ..exceptions import HypeRError
 from ..obs import trace as obs_trace
 from ..relational.aggregates import get_aggregate
+from ..relational.columnar import (
+    Column,
+    ColumnStore,
+    KernelCache,
+    store_from_buffers,
+    store_to_buffers,
+)
 from ..relational.database import Database
 from ..relational.predicates import evaluate_mask
 from ..relational.relation import Relation
@@ -60,6 +68,15 @@ from .merge import (
     solve_merged_how_to,
 )
 from .partition import Shard, ShardPlan
+from .shm import (
+    SegmentAttachment,
+    SegmentManager,
+    decode_database,
+    encode_database,
+    resolve_buffers,
+    ship_buffers,
+    shm_available,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.results import HowToResult, WhatIfResult
@@ -83,11 +100,17 @@ class ShardWorkerRuntime:
     """
 
     def __init__(
-        self, shard: Shard, causal_dag: CausalDAG | None, config: EngineConfig
+        self,
+        shard: Shard,
+        causal_dag: CausalDAG | None,
+        config: EngineConfig,
+        *,
+        attachment: SegmentAttachment | None = None,
     ) -> None:
         self.shard = shard
         self.config = config
         self.causal_dag = causal_dag
+        self.attachment = attachment
         self.whatif = WhatIfEngine(shard.database, causal_dag, config)
         # Share the (possibly backend-converted) database between both engines.
         self.howto = HowToEngine(self.whatif.database, causal_dag, config)
@@ -101,6 +124,10 @@ class ShardWorkerRuntime:
         self._block_assignments = LRUCache(16, "worker-blocks")
         self._estimators = LRUCache(64, "worker-estimators")
         self._candidates = LRUCache(64, "worker-candidates")
+        # Per-plan fused-kernel caches (repro.relational.columnar.KernelCache):
+        # every deterministic intermediate that parameter variants of one plan
+        # share — masks, output columns, index sets, encoded design blocks.
+        self._kernels = LRUCache(16, "worker-kernels")
         self.n_tasks = 0
         self.n_estimator_builds = 0
 
@@ -238,7 +265,11 @@ class ShardWorkerRuntime:
         a commit can re-shape ownership masks even over unchanged relations.
         """
         old_database = self.whatif.database
-        changed_relations: dict[str, Relation] = payload["changed"]
+        changed_relations: dict[str, Relation] = dict(payload["changed"])
+        for delta in payload.get("deltas", ()):
+            changed_relations[delta["name"]] = self._apply_relation_delta(
+                old_database[delta["name"]], delta
+            )
         removed: set[str] = set(payload["removed"])
         relations = [
             changed_relations[name] if name in changed_relations else old_database[name]
@@ -277,7 +308,36 @@ class ShardWorkerRuntime:
         evicted += self._candidates.evict_tagged(dirty)
         self._local_views.clear()
         self._block_assignments.clear()
+        # Kernel caches hold row-geometry-dependent arrays (masks, index sets)
+        # even for plans over untouched relations; drop them wholesale like
+        # the local views.
+        self._kernels.clear()
         return {"shard": self.shard.index, "evicted": evicted}
+
+    def _apply_relation_delta(self, old: Relation, delta: dict[str, Any]) -> Relation:
+        """Rebuild a relation from its previous generation plus a block patch.
+
+        ``delta`` carries the new values of the changed rows only (every
+        column, rows in ascending index order) plus the indices to splice them
+        at; the result is value-identical to the full relation the parent
+        diffed, so merged answers cannot drift from the unsharded path.
+        """
+        indices = delta["indices"]
+        patch = store_from_buffers(
+            delta["header"], resolve_buffers(delta["descriptor"], self.attachment)
+        )
+        old_store = old.columnar_store()
+        columns: dict[str, Column] = {}
+        for name, column in old_store.columns.items():
+            patch_column = patch.columns[name]
+            data = np.array(column.data, copy=True)
+            null = np.array(column.null, copy=True)
+            data[indices] = patch_column.data
+            null[indices] = patch_column.null
+            columns[name] = Column(data, null, column.is_numeric)
+        return Relation.from_colstore(
+            old.schema, ColumnStore(columns, old_store.length), old.backend
+        )
 
     def what_if_partial(self, query: WhatIfQuery) -> WhatIfShardPartial:
         """Contributions of this shard's rows, via the shard-local kernels.
@@ -287,6 +347,7 @@ class ShardWorkerRuntime:
         touched solely by lazy regressor-fit targets (once per plan) and by
         shard 0's merge carriers (:mod:`repro.shard.local`).
         """
+        from ..service.fingerprint import use_key
         from .local import local_indep_contributions, local_what_if_contributions
 
         fingerprint = self._fingerprint(query)
@@ -296,6 +357,11 @@ class ShardWorkerRuntime:
         self.whatif._check_update_independence(query, view_dag)
         disjuncts = self.whatif._normalise_for_clause(query.for_clause)
         local_view = self._local_view(query, view)
+        kernels: KernelCache | None = None
+        if self.config.fused_kernels:
+            kernels = self._kernels.get_or_create(
+                use_key(query.use), KernelCache, tags=use_relations(query.use)
+            )
         if self.config.ignores_dependencies:
             count, sum_ = local_indep_contributions(query, local_view)
             meta: dict[str, Any] = {
@@ -310,7 +376,7 @@ class ShardWorkerRuntime:
                 tags=use_relations(query.use),
             )
             count, sum_ = local_what_if_contributions(
-                query, view, local_view, disjuncts, estimator
+                query, view, local_view, disjuncts, estimator, kernels=kernels
             )
             meta = {
                 "variant": self.config.variant,
@@ -320,18 +386,29 @@ class ShardWorkerRuntime:
                 "feature_attributes": list(estimator.feature_attributes),
             }
         needs_sum = get_aggregate(query.output_aggregate).needs_output_value
+
+        def _derived(key: Any, build: Callable[[], Any]) -> Any:
+            # Cache hits return the *same* array object for every query of a
+            # plan, so pickle's memo table ships one copy per batch message.
+            return build() if kernels is None else kernels.get(key, build)
+
         partial = WhatIfShardPartial(
             shard_index=self.shard.index,
             n_shards=self.shard.n_shards,
             n_rows=len(view),
-            row_indices=np.flatnonzero(self._row_mask(query, view)),
+            row_indices=_derived(
+                ("row_indices",), lambda: np.flatnonzero(self._row_mask(query, view))
+            ),
             count=count,
             sum=sum_ if needs_sum else None,
             meta=meta,
         )
         if self.shard.index == 0:
             # Merge carriers: full-view context the finalizer needs exactly once.
-            partial.scope_mask = evaluate_mask(query.when, view)
+            partial.scope_mask = _derived(
+                ("full_scope_mask", query.when.canonical()),
+                lambda: evaluate_mask(query.when, view),
+            )
             partial.block_of_row, partial.n_blocks = self._block_assignment(query, view)
         return partial
 
@@ -405,12 +482,87 @@ class ShardWorkerRuntime:
         return own, count[own], sum_[own]
 
     def run_full(self, query: WhatIfQuery | HowToQuery, exhaustive: bool) -> Any:
-        """Run a query unsharded inside this worker (exhaustive how-to et al.)."""
+        """Run a query unsharded inside this worker (exhaustive how-to et al.).
+
+        The what-if branch runs through this worker's plan caches (view,
+        estimator, fused kernels), so parameter variants of one plan pay pure
+        prediction — it is the per-query engine of the pool's query-scatter
+        batch mode, and its answers are the unsharded engine's answers by
+        construction.
+        """
         if isinstance(query, HowToQuery):
             if exhaustive:
                 return self.howto.evaluate_exhaustive(query)
             return self.howto.evaluate(query)
-        return self.whatif.evaluate(query)
+        from ..service.fingerprint import use_key
+
+        fingerprint = self._fingerprint(query)
+        view, view_dag = self._view(query)
+        kernels: KernelCache | None = None
+        if self.config.fused_kernels:
+            # Distinct cache from what_if_partial's: that one holds arrays
+            # sized to the shard-local view, this one full-view arrays.
+            kernels = self._kernels.get_or_create(
+                ("full", use_key(query.use)),
+                KernelCache,
+                tags=use_relations(query.use),
+            )
+        prepared = self.whatif.prepare(
+            query,
+            view=view,
+            view_dag=view_dag,
+            blocks=(self.shard.block_labels, self.shard.n_blocks),
+            kernels=kernels,
+        )
+        estimator = None
+        if not self.config.ignores_dependencies:
+            estimator = self._estimator(
+                fingerprint.estimator_key,
+                lambda: self.whatif.build_estimator(query, view=view, view_dag=view_dag),
+                tags=use_relations(query.use),
+            )
+        return self.whatif.evaluate(query, prepared=prepared, estimator=estimator)
+
+
+def _relation_delta(
+    old: Relation, new: Relation, labels: np.ndarray | None
+) -> tuple[np.ndarray, Relation] | None:
+    """Diff two generations of a relation into a block-granular patch.
+
+    Returns ``(indices, patch)`` — ascending row indices whose values differ
+    (expanded to whole blocks when a block assignment is known, so co-located
+    rows travel together) and the new relation restricted to those rows — or
+    ``None`` when a patch cannot represent the change (schema or length
+    changed, column types flipped) or would not be smaller (most rows
+    modified).
+    """
+    if old.schema != new.schema or len(old) != len(new) or len(old) == 0:
+        return None
+    try:
+        old_store, new_store = old.columnar_store(), new.columnar_store()
+        changed = np.zeros(len(old), dtype=bool)
+        for name, old_column in old_store.columns.items():
+            new_column = new_store.columns[name]
+            if old_column.is_numeric != new_column.is_numeric:
+                return None
+            if old_column.is_numeric:
+                both_nan = np.isnan(old_column.data) & np.isnan(new_column.data)
+                diff = ((old_column.data != new_column.data) & ~both_nan) | (
+                    old_column.null != new_column.null
+                )
+            else:
+                diff = np.asarray(
+                    old_column.data != new_column.data, dtype=bool
+                ) | (old_column.null != new_column.null)
+            changed |= diff
+    except Exception:  # noqa: BLE001 - exotic values; ship the whole relation
+        return None
+    if labels is not None and changed.any():
+        changed = np.isin(labels, np.unique(labels[changed]))
+    if 2 * int(changed.sum()) >= len(old):
+        return None
+    indices = np.flatnonzero(changed)
+    return indices, new.take(indices)
 
 
 def _describe_error(error: BaseException) -> tuple[str, str, str]:
@@ -424,18 +576,58 @@ def _raise_worker_error(shard_index: int, described: tuple[str, str, str]) -> No
     )
 
 
-def _shard_worker_main(shard, causal_dag, config, task_queue, result_queue) -> None:
-    """Worker process entry point: build the runtime once, then serve tasks."""
-    runtime = ShardWorkerRuntime(shard, causal_dag, config)
+def _build_shard(spec: Any, attachment: SegmentAttachment) -> Shard:
+    """Materialise a worker's shard from its start-up spec.
+
+    A plain :class:`Shard` passes through (the no-shm path); a spec dict
+    carries the database as a shared-memory descriptor instead — the worker
+    attaches the parent's segment and decodes relations whose numeric columns
+    are zero-copy views over the shared pages.
+    """
+    if isinstance(spec, Shard):
+        return spec
+    transport = spec["database"]
+    database = decode_database(
+        transport["manifest"], resolve_buffers(transport["descriptor"], attachment)
+    )
+    return Shard(
+        index=spec["index"],
+        n_shards=spec["n_shards"],
+        database=database,
+        row_masks=spec["row_masks"],
+        block_labels=spec["block_labels"],
+        n_blocks=spec["n_blocks"],
+        shard_of_block=spec["shard_of_block"],
+    )
+
+
+def _shard_worker_main(spec, causal_dag, config, task_queue, result_queue) -> None:
+    """Worker process entry point: build the runtime once, then serve tasks.
+
+    Tasks and results cross the queues as pre-pickled ``bytes`` blobs
+    (protocol :data:`pickle.HIGHEST_PROTOCOL`): the parent gets exact wire
+    byte counts for instrumentation, and one pickling pass with a shared memo
+    table per message deduplicates arrays referenced by several sub-payloads.
+    """
+    attachment = SegmentAttachment()
+    shard = _build_shard(spec, attachment)
+    runtime = ShardWorkerRuntime(shard, causal_dag, config, attachment=attachment)
     while True:
         task = task_queue.get()
         if task is None:
             break
+        if isinstance(task, (bytes, bytearray)):
+            task = pickle.loads(task)
         task_id, kind, payload = task
         try:
-            result_queue.put((task_id, shard.index, True, runtime.handle(kind, payload)))
+            out = (task_id, shard.index, True, runtime.handle(kind, payload))
         except BaseException as error:  # noqa: BLE001 - worker must survive any task
-            result_queue.put((task_id, shard.index, False, _describe_error(error)))
+            out = (task_id, shard.index, False, _describe_error(error))
+        result_queue.put(pickle.dumps(out, protocol=pickle.HIGHEST_PROTOCOL))
+    # Unmap (or disarm, while decoded columns still hold views) before the
+    # interpreter's shutdown GC reaches the segments — never unlink: the
+    # parent's SegmentManager owns the names.
+    attachment.close()
 
 
 class ShardPool:
@@ -464,22 +656,28 @@ class ShardPool:
         *,
         inline: bool | None = None,
         start_method: str | None = None,
+        generation: int = 0,
     ) -> None:
         self.plan = plan
         self.causal_dag = causal_dag
         self.config = config
+        self.generation = generation
         self._force_inline = bool(inline)
         self._start_method = start_method
         self._io_lock = threading.Lock()
         self._task_counter = 0
         self.n_broadcasts = 0
         self.n_updates = 0
+        self.bytes_to_workers = 0
+        self.bytes_from_workers = 0
+        self.update_bytes_last = 0
         self.mode: str = "unstarted"
         self.fallback_reason: str | None = None
         self._processes: list = []
         self._task_queues: list = []
         self._result_queue = None
         self._inline_workers: list[ShardWorkerRuntime] | None = None
+        self._shm_manager: SegmentManager | None = None
         self._closed = False
 
     @property
@@ -498,8 +696,15 @@ class ShardPool:
         try:
             self._start_processes()
             self.mode = "processes"
+            # Handshake: block until every worker has decoded its snapshot
+            # (and mapped the shm segments).  After this returns, unlinking a
+            # segment early is safe — the workers' mappings persist — and a
+            # broken transport degrades to inline here instead of failing on
+            # the first real query.
+            self._broadcast("ping", None)
         except Exception as error:  # noqa: BLE001 - degrade, never fail to start
             self._teardown_processes()
+            self._release_segments()
             self._start_inline(f"{type(error).__name__}: {error}")
         return self
 
@@ -523,12 +728,35 @@ class ShardPool:
             else:
                 method = None
         ctx = mp.get_context(method)
+        specs: list[Any] = list(self.plan)
+        if shm_available():
+            # Encode the full database ONCE into one shared-memory segment;
+            # every worker rebuilds its shard from the same mapping (the
+            # snapshot is the full database plus per-shard ownership masks),
+            # so start-up ships descriptor-sized messages and the host holds
+            # one copy of the column data regardless of worker count.
+            self._shm_manager = SegmentManager()
+            manifest, buffers = encode_database(self.plan[0].database)
+            descriptor = self._shm_manager.put(self.generation, buffers)
+            transport = {"manifest": manifest, "descriptor": descriptor}
+            specs = [
+                {
+                    "index": shard.index,
+                    "n_shards": shard.n_shards,
+                    "row_masks": shard.row_masks,
+                    "block_labels": shard.block_labels,
+                    "n_blocks": shard.n_blocks,
+                    "shard_of_block": shard.shard_of_block,
+                    "database": transport,
+                }
+                for shard in self.plan
+            ]
         self._result_queue = ctx.Queue()
-        for shard in self.plan:
+        for shard, spec in zip(self.plan, specs):
             task_queue = ctx.Queue()
             process = ctx.Process(
                 target=_shard_worker_main,
-                args=(shard, self.causal_dag, self.config, task_queue, self._result_queue),
+                args=(spec, self.causal_dag, self.config, task_queue, self._result_queue),
                 daemon=True,
                 name=f"repro-shard-{shard.index}",
             )
@@ -558,8 +786,28 @@ class ShardPool:
                 return
             self._closed = True
             self._teardown_processes()
+            self._release_segments()
             self._inline_workers = None
             self.mode = "closed"
+
+    def _release_segments(self) -> None:
+        if self._shm_manager is not None:
+            self._shm_manager.close_all()
+            self._shm_manager = None
+
+    def release_snapshot(self, generation: int) -> int:
+        """Unlink the shm segments of a retired database generation.
+
+        Called from the service's MVCC retire hook once no reader can reach
+        ``generation`` any more.  Safe there: it only touches the segment
+        manager's own leaf-level lock (never the broadcast lock), workers keep
+        their existing mappings (unlink removes the name, not the memory), and
+        unknown generations — or a pool without shared memory — are a no-op.
+        Returns the number of segments unlinked.
+        """
+        if self._shm_manager is None:
+            return 0
+        return self._shm_manager.release(generation)
 
     def _teardown_processes(self) -> None:
         for task_queue in self._task_queues:
@@ -644,25 +892,41 @@ class ShardPool:
                 return outs
             self._task_counter += 1
             task_id = self._task_counter
-            for task_queue, payload in zip(self._task_queues, payloads):
-                task_queue.put((task_id, kind, payload))
-            by_shard: dict[int, Any] = {}
-            failures: list[tuple[int, tuple[str, str, str]]] = []
-            while len(by_shard) < self.n_shards:
-                try:
-                    received_id, shard_index, ok, out = self._result_queue.get(
-                        timeout=_POLL_SECONDS
+            with obs_trace.span(
+                "shard.scatter", kind=kind, shards=self.n_shards
+            ) as sspan:
+                bytes_out = 0
+                for task_queue, payload in zip(self._task_queues, payloads):
+                    blob = pickle.dumps(
+                        (task_id, kind, payload), protocol=pickle.HIGHEST_PROTOCOL
                     )
-                except queue_module.Empty:
-                    self._check_workers_alive()
-                    continue
-                if received_id != task_id:
-                    continue  # stale result from an abandoned broadcast
-                if ok:
-                    by_shard[shard_index] = out
-                else:
-                    failures.append((shard_index, out))
-                    by_shard[shard_index] = None
+                    bytes_out += len(blob)
+                    task_queue.put(blob)
+                self.bytes_to_workers += bytes_out
+                by_shard: dict[int, Any] = {}
+                failures: list[tuple[int, tuple[str, str, str]]] = []
+                bytes_in = 0
+                while len(by_shard) < self.n_shards:
+                    try:
+                        raw = self._result_queue.get(timeout=_POLL_SECONDS)
+                    except queue_module.Empty:
+                        self._check_workers_alive()
+                        continue
+                    if isinstance(raw, (bytes, bytearray)):
+                        bytes_in += len(raw)
+                        raw = pickle.loads(raw)
+                    received_id, shard_index, ok, out = raw
+                    if received_id != task_id:
+                        continue  # stale result from an abandoned broadcast
+                    if ok:
+                        by_shard[shard_index] = out
+                    else:
+                        failures.append((shard_index, out))
+                        by_shard[shard_index] = None
+                self.bytes_from_workers += bytes_in
+                if sspan is not None:
+                    sspan.meta["bytes_out"] = bytes_out
+                    sspan.meta["bytes_in"] = bytes_in
             if failures:
                 _raise_worker_error(failures[0][0], failures[0][1])
             return [by_shard[i] for i in range(self.n_shards)]
@@ -685,15 +949,19 @@ class ShardPool:
                 return self._inline_workers[shard_index].handle(kind, payload)
             self._task_counter += 1
             task_id = self._task_counter
-            self._task_queues[shard_index].put((task_id, kind, payload))
+            blob = pickle.dumps((task_id, kind, payload), protocol=pickle.HIGHEST_PROTOCOL)
+            self.bytes_to_workers += len(blob)
+            self._task_queues[shard_index].put(blob)
             while True:
                 try:
-                    received_id, shard, ok, out = self._result_queue.get(
-                        timeout=_POLL_SECONDS
-                    )
+                    raw = self._result_queue.get(timeout=_POLL_SECONDS)
                 except queue_module.Empty:
                     self._check_workers_alive()
                     continue
+                if isinstance(raw, (bytes, bytearray)):
+                    self.bytes_from_workers += len(raw)
+                    raw = pickle.loads(raw)
+                received_id, shard, ok, out = raw
                 if received_id != task_id:
                     continue
                 if not ok:
@@ -702,18 +970,29 @@ class ShardPool:
 
     # -- live updates ------------------------------------------------------------------
 
-    def apply_update(self, plan: ShardPlan, changed: Sequence[str] | frozenset[str]) -> None:
+    def apply_update(
+        self,
+        plan: ShardPlan,
+        changed: Sequence[str] | frozenset[str],
+        *,
+        generation: int | None = None,
+    ) -> None:
         """Move the running workers to ``plan``'s database generation in place.
 
-        Ships each worker a delta, not the world: the relations named in
-        ``changed`` (added or modified — removed ones travel as names only),
-        the new relation order and foreign keys, and only those row masks /
-        block labels that actually differ from the worker's current shard
-        (``np.array_equal`` diff).  Workers stay alive across the update —
-        their fitted estimators and views for untouched relations stay warm —
-        and the broadcast lock serialises the update against in-flight query
-        crossings, so every query's partials come from exactly one
-        generation.
+        Ships each worker a delta, not the world: changed relations travel as
+        *block patches* — the new values of just the rows whose blocks hold a
+        modified value, spliced in worker-side over the previous generation's
+        columns — through shared memory when available (relations that change
+        shape, schema, or most of their rows fall back to whole-relation
+        pickles).  Alongside ride the new relation order and foreign keys,
+        and only those row masks / block labels that actually differ from the
+        worker's current shard (``np.array_equal`` diff).  Workers stay alive
+        across the update — their fitted estimators and views for untouched
+        relations stay warm — and the broadcast lock serialises the update
+        against in-flight query crossings, so every query's partials come
+        from exactly one generation (tracked by ``generation``, defaulting to
+        the next one up; retired generations' segments are dropped via
+        :meth:`release_snapshot`).
         """
         self._ensure_running()
         if len(plan) != self.n_shards:
@@ -721,12 +1000,36 @@ class ShardPool:
                 f"cannot apply an update with {len(plan)} shards to a pool of "
                 f"{self.n_shards}; recreate the pool instead"
             )
+        if generation is None:
+            generation = self.generation + 1
         old_plan = self.plan
         new_database = plan[0].database
         old_database = old_plan[0].database
-        changed_relations = {
-            name: new_database[name] for name in changed if name in new_database
-        }
+        changed_relations: dict[str, Relation] = {}
+        deltas: list[dict[str, Any]] = []
+        for name in changed:
+            if name not in new_database:
+                continue
+            delta = None
+            if name in old_database:
+                delta = _relation_delta(
+                    old_database[name],
+                    new_database[name],
+                    old_plan[0].block_labels.get(name),
+                )
+            if delta is None:
+                changed_relations[name] = new_database[name]
+                continue
+            indices, patch = delta
+            header, buffers = store_to_buffers(patch.columnar_store())
+            deltas.append(
+                {
+                    "name": name,
+                    "indices": indices,
+                    "header": header,
+                    "descriptor": ship_buffers(buffers, self._shm_manager, generation),
+                }
+            )
         removed = [
             name for name in old_database.relation_names if name not in new_database
         ]
@@ -752,6 +1055,7 @@ class ShardPool:
             payloads.append(
                 {
                     "changed": changed_relations,
+                    "deltas": deltas,
                     "removed": removed,
                     "relation_names": list(new_database.relation_names),
                     "foreign_keys": list(new_database.foreign_keys),
@@ -761,9 +1065,21 @@ class ShardPool:
                     "shard_of_block": shard_of_block,
                 }
             )
-        with obs_trace.span("shard.update", shards=self.n_shards):
+        bytes_before = self.bytes_to_workers
+        with obs_trace.span("shard.update", shards=self.n_shards, generation=generation):
             self._scatter("update", payloads)
+        if self.mode == "inline":
+            # Inline workers receive the payloads by reference; measure what a
+            # process pool would have shipped so the commit-payload accounting
+            # (and the tests asserting on it) hold in either mode.
+            self.update_bytes_last = sum(
+                len(pickle.dumps(p, protocol=pickle.HIGHEST_PROTOCOL)) for p in payloads
+            )
+            self.bytes_to_workers += self.update_bytes_last
+        else:
+            self.update_bytes_last = self.bytes_to_workers - bytes_before
         self.plan = plan
+        self.generation = generation
         self.n_updates += 1
 
     # -- query execution ---------------------------------------------------------------
@@ -863,25 +1179,66 @@ class ShardPool:
         *,
         return_errors: bool = False,
     ) -> list[Any]:
-        """Answer a batch with one broadcast round-trip for all what-if work.
+        """Answer a batch with one scatter round-trip for all what-if work.
 
-        Every worker receives the whole batch as a single ``batch`` task (one
-        task message, one result message — IPC is amortised over the suite);
-        how-to queries then run their verification rounds individually.
-        Entries that are already exceptions pass through; failures are captured
-        per query with ``return_errors=True``, else the first one is raised.
+        What-if queries are **query-scattered**: whole queries are dealt
+        round-robin across the workers, and each worker answers its share
+        unsharded from the full zero-copy snapshot it already holds, through
+        its warm plan caches (:meth:`ShardWorkerRuntime.run_full`).  One task
+        message and one result message per worker cover the whole suite, each
+        query's fixed dispatch cost is paid once instead of once per shard,
+        and the answers are the unsharded engine's answers by construction —
+        no merge step, nothing to drift.  (Single-query ``run_what_if`` keeps
+        the row-scatter path, which has lower latency for one answer.)
+
+        How-to queries still broadcast to every worker and merge partials,
+        because their candidate scoring scans dominate and genuinely shard by
+        rows; their verification rounds then run individually.  Entries that
+        are already exceptions pass through; failures are captured per query
+        with ``return_errors=True``, else the first one is raised.
         """
         results: list[Any] = list(queries)
-        runnable = [
+        whatif_entries = [
             (index, query)
             for index, query in enumerate(queries)
-            if not isinstance(query, Exception)
+            if isinstance(query, WhatIfQuery)
         ]
-        subtasks = [
-            ("howto" if isinstance(query, HowToQuery) else "whatif", query)
-            for _index, query in runnable
+        howto_entries = [
+            (index, query)
+            for index, query in enumerate(queries)
+            if isinstance(query, HowToQuery)
         ]
-        if subtasks:
+        if whatif_entries:
+            per_worker_tasks: list[list[tuple[str, Any]]] = [
+                [] for _ in range(self.n_shards)
+            ]
+            per_worker_slots: list[list[int]] = [[] for _ in range(self.n_shards)]
+            for position, (index, query) in enumerate(whatif_entries):
+                worker = position % self.n_shards
+                per_worker_tasks[worker].append(("full", (query, False)))
+                per_worker_slots[worker].append(index)
+            with obs_trace.span(
+                "shard.scatter_batch",
+                shards=self.n_shards,
+                batch=len(whatif_entries),
+            ) as bspan:
+                per_worker = self._scatter("batch", per_worker_tasks)
+                if bspan is not None:
+                    bspan.meta["mode"] = self.mode
+                self._attach_worker_spans(
+                    [out for worker_out in per_worker for ok, out in worker_out if ok]
+                )
+            for worker_out, slots in zip(per_worker, per_worker_slots):
+                for index, (ok, out) in zip(slots, worker_out):
+                    if ok:
+                        results[index] = out
+                    else:
+                        try:
+                            _raise_worker_error(0, out)
+                        except ShardPoolError as error:
+                            results[index] = error
+        if howto_entries:
+            subtasks = [("howto", query) for _index, query in howto_entries]
             with obs_trace.span(
                 "shard.broadcast", shards=self.n_shards, batch=len(subtasks)
             ) as bspan:
@@ -894,7 +1251,7 @@ class ShardPool:
                     [out for shard_result in per_shard for ok, out in shard_result if ok]
                 )
             with obs_trace.span("shard.merge", batch=len(subtasks)):
-                for sub_position, (index, query) in enumerate(runnable):
+                for sub_position, (index, query) in enumerate(howto_entries):
                     shard_outs = [
                         shard_result[sub_position] for shard_result in per_shard
                     ]
@@ -907,15 +1264,12 @@ class ShardPool:
                         continue
                     partials = [out for _ok, out in shard_outs]
                     try:
-                        if isinstance(query, HowToQuery):
-                            merged = merge_how_to(query, partials)
-                            results[index] = solve_merged_how_to(
-                                query,
-                                merged,
-                                verify=self._verifier(query, len(merged.baseline_count)),
-                            )
-                        else:
-                            results[index] = merge_what_if(query, partials)
+                        merged = merge_how_to(query, partials)
+                        results[index] = solve_merged_how_to(
+                            query,
+                            merged,
+                            verify=self._verifier(query, len(merged.baseline_count)),
+                        )
                     except Exception as error:  # noqa: BLE001 - captured per query
                         results[index] = error
         if not return_errors:
@@ -927,11 +1281,17 @@ class ShardPool:
     # -- instrumentation ---------------------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
+        manager = self._shm_manager
         return {
             "mode": self.mode,
             "n_shards": self.n_shards,
             "n_blocks": self.plan.n_blocks,
             "n_broadcasts": self.n_broadcasts,
             "n_updates": self.n_updates,
+            "generation": self.generation,
+            "bytes_to_workers": self.bytes_to_workers,
+            "bytes_from_workers": self.bytes_from_workers,
+            "update_bytes_last": self.update_bytes_last,
+            "shm": manager.stats() if manager is not None else None,
             "fallback_reason": self.fallback_reason,
         }

@@ -187,7 +187,9 @@ class TestShardedTrace:
         service = HypeRService(
             dataset.database,
             dataset.causal_dag,
-            CONFIG,
+            # columnar explicitly: process sharding is gated to it, and this
+            # test asserts two worker spans regardless of REPRO_BACKEND
+            EngineConfig(regressor="linear", backend="columnar"),
             execution="processes",
             n_shards=2,
         )

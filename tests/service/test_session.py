@@ -508,7 +508,9 @@ class TestCostAwareEviction:
 class TestProcessesExecution:
     @pytest.fixture(scope="class")
     def services(self, dataset):
-        config = EngineConfig(regressor="linear")
+        # columnar explicitly: process sharding is gated to it, and these
+        # tests assert multi-worker behaviour regardless of REPRO_BACKEND
+        config = EngineConfig(regressor="linear", backend="columnar")
         threads = HypeRService(dataset.database, dataset.causal_dag, config)
         processes = HypeRService(
             dataset.database,
@@ -599,6 +601,56 @@ class TestProcessesExecution:
     def test_rejects_unknown_execution_mode(self, dataset):
         with pytest.raises(Exception):
             HypeRService(dataset.database, dataset.causal_dag, execution="fibers")
+
+    def test_rows_backend_gates_sharding_to_one_worker(self, dataset):
+        config = EngineConfig(regressor="linear", backend="rows")
+        service = HypeRService(
+            dataset.database,
+            dataset.causal_dag,
+            config,
+            execution="processes",
+            n_shards=4,
+        )
+        try:
+            query = suite_20(dataset)[0]
+            sharded_value = service.execute(query).value
+            stats = service.stats()
+            assert stats["pool"] is not None
+            assert stats["pool"]["n_shards"] == 1  # gated, not partitioned
+            assert service._m_shard_gated.value >= 1
+            threads = HypeRService(dataset.database, dataset.causal_dag, config)
+            assert sharded_value == threads.execute(query).value
+        finally:
+            service.close()
+
+    def test_columnar_backend_is_not_gated(self, dataset):
+        service = HypeRService(
+            dataset.database,
+            dataset.causal_dag,
+            EngineConfig(regressor="linear", backend="columnar"),
+            execution="processes",
+            n_shards=2,
+        )
+        try:
+            service.start_pool()
+            assert service.stats()["pool"]["n_shards"] == 2
+            assert service._m_shard_gated.value == 0
+        finally:
+            service.close()
+
+    def test_prepare_accepts_a_list_of_queries(self, dataset):
+        config = EngineConfig(regressor="linear")
+        service = HypeRService(dataset.database, dataset.causal_dag, config)
+        queries = suite_20(dataset)[:3]
+        plans = service.prepare(queries)
+        assert isinstance(plans, list) and len(plans) == 3
+        for query, plan in zip(queries, plans):
+            assert plan.fingerprint is not None
+            assert service.execute(query).value is not None
+        # a second warm-up round serves every plan from the warmed caches
+        again = service.prepare(queries)
+        for plan, repeat in zip(plans, again):
+            assert repeat.estimator is plan.estimator
 
 
 class TestInvalidation:
