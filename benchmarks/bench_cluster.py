@@ -1,0 +1,139 @@
+"""Cluster serving: the coordinator front door vs direct single-node calls.
+
+A 40-query what-if suite (the repeated-template shape of the service
+benchmark) on German-Syn 2000, two ways:
+
+* **direct** — ``HypeRService.execute_many`` in process, no network;
+* **cluster** — a 3-shard-node cluster on loopback sockets behind a
+  :class:`~repro.cluster.coordinator.ClusterCoordinator`: every query is
+  scattered as ``/v1/partial`` calls, the wire partials are decoded and
+  folded through the shard merge protocol, and the answers come back
+  through the coordinator's public surface.
+
+The point being measured is the cost of the distribution layer (HTTP hops,
+wire codec, scatter-gather) relative to the work it distributes — and the
+acceptance gate of the cluster issue: the merged cluster answers are
+**bitwise identical** (max |diff| == 0.0) to the single-node path.
+Results go to ``BENCH_cluster.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import fmt, print_table
+from repro import EngineConfig, HypeRService, WhatIfQuery
+from repro.aserve import BackgroundAsyncServer
+from repro.cluster import ClusterCoordinator, ClusterTopology, NodeAddress
+from repro.cluster.shardserver import ShardServer
+from repro.core import AttributeUpdate, MultiplyBy
+from repro.datasets import make_german_syn
+from repro.relational import post
+
+N_ROWS = 2_000
+N_QUERIES = 40
+N_SHARDS = 3
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+
+def _suite(dataset) -> list[WhatIfQuery]:
+    return [
+        WhatIfQuery(
+            use=dataset.default_use,
+            updates=[AttributeUpdate("Status", MultiplyBy(1.0 + 0.005 * i))],
+            output_attribute="Credit",
+            output_aggregate="count",
+            for_clause=(post("Credit") == 1),
+        )
+        for i in range(N_QUERIES)
+    ]
+
+
+def test_cluster_throughput(benchmark):
+    config = EngineConfig(regressor="linear", random_state=0)
+    dataset = make_german_syn(N_ROWS, seed=7)
+    queries = _suite(dataset)
+
+    single = HypeRService(dataset.database, dataset.causal_dag, config)
+    single.execute(queries[0])  # warm shared plan caches
+    started = time.perf_counter()
+    direct_results = single.execute_many(queries)
+    direct_seconds = time.perf_counter() - started
+
+    shards = [
+        ShardServer(
+            dataset.database,
+            dataset.causal_dag,
+            config,
+            shard_index=index,
+            n_shards=N_SHARDS,
+        )
+        for index in range(N_SHARDS)
+    ]
+    servers = [
+        BackgroundAsyncServer(
+            shard.service, app_factory=shard.app_factory, max_inflight=8
+        ).start()
+        for shard in shards
+    ]
+    try:
+        topology = ClusterTopology(
+            n_shards=N_SHARDS,
+            nodes=tuple(NodeAddress(*server.address) for server in servers),
+        )
+        with ClusterCoordinator(topology, config, max_workers=8) as coordinator:
+            coordinator.execute(queries[0])  # warm every shard node
+            started = time.perf_counter()
+            cluster_results = coordinator.execute_many(queries)
+            cluster_seconds = time.perf_counter() - started
+            scatters = int(coordinator.stats()["cluster"]["scatters"])
+
+            max_diff = max(
+                abs(a.value - b.value)
+                for a, b in zip(direct_results, cluster_results)
+            )
+
+            print_table(
+                f"Cluster serving — {N_QUERIES}-query what-if suite "
+                f"(German-Syn {N_ROWS}, {N_SHARDS} shard nodes)",
+                ["mode", "total s", "queries/s"],
+                [
+                    ["direct single-node", fmt(direct_seconds), fmt(N_QUERIES / direct_seconds, 1)],
+                    ["cluster coordinator", fmt(cluster_seconds), fmt(N_QUERIES / cluster_seconds, 1)],
+                ],
+            )
+            print(
+                f"max |cluster - direct| = {max_diff!r} "
+                f"({scatters} scatter legs, "
+                f"{cluster_seconds / direct_seconds:.2f}x direct time)"
+            )
+
+            payload = {
+                "dataset": f"german-syn-{N_ROWS}",
+                "n_queries": N_QUERIES,
+                "n_shards": N_SHARDS,
+                "direct_seconds": direct_seconds,
+                "cluster_seconds": cluster_seconds,
+                "direct_qps": N_QUERIES / direct_seconds,
+                "cluster_qps": N_QUERIES / cluster_seconds,
+                "overhead_ratio": cluster_seconds / direct_seconds,
+                "scatter_legs": scatters,
+                "max_abs_diff": max_diff,
+            }
+            _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+            print(f"wrote {_RESULTS_PATH.name}")
+
+            # the acceptance gate of the cluster issue
+            assert max_diff == 0.0, payload
+
+            query = queries[0]
+            benchmark.pedantic(
+                lambda: coordinator.execute(query), rounds=3, iterations=1
+            )
+    finally:
+        for server in servers:
+            server.stop()
+        single.close()

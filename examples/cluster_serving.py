@@ -1,0 +1,143 @@
+"""Multi-node cluster serving, the way it runs in production.
+
+Boots a real cluster as **separate OS processes** talking HTTP on
+loopback — two shard-server nodes plus the scatter-gather coordinator,
+each via ``python -m repro serve --role ...`` with a shared topology file
+(see ``docs/cluster.md``) — then talks to the coordinator through the
+ordinary :class:`repro.api.HypeRClient`:
+
+* a what-if query scattered to both shards and merged exactly, checked
+  bitwise against the in-process single-node answer;
+* a streamed batch with a per-query error envelope;
+* a two-phase cluster-wide update (stage + flip), bumping the generation
+  on every node;
+* the cluster stats section and the ``hyper_cluster_*`` metrics.
+
+Run with::
+
+    python examples/cluster_serving.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import EngineConfig, HypeR
+from repro.api import HypeRClient
+from repro.api.client import TransportError
+from repro.datasets import make_german_syn
+
+DATASET_ARGS = ["--dataset", "german-syn", "--rows", "400", "--seed", "7"]
+QUERY = (
+    "USE Credit UPDATE(Status) = 4 OUTPUT COUNT(POST(Credit)) FOR POST(Credit) = 1"
+)
+N_SHARDS = 2
+BASE_PORT = int(os.environ.get("CLUSTER_EXAMPLE_PORT", "9750"))
+
+
+def wait_healthy(host: str, port: int, deadline: float = 30.0) -> None:
+    start = time.monotonic()
+    while True:
+        try:
+            with HypeRClient(host, port, timeout=2.0, max_retries=1) as client:
+                if client.health()["status"] == "ok":
+                    return
+        except TransportError:
+            if time.monotonic() - start > deadline:
+                raise
+            time.sleep(0.2)
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="hyper-cluster-"))
+    topology = {
+        "n_shards": N_SHARDS,
+        "coordinator": {"host": "127.0.0.1", "port": BASE_PORT},
+        "nodes": [
+            {"host": "127.0.0.1", "port": BASE_PORT + 1 + i} for i in range(N_SHARDS)
+        ],
+    }
+    topology_path = tmp / "topology.json"
+    topology_path.write_text(json.dumps(topology, indent=2))
+    print(f"topology: {topology_path}\n{json.dumps(topology, indent=2)}\n")
+
+    common = [
+        sys.executable, "-m", "repro", "serve",
+        *DATASET_ARGS, "--regressor", "linear",
+        "--cluster-config", str(topology_path),
+        "--max-inflight", "8", "--queue-depth", "32",
+    ]
+    procs: list[subprocess.Popen] = []
+    try:
+        for index in range(N_SHARDS):
+            procs.append(subprocess.Popen(
+                [*common, "--role", "shard", "--node-index", str(index)]
+            ))
+        for node in topology["nodes"]:
+            wait_healthy(node["host"], node["port"])
+        print(f"{N_SHARDS} shard nodes up")
+        procs.append(subprocess.Popen([*common, "--role", "coordinator"]))
+        wait_healthy("127.0.0.1", BASE_PORT)
+        print("coordinator up\n")
+
+        # the bitwise reference: the plain library path over the same dataset
+        dataset = make_german_syn(n_rows=400, seed=7)
+        expected = HypeR(
+            dataset.database, dataset.causal_dag, EngineConfig(regressor="linear")
+        ).execute(QUERY).value
+
+        with HypeRClient("127.0.0.1", BASE_PORT, timeout=60.0) as client:
+            answer = client.query(QUERY)
+            print(f"what-if through the cluster: {answer.value}")
+            assert answer.value == expected, (answer.value, expected)
+            print("  == single-node answer, bitwise\n")
+
+            print("streamed batch (completion order):")
+            for item in client.batch([QUERY, "THIS IS NOT A QUERY"]):
+                if item.ok:
+                    print(f"  #{item.index}: value = {item.result.value}")
+                else:
+                    print(f"  #{item.index}: {item.error.code}")
+
+            column = [
+                min(4.0, float(v) + 1.0)
+                for v in dataset.database["Credit"].column("Status")
+            ]
+            update = client.update({"Credit": {"Status": column}})
+            print(f"\ntwo-phase update committed generation {update.generation}")
+            assert update.generation == 1
+
+            snapshot = client.stats()
+            cluster = snapshot.sections["cluster"]
+            print(
+                f"cluster stats: {cluster['healthy_nodes']}/{cluster['n_nodes']} "
+                f"nodes healthy, {cluster['scatters']} scatter legs, "
+                f"{cluster['updates']} updates"
+            )
+            assert cluster["healthy_nodes"] == N_SHARDS
+
+            metrics = client.metrics()
+            assert "hyper_cluster_scatters_total" in metrics
+            assert "hyper_cluster_healthy_nodes" in metrics
+            print("hyper_cluster_* metrics exposed")
+
+        print("\ncluster smoke OK")
+        return 0
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

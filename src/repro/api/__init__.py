@@ -10,6 +10,9 @@ Three pieces, one contract (see ``docs/api.md``):
 * :mod:`repro.api.client` — :class:`HypeRClient`, the stdlib **Python SDK**
   with keep-alive, bounded retries honoring ``Retry-After``, request
   deadlines, and streaming batch iteration.
+* :mod:`repro.api.aclient` — :class:`AsyncHypeRClient`, the asyncio twin
+  with the same retry/deadline semantics over a pooled-connection client
+  that is safe to share across tasks on one event loop.
 
 :mod:`repro.api.endpoints` is the shared ``/v1/*`` endpoint table both HTTP
 front doors mount; import it to build new front ends that cannot drift from
@@ -31,12 +34,14 @@ from .builder import (
     sum_,
     what_if,
 )
+from .aclient import AsyncHypeRClient
 from .client import (
     ApiStatusError,
     DeadlineExceeded,
     HypeRClient,
     HypeRClientError,
     OverloadedError,
+    ServerDeadlineExceeded,
     TransportError,
 )
 from .schemas import (
@@ -60,6 +65,7 @@ __all__ = [
     "AggTerm",
     "as_query_object",
     "ApiStatusError",
+    "AsyncHypeRClient",
     "BatchItem",
     "BatchRequest",
     "DeadlineExceeded",
@@ -71,6 +77,7 @@ __all__ = [
     "OverloadedError",
     "QueryBuilder",
     "QueryRequest",
+    "ServerDeadlineExceeded",
     "StatsSnapshot",
     "TransportError",
     "UpdateAnswer",

@@ -37,6 +37,7 @@ Behaviors:
 
 from __future__ import annotations
 
+import gzip as gzip_module
 import http.client
 import json
 import time
@@ -44,6 +45,7 @@ from typing import Any, Iterable, Iterator, Sequence
 
 from ..exceptions import HypeRError
 from ..obs.trace import new_request_id
+from .endpoints import GZIP_MIN_BYTES
 from .schemas import (
     Answer,
     BatchItem,
@@ -61,6 +63,7 @@ __all__ = [
     "HypeRClientError",
     "TransportError",
     "DeadlineExceeded",
+    "ServerDeadlineExceeded",
     "ApiStatusError",
     "OverloadedError",
 ]
@@ -111,6 +114,15 @@ class ApiStatusError(HypeRClientError):
         return self.envelope.code
 
 
+class ServerDeadlineExceeded(ApiStatusError, DeadlineExceeded):
+    """504 ``deadline_exceeded``: the request's ``deadline_ms`` ran out server-side.
+
+    Subclasses both :class:`ApiStatusError` (it carries a parsed envelope) and
+    :class:`DeadlineExceeded` (a ``except DeadlineExceeded`` catches budget
+    exhaustion wherever the clock ran out — client or server).
+    """
+
+
 class OverloadedError(ApiStatusError):
     """429 after the retry budget; ``retry_after`` is the server's last hint."""
 
@@ -135,6 +147,8 @@ def _error_from_response(
         envelope = ErrorEnvelope("error", f"HTTP {status}: {body!r}")
     if status == 429:
         return OverloadedError(status, envelope, body, request_id=request_id)
+    if envelope.code == "deadline_exceeded":
+        return ServerDeadlineExceeded(status, envelope, body, request_id=request_id)
     return ApiStatusError(status, envelope, body, request_id=request_id)
 
 
@@ -200,6 +214,7 @@ class HypeRClient:
         max_retries: int = 3,
         backoff_seconds: float = 0.05,
         trace: bool = False,
+        gzip_min_bytes: int | None = GZIP_MIN_BYTES,
     ) -> None:
         self.host = host
         self.port = port
@@ -207,6 +222,10 @@ class HypeRClient:
         self.max_retries = max_retries
         self.backoff_seconds = backoff_seconds
         self.trace = trace
+        #: request bodies at or above this size are sent gzip-compressed;
+        #: ``None`` disables request compression (responses are still
+        #: negotiated via ``Accept-Encoding: gzip`` and decompressed)
+        self.gzip_min_bytes = gzip_min_bytes
         #: the X-Request-Id of the most recently started call
         self.last_request_id: str = ""
         self._conn: http.client.HTTPConnection | None = None
@@ -270,6 +289,15 @@ class HypeRClient:
         """Send one request, retrying 429s (per Retry-After) and dropped sockets."""
         body = json.dumps(payload).encode() if payload is not None else None
         headers = {"Content-Type": "application/json"} if body else {}
+        headers["Accept-Encoding"] = "gzip"
+        if (
+            body is not None
+            and self.gzip_min_bytes is not None
+            and len(body) >= self.gzip_min_bytes
+        ):
+            # mtime=0 keeps compression deterministic (same body, same bytes)
+            body = gzip_module.compress(body, compresslevel=6, mtime=0)
+            headers["Content-Encoding"] = "gzip"
         if deadline.request_id:
             # retries reuse the id: they are the same logical request
             headers["X-Request-Id"] = deadline.request_id
@@ -292,7 +320,7 @@ class HypeRClient:
                 attempt += 1
                 continue
             if response.status == 429 and attempt < self.max_retries:
-                rejection = _decode_body(response.read())
+                rejection = _decode_body(_read_body(response))
                 if response.will_close:
                     self._drop_connection()
                 # the body's retry_after is the server's precise float hint;
@@ -315,7 +343,7 @@ class HypeRClient:
         deadline: _Deadline,
     ) -> dict[str, Any]:
         response = self._request(method, path, payload, deadline)
-        raw = response.read()
+        raw = _read_body(response)
         if response.will_close:
             self._drop_connection()
         body = _decode_body(raw)
@@ -326,6 +354,17 @@ class HypeRClient:
         return body
 
     # -- query text coercion -----------------------------------------------------------
+
+    @staticmethod
+    def _server_deadline_ms(
+        deadline: float | None, deadline_ms: int | None
+    ) -> int | None:
+        """The ``deadline_ms`` a request carries: explicit, or the call budget."""
+        if deadline_ms is not None:
+            return deadline_ms
+        if deadline is None:
+            return None
+        return max(1, int(deadline * 1000))
 
     @staticmethod
     def _as_text(query: Any) -> str:
@@ -351,7 +390,7 @@ class HypeRClient:
         """``GET /v1/metrics``: the server's Prometheus text exposition."""
         budget = self._begin_call(deadline)
         response = self._request("GET", "/v1/metrics", None, budget)
-        raw = response.read()
+        raw = _read_body(response)
         if response.will_close:
             self._drop_connection()
         if response.status != 200:
@@ -370,17 +409,25 @@ class HypeRClient:
         *,
         exhaustive: bool = False,
         deadline: float | None = None,
+        deadline_ms: int | None = None,
         trace: bool | None = None,
     ) -> Answer:
         """Answer one query (text, query object, or builder) as a typed answer.
 
         ``trace`` overrides the client default; a builder that asked for
         ``.trace()`` turns it on for this call as well.  Traced answers carry
-        the server's span tree in their ``trace`` field.
+        the server's span tree in their ``trace`` field.  The request carries
+        ``deadline_ms`` (explicit, or derived from ``deadline``) so the server
+        answers 504 ``deadline_exceeded`` — raised here as
+        :class:`ServerDeadlineExceeded` — instead of computing a doomed answer.
         """
         wants_trace = self.trace if trace is None else trace
         wants_trace = wants_trace or bool(getattr(query, "wants_trace", False))
-        request = QueryRequest(query=self._as_text(query), exhaustive=exhaustive)
+        request = QueryRequest(
+            query=self._as_text(query),
+            exhaustive=exhaustive,
+            deadline_ms=self._server_deadline_ms(deadline, deadline_ms),
+        )
         path = "/v1/query?trace=1" if wants_trace else "/v1/query"
         body = self._json_call(
             "POST", path, request.to_json(), self._begin_call(deadline)
@@ -421,6 +468,7 @@ class HypeRClient:
         queries: Sequence[Any] | Iterable[Any],
         *,
         deadline: float | None = None,
+        deadline_ms: int | None = None,
     ) -> Iterator[BatchItem]:
         """Stream a batch's per-query outcomes as they complete.
 
@@ -430,11 +478,14 @@ class HypeRClient:
         connection until exhausted — drain it before issuing the next call.
         """
         texts = [self._as_text(q) for q in queries]
-        request = BatchRequest(queries=tuple(texts))
+        request = BatchRequest(
+            queries=tuple(texts),
+            deadline_ms=self._server_deadline_ms(deadline, deadline_ms),
+        )
         budget = self._begin_call(deadline)
         response = self._request("POST", "/v1/batch", request.to_json(), budget)
         if response.status != 200:
-            raw = response.read()
+            raw = _read_body(response)
             if response.will_close:
                 self._drop_connection()
             raise _error_from_response(
@@ -443,7 +494,7 @@ class HypeRClient:
         content_type = (response.getheader("Content-Type") or "").lower()
         if "ndjson" in content_type:
             return self._iter_ndjson(response, len(texts), budget)
-        raw = response.read()
+        raw = _read_body(response)
         if response.will_close:
             self._drop_connection()
         return self._iter_results(_decode_body(raw))
@@ -507,6 +558,18 @@ class HypeRClient:
                 yield BatchItem(index=index, error=ErrorEnvelope.from_json(entry))
             else:
                 yield BatchItem(index=index, result=answer_from_json(entry))
+
+
+def _read_body(response: http.client.HTTPResponse) -> bytes:
+    """Read a response body, undoing negotiated ``Content-Encoding: gzip``."""
+    raw = response.read()
+    encoding = (response.getheader("Content-Encoding") or "").strip().lower()
+    if raw and encoding == "gzip":
+        try:
+            raw = gzip_module.decompress(raw)
+        except (OSError, EOFError) as error:
+            raise TransportError(f"server sent a malformed gzip body: {error}") from None
+    return raw
 
 
 def _decode_body(raw: bytes) -> dict[str, Any]:

@@ -32,7 +32,9 @@ sockets: front ends feed it parsed JSON bodies and write out what it returns.
 
 from __future__ import annotations
 
+import gzip as gzip_module
 import json
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
@@ -55,6 +57,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "MAX_BODY_BYTES",
+    "GZIP_MIN_BYTES",
     "PayloadError",
     "ApiError",
     "Endpoint",
@@ -62,9 +65,14 @@ __all__ = [
     "resolve",
     "check_body_length",
     "decode_json_object",
+    "decompress_body",
+    "accepts_gzip",
+    "maybe_gzip",
     "envelope_for",
     "code_for_status",
     "not_found",
+    "deadline_error",
+    "RequestDeadline",
     "health_payload",
     "stats_payload",
     "metrics_text",
@@ -83,6 +91,10 @@ __all__ = [
 
 #: default request-body ceiling shared by the threaded and asyncio front-ends
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: default size threshold (bytes) below which responses are never gzipped —
+#: compressing tiny payloads costs more than it saves on the wire
+GZIP_MIN_BYTES = 2048
 
 
 class PayloadError(ValueError):
@@ -170,6 +182,65 @@ def decode_json_object(raw: bytes) -> dict[str, Any]:
     return data
 
 
+def decompress_body(
+    raw: bytes, content_encoding: str | None, *, max_bytes: int = MAX_BODY_BYTES
+) -> bytes:
+    """Undo a request body's ``Content-Encoding`` (shared by both front doors).
+
+    Only ``gzip`` (and the no-op ``identity``) are supported; anything else is
+    400.  The *decompressed* size is held to the same ceiling as a plain body,
+    so a tiny gzip bomb cannot smuggle past the 413 guard.
+    """
+    encoding = (content_encoding or "").strip().lower()
+    if encoding in ("", "identity"):
+        return raw
+    if encoding != "gzip":
+        raise PayloadError(400, f"unsupported Content-Encoding {content_encoding!r}")
+    try:
+        body = gzip_module.decompress(raw)
+    except (OSError, EOFError) as error:
+        raise PayloadError(400, f"malformed gzip body: {error}") from None
+    if len(body) > max_bytes:
+        raise PayloadError(
+            413,
+            f"decompressed body of {len(body)} bytes exceeds the {max_bytes}-byte limit",
+        )
+    return body
+
+
+def accepts_gzip(accept_encoding: str | None) -> bool:
+    """True when an ``Accept-Encoding`` header value admits gzip responses."""
+    if not accept_encoding:
+        return False
+    for part in accept_encoding.split(","):
+        token, _, params = part.partition(";")
+        if token.strip().lower() not in ("gzip", "*"):
+            continue
+        quality = 1.0
+        for param in params.split(";"):
+            key, _, value = param.replace(" ", "").partition("=")
+            if key.lower() == "q":
+                try:
+                    quality = float(value)
+                except ValueError:
+                    pass
+        return quality > 0.0
+    return False
+
+
+def maybe_gzip(
+    body: bytes, *, enabled: bool, threshold: int = GZIP_MIN_BYTES
+) -> tuple[bytes, bool]:
+    """Compress ``body`` when the peer accepts gzip and it is worth the CPU.
+
+    Returns ``(body, compressed)``; ``mtime=0`` keeps the output deterministic
+    for byte-level tests.
+    """
+    if not enabled or len(body) < threshold:
+        return body, False
+    return gzip_module.compress(body, compresslevel=6, mtime=0), True
+
+
 # -- the one exception → envelope mapping ----------------------------------------------
 
 _STATUS_CODES = {
@@ -182,6 +253,7 @@ _STATUS_CODES = {
     500: "internal",
     501: "not_implemented",
     503: "unavailable",
+    504: "deadline_exceeded",
     505: "bad_request",
 }
 
@@ -217,6 +289,52 @@ def envelope_for(error: BaseException) -> tuple[int, ErrorEnvelope]:
 
 def not_found(path: str) -> ApiError:
     return ApiError(404, ErrorEnvelope("not_found", f"unknown path {path!r}"))
+
+
+def deadline_error(deadline_ms: int) -> ApiError:
+    """The 504 answered instead of computing once a request's budget ran out."""
+    return ApiError(
+        504,
+        ErrorEnvelope(
+            "deadline_exceeded",
+            f"deadline of {deadline_ms} ms expired before execution",
+            {"deadline_ms": deadline_ms},
+        ),
+    )
+
+
+class RequestDeadline:
+    """Server-side remaining-budget tracker of one request's ``deadline_ms``.
+
+    Anchored to the monotonic clock when the request body is decoded, so time
+    spent waiting in the admission queue counts against the budget.  A
+    relaying front door (the cluster coordinator) forwards
+    :meth:`remaining_ms` downstream — the budget decrements across hops.
+    """
+
+    def __init__(self, deadline_ms: int) -> None:
+        self.deadline_ms = int(deadline_ms)
+        self._expires = time.monotonic() + self.deadline_ms / 1000.0
+
+    @classmethod
+    def of(cls, request: Any) -> "RequestDeadline | None":
+        """The deadline of a query/batch request, or None when unbudgeted."""
+        deadline_ms = getattr(request, "deadline_ms", None)
+        if deadline_ms is None:
+            return None
+        return cls(deadline_ms)
+
+    def remaining_ms(self) -> float:
+        return (self._expires - time.monotonic()) * 1000.0
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self._expires
+
+    def check(self) -> None:
+        """Raise the ``deadline_exceeded`` :class:`ApiError` once expired."""
+        if self.expired:
+            raise deadline_error(self.deadline_ms)
 
 
 # -- request decoding ------------------------------------------------------------------
@@ -284,15 +402,31 @@ def execute_query_payload(
     request: QueryRequest,
     *,
     trace: "obs_trace.TraceContext | None" = None,
+    deadline: "RequestDeadline | None" = None,
 ) -> dict[str, Any]:
     """Run one query and return its v1 answer payload (exceptions bubble).
 
     With a live ``trace``, the answer payload embeds the finished span tree
     under ``"trace"``; serialization itself is measured as the last span.
+    An expired ``deadline`` (defaulting to the request's own ``deadline_ms``)
+    answers 504 ``deadline_exceeded`` instead of computing a doomed answer.
     """
+    if deadline is None:
+        deadline = RequestDeadline.of(request)
+    if deadline is not None:
+        deadline.check()
+    kwargs: dict[str, Any] = {}
+    if deadline is not None and getattr(service, "accepts_deadline", False):
+        # a relaying service (the cluster coordinator) decrements the
+        # remaining budget across its downstream hops
+        kwargs["deadline"] = deadline
     if trace is None:
-        return service.execute(request.query, exhaustive=request.exhaustive).payload()
-    result = service.execute(request.query, exhaustive=request.exhaustive, trace=trace)
+        return service.execute(
+            request.query, exhaustive=request.exhaustive, **kwargs
+        ).payload()
+    result = service.execute(
+        request.query, exhaustive=request.exhaustive, trace=trace, **kwargs
+    )
     with obs_trace.activate(trace), obs_trace.span("serialize"):
         payload = result.payload()
     payload["trace"] = trace.to_wire()
@@ -339,13 +473,26 @@ def batch_done_line(n_queries: int) -> dict[str, Any]:
 
 
 def batch_response_payload(
-    service: "HypeRService", request: BatchRequest
+    service: "HypeRService",
+    request: BatchRequest,
+    *,
+    deadline: "RequestDeadline | None" = None,
 ) -> dict[str, Any]:
     """Answer a whole batch as one JSON object (the non-streaming form).
 
     Failures are captured per query as inline error envelopes; a bad entry
-    cannot discard the rest of the batch.
+    cannot discard the rest of the batch.  A batch whose ``deadline_ms``
+    budget already ran out answers per-item ``deadline_exceeded`` envelopes
+    without executing anything.
     """
+    if deadline is None:
+        deadline = RequestDeadline.of(request)
+    if deadline is not None and deadline.expired:
+        envelope = deadline_error(deadline.deadline_ms).envelope.to_json()
+        return {
+            "results": [dict(envelope) for _ in request.queries],
+            "n_queries": len(request.queries),
+        }
     results = service.execute_many(list(request.queries), return_errors=True)
     payloads = []
     for outcome in results:

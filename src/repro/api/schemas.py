@@ -107,21 +107,43 @@ def _get_float(data: Mapping[str, Any], key: str, what: str) -> float:
 # -- requests --------------------------------------------------------------------------
 
 
+def _get_deadline_ms(data: Mapping[str, Any], what: str) -> int | None:
+    """Optional positive ``deadline_ms`` budget (additive v1 field)."""
+    value = data.get("deadline_ms")
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise WireFormatError(f'{what} field "deadline_ms" must be an integer')
+    if value <= 0:
+        raise WireFormatError(f'{what} field "deadline_ms" must be positive')
+    return value
+
+
 @dataclass(frozen=True)
 class QueryRequest:
-    """Body of ``POST /v1/query``: one query in the SQL extension."""
+    """Body of ``POST /v1/query``: one query in the SQL extension.
+
+    ``deadline_ms`` is the caller's remaining time budget: a server that
+    cannot start executing before it runs out answers a ``deadline_exceeded``
+    envelope instead of computing a doomed answer, and a relaying front door
+    (the cluster coordinator) forwards the *decremented* remainder downstream.
+    """
 
     query: str
     exhaustive: bool = False
+    deadline_ms: int | None = None
 
-    _FIELDS = {"api_version", "query", "exhaustive"}
+    _FIELDS = {"api_version", "query", "exhaustive", "deadline_ms"}
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "api_version": API_VERSION,
             "query": self.query,
             "exhaustive": self.exhaustive,
         }
+        if self.deadline_ms is not None:
+            out["deadline_ms"] = self.deadline_ms
+        return out
 
     @classmethod
     def from_json(cls, data: Any) -> "QueryRequest":
@@ -131,19 +153,31 @@ class QueryRequest:
         return cls(
             query=_get_str(data, "query", "query request"),
             exhaustive=_get_bool(data, "exhaustive", "query request"),
+            deadline_ms=_get_deadline_ms(data, "query request"),
         )
 
 
 @dataclass(frozen=True)
 class BatchRequest:
-    """Body of ``POST /v1/batch``: many queries, answered concurrently."""
+    """Body of ``POST /v1/batch``: many queries, answered concurrently.
+
+    ``deadline_ms`` covers the whole batch; queries that would start after
+    the budget ran out answer per-item ``deadline_exceeded`` envelopes.
+    """
 
     queries: tuple[str, ...]
+    deadline_ms: int | None = None
 
-    _FIELDS = {"api_version", "queries"}
+    _FIELDS = {"api_version", "queries", "deadline_ms"}
 
     def to_json(self) -> dict[str, Any]:
-        return {"api_version": API_VERSION, "queries": list(self.queries)}
+        out: dict[str, Any] = {
+            "api_version": API_VERSION,
+            "queries": list(self.queries),
+        }
+        if self.deadline_ms is not None:
+            out["deadline_ms"] = self.deadline_ms
+        return out
 
     @classmethod
     def from_json(cls, data: Any) -> "BatchRequest":
@@ -153,7 +187,10 @@ class BatchRequest:
         queries = data.get("queries")
         if not isinstance(queries, list) or not all(isinstance(q, str) for q in queries):
             raise WireFormatError('batch request must contain a "queries" list of strings')
-        return cls(queries=tuple(queries))
+        return cls(
+            queries=tuple(queries),
+            deadline_ms=_get_deadline_ms(data, "batch request"),
+        )
 
 
 @dataclass(frozen=True)

@@ -43,13 +43,19 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import json
 import math
 from concurrent.futures import Executor, ThreadPoolExecutor
 from contextlib import suppress
 from typing import Any, Awaitable, Callable
 
 from ..api import endpoints as api
-from ..api.endpoints import MAX_BODY_BYTES, PayloadError, decode_json_object
+from ..api.endpoints import (
+    GZIP_MIN_BYTES,
+    MAX_BODY_BYTES,
+    PayloadError,
+    decode_json_object,
+)
 from ..api.schemas import ErrorEnvelope
 from ..obs import trace as obs_trace
 from ..service.session import HypeRService
@@ -95,11 +101,13 @@ class AsyncApp:
         max_body_bytes: int = MAX_BODY_BYTES,
         executor: Executor | None = None,
         keep_alive_timeout: float = 75.0,
+        gzip_min_bytes: int = GZIP_MIN_BYTES,
     ) -> None:
         self.service = service
         self.admission = admission
         self.max_body_bytes = max_body_bytes
         self.keep_alive_timeout = keep_alive_timeout
+        self.gzip_min_bytes = gzip_min_bytes
         self.draining = False
         self._executor = executor
         # /stats must stay responsive when the query executor is saturated
@@ -220,12 +228,22 @@ class AsyncApp:
         *,
         extra_headers: dict[str, str] | None = None,
         request_id: str = "",
+        request: Request | None = None,
     ) -> bool:
         if request_id:
             extra_headers = {**(extra_headers or {}), "X-Request-Id": request_id}
+        body = json.dumps(payload, default=str).encode()
+        body, compressed = api.maybe_gzip(
+            body,
+            enabled=request is not None
+            and api.accepts_gzip(request.headers.get("accept-encoding")),
+            threshold=self.gzip_min_bytes,
+        )
+        if compressed:
+            extra_headers = {**(extra_headers or {}), "Content-Encoding": "gzip"}
         writer.write(
-            render_json_response(
-                status, payload, keep_alive=keep_alive, extra_headers=extra_headers
+            render_response(
+                status, body, keep_alive=keep_alive, extra_headers=extra_headers
             )
         )
         await writer.drain()
@@ -278,7 +296,8 @@ class AsyncApp:
             "admission": self.admission.stats(),
         }
         return await self._send(
-            writer, 200, payload, keep_alive, request_id=request.request_id
+            writer, 200, payload, keep_alive,
+            request_id=request.request_id, request=request,
         )
 
     async def _handle_metrics(
@@ -290,13 +309,21 @@ class AsyncApp:
         text = await loop.run_in_executor(
             self._aux_executor, api.metrics_text, self.service
         )
+        body, compressed = api.maybe_gzip(
+            text.encode("utf-8"),
+            enabled=api.accepts_gzip(request.headers.get("accept-encoding")),
+            threshold=self.gzip_min_bytes,
+        )
+        extra_headers = {"X-Request-Id": request.request_id}
+        if compressed:
+            extra_headers["Content-Encoding"] = "gzip"
         writer.write(
             render_response(
                 200,
-                text.encode("utf-8"),
+                body,
                 content_type=api.METRICS_CONTENT_TYPE,
                 keep_alive=keep_alive,
-                extra_headers={"X-Request-Id": request.request_id},
+                extra_headers=extra_headers,
             )
         )
         await writer.drain()
@@ -310,7 +337,8 @@ class AsyncApp:
             self._aux_executor, api.slow_payload, self.service
         )
         return await self._send(
-            writer, 200, payload, keep_alive, request_id=request.request_id
+            writer, 200, payload, keep_alive,
+            request_id=request.request_id, request=request,
         )
 
     async def _handle_update(
@@ -367,6 +395,9 @@ class AsyncApp:
         except (PayloadError, api.ApiError) as error:
             self.admission.cancel_reservation(1)
             return await self._send_error(writer, error, keep_alive, request_id=request_id)
+        # the deadline clock starts before the admission queue wait: time
+        # spent queued is time the client is already paying for
+        deadline = api.RequestDeadline.of(query_request)
         trace = (
             obs_trace.TraceContext(request_id)
             if api.wants_trace(request.query_string)
@@ -388,12 +419,14 @@ class AsyncApp:
                     self.service,
                     query_request,
                     trace=trace,
+                    deadline=deadline,
                 )
             except Exception as error:  # noqa: BLE001 - keep the JSON contract
                 # envelope_for maps query errors to 400, the rest to 500
                 return await self._send_error(writer, error, keep_alive, request_id=request_id)
             return await self._send(
-                writer, 200, payload, keep_alive, request_id=request_id
+                writer, 200, payload, keep_alive,
+                request_id=request_id, request=request,
             )
         finally:
             self.admission.release_slot()
@@ -405,6 +438,7 @@ class AsyncApp:
             batch_request = api.parse_batch_request(decode_json_object(request.body))
         except (PayloadError, api.ApiError) as error:
             return await self._send_error(writer, error, keep_alive)
+        deadline = api.RequestDeadline.of(batch_request)
         texts = list(batch_request.queries)
         if not texts:
             return await self._send(
@@ -452,7 +486,21 @@ class AsyncApp:
             await self.admission.acquire_slot()
             try:
                 try:
-                    result = await self._run_blocking(self.service.execute, text)
+                    # checked per item right before execution: queries that
+                    # were still queued when the budget ran out answer
+                    # deadline_exceeded instead of computing doomed results
+                    if deadline is not None:
+                        deadline.check()
+                    kwargs: dict[str, Any] = {}
+                    if deadline is not None and getattr(
+                        self.service, "accepts_deadline", False
+                    ):
+                        # a relaying service (the cluster coordinator) carries
+                        # the remaining budget into its downstream hops
+                        kwargs["deadline"] = deadline
+                    result = await self._run_blocking(
+                        self.service.execute, text, **kwargs
+                    )
                     line: dict[str, Any] = api.batch_line(index, result)
                 except asyncio.CancelledError:
                     raise

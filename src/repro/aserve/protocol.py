@@ -28,7 +28,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from ..api.endpoints import PayloadError, check_body_length
+from ..api.endpoints import PayloadError, check_body_length, decompress_body
 
 __all__ = [
     "ChunkedJsonWriter",
@@ -48,6 +48,7 @@ REASON_PHRASES = {
     404: "Not Found",
     405: "Method Not Allowed",
     408: "Request Timeout",
+    409: "Conflict",
     411: "Length Required",
     413: "Payload Too Large",
     429: "Too Many Requests",
@@ -164,6 +165,15 @@ async def read_request(
                 body = await reader.readexactly(length)
             except asyncio.IncompleteReadError:
                 raise HttpProtocolError(400, "request body truncated") from None
+    if body and "content-encoding" in headers:
+        # the body was fully read, so the connection's framing survives a
+        # rejected encoding — close=False lets keep-alive clients retry
+        try:
+            body = decompress_body(
+                body, headers["content-encoding"], max_bytes=max_body_bytes
+            )
+        except PayloadError as error:
+            raise HttpProtocolError(error.status, str(error), close=False) from None
     return Request(method=method, target=target, version=version, headers=headers, body=body)
 
 

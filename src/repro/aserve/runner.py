@@ -28,7 +28,7 @@ import asyncio
 import signal
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..service.executor import default_max_workers
 from ..api.endpoints import MAX_BODY_BYTES
@@ -55,6 +55,7 @@ class AsyncServingRunner:
         keep_alive_timeout: float = 75.0,
         warm_queries: Sequence[str] = (),
         verbose: bool = False,
+        app_factory: Callable[..., AsyncApp] = AsyncApp,
     ) -> None:
         self.service = service
         self.host = host
@@ -72,7 +73,9 @@ class AsyncServingRunner:
         self._executor = ThreadPoolExecutor(
             max_workers=self.max_inflight, thread_name_prefix="aserve"
         )
-        self.app = AsyncApp(
+        # app_factory lets an embedding subsystem (the cluster shard server)
+        # mount extra routes by substituting an AsyncApp subclass
+        self.app = app_factory(
             service,
             self.admission,
             max_body_bytes=max_body_bytes,
@@ -194,6 +197,7 @@ def run_async_server(
     queue_depth: int | None = None,
     drain_timeout: float = 30.0,
     warm_queries: Sequence[str] = (),
+    app_factory: Callable[..., AsyncApp] = AsyncApp,
 ) -> None:
     """Blocking entry point behind ``repro serve --async``."""
     runner = AsyncServingRunner(
@@ -205,6 +209,7 @@ def run_async_server(
         drain_timeout=drain_timeout,
         warm_queries=warm_queries,
         verbose=True,
+        app_factory=app_factory,
     )
     try:
         asyncio.run(runner.run())

@@ -182,6 +182,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="async front-end: query text to prepare() at startup so the "
         "first request hits warm caches (repeatable)",
     )
+    serve.add_argument(
+        "--role",
+        default="single",
+        choices=["single", "coordinator", "shard"],
+        help="cluster role: single (default) serves the whole database "
+        "locally; shard serves one partition slice's internal /v1/partial; "
+        "coordinator scatter-gathers the shards behind the unchanged public "
+        "API (answers are bitwise-identical to single)",
+    )
+    serve.add_argument(
+        "--cluster-config",
+        default=None,
+        metavar="PATH",
+        help="cluster topology JSON (n_shards, nodes, coordinator — see "
+        "repro.cluster.topology); required for --role coordinator/shard",
+    )
+    serve.add_argument(
+        "--node-index",
+        type=int,
+        default=None,
+        help="with --role shard: this node's index into the topology's "
+        "nodes list (determines the owned shard and the bind address)",
+    )
     return parser
 
 
@@ -210,6 +233,89 @@ def _generator_kwargs(args: argparse.Namespace) -> dict:
     return {"n_rows": args.rows, "seed": args.seed}
 
 
+def _serve_cluster(args: argparse.Namespace) -> int:
+    """``repro serve --role coordinator|shard``: one node of a cluster.
+
+    Every node regenerates the same dataset deterministically (same
+    ``--dataset/--rows/--seed``), so all replicas of a shard materialise the
+    identical slice and the coordinator's merged answers are bitwise equal
+    to a single-node deployment.
+    """
+    from .aserve import run_async_server
+    from .cluster import ClusterCoordinator, ClusterTopology, ShardServer
+
+    if not args.cluster_config:
+        raise HypeRError(f"--role {args.role} requires --cluster-config")
+    topology = ClusterTopology.load(args.cluster_config)
+    config = EngineConfig(
+        variant=args.variant,
+        regressor=args.regressor,
+        sample_size=args.sample_size,
+        backend=args.backend,
+    )
+    if args.role == "coordinator":
+        address = topology.coordinator
+        host = address.host if address is not None else args.host
+        port = address.port if address is not None else args.port
+        coordinator = ClusterCoordinator(topology, config, max_workers=args.workers)
+        print(
+            f"cluster coordinator: {topology.n_shards} shards over "
+            f"{topology.n_nodes} nodes",
+            flush=True,
+        )
+        try:
+            run_async_server(
+                coordinator,
+                host=host,
+                port=port,
+                max_inflight=args.max_inflight,
+                queue_depth=args.queue_depth,
+                drain_timeout=args.drain_timeout,
+                warm_queries=args.warm_query or (),
+            )
+        finally:
+            coordinator.close()
+        return 0
+    # shard
+    if args.node_index is None:
+        raise HypeRError("--role shard requires --node-index")
+    if not 0 <= args.node_index < topology.n_nodes:
+        raise HypeRError(
+            f"--node-index {args.node_index} out of range for a "
+            f"{topology.n_nodes}-node topology"
+        )
+    dataset = make_dataset(args.dataset, **_generator_kwargs(args))
+    address = topology.nodes[args.node_index]
+    shard = ShardServer(
+        dataset.database,
+        dataset.causal_dag,
+        config,
+        shard_index=topology.shard_of_node(args.node_index),
+        n_shards=topology.n_shards,
+        max_workers=args.workers,
+    )
+    print(
+        f"cluster shard node {args.node_index} (shard "
+        f"{shard.shard_index}/{topology.n_shards}) over dataset "
+        f"{args.dataset!r} ({dataset.database.total_rows} rows)",
+        flush=True,
+    )
+    try:
+        run_async_server(
+            shard.service,
+            host=address.host,
+            port=address.port,
+            max_inflight=args.max_inflight,
+            queue_depth=args.queue_depth,
+            drain_timeout=args.drain_timeout,
+            warm_queries=args.warm_query or (),
+            app_factory=shard.app_factory,
+        )
+    finally:
+        shard.close()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -231,6 +337,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(f"  {edge.source} -> {edge.target}{marker}")
             return 0
         if args.command == "serve":
+            if args.role != "single":
+                return _serve_cluster(args)
             from .service import HypeRService, serve as run_server
 
             dataset = make_dataset(args.dataset, **_generator_kwargs(args))

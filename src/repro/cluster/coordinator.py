@@ -1,0 +1,849 @@
+"""The cluster's front door: scatter-gather with exact merge and failover.
+
+:class:`ClusterCoordinator` duck-types :class:`~repro.service.session.HypeRService`
+— ``execute`` / ``execute_many`` / ``update_relation_columns`` / ``stats`` /
+``serving_signals`` / ``generation`` / ``metrics`` / ``slow_log`` — so both
+existing HTTP front doors (:mod:`repro.service.server`,
+:mod:`repro.aserve`) mount it unchanged and the public v1 API is identical
+to a single-node deployment.
+
+Per query it scatters one ``POST /v1/partial`` to a replica of every shard
+(concurrently, on a private event loop thread), decodes the bit-exact wire
+partials, and folds them through the *same* merge protocol the in-process
+shard pool uses (:mod:`repro.shard.merge`) — so a cluster answer is bitwise
+equal to the unsharded service's.  Because every replica of a shard
+materialises the identical slice of the deterministic partition, failover is
+exact too: a per-node timeout/connection failure (or a ``409
+stale_generation``) simply retries the next replica of that shard, and the
+merged answer cannot change.
+
+Health: ``failure_threshold`` consecutive failures mark a node unhealthy
+(skipped by the scatter's first choice); a background probe re-admits it
+only once its ``/health`` reports the coordinator's current generation — a
+node that missed an update fan-out can never serve stale partials.
+
+Updates run two-phase under the commit lock: ``stage`` the next generation's
+runtime on every healthy node (queries keep flowing against the current
+generation), then ``flip`` everywhere; nodes retain the previous generation's
+runtime so scatters racing the flip still finish exactly (the cluster
+analogue of the MVCC ``pinned_fallbacks``).
+
+Server-side deadlines decrement across hops: the coordinator advertises
+``accepts_deadline`` and forwards each request's remaining budget as the
+``deadline_ms`` of its downstream partial calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import Future
+from contextlib import contextmanager
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..api import endpoints as api
+from ..api.aclient import AsyncHypeRClient
+from ..api.client import (
+    ApiStatusError,
+    DeadlineExceeded,
+    OverloadedError,
+    ServerDeadlineExceeded,
+    TransportError,
+)
+from ..api.schemas import API_VERSION
+from ..core.config import EngineConfig
+from ..core.queries import HowToQuery, WhatIfQuery
+from ..exceptions import HypeRError
+from ..lang.parser import parse_query
+from ..lang.unparse import unparse
+from ..obs import trace as obs_trace
+from ..obs.metrics import MetricsRegistry
+from ..obs.slowlog import SlowQueryLog
+from ..service.executor import default_max_workers
+from ..shard.merge import merge_how_to, merge_what_if, solve_merged_how_to
+from . import wire
+from .shardserver import CLUSTER_UPDATE_PATH, PARTIAL_PATH
+from .topology import ClusterTopology
+
+__all__ = ["ClusterCoordinator", "ClusterError", "ProxyAnswer"]
+
+Query = WhatIfQuery | HowToQuery
+
+
+class ClusterError(HypeRError):
+    """A cluster-level serving failure (no replica of a shard could answer)."""
+
+
+class ProxyAnswer:
+    """An answer proxied verbatim from one node's public ``/v1/query``.
+
+    Used for exhaustive how-to, which the cluster (like the in-process pool)
+    runs unsharded on a single node — every node holds the full snapshot.
+    ``payload()`` returns the node's v1 wire payload unchanged, so the
+    coordinator's front door serves exactly what the node computed.
+    """
+
+    __slots__ = ("_payload", "runtime_seconds")
+
+    def __init__(self, payload: dict[str, Any], runtime_seconds: float = 0.0) -> None:
+        self._payload = payload
+        self.runtime_seconds = runtime_seconds
+
+    def payload(self) -> dict[str, Any]:
+        return self._payload
+
+    def summary(self) -> str:
+        return json.dumps(self._payload, default=str)[:200]
+
+
+class _NodeState:
+    """Live health bookkeeping of one topology node."""
+
+    __slots__ = ("index", "shard", "address", "client", "failures", "healthy")
+
+    def __init__(self, index: int, shard: int, address, client: AsyncHypeRClient):
+        self.index = index
+        self.shard = shard
+        self.address = address
+        self.client = client
+        self.failures = 0
+        self.healthy = True
+
+
+class ClusterCoordinator:
+    """Scatter-gather front door over a :class:`ClusterTopology`.
+
+    Parameters
+    ----------
+    topology:
+        Node addresses and shard count (see :mod:`repro.cluster.topology`).
+    config:
+        The :class:`EngineConfig` shared with the shard nodes — only
+        coordinator-relevant knobs are read here (``verify_howto_with_whatif``
+        gates the second verification scatter).
+    timeout:
+        Per-node socket/IO timeout, seconds.
+    failure_threshold:
+        Consecutive per-node failures before the node is marked unhealthy.
+    probe_interval:
+        Seconds between background ``/health`` probes of unhealthy nodes.
+    """
+
+    #: front doors forward each request's remaining deadline budget into
+    #: execute(..., deadline=) — it decrements across coordinator→shard hops
+    accepts_deadline = True
+    execution = "cluster"
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        config: EngineConfig | None = None,
+        *,
+        max_workers: int | None = None,
+        timeout: float = 30.0,
+        failure_threshold: int = 3,
+        probe_interval: float = 1.0,
+        node_max_retries: int = 1,
+        slow_query_seconds: float = 0.1,
+        slow_log_size: int = 64,
+    ) -> None:
+        self.topology = topology
+        self.config = config if config is not None else EngineConfig()
+        self.n_shards = topology.n_shards
+        self.placement = topology.placement
+        self.max_workers = max_workers
+        self.timeout = timeout
+        self.failure_threshold = max(1, failure_threshold)
+        self.probe_interval = probe_interval
+        self._generation = 0
+        self._started_at = time.time()
+        self._n_queries = 0
+        self._n_batches = 0
+        # serializes two-phase update fan-outs (and generation bumps)
+        self._commit_lock = threading.RLock()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._probe_future: Future | None = None
+        self._started = False
+        self._closed = False
+        self._lifecycle_lock = threading.Lock()
+        self._nodes = [
+            _NodeState(
+                index,
+                topology.shard_of_node(index),
+                address,
+                AsyncHypeRClient(
+                    address.host,
+                    address.port,
+                    timeout=timeout,
+                    max_retries=node_max_retries,
+                ),
+            )
+            for index, address in enumerate(topology.nodes)
+        ]
+        self.metrics = MetricsRegistry()
+        m = self.metrics
+        self._m_queries = m.counter(
+            "hyper_queries_total", "Queries accepted by execute()/execute_many()"
+        )
+        self._m_batches = m.counter(
+            "hyper_batches_total", "Batches accepted by execute_many()"
+        )
+        self._m_rejected = m.counter(
+            "hyper_rejected_total",
+            "Requests turned away by front-end admission control",
+            labelnames=("endpoint",),
+        )
+        self._m_latency = m.histogram(
+            "hyper_request_seconds",
+            "Tracked execution latency per endpoint",
+            labelnames=("endpoint",),
+        )
+        self._m_inflight = m.gauge(
+            "hyper_inflight", "Concurrent tracked executions across all front doors"
+        )
+        self._m_slow = m.counter(
+            "hyper_slow_queries_total",
+            "Query completions at or above the slow-query threshold",
+        )
+        self._m_scatters = m.counter(
+            "hyper_cluster_scatters_total", "Per-shard partial calls issued"
+        )
+        self._m_failovers = m.counter(
+            "hyper_cluster_failovers_total",
+            "Scatter legs retried on a replica after a node failure",
+        )
+        self._m_node_failures = m.counter(
+            "hyper_cluster_node_failures_total",
+            "Per-node call failures observed by the coordinator",
+            labelnames=("node",),
+        )
+        self._m_updates = m.counter(
+            "hyper_cluster_updates_total", "Two-phase update fan-outs committed"
+        )
+        m.register_callback(
+            "hyper_uptime_seconds",
+            "Seconds since the coordinator started",
+            lambda: time.time() - self._started_at,
+        )
+        m.register_callback(
+            "hyper_generation",
+            "Latest cluster-committed database generation",
+            lambda: self._generation,
+        )
+        m.register_callback(
+            "hyper_cluster_nodes", "Nodes in the topology", lambda: len(self._nodes)
+        )
+        m.register_callback(
+            "hyper_cluster_healthy_nodes",
+            "Nodes currently considered healthy",
+            lambda: sum(1 for node in self._nodes if node.healthy),
+        )
+        m.register_callback(
+            "hyper_cluster_node_up",
+            "Per-node health (1 healthy, 0 unhealthy)",
+            lambda: [
+                ({"node": str(node.index)}, 1.0 if node.healthy else 0.0)
+                for node in self._nodes
+            ],
+        )
+        self.slow_log = SlowQueryLog(slow_log_size, slow_query_seconds)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the private event-loop thread and the health-probe task."""
+        with self._lifecycle_lock:
+            if self._started:
+                return
+            loop = asyncio.new_event_loop()
+            thread = threading.Thread(
+                target=loop.run_forever, name="hyper-cluster-loop", daemon=True
+            )
+            thread.start()
+            self._loop = loop
+            self._thread = thread
+            self._started = True
+            self._probe_future = asyncio.run_coroutine_threadsafe(
+                self._probe_forever(), loop
+            )
+
+    def start_pool(self) -> None:
+        """Front-door lifecycle hook (the runner calls it): alias of start()."""
+        self.start()
+
+    def close(self) -> None:
+        """Stop probing, close every node client, and join the loop thread."""
+        with self._lifecycle_lock:
+            if not self._started or self._closed:
+                self._closed = True
+                return
+            self._closed = True
+            if self._probe_future is not None:
+                self._probe_future.cancel()
+            loop = self._loop
+            assert loop is not None
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    self._close_clients(), loop
+                ).result(timeout=10)
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+            loop.call_soon_threadsafe(loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=10)
+            loop.close()
+            self._loop = None
+            self._thread = None
+
+    async def _close_clients(self) -> None:
+        for node in self._nodes:
+            await node.client.close()
+
+    def __enter__(self) -> "ClusterCoordinator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _run(self, coro: Any) -> Any:
+        """Run a coroutine on the private loop from a calling thread."""
+        if not self._started:
+            self.start()
+        if self._closed or self._loop is None:
+            raise ClusterError("coordinator is closed")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    # -- health ------------------------------------------------------------------------
+
+    def _record_failure(self, node: _NodeState) -> None:
+        node.failures += 1
+        self._m_node_failures.labels(node=str(node.index)).inc()
+        if node.failures >= self.failure_threshold:
+            node.healthy = False
+
+    def _record_success(self, node: _NodeState) -> None:
+        node.failures = 0
+        node.healthy = True
+
+    async def _probe_forever(self) -> None:
+        """Re-admit unhealthy nodes whose /health matches our generation."""
+        while not self._closed:
+            await asyncio.sleep(self.probe_interval)
+            for node in self._nodes:
+                if node.healthy or self._closed:
+                    continue
+                try:
+                    body = await node.client.health(
+                        deadline=min(self.timeout, 5.0)
+                    )
+                except Exception:  # noqa: BLE001 - stays unhealthy
+                    continue
+                # generation must match: a node that missed an update fan-out
+                # would serve stale partials if re-admitted
+                if int(body.get("generation", -1)) == self._generation:
+                    self._record_success(node)
+
+    def _replica_order(self, shard: int) -> list[_NodeState]:
+        """Healthy replicas first (topology order), unhealthy as last resort."""
+        replicas = [self._nodes[j] for j in self.placement.replicas_of(shard)]
+        return [n for n in replicas if n.healthy] + [
+            n for n in replicas if not n.healthy
+        ]
+
+    # -- scatter-gather ----------------------------------------------------------------
+
+    @staticmethod
+    def _client_deadline(deadline: "api.RequestDeadline | None") -> float | None:
+        if deadline is None:
+            return None
+        return max(deadline.remaining_ms() / 1000.0, 1e-3)
+
+    async def _shard_partial(
+        self,
+        shard: int,
+        kind: str,
+        text: str,
+        generation: int,
+        deadline: "api.RequestDeadline | None",
+        chosen: list[int] | None,
+    ) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "api_version": API_VERSION,
+            "kind": kind,
+            "query": text,
+            "generation": generation,
+        }
+        if chosen is not None:
+            payload["chosen"] = chosen
+        last_error: Exception | None = None
+        attempts = 0
+        for node in self._replica_order(shard):
+            if deadline is not None:
+                remaining = deadline.remaining_ms()
+                if remaining <= 0:
+                    raise api.deadline_error(deadline.deadline_ms)
+                payload["deadline_ms"] = max(1, int(remaining))
+            if attempts:
+                self._m_failovers.inc()
+            attempts += 1
+            self._m_scatters.inc()
+            try:
+                body = await node.client.post_json(
+                    PARTIAL_PATH, payload, deadline=self._client_deadline(deadline)
+                )
+            except ServerDeadlineExceeded:
+                raise api.deadline_error(
+                    deadline.deadline_ms if deadline is not None
+                    else int(payload.get("deadline_ms", 0))
+                ) from None
+            except DeadlineExceeded:
+                if deadline is not None:
+                    raise api.deadline_error(deadline.deadline_ms) from None
+                raise
+            except (TransportError, OverloadedError) as error:
+                self._record_failure(node)
+                last_error = error
+                continue
+            except ApiStatusError as error:
+                if error.code == "stale_generation":
+                    # the node missed (or outran) an update fan-out; another
+                    # replica may still retain the requested generation
+                    self._record_failure(node)
+                    last_error = error
+                    continue
+                # a deterministic query error: every replica would answer the
+                # same, so re-answer it verbatim at the coordinator
+                raise api.ApiError(error.status, error.envelope) from None
+            self._record_success(node)
+            partial = body.get("partial")
+            if not isinstance(partial, dict):
+                raise ClusterError(
+                    f"node {node.index} answered a malformed partial: {body!r}"
+                )
+            return partial
+        raise ClusterError(
+            f"no replica of shard {shard} could answer "
+            f"(generation {generation}): {last_error}"
+        )
+
+    async def _scatter_async(
+        self,
+        kind: str,
+        text: str,
+        deadline: "api.RequestDeadline | None",
+        chosen: list[int] | None = None,
+    ) -> list[dict[str, Any]]:
+        generation = self._generation
+        return list(
+            await asyncio.gather(
+                *(
+                    self._shard_partial(shard, kind, text, generation, deadline, chosen)
+                    for shard in range(self.n_shards)
+                )
+            )
+        )
+
+    def _scatter(
+        self,
+        kind: str,
+        text: str,
+        deadline: "api.RequestDeadline | None",
+        chosen: list[int] | None = None,
+    ) -> list[dict[str, Any]]:
+        with obs_trace.span("cluster.scatter", kind=kind, shards=self.n_shards):
+            return self._run(self._scatter_async(kind, text, deadline, chosen))
+
+    # -- the service surface -----------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def parse(self, query_text: str) -> Query:
+        return parse_query(query_text)
+
+    def _as_query(self, query: Any) -> Query:
+        if isinstance(query, str):
+            return self.parse(query)
+        from ..api.builder import as_query_object
+
+        return as_query_object(query)
+
+    @contextmanager
+    def _track(self, endpoint: str, units: int = 1):
+        started = time.perf_counter()
+        self._m_inflight.inc(units)
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self._m_inflight.dec(units)
+            self._m_latency.labels(endpoint=endpoint).observe(elapsed)
+
+    def record_rejection(self, endpoint: str = "query", *, units: int = 1) -> None:
+        self._m_rejected.labels(endpoint=endpoint).inc(units)
+
+    def serving_signals(self) -> dict[str, Any]:
+        """The admission-control signal snapshot (same shape as the service's)."""
+        healthy = sum(1 for node in self._nodes if node.healthy)
+        capacity = max(healthy, 1)
+        in_flight = int(self._m_inflight.value)
+        rejected = {k: int(v) for k, v in self._m_rejected.per_label().items()}
+        return {
+            "in_flight": in_flight,
+            "peak_in_flight": int(self._m_inflight.peak),
+            "rejected_total": sum(rejected.values()),
+            "rejected": rejected,
+            "capacity_hint": capacity,
+            "saturation": in_flight / capacity if capacity else 0.0,
+            "latency": {
+                endpoint: {"count": child.count, "seconds": child.sum}
+                for endpoint, child in self._m_latency.per_label().items()
+            },
+        }
+
+    def prepare(self, queries: Any) -> None:
+        """Warm the shard nodes by answering each query once."""
+        entries = queries if isinstance(queries, (list, tuple)) else [queries]
+        for entry in entries:
+            self.execute(entry)
+
+    def _record_completion(self, text: str, kind: str, elapsed: float) -> None:
+        if elapsed < self.slow_log.threshold_seconds:
+            return
+        active = obs_trace.current_trace()
+        if self.slow_log.record(
+            text,
+            elapsed,
+            query=text,
+            request_id=active.request_id if active is not None else "",
+            kind=kind,
+        ):
+            self._m_slow.inc()
+
+    def _verifier(
+        self,
+        text: str,
+        n_rows: int,
+        deadline: "api.RequestDeadline | None",
+    ):
+        """The second verification scatter solve_merged_how_to calls back into."""
+        if not getattr(self.config, "verify_howto_with_whatif", False):
+            return None
+
+        def verify(chosen_indices: list[int]):
+            partials = self._scatter(
+                "howto_verify", text, deadline, chosen=[int(i) for i in chosen_indices]
+            )
+            count = np.zeros(n_rows)
+            sum_ = np.zeros(n_rows)
+            for payload in partials:
+                own, shard_count, shard_sum = wire.decode_verify(payload)
+                count[own] = shard_count
+                sum_[own] = shard_sum
+            return count, sum_
+
+        return verify
+
+    def _proxy_query(
+        self,
+        text: str,
+        *,
+        exhaustive: bool,
+        deadline: "api.RequestDeadline | None",
+    ) -> ProxyAnswer:
+        """Run a query unsharded on one node's public ``/v1/query``."""
+        started = time.perf_counter()
+        request: dict[str, Any] = {
+            "api_version": API_VERSION,
+            "query": text,
+            "exhaustive": exhaustive,
+        }
+        if deadline is not None:
+            remaining = deadline.remaining_ms()
+            if remaining <= 0:
+                raise api.deadline_error(deadline.deadline_ms)
+            request["deadline_ms"] = max(1, int(remaining))
+
+        async def call() -> dict[str, Any]:
+            last_error: Exception | None = None
+            candidates = [n for n in self._nodes if n.healthy] + [
+                n for n in self._nodes if not n.healthy
+            ]
+            for node in candidates:
+                try:
+                    body = await node.client.post_json(
+                        "/v1/query", request, deadline=self._client_deadline(deadline)
+                    )
+                except ServerDeadlineExceeded:
+                    raise api.deadline_error(
+                        deadline.deadline_ms if deadline is not None else 0
+                    ) from None
+                except (TransportError, OverloadedError, DeadlineExceeded) as error:
+                    if isinstance(error, DeadlineExceeded) and deadline is not None:
+                        raise api.deadline_error(deadline.deadline_ms) from None
+                    self._record_failure(node)
+                    last_error = error
+                    continue
+                except ApiStatusError as error:
+                    raise api.ApiError(error.status, error.envelope) from None
+                self._record_success(node)
+                return body
+            raise ClusterError(f"no node could answer the proxied query: {last_error}")
+
+        payload = self._run(call())
+        return ProxyAnswer(payload, runtime_seconds=time.perf_counter() - started)
+
+    def execute(
+        self,
+        query: Any,
+        *,
+        exhaustive: bool = False,
+        trace: "obs_trace.TraceContext | None" = None,
+        deadline: "api.RequestDeadline | None" = None,
+    ):
+        """Answer one query via scatter-gather; bitwise equal to unsharded.
+
+        The merge itself (and the how-to integer program) runs on the calling
+        thread; only the network scatters cross into the private event loop —
+        which lets the how-to verification callback issue its second scatter
+        without re-entering the loop.
+        """
+        parsed = self._as_query(query)
+        text = query if isinstance(query, str) else unparse(parsed)
+        self._m_queries.inc()
+        self._n_queries += 1
+        with obs_trace.activate(trace), self._track("query"):
+            started = time.perf_counter()
+            if isinstance(parsed, WhatIfQuery):
+                partials = self._scatter("whatif", text, deadline)
+                with obs_trace.span("cluster.merge", kind="whatif"):
+                    result = merge_what_if(
+                        parsed, [wire.decode_what_if_partial(p) for p in partials]
+                    )
+                result.runtime_seconds = time.perf_counter() - started
+                self._record_completion(text, "whatif", result.runtime_seconds)
+                return result
+            if exhaustive:
+                # like the in-process pool's exhaustive path: run unsharded on
+                # one node (every node holds the full snapshot)
+                result = self._proxy_query(text, exhaustive=True, deadline=deadline)
+                self._record_completion(text, "howto", result.runtime_seconds)
+                return result
+            partials = self._scatter("howto", text, deadline)
+            with obs_trace.span("cluster.merge", kind="howto"):
+                merged = merge_how_to(
+                    parsed, [wire.decode_how_to_partial(p) for p in partials]
+                )
+            result = solve_merged_how_to(
+                parsed,
+                merged,
+                verify=self._verifier(text, len(merged.baseline_count), deadline),
+                runtime_seconds=time.perf_counter() - started,
+            )
+            result.runtime_seconds = time.perf_counter() - started
+            self._record_completion(text, "howto", result.runtime_seconds)
+            return result
+
+    def execute_many(
+        self,
+        queries: Sequence[Any],
+        *,
+        max_workers: int | None = None,
+        return_errors: bool = False,
+    ) -> list[Any]:
+        """Answer a batch concurrently; scatters interleave on the loop."""
+        self._m_batches.inc()
+        self._n_batches += 1
+        if not queries:
+            return []
+        workers = max_workers or self.max_workers or default_max_workers()
+        workers = max(1, min(workers, len(queries)))
+
+        def run_one(entry: Any) -> Any:
+            try:
+                return self.execute(entry)
+            except Exception as error:  # noqa: BLE001 - reported per query
+                return error
+
+        if workers == 1:
+            outcomes = [run_one(entry) for entry in queries]
+        else:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(run_one, queries))
+        if not return_errors:
+            for outcome in outcomes:
+                if isinstance(outcome, Exception):
+                    raise outcome
+        return outcomes
+
+    # -- updates (two-phase fan-out) ---------------------------------------------------
+
+    def update_relation_columns(
+        self, assignments: dict[str, dict[str, Any]]
+    ) -> frozenset[str]:
+        """Commit column overwrites cluster-wide as one generation.
+
+        Phase one stages the next generation's runtime on every healthy node
+        (a failure aborts the commit — nothing flipped, nothing changed);
+        phase two flips them.  A node failing either phase is marked
+        unhealthy, and since re-admission requires matching the coordinator's
+        generation, a node that missed the flip stays out until an operator
+        restarts it at the current data.
+        """
+        with self._commit_lock:
+            generation = self._generation + 1
+            wire_assignments = {
+                relation: {attr: list(values) for attr, values in columns.items()}
+                for relation, columns in assignments.items()
+            }
+            changed = self._run(self._commit(generation, wire_assignments))
+            self._generation = generation
+            self._m_updates.inc()
+            return frozenset(changed)
+
+    def _covers_all_shards(self, nodes: list[_NodeState]) -> bool:
+        return {node.shard for node in nodes} == set(range(self.n_shards))
+
+    async def _node_update(
+        self, node: _NodeState, payload: dict[str, Any]
+    ) -> dict[str, Any]:
+        return await node.client.post_json(CLUSTER_UPDATE_PATH, payload)
+
+    async def _commit(
+        self, generation: int, assignments: dict[str, dict[str, list]]
+    ) -> list[str]:
+        targets = [node for node in self._nodes if node.healthy]
+        if not self._covers_all_shards(targets):
+            raise ClusterError(
+                "cannot commit: healthy nodes do not cover every shard"
+            )
+        stage_payload = {
+            "api_version": API_VERSION,
+            "phase": "stage",
+            "generation": generation,
+            "assignments": assignments,
+        }
+        results = await asyncio.gather(
+            *(self._node_update(node, stage_payload) for node in targets),
+            return_exceptions=True,
+        )
+        staged: list[_NodeState] = []
+        stage_error: BaseException | None = None
+        rejected: ApiStatusError | None = None
+        for node, outcome in zip(targets, results):
+            if isinstance(outcome, ApiStatusError) and outcome.code != "stale_generation":
+                # deterministic validation rejection (unknown relation, column
+                # length mismatch): every node answers the same, the node is
+                # healthy, and the commit aborts with nothing flipped
+                rejected = outcome
+            elif isinstance(outcome, BaseException):
+                self._record_failure(node)
+                node.healthy = False
+                stage_error = outcome
+            else:
+                staged.append(node)
+        if rejected is not None:
+            raise api.ApiError(rejected.status, rejected.envelope)
+        if not self._covers_all_shards(staged):
+            # abort before any flip: nodes drop their staged runtime the next
+            # time a stage or flip arrives with a different generation
+            raise ClusterError(
+                f"update aborted in the stage phase: {stage_error}"
+            ) from (stage_error if isinstance(stage_error, Exception) else None)
+        flip_payload = {
+            "api_version": API_VERSION,
+            "phase": "flip",
+            "generation": generation,
+        }
+        flip_results = await asyncio.gather(
+            *(self._node_update(node, flip_payload) for node in staged),
+            return_exceptions=True,
+        )
+        changed: list[str] | None = None
+        flipped: list[_NodeState] = []
+        flip_error: BaseException | None = None
+        for node, outcome in zip(staged, flip_results):
+            if isinstance(outcome, BaseException):
+                self._record_failure(node)
+                node.healthy = False
+                flip_error = outcome
+            else:
+                flipped.append(node)
+                changed = [str(name) for name in outcome.get("changed", [])]
+        if not self._covers_all_shards(flipped):
+            raise ClusterError(
+                f"update failed to commit on a full shard cover: {flip_error}"
+            ) from (flip_error if isinstance(flip_error, Exception) else None)
+        return changed or []
+
+    # -- instrumentation ---------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Cluster-wide stats: coordinator counters plus per-node snapshots."""
+        node_stats = self._collect_node_stats()
+        return {
+            "generation": self._generation,
+            "execution": self.execution,
+            "n_queries": self._n_queries,
+            "n_batches": self._n_batches,
+            "uptime_seconds": time.time() - self._started_at,
+            "serving": self.serving_signals(),
+            "cluster": {
+                "n_shards": self.n_shards,
+                "n_nodes": len(self._nodes),
+                "healthy_nodes": sum(1 for node in self._nodes if node.healthy),
+                "scatters": int(self._m_scatters.value),
+                "failovers": int(self._m_failovers.value),
+                "updates": int(self._m_updates.value),
+                "nodes": [
+                    {
+                        "index": node.index,
+                        "shard": node.shard,
+                        "host": node.address.host,
+                        "port": node.address.port,
+                        "healthy": node.healthy,
+                        "failures": node.failures,
+                        **node_stats.get(node.index, {}),
+                    }
+                    for node in self._nodes
+                ],
+            },
+        }
+
+    def _collect_node_stats(self) -> dict[int, dict[str, Any]]:
+        """Best-effort per-node generation/uptime for the stats aggregation."""
+        if not self._started or self._closed:
+            return {}
+
+        async def fetch(node: _NodeState) -> tuple[int, dict[str, Any]]:
+            try:
+                body = await node.client.get_json(
+                    "/v1/stats", deadline=min(self.timeout, 2.0)
+                )
+            except Exception as error:  # noqa: BLE001 - best effort
+                return node.index, {"stats_error": str(error)}
+            return node.index, {
+                "generation": body.get("generation"),
+                "n_queries": body.get("n_queries"),
+                "uptime_seconds": body.get("uptime_seconds"),
+            }
+
+        async def collect() -> dict[int, dict[str, Any]]:
+            pairs = await asyncio.gather(
+                *(fetch(node) for node in self._nodes if node.healthy)
+            )
+            return dict(pairs)
+
+        try:
+            return self._run(collect())
+        except Exception:  # noqa: BLE001 - stats never fail the endpoint
+            return {}

@@ -1,0 +1,382 @@
+"""One shard node of the cluster: the existing front door plus ``/v1/partial``.
+
+A :class:`ShardServer` wraps a full :class:`~repro.service.session.HypeRService`
+(every node holds the complete database snapshot — regressors fit on
+full-view training targets, see :mod:`repro.shard`) plus one
+:class:`~repro.shard.pool.ShardWorkerRuntime` per retained generation,
+materialised over this node's slice of the deterministic
+:func:`~repro.shard.partition.partition_database` plan.  Because the plan is
+a pure function of (database, DAG, ``n_shards``), every replica of a shard
+builds the identical slice without coordination — and therefore produces
+bit-identical partials, which is what makes coordinator failover exact.
+
+:class:`ShardServerApp` extends the asyncio front door with two internal
+endpoints:
+
+* ``POST /v1/partial`` — evaluate one what-if/how-to partial (or a how-to
+  verification round) on the node's shard slice at a named generation.
+  Admission-controlled like ``/v1/query``; a generation this node does not
+  retain answers ``409 stale_generation`` so the coordinator fails over.
+* ``POST /v1/cluster/update`` — the two-phase commit fan-out.  ``stage``
+  builds the next generation's runtime off to the side (queries keep
+  answering from the current one); ``flip`` commits it through the node's
+  own MVCC service so the node and the coordinator agree on generation
+  numbers.  Control-plane: bypasses admission, runs on the auxiliary thread.
+
+The previous generation's runtime is retained (like the in-process pool's
+``pinned_fallbacks``), so a scatter racing a cluster-wide flip still gets
+exact answers for its pinned generation from nodes that already flipped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any
+
+from ..api import endpoints as api
+from ..api.endpoints import PayloadError, decode_json_object
+from ..api.schemas import API_VERSION, ErrorEnvelope
+from ..causal.dag import CausalDAG
+from ..core.config import EngineConfig
+from ..core.queries import HowToQuery, WhatIfQuery
+from ..exceptions import QuerySemanticsError
+from ..obs import trace as obs_trace
+from ..probdb.blocks import block_labels
+from ..relational.database import Database
+from ..service.session import HypeRService
+from ..shard.partition import partition_database
+from ..shard.pool import ShardWorkerRuntime
+from ..aserve.admission import AdmissionRejected
+from ..aserve.app import AsyncApp, _rejection_body, _retry_after_headers
+from . import wire
+
+__all__ = ["PARTIAL_PATH", "CLUSTER_UPDATE_PATH", "ShardServer", "ShardServerApp"]
+
+#: the internal scatter-gather endpoint (not part of the public v1 table)
+PARTIAL_PATH = "/v1/partial"
+#: the internal two-phase update fan-out endpoint
+CLUSTER_UPDATE_PATH = "/v1/cluster/update"
+
+
+def _stale_generation(requested: int, retained: list[int]) -> api.ApiError:
+    return api.ApiError(
+        409,
+        ErrorEnvelope(
+            "stale_generation",
+            f"generation {requested} is not retained on this node",
+            {"requested": requested, "retained": retained},
+        ),
+    )
+
+
+class ShardServer:
+    """A shard node's state: full-snapshot service + per-generation runtimes.
+
+    Parameters
+    ----------
+    database / causal_dag / config:
+        Exactly as for :class:`HypeRService` — the node's full snapshot.
+    shard_index / n_shards:
+        Which slice of the deterministic partition this node computes
+        partials for (``node_index % n_shards`` under the round-robin
+        placement).
+    retained_generations:
+        How many generations of runtimes stay answerable (>= 2 so scatters
+        racing a cluster flip can still complete on their pinned generation).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        causal_dag: CausalDAG | None = None,
+        config: EngineConfig | None = None,
+        *,
+        shard_index: int,
+        n_shards: int,
+        max_workers: int | None = None,
+        retained_generations: int = 2,
+        **service_kwargs: Any,
+    ) -> None:
+        if not 0 <= shard_index < n_shards:
+            raise QuerySemanticsError(
+                f"shard index {shard_index} out of range for {n_shards} shard(s)"
+            )
+        self.shard_index = shard_index
+        self.n_shards = n_shards
+        self.retained_generations = max(1, retained_generations)
+        self.service = HypeRService(
+            database,
+            causal_dag,
+            config,
+            max_workers=max_workers,
+            **service_kwargs,
+        )
+        self.config = self.service.config
+        self.causal_dag = causal_dag
+        self._lock = threading.Lock()
+        #: answerable runtimes keyed by generation (latest + pinned fallbacks)
+        self._runtimes: dict[int, ShardWorkerRuntime] = {}
+        #: (generation, runtime, assignments) staged by phase one of a commit
+        self._staged: tuple[int, ShardWorkerRuntime, dict[str, dict[str, Any]]] | None = None
+        self._runtimes[self.service.generation] = self._build_runtime(
+            self.service.database
+        )
+
+    # -- runtime construction ----------------------------------------------------------
+
+    def _build_runtime(self, database: Database) -> ShardWorkerRuntime:
+        # mirror HypeRService._blocks so the plan (and the partials' block
+        # carriers) matches what an unsharded service would compute
+        blocks = (
+            block_labels(database, self.causal_dag)
+            if self.causal_dag is not None and self.config.use_blocks
+            else None
+        )
+        plan = partition_database(
+            database, self.causal_dag, self.n_shards, blocks=blocks
+        )
+        return ShardWorkerRuntime(plan[self.shard_index], self.causal_dag, self.config)
+
+    def runtime_generations(self) -> list[int]:
+        with self._lock:
+            return sorted(self._runtimes)
+
+    def _runtime_for(self, generation: int) -> ShardWorkerRuntime:
+        with self._lock:
+            runtime = self._runtimes.get(generation)
+            if runtime is None:
+                raise _stale_generation(generation, sorted(self._runtimes))
+            return runtime
+
+    # -- the /v1/partial data plane ----------------------------------------------------
+
+    def partial_payload(
+        self, body: dict[str, Any], *, deadline: "api.RequestDeadline | None" = None
+    ) -> dict[str, Any]:
+        """Answer one partial request body (already JSON-decoded)."""
+        kind = body.get("kind")
+        query_text = body.get("query")
+        if kind not in ("whatif", "howto", "howto_verify"):
+            raise PayloadError(400, f"unknown partial kind {kind!r}")
+        if not isinstance(query_text, str) or not query_text.strip():
+            raise PayloadError(400, "field 'query' must be a non-empty string")
+        try:
+            generation = int(body.get("generation", 0))
+        except (TypeError, ValueError):
+            raise PayloadError(
+                400, f"invalid generation {body.get('generation')!r}"
+            ) from None
+        runtime = self._runtime_for(generation)
+        parsed = self.service.parse(query_text)
+        if deadline is not None:
+            deadline.check()
+        if kind == "whatif":
+            if not isinstance(parsed, WhatIfQuery):
+                raise PayloadError(400, "kind 'whatif' needs a what-if query")
+            with obs_trace.span("cluster.partial", kind=kind, shard=self.shard_index):
+                partial = runtime.what_if_partial(parsed)
+            encoded: dict[str, Any] = wire.encode_what_if_partial(partial)
+        elif kind == "howto":
+            if not isinstance(parsed, HowToQuery):
+                raise PayloadError(400, "kind 'howto' needs a how-to query")
+            with obs_trace.span("cluster.partial", kind=kind, shard=self.shard_index):
+                partial = runtime.how_to_partial(parsed)
+            encoded = wire.encode_how_to_partial(partial)
+        else:
+            if not isinstance(parsed, HowToQuery):
+                raise PayloadError(400, "kind 'howto_verify' needs a how-to query")
+            chosen = body.get("chosen")
+            if not isinstance(chosen, list):
+                raise PayloadError(400, "kind 'howto_verify' needs a 'chosen' index list")
+            try:
+                indices = [int(i) for i in chosen]
+            except (TypeError, ValueError):
+                raise PayloadError(400, f"invalid 'chosen' indices {chosen!r}") from None
+            with obs_trace.span("cluster.partial", kind=kind, shard=self.shard_index):
+                own, count, sum_ = runtime.how_to_verify(parsed, indices)
+            encoded = wire.encode_verify(own, count, sum_)
+        return {
+            "api_version": API_VERSION,
+            "kind": kind,
+            "generation": generation,
+            "shard_index": self.shard_index,
+            "partial": encoded,
+        }
+
+    # -- the /v1/cluster/update control plane ------------------------------------------
+
+    def cluster_update_payload(self, body: dict[str, Any]) -> dict[str, Any]:
+        phase = body.get("phase")
+        try:
+            generation = int(body.get("generation"))
+        except (TypeError, ValueError):
+            raise PayloadError(
+                400, f"invalid generation {body.get('generation')!r}"
+            ) from None
+        if phase == "stage":
+            request = api.parse_update_request(
+                {"api_version": API_VERSION, "assignments": body.get("assignments")}
+            )
+            assignments = {
+                relation: dict(columns)
+                for relation, columns in request.assignments.items()
+            }
+            if not assignments:
+                raise PayloadError(400, "stage needs a non-empty 'assignments' object")
+            self.stage(generation, assignments)
+            return {
+                "api_version": API_VERSION,
+                "phase": "stage",
+                "generation": generation,
+                "staged": True,
+            }
+        if phase == "flip":
+            changed = self.flip(generation)
+            return {
+                "api_version": API_VERSION,
+                "phase": "flip",
+                "generation": self.service.generation,
+                "changed": sorted(changed),
+            }
+        raise PayloadError(400, f"unknown cluster-update phase {phase!r}")
+
+    def stage(self, generation: int, assignments: dict[str, dict[str, Any]]) -> None:
+        """Phase one: build the next generation's runtime without committing.
+
+        The staged runtime's database applies ``assignments`` the same way
+        :meth:`HypeRService.update_relation_columns` will at flip time, so
+        the slice the runtime materialises is value-identical to the state
+        the node's service commits — current queries keep answering from the
+        installed runtimes meanwhile.
+        """
+        with self._lock:
+            expected = self.service.generation + 1
+            if generation != expected:
+                raise _stale_generation(generation, sorted(self._runtimes))
+            database = self.service.database
+            for relation_name, columns in assignments.items():
+                if relation_name not in database:
+                    raise QuerySemanticsError(
+                        f"unknown relation {relation_name!r}; database has "
+                        f"{sorted(database.relation_names)}"
+                    )
+                relation = database[relation_name]
+                for attribute, values in columns.items():
+                    relation = relation.with_column(attribute, values)
+                database = database.with_relation(relation)
+            runtime = self._build_runtime(database)
+            self._staged = (generation, runtime, assignments)
+
+    def flip(self, generation: int) -> frozenset[str]:
+        """Phase two: commit the staged assignments and install the runtime."""
+        with self._lock:
+            if self._staged is None or self._staged[0] != generation:
+                staged_gen = None if self._staged is None else self._staged[0]
+                raise api.ApiError(
+                    409,
+                    ErrorEnvelope(
+                        "stale_generation",
+                        f"no staged runtime for generation {generation} "
+                        f"(staged: {staged_gen})",
+                        {"requested": generation, "staged": staged_gen},
+                    ),
+                )
+            if self.service.generation + 1 != generation:
+                self._staged = None
+                raise _stale_generation(generation, sorted(self._runtimes))
+            _gen, runtime, assignments = self._staged
+            changed = self.service.update_relation_columns(assignments)
+            self._runtimes[generation] = runtime
+            self._staged = None
+            for old in sorted(self._runtimes)[: -self.retained_generations]:
+                del self._runtimes[old]
+            return changed
+
+    def close(self) -> None:
+        self.service.close()
+
+    # -- front-door integration --------------------------------------------------------
+
+    def app_factory(self, service: HypeRService, admission: Any, **kwargs: Any) -> "ShardServerApp":
+        """``AsyncServingRunner(app_factory=shard_server.app_factory)`` hook."""
+        return ShardServerApp(self, service, admission, **kwargs)
+
+
+class ShardServerApp(AsyncApp):
+    """The asyncio front door plus the cluster's internal endpoints."""
+
+    def __init__(
+        self, shard_server: ShardServer, service: HypeRService, admission: Any, **kwargs: Any
+    ) -> None:
+        super().__init__(service, admission, **kwargs)
+        self.shard_server = shard_server
+
+    async def _dispatch(self, request, writer, keep_alive: bool) -> bool:
+        if request.method == "POST" and request.path == PARTIAL_PATH:
+            request.headers.setdefault("x-request-id", obs_trace.new_request_id())
+            return await self._handle_partial(request, writer, keep_alive)
+        if request.method == "POST" and request.path == CLUSTER_UPDATE_PATH:
+            request.headers.setdefault("x-request-id", obs_trace.new_request_id())
+            return await self._handle_cluster_update(request, writer, keep_alive)
+        return await super()._dispatch(request, writer, keep_alive)
+
+    async def _handle_partial(self, request, writer, keep_alive: bool) -> bool:
+        # data plane: admission-controlled exactly like /v1/query (a scatter
+        # leg competes with local public queries for the same executor)
+        request_id = request.request_id
+        try:
+            self.admission.try_admit(1, endpoint="partial")
+        except AdmissionRejected as rejected:
+            return await self._send(
+                writer,
+                429,
+                _rejection_body(rejected),
+                keep_alive,
+                extra_headers=_retry_after_headers(rejected),
+                request_id=request_id,
+            )
+        try:
+            body = decode_json_object(request.body)
+        except PayloadError as error:
+            self.admission.cancel_reservation(1)
+            return await self._send_error(writer, error, keep_alive, request_id=request_id)
+        deadline_ms = body.get("deadline_ms")
+        deadline = (
+            api.RequestDeadline(int(deadline_ms)) if deadline_ms is not None else None
+        )
+        await self.admission.acquire_slot()
+        try:
+            try:
+                payload = await self._run_blocking(
+                    self.shard_server.partial_payload, body, deadline=deadline
+                )
+            except Exception as error:  # noqa: BLE001 - keep the JSON contract
+                return await self._send_error(
+                    writer, error, keep_alive, request_id=request_id
+                )
+            return await self._send(
+                writer, 200, payload, keep_alive,
+                request_id=request_id, request=request,
+            )
+        finally:
+            self.admission.release_slot()
+
+    async def _handle_cluster_update(self, request, writer, keep_alive: bool) -> bool:
+        # control plane like /v1/update: a commit must land on a saturated
+        # node, so it bypasses admission and runs on the auxiliary thread
+        request_id = request.request_id
+        try:
+            body = decode_json_object(request.body)
+        except PayloadError as error:
+            return await self._send_error(writer, error, keep_alive, request_id=request_id)
+        loop = asyncio.get_running_loop()
+        try:
+            payload = await loop.run_in_executor(
+                self._aux_executor, self.shard_server.cluster_update_payload, body
+            )
+        except Exception as error:  # noqa: BLE001 - keep the JSON contract
+            return await self._send_error(writer, error, keep_alive, request_id=request_id)
+        return await self._send(
+            writer, 200, payload, keep_alive, request_id=request_id
+        )

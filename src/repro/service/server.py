@@ -83,10 +83,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         if self.verbose:  # pragma: no cover - exercised only with verbose servers
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
-        body = json.dumps(payload, default=str).encode()
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+        body, compressed = api.maybe_gzip(
+            body, enabled=api.accepts_gzip(self.headers.get("Accept-Encoding"))
+        )
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
+        if compressed:
+            self.send_header("Content-Encoding", "gzip")
         self.send_header("Content-Length", str(len(body)))
         request_id = getattr(self, "_request_id", "")
         if request_id:
@@ -94,16 +98,12 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload, default=str).encode()
+        self._send_body(status, body, "application/json")
+
     def _send_text(self, status: int, text: str, content_type: str) -> None:
-        body = text.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        request_id = getattr(self, "_request_id", "")
-        if request_id:
-            self.send_header("X-Request-Id", request_id)
-        self.end_headers()
-        self.wfile.write(body)
+        self._send_body(status, text.encode("utf-8"), content_type)
 
     def _send_error_envelope(self, error: BaseException) -> None:
         status, envelope = api.envelope_for(error)
@@ -133,7 +133,10 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         except ValueError:
             raise PayloadError(400, f"invalid Content-Length {raw_length!r}") from None
         length = check_body_length(length)
-        return decode_json_object(self.rfile.read(length))
+        raw = api.decompress_body(
+            self.rfile.read(length), self.headers.get("Content-Encoding")
+        )
+        return decode_json_object(raw)
 
     # -- routes ------------------------------------------------------------------------
 

@@ -39,11 +39,7 @@ import numpy as np
 
 from ..causal.dag import CausalDAG
 from ..core.config import EngineConfig, Variant
-from ..core.howto import (
-    HowToEngine,
-    candidate_contribution_rows,
-    candidate_post_values,
-)
+from ..core.howto import HowToEngine
 from ..core.queries import HowToQuery, WhatIfQuery
 from ..core.whatif import WhatIfEngine
 from ..exceptions import HypeRError
@@ -433,31 +429,47 @@ class ShardWorkerRuntime:
         )
         return shared, candidates, estimator
 
-    def how_to_partial(self, query: HowToQuery) -> HowToShardPartial:
+    def _how_to_local(self, query: HowToQuery):
+        """The shard-local candidate evaluator plus its prepared/cached context.
+
+        The :class:`~repro.shard.local.LocalHowTo` runs every per-candidate
+        vectorized step on the local view — ``n / n_shards`` rows, exactly
+        like :meth:`what_if_partial` — while regressor fits keep their
+        full-view targets (from the prepared full-view masks), so merged
+        answers stay bitwise equal to the unsharded path.
+        """
+        from ..service.fingerprint import use_key
+        from .local import LocalHowTo
+
         shared, candidates, estimator = self._how_to_shared(query)
-        row_mask = self._row_mask(query, shared.view)
-        own = np.flatnonzero(row_mask)
-        baseline_count, baseline_sum = candidate_contribution_rows(
-            query, shared, {}, row_mask=row_mask
-        )
+        own = np.flatnonzero(self._row_mask(query, shared.view))
+        local_view = self._local_view(query, shared.view)
+        kernels: KernelCache | None = None
+        if self.config.fused_kernels:
+            kernels = self._kernels.get_or_create(
+                use_key(query.use), KernelCache, tags=use_relations(query.use)
+            )
+        local = LocalHowTo(query, shared, local_view, kernels=kernels)
+        return shared, candidates, estimator, own, local
+
+    def how_to_partial(self, query: HowToQuery) -> HowToShardPartial:
+        shared, candidates, estimator, own, local = self._how_to_local(query)
+        baseline_count, baseline_sum = local.contributions(local.post_values([]))
         candidate_count = np.empty((len(candidates), own.size))
         candidate_sum = np.empty((len(candidates), own.size))
         for i, candidate in enumerate(candidates):
-            post_values = candidate_post_values(
-                query, shared, [candidate.as_attribute_update()]
+            count, sum_ = local.contributions(
+                local.post_values([candidate.as_attribute_update()])
             )
-            count, sum_ = candidate_contribution_rows(
-                query, shared, post_values, row_mask=row_mask
-            )
-            candidate_count[i] = count[own]
-            candidate_sum[i] = sum_[own]
+            candidate_count[i] = count
+            candidate_sum[i] = sum_
         return HowToShardPartial(
             shard_index=self.shard.index,
             n_shards=self.shard.n_shards,
             n_rows=len(shared.view),
             row_indices=own,
-            baseline_count=baseline_count[own],
-            baseline_sum=baseline_sum[own],
+            baseline_count=baseline_count,
+            baseline_sum=baseline_sum,
             candidate_count=candidate_count,
             candidate_sum=candidate_sum,
             signature=tuple((c.attribute, c.label) for c in candidates),
@@ -471,15 +483,10 @@ class ShardWorkerRuntime:
     def how_to_verify(
         self, query: HowToQuery, chosen_indices: Sequence[int]
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        shared, candidates, _estimator = self._how_to_shared(query)
-        row_mask = self._row_mask(query, shared.view)
-        own = np.flatnonzero(row_mask)
+        _shared, candidates, _estimator, own, local = self._how_to_local(query)
         updates = [candidates[i].as_attribute_update() for i in chosen_indices]
-        post_values = candidate_post_values(query, shared, updates)
-        count, sum_ = candidate_contribution_rows(
-            query, shared, post_values, row_mask=row_mask
-        )
-        return own, count[own], sum_[own]
+        count, sum_ = local.contributions(local.post_values(updates))
+        return own, count, sum_
 
     def run_full(self, query: WhatIfQuery | HowToQuery, exhaustive: bool) -> Any:
         """Run a query unsharded inside this worker (exhaustive how-to et al.).

@@ -1,0 +1,142 @@
+"""AsyncHypeRClient against a live front door: parity with the sync client."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import EngineConfig, HypeRService
+from repro.api import AsyncHypeRClient, HypeRClient, WhatIfAnswer
+from repro.api.client import ApiStatusError, DeadlineExceeded, TransportError
+from repro.aserve import BackgroundAsyncServer
+from repro.datasets import make_german_syn
+
+QUERY_TEXT = (
+    "USE Credit UPDATE(Status) = 4 OUTPUT COUNT(POST(Credit)) FOR POST(Credit) = 1"
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_german_syn(200, seed=4)
+
+
+@pytest.fixture(scope="module")
+def server(dataset):
+    service = HypeRService(
+        dataset.database, dataset.causal_dag, EngineConfig(regressor="linear")
+    )
+    with BackgroundAsyncServer(service, max_inflight=4, queue_depth=16) as s:
+        yield s
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAsyncClient:
+    def test_query_matches_sync_client_bitwise(self, server):
+        async def go():
+            async with AsyncHypeRClient(*server.address) as client:
+                return await client.query(QUERY_TEXT)
+
+        answer = run(go())
+        assert isinstance(answer, WhatIfAnswer)
+        with HypeRClient(*server.address) as sync_client:
+            assert answer.value == sync_client.query(QUERY_TEXT).value
+
+    def test_connection_reuse_and_concurrency(self, server):
+        async def go():
+            async with AsyncHypeRClient(*server.address) as client:
+                answers = await asyncio.gather(
+                    *(client.query(QUERY_TEXT) for _ in range(6))
+                )
+                health = await client.health()
+                return answers, health
+
+        answers, health = run(go())
+        assert len({a.value for a in answers}) == 1
+        assert health["status"] == "ok"
+
+    def test_error_envelope_round_trip(self, server):
+        async def go():
+            async with AsyncHypeRClient(*server.address) as client:
+                await client.query("SELECT nonsense")
+
+        with pytest.raises(ApiStatusError) as excinfo:
+            run(go())
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "query_syntax"
+
+    def test_batch_streams_all_items(self, server):
+        async def go():
+            async with AsyncHypeRClient(*server.address) as client:
+                return await client.batch_collect([QUERY_TEXT, "garbage", QUERY_TEXT])
+
+        items = run(go())
+        assert [item.index for item in items] == [0, 1, 2]
+        assert items[0].ok and items[2].ok and not items[1].ok
+        assert items[1].error.code == "query_syntax"
+        assert items[0].result.value == items[2].result.value
+
+    def test_update_bumps_generation(self, dataset):
+        service = HypeRService(
+            dataset.database, dataset.causal_dag, EngineConfig(regressor="linear")
+        )
+        with BackgroundAsyncServer(service, max_inflight=4) as fresh:
+
+            async def go():
+                async with AsyncHypeRClient(*fresh.address) as client:
+                    column = [
+                        float(v) for v in dataset.database["Credit"].column("Status")
+                    ]
+                    answer = await client.update({"Credit": {"Status": column}})
+                    stats = await client.stats()
+                    return answer, stats
+
+            answer, stats = run(go())
+            assert answer.generation == 1
+            assert stats.generation == 1
+
+    def test_metrics_and_slow_queries(self, server):
+        async def go():
+            async with AsyncHypeRClient(*server.address) as client:
+                await client.query(QUERY_TEXT)
+                return await client.metrics(), await client.slow_queries()
+
+        metrics, slow = run(go())
+        assert "hyper_queries_total" in metrics
+        assert "entries" in slow
+
+    def test_gzip_request_bodies_accepted(self, server):
+        async def go():
+            # tiny threshold forces the request body through gzip
+            async with AsyncHypeRClient(*server.address, gzip_min_bytes=10) as client:
+                return await client.query(QUERY_TEXT)
+
+        with HypeRClient(*server.address) as sync_client:
+            assert run(go()).value == sync_client.query(QUERY_TEXT).value
+
+    def test_deadline_exceeded_locally(self, server):
+        async def go():
+            async with AsyncHypeRClient(*server.address) as client:
+                await client.query(QUERY_TEXT, deadline=1e-9)
+
+        with pytest.raises(DeadlineExceeded):
+            run(go())
+
+    def test_connection_refused_raises_transport_error(self):
+        async def go():
+            async with AsyncHypeRClient("127.0.0.1", 1, max_retries=1) as client:
+                await client.health()
+
+        with pytest.raises(TransportError):
+            run(go())
+
+    def test_post_json_generic_endpoint(self, server):
+        async def go():
+            async with AsyncHypeRClient(*server.address) as client:
+                return await client.get_json("/v1/stats")
+
+        assert run(go())["execution"] == "threads"

@@ -1,0 +1,246 @@
+"""The cluster contract: merged answers are bitwise equal to unsharded ones.
+
+A 3-shard cluster of real shard-server processes-on-ports answers every
+query bitwise-identically to a single-node :class:`HypeRService` over the
+same database — on both relational backends — and keeps doing so when a
+replica is killed mid-batch (exact failover) and across two-phase update
+fan-outs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EngineConfig, HypeRService
+from repro.api import HypeRClient
+from repro.api.client import ApiStatusError, ServerDeadlineExceeded
+from repro.aserve import BackgroundAsyncServer
+from repro.cluster import ClusterCoordinator, ClusterError
+from repro.datasets import make_german_syn
+
+from .conftest import make_cluster
+
+WHATIF_TEXTS = [
+    "USE Credit UPDATE(Status) = 4 OUTPUT COUNT(POST(Credit)) FOR POST(Credit) = 1",
+    "USE Credit UPDATE(Status) = 1 OUTPUT COUNT(POST(Credit)) FOR POST(Credit) = 1",
+    "USE Credit UPDATE(CreditAmount) = 0.8 * PRE(CreditAmount) "
+    "OUTPUT AVG(POST(Credit))",
+    "USE Credit WHEN Age > 30 UPDATE(Status) = 3 OUTPUT SUM(POST(Credit)) "
+    "FOR PRE(Age) > 25",
+]
+HOWTO_TEXT = (
+    "USE Credit HOWTOUPDATE Status, Housing "
+    "LIMIT 1 <= POST(Status) <= 4 AND 1 <= POST(Housing) <= 3 "
+    "TOMAXIMIZE COUNT(POST(Credit)) FOR POST(Credit) = 1"
+)
+
+
+@pytest.fixture(scope="module", params=["columnar", "rows"])
+def backend_setup(request):
+    dataset = make_german_syn(200, seed=7)
+    config = EngineConfig(regressor="linear", backend=request.param)
+    single = HypeRService(dataset.database, dataset.causal_dag, config)
+    yield dataset, config, single
+    single.close()
+
+
+class TestBitwiseParity:
+    def test_what_if_parity_both_backends(self, backend_setup):
+        dataset, config, single = backend_setup
+        with make_cluster(dataset.database, dataset.causal_dag, config) as cluster:
+            for text in WHATIF_TEXTS:
+                merged = cluster.coordinator.execute(text)
+                direct = single.execute(text)
+                assert merged.value == direct.value, text
+                assert merged.aggregate == direct.aggregate
+                assert merged.n_view_tuples == direct.n_view_tuples
+
+    def test_how_to_parity_both_backends(self, backend_setup):
+        dataset, config, single = backend_setup
+        with make_cluster(dataset.database, dataset.causal_dag, config) as cluster:
+            merged = cluster.coordinator.execute(HOWTO_TEXT)
+            direct = single.execute(HOWTO_TEXT)
+            assert merged.objective_value == direct.objective_value
+            assert merged.baseline_value == direct.baseline_value
+            assert merged.verified_value == direct.verified_value
+            assert [u.attribute for u in merged.recommended_updates] == [
+                u.attribute for u in direct.recommended_updates
+            ]
+
+    def test_exhaustive_howto_proxies_unsharded(self, backend_setup):
+        dataset, config, single = backend_setup
+        with make_cluster(dataset.database, dataset.causal_dag, config) as cluster:
+            merged = cluster.coordinator.execute(HOWTO_TEXT, exhaustive=True).payload()
+            direct = single.execute(HOWTO_TEXT, exhaustive=True).payload()
+            merged.pop("runtime_seconds"), direct.pop("runtime_seconds")
+            assert merged == direct
+
+    def test_batch_parity(self, backend_setup):
+        dataset, config, single = backend_setup
+        with make_cluster(dataset.database, dataset.causal_dag, config) as cluster:
+            merged = cluster.coordinator.execute_many(WHATIF_TEXTS)
+            direct = [single.execute(text) for text in WHATIF_TEXTS]
+            assert [r.value for r in merged] == [r.value for r in direct]
+
+
+@pytest.fixture(scope="module")
+def dataset_and_config():
+    dataset = make_german_syn(200, seed=7)
+    return dataset, EngineConfig(regressor="linear")
+
+
+class TestFailover:
+    def test_replica_failover_is_exact_mid_batch(self, dataset_and_config):
+        dataset, config = dataset_and_config
+        single = HypeRService(dataset.database, dataset.causal_dag, config)
+        expected = [single.execute(text).value for text in WHATIF_TEXTS]
+        with make_cluster(
+            dataset.database,
+            dataset.causal_dag,
+            config,
+            n_shards=3,
+            n_nodes=6,  # two replicas per shard
+            failure_threshold=1,
+        ) as cluster:
+            coord = cluster.coordinator
+            assert [coord.execute(t).value for t in WHATIF_TEXTS] == expected
+            # kill one shard server mid-batch; answers must stay bitwise-exact
+            cluster.stop_node(0)
+            for _ in range(2):
+                assert [coord.execute(t).value for t in WHATIF_TEXTS] == expected
+            stats = coord.stats()["cluster"]
+            assert stats["failovers"] >= 1
+            assert stats["healthy_nodes"] == 5
+            dead = [n for n in stats["nodes"] if not n["healthy"]]
+            assert [n["index"] for n in dead] == [0]
+        single.close()
+
+    def test_unreplicated_shard_loss_is_an_error(self, dataset_and_config):
+        dataset, config = dataset_and_config
+        with make_cluster(
+            dataset.database,
+            dataset.causal_dag,
+            config,
+            n_shards=2,
+            n_nodes=2,  # replication factor 1: losing a node loses a shard
+            failure_threshold=1,
+        ) as cluster:
+            cluster.coordinator.execute(WHATIF_TEXTS[0])
+            cluster.stop_node(1)
+            with pytest.raises(ClusterError):
+                cluster.coordinator.execute(WHATIF_TEXTS[0])
+
+
+class TestUpdates:
+    def test_two_phase_update_stays_bitwise_exact(self, dataset_and_config):
+        dataset, config = dataset_and_config
+        single = HypeRService(dataset.database, dataset.causal_dag, config)
+        column = [
+            min(4.0, float(v) + 1.0)
+            for v in dataset.database["Credit"].column("Status")
+        ]
+        with make_cluster(dataset.database, dataset.causal_dag, config) as cluster:
+            coord = cluster.coordinator
+            changed = coord.update_relation_columns({"Credit": {"Status": column}})
+            single.update_relation_columns({"Credit": {"Status": column}})
+            assert changed == frozenset({"Credit"})
+            assert coord.generation == 1
+            for text in WHATIF_TEXTS:
+                assert coord.execute(text).value == single.execute(text).value, text
+            # every shard node committed the same generation
+            for shard in cluster.shards:
+                assert shard.service.generation == 1
+                assert 1 in shard.runtime_generations()
+        single.close()
+
+    def test_update_validation_error_leaves_generation_unchanged(
+        self, dataset_and_config
+    ):
+        dataset, config = dataset_and_config
+        with make_cluster(dataset.database, dataset.causal_dag, config) as cluster:
+            coord = cluster.coordinator
+            before = coord.execute(WHATIF_TEXTS[0]).value
+            from repro.api.endpoints import ApiError
+
+            with pytest.raises(ApiError):
+                coord.update_relation_columns({"Credit": {"Status": [1.0, 2.0]}})
+            assert coord.generation == 0
+            assert all(s.service.generation == 0 for s in cluster.shards)
+            assert coord.execute(WHATIF_TEXTS[0]).value == before
+
+
+class TestFrontDoor:
+    def test_public_api_unchanged_through_coordinator(self, dataset_and_config):
+        dataset, config = dataset_and_config
+        single = HypeRService(dataset.database, dataset.causal_dag, config)
+        expected = single.execute(WHATIF_TEXTS[0]).value
+        with make_cluster(dataset.database, dataset.causal_dag, config) as cluster:
+            with BackgroundAsyncServer(
+                cluster.coordinator, max_inflight=4
+            ) as front:
+                with HypeRClient(*front.address) as client:
+                    assert client.query(WHATIF_TEXTS[0]).value == expected
+                    items = client.batch_collect([WHATIF_TEXTS[0], "garbage"])
+                    assert items[0].ok and items[0].result.value == expected
+                    assert not items[1].ok and items[1].error.code == "query_syntax"
+                    snapshot = client.stats()
+                    assert snapshot.generation == 0
+                    assert snapshot.sections["cluster"]["healthy_nodes"] == 3
+                    assert "hyper_cluster_scatters_total" in client.metrics()
+                    assert client.health()["status"] == "ok"
+        single.close()
+
+    def test_deadline_decrements_across_hops(self, dataset_and_config):
+        dataset, config = dataset_and_config
+        with make_cluster(dataset.database, dataset.causal_dag, config) as cluster:
+            with BackgroundAsyncServer(
+                cluster.coordinator, max_inflight=4
+            ) as front:
+                with HypeRClient(*front.address) as client:
+                    # an already-expired budget dies at the coordinator (504)
+                    with pytest.raises(ServerDeadlineExceeded):
+                        client.query(WHATIF_TEXTS[0], deadline_ms=1)
+                    # a generous budget survives both hops
+                    assert client.query(WHATIF_TEXTS[0], deadline_ms=60_000)
+
+    def test_query_errors_surface_verbatim(self, dataset_and_config):
+        dataset, config = dataset_and_config
+        with make_cluster(dataset.database, dataset.causal_dag, config) as cluster:
+            with BackgroundAsyncServer(
+                cluster.coordinator, max_inflight=4
+            ) as front:
+                with HypeRClient(*front.address) as client:
+                    with pytest.raises(ApiStatusError) as excinfo:
+                        client.query(
+                            "USE Credit UPDATE(Status) = 4 "
+                            "OUTPUT COUNT(POST(Nope)) FOR POST(Nope) = 1"
+                        )
+                    assert excinfo.value.status == 400
+
+
+class TestStaleGeneration:
+    def test_shard_answers_409_for_unknown_generation(self, dataset_and_config):
+        dataset, config = dataset_and_config
+        with make_cluster(dataset.database, dataset.causal_dag, config) as cluster:
+            from repro.api.aclient import AsyncHypeRClient
+            import asyncio
+
+            address = cluster.topology.nodes[0]
+
+            async def ask(generation: int):
+                async with AsyncHypeRClient(address.host, address.port) as client:
+                    return await client.post_json(
+                        "/v1/partial",
+                        {
+                            "api_version": "v1",
+                            "kind": "whatif",
+                            "query": WHATIF_TEXTS[0],
+                            "generation": generation,
+                        },
+                    )
+
+            assert asyncio.run(ask(0))["generation"] == 0
+            with pytest.raises(ApiStatusError) as excinfo:
+                asyncio.run(ask(7))
+            assert excinfo.value.status == 409
+            assert excinfo.value.code == "stale_generation"

@@ -1,0 +1,91 @@
+"""Placement determinism and topology JSON round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterTopology,
+    NodeAddress,
+    Placement,
+    PlacementError,
+    TopologyError,
+)
+
+
+class TestPlacement:
+    def test_replica_sets_partition_the_nodes(self):
+        placement = Placement(n_shards=3, n_nodes=7)
+        seen = []
+        for shard in range(3):
+            replicas = placement.replicas_of(shard)
+            assert all(placement.shard_of_node(node) == shard for node in replicas)
+            seen.extend(replicas)
+        assert sorted(seen) == list(range(7))
+
+    def test_replication_factor(self):
+        assert Placement(n_shards=3, n_nodes=6).min_replication == 2
+        assert Placement(n_shards=3, n_nodes=7).min_replication == 2
+        assert Placement(n_shards=2, n_nodes=2).min_replication == 1
+
+    def test_deterministic(self):
+        a, b = Placement(3, 9), Placement(3, 9)
+        assert all(a.replicas_of(s) == b.replicas_of(s) for s in range(3))
+
+    @pytest.mark.parametrize("n_shards,n_nodes", [(0, 1), (3, 2), (-1, 4)])
+    def test_invalid_shapes_raise(self, n_shards, n_nodes):
+        with pytest.raises(PlacementError):
+            Placement(n_shards=n_shards, n_nodes=n_nodes)
+
+
+class TestTopology:
+    def make(self) -> ClusterTopology:
+        return ClusterTopology(
+            n_shards=2,
+            nodes=(
+                NodeAddress("127.0.0.1", 9001),
+                NodeAddress("127.0.0.1", 9002),
+                NodeAddress("127.0.0.1", 9003),
+            ),
+            coordinator=NodeAddress("127.0.0.1", 9000),
+        )
+
+    def test_json_round_trip(self):
+        topology = self.make()
+        assert ClusterTopology.from_json(topology.to_json()) == topology
+
+    def test_load_dump(self, tmp_path):
+        topology = self.make()
+        path = tmp_path / "topology.json"
+        topology.dump(path)
+        assert ClusterTopology.load(path) == topology
+
+    def test_load_malformed_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(TopologyError):
+            ClusterTopology.load(path)
+
+    def test_shard_of_node_follows_placement(self):
+        topology = self.make()
+        assert [topology.shard_of_node(i) for i in range(3)] == [0, 1, 0]
+        assert topology.placement.min_replication == 1
+
+    def test_duplicate_addresses_rejected(self):
+        with pytest.raises(TopologyError):
+            ClusterTopology(
+                n_shards=2,
+                nodes=(
+                    NodeAddress("127.0.0.1", 9001),
+                    NodeAddress("127.0.0.1", 9001),
+                ),
+            )
+
+    def test_fewer_nodes_than_shards_rejected(self):
+        with pytest.raises((TopologyError, PlacementError)):
+            ClusterTopology(n_shards=3, nodes=(NodeAddress("127.0.0.1", 9001),))
+
+    @pytest.mark.parametrize("port", [0, -4, 65536])
+    def test_bad_port_rejected(self, port):
+        with pytest.raises(TopologyError):
+            NodeAddress("127.0.0.1", port)
