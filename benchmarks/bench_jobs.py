@@ -1,0 +1,186 @@
+"""Interactive latency under a background job, plus async/sync result parity.
+
+Drives one real ``repro serve --jobs-dir`` subprocess.  The interactive
+suite (warm repeated-template what-ifs through :class:`HypeRClient`) is
+measured twice: once on an idle server, once while a large background batch
+job is executing.  The job path must stay out of the interactive path's
+way, and its results must be exactly the synchronous answers:
+
+* **interactive p99 with a background job running < 2x the idle p99**
+  (with a small absolute floor so sub-millisecond idle baselines don't turn
+  scheduler jitter into a failure);
+* **max_abs_diff == 0.0** between every batch item's answer value and
+  direct ``HypeRService.execute`` on the same dataset/config.
+
+Results land in ``BENCH_jobs.json`` for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.conftest import fmt, print_table
+from repro import EngineConfig, HypeRService
+from repro.api import HypeRClient
+from repro.datasets import make_german_syn
+
+N_ROWS = 2_000
+SEED = 7
+N_INTERACTIVE = 150
+#: floor on the loaded-p99 bound: a 0.5 ms idle p99 must not make 1.2 ms fail
+P99_FLOOR_SECONDS = 0.05
+
+_ROOT = Path(__file__).resolve().parent.parent
+_RESULTS_PATH = _ROOT / "BENCH_jobs.json"
+
+INTERACTIVE_TEXTS = [
+    f"USE Credit UPDATE(Status) = {value} "
+    "OUTPUT COUNT(POST(Credit)) FOR POST(Credit) = 1"
+    for value in range(1, 9)
+]
+#: distinct update constants: every background item does real engine work
+JOB_TEXTS = [
+    f"USE Credit UPDATE(CreditAmount) = {1000 + k} OUTPUT AVG(POST(Credit))"
+    for k in range(200)
+]
+
+
+def spawn_serve(jobs_dir: str) -> tuple[subprocess.Popen, str, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--dataset", "german-syn", "--rows", str(N_ROWS), "--seed", str(SEED),
+            "--regressor", "linear", "--port", "0", "--jobs-dir", jobs_dir,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.time() + 180
+    assert process.stdout is not None
+    while time.time() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise RuntimeError("server exited before listening")
+        if "listening on http://" in line:
+            address = line.rsplit("http://", 1)[-1].strip()
+            host, port = address.split(":")
+            return process, host, int(port)
+    process.kill()
+    raise RuntimeError("server never printed its listening address")
+
+
+def stop_serve(process: subprocess.Popen) -> None:
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.communicate(timeout=30)
+    except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+        process.kill()
+        process.communicate()
+
+
+def run_interactive(client: HypeRClient) -> dict:
+    latencies: list[float] = []
+    for index in range(N_INTERACTIVE):
+        text = INTERACTIVE_TEXTS[index % len(INTERACTIVE_TEXTS)]
+        started = time.perf_counter()
+        client.query(text)
+        latencies.append(time.perf_counter() - started)
+    latencies.sort()
+    return {
+        "n": len(latencies),
+        "p50_seconds": latencies[len(latencies) // 2],
+        "p99_seconds": latencies[int(0.99 * (len(latencies) - 1))],
+        "mean_seconds": sum(latencies) / len(latencies),
+    }
+
+
+def test_background_job_interference():
+    # ground truth: direct execution on the same dataset/config
+    dataset = make_german_syn(N_ROWS, seed=SEED)
+    direct = HypeRService(
+        dataset.database, dataset.causal_dag, EngineConfig(regressor="linear")
+    )
+    expected = {text: float(direct.execute(text).value) for text in JOB_TEXTS}
+    direct.close()
+
+    with tempfile.TemporaryDirectory(prefix="bench-jobs-") as jobs_dir:
+        process, host, port = spawn_serve(jobs_dir)
+        try:
+            client = HypeRClient(
+                host, port, client_id="bench-jobs", timeout=120.0
+            )
+            # warm the interactive templates, then the idle baseline
+            for text in INTERACTIVE_TEXTS:
+                client.query(text)
+            idle = run_interactive(client)
+
+            # the background batch: low priority, real per-item work
+            job = client.submit_job(queries=JOB_TEXTS, priority="low")
+            status = client.job(job.job_id)
+            assert not status.terminal, "background job finished before the run"
+            loaded = run_interactive(client)
+            running_after = client.job(job.job_id)
+
+            done = client.wait(job.job_id, timeout=600)
+            assert done.state == "succeeded", (done.state, done.error)
+            payload = client.job_result(job.job_id)
+            client.close()
+        finally:
+            stop_serve(process)
+
+    diffs = [
+        abs(float(item["result"]["value"]) - expected[JOB_TEXTS[item["index"]]])
+        for item in payload["results"]
+    ]
+    max_abs_diff = max(diffs)
+    ratio = loaded["p99_seconds"] / idle["p99_seconds"]
+    bound = max(2.0 * idle["p99_seconds"], P99_FLOOR_SECONDS)
+
+    print_table(
+        f"Interactive latency vs background batch job "
+        f"(German-Syn {N_ROWS}, {len(JOB_TEXTS)}-query job)",
+        ["phase", "n", "p50 ms", "p99 ms"],
+        [
+            ["idle", idle["n"], fmt(idle["p50_seconds"] * 1e3, 2),
+             fmt(idle["p99_seconds"] * 1e3, 2)],
+            ["job running", loaded["n"], fmt(loaded["p50_seconds"] * 1e3, 2),
+             fmt(loaded["p99_seconds"] * 1e3, 2)],
+        ],
+    )
+    print(
+        f"background job: {running_after.completed}/{running_after.total} items "
+        f"done when the loaded run finished; p99 ratio {ratio:.2f}x, "
+        f"max |async - sync| = {max_abs_diff}"
+    )
+
+    results = {
+        "dataset": f"german-syn-{N_ROWS}",
+        "n_interactive": N_INTERACTIVE,
+        "job_items": len(JOB_TEXTS),
+        "idle_p50_seconds": idle["p50_seconds"],
+        "idle_p99_seconds": idle["p99_seconds"],
+        "loaded_p50_seconds": loaded["p50_seconds"],
+        "loaded_p99_seconds": loaded["p99_seconds"],
+        "p99_ratio": ratio,
+        "job_items_done_during_run": running_after.completed,
+        "job_attempts": done.attempts,
+        "max_abs_diff": max_abs_diff,
+    }
+    _RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {_RESULTS_PATH.name}")
+
+    # -- acceptance criteria ---------------------------------------------------------
+    assert max_abs_diff == 0.0, max_abs_diff
+    assert loaded["p99_seconds"] < bound, results

@@ -50,6 +50,11 @@ from .schemas import (
     BatchRequest,
     ErrorEnvelope,
     HowToAnswer,
+    JobListAnswer,
+    JobStatus,
+    JobSubmitRequest,
+    PrepareAnswer,
+    PrepareRequest,
     QueryRequest,
     StatsSnapshot,
     UpdateAnswer,
@@ -74,7 +79,12 @@ __all__ = [
     "HowToBuilder",
     "HypeRClient",
     "HypeRClientError",
+    "JobListAnswer",
+    "JobStatus",
+    "JobSubmitRequest",
     "OverloadedError",
+    "PrepareAnswer",
+    "PrepareRequest",
     "QueryBuilder",
     "QueryRequest",
     "ServerDeadlineExceeded",

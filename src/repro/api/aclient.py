@@ -48,6 +48,11 @@ from .schemas import (
     Answer,
     BatchItem,
     BatchRequest,
+    JobListAnswer,
+    JobStatus,
+    JobSubmitRequest,
+    PrepareAnswer,
+    PrepareRequest,
     QueryRequest,
     StatsSnapshot,
     UpdateAnswer,
@@ -102,6 +107,7 @@ class AsyncHypeRClient:
         trace: bool = False,
         gzip_min_bytes: int | None = GZIP_MIN_BYTES,
         max_idle_connections: int = 8,
+        client_id: str = "",
     ) -> None:
         self.host = host
         self.port = port
@@ -110,6 +116,9 @@ class AsyncHypeRClient:
         self.backoff_seconds = backoff_seconds
         self.trace = trace
         self.gzip_min_bytes = gzip_min_bytes
+        #: sent as ``X-Client-Id`` on every request (per-client stats, job
+        #: ownership, quotas); empty means the server assigns an anonymous id
+        self.client_id = client_id
         self.max_idle_connections = max_idle_connections
         #: the X-Request-Id of the most recently started call
         self.last_request_id: str = ""
@@ -301,6 +310,8 @@ class AsyncHypeRClient:
     ) -> tuple[bytes | None, dict[str, str]]:
         body = json.dumps(payload).encode() if payload is not None else None
         headers = {"Accept-Encoding": "gzip"}
+        if self.client_id:
+            headers["X-Client-Id"] = self.client_id
         if body is not None:
             headers["Content-Type"] = "application/json"
             if self.gzip_min_bytes is not None and len(body) >= self.gzip_min_bytes:
@@ -394,10 +405,12 @@ class AsyncHypeRClient:
         path: str,
         payload: dict[str, Any] | None,
         deadline: _Deadline,
+        *,
+        accept: tuple[int, ...] = (200,),
     ) -> dict[str, Any]:
         status, _headers, raw = await self._request(method, path, payload, deadline)
         body = _decode_body(raw)
-        if status != 200:
+        if status not in accept:
             raise _error_from_response(status, body, request_id=deadline.request_id)
         return body
 
@@ -562,3 +575,158 @@ class AsyncHypeRClient:
         """All batch outcomes, ordered by query index."""
         items = [item async for item in self.batch(queries, deadline=deadline)]
         return sorted(items, key=lambda item: item.index)
+
+    # -- prepare / jobs ----------------------------------------------------------------
+
+    async def prepare(
+        self,
+        queries: Sequence[Any] | Iterable[Any],
+        *,
+        deadline: float | None = None,
+    ) -> PrepareAnswer:
+        """``POST /v1/prepare``: warm server-side plans/views for these queries."""
+        request = PrepareRequest(
+            queries=tuple(HypeRClient._as_text(q) for q in queries)
+        )
+        body = await self._json_call(
+            "POST", "/v1/prepare", request.to_json(), self._begin_call(deadline)
+        )
+        return PrepareAnswer.from_json(body)
+
+    async def submit_job(
+        self,
+        query: Any = None,
+        *,
+        queries: Sequence[Any] | None = None,
+        priority: str = "normal",
+        run_at_generation: int | None = None,
+        exhaustive: bool = False,
+        deadline: float | None = None,
+    ) -> JobStatus:
+        """``POST /v1/jobs``: enqueue one query (or a batch) as a durable job.
+
+        Exactly one of ``query``/``queries`` must be given.  See the sync
+        client for the idempotency caveat on transport retries.
+        """
+        request = JobSubmitRequest(
+            query=HypeRClient._as_text(query) if query is not None else None,
+            queries=(
+                tuple(HypeRClient._as_text(q) for q in queries)
+                if queries is not None
+                else None
+            ),
+            priority=priority,
+            run_at_generation=run_at_generation,
+            exhaustive=exhaustive,
+        )
+        body = await self._json_call(
+            "POST",
+            "/v1/jobs",
+            request.to_json(),
+            self._begin_call(deadline),
+            accept=(200, 202),
+        )
+        return JobStatus.from_json(body)
+
+    async def job(self, job_id: str, *, deadline: float | None = None) -> JobStatus:
+        """``GET /v1/jobs/{id}``: the job's current status."""
+        body = await self.get_json(f"/v1/jobs/{job_id}", deadline=deadline)
+        return JobStatus.from_json(body)
+
+    async def jobs(self, *, deadline: float | None = None) -> JobListAnswer:
+        """``GET /v1/jobs``: this client's jobs (per ``client_id``), oldest first."""
+        body = await self.get_json("/v1/jobs", deadline=deadline)
+        return JobListAnswer.from_json(body)
+
+    async def job_result(
+        self, job_id: str, *, deadline: float | None = None
+    ) -> dict[str, Any]:
+        """``GET /v1/jobs/{id}/result``: the finished job's result document."""
+        return await self.get_json(f"/v1/jobs/{job_id}/result", deadline=deadline)
+
+    async def cancel_job(
+        self, job_id: str, *, deadline: float | None = None
+    ) -> JobStatus:
+        """``POST /v1/jobs/{id}/cancel``: request cancellation (idempotent)."""
+        body = await self._json_call(
+            "POST", f"/v1/jobs/{job_id}/cancel", {}, self._begin_call(deadline)
+        )
+        return JobStatus.from_json(body)
+
+    async def job_events(
+        self,
+        job_id: str,
+        *,
+        timeout_s: float | None = None,
+        deadline: float | None = None,
+    ) -> AsyncIterator[dict[str, Any]]:
+        """``GET /v1/jobs/{id}/events``: stream the job's NDJSON event lines.
+
+        Yields each event dict live and ends after the server's
+        ``{"done": true, ...}`` line (yielded last).  Works against both
+        framings: chunked (async front door) and close-delimited (threaded
+        front door).
+        """
+        path = f"/v1/jobs/{job_id}/events"
+        if timeout_s is not None:
+            path += f"?timeout_s={float(timeout_s):g}"
+        budget = self._begin_call(deadline)
+        conn, status, headers, will_close = await self._request_head(
+            "GET", path, None, budget
+        )
+        if status != 200:
+            raw = await self._read_full_body(conn, headers, budget)
+            self._finish(conn, will_close)
+            raise _error_from_response(
+                status, _decode_body(raw), request_id=budget.request_id
+            )
+        chunked = headers.get("transfer-encoding", "").lower() == "chunked"
+        try:
+            if chunked:
+                buffer = b""
+                async for chunk in self._iter_chunks(conn, budget):
+                    buffer += chunk
+                    while b"\n" in buffer:
+                        line, buffer = buffer.split(b"\n", 1)
+                        if not line.strip():
+                            continue
+                        data = json.loads(line)
+                        yield data
+                        if data.get("done"):
+                            # remaining chunks (the terminator) are unread —
+                            # retire the connection instead of pooling it
+                            self._discard(conn)
+                            return
+            else:
+                while True:
+                    line = await self._bounded(conn.reader.readline(), budget)
+                    if not line:
+                        break  # close-delimited stream ended
+                    if not line.strip():
+                        continue
+                    data = json.loads(line)
+                    yield data
+                    if data.get("done"):
+                        break
+        except _RETRYABLE as error:
+            self._discard(conn)
+            raise TransportError(
+                f"job event stream failed: {error}", request_id=budget.request_id
+            ) from error
+        self._discard(conn)
+
+    async def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float | None = None,
+        poll_seconds: float = 0.25,
+    ) -> JobStatus:
+        """Block until the job reaches a terminal state; returns its status."""
+        budget = _Deadline(timeout)
+        while True:
+            status = await self.job(job_id, deadline=budget.remaining())
+            if status.terminal:
+                return status
+            budget.check()
+            await self._sleep(min(poll_seconds, budget.cap(self.timeout)), budget)

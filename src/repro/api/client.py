@@ -51,6 +51,11 @@ from .schemas import (
     BatchItem,
     BatchRequest,
     ErrorEnvelope,
+    JobListAnswer,
+    JobStatus,
+    JobSubmitRequest,
+    PrepareAnswer,
+    PrepareRequest,
     QueryRequest,
     StatsSnapshot,
     UpdateAnswer,
@@ -215,6 +220,7 @@ class HypeRClient:
         backoff_seconds: float = 0.05,
         trace: bool = False,
         gzip_min_bytes: int | None = GZIP_MIN_BYTES,
+        client_id: str = "",
     ) -> None:
         self.host = host
         self.port = port
@@ -222,6 +228,10 @@ class HypeRClient:
         self.max_retries = max_retries
         self.backoff_seconds = backoff_seconds
         self.trace = trace
+        #: sent as ``X-Client-Id`` on every request; the server uses it for
+        #: per-client stats, job ownership, and quota accounting.  Empty means
+        #: the server assigns a per-connection anonymous id.
+        self.client_id = client_id
         #: request bodies at or above this size are sent gzip-compressed;
         #: ``None`` disables request compression (responses are still
         #: negotiated via ``Accept-Encoding: gzip`` and decompressed)
@@ -290,6 +300,8 @@ class HypeRClient:
         body = json.dumps(payload).encode() if payload is not None else None
         headers = {"Content-Type": "application/json"} if body else {}
         headers["Accept-Encoding"] = "gzip"
+        if self.client_id:
+            headers["X-Client-Id"] = self.client_id
         if (
             body is not None
             and self.gzip_min_bytes is not None
@@ -341,13 +353,15 @@ class HypeRClient:
         path: str,
         payload: dict[str, Any] | None,
         deadline: _Deadline,
+        *,
+        accept: tuple[int, ...] = (200,),
     ) -> dict[str, Any]:
         response = self._request(method, path, payload, deadline)
         raw = _read_body(response)
         if response.will_close:
             self._drop_connection()
         body = _decode_body(raw)
-        if response.status != 200:
+        if response.status not in accept:
             raise _error_from_response(
                 response.status, body, request_id=deadline.request_id
             )
@@ -508,6 +522,169 @@ class HypeRClient:
         """All batch outcomes, ordered by query index."""
         items = list(self.batch(queries, deadline=deadline))
         return sorted(items, key=lambda item: item.index)
+
+    # -- prepare / jobs ----------------------------------------------------------------
+
+    def prepare(
+        self,
+        queries: Sequence[Any] | Iterable[Any],
+        *,
+        deadline: float | None = None,
+    ) -> PrepareAnswer:
+        """``POST /v1/prepare``: warm server-side plans/views for these queries.
+
+        Preparation is a hint — it never changes answers, only moves plan and
+        view construction off the first query's latency.  Safe to retry.
+        """
+        request = PrepareRequest(queries=tuple(self._as_text(q) for q in queries))
+        body = self._json_call(
+            "POST", "/v1/prepare", request.to_json(), self._begin_call(deadline)
+        )
+        return PrepareAnswer.from_json(body)
+
+    def submit_job(
+        self,
+        query: Any = None,
+        *,
+        queries: Sequence[Any] | None = None,
+        priority: str = "normal",
+        run_at_generation: int | None = None,
+        exhaustive: bool = False,
+        deadline: float | None = None,
+    ) -> JobStatus:
+        """``POST /v1/jobs``: enqueue one query (or a batch) as a durable job.
+
+        Exactly one of ``query``/``queries`` must be given.  Submission is
+        journaled before the 202 answer, so an accepted job survives a server
+        crash.  Note that a *transport* retry of a submit may enqueue the job
+        twice (submission is not idempotent); poll :meth:`jobs` to reconcile.
+        """
+        request = JobSubmitRequest(
+            query=self._as_text(query) if query is not None else None,
+            queries=(
+                tuple(self._as_text(q) for q in queries)
+                if queries is not None
+                else None
+            ),
+            priority=priority,
+            run_at_generation=run_at_generation,
+            exhaustive=exhaustive,
+        )
+        body = self._json_call(
+            "POST",
+            "/v1/jobs",
+            request.to_json(),
+            self._begin_call(deadline),
+            accept=(200, 202),
+        )
+        return JobStatus.from_json(body)
+
+    def job(self, job_id: str, *, deadline: float | None = None) -> JobStatus:
+        """``GET /v1/jobs/{id}``: the job's current status."""
+        body = self._json_call(
+            "GET", f"/v1/jobs/{job_id}", None, self._begin_call(deadline)
+        )
+        return JobStatus.from_json(body)
+
+    def jobs(self, *, deadline: float | None = None) -> JobListAnswer:
+        """``GET /v1/jobs``: this client's jobs (per ``client_id``), oldest first."""
+        body = self._json_call("GET", "/v1/jobs", None, self._begin_call(deadline))
+        return JobListAnswer.from_json(body)
+
+    def job_result(
+        self, job_id: str, *, deadline: float | None = None
+    ) -> dict[str, Any]:
+        """``GET /v1/jobs/{id}/result``: the finished job's result document.
+
+        404 ``not_found`` while the job is still in flight, 404
+        ``result_expired`` once a succeeded job's result has aged out of the
+        retention store (the terminal *status* survives either way).
+        """
+        return self._json_call(
+            "GET", f"/v1/jobs/{job_id}/result", None, self._begin_call(deadline)
+        )
+
+    def cancel_job(self, job_id: str, *, deadline: float | None = None) -> JobStatus:
+        """``POST /v1/jobs/{id}/cancel``: request cancellation (idempotent)."""
+        body = self._json_call(
+            "POST", f"/v1/jobs/{job_id}/cancel", {}, self._begin_call(deadline)
+        )
+        return JobStatus.from_json(body)
+
+    def job_events(
+        self,
+        job_id: str,
+        *,
+        timeout_s: float | None = None,
+        deadline: float | None = None,
+    ) -> Iterator[dict[str, Any]]:
+        """``GET /v1/jobs/{id}/events``: stream the job's NDJSON event lines.
+
+        Yields each event dict as the server emits it and ends after the
+        server's ``{"done": true, ...}`` line (yielded last).  ``timeout_s``
+        caps how long the *server* keeps the stream open waiting for the job
+        to finish.  The iterator owns the connection until exhausted.
+        """
+        path = f"/v1/jobs/{job_id}/events"
+        if timeout_s is not None:
+            path += f"?timeout_s={float(timeout_s):g}"
+        budget = self._begin_call(deadline)
+        response = self._request("GET", path, None, budget)
+        if response.status != 200:
+            raw = _read_body(response)
+            if response.will_close:
+                self._drop_connection()
+            raise _error_from_response(
+                response.status, _decode_body(raw), request_id=budget.request_id
+            )
+        return self._iter_events(response, budget)
+
+    def _iter_events(
+        self, response: http.client.HTTPResponse, deadline: _Deadline
+    ) -> Iterator[dict[str, Any]]:
+        try:
+            while True:
+                deadline.check()
+                line = response.readline()
+                if not line:
+                    # close-delimited stream (threaded front door) ends here
+                    self._drop_connection()
+                    return
+                if not line.strip():
+                    continue
+                data = json.loads(line)
+                yield data
+                if data.get("done"):
+                    response.read()  # drain the chunked terminator, if any
+                    if response.will_close:
+                        self._drop_connection()
+                    return
+        except (ConnectionError, http.client.HTTPException, TimeoutError, OSError) as error:
+            self._drop_connection()
+            raise TransportError(
+                f"job event stream failed: {error}", request_id=deadline.request_id
+            ) from error
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float | None = None,
+        poll_seconds: float = 0.25,
+    ) -> JobStatus:
+        """Block until the job reaches a terminal state; returns its status.
+
+        Polls ``GET /v1/jobs/{id}`` (each poll under the remaining budget);
+        raises :class:`DeadlineExceeded` if ``timeout`` elapses first.
+        """
+        budget = _Deadline(timeout)
+        while True:
+            remaining = budget.remaining()
+            status = self.job(job_id, deadline=remaining)
+            if status.terminal:
+                return status
+            budget.check()
+            self._sleep(min(poll_seconds, self.cap_timeout(budget)), budget)
 
     # -- batch framing -----------------------------------------------------------------
 

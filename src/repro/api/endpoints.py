@@ -20,6 +20,15 @@ POST     ``/v1/batch``   ``/batch``          :class:`~repro.api.schemas.BatchReq
                                              NDJSON stream (async) / JSON list (threaded)
 POST     ``/v1/update``  —                   :class:`~repro.api.schemas.UpdateRequest` →
                                              :class:`~repro.api.schemas.UpdateAnswer`
+POST     ``/v1/prepare`` —                   :class:`~repro.api.schemas.PrepareRequest` →
+                                             :class:`~repro.api.schemas.PrepareAnswer`
+POST     ``/v1/jobs``    —                   :class:`~repro.api.schemas.JobSubmitRequest`
+                                             → :class:`~repro.api.schemas.JobStatus` (202)
+GET      ``/v1/jobs``    —                   :class:`~repro.api.schemas.JobListAnswer`
+GET      ``/v1/jobs/{id}``        —          :class:`~repro.api.schemas.JobStatus`
+GET      ``/v1/jobs/{id}/events`` —          NDJSON progress-event stream
+GET      ``/v1/jobs/{id}/result`` —          retained result payload
+POST     ``/v1/jobs/{id}/cancel`` —          :class:`~repro.api.schemas.JobStatus`
 =======  ==============  ==================  ===========================================
 
 Aliases answer byte-identically to their canonical path.  Every failure maps
@@ -45,6 +54,8 @@ from .schemas import (
     API_VERSION,
     BatchRequest,
     ErrorEnvelope,
+    PrepareAnswer,
+    PrepareRequest,
     QueryRequest,
     StatsSnapshot,
     UpdateAnswer,
@@ -63,6 +74,7 @@ __all__ = [
     "Endpoint",
     "V1_ENDPOINTS",
     "resolve",
+    "match",
     "check_body_length",
     "decode_json_object",
     "decompress_body",
@@ -82,6 +94,8 @@ __all__ = [
     "parse_query_request",
     "parse_batch_request",
     "parse_update_request",
+    "parse_prepare_request",
+    "prepare_payload",
     "apply_update_payload",
     "execute_query_payload",
     "batch_response_payload",
@@ -122,7 +136,12 @@ class ApiError(HypeRError):
 
 @dataclass(frozen=True)
 class Endpoint:
-    """One row of the public API: canonical ``/v1`` path plus legacy aliases."""
+    """One row of the public API: canonical ``/v1`` path plus legacy aliases.
+
+    A path may contain ``{param}`` segments (``/v1/jobs/{id}``); both front
+    doors route through :func:`match`, which binds them to concrete path
+    segments and returns the bindings alongside the endpoint.
+    """
 
     name: str
     method: str
@@ -134,6 +153,10 @@ class Endpoint:
     def paths(self) -> tuple[str, ...]:
         return (self.path, *self.aliases)
 
+    @property
+    def parameterized(self) -> bool:
+        return "{" in self.path
+
 
 V1_ENDPOINTS: tuple[Endpoint, ...] = (
     Endpoint("health", "GET", "/v1/health", aliases=("/health",)),
@@ -143,18 +166,64 @@ V1_ENDPOINTS: tuple[Endpoint, ...] = (
     Endpoint("query", "POST", "/v1/query", aliases=("/query",)),
     Endpoint("batch", "POST", "/v1/batch", aliases=("/batch",), streaming=True),
     Endpoint("update", "POST", "/v1/update"),
+    Endpoint("prepare", "POST", "/v1/prepare"),
+    Endpoint("jobs_submit", "POST", "/v1/jobs"),
+    Endpoint("jobs_list", "GET", "/v1/jobs"),
+    Endpoint("job_status", "GET", "/v1/jobs/{id}"),
+    Endpoint("job_events", "GET", "/v1/jobs/{id}/events", streaming=True),
+    Endpoint("job_result", "GET", "/v1/jobs/{id}/result"),
+    Endpoint("job_cancel", "POST", "/v1/jobs/{id}/cancel"),
 )
 
 _ROUTES: dict[tuple[str, str], Endpoint] = {
     (endpoint.method, path): endpoint
     for endpoint in V1_ENDPOINTS
     for path in endpoint.paths
+    if "{" not in path
 }
+
+#: parameterized routes: (method, path segments) — "{x}" segments bind
+_PATTERN_ROUTES: tuple[tuple[str, tuple[str, ...], Endpoint], ...] = tuple(
+    (endpoint.method, tuple(path.split("/")), endpoint)
+    for endpoint in V1_ENDPOINTS
+    for path in endpoint.paths
+    if "{" in path
+)
 
 
 def resolve(method: str, path: str) -> Endpoint | None:
     """Look up the endpoint serving ``method path`` (canonical or alias)."""
-    return _ROUTES.get((method, path))
+    endpoint_params = match(method, path)
+    return endpoint_params[0] if endpoint_params is not None else None
+
+
+def match(method: str, path: str) -> tuple[Endpoint, dict[str, str]] | None:
+    """Route ``method path``, binding any ``{param}`` segments.
+
+    Exact (and alias) paths win; otherwise parameterized rows match when
+    every literal segment is equal and every ``{param}`` segment is
+    non-empty.  Returns ``(endpoint, params)`` or ``None``.
+    """
+    endpoint = _ROUTES.get((method, path))
+    if endpoint is not None:
+        return endpoint, {}
+    parts = tuple(path.split("/"))
+    for pattern_method, segments, pattern_endpoint in _PATTERN_ROUTES:
+        if pattern_method != method or len(segments) != len(parts):
+            continue
+        params: dict[str, str] = {}
+        for segment, part in zip(segments, parts):
+            if segment.startswith("{") and segment.endswith("}"):
+                if not part:
+                    params = {}
+                    break
+                params[segment[1:-1]] = part
+            elif segment != part:
+                params = {}
+                break
+        else:
+            return pattern_endpoint, params
+    return None
 
 
 # -- body guards (shared 413/400 policy) -----------------------------------------------
@@ -364,6 +433,14 @@ def parse_update_request(body: dict[str, Any]) -> UpdateRequest:
         raise ApiError(400, ErrorEnvelope("bad_request", str(error))) from None
 
 
+def parse_prepare_request(body: dict[str, Any]) -> PrepareRequest:
+    """Decode and validate a ``/v1/prepare`` body (schema violations are 400)."""
+    try:
+        return PrepareRequest.from_json(body)
+    except WireFormatError as error:
+        raise ApiError(400, ErrorEnvelope("bad_request", str(error))) from None
+
+
 # -- response payloads -----------------------------------------------------------------
 
 
@@ -457,6 +534,20 @@ def apply_update_payload(
     if trace is not None:
         payload["trace"] = trace.to_wire()
     return payload
+
+
+def prepare_payload(service: "HypeRService", request: PrepareRequest) -> dict[str, Any]:
+    """Warm plans and estimators for the request's queries; answer counts only.
+
+    Bad queries surface as engine exceptions and map through
+    :func:`envelope_for` like any other request — preparing is strict, so a
+    typo is caught before a client queues an hour of jobs behind it.
+    """
+    prepared = service.prepare(list(request.queries))
+    count = len(prepared) if isinstance(prepared, list) else len(request.queries)
+    return PrepareAnswer(
+        prepared=count, generation=int(service.generation)
+    ).to_json()
 
 
 def batch_line(index: int, outcome: Any) -> dict[str, Any]:

@@ -41,6 +41,11 @@ __all__ = [
     "BatchItem",
     "ErrorEnvelope",
     "StatsSnapshot",
+    "PrepareRequest",
+    "PrepareAnswer",
+    "JobSubmitRequest",
+    "JobStatus",
+    "JobListAnswer",
     "answer_from_result",
     "answer_from_json",
 ]
@@ -707,3 +712,339 @@ class StatsSnapshot:
             pool=data.get("pool"),
             sections={k: v for k, v in data.items() if k not in cls._KNOWN},
         )
+
+
+# -- prepare ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PrepareRequest:
+    """Body of ``POST /v1/prepare``: warm plans/estimators before real traffic.
+
+    Every query is planned and its estimator fitted under one pinned
+    snapshot; nothing is answered.  Clients call this before heavy sweeps so
+    the first real request hits hot caches, and the job executor can warm a
+    cold node the same way.
+    """
+
+    queries: tuple[str, ...]
+
+    _FIELDS = {"api_version", "queries"}
+
+    def to_json(self) -> dict[str, Any]:
+        return {"api_version": API_VERSION, "queries": list(self.queries)}
+
+    @classmethod
+    def from_json(cls, data: Any) -> "PrepareRequest":
+        data = _require_object(data, "prepare request")
+        _reject_unknown(data, cls._FIELDS, "prepare request")
+        _check_version(data, "prepare request")
+        queries = data.get("queries")
+        if (
+            not isinstance(queries, list)
+            or not queries
+            or not all(isinstance(q, str) for q in queries)
+        ):
+            raise WireFormatError(
+                'prepare request must contain a non-empty "queries" list of strings'
+            )
+        return cls(queries=tuple(queries))
+
+
+@dataclass(frozen=True)
+class PrepareAnswer:
+    """Answer of ``POST /v1/prepare``."""
+
+    KIND = "prepare"
+
+    prepared: int
+    generation: int
+
+    _FIELDS = {"api_version", "kind", "prepared", "generation"}
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "api_version": API_VERSION,
+            "kind": self.KIND,
+            "prepared": self.prepared,
+            "generation": self.generation,
+        }
+
+    @classmethod
+    def from_json(cls, data: Any) -> "PrepareAnswer":
+        data = _require_object(data, "prepare answer")
+        _reject_unknown(data, cls._FIELDS, "prepare answer")
+        _check_version(data, "prepare answer")
+        if data.get("kind") != cls.KIND:
+            raise WireFormatError(f'prepare answer must have kind "{cls.KIND}"')
+        return cls(
+            prepared=_get_int(data, "prepared", "prepare answer"),
+            generation=_get_int(data, "generation", "prepare answer"),
+        )
+
+
+# -- jobs ------------------------------------------------------------------------------
+
+#: job priorities on the wire (scheduling order: high before normal before low)
+JOB_PRIORITIES = ("high", "normal", "low")
+
+#: job lifecycle states (terminal: succeeded / failed / cancelled)
+JOB_STATES = ("queued", "running", "succeeded", "failed", "cancelled")
+
+
+@dataclass(frozen=True)
+class JobSubmitRequest:
+    """Body of ``POST /v1/jobs``: one query or a batch, as a durable job.
+
+    Exactly one of ``query``/``queries`` must be present.  ``priority``
+    orders the job against the client's other work; ``run_at_generation``
+    defers execution until the store has committed at least that generation
+    (a writer can submit analysis jobs that must see its own commit).
+    """
+
+    query: str | None = None
+    queries: tuple[str, ...] | None = None
+    priority: str = "normal"
+    run_at_generation: int | None = None
+    exhaustive: bool = False
+
+    _FIELDS = {
+        "api_version",
+        "query",
+        "queries",
+        "priority",
+        "run_at_generation",
+        "exhaustive",
+    }
+
+    @property
+    def kind(self) -> str:
+        return "query" if self.query is not None else "batch"
+
+    @property
+    def all_queries(self) -> tuple[str, ...]:
+        if self.query is not None:
+            return (self.query,)
+        return self.queries or ()
+
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"api_version": API_VERSION, "priority": self.priority}
+        if self.query is not None:
+            out["query"] = self.query
+        else:
+            out["queries"] = list(self.queries or ())
+        if self.run_at_generation is not None:
+            out["run_at_generation"] = self.run_at_generation
+        if self.exhaustive:
+            out["exhaustive"] = self.exhaustive
+        return out
+
+    @classmethod
+    def from_json(cls, data: Any) -> "JobSubmitRequest":
+        data = _require_object(data, "job submit request")
+        _reject_unknown(data, cls._FIELDS, "job submit request")
+        _check_version(data, "job submit request")
+        query = data.get("query")
+        queries = data.get("queries")
+        if (query is None) == (queries is None):
+            raise WireFormatError(
+                'job submit request must contain exactly one of "query"/"queries"'
+            )
+        if query is not None and not isinstance(query, str):
+            raise WireFormatError('job submit request field "query" must be a string')
+        if queries is not None and (
+            not isinstance(queries, list)
+            or not queries
+            or not all(isinstance(q, str) for q in queries)
+        ):
+            raise WireFormatError(
+                'job submit request field "queries" must be a non-empty list of strings'
+            )
+        priority = data.get("priority", "normal")
+        if priority not in JOB_PRIORITIES:
+            raise WireFormatError(
+                f'job submit request field "priority" must be one of {JOB_PRIORITIES}'
+            )
+        run_at = data.get("run_at_generation")
+        if run_at is not None and (
+            isinstance(run_at, bool) or not isinstance(run_at, int) or run_at < 0
+        ):
+            raise WireFormatError(
+                'job submit request field "run_at_generation" must be a '
+                "non-negative integer"
+            )
+        return cls(
+            query=query,
+            queries=tuple(queries) if queries is not None else None,
+            priority=priority,
+            run_at_generation=run_at,
+            exhaustive=_get_bool(data, "exhaustive", "job submit request"),
+        )
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """Typed status answer of the job endpoints (kind ``"job"``).
+
+    ``result_available`` says whether ``GET /v1/jobs/{id}/result`` would
+    answer right now — a succeeded job's result can age out of the retention
+    store while its terminal status survives.
+    """
+
+    KIND = "job"
+
+    job_id: str
+    client_id: str
+    state: str
+    kind: str
+    priority: str
+    completed: int
+    total: int
+    attempts: int
+    max_attempts: int
+    created_unix: float
+    finished_unix: float | None = None
+    generation: int | None = None
+    run_at_generation: int | None = None
+    error: str | None = None
+    error_code: str | None = None
+    result_available: bool = False
+
+    _FIELDS = {
+        "api_version",
+        "kind",
+        "job_id",
+        "client_id",
+        "state",
+        "job_kind",
+        "priority",
+        "progress",
+        "attempts",
+        "max_attempts",
+        "created_unix",
+        "finished_unix",
+        "generation",
+        "run_at_generation",
+        "error",
+        "error_code",
+        "result_available",
+    }
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("succeeded", "failed", "cancelled")
+
+    @classmethod
+    def from_job(cls, job: Any, *, result_available: bool) -> "JobStatus":
+        """Wrap a :class:`repro.jobs.queue.Job` (duck-typed: attributes only)."""
+        return cls(
+            job_id=job.job_id,
+            client_id=job.client_id,
+            state=job.state,
+            kind=job.kind,
+            priority=job.priority_name,
+            completed=job.completed,
+            total=job.total,
+            attempts=job.attempts,
+            max_attempts=job.max_attempts,
+            created_unix=job.created_unix,
+            finished_unix=job.finished_unix,
+            generation=job.generation,
+            run_at_generation=job.run_at_generation,
+            error=job.error,
+            error_code=job.error_code,
+            result_available=result_available,
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "api_version": API_VERSION,
+            "kind": self.KIND,
+            "job_id": self.job_id,
+            "client_id": self.client_id,
+            "state": self.state,
+            "job_kind": self.kind,
+            "priority": self.priority,
+            "progress": {"completed": self.completed, "total": self.total},
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "created_unix": self.created_unix,
+            "result_available": self.result_available,
+        }
+        if self.finished_unix is not None:
+            out["finished_unix"] = self.finished_unix
+        if self.generation is not None:
+            out["generation"] = self.generation
+        if self.run_at_generation is not None:
+            out["run_at_generation"] = self.run_at_generation
+        if self.error is not None:
+            out["error"] = self.error
+        if self.error_code is not None:
+            out["error_code"] = self.error_code
+        return out
+
+    @classmethod
+    def from_json(cls, data: Any) -> "JobStatus":
+        data = _require_object(data, "job status")
+        _reject_unknown(data, cls._FIELDS, "job status")
+        _check_version(data, "job status")
+        if data.get("kind") != cls.KIND:
+            raise WireFormatError(f'job status must have kind "{cls.KIND}"')
+        state = _get_str(data, "state", "job status")
+        if state not in JOB_STATES:
+            raise WireFormatError(f"job status has unknown state {state!r}")
+        progress = data.get("progress")
+        if not isinstance(progress, Mapping):
+            raise WireFormatError('job status field "progress" must be an object')
+        finished = data.get("finished_unix")
+        if finished is not None and not isinstance(finished, (int, float)):
+            raise WireFormatError('job status field "finished_unix" must be a number')
+        return cls(
+            job_id=_get_str(data, "job_id", "job status"),
+            client_id=_get_str(data, "client_id", "job status"),
+            state=state,
+            kind=_get_str(data, "job_kind", "job status"),
+            priority=_get_str(data, "priority", "job status"),
+            completed=_get_int(progress, "completed", "job status progress"),
+            total=_get_int(progress, "total", "job status progress"),
+            attempts=_get_int(data, "attempts", "job status"),
+            max_attempts=_get_int(data, "max_attempts", "job status"),
+            created_unix=_get_float(data, "created_unix", "job status"),
+            finished_unix=float(finished) if finished is not None else None,
+            generation=data.get("generation"),
+            run_at_generation=data.get("run_at_generation"),
+            error=data.get("error"),
+            error_code=data.get("error_code"),
+            result_available=_get_bool(data, "result_available", "job status"),
+        )
+
+
+@dataclass(frozen=True)
+class JobListAnswer:
+    """Answer of ``GET /v1/jobs``: the calling client's jobs, oldest first."""
+
+    KIND = "job-list"
+
+    jobs: tuple[JobStatus, ...]
+
+    _FIELDS = {"api_version", "kind", "jobs", "total"}
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "api_version": API_VERSION,
+            "kind": self.KIND,
+            "jobs": [status.to_json() for status in self.jobs],
+            "total": len(self.jobs),
+        }
+
+    @classmethod
+    def from_json(cls, data: Any) -> "JobListAnswer":
+        data = _require_object(data, "job list")
+        _reject_unknown(data, cls._FIELDS, "job list")
+        _check_version(data, "job list")
+        if data.get("kind") != cls.KIND:
+            raise WireFormatError(f'job list must have kind "{cls.KIND}"')
+        raw_jobs = data.get("jobs")
+        if not isinstance(raw_jobs, list):
+            raise WireFormatError('job list must contain a "jobs" list')
+        return cls(jobs=tuple(JobStatus.from_json(item) for item in raw_jobs))

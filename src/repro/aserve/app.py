@@ -26,7 +26,18 @@ server's contract plus the overload and streaming behaviors:
   (body: :class:`~repro.api.schemas.UpdateRequest`).  Control-plane: not
   admission-controlled (a commit must land on a saturated server — it never
   pauses running queries, which keep their pinned snapshots), executed on
-  the auxiliary thread.
+  the auxiliary thread;
+* ``POST /v1/prepare`` — control-plane plan/estimator warming, also on the
+  auxiliary thread;
+* ``POST /v1/jobs`` and friends — the durable async job surface
+  (:mod:`repro.jobs`): submit, list, status, NDJSON event streaming (the
+  same chunked framing as ``/batch``), result fetch, cancel.  Jobs are not
+  admission-controlled — per-client quotas are their throttle, and the
+  executor's running leases feed ``serving_signals()`` so interactive
+  admission sees background pressure.
+
+Requests may carry ``X-Client-Id``; it scopes job quotas and per-client
+serving stats, defaulting to a per-connection anonymous id.
 
 Routing, request validation and error bodies come from the shared ``/v1``
 endpoint table in :mod:`repro.api.endpoints` (every endpoint also answers on
@@ -57,6 +68,7 @@ from ..api.endpoints import (
     decode_json_object,
 )
 from ..api.schemas import ErrorEnvelope
+from ..jobs import api as jobs_api
 from ..obs import trace as obs_trace
 from ..service.session import HypeRService
 from .admission import AdmissionController, AdmissionRejected
@@ -202,9 +214,10 @@ class AsyncApp:
         ``/v1/*`` paths and their legacy aliases resolve to the same handler,
         so both spellings answer byte-identically.
         """
-        endpoint = api.resolve(request.method, request.path)
-        if endpoint is None:
+        matched = api.match(request.method, request.path)
+        if matched is None:
             return await self._send_error(writer, api.not_found(request.path), keep_alive)
+        endpoint, params = matched
         # adopt the client's X-Request-Id or mint one; every JSON response
         # echoes it back so client logs and server traces correlate
         request.headers.setdefault("x-request-id", obs_trace.new_request_id())
@@ -216,8 +229,34 @@ class AsyncApp:
             "query": self._handle_query,
             "batch": self._handle_batch,
             "update": self._handle_update,
+            "prepare": self._handle_prepare,
+            "jobs_submit": self._handle_jobs_submit,
+            "jobs_list": self._handle_jobs_list,
+            "job_status": self._handle_job_status,
+            "job_result": self._handle_job_result,
+            "job_events": self._handle_job_events,
+            "job_cancel": self._handle_job_cancel,
         }[endpoint.name]
+        if params:
+            return await route(request, writer, keep_alive, params)
         return await route(request, writer, keep_alive)
+
+    def _client_id(self, request: Request, writer: asyncio.StreamWriter) -> str:
+        """The caller's id: ``X-Client-Id`` or a per-connection anonymous id."""
+        header = (request.headers.get("x-client-id") or "").strip()
+        if header:
+            return header[:128]
+        peer = writer.get_extra_info("peername")
+        if isinstance(peer, (tuple, list)) and len(peer) >= 2:
+            return f"anon-{peer[0]}:{peer[1]}"
+        return "anon"
+
+    def _note_client(
+        self, request: Request, writer: asyncio.StreamWriter, *, rejected: bool = False
+    ) -> None:
+        note = getattr(self.service, "note_client_request", None)
+        if note is not None:
+            note(self._client_id(request, writer), rejected=rejected)
 
     async def _send(
         self,
@@ -372,6 +411,180 @@ class AsyncApp:
             writer, 200, payload, keep_alive, request_id=request_id
         )
 
+    async def _handle_prepare(
+        self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> bool:
+        # control-plane like /update: warming must land on a busy server so
+        # the post-warm traffic is what benefits; runs on the auxiliary thread
+        request_id = request.request_id
+        try:
+            prepare_request = api.parse_prepare_request(decode_json_object(request.body))
+        except (PayloadError, api.ApiError) as error:
+            return await self._send_error(writer, error, keep_alive, request_id=request_id)
+        loop = asyncio.get_running_loop()
+        try:
+            payload = await loop.run_in_executor(
+                self._aux_executor,
+                functools.partial(api.prepare_payload, self.service, prepare_request),
+            )
+        except Exception as error:  # noqa: BLE001 - keep the JSON contract
+            return await self._send_error(writer, error, keep_alive, request_id=request_id)
+        return await self._send(writer, 200, payload, keep_alive, request_id=request_id)
+
+    # -- jobs --------------------------------------------------------------------------
+
+    async def _handle_jobs_submit(
+        self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> bool:
+        # not admission-controlled: per-client quotas are the jobs throttle,
+        # and the submit itself only journals (fsync) — no engine time
+        request_id = request.request_id
+        self._note_client(request, writer)
+        try:
+            submit_request = jobs_api.parse_job_submit(decode_json_object(request.body))
+        except (PayloadError, api.ApiError) as error:
+            return await self._send_error(writer, error, keep_alive, request_id=request_id)
+        client_id = self._client_id(request, writer)
+        try:
+            payload = await self._run_blocking(
+                jobs_api.submit_job_payload,
+                self.service,
+                submit_request,
+                client_id=client_id,
+            )
+        except Exception as error:  # noqa: BLE001 - keep the JSON contract
+            if isinstance(error, api.ApiError) and error.status == 429:
+                self._note_client(request, writer, rejected=True)
+            return await self._send_error(writer, error, keep_alive, request_id=request_id)
+        return await self._send(writer, 202, payload, keep_alive, request_id=request_id)
+
+    async def _handle_jobs_list(
+        self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> bool:
+        self._note_client(request, writer)
+        try:
+            payload = jobs_api.list_jobs_payload(
+                self.service, client_id=self._client_id(request, writer)
+            )
+        except api.ApiError as error:
+            return await self._send_error(
+                writer, error, keep_alive, request_id=request.request_id
+            )
+        return await self._send(
+            writer, 200, payload, keep_alive, request_id=request.request_id
+        )
+
+    async def _handle_job_status(
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        keep_alive: bool,
+        params: dict[str, str],
+    ) -> bool:
+        try:
+            payload = jobs_api.job_status_payload(self.service, params["id"])
+        except api.ApiError as error:
+            return await self._send_error(
+                writer, error, keep_alive, request_id=request.request_id
+            )
+        return await self._send(
+            writer, 200, payload, keep_alive, request_id=request.request_id
+        )
+
+    async def _handle_job_result(
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        keep_alive: bool,
+        params: dict[str, str],
+    ) -> bool:
+        try:
+            payload = jobs_api.job_result_payload(self.service, params["id"])
+        except api.ApiError as error:
+            return await self._send_error(
+                writer, error, keep_alive, request_id=request.request_id
+            )
+        return await self._send(
+            writer, 200, payload, keep_alive,
+            request_id=request.request_id, request=request,
+        )
+
+    async def _handle_job_cancel(
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        keep_alive: bool,
+        params: dict[str, str],
+    ) -> bool:
+        try:
+            payload = await self._run_blocking(
+                jobs_api.cancel_job_payload, self.service, params["id"]
+            )
+        except Exception as error:  # noqa: BLE001 - keep the JSON contract
+            return await self._send_error(
+                writer, error, keep_alive, request_id=request.request_id
+            )
+        return await self._send(
+            writer, 200, payload, keep_alive, request_id=request.request_id
+        )
+
+    async def _handle_job_events(
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        keep_alive: bool,
+        params: dict[str, str],
+    ) -> bool:
+        """Stream a job's events as chunked NDJSON (the ``/batch`` framing).
+
+        The loop polls the manager's in-memory event log — no executor
+        thread is parked on a blocking wait, so a thousand open streams cost
+        the loop a timer each, not a thread each.
+        """
+        job_id = params["id"]
+        timeout = 30.0
+        for part in request.query_string.split("&"):
+            key, _, value = part.partition("=")
+            if key == "timeout_s":
+                with suppress(ValueError):
+                    timeout = min(300.0, max(0.0, float(value)))
+        try:
+            events, terminal = jobs_api.job_events(self.service, job_id, 0)
+        except api.ApiError as error:
+            return await self._send_error(
+                writer, error, keep_alive, request_id=request.request_id
+            )
+        stream = ChunkedJsonWriter(writer, keep_alive=keep_alive)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        cursor = 0
+        try:
+            await stream.start()
+            while True:
+                for event in events:
+                    await stream.send(event)
+                cursor += len(events)
+                if terminal or loop.time() >= deadline:
+                    break
+                await asyncio.sleep(0.15)
+                try:
+                    events, terminal = jobs_api.job_events(self.service, job_id, cursor)
+                except api.ApiError:
+                    break  # the job aged out mid-stream: finish cleanly
+            await stream.send(
+                {
+                    "done": True,
+                    "job_id": job_id,
+                    "terminal": jobs_api._terminal_state(
+                        jobs_api.manager_for(self.service), job_id
+                    ),
+                }
+            )
+            await stream.finish()
+        except (ConnectionError, asyncio.TimeoutError):
+            return False
+        return keep_alive
+
     async def _handle_query(
         self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
     ) -> bool:
@@ -382,6 +595,7 @@ class AsyncApp:
         try:
             self.admission.try_admit(1, endpoint="query")
         except AdmissionRejected as rejected:
+            self._note_client(request, writer, rejected=True)
             return await self._send(
                 writer,
                 429,
@@ -462,6 +676,7 @@ class AsyncApp:
             # one unit per query: the whole batch is admitted or none of it
             self.admission.try_admit(len(texts), endpoint="batch")
         except AdmissionRejected as rejected:
+            self._note_client(request, writer, rejected=True)
             return await self._send(
                 writer,
                 429,

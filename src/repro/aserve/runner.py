@@ -106,6 +106,7 @@ class AsyncServingRunner:
         except BaseException:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self.app.close()
+            self._close_jobs()
             self.service.close()
             raise
         if self.verbose:
@@ -183,9 +184,19 @@ class AsyncServingRunner:
         # against a service we are about to close
         self._executor.shutdown(wait=drained, cancel_futures=not drained)
         self.app.close()
+        self._close_jobs()
         self.service.close()
         if self.verbose:
             print("shutdown complete", flush=True)
+
+    def _close_jobs(self) -> None:
+        """Stop an attached job manager before the shard pool goes away.
+
+        The journal is flushed on close; any lease still running replays as
+        a crashed lease on the next start."""
+        jobs_manager = getattr(self.service, "jobs", None)
+        if jobs_manager is not None:
+            jobs_manager.close()
 
 
 def run_async_server(

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Sequence
 
@@ -183,6 +184,20 @@ def build_parser() -> argparse.ArgumentParser:
         "first request hits warm caches (repeatable)",
     )
     serve.add_argument(
+        "--jobs-dir",
+        default=None,
+        metavar="DIR",
+        help="enable the durable async job service (POST /v1/jobs): directory "
+        "holding the crash-safe job journal, replayed on restart (single and "
+        "coordinator roles)",
+    )
+    serve.add_argument(
+        "--jobs-workers",
+        type=int,
+        default=1,
+        help="background job executor threads (with --jobs-dir; default 1)",
+    )
+    serve.add_argument(
         "--role",
         default="single",
         choices=["single", "coordinator", "shard"],
@@ -205,6 +220,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --role shard: this node's index into the topology's "
         "nodes list (determines the owned shard and the bind address)",
     )
+
+    jobs = sub.add_parser(
+        "jobs",
+        help="submit and manage durable server-side jobs (/v1/jobs)",
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    def _jobs_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=8000)
+        p.add_argument(
+            "--client-id",
+            default="",
+            help="X-Client-Id for job ownership and quotas "
+            "(default: server-assigned anonymous id)",
+        )
+        p.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    submit = jobs_sub.add_parser(
+        "submit", help="enqueue one query (or several, as a batch job)"
+    )
+    submit.add_argument("text", nargs="+", help="query text(s) in the SQL extension")
+    submit.add_argument("--priority", default="normal", choices=["high", "normal", "low"])
+    submit.add_argument(
+        "--run-at-generation",
+        type=int,
+        default=None,
+        help="defer execution until the store has committed this generation",
+    )
+    submit.add_argument("--exhaustive", action="store_true", help="Opt-HowTo for how-to queries")
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="follow the job's event stream and exit when it finishes",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="with --wait: seconds to wait for the job to finish",
+    )
+    _jobs_common(submit)
+
+    status = jobs_sub.add_parser("status", help="show a job's current status")
+    status.add_argument("job_id")
+    _jobs_common(status)
+
+    result = jobs_sub.add_parser("result", help="fetch a finished job's result document")
+    result.add_argument("job_id")
+    _jobs_common(result)
+
+    cancel = jobs_sub.add_parser("cancel", help="request cancellation (idempotent)")
+    cancel.add_argument("job_id")
+    _jobs_common(cancel)
+
+    listing = jobs_sub.add_parser("list", help="list this client's jobs")
+    _jobs_common(listing)
     return parser
 
 
@@ -231,6 +303,103 @@ def _generator_kwargs(args: argparse.Namespace) -> dict:
     if args.dataset == "amazon-syn":
         return {"n_products": args.rows, "seed": args.seed}
     return {"n_rows": args.rows, "seed": args.seed}
+
+
+def _attach_jobs(service, args: argparse.Namespace) -> None:
+    """Wire the durable job service onto a serving store (``--jobs-dir``)."""
+    import os
+
+    from .jobs.manager import attach_jobs
+
+    os.makedirs(args.jobs_dir, exist_ok=True)
+    manager = attach_jobs(
+        service,
+        os.path.join(args.jobs_dir, "jobs.journal.jsonl"),
+        n_workers=max(1, args.jobs_workers),
+    )
+    print(
+        f"jobs: journal {manager.journal.path} "
+        f"({len(manager.queue)} queued after replay, "
+        f"{args.jobs_workers} worker(s))",
+        flush=True,
+    )
+
+
+def _format_job(status) -> str:
+    line = (
+        f"{status.job_id}  {status.state:<9}  {status.kind:<5}  "
+        f"priority={status.priority}  progress={status.completed}/{status.total}  "
+        f"attempts={status.attempts}/{status.max_attempts}"
+    )
+    if status.error is not None:
+        line += f"  error[{status.error_code}]: {status.error}"
+    return line
+
+
+def _jobs_command(args: argparse.Namespace) -> int:
+    """``repro jobs submit|status|result|cancel|list`` against a running server."""
+    from .api import HypeRClient
+
+    with HypeRClient(args.host, args.port, client_id=args.client_id) as client:
+        if args.jobs_command == "submit":
+            texts = list(args.text)
+            status = client.submit_job(
+                texts[0] if len(texts) == 1 else None,
+                queries=texts if len(texts) > 1 else None,
+                priority=args.priority,
+                run_at_generation=args.run_at_generation,
+                exhaustive=args.exhaustive,
+            )
+            if not args.wait:
+                if args.json:
+                    print(json.dumps(status.to_json(), indent=2))
+                else:
+                    print(_format_job(status))
+                return 0
+            for event in client.job_events(status.job_id, timeout_s=args.timeout):
+                if args.json:
+                    print(json.dumps(event))
+                elif not event.get("done"):
+                    state = event.get("state", "?")
+                    progress = event.get("progress") or {}
+                    extra = (
+                        f"  {progress.get('completed')}/{progress.get('total')}"
+                        if progress
+                        else ""
+                    )
+                    print(f"{status.job_id}  {state}{extra}", flush=True)
+            final = client.job(status.job_id)
+            if args.json:
+                print(json.dumps(final.to_json(), indent=2))
+            else:
+                print(_format_job(final))
+            return 0 if final.state == "succeeded" else 1
+        if args.jobs_command == "status":
+            status = client.job(args.job_id)
+            if args.json:
+                print(json.dumps(status.to_json(), indent=2))
+            else:
+                print(_format_job(status))
+            return 0
+        if args.jobs_command == "result":
+            print(json.dumps(client.job_result(args.job_id), indent=2))
+            return 0
+        if args.jobs_command == "cancel":
+            status = client.cancel_job(args.job_id)
+            if args.json:
+                print(json.dumps(status.to_json(), indent=2))
+            else:
+                print(_format_job(status))
+            return 0
+        # list
+        listing = client.jobs()
+        if args.json:
+            print(json.dumps(listing.to_json(), indent=2))
+        else:
+            for status in listing.jobs:
+                print(_format_job(status))
+            print(f"{len(listing.jobs)} job(s)")
+        return 0
 
 
 def _serve_cluster(args: argparse.Namespace) -> int:
@@ -263,6 +432,8 @@ def _serve_cluster(args: argparse.Namespace) -> int:
             f"{topology.n_nodes} nodes",
             flush=True,
         )
+        if args.jobs_dir:
+            _attach_jobs(coordinator, args)
         try:
             run_async_server(
                 coordinator,
@@ -317,6 +488,16 @@ def _serve_cluster(args: argparse.Namespace) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # stdout was closed by a downstream reader (e.g. ``repro ... | head``);
+        # devnull the fd so the interpreter's final flush can't raise again
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE, the conventional exit code
+
+
+def _dispatch(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -336,6 +517,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 marker = " (cross-tuple)" if edge.cross_tuple else ""
                 print(f"  {edge.source} -> {edge.target}{marker}")
             return 0
+        if args.command == "jobs":
+            return _jobs_command(args)
         if args.command == "serve":
             if args.role != "single":
                 return _serve_cluster(args)
@@ -363,6 +546,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             if args.async_server:
                 from .aserve import run_async_server
 
+                if args.jobs_dir:
+                    _attach_jobs(service, args)
                 # warm-up (start_pool + prepare) happens inside the runner,
                 # before any executor thread exists
                 try:
@@ -380,9 +565,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                 return 0
             if args.execution == "processes":
                 # start workers before the threading HTTP server exists so
-                # the pool can fork from a single-threaded parent
+                # the pool can fork from a single-threaded parent (job
+                # executor threads start after, for the same reason)
                 service.start_pool()
                 print(f"execution: {service.n_shards} shard worker processes", flush=True)
+            if args.jobs_dir:
+                _attach_jobs(service, args)
             try:
                 run_server(service, host=args.host, port=args.port)
             finally:

@@ -252,6 +252,15 @@ class ClusterCoordinator:
             ],
         )
         self.slow_log = SlowQueryLog(slow_log_size, slow_query_seconds)
+        #: attached durable job manager (repro.jobs.attach_jobs); None = off.
+        #: The coordinator duck-types the service surface the executor needs
+        #: (execute / execute_many / generation / metrics), so background
+        #: jobs fan out across the cluster like any interactive query.
+        self.jobs: Any = None
+        # bounded per-client request/rejection counters (X-Client-Id)
+        self._clients_lock = threading.Lock()
+        self._client_requests: dict[str, int] = {}
+        self._client_rejections: dict[str, int] = {}
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -486,8 +495,29 @@ class ClusterCoordinator:
             self._m_inflight.dec(units)
             self._m_latency.labels(endpoint=endpoint).observe(elapsed)
 
+    _MAX_TRACKED_CLIENTS = 512
+
     def record_rejection(self, endpoint: str = "query", *, units: int = 1) -> None:
         self._m_rejected.labels(endpoint=endpoint).inc(units)
+
+    def note_client_request(self, client_id: str, *, rejected: bool = False) -> None:
+        """Attribute one front-door request (or rejection) to a client id."""
+        with self._clients_lock:
+            counters = self._client_requests
+            key = client_id
+            if key not in counters and len(counters) >= self._MAX_TRACKED_CLIENTS:
+                key = "_other"
+            counters[key] = counters.get(key, 0) + 1
+            if rejected:
+                self._client_rejections[key] = self._client_rejections.get(key, 0) + 1
+
+    def client_stats(self) -> dict[str, Any]:
+        with self._clients_lock:
+            return {
+                "tracked": len(self._client_requests),
+                "requests": dict(self._client_requests),
+                "rejections": dict(self._client_rejections),
+            }
 
     def serving_signals(self) -> dict[str, Any]:
         """The admission-control signal snapshot (same shape as the service's)."""
@@ -495,7 +525,7 @@ class ClusterCoordinator:
         capacity = max(healthy, 1)
         in_flight = int(self._m_inflight.value)
         rejected = {k: int(v) for k, v in self._m_rejected.per_label().items()}
-        return {
+        signals: dict[str, Any] = {
             "in_flight": in_flight,
             "peak_in_flight": int(self._m_inflight.peak),
             "rejected_total": sum(rejected.values()),
@@ -507,6 +537,15 @@ class ClusterCoordinator:
                 for endpoint, child in self._m_latency.per_label().items()
             },
         }
+        jobs_manager = self.jobs
+        if jobs_manager is not None:
+            job_signals = jobs_manager.signals()
+            signals["jobs"] = job_signals
+            signals["in_flight"] = in_flight + job_signals["background_load"]
+            signals["saturation"] = (
+                signals["in_flight"] / capacity if capacity else 0.0
+            )
+        return signals
 
     def prepare(self, queries: Any) -> None:
         """Warm the shard nodes by answering each query once."""
@@ -797,6 +836,8 @@ class ClusterCoordinator:
             "n_batches": self._n_batches,
             "uptime_seconds": time.time() - self._started_at,
             "serving": self.serving_signals(),
+            "clients": self.client_stats(),
+            **({"jobs": self.jobs.stats()} if self.jobs is not None else {}),
             "cluster": {
                 "n_shards": self.n_shards,
                 "n_nodes": len(self._nodes),

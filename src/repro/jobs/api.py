@@ -1,0 +1,240 @@
+"""Front-door glue for the ``/v1/jobs`` surface.
+
+Both HTTP servers (the threaded :mod:`repro.service.server` door and the
+asyncio :mod:`repro.aserve` door) route job endpoints through these
+helpers, so submit/status/result/cancel answer byte-identically on either.
+Every helper raises :class:`~repro.api.endpoints.ApiError` for protocol
+failures; the front doors already map those to envelopes.
+
+The manager is discovered on ``service.jobs`` — a service started without
+``--jobs-dir`` answers 503 ``unavailable`` on the whole surface rather
+than 404, so clients can distinguish "not enabled here" from a typo'd
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..api.endpoints import ApiError
+from ..api.schemas import (
+    ErrorEnvelope,
+    JobListAnswer,
+    JobStatus,
+    JobSubmitRequest,
+    WireFormatError,
+)
+from .manager import JobManager, JobNotFound
+from .queue import QuotaExceeded
+
+__all__ = [
+    "manager_for",
+    "parse_job_submit",
+    "submit_job_payload",
+    "job_status_payload",
+    "job_result_payload",
+    "cancel_job_payload",
+    "list_jobs_payload",
+    "job_events",
+    "iter_job_events",
+]
+
+
+def manager_for(service: Any) -> JobManager:
+    """The service's attached :class:`JobManager`, or 503 when jobs are off."""
+    manager = getattr(service, "jobs", None)
+    if manager is None:
+        raise ApiError(
+            503,
+            ErrorEnvelope(
+                "unavailable",
+                "the job service is not enabled on this server "
+                "(start it with --jobs-dir)",
+            ),
+        )
+    return manager
+
+
+def parse_job_submit(body: dict[str, Any]) -> JobSubmitRequest:
+    """Decode and validate a ``POST /v1/jobs`` body (schema violations are 400)."""
+    try:
+        return JobSubmitRequest.from_json(body)
+    except WireFormatError as error:
+        raise ApiError(400, ErrorEnvelope("bad_request", str(error))) from None
+
+
+def _status_payload(manager: JobManager, job: Any) -> dict[str, Any]:
+    return JobStatus.from_job(
+        job, result_available=job.job_id in manager.results
+    ).to_json()
+
+
+def submit_job_payload(
+    service: Any, request: JobSubmitRequest, *, client_id: str
+) -> dict[str, Any]:
+    """Durably accept a job submit; the 202 body is the initial status.
+
+    A per-client quota violation maps to 429 ``rate_limited`` with the
+    violated quota named in the detail, mirroring the admission
+    controller's interactive rejections.
+    """
+    manager = manager_for(service)
+    try:
+        job = manager.submit(
+            client_id=client_id,
+            kind=request.kind,
+            queries=list(request.all_queries),
+            priority=request.priority,
+            run_at_generation=request.run_at_generation,
+            exhaustive=request.exhaustive,
+        )
+    except QuotaExceeded as error:
+        raise ApiError(
+            429,
+            ErrorEnvelope(
+                "rate_limited",
+                str(error),
+                {"quota": error.quota, "limit": error.limit},
+            ),
+        ) from None
+    return _status_payload(manager, job)
+
+
+def _get_job(manager: JobManager, job_id: str) -> Any:
+    try:
+        return manager.get(job_id)
+    except JobNotFound:
+        raise ApiError(
+            404, ErrorEnvelope("not_found", f"unknown job {job_id!r}")
+        ) from None
+
+
+def job_status_payload(service: Any, job_id: str) -> dict[str, Any]:
+    """Answer ``GET /v1/jobs/{id}``; unknown or aged-out ids are 404."""
+    manager = manager_for(service)
+    return _status_payload(manager, _get_job(manager, job_id))
+
+
+def job_result_payload(service: Any, job_id: str) -> dict[str, Any]:
+    """Answer ``GET /v1/jobs/{id}/result``.
+
+    A job that is still in flight answers 404 ``not_found``; a terminal job
+    whose result was evicted or expired answers 404 with the distinct code
+    ``result_expired`` so callers know re-submitting is the only way back.
+    """
+    manager = manager_for(service)
+    job = _get_job(manager, job_id)
+    payload = manager.results.get(job_id)
+    if payload is not None:
+        return payload
+    if job.terminal:
+        if job.state == "succeeded":
+            raise ApiError(
+                404,
+                ErrorEnvelope(
+                    "result_expired",
+                    f"the result of job {job_id!r} is no longer retained",
+                ),
+            )
+        detail: dict[str, Any] = {"state": job.state}
+        if job.error_code is not None:
+            detail["error_code"] = job.error_code
+        raise ApiError(
+            404,
+            ErrorEnvelope(
+                "not_found",
+                f"job {job_id!r} finished {job.state!r} without a result"
+                + (f": {job.error}" if job.error else ""),
+                detail,
+            ),
+        )
+    raise ApiError(
+        404,
+        ErrorEnvelope(
+            "not_found",
+            f"job {job_id!r} is still {job.state!r}; poll its status or "
+            "stream its events",
+            {"state": job.state},
+        ),
+    )
+
+
+def cancel_job_payload(service: Any, job_id: str) -> dict[str, Any]:
+    """Answer ``POST /v1/jobs/{id}/cancel``: the post-cancel status.
+
+    Cancelling a queued job is immediate, a running job cooperative, and a
+    terminal job a no-op — the call is always safe to retry.
+    """
+    manager = manager_for(service)
+    _get_job(manager, job_id)
+    return _status_payload(manager, manager.cancel(job_id))
+
+
+def list_jobs_payload(service: Any, *, client_id: str | None) -> dict[str, Any]:
+    """Answer ``GET /v1/jobs``: the calling client's jobs, oldest first."""
+    manager = manager_for(service)
+    statuses = tuple(
+        JobStatus.from_job(job, result_available=job.job_id in manager.results)
+        for job in manager.list_jobs(client_id)
+    )
+    return JobListAnswer(jobs=statuses).to_json()
+
+
+def job_events(
+    service: Any, job_id: str, cursor: int = 0
+) -> tuple[list[dict[str, Any]], bool]:
+    """One non-blocking poll of a job's event log (the async door's unit)."""
+    manager = manager_for(service)
+    try:
+        return manager.events_since(job_id, cursor)
+    except JobNotFound:
+        raise ApiError(
+            404, ErrorEnvelope("not_found", f"unknown job {job_id!r}")
+        ) from None
+
+
+def iter_job_events(
+    service: Any,
+    job_id: str,
+    *,
+    timeout: float = 30.0,
+    poll_seconds: float = 0.5,
+) -> Iterator[dict[str, Any]]:
+    """Blocking NDJSON event iterator for the threaded door.
+
+    Yields every event from the start of the job's log, blocking for new
+    ones until the job is terminal or ``timeout`` elapses without news; the
+    stream always finishes with a ``{"done": true, "terminal": <state>}``
+    line (``terminal`` is ``null`` when the stream timed out first).
+    """
+    import time as _time
+
+    manager = manager_for(service)
+    _get_job(manager, job_id)
+    cursor = 0
+    deadline = _time.monotonic() + timeout
+    terminal = False
+    while True:
+        try:
+            events, terminal = manager.wait_events(
+                job_id, cursor, timeout=poll_seconds
+            )
+        except JobNotFound:
+            break  # aged out mid-stream: finish the stream cleanly
+        for event in events:
+            yield event
+        cursor += len(events)
+        if terminal:
+            break
+        if _time.monotonic() >= deadline:
+            break
+    yield {"done": True, "job_id": job_id, "terminal": _terminal_state(manager, job_id)}
+
+
+def _terminal_state(manager: Any, job_id: str) -> str | None:
+    """The job's terminal state name for a stream's ``done`` line, if any."""
+    try:
+        job = manager.get(job_id)
+    except JobNotFound:
+        return None
+    return job.state if job.terminal else None

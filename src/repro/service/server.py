@@ -24,7 +24,17 @@ doors cannot drift):
   :class:`~repro.api.schemas.UpdateRequest`; commits the named columns as
   one MVCC generation and answers with the
   :class:`~repro.api.schemas.UpdateAnswer` (in-flight queries keep their
-  pinned snapshot — a commit never pauses readers).
+  pinned snapshot — a commit never pauses readers);
+* ``POST /v1/prepare`` — warm plans/estimators for a list of queries before
+  real traffic arrives;
+* ``POST /v1/jobs`` / ``GET /v1/jobs`` / ``GET /v1/jobs/{id}`` /
+  ``GET /v1/jobs/{id}/events`` (NDJSON stream) / ``GET /v1/jobs/{id}/result``
+  / ``POST /v1/jobs/{id}/cancel`` — the durable async job service
+  (:mod:`repro.jobs`); answers 503 when the service was started without a
+  job journal.
+
+Requests may carry an ``X-Client-Id`` header; it scopes job quotas and
+per-client serving stats, defaulting to a per-connection anonymous id.
 
 Failures map through :func:`repro.api.endpoints.envelope_for` to the shared
 ``{"error", "code", "detail"?}`` envelope: query errors 400, oversized bodies
@@ -53,6 +63,7 @@ from ..api.endpoints import (  # noqa: F401  (re-exports)
     check_body_length,
     decode_json_object,
 )
+from ..jobs import api as jobs_api
 from ..obs import trace as obs_trace
 from .session import HypeRService
 
@@ -121,6 +132,19 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         )
         return path, query_string
 
+    def _client_id(self) -> str:
+        """The caller's id: ``X-Client-Id`` or a per-connection anonymous id."""
+        header = (self.headers.get("X-Client-Id") or "").strip()
+        if header:
+            return header[:128]
+        host, port = self.client_address[:2]
+        return f"anon-{host}:{port}"
+
+    def _note_client(self, *, rejected: bool = False) -> None:
+        note = getattr(self.service, "note_client_request", None)
+        if note is not None:
+            note(self._client_id(), rejected=rejected)
+
     def _trace_context(self, query_string: str) -> "obs_trace.TraceContext | None":
         if api.wants_trace(query_string):
             return obs_trace.TraceContext(self._request_id)
@@ -141,29 +165,89 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     # -- routes ------------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
-        path, _query_string = self._begin_request()
-        endpoint = api.resolve("GET", path)
-        if endpoint is None:
+        path, query_string = self._begin_request()
+        matched = api.match("GET", path)
+        if matched is None:
             self._send_error_envelope(api.not_found(path))
-        elif endpoint.name == "health":
-            self._send_json(200, api.health_payload(self.service))
-        elif endpoint.name == "stats":
-            self._send_json(200, api.stats_payload(self.service))
-        elif endpoint.name == "metrics":
-            self._send_text(
-                200, api.metrics_text(self.service), api.METRICS_CONTENT_TYPE
-            )
-        elif endpoint.name == "slow":
-            self._send_json(200, api.slow_payload(self.service))
-        else:  # pragma: no cover - every GET endpoint is handled above
-            self._send_error_envelope(api.not_found(path))
+            return
+        endpoint, params = matched
+        try:
+            if endpoint.name == "health":
+                self._send_json(200, api.health_payload(self.service))
+            elif endpoint.name == "stats":
+                self._send_json(200, api.stats_payload(self.service))
+            elif endpoint.name == "metrics":
+                self._send_text(
+                    200, api.metrics_text(self.service), api.METRICS_CONTENT_TYPE
+                )
+            elif endpoint.name == "slow":
+                self._send_json(200, api.slow_payload(self.service))
+            elif endpoint.name == "jobs_list":
+                self._note_client()
+                self._send_json(
+                    200,
+                    jobs_api.list_jobs_payload(
+                        self.service, client_id=self._client_id()
+                    ),
+                )
+            elif endpoint.name == "job_status":
+                self._send_json(
+                    200, jobs_api.job_status_payload(self.service, params["id"])
+                )
+            elif endpoint.name == "job_result":
+                self._send_json(
+                    200, jobs_api.job_result_payload(self.service, params["id"])
+                )
+            elif endpoint.name == "job_events":
+                self._stream_job_events(params["id"], query_string)
+            else:  # pragma: no cover - every GET endpoint is handled above
+                self._send_error_envelope(api.not_found(path))
+        except Exception as error:  # noqa: BLE001 - keep the JSON contract
+            self._send_error_envelope(error)
+
+    def _stream_job_events(self, job_id: str, query_string: str) -> None:
+        """Stream a job's progress events as NDJSON lines.
+
+        The response carries no ``Content-Length``; each event is flushed as
+        it happens and the connection closes after the ``{"done": true}``
+        line (HTTP/1.0 close-delimited framing, matching how this door
+        already answers everything else).  Errors that occur before the
+        first event — unknown job, jobs disabled — still answer a normal
+        JSON envelope.
+        """
+        timeout = 30.0
+        for part in query_string.split("&"):
+            key, _, value = part.partition("=")
+            if key == "timeout_s":
+                try:
+                    timeout = min(300.0, max(0.0, float(value)))
+                except ValueError:
+                    pass
+        events = jobs_api.iter_job_events(self.service, job_id, timeout=timeout)
+        first = next(events)  # raises (404/503) before any header is written
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        if self._request_id:
+            self.send_header("X-Request-Id", self._request_id)
+        self.end_headers()
+        try:
+            for event in (first, *events):
+                self.wfile.write(
+                    json.dumps(event, default=str).encode("utf-8") + b"\n"
+                )
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # the client hung up mid-stream; nothing to answer
+        self.close_connection = True
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
         path, query_string = self._begin_request()
-        endpoint = api.resolve("POST", path)
-        if endpoint is None:
+        matched = api.match("POST", path)
+        if matched is None:
             self._send_error_envelope(api.not_found(path))
             return
+        endpoint, params = matched
         try:
             body = self._read_json_body()
         except PayloadError as error:
@@ -187,7 +271,26 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(
                     200, api.apply_update_payload(self.service, request, trace=trace)
                 )
-            else:  # pragma: no cover - table maps query/batch/update to POST
+            elif endpoint.name == "prepare":
+                request = api.parse_prepare_request(body)
+                self._send_json(200, api.prepare_payload(self.service, request))
+            elif endpoint.name == "jobs_submit":
+                self._note_client()
+                request = jobs_api.parse_job_submit(body)
+                try:
+                    payload = jobs_api.submit_job_payload(
+                        self.service, request, client_id=self._client_id()
+                    )
+                except api.ApiError as error:
+                    if error.status == 429:
+                        self._note_client(rejected=True)
+                    raise
+                self._send_json(202, payload)
+            elif endpoint.name == "job_cancel":
+                self._send_json(
+                    200, jobs_api.cancel_job_payload(self.service, params["id"])
+                )
+            else:  # pragma: no cover - the table maps every POST above
                 self._send_error_envelope(api.not_found(path))
         except Exception as error:  # noqa: BLE001 - keep the JSON contract
             # Never drop the connection: query errors answer 400, unexpected
@@ -245,8 +348,9 @@ def serve(
     print(f"HypeR service listening on http://{bound_host}:{bound_port}", flush=True)
     print(
         "endpoints: GET /v1/health, GET /v1/stats, GET /v1/metrics, GET /v1/slow, "
-        "POST /v1/query, POST /v1/batch, POST /v1/update "
-        "(legacy aliases without the /v1 prefix)",
+        "POST /v1/query, POST /v1/batch, POST /v1/update, POST /v1/prepare, "
+        "POST+GET /v1/jobs, GET /v1/jobs/{id}[/events|/result], "
+        "POST /v1/jobs/{id}/cancel (legacy aliases without the /v1 prefix)",
         flush=True,
     )
     stop = shutdown_event if shutdown_event is not None else threading.Event()
@@ -284,6 +388,11 @@ def serve(
                 flush=True,
             )
         listener.join(timeout=10)
+        jobs_manager = getattr(service, "jobs", None)
+        if jobs_manager is not None:
+            # stop workers and flush the journal before the pool goes away;
+            # an unfinished lease replays as a crashed lease on restart
+            jobs_manager.close()
         service.close()
         for signum, handler in previous.items():
             try:

@@ -310,6 +310,16 @@ class HypeRService:
         )
         #: bounded per-plan-fingerprint slow-query log, served by GET /v1/slow
         self.slow_log = SlowQueryLog(slow_log_size, slow_query_seconds)
+        #: attached durable job manager (see repro.jobs.attach_jobs); None
+        #: means the job surface answers 503 on both front doors
+        self.jobs: Any = None
+        # Per-client request/rejection counters (X-Client-Id or anonymous
+        # per-connection ids).  Bounded: past _MAX_TRACKED_CLIENTS distinct
+        # ids, new ones collapse into "_other" so a client-id churn attack
+        # cannot grow the map without bound.
+        self._clients_lock = threading.Lock()
+        self._client_requests: dict[str, int] = {}
+        self._client_rejections: dict[str, int] = {}
         self._register_collectors()
         # Fold evicted/invalidated estimators' regressor counters into running
         # totals so stats() stays monotonic across evictions.  Guarded by its
@@ -422,9 +432,32 @@ class HypeRService:
             self._m_inflight.dec(units)
             self._m_latency.labels(endpoint=endpoint).observe(elapsed)
 
+    _MAX_TRACKED_CLIENTS = 512
+
     def record_rejection(self, endpoint: str = "query", *, units: int = 1) -> None:
         """Count ``units`` requests a front-end turned away (HTTP 429)."""
         self._m_rejected.labels(endpoint=endpoint).inc(units)
+
+    def note_client_request(self, client_id: str, *, rejected: bool = False) -> None:
+        """Attribute one front-door request (or admission/quota rejection)
+        to a client id, for the per-client section of :meth:`stats`."""
+        with self._clients_lock:
+            counters = self._client_requests
+            key = client_id
+            if key not in counters and len(counters) >= self._MAX_TRACKED_CLIENTS:
+                key = "_other"
+            counters[key] = counters.get(key, 0) + 1
+            if rejected:
+                self._client_rejections[key] = self._client_rejections.get(key, 0) + 1
+
+    def client_stats(self) -> dict[str, Any]:
+        """Per-client request/rejection counts (bounded; see ``_other``)."""
+        with self._clients_lock:
+            return {
+                "tracked": len(self._client_requests),
+                "requests": dict(self._client_requests),
+                "rejections": dict(self._client_rejections),
+            }
 
     def serving_signals(self) -> dict[str, Any]:
         """A cheap live snapshot of serving load, for admission decisions.
@@ -442,7 +475,7 @@ class HypeRService:
         )
         in_flight = int(self._m_inflight.value)
         rejected = {k: int(v) for k, v in self._m_rejected.per_label().items()}
-        return {
+        signals: dict[str, Any] = {
             "in_flight": in_flight,
             "peak_in_flight": int(self._m_inflight.peak),
             "rejected_total": sum(rejected.values()),
@@ -454,6 +487,19 @@ class HypeRService:
                 for endpoint, child in self._m_latency.per_label().items()
             },
         }
+        jobs_manager = self.jobs
+        if jobs_manager is not None:
+            # Leases held but not yet inside the engine count as in-flight
+            # pressure too (leases inside the engine already show up via the
+            # _track gauge), so interactive admission sees background work
+            # before it over-admits.
+            job_signals = jobs_manager.signals()
+            signals["jobs"] = job_signals
+            signals["in_flight"] = in_flight + job_signals["background_load"]
+            signals["saturation"] = (
+                signals["in_flight"] / capacity if capacity else 0.0
+            )
+        return signals
 
     def _on_retire_snapshot(self, snapshot) -> None:
         """MVCC retire hook: free the retired generation's shm segments.
@@ -964,15 +1010,26 @@ class HypeRService:
             )
         return 1
 
-    def _refresh_pool(self, state: _EngineState, changed: frozenset[str]) -> None:
+    def _refresh_pool(
+        self,
+        state: _EngineState,
+        changed: frozenset[str],
+        *,
+        replace_dag: bool = False,
+        clear_caches: bool = False,
+    ) -> None:
         """Move the running shard pool to ``state``'s generation in place.
 
         Ships only the changed relations (plus re-shaped row masks / block
         labels) to the existing worker processes; the workers are never
-        restarted, so readers racing the commit keep their answers.  If the
-        in-place update fails for any reason the pool is closed and the next
-        latest-generation query rebuilds it lazily — readers pinned to older
-        snapshots fall back in-process either way.
+        restarted, so readers racing the commit keep their answers.
+        ``replace_dag`` ships ``state``'s causal DAG as the workers' new
+        background knowledge and ``clear_caches`` drops every worker plan
+        cache — the in-place forms of :meth:`update_causal_dag` and
+        :meth:`invalidate`.  If the in-place update fails for any reason the
+        pool is closed and the next latest-generation query rebuilds it
+        lazily — readers pinned to older snapshots fall back in-process
+        either way.
         """
         if self.execution != "processes":
             return
@@ -989,7 +1046,14 @@ class HypeRService:
                     self._effective_shards(state),
                     blocks=self._blocks(state),
                 )
-                pool.apply_update(plan, changed, generation=state.generation)
+                pool.apply_update(
+                    plan,
+                    changed,
+                    generation=state.generation,
+                    causal_dag=state.causal_dag if replace_dag else None,
+                    replace_dag=replace_dag,
+                    clear_caches=clear_caches,
+                )
                 self._pool_generation = state.generation
             except Exception:
                 pool.close()
@@ -1028,24 +1092,34 @@ class HypeRService:
     def invalidate(self) -> None:
         """Bump every generation counter and drop every cached plan component.
 
-        A full invalidation also retires the shard pool (the next
-        latest-generation query rebuilds it); readers already pinned to older
-        snapshots keep executing in-process from their pinned engines.
+        A full invalidation moves the running shard pool forward *in place*:
+        the workers stay alive (their process state and shm snapshots
+        survive) but every worker plan cache is dropped alongside the
+        parent's.  Readers already pinned to older snapshots keep executing
+        in-process from their pinned engines.  Only if the in-place update
+        fails is the pool closed for a lazy rebuild.
         """
         with self._commit_lock:
             state = self._state
-            self._versions.commit(
-                _EngineState.build(
-                    state.generation + 1,
-                    state.database,
-                    state.causal_dag,
-                    self.config,
-                    {name: gen + 1 for name, gen in state.relation_generations.items()},
-                ),
-                generation=state.generation + 1,
+            new_state = _EngineState.build(
+                state.generation + 1,
+                state.database,
+                state.causal_dag,
+                self.config,
+                {name: gen + 1 for name, gen in state.relation_generations.items()},
             )
+            self._versions.commit(new_state, generation=new_state.generation)
             self.caches.clear()
-            self.close()
+            try:
+                self._refresh_pool(new_state, frozenset(), clear_caches=True)
+            except Exception:  # noqa: BLE001 - invalidate never raises
+                # _refresh_pool already closed the pool; the next query
+                # rebuilds it against the new state (the old behavior)
+                logging.getLogger(__name__).warning(
+                    "in-place pool invalidation failed; the pool was closed "
+                    "and will rebuild lazily",
+                    exc_info=True,
+                )
 
     def update_database(self, database: Database) -> frozenset[str]:
         """Commit a new database snapshot with fine-grained invalidation.
@@ -1137,21 +1211,34 @@ class HypeRService:
             return self.update_database(database)
 
     def update_causal_dag(self, causal_dag: CausalDAG | None) -> None:
-        """Swap in new causal background knowledge; invalidates cached state."""
+        """Swap in new causal background knowledge; invalidates cached state.
+
+        The running shard pool is moved forward in place: workers receive
+        the new DAG, rebuild their engines against it, and drop their plan
+        caches — no process restart, no shm rebuild.  Only if the in-place
+        update fails is the pool closed for a lazy rebuild.
+        """
         with self._commit_lock:
             state = self._state
-            self._versions.commit(
-                _EngineState.build(
-                    state.generation + 1,
-                    state.database,
-                    causal_dag,
-                    self.config,
-                    {name: gen + 1 for name, gen in state.relation_generations.items()},
-                ),
-                generation=state.generation + 1,
+            new_state = _EngineState.build(
+                state.generation + 1,
+                state.database,
+                causal_dag,
+                self.config,
+                {name: gen + 1 for name, gen in state.relation_generations.items()},
             )
+            self._versions.commit(new_state, generation=new_state.generation)
             self.caches.clear()
-            self.close()
+            try:
+                self._refresh_pool(
+                    new_state, frozenset(), replace_dag=True, clear_caches=True
+                )
+            except Exception:  # noqa: BLE001 - mirrors invalidate()
+                logging.getLogger(__name__).warning(
+                    "in-place pool DAG swap failed; the pool was closed and "
+                    "will rebuild lazily",
+                    exc_info=True,
+                )
 
     # -- instrumentation -------------------------------------------------------------------
 
@@ -1202,4 +1289,10 @@ class HypeRService:
                 "recorded": int(self._m_slow.value),
                 "threshold_seconds": self.slow_log.threshold_seconds,
             },
+            "clients": self.client_stats(),
+            **(
+                {"jobs": self.jobs.stats()}
+                if self.jobs is not None
+                else {}
+            ),
         }

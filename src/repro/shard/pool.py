@@ -259,6 +259,13 @@ class ShardWorkerRuntime:
         caches tagged with a changed relation are evicted; the row-geometry
         caches (local views, block assignments) are dropped wholesale because
         a commit can re-shape ownership masks even over unchanged relations.
+
+        Two optional keys extend the delta beyond relation data:
+        ``replace_dag``/``causal_dag`` swap the worker's causal background
+        knowledge in place (engines are rebuilt against it), and
+        ``clear_caches`` drops every plan cache regardless of tags — together
+        they let a full invalidation or a DAG swap move the pool forward
+        without restarting worker processes.
         """
         old_database = self.whatif.database
         changed_relations: dict[str, Relation] = dict(payload["changed"])
@@ -296,12 +303,21 @@ class ShardWorkerRuntime:
             n_blocks=payload["n_blocks"],
             shard_of_block=shard_of_block,
         )
+        if payload.get("replace_dag"):
+            self.causal_dag = payload["causal_dag"]
+            self._dag_identity = dag_key(self.causal_dag)
         self.whatif = WhatIfEngine(database, self.causal_dag, self.config)
         self.howto = HowToEngine(self.whatif.database, self.causal_dag, self.config)
-        dirty = set(changed_relations) | removed
-        evicted = self._views.evict_tagged(dirty)
-        evicted += self._estimators.evict_tagged(dirty)
-        evicted += self._candidates.evict_tagged(dirty)
+        if payload.get("clear_caches"):
+            evicted = len(self._views) + len(self._estimators) + len(self._candidates)
+            self._views.clear()
+            self._estimators.clear()
+            self._candidates.clear()
+        else:
+            dirty = set(changed_relations) | removed
+            evicted = self._views.evict_tagged(dirty)
+            evicted += self._estimators.evict_tagged(dirty)
+            evicted += self._candidates.evict_tagged(dirty)
         self._local_views.clear()
         self._block_assignments.clear()
         # Kernel caches hold row-geometry-dependent arrays (masks, index sets)
@@ -983,6 +999,9 @@ class ShardPool:
         changed: Sequence[str] | frozenset[str],
         *,
         generation: int | None = None,
+        causal_dag: Any = None,
+        replace_dag: bool = False,
+        clear_caches: bool = False,
     ) -> None:
         """Move the running workers to ``plan``'s database generation in place.
 
@@ -1000,6 +1019,12 @@ class ShardPool:
         from exactly one generation (tracked by ``generation``, defaulting to
         the next one up; retired generations' segments are dropped via
         :meth:`release_snapshot`).
+
+        ``replace_dag=True`` ships ``causal_dag`` as the workers' new causal
+        background knowledge (engines rebuild against it in place), and
+        ``clear_caches=True`` drops every worker plan cache regardless of
+        tags — the in-place forms of ``update_causal_dag`` and
+        ``invalidate``, which used to tear the pool down.
         """
         self._ensure_running()
         if len(plan) != self.n_shards:
@@ -1059,19 +1084,23 @@ class ShardPool:
                 if name not in old_shard.row_masks
                 or not np.array_equal(old_shard.row_masks[name], mask)
             }
-            payloads.append(
-                {
-                    "changed": changed_relations,
-                    "deltas": deltas,
-                    "removed": removed,
-                    "relation_names": list(new_database.relation_names),
-                    "foreign_keys": list(new_database.foreign_keys),
-                    "row_masks": mask_delta,
-                    "block_labels": label_delta,
-                    "n_blocks": new_shard.n_blocks,
-                    "shard_of_block": shard_of_block,
-                }
-            )
+            payload: dict[str, Any] = {
+                "changed": changed_relations,
+                "deltas": deltas,
+                "removed": removed,
+                "relation_names": list(new_database.relation_names),
+                "foreign_keys": list(new_database.foreign_keys),
+                "row_masks": mask_delta,
+                "block_labels": label_delta,
+                "n_blocks": new_shard.n_blocks,
+                "shard_of_block": shard_of_block,
+            }
+            if replace_dag:
+                payload["replace_dag"] = True
+                payload["causal_dag"] = causal_dag
+            if clear_caches:
+                payload["clear_caches"] = True
+            payloads.append(payload)
         bytes_before = self.bytes_to_workers
         with obs_trace.span("shard.update", shards=self.n_shards, generation=generation):
             self._scatter("update", payloads)
@@ -1085,6 +1114,8 @@ class ShardPool:
             self.bytes_to_workers += self.update_bytes_last
         else:
             self.update_bytes_last = self.bytes_to_workers - bytes_before
+        if replace_dag:
+            self.causal_dag = causal_dag
         self.plan = plan
         self.generation = generation
         self.n_updates += 1

@@ -21,6 +21,9 @@ from repro import EngineConfig, HypeR, HypeRService
 from repro.api.schemas import (
     API_VERSION,
     BatchItem,
+    JobListAnswer,
+    JobStatus,
+    PrepareAnswer,
     StatsSnapshot,
     UpdateAnswer,
     WhatIfAnswer,
@@ -82,14 +85,17 @@ def send(
     path: str,
     payload: dict | None = None,
     raw_body: bytes | None = None,
+    headers: dict | None = None,
 ) -> tuple[int, dict]:
     host, port = address
     conn = http.client.HTTPConnection(host, port, timeout=60)
     body = raw_body if raw_body is not None else (
         json.dumps(payload).encode() if payload is not None else None
     )
-    headers = {"Content-Type": "application/json"} if body else {}
-    conn.request(method, path, body=body, headers=headers)
+    all_headers = {"Content-Type": "application/json"} if body else {}
+    if headers:
+        all_headers.update(headers)
+    conn.request(method, path, body=body, headers=all_headers)
     response = conn.getresponse()
     data = json.loads(response.read() or b"{}")
     conn.close()
@@ -299,3 +305,244 @@ class TestUpdate:
         )
         assert status == 404
         assert body["code"] == "not_found"
+
+
+class TestPrepare:
+    def test_v1_prepare_warms_and_answers_typed(self, front_door):
+        status, body = send(front_door, "POST", "/v1/prepare", {"queries": [QUERY_TEXT]})
+        assert status == 200
+        answer = PrepareAnswer.from_json(body)  # strict: round-trips the schema
+        assert answer.prepared == 1
+        assert answer.generation >= 0
+
+    def test_empty_queries_is_bad_request(self, front_door):
+        status, body = send(front_door, "POST", "/v1/prepare", {"queries": []})
+        assert status == 400
+        assert body["code"] == "bad_request"
+
+    def test_syntax_error_is_envelope(self, front_door):
+        status, body = send(
+            front_door, "POST", "/v1/prepare", {"queries": ["NOT A QUERY"]}
+        )
+        assert status == 400
+        assert body["code"] == "query_syntax"
+
+
+# -- jobs: the durable async job service, through both doors ---------------------------
+
+
+@pytest.fixture(scope="module")
+def jobs_threaded_server(dataset, tmp_path_factory):
+    from repro.jobs.manager import attach_jobs
+
+    service = _make_service(dataset)
+    attach_jobs(
+        service, str(tmp_path_factory.mktemp("jobs-threaded") / "journal.jsonl")
+    )
+    server = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield host, port
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+    service.jobs.close()
+    service.close()
+
+
+@pytest.fixture(scope="module")
+def jobs_async_server(dataset, tmp_path_factory):
+    from repro.jobs.manager import attach_jobs
+
+    service = _make_service(dataset)
+    attach_jobs(service, str(tmp_path_factory.mktemp("jobs-async") / "journal.jsonl"))
+    with BackgroundAsyncServer(service, max_inflight=4, queue_depth=16) as server:
+        yield server.address
+
+
+@pytest.fixture(scope="module", params=["threaded", "async"])
+def jobs_front_door(request, jobs_threaded_server, jobs_async_server):
+    return jobs_threaded_server if request.param == "threaded" else jobs_async_server
+
+
+def _stream_events(address, job_id, timeout_s=30.0):
+    """Read the NDJSON event stream until its ``done`` line (both framings)."""
+    host, port = address
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    conn.request("GET", f"/v1/jobs/{job_id}/events?timeout_s={timeout_s}")
+    response = conn.getresponse()
+    assert response.status == 200
+    assert "ndjson" in (response.getheader("Content-Type") or "")
+    events = []
+    while True:
+        line = response.readline()
+        if not line:
+            break
+        if not line.strip():
+            continue
+        event = json.loads(line)
+        events.append(event)
+        if event.get("done"):
+            break
+    conn.close()
+    return events
+
+
+class TestJobs:
+    def test_submit_poll_result_lifecycle(self, jobs_front_door):
+        status, body = send(
+            jobs_front_door,
+            "POST",
+            "/v1/jobs",
+            {"query": QUERY_TEXT, "priority": "high"},
+            headers={"X-Client-Id": "conformance"},
+        )
+        assert status == 202
+        submitted = JobStatus.from_json(body)  # strict: round-trips the schema
+        assert submitted.state in ("queued", "running")
+        assert submitted.client_id == "conformance"
+        assert submitted.priority == "high"
+
+        events = _stream_events(jobs_front_door, submitted.job_id)
+        assert events[-1].get("done") is True
+        assert events[-1]["terminal"] == "succeeded"
+        states = [e.get("state") for e in events if not e.get("done")]
+        assert "succeeded" in states
+
+        status, body = send(
+            jobs_front_door, "GET", f"/v1/jobs/{submitted.job_id}"
+        )
+        assert status == 200
+        final = JobStatus.from_json(body)
+        assert final.state == "succeeded"
+        assert final.result_available
+        assert final.completed == final.total == 1
+
+        status, result = send(
+            jobs_front_door, "GET", f"/v1/jobs/{submitted.job_id}/result"
+        )
+        assert status == 200
+        assert result["job_id"] == submitted.job_id
+        # the job's answer is bitwise what the synchronous path computes
+        _, sync_answer = send(
+            jobs_front_door, "POST", "/v1/query", {"query": QUERY_TEXT}
+        )
+        assert result["result"] == sync_answer
+
+    def test_batch_job_results_match_sync_batch(self, jobs_front_door):
+        queries = [QUERY_TEXT, "USE Credit UPDATE(Status) = 4 OUTPUT AVG(POST(Credit))"]
+        status, body = send(
+            jobs_front_door, "POST", "/v1/jobs", {"queries": queries}
+        )
+        assert status == 202
+        job_id = body["job_id"]
+        _stream_events(jobs_front_door, job_id)
+        status, result = send(jobs_front_door, "GET", f"/v1/jobs/{job_id}/result")
+        assert status == 200
+        assert result["kind"] == "batch"
+        assert [item["index"] for item in result["results"]] == [0, 1]
+        for item, query in zip(result["results"], queries):
+            _, sync_answer = send(
+                jobs_front_door, "POST", "/v1/query", {"query": query}
+            )
+            assert item["result"] == sync_answer
+
+    def test_list_is_scoped_to_client_id(self, jobs_front_door):
+        status, _ = send(
+            jobs_front_door,
+            "POST",
+            "/v1/jobs",
+            {"query": QUERY_TEXT},
+            headers={"X-Client-Id": "scoped-lister"},
+        )
+        assert status == 202
+        status, body = send(
+            jobs_front_door,
+            "GET",
+            "/v1/jobs",
+            headers={"X-Client-Id": "scoped-lister"},
+        )
+        assert status == 200
+        listing = JobListAnswer.from_json(body)
+        assert len(listing.jobs) == 1
+        assert all(job.client_id == "scoped-lister" for job in listing.jobs)
+        status, other = send(
+            jobs_front_door,
+            "GET",
+            "/v1/jobs",
+            headers={"X-Client-Id": "someone-else"},
+        )
+        assert status == 200
+        assert other["jobs"] == []
+
+    def test_cancel_is_idempotent_on_terminal_jobs(self, jobs_front_door):
+        status, body = send(jobs_front_door, "POST", "/v1/jobs", {"query": QUERY_TEXT})
+        assert status == 202
+        job_id = body["job_id"]
+        _stream_events(jobs_front_door, job_id)
+        status, body = send(jobs_front_door, "POST", f"/v1/jobs/{job_id}/cancel", {})
+        assert status == 200
+        assert JobStatus.from_json(body).state == "succeeded"
+
+    def test_failed_job_reports_error_envelope_fields(self, jobs_front_door):
+        status, body = send(
+            jobs_front_door, "POST", "/v1/jobs", {"query": "NOT A QUERY"}
+        )
+        assert status == 202
+        job_id = body["job_id"]
+        events = _stream_events(jobs_front_door, job_id)
+        assert events[-1]["terminal"] == "failed"
+        status, body = send(jobs_front_door, "GET", f"/v1/jobs/{job_id}")
+        final = JobStatus.from_json(body)
+        assert final.state == "failed"
+        assert final.error_code == "query_syntax"
+        assert not final.result_available
+        status, body = send(jobs_front_door, "GET", f"/v1/jobs/{job_id}/result")
+        assert status == 404
+
+    def test_unknown_job_is_not_found_envelope(self, jobs_front_door):
+        for method, path in [
+            ("GET", "/v1/jobs/job-missing"),
+            ("GET", "/v1/jobs/job-missing/result"),
+            ("GET", "/v1/jobs/job-missing/events"),
+            ("POST", "/v1/jobs/job-missing/cancel"),
+        ]:
+            status, body = send(
+                jobs_front_door, method, path, {} if method == "POST" else None
+            )
+            assert status == 404, path
+            assert body["code"] == "not_found", path
+
+    def test_submit_without_jobs_dir_is_unavailable(self, front_door):
+        # the plain front_door fixtures have no --jobs-dir manager attached
+        status, body = send(front_door, "POST", "/v1/jobs", {"query": QUERY_TEXT})
+        assert status == 503
+        assert body["code"] == "unavailable"
+
+    def test_malformed_submit_is_bad_request(self, jobs_front_door):
+        status, body = send(
+            jobs_front_door,
+            "POST",
+            "/v1/jobs",
+            {"query": QUERY_TEXT, "queries": [QUERY_TEXT]},
+        )
+        assert status == 400
+        assert body["code"] == "bad_request"
+
+    def test_stats_report_jobs_and_clients(self, jobs_front_door):
+        send(
+            jobs_front_door,
+            "POST",
+            "/v1/jobs",
+            {"query": QUERY_TEXT},
+            headers={"X-Client-Id": "stats-client"},
+        )
+        status, body = send(jobs_front_door, "GET", "/v1/stats")
+        assert status == 200
+        snapshot = StatsSnapshot.from_json(body)  # tolerates the new sections
+        assert "jobs" in body
+        assert body["jobs"]["jobs"] >= 1
+        assert "clients" in body
+        assert "stats-client" in body["clients"]["requests"]
+        assert snapshot.generation >= 0

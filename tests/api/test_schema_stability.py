@@ -20,6 +20,11 @@ from repro.api.schemas import (
     BatchRequest,
     ErrorEnvelope,
     HowToAnswer,
+    JobListAnswer,
+    JobStatus,
+    JobSubmitRequest,
+    PrepareAnswer,
+    PrepareRequest,
     QueryRequest,
     StatsSnapshot,
     TraceSpan,
@@ -99,6 +104,69 @@ CANONICAL = {
     "batch_item_error": BatchItem(
         index=0, error=ErrorEnvelope("query_semantics", "unknown attribute 'Riskk'")
     ),
+    "prepare_request": PrepareRequest(
+        queries=(
+            "USE Credit UPDATE(Status) = 4 OUTPUT AVG(POST(Credit))",
+            "USE Credit UPDATE(Status) = 2 OUTPUT AVG(POST(Credit))",
+        )
+    ),
+    "prepare_answer": PrepareAnswer(prepared=2, generation=3),
+    "job_submit_request": JobSubmitRequest(
+        queries=(
+            "USE Credit UPDATE(Status) = 4 OUTPUT AVG(POST(Credit))",
+            "USE Credit UPDATE(Status) = 2 OUTPUT AVG(POST(Credit))",
+        ),
+        priority="low",
+        run_at_generation=3,
+    ),
+    "job_status": JobStatus(
+        job_id="j-6f1d2c3b4a596877",
+        client_id="nightly-sweep",
+        state="succeeded",
+        kind="batch",
+        priority="low",
+        completed=2,
+        total=2,
+        attempts=1,
+        max_attempts=3,
+        created_unix=1700000000.25,
+        finished_unix=1700000004.5,
+        generation=3,
+        run_at_generation=3,
+        result_available=True,
+    ),
+    "job_status_failed": JobStatus(
+        job_id="j-0011223344556677",
+        client_id="nightly-sweep",
+        state="failed",
+        kind="query",
+        priority="normal",
+        completed=0,
+        total=1,
+        attempts=3,
+        max_attempts=3,
+        created_unix=1700000000.25,
+        finished_unix=1700000009.0,
+        error="worker crashed while the lease was held",
+        error_code="retry_budget_exhausted",
+    ),
+    "job_list_answer": JobListAnswer(
+        jobs=(
+            JobStatus(
+                job_id="j-6f1d2c3b4a596877",
+                client_id="nightly-sweep",
+                state="running",
+                kind="batch",
+                priority="low",
+                completed=1,
+                total=2,
+                attempts=1,
+                max_attempts=3,
+                created_unix=1700000000.25,
+                generation=3,
+            ),
+        )
+    ),
     "stats_snapshot": StatsSnapshot(
         generation=2,
         execution="processes",
@@ -130,6 +198,12 @@ _DECODERS = {
     "batch_item_result": BatchItem.from_json,
     "batch_item_error": BatchItem.from_json,
     "stats_snapshot": StatsSnapshot.from_json,
+    "prepare_request": PrepareRequest.from_json,
+    "prepare_answer": PrepareAnswer.from_json,
+    "job_submit_request": JobSubmitRequest.from_json,
+    "job_status": JobStatus.from_json,
+    "job_status_failed": JobStatus.from_json,
+    "job_list_answer": JobListAnswer.from_json,
 }
 
 
