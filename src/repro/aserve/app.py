@@ -461,12 +461,17 @@ class AsyncApp:
     async def _handle_jobs_list(
         self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
     ) -> bool:
+        # these run in the blocking pool: the manager's lock is held by
+        # executor workers across fsynced journal appends, and a slow fsync
+        # must stall a pool thread, never the event loop itself
         self._note_client(request, writer)
         try:
-            payload = jobs_api.list_jobs_payload(
-                self.service, client_id=self._client_id(request, writer)
+            payload = await self._run_blocking(
+                jobs_api.list_jobs_payload,
+                self.service,
+                client_id=self._client_id(request, writer),
             )
-        except api.ApiError as error:
+        except Exception as error:  # noqa: BLE001 - keep the JSON contract
             return await self._send_error(
                 writer, error, keep_alive, request_id=request.request_id
             )
@@ -482,8 +487,13 @@ class AsyncApp:
         params: dict[str, str],
     ) -> bool:
         try:
-            payload = jobs_api.job_status_payload(self.service, params["id"])
-        except api.ApiError as error:
+            payload = await self._run_blocking(
+                jobs_api.job_status_payload,
+                self.service,
+                params["id"],
+                client_id=self._client_id(request, writer),
+            )
+        except Exception as error:  # noqa: BLE001 - keep the JSON contract
             return await self._send_error(
                 writer, error, keep_alive, request_id=request.request_id
             )
@@ -499,8 +509,13 @@ class AsyncApp:
         params: dict[str, str],
     ) -> bool:
         try:
-            payload = jobs_api.job_result_payload(self.service, params["id"])
-        except api.ApiError as error:
+            payload = await self._run_blocking(
+                jobs_api.job_result_payload,
+                self.service,
+                params["id"],
+                client_id=self._client_id(request, writer),
+            )
+        except Exception as error:  # noqa: BLE001 - keep the JSON contract
             return await self._send_error(
                 writer, error, keep_alive, request_id=request.request_id
             )
@@ -518,7 +533,10 @@ class AsyncApp:
     ) -> bool:
         try:
             payload = await self._run_blocking(
-                jobs_api.cancel_job_payload, self.service, params["id"]
+                jobs_api.cancel_job_payload,
+                self.service,
+                params["id"],
+                client_id=self._client_id(request, writer),
             )
         except Exception as error:  # noqa: BLE001 - keep the JSON contract
             return await self._send_error(
@@ -548,9 +566,12 @@ class AsyncApp:
             if key == "timeout_s":
                 with suppress(ValueError):
                     timeout = min(300.0, max(0.0, float(value)))
+        client_id = self._client_id(request, writer)
         try:
-            events, terminal = jobs_api.job_events(self.service, job_id, 0)
-        except api.ApiError as error:
+            events, terminal = await self._run_blocking(
+                jobs_api.job_events, self.service, job_id, 0, client_id=client_id
+            )
+        except Exception as error:  # noqa: BLE001 - keep the JSON contract
             return await self._send_error(
                 writer, error, keep_alive, request_id=request.request_id
             )
@@ -568,7 +589,13 @@ class AsyncApp:
                     break
                 await asyncio.sleep(0.15)
                 try:
-                    events, terminal = jobs_api.job_events(self.service, job_id, cursor)
+                    events, terminal = await self._run_blocking(
+                        jobs_api.job_events,
+                        self.service,
+                        job_id,
+                        cursor,
+                        client_id=client_id,
+                    )
                 except api.ApiError:
                     break  # the job aged out mid-stream: finish cleanly
             await stream.send(

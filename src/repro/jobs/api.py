@@ -10,6 +10,16 @@ The manager is discovered on ``service.jobs`` — a service started without
 ``--jobs-dir`` answers 503 ``unavailable`` on the whole surface rather
 than 404, so clients can distinguish "not enabled here" from a typo'd
 path.
+
+**Ownership.** A job submitted with an explicit ``X-Client-Id`` is scoped
+to that id: status/result/events/cancel from any other client id answer
+404 ``not_found``, indistinguishable from an unknown id, exactly like
+``GET /v1/jobs`` listing.  Jobs submitted *without* the header get a
+per-connection ``anon-…`` owner; those stay **capability-based** — the
+random job id is the credential — because the threaded door mints a fresh
+anonymous id per connection, so an anonymous submitter could otherwise
+never poll its own job.  Ids beginning with ``anon`` are reserved for
+that fallback.
 """
 
 from __future__ import annotations
@@ -100,22 +110,48 @@ def submit_job_payload(
     return _status_payload(manager, job)
 
 
-def _get_job(manager: JobManager, job_id: str) -> Any:
+def _anonymous(owner: str) -> bool:
+    """True for the doors' per-connection fallback ids (``anon``/``anon-…``)."""
+    return owner == "anon" or owner.startswith("anon-")
+
+
+def _get_job(manager: JobManager, job_id: str, client_id: str | None) -> Any:
+    """Look up ``job_id`` and enforce ownership.
+
+    An explicitly-owned job read with the wrong (or no) client id answers
+    the same 404 as an unknown id, so probing cannot distinguish "not
+    yours" from "never existed".  Anonymously-owned jobs skip the check
+    (capability-based; see the module docstring).  ``client_id=None``
+    bypasses enforcement for in-process callers.
+    """
     try:
-        return manager.get(job_id)
+        job = manager.get(job_id)
     except JobNotFound:
         raise ApiError(
             404, ErrorEnvelope("not_found", f"unknown job {job_id!r}")
         ) from None
+    if (
+        client_id is not None
+        and not _anonymous(job.client_id)
+        and client_id != job.client_id
+    ):
+        raise ApiError(
+            404, ErrorEnvelope("not_found", f"unknown job {job_id!r}")
+        )
+    return job
 
 
-def job_status_payload(service: Any, job_id: str) -> dict[str, Any]:
-    """Answer ``GET /v1/jobs/{id}``; unknown or aged-out ids are 404."""
+def job_status_payload(
+    service: Any, job_id: str, *, client_id: str | None = None
+) -> dict[str, Any]:
+    """Answer ``GET /v1/jobs/{id}``; unknown, aged-out, or foreign ids are 404."""
     manager = manager_for(service)
-    return _status_payload(manager, _get_job(manager, job_id))
+    return _status_payload(manager, _get_job(manager, job_id, client_id))
 
 
-def job_result_payload(service: Any, job_id: str) -> dict[str, Any]:
+def job_result_payload(
+    service: Any, job_id: str, *, client_id: str | None = None
+) -> dict[str, Any]:
     """Answer ``GET /v1/jobs/{id}/result``.
 
     A job that is still in flight answers 404 ``not_found``; a terminal job
@@ -123,7 +159,7 @@ def job_result_payload(service: Any, job_id: str) -> dict[str, Any]:
     ``result_expired`` so callers know re-submitting is the only way back.
     """
     manager = manager_for(service)
-    job = _get_job(manager, job_id)
+    job = _get_job(manager, job_id, client_id)
     payload = manager.results.get(job_id)
     if payload is not None:
         return payload
@@ -159,14 +195,16 @@ def job_result_payload(service: Any, job_id: str) -> dict[str, Any]:
     )
 
 
-def cancel_job_payload(service: Any, job_id: str) -> dict[str, Any]:
+def cancel_job_payload(
+    service: Any, job_id: str, *, client_id: str | None = None
+) -> dict[str, Any]:
     """Answer ``POST /v1/jobs/{id}/cancel``: the post-cancel status.
 
     Cancelling a queued job is immediate, a running job cooperative, and a
     terminal job a no-op — the call is always safe to retry.
     """
     manager = manager_for(service)
-    _get_job(manager, job_id)
+    _get_job(manager, job_id, client_id)
     return _status_payload(manager, manager.cancel(job_id))
 
 
@@ -181,10 +219,11 @@ def list_jobs_payload(service: Any, *, client_id: str | None) -> dict[str, Any]:
 
 
 def job_events(
-    service: Any, job_id: str, cursor: int = 0
+    service: Any, job_id: str, cursor: int = 0, *, client_id: str | None = None
 ) -> tuple[list[dict[str, Any]], bool]:
     """One non-blocking poll of a job's event log (the async door's unit)."""
     manager = manager_for(service)
+    _get_job(manager, job_id, client_id)
     try:
         return manager.events_since(job_id, cursor)
     except JobNotFound:
@@ -197,6 +236,7 @@ def iter_job_events(
     service: Any,
     job_id: str,
     *,
+    client_id: str | None = None,
     timeout: float = 30.0,
     poll_seconds: float = 0.5,
 ) -> Iterator[dict[str, Any]]:
@@ -210,7 +250,7 @@ def iter_job_events(
     import time as _time
 
     manager = manager_for(service)
-    _get_job(manager, job_id)
+    _get_job(manager, job_id, client_id)
     cursor = 0
     deadline = _time.monotonic() + timeout
     terminal = False

@@ -188,7 +188,10 @@ class Journal:
         """
         if self._file is None:
             raise JournalError("journal is not open")
-        with self._write_lock, self._sync_lock:
+        # Lock order must match _sync_to (_sync_lock → _write_lock): a
+        # group-committing appender holds _sync_lock while waiting for
+        # _write_lock, so taking them the other way around here deadlocks.
+        with self._sync_lock, self._write_lock:
             tmp_path = self.path + ".compact"
             count = 0
             with open(tmp_path, "wb") as tmp:

@@ -370,23 +370,26 @@ class JobManager:
             max_attempts=self.retry_budget,
             created_unix=now,
         )
-        seq = self.journal.append(
-            "submit",
-            job.job_id,
-            {
-                "client": client_id,
-                "kind": kind,
-                "queries": job.queries,
-                "exhaustive": exhaustive,
-                "priority": job.priority,
-                "run_at_generation": run_at_generation,
-                "payload_bytes": payload_bytes,
-                "max_attempts": job.max_attempts,
-                "created_unix": now,
-            },
-        )
-        job.submit_seq = seq
+        # The append happens under _cond so compaction (which snapshots
+        # _jobs while holding _cond) can never rewrite the journal between
+        # this record becoming durable and the job entering the table — a
+        # crash after the 202 must always find the job on replay.
         with self._cond:
+            job.submit_seq = self.journal.append(
+                "submit",
+                job.job_id,
+                {
+                    "client": client_id,
+                    "kind": kind,
+                    "queries": job.queries,
+                    "exhaustive": exhaustive,
+                    "priority": job.priority,
+                    "run_at_generation": run_at_generation,
+                    "payload_bytes": payload_bytes,
+                    "max_attempts": job.max_attempts,
+                    "created_unix": now,
+                },
+            )
             self._jobs[job.job_id] = job
             self._events[job.job_id] = []
             self.queue.enqueue(job, enforce_quota=False)
@@ -415,7 +418,10 @@ class JobManager:
                 return job  # idempotent
             if self.queue.remove(job):
                 job.cancel_requested = True
-                self._finish_locked(job, "cancelled", result=None)
+                # never leased: there is no running-lease count to release
+                self._finish_locked(
+                    job, "cancelled", result=None, release_lease=False
+                )
                 return job
             if not job.cancel_requested:
                 job.cancel_requested = True
@@ -532,12 +538,23 @@ class JobManager:
             self._finish_locked(job, "failed", result=None)
 
     def _finish_locked(
-        self, job: Job, state: str, *, result: dict[str, Any] | None
+        self,
+        job: Job,
+        state: str,
+        *,
+        result: dict[str, Any] | None,
+        release_lease: bool = True,
     ) -> None:
-        """Terminal transition; caller holds ``_cond``."""
+        """Terminal transition; caller holds ``_cond``.
+
+        ``release_lease=False`` is for jobs that were never leased (a cancel
+        while still queued) — releasing a lease they don't hold would steal
+        a running-count slot from one of the client's live leases.
+        """
         job.state = state
         job.finished_unix = time.time()
-        self.queue.finish(job)
+        if release_lease:
+            self.queue.finish(job)
         stored_result = None
         if result is not None:
             stored_result = {

@@ -192,11 +192,17 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 )
             elif endpoint.name == "job_status":
                 self._send_json(
-                    200, jobs_api.job_status_payload(self.service, params["id"])
+                    200,
+                    jobs_api.job_status_payload(
+                        self.service, params["id"], client_id=self._client_id()
+                    ),
                 )
             elif endpoint.name == "job_result":
                 self._send_json(
-                    200, jobs_api.job_result_payload(self.service, params["id"])
+                    200,
+                    jobs_api.job_result_payload(
+                        self.service, params["id"], client_id=self._client_id()
+                    ),
                 )
             elif endpoint.name == "job_events":
                 self._stream_job_events(params["id"], query_string)
@@ -223,7 +229,9 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                     timeout = min(300.0, max(0.0, float(value)))
                 except ValueError:
                     pass
-        events = jobs_api.iter_job_events(self.service, job_id, timeout=timeout)
+        events = jobs_api.iter_job_events(
+            self.service, job_id, client_id=self._client_id(), timeout=timeout
+        )
         first = next(events)  # raises (404/503) before any header is written
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
@@ -288,7 +296,10 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(202, payload)
             elif endpoint.name == "job_cancel":
                 self._send_json(
-                    200, jobs_api.cancel_job_payload(self.service, params["id"])
+                    200,
+                    jobs_api.cancel_job_payload(
+                        self.service, params["id"], client_id=self._client_id()
+                    ),
                 )
             else:  # pragma: no cover - the table maps every POST above
                 self._send_error_envelope(api.not_found(path))

@@ -366,11 +366,15 @@ def jobs_front_door(request, jobs_threaded_server, jobs_async_server):
     return jobs_threaded_server if request.param == "threaded" else jobs_async_server
 
 
-def _stream_events(address, job_id, timeout_s=30.0):
+def _stream_events(address, job_id, timeout_s=30.0, headers=None):
     """Read the NDJSON event stream until its ``done`` line (both framings)."""
     host, port = address
     conn = http.client.HTTPConnection(host, port, timeout=60)
-    conn.request("GET", f"/v1/jobs/{job_id}/events?timeout_s={timeout_s}")
+    conn.request(
+        "GET",
+        f"/v1/jobs/{job_id}/events?timeout_s={timeout_s}",
+        headers=headers or {},
+    )
     response = conn.getresponse()
     assert response.status == 200
     assert "ndjson" in (response.getheader("Content-Type") or "")
@@ -404,14 +408,17 @@ class TestJobs:
         assert submitted.client_id == "conformance"
         assert submitted.priority == "high"
 
-        events = _stream_events(jobs_front_door, submitted.job_id)
+        # explicitly-owned jobs are scoped to their client id, so every
+        # follow-up request carries the same header the submit did
+        owner = {"X-Client-Id": "conformance"}
+        events = _stream_events(jobs_front_door, submitted.job_id, headers=owner)
         assert events[-1].get("done") is True
         assert events[-1]["terminal"] == "succeeded"
         states = [e.get("state") for e in events if not e.get("done")]
         assert "succeeded" in states
 
         status, body = send(
-            jobs_front_door, "GET", f"/v1/jobs/{submitted.job_id}"
+            jobs_front_door, "GET", f"/v1/jobs/{submitted.job_id}", headers=owner
         )
         assert status == 200
         final = JobStatus.from_json(body)
@@ -420,7 +427,10 @@ class TestJobs:
         assert final.completed == final.total == 1
 
         status, result = send(
-            jobs_front_door, "GET", f"/v1/jobs/{submitted.job_id}/result"
+            jobs_front_door,
+            "GET",
+            f"/v1/jobs/{submitted.job_id}/result",
+            headers=owner,
         )
         assert status == 200
         assert result["job_id"] == submitted.job_id
@@ -475,6 +485,45 @@ class TestJobs:
         )
         assert status == 200
         assert other["jobs"] == []
+
+    def test_foreign_client_cannot_read_or_cancel_owned_job(self, jobs_front_door):
+        # a job submitted under an explicit X-Client-Id answers 404 — the
+        # same envelope as an unknown id — to every other client id
+        status, body = send(
+            jobs_front_door,
+            "POST",
+            "/v1/jobs",
+            {"query": QUERY_TEXT},
+            headers={"X-Client-Id": "owner-a"},
+        )
+        assert status == 202
+        job_id = body["job_id"]
+        for method, path in [
+            ("GET", f"/v1/jobs/{job_id}"),
+            ("GET", f"/v1/jobs/{job_id}/result"),
+            ("GET", f"/v1/jobs/{job_id}/events"),
+            ("POST", f"/v1/jobs/{job_id}/cancel"),
+        ]:
+            status, body = send(
+                jobs_front_door,
+                method,
+                path,
+                {} if method == "POST" else None,
+                headers={"X-Client-Id": "intruder"},
+            )
+            assert status == 404, path
+            assert body["code"] == "not_found", path
+        # an anonymous caller (no header) is equally locked out
+        status, body = send(jobs_front_door, "GET", f"/v1/jobs/{job_id}")
+        assert status == 404
+        # while the owner still sees it
+        status, _ = send(
+            jobs_front_door,
+            "GET",
+            f"/v1/jobs/{job_id}",
+            headers={"X-Client-Id": "owner-a"},
+        )
+        assert status == 200
 
     def test_cancel_is_idempotent_on_terminal_jobs(self, jobs_front_door):
         status, body = send(jobs_front_door, "POST", "/v1/jobs", {"query": QUERY_TEXT})

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import zlib
 
 import pytest
@@ -132,6 +133,37 @@ class TestCrashProperties:
 
 
 class TestCompaction:
+    def test_group_commit_appends_during_rewrite_do_not_deadlock(self, tmp_path):
+        # regression: rewrite once took _write_lock → _sync_lock while a
+        # sync=True appender took _sync_lock → _write_lock; under load the
+        # two deadlocked, freezing every journal user
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.open()
+        stop = threading.Event()
+
+        def appender():
+            while not stop.is_set():
+                journal.append("progress", "job-x", {}, sync=True)
+
+        def compactor():
+            for _ in range(25):
+                journal.rewrite([("snapshot", "job-x", {"state": "queued"})])
+
+        appenders = [threading.Thread(target=appender, daemon=True) for _ in range(3)]
+        compact_thread = threading.Thread(target=compactor, daemon=True)
+        for thread in (*appenders, compact_thread):
+            thread.start()
+        compact_thread.join(timeout=120)
+        stop.set()
+        for thread in appenders:
+            thread.join(timeout=30)
+        assert not any(t.is_alive() for t in (*appenders, compact_thread))
+        journal.close()
+        # and the surviving file replays clean (strictly consecutive seqs)
+        records = Journal(journal.path).open()
+        assert [r.seq for r in records] == list(range(1, len(records) + 1))
+        assert records  # the last snapshot is always there
+
     def test_rewrite_replaces_atomically_and_reseeds_seq(self, tmp_path):
         path = tmp_path / "j.jsonl"
         journal = Journal(path)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro import EngineConfig, HypeRService
@@ -168,6 +170,31 @@ class TestCancelAndQuotas:
             )
             assert other.state == "queued"
 
+    def test_queued_cancel_keeps_anothers_running_lease_counted(self, service, tmp_path):
+        # regression: cancelling a never-leased job used to release a
+        # running lease the client didn't hold, undercounting running_leases
+        # and letting max_running be exceeded
+        manager = JobManager(service, str(tmp_path / "journal.jsonl"))
+        manager.journal.open()  # no workers: this test leases by hand
+        try:
+            running = manager.submit(
+                client_id="c1", kind="query", queries=[QUERY_TEXT]
+            )
+            queued = manager.submit(
+                client_id="c1",
+                kind="query",
+                queries=[QUERY_TEXT],
+                run_at_generation=int(service.generation) + 1000,  # ineligible
+            )
+            leased = manager.next_lease(timeout=1.0)
+            assert leased is not None and leased.job_id == running.job_id
+            assert manager.queue.running_leases == 1
+            assert manager.cancel(queued.job_id).state == "cancelled"
+            assert manager.queue.running_leases == 1  # c1's lease survives
+            assert manager.background_load() == 1
+        finally:
+            manager.close()
+
     def test_unknown_job_raises(self, service, tmp_path):
         with make_manager(service, tmp_path) as manager:
             with pytest.raises(JobNotFound):
@@ -257,6 +284,47 @@ class TestReplay:
             assert reopened.get(ok.job_id).state == "succeeded"
             assert reopened.get(bad.job_id).state == "failed"
             assert reopened.result_payload(ok.job_id) == result_before
+
+
+    def test_concurrent_compaction_never_loses_acknowledged_submits(
+        self, service, tmp_path
+    ):
+        # regression: submit once journaled its record before inserting the
+        # job into the table, so a compaction in that window rewrote the
+        # journal without it — an acknowledged job vanished on replay
+        manager = JobManager(
+            service,
+            str(tmp_path / "journal.jsonl"),
+            quotas=ClientQuotas(max_queued=10_000),
+        )
+        manager.journal.open()  # no workers: every job stays queued
+        gate = int(service.generation) + 1000
+        stop = threading.Event()
+
+        def compact_loop():
+            while not stop.is_set():
+                manager.compact()
+
+        compactor = threading.Thread(target=compact_loop, daemon=True)
+        compactor.start()
+        acknowledged = []
+        try:
+            for _ in range(200):
+                job = manager.submit(
+                    client_id="c1",
+                    kind="query",
+                    queries=[QUERY_TEXT],
+                    run_at_generation=gate,
+                )
+                acknowledged.append(job.job_id)
+        finally:
+            stop.set()
+            compactor.join(timeout=60)
+        assert not compactor.is_alive()
+        manager.close()
+        with make_manager(service, tmp_path) as reopened:
+            for job_id in acknowledged:
+                assert reopened.get(job_id).state == "queued"
 
 
 class TestGcAndSignals:
